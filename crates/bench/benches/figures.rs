@@ -1,0 +1,33 @@
+//! One benchmark per paper table/figure: each target runs the same
+//! harness `landlord experiment <id>` uses (at smoke scale, so the
+//! whole suite finishes in minutes) and reports how long regenerating
+//! that artifact takes. Full-scale regeneration is
+//! `landlord experiment all --scale full` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use landlord_sim::experiments::{self, ExperimentContext};
+use std::hint::black_box;
+
+fn figures(c: &mut Criterion) {
+    let ctx = ExperimentContext::smoke(0xf165);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    for &id in experiments::all_ids() {
+        group.bench_with_input(BenchmarkId::from_parameter(id), &id, |bench, &id| {
+            bench.iter(|| {
+                let tables =
+                    experiments::run(black_box(id), &ctx).expect("known experiment id");
+                assert!(!tables.is_empty());
+                black_box(tables)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = figures
+}
+criterion_main!(benches);

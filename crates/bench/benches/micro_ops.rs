@@ -1,0 +1,152 @@
+//! Micro-benchmarks of LANDLORD's hot operations: the set algebra and
+//! similarity machinery every simulated request exercises thousands of
+//! times, plus end-to-end cache request throughput and image builds.
+
+use bench::{bench_repo, bench_stream, overlapping_specs};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use landlord_core::cache::{CacheConfig, ImageCache};
+use landlord_core::jaccard::jaccard_distance;
+use landlord_core::minhash::{LshIndex, LshShape, MinHasher};
+use landlord_core::spec::PackageId;
+use landlord_repo::ClosureComputer;
+use landlord_shrinkwrap::filetree::FileTreeConfig;
+use landlord_shrinkwrap::Shrinkwrap;
+use landlord_store::MemStore;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn set_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("set_ops");
+    for n in [100u32, 1000, 5000] {
+        let (a, b) = overlapping_specs(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("jaccard_exact", n), &n, |bench, _| {
+            bench.iter(|| black_box(jaccard_distance(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("union", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.union(black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("is_subset", n), &n, |bench, _| {
+            bench.iter(|| black_box(a.is_subset(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn minhash_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minhash");
+    let (a, b) = overlapping_specs(1000);
+    for k in [64usize, 128, 256] {
+        let hasher = MinHasher::new(k, 7);
+        group.bench_with_input(BenchmarkId::new("signature", k), &k, |bench, _| {
+            bench.iter(|| black_box(hasher.signature(black_box(&a))))
+        });
+        let sa = hasher.signature(&a);
+        let sb = hasher.signature(&b);
+        group.bench_with_input(BenchmarkId::new("estimate", k), &k, |bench, _| {
+            bench.iter(|| black_box(sa.estimate_distance(black_box(&sb))))
+        });
+    }
+    // LSH candidate lookup over 200 indexed signatures.
+    let hasher = MinHasher::new(128, 7);
+    let mut index = LshIndex::new(LshShape { bands: 32, rows: 4 });
+    for key in 0..200u64 {
+        let spec =
+            landlord_core::spec::Spec::from_ids((key as u32 * 37..key as u32 * 37 + 500).map(PackageId));
+        index.insert(key, &hasher.signature(&spec));
+    }
+    let probe = hasher.signature(&a);
+    group.bench_function("lsh_candidates_200", |bench| {
+        bench.iter(|| black_box(index.candidates(black_box(&probe))))
+    });
+    group.finish();
+}
+
+fn closures(c: &mut Criterion) {
+    let repo = bench_repo();
+    let mut computer = ClosureComputer::new(repo.package_count());
+    let seeds: Vec<PackageId> =
+        (0..20).map(|i| PackageId(repo.package_count() as u32 - 1 - i * 7)).collect();
+    c.bench_function("closure_20_seeds", |bench| {
+        bench.iter(|| black_box(computer.closure_ids(repo.graph(), black_box(&seeds))))
+    });
+}
+
+fn cache_requests(c: &mut Criterion) {
+    let repo = bench_repo();
+    let stream = bench_stream(&repo, 100, 3);
+    let mut group = c.benchmark_group("cache_request_stream");
+    group.throughput(Throughput::Elements(stream.len() as u64));
+    group.sample_size(10);
+    for alpha in [0.0f64, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("alpha", format!("{alpha:.1}")),
+            &alpha,
+            |bench, &alpha| {
+                bench.iter(|| {
+                    let cfg = CacheConfig {
+                        alpha,
+                        limit_bytes: repo.total_bytes() / 2,
+                        ..CacheConfig::default()
+                    };
+                    let mut cache = ImageCache::new(cfg, Arc::new(repo.size_table()));
+                    for spec in &stream {
+                        black_box(cache.request(spec));
+                    }
+                    black_box(cache.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn spec_inference(c: &mut Criterion) {
+    let python_src = r#"
+import numpy as np, uproot
+from ROOT import TFile
+from awkward.highlevel import Array
+def f():
+    import tensorflow
+"#;
+    c.bench_function("python_import_scan", |bench| {
+        bench.iter(|| black_box(landlord_specgen::python::scan(black_box(python_src))))
+    });
+
+    let repo = bench_repo();
+    let resolver = landlord_specgen::resolve::Resolver::new(&repo);
+    let reqs: Vec<landlord_specgen::Requirement> = repo
+        .packages()
+        .iter()
+        .step_by(97)
+        .map(|m| landlord_specgen::Requirement::pinned(m.name.clone(), m.version.clone()))
+        .collect();
+    let resolve_name = format!("resolve_{}_requirements", reqs.len());
+    c.bench_function(&resolve_name, |bench| {
+        bench.iter(|| black_box(resolver.resolve(black_box(&reqs))))
+    });
+}
+
+fn image_build(c: &mut Criterion) {
+    let repo = bench_repo();
+    let store = MemStore::new();
+    let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+    let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+    let mut group = c.benchmark_group("shrinkwrap");
+    group.sample_size(20);
+    let build_name = format!("build_{}_pkgs", spec.len());
+    group.bench_function(&build_name, |bench| {
+        bench.iter(|| {
+            let mut out = Vec::new();
+            black_box(sw.build(black_box(&spec), &mut out).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = set_ops, minhash_ops, closures, cache_requests, spec_inference, image_build
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Post-hoc block deduplication across a collection of images.
+//!
+//! §III, "Imperfect Solution: Block Deduplication": "It is not
+//! difficult to identify duplicated files or blocks within container
+//! images. However, we lack a means to combine the extraneous copies;
+//! each container image by design contains complete copies of all
+//! data." This module quantifies the *identifiable* duplication across
+//! a set of image specs — the savings a privileged, dedup-capable
+//! filesystem would get, and exactly the storage a guest user is stuck
+//! paying for.
+
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::{PackageId, Spec};
+use landlord_store::dedup::DedupReport;
+use std::collections::HashMap;
+
+/// Package-granularity dedup across image specs: logical bytes stored
+/// vs bytes if every distinct package were stored once.
+pub fn package_dedup(images: &[Spec], sizes: &dyn SizeModel) -> DedupReport {
+    let mut seen: HashMap<PackageId, ()> = HashMap::new();
+    let mut total_bytes = 0u64;
+    let mut unique_bytes = 0u64;
+    let mut total_units = 0u64;
+    for spec in images {
+        for p in spec.iter() {
+            total_units += 1;
+            let b = sizes.package_size(p);
+            total_bytes += b;
+            if seen.insert(p, ()).is_none() {
+                unique_bytes += b;
+            }
+        }
+    }
+    DedupReport { total_bytes, unique_bytes, total_units, unique_units: seen.len() as u64 }
+}
+
+/// The reclaimable fraction (1 − unique/total) in percent — what a
+/// block-dedup filesystem would save, and what image-level isolation
+/// forfeits.
+pub fn reclaimable_pct(report: &DedupReport) -> f64 {
+    100.0 - report.efficiency_pct()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_core::sizes::UniformSizes;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    #[test]
+    fn disjoint_images_have_no_duplication() {
+        let images = [spec(&[1, 2]), spec(&[3, 4])];
+        let r = package_dedup(&images, &UniformSizes::new(10));
+        assert_eq!(r.total_bytes, 40);
+        assert_eq!(r.unique_bytes, 40);
+        assert_eq!(reclaimable_pct(&r), 0.0);
+    }
+
+    #[test]
+    fn identical_images_dedup_to_one() {
+        let images = [spec(&[1, 2, 3]), spec(&[1, 2, 3]), spec(&[1, 2, 3])];
+        let r = package_dedup(&images, &UniformSizes::new(5));
+        assert_eq!(r.total_bytes, 45);
+        assert_eq!(r.unique_bytes, 15);
+        assert!((r.dedup_ratio() - 3.0).abs() < 1e-12);
+        assert!((reclaimable_pct(&r) - 66.6667).abs() < 0.01);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let images = [spec(&[1, 2]), spec(&[2, 3])];
+        let r = package_dedup(&images, &UniformSizes::new(1));
+        assert_eq!(r.total_units, 4);
+        assert_eq!(r.unique_units, 3);
+        assert_eq!(r.unique_bytes, 3);
+    }
+
+    #[test]
+    fn empty_collection() {
+        let r = package_dedup(&[], &UniformSizes::new(1));
+        assert_eq!(r.total_bytes, 0);
+        assert_eq!(reclaimable_pct(&r), 0.0);
+    }
+}

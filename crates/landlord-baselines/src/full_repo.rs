@@ -1,0 +1,127 @@
+//! The single all-purpose image baseline.
+//!
+//! §III, "Imperfect Solution: Full-repo Images": put the whole software
+//! repository in one image. Every request hits, cache efficiency is a
+//! perfect 100% (no duplication exists in one image) — and container
+//! efficiency is abysmal because "a given job does not need all of the
+//! repository simultaneously, so it is wasteful to transfer unneeded
+//! data". Updates are brutal too: the paper cites ~24 hours to build
+//! and scale a full-repo image onto NERSC nodes.
+
+use landlord_core::metrics::ContainerEfficiency;
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::Spec;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Counters of the full-repo strategy.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FullRepoStats {
+    /// Requests served (all hits after the initial build).
+    pub requests: u64,
+    /// Bytes requested by jobs.
+    pub bytes_requested: u64,
+    /// Bytes written (the one-time image build, plus any rebuilds).
+    pub bytes_written: u64,
+    /// Rebuilds performed (repository updates).
+    pub rebuilds: u64,
+}
+
+/// Serve every job from one image containing the entire repository.
+pub struct FullRepoStrategy {
+    sizes: Arc<dyn SizeModel>,
+    repo_bytes: u64,
+    stats: FullRepoStats,
+    container_eff: ContainerEfficiency,
+}
+
+impl FullRepoStrategy {
+    /// Build the all-purpose image (counted as the initial write).
+    pub fn new(sizes: Arc<dyn SizeModel>, repo_bytes: u64) -> Self {
+        let stats = FullRepoStats {
+            bytes_written: repo_bytes,
+            rebuilds: 1,
+            ..FullRepoStats::default()
+        };
+        FullRepoStrategy { sizes, repo_bytes, stats, container_eff: ContainerEfficiency::new() }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> FullRepoStats {
+        self.stats
+    }
+
+    /// The cache holds exactly the repository.
+    pub fn total_bytes(&self) -> u64 {
+        self.repo_bytes
+    }
+
+    /// One image with no internal duplication: always 100%.
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        100.0
+    }
+
+    /// Mean container efficiency so far.
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.container_eff.mean_pct()
+    }
+
+    /// Serve a request; always a hit against the full image.
+    pub fn request(&mut self, spec: &Spec) {
+        let requested = self.sizes.spec_bytes(spec);
+        self.stats.requests += 1;
+        self.stats.bytes_requested += requested;
+        self.container_eff.record(requested, self.repo_bytes.max(requested));
+    }
+
+    /// A repository update forces a full image rebuild and re-transfer.
+    pub fn rebuild(&mut self) {
+        self.stats.rebuilds += 1;
+        self.stats.bytes_written += self.repo_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_core::sizes::UniformSizes;
+    use landlord_core::spec::PackageId;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    #[test]
+    fn every_request_is_served() {
+        let mut s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 1000);
+        s.request(&spec(&[1, 2, 3]));
+        s.request(&spec(&[500]));
+        assert_eq!(s.stats().requests, 2);
+        assert_eq!(s.cache_efficiency_pct(), 100.0);
+    }
+
+    #[test]
+    fn container_efficiency_is_tiny() {
+        let mut s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 1000);
+        s.request(&spec(&[1, 2, 3])); // 3 of 1000 bytes used
+        let eff = s.container_efficiency_pct();
+        assert!((eff - 0.3).abs() < 1e-9, "got {eff}");
+    }
+
+    #[test]
+    fn initial_build_counts_as_write() {
+        let s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 777);
+        assert_eq!(s.stats().bytes_written, 777);
+        assert_eq!(s.stats().rebuilds, 1);
+        assert_eq!(s.total_bytes(), 777);
+    }
+
+    #[test]
+    fn rebuild_rewrites_everything() {
+        let mut s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 500);
+        s.rebuild();
+        s.rebuild();
+        assert_eq!(s.stats().bytes_written, 1500);
+        assert_eq!(s.stats().rebuilds, 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # landlord-baselines
+//!
+//! The "imperfect solutions" §III of the paper walks through, plus the
+//! degenerate ends of LANDLORD's α spectrum, implemented as standalone
+//! strategies so experiments can compare against them directly:
+//!
+//! * [`per_job`] — one image per distinct request with plain LRU
+//!   eviction and subset reuse, no merging. Equivalent to LANDLORD at
+//!   α = 0 (the equivalence is tested in `tests/integration.rs`).
+//! * [`full_repo`] — a single all-purpose image holding the entire
+//!   repository: "the simplest way to reduce the number of containers
+//!   in use". Equivalent to the α = 1 extreme.
+//! * [`layered`] — Docker-style additive layer chains, quantifying
+//!   Fig. 1's layering-vs-composition comparison: masked files still
+//!   occupy storage, and identical requirement sets are not recognized
+//!   as reusable across different chains.
+//! * [`block_dedup`] — post-hoc block deduplication across stored
+//!   images: measures how much duplication *exists*, which a guest user
+//!   without snapshot privileges cannot actually *reclaim*.
+
+pub mod block_dedup;
+pub mod full_repo;
+pub mod layered;
+pub mod per_job;
+
+pub use full_repo::FullRepoStrategy;
+pub use layered::LayerChain;
+pub use per_job::PerJobCache;

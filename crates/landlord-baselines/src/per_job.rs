@@ -1,0 +1,200 @@
+//! The no-merge baseline: one image per distinct requirement set.
+//!
+//! "Simply caching requests with no merging, can also be viable. …
+//! At large scale, however, the overall system efficiency suffers"
+//! (§VI, Limits on Cache Utilization). This is an independent
+//! implementation of that strategy — deliberately *not* built on
+//! [`landlord_core::cache::ImageCache`] — so the integration tests can
+//! cross-validate that LANDLORD at α = 0 degenerates to exactly this
+//! behavior.
+
+use landlord_core::metrics::ContainerEfficiency;
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::Spec;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Counters of the per-job cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PerJobStats {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests satisfied by a cached image (subset match).
+    pub hits: u64,
+    /// Fresh images created.
+    pub inserts: u64,
+    /// Images evicted.
+    pub deletes: u64,
+    /// Bytes written (inserted images).
+    pub bytes_written: u64,
+    /// Bytes requested.
+    pub bytes_requested: u64,
+    /// Current cached bytes.
+    pub total_bytes: u64,
+}
+
+/// A byte-bounded LRU image cache without merging.
+pub struct PerJobCache {
+    limit_bytes: u64,
+    sizes: Arc<dyn SizeModel>,
+    /// Front = least recently used.
+    images: VecDeque<(Spec, u64)>,
+    stats: PerJobStats,
+    container_eff: ContainerEfficiency,
+}
+
+impl PerJobCache {
+    /// Create with a byte limit and size model.
+    pub fn new(limit_bytes: u64, sizes: Arc<dyn SizeModel>) -> Self {
+        PerJobCache {
+            limit_bytes,
+            sizes,
+            images: VecDeque::new(),
+            stats: PerJobStats::default(),
+            container_eff: ContainerEfficiency::new(),
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PerJobStats {
+        self.stats
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no images are cached.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Mean container efficiency so far (percent).
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.container_eff.mean_pct()
+    }
+
+    /// Unique bytes across cached images (each package once) — needs a
+    /// scan, used by experiments at sample points only.
+    pub fn unique_bytes(&self) -> u64 {
+        let mut all = Spec::empty();
+        for (spec, _) in &self.images {
+            all = all.union(spec);
+        }
+        self.sizes.spec_bytes(&all)
+    }
+
+    /// Process one request: reuse the smallest satisfying image or
+    /// insert a fresh one, then evict LRU down to the byte limit.
+    /// Returns true on a hit.
+    pub fn request(&mut self, spec: &Spec) -> bool {
+        let requested = self.sizes.spec_bytes(spec);
+        self.stats.requests += 1;
+        self.stats.bytes_requested += requested;
+
+        // Find the smallest satisfying image.
+        let hit = self
+            .images
+            .iter()
+            .enumerate()
+            .filter(|(_, (cached, _))| spec.is_subset(cached))
+            .min_by_key(|(_, (_, bytes))| *bytes)
+            .map(|(i, _)| i);
+
+        if let Some(i) = hit {
+            let (cached, bytes) = self.images.remove(i).expect("index valid");
+            self.container_eff.record(requested, bytes);
+            self.images.push_back((cached, bytes)); // most recently used
+            self.stats.hits += 1;
+            return true;
+        }
+
+        self.container_eff.record(requested, requested);
+        self.stats.inserts += 1;
+        self.stats.bytes_written += requested;
+        self.stats.total_bytes += requested;
+        self.images.push_back((spec.clone(), requested));
+        // Evict, but never the image just inserted.
+        while self.stats.total_bytes > self.limit_bytes && self.images.len() > 1 {
+            let (_, freed) = self.images.pop_front().expect("len > 1");
+            self.stats.total_bytes -= freed;
+            self.stats.deletes += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_core::sizes::UniformSizes;
+    use landlord_core::spec::PackageId;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    fn cache(limit: u64) -> PerJobCache {
+        PerJobCache::new(limit, Arc::new(UniformSizes::new(1)))
+    }
+
+    #[test]
+    fn insert_then_hit() {
+        let mut c = cache(100);
+        assert!(!c.request(&spec(&[1, 2])));
+        assert!(c.request(&spec(&[1, 2])));
+        assert!(c.request(&spec(&[1])), "subset should hit");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().inserts, 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn never_merges() {
+        let mut c = cache(100);
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[1, 2, 4]));
+        assert_eq!(c.len(), 2, "close specs stay separate images");
+        assert_eq!(c.unique_bytes(), 4); // {1,2,3,4}
+        assert_eq!(c.stats().total_bytes, 6);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = cache(6);
+        c.request(&spec(&[1, 2, 3])); // A
+        c.request(&spec(&[4, 5, 6])); // B
+        c.request(&spec(&[1, 2, 3])); // touch A
+        c.request(&spec(&[7, 8, 9])); // evicts B
+        assert!(c.request(&spec(&[1, 2, 3])), "A must have survived");
+        assert_eq!(c.stats().deletes, 1);
+    }
+
+    #[test]
+    fn container_efficiency_stays_perfect_without_supersets() {
+        let mut c = cache(1000);
+        c.request(&spec(&[1, 2]));
+        c.request(&spec(&[3, 4, 5]));
+        c.request(&spec(&[1, 2]));
+        assert_eq!(c.container_efficiency_pct(), 100.0);
+    }
+
+    #[test]
+    fn oversized_request_is_kept_alone() {
+        let mut c = cache(2);
+        c.request(&spec(&[1, 2, 3, 4]));
+        assert_eq!(c.len(), 1);
+        assert!(c.stats().total_bytes > 2);
+    }
+
+    #[test]
+    fn requested_bytes_accumulate() {
+        let mut c = cache(100);
+        c.request(&spec(&[1, 2]));
+        c.request(&spec(&[1, 2]));
+        assert_eq!(c.stats().bytes_requested, 4);
+        assert_eq!(c.stats().bytes_written, 2, "hit writes nothing");
+    }
+}

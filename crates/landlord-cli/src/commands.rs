@@ -1,0 +1,591 @@
+//! Subcommand implementations for the `landlord` binary.
+
+use crate::args::Args;
+use crate::persistent::PersistentCache;
+use landlord_repo::sampler::{Sampler, SelectionScheme};
+use landlord_repo::{persist, RepoConfig, Repository};
+use landlord_sim::experiments::{self, ExperimentContext, Scale};
+use landlord_sim::report::{fmt_gb, fmt_pct, fmt_tb, Table};
+use landlord_sim::{simulator, workload};
+use landlord_shrinkwrap::filetree::FileTreeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::error::Error;
+use std::path::Path;
+
+/// Any command error (message already formatted for the user).
+pub type CmdResult = Result<(), Box<dyn Error>>;
+
+/// Usage text.
+pub const USAGE: &str = "\
+landlord — specification-level container image management (LANDLORD, IPDPS 2020)
+
+USAGE:
+  landlord gen-repo   --out FILE [--packages N] [--total-gb G] [--seed S]
+  landlord stats      --repo FILE
+  landlord submit     --cache-dir DIR (--repo FILE | --seed S) [--select N]
+                      [--alpha A] [--limit-gb G] [--job-seed S]
+  landlord simulate   [--scale full|smoke] [--alpha A] [--cache-x M]
+                      [--jobs N] [--repeats R] [--seed S] [--trace FILE]
+  landlord trace      --out FILE [--scale full|smoke] [--seed S]
+  landlord experiment <id|all> [--scale full|smoke] [--seed S]
+                      [--threads T] [--csv-dir DIR] [--plot-dir DIR]
+  landlord spec-from  --repo FILE (--python F | --modules F | --joblog F)...
+                      [--out SPEC.json]
+  landlord verify     --cache-dir DIR
+  landlord gc         --cache-dir DIR [--repo FILE | --seed S] [--prune yes]
+  landlord help
+
+Experiment ids: fig1 fig2 fig3 fig4 fig4a fig4b fig4c fig5 fig6a fig6b
+fig6c fig6d fig7 fig8 ablation-evict ablation-merge-order
+ablation-candidates ablation-split ablation-metric ext-cluster
+ext-usermix ext-update
+";
+
+fn parse_scale(args: &Args) -> Result<Scale, Box<dyn Error>> {
+    match args.get_or("scale", "smoke") {
+        "full" => Ok(Scale::Full),
+        "smoke" => Ok(Scale::Smoke),
+        other => Err(format!("unknown --scale {other:?} (full|smoke)").into()),
+    }
+}
+
+/// `landlord gen-repo`
+pub fn gen_repo(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let packages = args.get_parsed("packages", 9660usize, "a package count")?;
+    let total_gb = args.get_parsed("total-gb", 700.0f64, "a size in GB")?;
+    let cfg = RepoConfig {
+        package_count: packages,
+        total_bytes: (total_gb * 1e9) as u64,
+        ..RepoConfig::sft_like(seed)
+    };
+    let repo = Repository::generate(&cfg);
+    persist::save_json(&repo, Path::new(out))?;
+    println!(
+        "wrote {out}: {} packages, {} edges, {} GB",
+        repo.package_count(),
+        repo.graph().edge_count(),
+        fmt_gb(repo.total_bytes() as f64)
+    );
+    Ok(())
+}
+
+/// `landlord stats`
+pub fn stats(args: &Args) -> CmdResult {
+    let repo = persist::load_json(Path::new(args.require("repo")?))?;
+    let s = landlord_repo::stats::repo_stats(&repo);
+    let mut t = Table::new("Repository statistics", &["metric", "value"]);
+    t.push_row(vec!["packages".into(), s.package_count.to_string()]);
+    t.push_row(vec!["products".into(), repo.catalog().product_count().to_string()]);
+    t.push_row(vec!["edges".into(), s.edge_count.to_string()]);
+    t.push_row(vec!["total GB".into(), fmt_gb(s.total_bytes as f64)]);
+    t.push_row(vec!["max depth".into(), s.max_depth.to_string()]);
+    t.push_row(vec!["mean fan-out".into(), format!("{:.2}", s.mean_fan_out)]);
+    t.push_row(vec!["max fan-in".into(), s.max_fan_in.to_string()]);
+    t.push_row(vec!["median pkg MB".into(), format!("{:.1}", s.median_package_bytes as f64 / 1e6)]);
+    print!("{}", t.render());
+
+    let mut h = Table::new("Fan-in distribution (log buckets)", &["fan_in >=", "packages"]);
+    for (lb, count) in landlord_repo::stats::fan_in_histogram(&repo).buckets() {
+        h.push_row(vec![lb.to_string(), count.to_string()]);
+    }
+    print!("{}", h.render());
+
+    let mut top = Table::new("Most depended-upon packages", &["package", "layer", "fan_in"]);
+    for (p, fan_in) in landlord_repo::stats::top_fan_in(&repo, 8) {
+        let meta = repo.meta(p);
+        top.push_row(vec![meta.spec_string(), meta.layer.to_string(), fan_in.to_string()]);
+    }
+    print!("{}", top.render());
+    Ok(())
+}
+
+/// `landlord submit`
+pub fn submit(args: &Args) -> CmdResult {
+    let cache_dir = args.require("cache-dir")?;
+    let repo = match args.get("repo") {
+        Some(path) => persist::load_json(Path::new(path))?,
+        None => {
+            let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+            Repository::generate(&RepoConfig::small_for_tests(seed))
+        }
+    };
+    let alpha = args.get_parsed("alpha", 0.8f64, "a float in [0,1]")?;
+    let limit_gb = args.get_parsed("limit-gb", 1000.0f64, "a size in GB")?;
+    let select = args.get_parsed("select", 3usize, "a selection size")?;
+    let job_seed = args.get_parsed("job-seed", 7u64, "an integer seed")?;
+
+    // Draw a job: random selection expanded by its dependency closure —
+    // exactly what a spec file generated from `pip imports` or `module
+    // load` logs would contain.
+    let sampler = Sampler::new(&repo);
+    let mut rng = StdRng::seed_from_u64(job_seed);
+    let seeds = sampler.sample_distinct(&mut rng, SelectionScheme::UniformRandom, select);
+    let spec = repo.closure_spec(&seeds);
+
+    let mut cache = PersistentCache::open(
+        Path::new(cache_dir),
+        alpha,
+        (limit_gb * 1e9) as u64,
+        FileTreeConfig::miniature(),
+    )?;
+    let decision = cache.submit(&repo, &spec)?;
+    let verb = match &decision {
+        crate::persistent::Decision::Hit { .. } => "HIT   ",
+        crate::persistent::Decision::Merged { .. } => "MERGE ",
+        crate::persistent::Decision::Inserted { .. } => "INSERT",
+    };
+    println!(
+        "{verb} job({} pkgs, {} GB logical) -> {}",
+        spec.len(),
+        fmt_gb(spec.iter().map(|p| repo.meta(p).bytes).sum::<u64>() as f64),
+        decision.image_path().display()
+    );
+    println!(
+        "cache: {} images, {} GB logical",
+        cache.images().len(),
+        fmt_gb(cache.total_logical_bytes() as f64)
+    );
+    Ok(())
+}
+
+/// `landlord simulate`
+pub fn simulate(args: &Args) -> CmdResult {
+    let scale = parse_scale(args)?;
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let ctx = ExperimentContext { scale, seed, threads: 1 };
+    let repo = ctx.repo();
+    let alpha = args.get_parsed("alpha", 0.75f64, "a float in [0,1]")?;
+    let cache_x = args.get_parsed("cache-x", 2.0f64, "a repo-size multiple")?;
+    let mut w = ctx.standard_workload();
+    w.unique_jobs = args.get_parsed("jobs", w.unique_jobs, "a job count")?;
+    w.repeats = args.get_parsed("repeats", w.repeats, "a repeat count")?;
+
+    let cache = landlord_core::cache::CacheConfig {
+        alpha,
+        limit_bytes: (repo.total_bytes() as f64 * cache_x) as u64,
+        ..Default::default()
+    };
+    // --trace FILE replays a recorded stream instead of generating one.
+    let result = match args.get("trace") {
+        Some(path) => {
+            let trace = landlord_sim::trace::Trace::load(Path::new(path))?;
+            let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
+                std::sync::Arc::new(repo.size_table());
+            simulator::simulate_stream(&trace.requests, cache, sizes, None, 0)
+        }
+        None => simulator::simulate(&repo, &w, cache, 0),
+    };
+    let s = result.final_stats;
+    let mut t = Table::new(
+        format!("Simulation (alpha={alpha}, cache={cache_x}x repo, {} requests)", s.requests),
+        &["metric", "value"],
+    );
+    t.push_row(vec!["hits".into(), s.hits.to_string()]);
+    t.push_row(vec!["merges".into(), s.merges.to_string()]);
+    t.push_row(vec!["inserts".into(), s.inserts.to_string()]);
+    t.push_row(vec!["deletes".into(), s.deletes.to_string()]);
+    t.push_row(vec!["cached GB".into(), fmt_gb(s.total_bytes as f64)]);
+    t.push_row(vec!["unique GB".into(), fmt_gb(s.unique_bytes as f64)]);
+    t.push_row(vec!["written TB".into(), fmt_tb(s.bytes_written as f64)]);
+    t.push_row(vec!["requested TB".into(), fmt_tb(s.bytes_requested as f64)]);
+    t.push_row(vec!["cache eff %".into(), fmt_pct(result.cache_eff_pct)]);
+    t.push_row(vec!["container eff %".into(), fmt_pct(result.container_eff_pct)]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// `landlord experiment`
+pub fn experiment(args: &Args) -> CmdResult {
+    let id = args
+        .positional()
+        .first()
+        .ok_or("experiment needs an id (or 'all'); see `landlord help`")?
+        .clone();
+    let scale = parse_scale(args)?;
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let threads = args.get_parsed("threads", 4usize, "a thread count")?;
+    let ctx = ExperimentContext { scale, seed, threads };
+
+    let ids: Vec<&str> = if id == "all" {
+        experiments::all_ids().to_vec()
+    } else {
+        vec![id.as_str()]
+    };
+    for id in ids {
+        let tables = experiments::run(id, &ctx)
+            .ok_or_else(|| format!("unknown experiment {id:?}; see `landlord help`"))?;
+        for (k, table) in tables.iter().enumerate() {
+            print!("{}", table.render());
+            println!();
+            let suffix = if tables.len() > 1 { format!("-{k}") } else { String::new() };
+            if let Some(dir) = args.get("csv-dir") {
+                std::fs::create_dir_all(dir)?;
+                let path = Path::new(dir).join(format!("{id}{suffix}.csv"));
+                std::fs::write(&path, table.to_csv())?;
+                eprintln!("[csv] {}", path.display());
+            }
+            if let Some(dir) = args.get("plot-dir") {
+                table.write_gnuplot(Path::new(dir), &format!("{id}{suffix}"))?;
+                eprintln!("[gnuplot] {}/{id}{suffix}.gp", dir);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generate a workload and save it as a trace file.
+pub fn trace(args: &Args) -> CmdResult {
+    let out = args.require("out")?;
+    let scale = parse_scale(args)?;
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let ctx = ExperimentContext { scale, seed, threads: 1 };
+    let repo = ctx.repo();
+    let w = ctx.standard_workload();
+    let stream = workload::generate_stream(&repo, &w);
+    let trace = landlord_sim::trace::Trace::new(
+        format!("standard workload, scale={scale:?}, seed={seed}"),
+        w.seed,
+        stream,
+    );
+    trace.save(Path::new(out))?;
+    println!("wrote {out}: {} requests", trace.len());
+    Ok(())
+}
+
+/// `landlord spec-from` — infer a container specification from job
+/// artifacts (the paper's §V analysis tools: Python imports, module
+/// load directives, or access logs from previous runs).
+pub fn spec_from(args: &Args) -> CmdResult {
+    use landlord_specgen::{dedup_requirements, joblog, modules, python, resolve::Resolver};
+
+    let repo = persist::load_json(Path::new(args.require("repo")?))?;
+    let mut reqs = Vec::new();
+    let mut any_source = false;
+    if let Some(path) = args.get("python") {
+        reqs.extend(python::scan(&std::fs::read_to_string(path)?));
+        any_source = true;
+    }
+    if let Some(path) = args.get("modules") {
+        reqs.extend(modules::scan(&std::fs::read_to_string(path)?));
+        any_source = true;
+    }
+    if let Some(path) = args.get("joblog") {
+        reqs.extend(joblog::scan(&std::fs::read_to_string(path)?, &joblog::LogFormat::default()));
+        any_source = true;
+    }
+    if !any_source {
+        return Err("spec-from needs at least one of --python/--modules/--joblog".into());
+    }
+    let reqs = dedup_requirements(reqs);
+    println!("extracted {} requirement(s): {}", reqs.len(),
+        reqs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", "));
+
+    let resolver = Resolver::new(&repo);
+    let (spec, unresolved) = resolver.resolve_to_closure(&reqs);
+    for r in &unresolved {
+        eprintln!("warning: unresolved requirement {r}");
+    }
+    println!(
+        "specification: {} packages after dependency closure, {} GB",
+        spec.len(),
+        fmt_gb(spec.iter().map(|p| repo.meta(p).bytes).sum::<u64>() as f64)
+    );
+    if let Some(out) = args.get("out") {
+        std::fs::write(out, serde_json::to_vec_pretty(&spec)?)?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
+/// `landlord verify` — fsck a cache directory: every indexed image
+/// must exist, parse as a valid LLIMG, and match its recorded sizes;
+/// every object in the content store must match its hash.
+pub fn verify(args: &Args) -> CmdResult {
+    use landlord_shrinkwrap::ImageReader;
+    use landlord_store::{ContentHash, ObjectStore};
+
+    let cache_dir = std::path::PathBuf::from(args.require("cache-dir")?);
+    let cache = PersistentCache::open(
+        &cache_dir,
+        0.8, // policy knobs are irrelevant to verification
+        u64::MAX,
+        FileTreeConfig::miniature(),
+    )?;
+
+    let mut problems = 0usize;
+    for img in cache.images() {
+        let path = cache_dir.join("images").join(format!("{}.llimg", img.id));
+        if !path.exists() {
+            eprintln!("MISSING image file {}", path.display());
+            problems += 1;
+            continue;
+        }
+        let on_disk = std::fs::metadata(&path)?.len();
+        if on_disk != img.physical_bytes {
+            eprintln!(
+                "SIZE mismatch {}: {} on disk vs {} recorded",
+                path.display(),
+                on_disk,
+                img.physical_bytes
+            );
+            problems += 1;
+        }
+        match ImageReader::parse(std::fs::File::open(&path)?) {
+            Ok(parsed) => {
+                if parsed.is_empty() && !img.spec.is_empty() {
+                    eprintln!("EMPTY image {} for non-empty spec", path.display());
+                    problems += 1;
+                }
+            }
+            Err(e) => {
+                eprintln!("CORRUPT image {}: {e}", path.display());
+                problems += 1;
+            }
+        }
+    }
+
+    let mut bad_objects = 0usize;
+    for hash in cache.store().hashes() {
+        match cache.store().get(hash)? {
+            Some(data) if ContentHash::of(&data) == hash => {}
+            Some(_) => {
+                eprintln!("OBJECT hash mismatch {hash}");
+                bad_objects += 1;
+            }
+            None => {
+                eprintln!("OBJECT indexed but unreadable {hash}");
+                bad_objects += 1;
+            }
+        }
+    }
+
+    println!(
+        "verified {} images and {} objects: {} image problem(s), {} object problem(s)",
+        cache.images().len(),
+        cache.store().object_count(),
+        problems,
+        bad_objects
+    );
+    if problems + bad_objects > 0 {
+        return Err(format!("{} problem(s) found", problems + bad_objects).into());
+    }
+    Ok(())
+}
+
+/// `landlord gc` — report (and with `--prune yes`, delete) objects in a
+/// cache directory that no live image references. Evictions remove
+/// image files but leave shared objects behind; this reclaims them.
+pub fn gc(args: &Args) -> CmdResult {
+    use landlord_store::ObjectStore;
+
+    let cache_dir = std::path::PathBuf::from(args.require("cache-dir")?);
+    let repo = match args.get("repo") {
+        Some(path) => persist::load_json(Path::new(path))?,
+        None => {
+            let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+            Repository::generate(&RepoConfig::small_for_tests(seed))
+        }
+    };
+    let cache =
+        PersistentCache::open(&cache_dir, 0.8, u64::MAX, FileTreeConfig::miniature())?;
+    let orphans = cache.orphaned_objects(&repo);
+    println!(
+        "store: {} objects, {} KB; {} orphaned object(s)",
+        cache.store().object_count(),
+        cache.store().stored_bytes() / 1000,
+        orphans.len()
+    );
+    if args.get_or("prune", "no") == "yes" {
+        let (count, freed) = cache.prune(&repo)?;
+        println!("pruned {count} object(s), freed {freed} bytes");
+    } else if !orphans.is_empty() {
+        println!("run with --prune yes to reclaim");
+    }
+    Ok(())
+}
+
+/// Dispatch a subcommand by name.
+pub fn dispatch(cmd: &str, args: &Args) -> CmdResult {
+    match cmd {
+        "gen-repo" => gen_repo(args),
+        "stats" => stats(args),
+        "submit" => submit(args),
+        "simulate" => simulate(args),
+        "experiment" => experiment(args),
+        "trace" => trace(args),
+        "spec-from" => spec_from(args),
+        "verify" => verify(args),
+        "gc" => gc(args),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn unknown_command_errors_with_usage() {
+        let err = dispatch("frobnicate", &args(&[])).unwrap_err();
+        assert!(err.to_string().contains("unknown command"));
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn help_succeeds() {
+        dispatch("help", &args(&[])).unwrap();
+    }
+
+    #[test]
+    fn experiment_requires_id() {
+        let err = experiment(&args(&["--scale", "smoke"])).unwrap_err();
+        assert!(err.to_string().contains("needs an id"));
+    }
+
+    #[test]
+    fn experiment_rejects_unknown_id() {
+        let err = experiment(&args(&["fig99", "--scale", "smoke"])).unwrap_err();
+        assert!(err.to_string().contains("unknown experiment"));
+    }
+
+    #[test]
+    fn simulate_smoke_runs() {
+        simulate(&args(&["--scale", "smoke", "--jobs", "10", "--repeats", "2"])).unwrap();
+    }
+
+    #[test]
+    fn gen_repo_and_stats_round_trip() {
+        let path = std::env::temp_dir().join(format!("landlord-cli-repo-{}.json", std::process::id()));
+        gen_repo(&args(&[
+            "--out",
+            path.to_str().unwrap(),
+            "--packages",
+            "300",
+            "--total-gb",
+            "1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        stats(&args(&["--repo", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spec_from_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("landlord-specfrom-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let repo_path = dir.join("repo.json");
+        gen_repo(&args(&[
+            "--out",
+            repo_path.to_str().unwrap(),
+            "--packages",
+            "300",
+            "--total-gb",
+            "1",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+
+        // Load a real package by name from the generated universe.
+        let repo = persist::load_json(&repo_path).unwrap();
+        let pkg = repo.meta(landlord_core::spec::PackageId(repo.package_count() as u32 - 1));
+        let modules_path = dir.join("job.sh");
+        std::fs::write(
+            &modules_path,
+            format!("#!/bin/bash\nmodule load {}/{}\n", pkg.name, pkg.version),
+        )
+        .unwrap();
+
+        let out = dir.join("spec.json");
+        spec_from(&args(&[
+            "--repo",
+            repo_path.to_str().unwrap(),
+            "--modules",
+            modules_path.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let spec: landlord_core::spec::Spec =
+            serde_json::from_slice(&std::fs::read(&out).unwrap()).unwrap();
+        assert!(spec.contains(pkg.id));
+        assert!(spec.len() > 1, "closure expansion must have happened");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn spec_from_requires_a_source() {
+        let dir = std::env::temp_dir().join(format!("landlord-specfrom2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let repo_path = dir.join("repo.json");
+        gen_repo(&args(&[
+            "--out", repo_path.to_str().unwrap(), "--packages", "300",
+            "--total-gb", "1", "--seed", "3",
+        ]))
+        .unwrap();
+        let err = spec_from(&args(&["--repo", repo_path.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("at least one"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_smoke() {
+        let dir = std::env::temp_dir().join(format!("landlord-cli-cache-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        submit(&args(&["--cache-dir", dir.to_str().unwrap(), "--seed", "5"])).unwrap();
+        submit(&args(&["--cache-dir", dir.to_str().unwrap(), "--seed", "5"])).unwrap();
+        // A freshly submitted cache passes verification…
+        verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
+        // …and corrupting an image file fails it.
+        let images: Vec<_> = std::fs::read_dir(dir.join("images"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert!(!images.is_empty());
+        std::fs::write(&images[0], b"garbage").unwrap();
+        let err = verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("problem"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod trace_replay_tests {
+    use super::*;
+
+    fn args(toks: &[&str]) -> Args {
+        Args::parse(toks.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn trace_record_then_replay() {
+        let dir = std::env::temp_dir().join(format!("landlord-trace-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.json");
+        trace(&args(&["--out", path.to_str().unwrap(), "--scale", "smoke", "--seed", "3"]))
+            .unwrap();
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--seed",
+            "3",
+            "--trace",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,17 @@
+//! # landlord-cli
+//!
+//! The `landlord` command-line tool: the paper's "lightweight job
+//! wrapper" deployment (§V, "LANDLORD Deployment") plus the experiment
+//! runner.
+//!
+//! * [`persistent`] — a durable image cache directory: LLIMG files
+//!   built by shrinkwrap plus a JSON state file, managed with
+//!   Algorithm 1 (hit / merge / insert + LRU eviction) across process
+//!   lifetimes. This is what `landlord submit` drives.
+//! * [`args`] — dependency-free flag parsing for the subcommands.
+//! * [`commands`] — one function per subcommand; `main` just
+//!   dispatches.
+
+pub mod args;
+pub mod commands;
+pub mod persistent;

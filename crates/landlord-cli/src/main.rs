@@ -1,0 +1,24 @@
+//! `landlord` — specification-level container image management.
+//!
+//! See `landlord help` (or [`landlord_cli::commands::USAGE`]) for the
+//! subcommands. Implementation lives in the library so it is testable;
+//! this binary only dispatches.
+
+use landlord_cli::args::Args;
+use landlord_cli::commands;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let cmd = argv.next().unwrap_or_else(|| "help".to_string());
+    let args = match Args::parse(argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = commands::dispatch(&cmd, &args) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

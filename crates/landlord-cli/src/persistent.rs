@@ -1,0 +1,431 @@
+//! A durable LANDLORD cache directory.
+//!
+//! `landlord submit` is the paper's deployment story: "on job
+//! submission, LANDLORD first scans its configured cache directory for
+//! existing images that are 'close' to the job's specification,
+//! creates/updates images in the cache as necessary, and finally
+//! launches the job inside the prepared container."
+//!
+//! Layout of a cache directory:
+//!
+//! ```text
+//! <dir>/state.json      image index (specs, sizes, usage clocks)
+//! <dir>/objects/…       content-addressed store (shrinkwrap source)
+//! <dir>/images/N.llimg  materialized container images
+//! ```
+//!
+//! Decisions follow Algorithm 1 exactly (hit / merge / insert, then
+//! LRU eviction down to the logical byte limit). Logical bytes — the
+//! repository package sizes — drive all policy decisions; physical
+//! bytes on disk are scaled down by the file-tree config so a laptop
+//! can host a "terabyte" cache.
+
+use landlord_core::jaccard::jaccard_distance;
+use landlord_core::spec::Spec;
+use landlord_repo::Repository;
+use landlord_shrinkwrap::filetree::FileTreeConfig;
+use landlord_shrinkwrap::Shrinkwrap;
+use landlord_store::DiskStore;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One image in the persistent index.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredImage {
+    /// Stable id (also the image file name).
+    pub id: u64,
+    /// Capability specification.
+    pub spec: Spec,
+    /// Logical bytes (policy accounting).
+    pub logical_bytes: u64,
+    /// Physical bytes of the LLIMG file.
+    pub physical_bytes: u64,
+    /// LRU clock of last use.
+    pub last_used: u64,
+}
+
+/// The serialized cache state.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct State {
+    next_id: u64,
+    clock: u64,
+    images: Vec<StoredImage>,
+}
+
+/// What `submit` did for a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// An existing image satisfied the spec.
+    Hit {
+        /// Path to the image to launch with.
+        image: PathBuf,
+    },
+    /// A close image was merged and rebuilt.
+    Merged {
+        /// Path to the merged image.
+        image: PathBuf,
+    },
+    /// A fresh image was built.
+    Inserted {
+        /// Path to the new image.
+        image: PathBuf,
+    },
+}
+
+impl Decision {
+    /// The image path for the job, whatever the decision was.
+    pub fn image_path(&self) -> &Path {
+        match self {
+            Decision::Hit { image } | Decision::Merged { image } | Decision::Inserted { image } => {
+                image
+            }
+        }
+    }
+}
+
+/// A cache directory handle.
+pub struct PersistentCache {
+    dir: PathBuf,
+    alpha: f64,
+    limit_logical_bytes: u64,
+    tree_config: FileTreeConfig,
+    store: DiskStore,
+    state: State,
+}
+
+impl PersistentCache {
+    /// Open (or initialize) a cache directory.
+    pub fn open(
+        dir: &Path,
+        alpha: f64,
+        limit_logical_bytes: u64,
+        tree_config: FileTreeConfig,
+    ) -> io::Result<Self> {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        std::fs::create_dir_all(dir.join("images"))?;
+        let store = DiskStore::open(&dir.join("objects"))?;
+        let state_path = dir.join("state.json");
+        let state = if state_path.exists() {
+            serde_json::from_slice(&std::fs::read(&state_path)?)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        } else {
+            State::default()
+        };
+        Ok(PersistentCache {
+            dir: dir.to_path_buf(),
+            alpha,
+            limit_logical_bytes,
+            tree_config,
+            store,
+            state,
+        })
+    }
+
+    /// Images currently cached.
+    pub fn images(&self) -> &[StoredImage] {
+        &self.state.images
+    }
+
+    /// Total logical bytes cached.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.state.images.iter().map(|i| i.logical_bytes).sum()
+    }
+
+    /// The content-addressed object store backing the images.
+    pub fn store(&self) -> &DiskStore {
+        &self.store
+    }
+
+    fn image_path(&self, id: u64) -> PathBuf {
+        self.dir.join("images").join(format!("{id}.llimg"))
+    }
+
+    fn save_state(&self) -> io::Result<()> {
+        let bytes = serde_json::to_vec_pretty(&self.state)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let tmp = self.dir.join("state.json.tmp");
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(tmp, self.dir.join("state.json"))
+    }
+
+    fn build_image(&self, repo: &Repository, id: u64, spec: &Spec) -> io::Result<StoredImage> {
+        let sw = Shrinkwrap::new(repo, &self.store, self.tree_config);
+        let path = self.image_path(id);
+        let report = sw.build_to_path(spec, &path)?;
+        Ok(StoredImage {
+            id,
+            spec: spec.clone(),
+            logical_bytes: report.logical_bytes,
+            physical_bytes: std::fs::metadata(&path)?.len(),
+            last_used: 0,
+        })
+    }
+
+    /// Process one job specification (Algorithm 1), materializing
+    /// images on disk as needed. The spec must already include its
+    /// dependency closure.
+    pub fn submit(&mut self, repo: &Repository, spec: &Spec) -> io::Result<Decision> {
+        self.state.clock += 1;
+        let now = self.state.clock;
+
+        // 1. Existing image satisfies the spec (smallest wins).
+        if let Some(idx) = self
+            .state
+            .images
+            .iter()
+            .enumerate()
+            .filter(|(_, img)| spec.is_subset(&img.spec))
+            .min_by_key(|(_, img)| (img.logical_bytes, img.id))
+            .map(|(i, _)| i)
+        {
+            let id = {
+                let img = &mut self.state.images[idx];
+                img.last_used = now;
+                img.id
+            };
+            let path = self.image_path(id);
+            self.save_state()?;
+            return Ok(Decision::Hit { image: path });
+        }
+
+        // 2. Merge into the nearest non-conflicting candidate.
+        //    (CVMFS semantics: nothing conflicts.)
+        let candidate = self
+            .state
+            .images
+            .iter()
+            .enumerate()
+            .map(|(i, img)| (i, jaccard_distance(spec, &img.spec)))
+            .filter(|(_, d)| *d < self.alpha)
+            .min_by(|a, b| a.1.total_cmp(&b.1));
+        if let Some((idx, _)) = candidate {
+            let old = self.state.images[idx].clone();
+            let merged_spec = old.spec.union(spec);
+            let mut rebuilt = self.build_image(repo, old.id, &merged_spec)?;
+            rebuilt.last_used = now;
+            self.state.images[idx] = rebuilt;
+            self.evict_to_limit(old.id)?;
+            self.save_state()?;
+            return Ok(Decision::Merged { image: self.image_path(old.id) });
+        }
+
+        // 3. Fresh insert.
+        let id = self.state.next_id;
+        self.state.next_id += 1;
+        let mut img = self.build_image(repo, id, spec)?;
+        img.last_used = now;
+        self.state.images.push(img);
+        self.evict_to_limit(id)?;
+        self.save_state()?;
+        Ok(Decision::Inserted { image: self.image_path(id) })
+    }
+
+    fn evict_to_limit(&mut self, protect: u64) -> io::Result<()> {
+        while self.total_logical_bytes() > self.limit_logical_bytes {
+            let victim = self
+                .state
+                .images
+                .iter()
+                .filter(|img| img.id != protect)
+                .min_by_key(|img| (img.last_used, img.id))
+                .map(|img| img.id);
+            let Some(victim) = victim else { break };
+            self.state.images.retain(|img| img.id != victim);
+            let path = self.image_path(victim);
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_core::spec::PackageId;
+    use landlord_repo::RepoConfig;
+    use landlord_shrinkwrap::ImageReader;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-pc-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(61))
+    }
+
+    #[test]
+    fn insert_hit_merge_cycle() {
+        let dir = temp_dir("cycle");
+        let r = repo();
+        let mut cache =
+            PersistentCache::open(&dir, 0.9, u64::MAX, FileTreeConfig::miniature()).unwrap();
+
+        let a = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+        let d1 = cache.submit(&r, &a).unwrap();
+        assert!(matches!(d1, Decision::Inserted { .. }));
+        assert!(d1.image_path().exists());
+
+        let d2 = cache.submit(&r, &a).unwrap();
+        assert!(matches!(d2, Decision::Hit { .. }));
+
+        // A near spec merges: the same closure plus one more seed.
+        let b = r.closure_spec(&[
+            PackageId(r.package_count() as u32 - 1),
+            PackageId(r.package_count() as u32 - 2),
+        ]);
+        let d3 = cache.submit(&r, &b).unwrap();
+        assert!(matches!(d3, Decision::Merged { .. }), "got {d3:?}");
+        assert_eq!(cache.images().len(), 1);
+
+        // The merged image file is a valid LLIMG covering the union.
+        let img = ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
+        assert!(!img.is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn state_survives_reopen() {
+        let dir = temp_dir("reopen");
+        let r = repo();
+        let spec = r.closure_spec(&[PackageId(0)]);
+        {
+            let mut cache =
+                PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
+            cache.submit(&r, &spec).unwrap();
+        }
+        let mut cache =
+            PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
+        assert_eq!(cache.images().len(), 1);
+        let d = cache.submit(&r, &spec).unwrap();
+        assert!(matches!(d, Decision::Hit { .. }), "persisted image must hit");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn eviction_removes_files() {
+        let dir = temp_dir("evict");
+        let r = repo();
+        // Tiny logical limit forces eviction after the second insert.
+        let first = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+        let first_bytes: u64 = first.iter().map(|p| r.meta(p).bytes).sum();
+        let mut cache =
+            PersistentCache::open(&dir, 0.0, first_bytes + 1, FileTreeConfig::miniature())
+                .unwrap();
+        let d1 = cache.submit(&r, &first).unwrap();
+        // A disjoint-ish second spec (alpha 0 forbids merging anyway).
+        let second = r.closure_spec(&[PackageId(r.package_count() as u32 - 7)]);
+        let d2 = cache.submit(&r, &second).unwrap();
+        assert!(matches!(d2, Decision::Inserted { .. }));
+        assert_eq!(cache.images().len(), 1, "first image evicted");
+        assert!(!d1.image_path().exists(), "evicted file must be deleted");
+        assert!(d2.image_path().exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Garbage collection over a cache directory's object store.
+///
+/// Image evictions delete the `.llimg` files but leave their source
+/// objects behind (another live image may share them). These methods
+/// find — and optionally delete — objects no live image references.
+impl PersistentCache {
+    /// Hashes of every object referenced by the live images, recomputed
+    /// deterministically from their specs and the tree config.
+    fn live_hashes(&self, repo: &Repository) -> std::collections::HashSet<landlord_store::ContentHash> {
+        use landlord_shrinkwrap::filetree;
+        let mut live = std::collections::HashSet::new();
+        for img in &self.state.images {
+            for pkg in img.spec.iter() {
+                for file in filetree::package_tree(repo.meta(pkg), &self.tree_config) {
+                    live.insert(landlord_store::ContentHash::of(&filetree::file_contents(
+                        &file,
+                    )));
+                }
+            }
+        }
+        live
+    }
+
+    /// Objects in the store that no live image references.
+    pub fn orphaned_objects(&self, repo: &Repository) -> Vec<landlord_store::ContentHash> {
+        use landlord_store::ObjectStore;
+        let live = self.live_hashes(repo);
+        self.store.hashes().into_iter().filter(|h| !live.contains(h)).collect()
+    }
+
+    /// Delete every orphaned object; returns `(objects, bytes)` freed.
+    pub fn prune(&self, repo: &Repository) -> io::Result<(usize, u64)> {
+        let orphans = self.orphaned_objects(repo);
+        let mut freed = 0u64;
+        for &hash in &orphans {
+            freed += self.store.remove(hash)?;
+        }
+        Ok((orphans.len(), freed))
+    }
+}
+
+#[cfg(test)]
+mod gc_tests {
+    use super::*;
+    use landlord_core::spec::PackageId;
+    use landlord_repo::RepoConfig;
+    use landlord_store::ObjectStore;
+
+    #[test]
+    fn eviction_orphans_objects_and_prune_reclaims_them() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-pc-gc-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let repo = Repository::generate(&RepoConfig::small_for_tests(61));
+        let n = repo.package_count() as u32;
+
+        // Limit sized to hold exactly one image at a time; alpha 0
+        // forbids merging, so the second submit evicts the first.
+        let first = repo.closure_spec(&[PackageId(n - 1)]);
+        let first_bytes: u64 = first.iter().map(|p| repo.meta(p).bytes).sum();
+        let mut cache = PersistentCache::open(
+            &dir,
+            0.0,
+            first_bytes + 1,
+            landlord_shrinkwrap::filetree::FileTreeConfig::miniature(),
+        )
+        .unwrap();
+
+        cache.submit(&repo, &first).unwrap();
+        assert!(cache.orphaned_objects(&repo).is_empty(), "everything live initially");
+
+        let second = repo.closure_spec(&[PackageId(n - 7)]);
+        cache.submit(&repo, &second).unwrap();
+        assert_eq!(cache.images().len(), 1, "first image evicted");
+
+        let orphans = cache.orphaned_objects(&repo);
+        assert!(!orphans.is_empty(), "evicted image must orphan objects");
+
+        let before = cache.store().stored_bytes();
+        let (count, freed) = cache.prune(&repo).unwrap();
+        assert_eq!(count, orphans.len());
+        assert!(freed > 0);
+        assert_eq!(cache.store().stored_bytes(), before - freed);
+        assert!(cache.orphaned_objects(&repo).is_empty(), "prune is complete");
+
+        // The live image still verifies: pruning touched only garbage.
+        let live_img = cache.images()[0].clone();
+        let d = cache.submit(&repo, &live_img.spec).unwrap();
+        assert!(matches!(d, Decision::Hit { .. }));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,1268 @@
+//! The LANDLORD image cache — the paper's Algorithm 1 plus byte-bounded
+//! eviction and full operation accounting.
+//!
+//! For each submitted specification `s` the cache:
+//!
+//! 1. **Hit** — if any cached image `i` satisfies `s ⊆ i`, reuse it.
+//!    (We pick the *smallest* satisfying image, which maximizes
+//!    container efficiency; Algorithm 1 as printed returns the first
+//!    match, which is iteration-order dependent.)
+//! 2. **Merge** — otherwise, consider images `j` with Jaccard distance
+//!    `d_j(s, j) < α`, ordered by the configured
+//!    [`crate::policy::MergeOrder`] (nearest-first by
+//!    default, the paper's "selection can be sorted by dj()"). The first
+//!    candidate that does not conflict with `s` is replaced in place by
+//!    `merge(s, j)` — the union image — and the whole merged image is
+//!    rewritten (the dominant I/O cost the paper measures in Fig. 4c).
+//! 3. **Insert** — otherwise a fresh image for exactly `s` is created.
+//!
+//! After a merge or insert, least-valuable images are evicted until the
+//! total cached bytes drop back under the limit ("inserts and deletes
+//! are filling and emptying the cache such that it remains close to its
+//! storage limit", §VI).
+//!
+//! The cache maintains, incrementally, the quantities behind the paper's
+//! metrics: total cached bytes, *unique* cached bytes (each distinct
+//! package counted once — the numerator of cache efficiency), cumulative
+//! bytes written (actual I/O) and cumulative bytes requested.
+
+use crate::conflict::{ConflictPolicy, NoConflicts};
+use crate::events::{CacheEvent, EventSink};
+use crate::image::{Image, ImageId};
+use crate::jaccard::{jaccard_distance, size_lower_bound, weighted_jaccard_distance};
+use crate::metrics::ContainerEfficiency;
+use crate::minhash::{LshIndex, LshShape, MinHasher, Signature};
+use crate::policy::{CandidateStrategy, DistanceMetric, EvictionPolicy, MergeOrder};
+use crate::sizes::SizeModel;
+use crate::spec::{PackageId, Spec};
+use crate::util::FxHashMap;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of an [`ImageCache`].
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// The merge threshold α ∈ [0, 1]: images at Jaccard distance
+    /// strictly below α are merge candidates. 0 disables merging; 1
+    /// merges anything sharing at least one package.
+    pub alpha: f64,
+    /// Cache capacity in bytes. The cache evicts down to this after
+    /// every mutation; a single image larger than the limit is kept
+    /// alone (there is no way to satisfy the job otherwise).
+    pub limit_bytes: u64,
+    /// Which image to evict when over the limit.
+    pub eviction: EvictionPolicy,
+    /// Order in which merge candidates are tried.
+    pub merge_order: MergeOrder,
+    /// How merge candidates are enumerated.
+    pub candidates: CandidateStrategy,
+    /// Seed for the MinHash hash family (only used with
+    /// [`CandidateStrategy::MinHashLsh`]).
+    pub minhash_seed: u64,
+    /// Which quantity distances are computed over: package counts (the
+    /// paper) or on-disk bytes.
+    #[serde(default)]
+    pub metric: DistanceMetric,
+    /// Automatic bloat control: when set, an image that has absorbed
+    /// this many merges is split back into its constituent request
+    /// specs before the next request is served. `None` (the paper's
+    /// configuration) relies on the Jaccard distance + LRU eviction to
+    /// age bloated images out instead.
+    #[serde(default)]
+    pub split_threshold: Option<u64>,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            alpha: 0.8,
+            limit_bytes: u64::MAX,
+            eviction: EvictionPolicy::Lru,
+            merge_order: MergeOrder::NearestFirst,
+            candidates: CandidateStrategy::ExactScan,
+            minhash_seed: 0x1a4d_10bd_2020_0048,
+            metric: DistanceMetric::default(),
+            split_threshold: None,
+        }
+    }
+}
+
+/// Monotonic counters and current totals, cheap to snapshot.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests processed.
+    pub requests: u64,
+    /// Requests satisfied by an existing image (`s ⊆ i`).
+    pub hits: u64,
+    /// Requests satisfied by merging into a close image.
+    pub merges: u64,
+    /// Requests that created a fresh image.
+    pub inserts: u64,
+    /// Images evicted to respect the byte limit.
+    pub deletes: u64,
+    /// Bloated images split back into their constituents.
+    #[serde(default)]
+    pub splits: u64,
+    /// Cumulative bytes physically written (inserted images in full,
+    /// merged images rewritten in full) — the paper's "Actual Writes".
+    pub bytes_written: u64,
+    /// Cumulative bytes the jobs asked for — the paper's "Requested
+    /// Writes"; independent of α.
+    pub bytes_requested: u64,
+    /// Current total cached bytes (sum of image sizes).
+    pub total_bytes: u64,
+    /// Current unique cached bytes (each distinct package once).
+    pub unique_bytes: u64,
+    /// Current number of cached images.
+    pub image_count: u64,
+}
+
+impl CacheStats {
+    /// Cache efficiency percentage at this snapshot.
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        crate::metrics::cache_efficiency_pct(self.unique_bytes, self.total_bytes)
+    }
+}
+
+/// The result of one `request` call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Served by an existing image.
+    Hit {
+        /// The satisfying image.
+        image: ImageId,
+        /// Size of the image actually used.
+        image_bytes: u64,
+    },
+    /// Merged into an existing image (rewritten in full).
+    Merged {
+        /// The image that absorbed the request.
+        image: ImageId,
+        /// Jaccard distance before the merge.
+        distance: f64,
+        /// Size of the merged image.
+        image_bytes: u64,
+    },
+    /// A fresh image was created for exactly this spec.
+    Inserted {
+        /// The new image.
+        image: ImageId,
+        /// Its size.
+        image_bytes: u64,
+    },
+}
+
+impl Outcome {
+    /// The image that ends up serving the request.
+    pub fn image(&self) -> ImageId {
+        match *self {
+            Outcome::Hit { image, .. }
+            | Outcome::Merged { image, .. }
+            | Outcome::Inserted { image, .. } => image,
+        }
+    }
+
+    /// Size of the image serving the request.
+    pub fn image_bytes(&self) -> u64 {
+        match *self {
+            Outcome::Hit { image_bytes, .. }
+            | Outcome::Merged { image_bytes, .. }
+            | Outcome::Inserted { image_bytes, .. } => image_bytes,
+        }
+    }
+}
+
+/// A byte-bounded container image cache implementing LANDLORD's online
+/// management algorithm. See the module docs for the full flow.
+pub struct ImageCache {
+    config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    conflicts: Arc<dyn ConflictPolicy>,
+    images: FxHashMap<u64, Image>,
+    clock: u64,
+    next_id: u64,
+    stats: CacheStats,
+    refcounts: FxHashMap<PackageId, u32>,
+    container_eff: ContainerEfficiency,
+    minhash: Option<MinHasher>,
+    lsh: Option<LshIndex>,
+    signatures: FxHashMap<u64, Signature>,
+    sink: Option<Box<dyn EventSink + Send>>,
+    /// Image flagged by the last merge for bloat splitting; processed
+    /// lazily at the start of the next request so the merge's own
+    /// outcome keeps pointing at a live image.
+    pending_split: Option<ImageId>,
+}
+
+impl ImageCache {
+    /// Create a cache with the CVMFS-style no-conflict policy.
+    pub fn new(config: CacheConfig, sizes: Arc<dyn SizeModel>) -> Self {
+        Self::with_conflicts(config, sizes, Arc::new(NoConflicts))
+    }
+
+    /// Create a cache with an explicit conflict policy.
+    pub fn with_conflicts(
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.alpha),
+            "alpha must be in [0,1], got {}",
+            config.alpha
+        );
+        let (minhash, lsh) = match config.candidates {
+            CandidateStrategy::ExactScan => (None, None),
+            CandidateStrategy::MinHashLsh { bands, rows } => (
+                Some(MinHasher::new(bands * rows, config.minhash_seed)),
+                Some(LshIndex::new(LshShape { bands, rows })),
+            ),
+        };
+        ImageCache {
+            config,
+            sizes,
+            conflicts,
+            images: FxHashMap::default(),
+            clock: 0,
+            next_id: 0,
+            stats: CacheStats::default(),
+            refcounts: FxHashMap::default(),
+            container_eff: ContainerEfficiency::new(),
+            minhash,
+            lsh,
+            signatures: FxHashMap::default(),
+            sink: None,
+            pending_split: None,
+        }
+    }
+
+    /// Reassemble a cache from checkpointed state (see
+    /// [`crate::snapshot`]). Monotonic counters come from the snapshot;
+    /// all current-state accounting (totals, refcounts, signatures) is
+    /// recomputed from the images so it can never be inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+        images: Vec<Image>,
+        clock: u64,
+        next_id: u64,
+        stats: CacheStats,
+        container_eff: ContainerEfficiency,
+    ) -> Self {
+        let mut cache = ImageCache::with_conflicts(config, sizes, conflicts);
+        cache.clock = clock;
+        cache.next_id = next_id;
+        cache.stats = stats;
+        cache.container_eff = container_eff;
+        cache.stats.total_bytes = 0;
+        cache.stats.unique_bytes = 0;
+        cache.stats.image_count = 0;
+        for img in images {
+            for p in img.spec.iter() {
+                cache.add_package_ref(p);
+            }
+            cache.stats.total_bytes += img.bytes;
+            cache.stats.image_count += 1;
+            if let Some(mh) = &cache.minhash {
+                let sig = mh.signature(&img.spec);
+                cache.lsh.as_mut().expect("lsh with minhash").insert(img.id.0, &sig);
+                cache.signatures.insert(img.id.0, sig);
+            }
+            cache.images.insert(img.id.0, img);
+        }
+        cache
+    }
+
+    /// Current logical clock (for checkpointing).
+    pub(crate) fn clock_value(&self) -> u64 {
+        self.clock
+    }
+
+    /// Next image id to allocate (for checkpointing).
+    pub(crate) fn next_id_value(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The container-efficiency accumulator (for checkpointing).
+    pub(crate) fn container_eff_state(&self) -> ContainerEfficiency {
+        self.container_eff
+    }
+
+    /// Image awaiting a bloat split, if any (for checkpointing).
+    pub(crate) fn pending_split_value(&self) -> Option<ImageId> {
+        self.pending_split
+    }
+
+    /// Restore a pending split (checkpoint restore only).
+    pub(crate) fn set_pending_split(&mut self, pending: Option<ImageId>) {
+        self.pending_split = pending;
+    }
+
+    /// Attach an event sink receiving every cache operation.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current event sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink + Send>> {
+        self.sink.take()
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Snapshot of all counters and totals.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Mean container efficiency over all requests so far (percent).
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.container_eff.mean_pct()
+    }
+
+    /// Cache efficiency right now (percent).
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        self.stats.cache_efficiency_pct()
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no images are cached.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Look up an image by id.
+    pub fn get(&self, id: ImageId) -> Option<&Image> {
+        self.images.get(&id.0)
+    }
+
+    /// Iterate over cached images in unspecified order.
+    pub fn images(&self) -> impl Iterator<Item = &Image> {
+        self.images.values()
+    }
+
+    /// Would this spec hit without mutating anything? Returns the
+    /// smallest satisfying image.
+    pub fn find_satisfying(&self, spec: &Spec) -> Option<&Image> {
+        self.images
+            .values()
+            .filter(|img| spec.len() <= img.spec.len() && spec.is_subset(&img.spec))
+            .min_by_key(|img| (img.bytes, img.id))
+    }
+
+    /// Process one job request (Algorithm 1). Exactly one of
+    /// hit/merge/insert happens, possibly followed by evictions.
+    pub fn request(&mut self, spec: &Spec) -> Outcome {
+        if let Some(id) = self.pending_split.take() {
+            self.split_image(id);
+        }
+        self.clock += 1;
+        let now = self.clock;
+        let requested_bytes = self.sizes.spec_bytes(spec);
+        self.stats.requests += 1;
+        self.stats.bytes_requested += requested_bytes;
+
+        // 1. An existing image satisfies s.
+        if let Some(id) = self.find_satisfying(spec).map(|img| img.id) {
+            let img = self.images.get_mut(&id.0).expect("image just found");
+            img.last_used = now;
+            img.use_count += 1;
+            let image_bytes = img.bytes;
+            self.stats.hits += 1;
+            self.container_eff.record(requested_bytes, image_bytes);
+            self.emit(CacheEvent::Hit { image: id, requested_bytes, image_bytes });
+            return Outcome::Hit { image: id, image_bytes };
+        }
+
+        // 2. Attempt to merge into a close-enough, non-conflicting image.
+        if self.config.alpha > 0.0 {
+            if let Some((id, distance)) = self.pick_merge_candidate(spec) {
+                let outcome = self.merge_into(id, spec, distance, requested_bytes, now);
+                self.evict_to_limit(id);
+                return outcome;
+            }
+        }
+
+        // 3. Couldn't re-use or merge: insert a fresh image.
+        let id = ImageId(self.next_id);
+        self.next_id += 1;
+        for p in spec.iter() {
+            self.add_package_ref(p);
+        }
+        let image = Image::new(id, spec.clone(), requested_bytes, now);
+        self.stats.total_bytes += requested_bytes;
+        self.stats.bytes_written += requested_bytes;
+        self.stats.inserts += 1;
+        self.stats.image_count += 1;
+        self.container_eff.record(requested_bytes, requested_bytes);
+        if let Some(mh) = &self.minhash {
+            let sig = mh.signature(spec);
+            self.lsh.as_mut().expect("lsh with minhash").insert(id.0, &sig);
+            self.signatures.insert(id.0, sig);
+        }
+        self.images.insert(id.0, image);
+        self.emit(CacheEvent::Insert { image: id, bytes: requested_bytes });
+        self.evict_to_limit(id);
+        Outcome::Inserted { image: id, image_bytes: requested_bytes }
+    }
+
+    /// Enumerate merge candidates, compute exact distances, filter by α,
+    /// order per policy, and return the first non-conflicting one.
+    fn pick_merge_candidate(&self, spec: &Spec) -> Option<(ImageId, f64)> {
+        let alpha = self.config.alpha;
+        let mut scored: Vec<(ImageId, f64)> = Vec::new();
+
+        let metric = self.config.metric;
+        let sizes = &self.sizes;
+        let consider = |img: &Image, scored: &mut Vec<(ImageId, f64)>| {
+            let d = match metric {
+                DistanceMetric::PackageCount => {
+                    // Cheap size-ratio bound prunes most far candidates
+                    // without touching the member lists.
+                    if size_lower_bound(spec.len(), img.spec.len()) >= alpha {
+                        return;
+                    }
+                    jaccard_distance(spec, &img.spec)
+                }
+                DistanceMetric::Bytes => {
+                    weighted_jaccard_distance(spec, &img.spec, sizes.as_ref())
+                }
+            };
+            if d < alpha {
+                scored.push((img.id, d));
+            }
+        };
+
+        match (&self.lsh, &self.minhash) {
+            (Some(lsh), Some(mh)) => {
+                let sig = mh.signature(spec);
+                for key in lsh.candidates(&sig) {
+                    if let Some(img) = self.images.get(&key) {
+                        consider(img, &mut scored);
+                    }
+                }
+            }
+            _ => {
+                for img in self.images.values() {
+                    consider(img, &mut scored);
+                }
+            }
+        }
+
+        match self.config.merge_order {
+            MergeOrder::NearestFirst => {
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            }
+            MergeOrder::ArrivalOrder => scored.sort_by_key(|&(id, _)| id),
+            MergeOrder::LargestFirst => scored.sort_by_key(|&(id, _)| {
+                (std::cmp::Reverse(self.images[&id.0].bytes), id)
+            }),
+            MergeOrder::SmallestFirst => {
+                scored.sort_by_key(|&(id, _)| (self.images[&id.0].bytes, id))
+            }
+        }
+
+        scored
+            .into_iter()
+            .find(|&(id, _)| !self.conflicts.conflicts(spec, &self.images[&id.0].spec))
+    }
+
+    /// Replace image `id` with `merge(s, j)` in place.
+    fn merge_into(
+        &mut self,
+        id: ImageId,
+        spec: &Spec,
+        distance: f64,
+        requested_bytes: u64,
+        now: u64,
+    ) -> Outcome {
+        // Account the packages newly introduced by the request.
+        let added = {
+            let img = &self.images[&id.0];
+            spec.difference(&img.spec)
+        };
+        for p in added.iter() {
+            self.add_package_ref(p);
+        }
+
+        let split_threshold = self.config.split_threshold;
+        let img = self.images.get_mut(&id.0).expect("merge target exists");
+        let old_bytes = img.bytes;
+        let new_spec = img.spec.union(spec);
+        let new_bytes = self.sizes.spec_bytes(&new_spec);
+        img.spec = new_spec;
+        img.bytes = new_bytes;
+        img.last_used = now;
+        img.use_count += 1;
+        img.merge_count += 1;
+        img.push_constituent(spec);
+        if let Some(threshold) = split_threshold {
+            if img.merge_count >= threshold && img.constituents.len() > 1 {
+                self.pending_split = Some(id);
+            }
+        }
+
+        self.stats.total_bytes += new_bytes - old_bytes;
+        // The merged image is written out in its entirety (§VI: "Each
+        // time a merge occurs, the resulting image must be written out
+        // in its entirety").
+        self.stats.bytes_written += new_bytes;
+        self.stats.merges += 1;
+        self.container_eff.record(requested_bytes, new_bytes);
+
+        if let (Some(mh), Some(lsh)) = (&self.minhash, &mut self.lsh) {
+            let req_sig = mh.signature(spec);
+            let merged = match self.signatures.get(&id.0) {
+                Some(old) => old.union(&req_sig),
+                None => req_sig,
+            };
+            lsh.insert(id.0, &merged);
+            self.signatures.insert(id.0, merged);
+        }
+
+        self.emit(CacheEvent::Merge {
+            image: id,
+            distance_milli: (distance * 1000.0).round() as u16,
+            old_bytes,
+            new_bytes,
+        });
+        Outcome::Merged { image: id, distance, image_bytes: new_bytes }
+    }
+
+    /// Evict until within the byte limit. The image serving the current
+    /// request (`protect`) is never evicted — a job's image must survive
+    /// at least until the job launches.
+    fn evict_to_limit(&mut self, protect: ImageId) {
+        while self.stats.total_bytes > self.config.limit_bytes {
+            let victim = self.pick_victim(protect);
+            let Some(victim) = victim else { break };
+            self.evict(victim);
+        }
+    }
+
+    fn pick_victim(&self, protect: ImageId) -> Option<ImageId> {
+        let candidates = self.images.values().filter(|img| img.id != protect);
+        match self.config.eviction {
+            EvictionPolicy::Lru => candidates.min_by_key(|i| (i.last_used, i.id)).map(|i| i.id),
+            EvictionPolicy::Lfu => {
+                candidates.min_by_key(|i| (i.use_count, i.last_used, i.id)).map(|i| i.id)
+            }
+            EvictionPolicy::LargestFirst => {
+                candidates.max_by_key(|i| (i.bytes, std::cmp::Reverse(i.id))).map(|i| i.id)
+            }
+            EvictionPolicy::CostDensity => candidates
+                .min_by(|a, b| {
+                    let da = a.use_count as f64 / a.bytes.max(1) as f64;
+                    let db = b.use_count as f64 / b.bytes.max(1) as f64;
+                    da.total_cmp(&db).then(a.last_used.cmp(&b.last_used)).then(a.id.cmp(&b.id))
+                })
+                .map(|i| i.id),
+        }
+    }
+
+    /// Remove an image from all structures without deciding *why* —
+    /// shared by eviction (counted as a delete) and splitting (not).
+    fn detach(&mut self, id: ImageId) -> Option<Image> {
+        let img = self.images.remove(&id.0)?;
+        for p in img.spec.iter() {
+            self.release_package_ref(p);
+        }
+        self.stats.total_bytes -= img.bytes;
+        self.stats.image_count -= 1;
+        if let Some(lsh) = &mut self.lsh {
+            lsh.remove(id.0);
+        }
+        self.signatures.remove(&id.0);
+        if self.pending_split == Some(id) {
+            self.pending_split = None;
+        }
+        Some(img)
+    }
+
+    /// Remove one image and release its package references.
+    fn evict(&mut self, id: ImageId) {
+        let Some(img) = self.detach(id) else { return };
+        self.stats.deletes += 1;
+        self.emit(CacheEvent::Evict { image: id, bytes: img.bytes });
+    }
+
+    /// Split a bloated image back into its constituent request specs.
+    ///
+    /// Every constituent becomes a fresh image (each written in full —
+    /// splitting costs I/O just like merging does). Returns the new
+    /// image ids; empty when the image is unknown or has a single
+    /// constituent (nothing to split).
+    pub fn split_image(&mut self, id: ImageId) -> Vec<ImageId> {
+        let Some(img) = self.images.get(&id.0) else { return Vec::new() };
+        if img.constituents.len() <= 1 {
+            return Vec::new();
+        }
+        let img = self.detach(id).expect("image just found");
+        self.clock += 1;
+        let now = self.clock;
+        let mut pieces = Vec::with_capacity(img.constituents.len());
+        for constituent in &img.constituents {
+            let piece_id = ImageId(self.next_id);
+            self.next_id += 1;
+            for p in constituent.iter() {
+                self.add_package_ref(p);
+            }
+            let bytes = self.sizes.spec_bytes(constituent);
+            self.stats.total_bytes += bytes;
+            self.stats.bytes_written += bytes;
+            self.stats.image_count += 1;
+            if let Some(mh) = &self.minhash {
+                let sig = mh.signature(constituent);
+                self.lsh.as_mut().expect("lsh with minhash").insert(piece_id.0, &sig);
+                self.signatures.insert(piece_id.0, sig);
+            }
+            self.images.insert(piece_id.0, Image::new(piece_id, constituent.clone(), bytes, now));
+            pieces.push(piece_id);
+        }
+        self.stats.splits += 1;
+        self.emit(CacheEvent::Split { image: id, pieces: pieces.len() as u32 });
+        // Splitting duplicates shared packages across pieces, so the
+        // total can exceed the limit even though the union fit.
+        if let Some(&keep) = pieces.first() {
+            self.evict_to_limit(keep);
+        }
+        pieces
+    }
+
+    /// Drop a specific image (administrative delete, not counted as an
+    /// eviction by the byte limit but recorded in `deletes`).
+    pub fn remove_image(&mut self, id: ImageId) -> bool {
+        if self.images.contains_key(&id.0) {
+            self.evict(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn add_package_ref(&mut self, p: PackageId) {
+        let count = self.refcounts.entry(p).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            self.stats.unique_bytes += self.sizes.package_size(p);
+        }
+    }
+
+    fn release_package_ref(&mut self, p: PackageId) {
+        match self.refcounts.get_mut(&p) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.refcounts.remove(&p);
+                self.stats.unique_bytes -= self.sizes.package_size(p);
+            }
+            None => debug_assert!(false, "released unreferenced package {p}"),
+        }
+    }
+
+    fn emit(&mut self, event: CacheEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.on_event(&event);
+        }
+    }
+
+    /// Recompute all derived state from scratch and compare with the
+    /// incrementally maintained values. Used by the property tests;
+    /// cheap enough to call in integration tests too.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any inconsistency.
+    pub fn check_invariants(&self) {
+        let mut total = 0u64;
+        let mut refcounts: FxHashMap<PackageId, u32> = FxHashMap::default();
+        for img in self.images.values() {
+            assert_eq!(
+                img.bytes,
+                self.sizes.spec_bytes(&img.spec),
+                "image {} bytes out of sync with spec",
+                img.id
+            );
+            let union = img
+                .constituents
+                .iter()
+                .fold(Spec::empty(), |acc, c| acc.union(c));
+            assert_eq!(
+                union, img.spec,
+                "image {} constituents do not union to its spec",
+                img.id
+            );
+            total += img.bytes;
+            for p in img.spec.iter() {
+                *refcounts.entry(p).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(self.stats.total_bytes, total, "total_bytes out of sync");
+        assert_eq!(self.stats.image_count as usize, self.images.len(), "image_count");
+        assert_eq!(self.refcounts, refcounts, "package refcounts out of sync");
+        let unique: u64 = refcounts.keys().map(|&p| self.sizes.package_size(p)).sum();
+        assert_eq!(self.stats.unique_bytes, unique, "unique_bytes out of sync");
+        assert!(self.stats.unique_bytes <= self.stats.total_bytes.max(1));
+        assert_eq!(
+            self.stats.requests,
+            self.stats.hits + self.stats.merges + self.stats.inserts,
+            "every request is exactly one of hit/merge/insert"
+        );
+        // Eviction runs until the total fits or a single (protected)
+        // image remains; therefore any multi-image state respects the
+        // limit exactly.
+        if self.images.len() > 1 {
+            assert!(
+                self.stats.total_bytes <= self.config.limit_bytes,
+                "multi-image cache over limit: {} > {}",
+                self.stats.total_bytes,
+                self.config.limit_bytes
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for ImageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageCache")
+            .field("alpha", &self.config.alpha)
+            .field("limit_bytes", &self.config.limit_bytes)
+            .field("images", &self.images.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::SingleVersionPerName;
+    use crate::sizes::{TableSizes, UniformSizes};
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    fn cache(alpha: f64, limit: u64) -> ImageCache {
+        let cfg = CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() };
+        ImageCache::new(cfg, Arc::new(UniformSizes::new(1)))
+    }
+
+    #[test]
+    fn first_request_inserts() {
+        let mut c = cache(0.8, 100);
+        let out = c.request(&spec(&[1, 2, 3]));
+        assert!(matches!(out, Outcome::Inserted { image_bytes: 3, .. }));
+        let s = c.stats();
+        assert_eq!((s.inserts, s.hits, s.merges), (1, 0, 0));
+        assert_eq!(s.total_bytes, 3);
+        assert_eq!(s.unique_bytes, 3);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn identical_request_hits() {
+        let mut c = cache(0.8, 100);
+        c.request(&spec(&[1, 2, 3]));
+        let out = c.request(&spec(&[1, 2, 3]));
+        assert!(matches!(out, Outcome::Hit { .. }));
+        assert_eq!(c.stats().hits, 1);
+        // Hits write nothing.
+        assert_eq!(c.stats().bytes_written, 3);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn subset_request_hits_superset_image() {
+        let mut c = cache(0.8, 100);
+        c.request(&spec(&[1, 2, 3, 4]));
+        let out = c.request(&spec(&[2, 3]));
+        assert!(matches!(out, Outcome::Hit { image_bytes: 4, .. }));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn hit_prefers_smallest_satisfying_image() {
+        let mut c = cache(0.0, 100); // no merging: build two distinct images
+        c.request(&spec(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        c.request(&spec(&[1, 2, 9])); // not a subset of the first image
+        assert_eq!(c.len(), 2);
+        let out = c.request(&spec(&[1, 2]));
+        // Both images satisfy {1,2}; the 3-package one is smaller.
+        assert_eq!(out.image_bytes(), 3);
+    }
+
+    #[test]
+    fn close_request_merges() {
+        let mut c = cache(0.8, 100);
+        let a = c.request(&spec(&[1, 2, 3]));
+        let out = c.request(&spec(&[1, 2, 4])); // d = 2/4 = 0.5 < 0.8
+        match out {
+            Outcome::Merged { image, distance, image_bytes } => {
+                assert_eq!(image, a.image(), "merge keeps the candidate's id");
+                assert!((distance - 0.5).abs() < 1e-12);
+                assert_eq!(image_bytes, 4); // {1,2,3,4}
+            }
+            other => panic!("expected merge, got {other:?}"),
+        }
+        assert_eq!(c.len(), 1);
+        // Insert wrote 3, merge rewrote all 4.
+        assert_eq!(c.stats().bytes_written, 7);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn merged_image_satisfies_both_constituents() {
+        let mut c = cache(0.8, 100);
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[1, 2, 4]));
+        assert!(matches!(c.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
+        assert!(matches!(c.request(&spec(&[1, 2, 4])), Outcome::Hit { .. }));
+        assert!(matches!(c.request(&spec(&[3, 4])), Outcome::Hit { .. }));
+    }
+
+    #[test]
+    fn alpha_zero_never_merges() {
+        let mut c = cache(0.0, 1000);
+        c.request(&spec(&[1, 2, 3]));
+        let out = c.request(&spec(&[1, 2, 4]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().merges, 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn far_request_inserts_despite_high_alpha() {
+        let mut c = cache(0.6, 1000);
+        c.request(&spec(&[1, 2, 3]));
+        // d({1,2,3},{4,5,6}) = 1.0 ≥ 0.6 → no merge.
+        let out = c.request(&spec(&[4, 5, 6]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn alpha_one_merges_any_overlap() {
+        let mut c = cache(1.0, 1000);
+        c.request(&spec(&[1, 2, 3, 4, 5, 6, 7, 8, 9]));
+        // Distance 9/10 = 0.9 < 1.0 → merged.
+        let out = c.request(&spec(&[9, 100]));
+        assert!(matches!(out, Outcome::Merged { .. }));
+        // Fully disjoint still inserts (d = 1.0 is not < 1.0).
+        let out = c.request(&spec(&[500]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+    }
+
+    #[test]
+    fn nearest_first_picks_closest_candidate() {
+        let mut c = cache(0.99, 10_000);
+        c.request(&spec(&[1, 2, 3, 4])); // img A
+        c.request(&spec(&[100, 101, 102, 103])); // img B, disjoint from A
+        assert_eq!(c.len(), 2);
+        // Request close to A (d = 2/5 = 0.4) and sharing one package
+        // with B (d = 6/7 ≈ 0.857): both are candidates under α = 0.99,
+        // nearest-first must pick A.
+        let out = c.request(&spec(&[1, 2, 3, 100]));
+        match out {
+            Outcome::Merged { distance, .. } => assert!((distance - 0.4).abs() < 1e-9),
+            other => panic!("expected merge, got {other:?}"),
+        }
+        // A absorbed it: contains 100 now, but not B's 101.
+        let a = c.images().find(|i| i.spec.contains(PackageId(1))).unwrap();
+        assert!(a.spec.contains(PackageId(100)));
+        assert!(!a.spec.contains(PackageId(101)));
+    }
+
+    #[test]
+    fn lru_eviction_under_pressure() {
+        let mut c = cache(0.0, 6);
+        c.request(&spec(&[1, 2, 3])); // img A, 3 bytes
+        c.request(&spec(&[4, 5, 6])); // img B, 3 bytes — total 6, at limit
+        c.request(&spec(&[7, 8, 9])); // img C → must evict A (LRU)
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().deletes, 1);
+        // A is gone: requesting it reinserts (and evicts B).
+        let out = c.request(&spec(&[1, 2, 3]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn touching_image_protects_it_from_lru() {
+        let mut c = cache(0.0, 6);
+        c.request(&spec(&[1, 2, 3])); // A
+        c.request(&spec(&[4, 5, 6])); // B
+        c.request(&spec(&[1, 2, 3])); // hit A → A newer than B
+        c.request(&spec(&[7, 8, 9])); // evicts B, not A
+        assert!(matches!(c.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
+    }
+
+    #[test]
+    fn oversized_single_image_is_kept() {
+        let mut c = cache(0.0, 2);
+        let out = c.request(&spec(&[1, 2, 3, 4, 5]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+        assert_eq!(c.len(), 1, "the only image serving the job must survive");
+        assert!(c.stats().total_bytes > c.config().limit_bytes);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn unique_vs_total_bytes_tracks_duplication() {
+        let mut c = cache(0.0, 1000);
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[2, 3, 4]));
+        let s = c.stats();
+        assert_eq!(s.total_bytes, 6, "two 3-package images");
+        assert_eq!(s.unique_bytes, 4, "packages 1..=4 once each");
+        assert!((s.cache_efficiency_pct() - 66.6667).abs() < 0.01);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn container_efficiency_degrades_with_merging() {
+        let mut c = cache(1.0, 1000);
+        c.request(&spec(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]));
+        // This tiny request is served by the big merged image.
+        c.request(&spec(&[1, 11]));
+        let eff = c.container_efficiency_pct();
+        assert!(eff < 100.0, "merging must cost container efficiency, got {eff}");
+    }
+
+    #[test]
+    fn requested_bytes_independent_of_alpha() {
+        let reqs: Vec<Spec> = vec![spec(&[1, 2, 3]), spec(&[1, 2, 4]), spec(&[5, 6, 7])];
+        let mut totals = Vec::new();
+        for alpha in [0.0, 0.5, 1.0] {
+            let mut c = cache(alpha, 1000);
+            for r in &reqs {
+                c.request(r);
+            }
+            totals.push(c.stats().bytes_requested);
+        }
+        assert!(totals.windows(2).all(|w| w[0] == w[1]), "{totals:?}");
+    }
+
+    #[test]
+    fn conflicting_merge_is_skipped() {
+        // Packages 0 and 1 are two versions of the same name.
+        let names = vec![7, 7, 8, 9, 10];
+        let cfg = CacheConfig { alpha: 1.0, limit_bytes: 1000, ..CacheConfig::default() };
+        let mut c = ImageCache::with_conflicts(
+            cfg,
+            Arc::new(UniformSizes::new(1)),
+            Arc::new(SingleVersionPerName::new(names)),
+        );
+        c.request(&spec(&[0, 2]));
+        // Overlaps via pkg 2, but pkg 1 conflicts with cached pkg 0.
+        let out = c.request(&spec(&[1, 2]));
+        assert!(matches!(out, Outcome::Inserted { .. }), "conflict must block merge");
+        assert_eq!(c.len(), 2);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn sized_packages_account_correctly() {
+        let sizes = TableSizes::new(vec![10, 20, 30, 40]);
+        let cfg = CacheConfig { alpha: 0.9, limit_bytes: 1000, ..CacheConfig::default() };
+        let mut c = ImageCache::new(cfg, Arc::new(sizes));
+        c.request(&spec(&[0, 1])); // 30 bytes
+        c.request(&spec(&[0, 2])); // d = 2/3 < 0.9 → merge {0,1,2} = 60 bytes
+        let s = c.stats();
+        assert_eq!(s.total_bytes, 60);
+        assert_eq!(s.unique_bytes, 60);
+        assert_eq!(s.bytes_written, 30 + 60);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn minhash_lsh_strategy_still_merges_near_pairs() {
+        let cfg = CacheConfig {
+            alpha: 0.8,
+            limit_bytes: u64::MAX,
+            candidates: CandidateStrategy::MinHashLsh { bands: 32, rows: 4 },
+            ..CacheConfig::default()
+        };
+        let mut c = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+        let base: Vec<u32> = (0..100).collect();
+        c.request(&spec(&base));
+        let mut close = base.clone();
+        close[0] = 1000; // 99/101 similar
+        let out = c.request(&spec(&close));
+        assert!(matches!(out, Outcome::Merged { .. }), "LSH must find near-duplicates");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn minhash_lsh_never_merges_what_exact_rejects() {
+        let cfg = CacheConfig {
+            alpha: 0.3,
+            limit_bytes: u64::MAX,
+            candidates: CandidateStrategy::MinHashLsh { bands: 32, rows: 4 },
+            ..CacheConfig::default()
+        };
+        let mut c = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+        c.request(&spec(&[1, 2, 3, 4]));
+        // Exact distance 0.6 ≥ 0.3 → must insert even if LSH proposes it.
+        let out = c.request(&spec(&[1, 2, 9, 10]));
+        assert!(matches!(out, Outcome::Inserted { .. }));
+    }
+
+    #[test]
+    fn remove_image_administratively() {
+        let mut c = cache(0.0, 1000);
+        let out = c.request(&spec(&[1, 2]));
+        assert!(c.remove_image(out.image()));
+        assert!(!c.remove_image(out.image()));
+        assert!(c.is_empty());
+        assert_eq!(c.stats().total_bytes, 0);
+        assert_eq!(c.stats().unique_bytes, 0);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn manual_split_restores_constituents() {
+        let mut c = cache(1.0, 1000);
+        let a = spec(&[1, 2, 3]);
+        let b = spec(&[1, 2, 4]);
+        let merged = c.request(&a).image();
+        assert_eq!(c.request(&b).image(), merged);
+        let pieces = c.split_image(merged);
+        assert_eq!(pieces.len(), 2);
+        assert!(c.get(merged).is_none(), "split image is gone");
+        assert_eq!(c.len(), 2);
+        // Each constituent is exactly servable again.
+        assert!(matches!(c.request(&a), Outcome::Hit { image_bytes: 3, .. }));
+        assert!(matches!(c.request(&b), Outcome::Hit { image_bytes: 3, .. }));
+        assert_eq!(c.stats().splits, 1);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn split_of_single_constituent_is_noop() {
+        let mut c = cache(0.0, 1000);
+        let id = c.request(&spec(&[1, 2])).image();
+        assert!(c.split_image(id).is_empty());
+        assert!(c.get(id).is_some());
+        assert_eq!(c.stats().splits, 0);
+    }
+
+    #[test]
+    fn split_of_unknown_image_is_noop() {
+        let mut c = cache(0.0, 1000);
+        assert!(c.split_image(ImageId(99)).is_empty());
+    }
+
+    #[test]
+    fn auto_split_triggers_after_threshold() {
+        let cfg = CacheConfig {
+            alpha: 1.0,
+            limit_bytes: 10_000,
+            split_threshold: Some(2),
+            ..CacheConfig::default()
+        };
+        let mut c = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[1, 2, 4])); // merge 1
+        c.request(&spec(&[1, 2, 5])); // merge 2 → flags pending split
+        assert_eq!(c.len(), 1, "split is lazy; not yet applied");
+        // The next request triggers the split first.
+        c.request(&spec(&[100, 101]));
+        assert_eq!(c.stats().splits, 1);
+        assert_eq!(c.len(), 4, "3 constituents + the new insert");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn split_accounts_written_bytes() {
+        let mut c = cache(1.0, 1000);
+        let id = c.request(&spec(&[1, 2, 3])).image();
+        c.request(&spec(&[1, 2, 4]));
+        let before = c.stats().bytes_written;
+        c.split_image(id);
+        // Two constituents of 3 packages each rewritten.
+        assert_eq!(c.stats().bytes_written, before + 6);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn split_pieces_respect_cache_limit() {
+        // Union fits, but pieces duplicate shared packages and overflow.
+        let mut c = cache(1.0, 4);
+        let id = c.request(&spec(&[1, 2, 3])).image();
+        c.request(&spec(&[1, 2, 4])); // merged image = {1,2,3,4} = limit
+        let pieces = c.split_image(id);
+        assert_eq!(pieces.len(), 2);
+        // 2 pieces × 3 bytes = 6 > 4 → one piece evicted.
+        assert_eq!(c.len(), 1);
+        assert!(c.stats().total_bytes <= 4);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn event_sink_sees_all_operations() {
+        use crate::events::VecSink;
+        let mut c = cache(0.8, 3);
+        c.set_sink(Box::new(VecSink::new()));
+        c.request(&spec(&[1, 2, 3])); // insert
+        c.request(&spec(&[1, 2, 3])); // hit
+        c.request(&spec(&[10, 11, 12])); // insert + evict (over 3-byte limit)
+        let sink = c.take_sink().unwrap();
+        // Downcast via the concrete type we installed.
+        let events = {
+            let raw = Box::into_raw(sink) as *mut VecSink;
+            // SAFETY: we installed exactly a VecSink above.
+            unsafe { Box::from_raw(raw) }.events
+        };
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds, vec!["insert", "hit", "insert", "evict"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in [0,1]")]
+    fn invalid_alpha_rejected() {
+        let cfg = CacheConfig { alpha: 1.5, ..CacheConfig::default() };
+        let _ = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+    }
+
+    #[test]
+    fn empty_spec_request_is_harmless() {
+        let mut c = cache(0.8, 10);
+        let out = c.request(&Spec::empty());
+        assert!(matches!(out, Outcome::Inserted { image_bytes: 0, .. }));
+        // And now everything hits it? No: empty ⊆ anything, so the empty
+        // image satisfies only empty requests; others miss.
+        let out2 = c.request(&Spec::empty());
+        assert!(matches!(out2, Outcome::Hit { .. }));
+        c.check_invariants();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::sizes::TableSizes;
+    use proptest::prelude::*;
+
+    const UNIVERSE: u32 = 60;
+
+    fn arb_stream() -> impl Strategy<Value = Vec<Spec>> {
+        proptest::collection::vec(
+            proptest::collection::vec(0..UNIVERSE, 1..12)
+                .prop_map(|v| Spec::from_ids(v.into_iter().map(PackageId))),
+            1..60,
+        )
+    }
+
+    fn arb_config() -> impl Strategy<Value = CacheConfig> {
+        (
+            0.0f64..=1.0,
+            1u64..200,
+            prop_oneof![
+                Just(EvictionPolicy::Lru),
+                Just(EvictionPolicy::Lfu),
+                Just(EvictionPolicy::LargestFirst),
+                Just(EvictionPolicy::CostDensity),
+            ],
+            prop_oneof![
+                Just(MergeOrder::NearestFirst),
+                Just(MergeOrder::ArrivalOrder),
+                Just(MergeOrder::LargestFirst),
+                Just(MergeOrder::SmallestFirst),
+            ],
+            prop_oneof![
+                Just(CandidateStrategy::ExactScan),
+                Just(CandidateStrategy::MinHashLsh { bands: 8, rows: 4 }),
+            ],
+        )
+            .prop_map(|(alpha, limit, eviction, merge_order, candidates)| CacheConfig {
+                alpha,
+                limit_bytes: limit,
+                eviction,
+                merge_order,
+                candidates,
+                minhash_seed: 42,
+                // Exercise the byte-weighted metric in half the cases
+                // and auto-splitting in a third.
+                metric: if limit % 2 == 0 {
+                    DistanceMetric::Bytes
+                } else {
+                    DistanceMetric::PackageCount
+                },
+                split_threshold: if limit % 3 == 0 { Some(3) } else { None },
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn invariants_hold_under_arbitrary_streams(
+            cfg in arb_config(),
+            stream in arb_stream(),
+        ) {
+            let sizes: Vec<u64> = (0..UNIVERSE as u64).map(|i| 1 + i % 7).collect();
+            let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(sizes)));
+            for s in &stream {
+                let out = cache.request(s);
+                // Whatever happened, the serving image satisfies the spec.
+                let img = cache.get(out.image()).expect("serving image cached");
+                prop_assert!(s.is_subset(&img.spec));
+            }
+            cache.check_invariants();
+            let st = cache.stats();
+            prop_assert_eq!(st.requests as usize, stream.len());
+            prop_assert!(st.bytes_written >= st.total_bytes,
+                "everything cached was written at least once");
+        }
+
+        #[test]
+        fn alpha_zero_degenerates_to_plain_lru(stream in arb_stream()) {
+            let cfg = CacheConfig { alpha: 0.0, limit_bytes: 64, ..CacheConfig::default() };
+            let sizes: Vec<u64> = vec![1; UNIVERSE as usize];
+            let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(sizes)));
+            let mut any_subset_hit = false;
+            for s in &stream {
+                let out = cache.request(s);
+                if matches!(out, Outcome::Hit { .. }) && out.image_bytes() != cache.sizes.spec_bytes(s) {
+                    any_subset_hit = true;
+                }
+            }
+            prop_assert_eq!(cache.stats().merges, 0);
+            cache.check_invariants();
+            // Without merging, every created image is exactly what some
+            // job asked for; container efficiency only dips below 100%
+            // when a request hits a strict-superset image.
+            if !any_subset_hit {
+                prop_assert!((cache.container_efficiency_pct() - 100.0).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn hits_never_write(stream in arb_stream()) {
+            let cfg = CacheConfig { alpha: 0.7, limit_bytes: u64::MAX, ..CacheConfig::default() };
+            let sizes: Vec<u64> = vec![2; UNIVERSE as usize];
+            let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(sizes)));
+            let mut last_written = 0;
+            for s in &stream {
+                let out = cache.request(s);
+                let written = cache.stats().bytes_written;
+                if matches!(out, Outcome::Hit { .. }) {
+                    prop_assert_eq!(written, last_written, "hit must not write");
+                } else {
+                    prop_assert!(written > last_written || s.is_empty());
+                }
+                last_written = written;
+            }
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! Compatibility checking between specifications.
+//!
+//! The paper (§V): *"A limitation of using the Jaccard distance this way
+//! is that it does not capture conflicts between components. … This
+//! compatibility checking is dependent upon the specific package manager
+//! or system in use. For LHC applications this is a non-issue, since
+//! CVMFS is normally append-only and all previous versions remain
+//! available."*
+//!
+//! Algorithm 1 therefore checks `if s and j do not conflict` *after*
+//! using the Jaccard distance to prioritize candidates. This module makes
+//! that check pluggable:
+//!
+//! * [`NoConflicts`] — the CVMFS/LHC case: every merge is compatible.
+//! * [`SingleVersionPerName`] — a conventional package manager where two
+//!   different versions of the same package name cannot coexist in one
+//!   image.
+//! * [`ExplicitConflicts`] — arbitrary user-declared incompatible pairs
+//!   (e.g. two MPI implementations).
+
+use crate::spec::{PackageId, Spec};
+use crate::util::FxHashMap;
+
+/// Decides whether two specifications can be merged into one image.
+pub trait ConflictPolicy: Send + Sync {
+    /// True when merging `a` and `b` would produce a broken image.
+    fn conflicts(&self, a: &Spec, b: &Spec) -> bool;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Append-only repositories (CVMFS): merges never conflict.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoConflicts;
+
+impl ConflictPolicy for NoConflicts {
+    fn conflicts(&self, _a: &Spec, _b: &Spec) -> bool {
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "no-conflicts"
+    }
+}
+
+/// Two packages conflict when they share a *name* but differ in id
+/// (i.e. are different versions/variants of the same software).
+///
+/// The name of each package is supplied as a dense `name id` table, as
+/// produced by `landlord-repo`'s catalog.
+#[derive(Debug, Clone)]
+pub struct SingleVersionPerName {
+    /// `name_of[pkg.index()]` = interned name id.
+    name_of: Box<[u32]>,
+}
+
+impl SingleVersionPerName {
+    /// Build from a package-id → name-id table.
+    pub fn new(name_of: Vec<u32>) -> Self {
+        SingleVersionPerName { name_of: name_of.into_boxed_slice() }
+    }
+
+    fn name_id(&self, p: PackageId) -> Option<u32> {
+        self.name_of.get(p.index()).copied()
+    }
+}
+
+impl ConflictPolicy for SingleVersionPerName {
+    fn conflicts(&self, a: &Spec, b: &Spec) -> bool {
+        // Map name → package id for the smaller spec, then scan the other.
+        let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+        let mut by_name: FxHashMap<u32, PackageId> = FxHashMap::default();
+        for p in small.iter() {
+            if let Some(n) = self.name_id(p) {
+                by_name.insert(n, p);
+            }
+        }
+        for q in large.iter() {
+            if let Some(n) = self.name_id(q) {
+                if let Some(&p) = by_name.get(&n) {
+                    if p != q {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "single-version-per-name"
+    }
+}
+
+/// User-declared incompatible package pairs.
+#[derive(Debug, Clone, Default)]
+pub struct ExplicitConflicts {
+    // Stored with the smaller id first so lookup is canonical.
+    pairs: crate::util::FxHashSet<(PackageId, PackageId)>,
+}
+
+impl ExplicitConflicts {
+    /// Empty rule set (conflicts with nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `a` and `b` mutually incompatible.
+    pub fn add(&mut self, a: PackageId, b: PackageId) {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.insert(key);
+    }
+
+    /// Number of declared pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs are declared.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    fn pair_conflicts(&self, a: PackageId, b: PackageId) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.contains(&key)
+    }
+}
+
+impl ConflictPolicy for ExplicitConflicts {
+    fn conflicts(&self, a: &Spec, b: &Spec) -> bool {
+        // Only cross pairs can newly conflict: members within a single
+        // valid spec are assumed compatible already.
+        for p in a.iter() {
+            for q in b.iter() {
+                if p != q && self.pair_conflicts(p, q) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn name(&self) -> &'static str {
+        "explicit-pairs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    #[test]
+    fn no_conflicts_always_allows() {
+        let p = NoConflicts;
+        assert!(!p.conflicts(&spec(&[1]), &spec(&[2])));
+        assert!(!p.conflicts(&Spec::empty(), &Spec::empty()));
+        assert_eq!(p.name(), "no-conflicts");
+    }
+
+    #[test]
+    fn single_version_detects_version_clash() {
+        // Packages 0,1 are versions of name 100; 2 is name 101.
+        let p = SingleVersionPerName::new(vec![100, 100, 101]);
+        assert!(p.conflicts(&spec(&[0]), &spec(&[1])), "two versions of one name");
+        assert!(!p.conflicts(&spec(&[0]), &spec(&[2])), "different names");
+        assert!(!p.conflicts(&spec(&[0]), &spec(&[0])), "same package is fine");
+        assert!(!p.conflicts(&spec(&[0, 2]), &spec(&[0])), "shared exact version");
+    }
+
+    #[test]
+    fn single_version_is_symmetric() {
+        let p = SingleVersionPerName::new(vec![9, 9, 8, 8]);
+        let a = spec(&[0, 2]);
+        let b = spec(&[1]);
+        assert_eq!(p.conflicts(&a, &b), p.conflicts(&b, &a));
+        assert!(p.conflicts(&a, &b));
+    }
+
+    #[test]
+    fn single_version_ignores_unknown_ids() {
+        let p = SingleVersionPerName::new(vec![1]);
+        // id 5 is outside the table: treated as unnamed, never conflicts.
+        assert!(!p.conflicts(&spec(&[5]), &spec(&[0])));
+    }
+
+    #[test]
+    fn explicit_pairs() {
+        let mut p = ExplicitConflicts::new();
+        assert!(p.is_empty());
+        p.add(PackageId(3), PackageId(7));
+        p.add(PackageId(7), PackageId(3)); // duplicate in other order
+        assert_eq!(p.len(), 1);
+        assert!(p.conflicts(&spec(&[3]), &spec(&[7])));
+        assert!(p.conflicts(&spec(&[7]), &spec(&[3])));
+        assert!(!p.conflicts(&spec(&[3]), &spec(&[8])));
+        // A package never conflicts with itself even if declared.
+        p.add(PackageId(4), PackageId(4));
+        assert!(!p.conflicts(&spec(&[4]), &spec(&[4])));
+    }
+}

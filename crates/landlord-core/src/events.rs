@@ -1,0 +1,173 @@
+//! Structured log of cache operations.
+//!
+//! Every request produces exactly one of `Hit`/`Merge`/`Insert`, plus
+//! zero or more `Evict`s. The simulator mostly polls
+//! [`CacheStats`](crate::cache::CacheStats) snapshots instead, but the
+//! event stream is what the CLI's verbose mode and the failure-injection
+//! tests consume.
+
+use crate::image::ImageId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One cache operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheEvent {
+    /// An existing image satisfied the request outright (`s ⊆ i`).
+    Hit {
+        /// The satisfying image.
+        image: ImageId,
+        /// Bytes the request asked for.
+        requested_bytes: u64,
+        /// Bytes of the image actually used.
+        image_bytes: u64,
+    },
+    /// The request was merged into a close-enough image.
+    Merge {
+        /// The image that absorbed the request (id retained).
+        image: ImageId,
+        /// Jaccard distance between request and the pre-merge image.
+        distance_milli: u16,
+        /// Image bytes before the merge.
+        old_bytes: u64,
+        /// Image bytes after the merge (all rewritten).
+        new_bytes: u64,
+    },
+    /// No reuse or merge possible; a fresh image was created.
+    Insert {
+        /// The new image.
+        image: ImageId,
+        /// Its size.
+        bytes: u64,
+    },
+    /// An image was evicted to respect the byte limit.
+    Evict {
+        /// The evicted image.
+        image: ImageId,
+        /// Bytes freed.
+        bytes: u64,
+    },
+    /// A bloated image was split into its constituent request specs.
+    Split {
+        /// The image that was split (no longer cached).
+        image: ImageId,
+        /// Number of constituent images created.
+        pieces: u32,
+    },
+}
+
+impl CacheEvent {
+    /// Short tag for the operation kind ("hit", "merge", …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CacheEvent::Hit { .. } => "hit",
+            CacheEvent::Merge { .. } => "merge",
+            CacheEvent::Insert { .. } => "insert",
+            CacheEvent::Evict { .. } => "evict",
+            CacheEvent::Split { .. } => "split",
+        }
+    }
+}
+
+impl fmt::Display for CacheEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheEvent::Hit { image, requested_bytes, image_bytes } => write!(
+                f,
+                "hit    {image} requested={requested_bytes} used={image_bytes}"
+            ),
+            CacheEvent::Merge { image, distance_milli, old_bytes, new_bytes } => write!(
+                f,
+                "merge  {image} d={:.3} {old_bytes}B -> {new_bytes}B",
+                *distance_milli as f64 / 1000.0
+            ),
+            CacheEvent::Insert { image, bytes } => write!(f, "insert {image} {bytes}B"),
+            CacheEvent::Evict { image, bytes } => write!(f, "evict  {image} {bytes}B"),
+            CacheEvent::Split { image, pieces } => write!(f, "split  {image} -> {pieces} pieces"),
+        }
+    }
+}
+
+/// Receives cache events as they happen.
+pub trait EventSink {
+    /// Called once per event, in order.
+    fn on_event(&mut self, event: &CacheEvent);
+}
+
+/// Discards all events (the default sink).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn on_event(&mut self, _event: &CacheEvent) {}
+}
+
+/// Buffers every event in memory, for tests and traces.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// The recorded events, oldest first.
+    pub events: Vec<CacheEvent>,
+}
+
+impl VecSink {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count events of a given kind tag.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+}
+
+impl EventSink for VecSink {
+    fn on_event(&mut self, event: &CacheEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(
+            CacheEvent::Hit { image: ImageId(1), requested_bytes: 1, image_bytes: 2 }.kind(),
+            "hit"
+        );
+        assert_eq!(CacheEvent::Insert { image: ImageId(1), bytes: 1 }.kind(), "insert");
+        assert_eq!(CacheEvent::Evict { image: ImageId(1), bytes: 1 }.kind(), "evict");
+        assert_eq!(CacheEvent::Split { image: ImageId(1), pieces: 2 }.kind(), "split");
+        assert_eq!(
+            CacheEvent::Merge { image: ImageId(1), distance_milli: 500, old_bytes: 1, new_bytes: 2 }
+                .kind(),
+            "merge"
+        );
+    }
+
+    #[test]
+    fn vec_sink_records_in_order() {
+        let mut sink = VecSink::new();
+        sink.on_event(&CacheEvent::Insert { image: ImageId(1), bytes: 10 });
+        sink.on_event(&CacheEvent::Evict { image: ImageId(1), bytes: 10 });
+        assert_eq!(sink.events.len(), 2);
+        assert_eq!(sink.count_kind("insert"), 1);
+        assert_eq!(sink.count_kind("evict"), 1);
+        assert_eq!(sink.count_kind("hit"), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = CacheEvent::Merge {
+            image: ImageId(3),
+            distance_milli: 750,
+            old_bytes: 100,
+            new_bytes: 150,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("img#3"));
+        assert!(s.contains("0.750"));
+    }
+}

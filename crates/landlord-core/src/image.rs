@@ -1,0 +1,139 @@
+//! Cached container image metadata.
+//!
+//! The cache never stores image *contents* (materialization is
+//! `landlord-shrinkwrap`'s job); it tracks, per image, the capability
+//! specification, the byte size that specification occupies on disk, and
+//! the usage bookkeeping needed by the eviction policies.
+
+use crate::spec::Spec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a cached image, unique within one cache lifetime.
+///
+/// Ids are never reused, even across merges: a merge *replaces* the
+/// candidate image's spec in place but keeps its id, matching the
+/// paper's Algorithm 1 ("Replace j in the cache with merge(s, j)").
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct ImageId(pub u64);
+
+impl fmt::Display for ImageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "img#{}", self.0)
+    }
+}
+
+/// A cached container image: capability spec plus accounting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Image {
+    /// Stable identity within the cache.
+    pub id: ImageId,
+    /// The set of packages present in the image.
+    pub spec: Spec,
+    /// On-disk bytes of the image (per the cache's size model).
+    pub bytes: u64,
+    /// Logical timestamp of creation (cache clock).
+    pub created_at: u64,
+    /// Logical timestamp of last hit/merge touch (cache clock).
+    pub last_used: u64,
+    /// Number of requests this image has served (hits + the requests
+    /// that created/merged it).
+    pub use_count: u64,
+    /// How many merges this image has absorbed. High values indicate
+    /// the "bloated image" phenomenon §V discusses.
+    pub merge_count: u64,
+    /// The request specifications this image was built to serve: the
+    /// original insert plus one per absorbed merge, pruned of entries
+    /// subsumed by later ones. Their union always equals `spec`, which
+    /// is what makes images *splittable* (the abstract's "creates,
+    /// merges, splits, or deletes container images").
+    pub constituents: Vec<Spec>,
+}
+
+impl Image {
+    /// Create a fresh image at logical time `now`.
+    pub fn new(id: ImageId, spec: Spec, bytes: u64, now: u64) -> Self {
+        let constituents = vec![spec.clone()];
+        Image {
+            id,
+            spec,
+            bytes,
+            created_at: now,
+            last_used: now,
+            use_count: 1,
+            merge_count: 0,
+            constituents,
+        }
+    }
+
+    /// Number of packages in the image.
+    pub fn package_count(&self) -> usize {
+        self.spec.len()
+    }
+
+    /// Record a merged-in request spec, pruning constituents that the
+    /// new one subsumes (and dropping the new one if already covered).
+    pub fn push_constituent(&mut self, spec: &Spec) {
+        if self.constituents.iter().any(|c| spec.is_subset(c)) {
+            return;
+        }
+        self.constituents.retain(|c| !c.is_subset(spec));
+        self.constituents.push(spec.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::PackageId;
+
+    #[test]
+    fn new_image_bookkeeping() {
+        let spec = Spec::from_ids([1, 2, 3].map(PackageId));
+        let img = Image::new(ImageId(5), spec, 300, 17);
+        assert_eq!(img.id, ImageId(5));
+        assert_eq!(img.package_count(), 3);
+        assert_eq!(img.bytes, 300);
+        assert_eq!(img.created_at, 17);
+        assert_eq!(img.last_used, 17);
+        assert_eq!(img.use_count, 1);
+        assert_eq!(img.merge_count, 0);
+    }
+
+    #[test]
+    fn constituents_track_merges_and_prune() {
+        let mut img = Image::new(ImageId(0), Spec::from_ids([1, 2].map(PackageId)), 2, 0);
+        assert_eq!(img.constituents.len(), 1);
+
+        // A subset of an existing constituent is not recorded.
+        img.push_constituent(&Spec::from_ids([1].map(PackageId)));
+        assert_eq!(img.constituents.len(), 1);
+
+        // A new spec is recorded.
+        img.push_constituent(&Spec::from_ids([3, 4].map(PackageId)));
+        assert_eq!(img.constituents.len(), 2);
+
+        // A superset of existing constituents replaces them.
+        img.push_constituent(&Spec::from_ids([1, 2, 3, 4].map(PackageId)));
+        assert_eq!(img.constituents.len(), 1);
+        assert_eq!(img.constituents[0].len(), 4);
+    }
+
+    #[test]
+    fn image_id_display() {
+        assert_eq!(format!("{}", ImageId(9)), "img#9");
+    }
+
+    #[test]
+    fn image_serde_round_trip() {
+        let img = Image::new(ImageId(1), Spec::from_ids([4].map(PackageId)), 10, 0);
+        let json = serde_json::to_string(&img).unwrap();
+        let back: Image = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, img.id);
+        assert_eq!(back.spec, img.spec);
+        assert_eq!(back.bytes, img.bytes);
+    }
+}

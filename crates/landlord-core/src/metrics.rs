@@ -1,0 +1,132 @@
+//! The paper's two utilization metrics (§VI, "Metrics for Cache
+//! Utilization").
+//!
+//! * **Cache efficiency** — "the ratio of unique data to total data in
+//!   the cache … equivalent to the ratio of the size of the unique
+//!   packages to the total cache size." Low when many images duplicate
+//!   the same packages; 100% for a single all-purpose image.
+//!
+//! * **Container efficiency** — "the ratio of the size of the requested
+//!   container (a set of requested packages plus all dependencies) to
+//!   the size of the container the system actually used for the job."
+//!   100% without merging (jobs run with exactly what they asked for);
+//!   poor at α = 1 where every job drags the whole repository along.
+
+use serde::{Deserialize, Serialize};
+
+/// Cache efficiency in percent: `unique_bytes / total_bytes × 100`.
+///
+/// An empty cache is defined as 100% efficient (no duplication exists).
+pub fn cache_efficiency_pct(unique_bytes: u64, total_bytes: u64) -> f64 {
+    if total_bytes == 0 {
+        return 100.0;
+    }
+    debug_assert!(unique_bytes <= total_bytes);
+    100.0 * unique_bytes as f64 / total_bytes as f64
+}
+
+/// Container efficiency of one request in percent:
+/// `requested_bytes / used_bytes × 100`.
+///
+/// A zero-byte request served by a zero-byte image is 100%.
+pub fn container_efficiency_pct(requested_bytes: u64, used_bytes: u64) -> f64 {
+    if used_bytes == 0 {
+        return 100.0;
+    }
+    debug_assert!(requested_bytes <= used_bytes, "image must satisfy request");
+    100.0 * requested_bytes as f64 / used_bytes as f64
+}
+
+/// Streaming mean of per-request container efficiencies.
+///
+/// The paper reports container efficiency per simulation run; this
+/// accumulator lets the simulator fold it without storing every sample.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ContainerEfficiency {
+    sum_pct: f64,
+    samples: u64,
+}
+
+impl ContainerEfficiency {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request.
+    pub fn record(&mut self, requested_bytes: u64, used_bytes: u64) {
+        self.sum_pct += container_efficiency_pct(requested_bytes, used_bytes);
+        self.samples += 1;
+    }
+
+    /// Number of recorded requests.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean efficiency in percent (100 when nothing recorded).
+    pub fn mean_pct(&self) -> f64 {
+        if self.samples == 0 {
+            100.0
+        } else {
+            self.sum_pct / self.samples as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &ContainerEfficiency) {
+        self.sum_pct += other.sum_pct;
+        self.samples += other.samples;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_efficiency_bounds() {
+        assert_eq!(cache_efficiency_pct(0, 0), 100.0);
+        assert_eq!(cache_efficiency_pct(50, 100), 50.0);
+        assert_eq!(cache_efficiency_pct(100, 100), 100.0);
+    }
+
+    #[test]
+    fn container_efficiency_bounds() {
+        assert_eq!(container_efficiency_pct(0, 0), 100.0);
+        assert_eq!(container_efficiency_pct(50, 100), 50.0);
+        assert_eq!(container_efficiency_pct(100, 100), 100.0);
+    }
+
+    #[test]
+    fn accumulator_means() {
+        let mut acc = ContainerEfficiency::new();
+        assert_eq!(acc.mean_pct(), 100.0);
+        acc.record(100, 100); // 100%
+        acc.record(50, 100); // 50%
+        assert_eq!(acc.samples(), 2);
+        assert!((acc.mean_pct() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulator_merge() {
+        let mut a = ContainerEfficiency::new();
+        a.record(100, 100);
+        let mut b = ContainerEfficiency::new();
+        b.record(0, 100);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert!((a.mean_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_merging_means_perfect_container_efficiency() {
+        // Paper: "In the absence of merging, these two are equal so the
+        // container efficiency is 100%."
+        let mut acc = ContainerEfficiency::new();
+        for bytes in [10u64, 500, 12_345] {
+            acc.record(bytes, bytes);
+        }
+        assert_eq!(acc.mean_pct(), 100.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Tunable cache policies — the knobs behind the paper's ablations.
+//!
+//! The paper evaluates one concrete configuration (LRU eviction, merge
+//! candidates "sorted by dj()", exact Jaccard) but explicitly points at
+//! the alternatives: MinHash pre-filtering for very large specs (§V) and
+//! site-specific tuning (§VI, "Tuning LANDLORD"). These enums make each
+//! choice explicit and benchmarkable.
+
+use serde::{Deserialize, Serialize};
+
+/// Which image to evict when the cache exceeds its byte limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EvictionPolicy {
+    /// Least-recently-used (the paper's choice): "Without regular use,
+    /// the bloated image will eventually be evicted from the cache."
+    #[default]
+    Lru,
+    /// Least-frequently-used; ties broken by recency.
+    Lfu,
+    /// Largest image first — frees space fastest but punishes merged
+    /// images that serve many requests.
+    LargestFirst,
+    /// Smallest `use_count / bytes` density first: evict images that
+    /// deliver the fewest requests per byte retained.
+    CostDensity,
+}
+
+impl EvictionPolicy {
+    /// Stable lowercase token for CLI parsing and report labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            EvictionPolicy::Lru => "lru",
+            EvictionPolicy::Lfu => "lfu",
+            EvictionPolicy::LargestFirst => "largest-first",
+            EvictionPolicy::CostDensity => "cost-density",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "lru" => EvictionPolicy::Lru,
+            "lfu" => EvictionPolicy::Lfu,
+            "largest-first" => EvictionPolicy::LargestFirst,
+            "cost-density" => EvictionPolicy::CostDensity,
+            _ => return None,
+        })
+    }
+}
+
+/// Order in which merge candidates (distance < α, Algorithm 1's second
+/// loop) are tried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MergeOrder {
+    /// Nearest candidate first — the paper's "Selection can be sorted
+    /// by dj()".
+    #[default]
+    NearestFirst,
+    /// Whatever order the cache iterates (arrival order); the cheapest
+    /// option and the baseline the sorted variant improves on.
+    ArrivalOrder,
+    /// Largest candidate image first — biases toward growing one big
+    /// shared image.
+    LargestFirst,
+    /// Smallest candidate image first — biases toward many mid-size
+    /// images.
+    SmallestFirst,
+}
+
+impl MergeOrder {
+    /// Stable lowercase token for CLI parsing and report labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            MergeOrder::NearestFirst => "nearest-first",
+            MergeOrder::ArrivalOrder => "arrival-order",
+            MergeOrder::LargestFirst => "largest-first",
+            MergeOrder::SmallestFirst => "smallest-first",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "nearest-first" => MergeOrder::NearestFirst,
+            "arrival-order" => MergeOrder::ArrivalOrder,
+            "largest-first" => MergeOrder::LargestFirst,
+            "smallest-first" => MergeOrder::SmallestFirst,
+            _ => return None,
+        })
+    }
+}
+
+/// Which quantity the Jaccard distance is computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DistanceMetric {
+    /// Package counts — the paper's metric.
+    #[default]
+    PackageCount,
+    /// On-disk bytes — weighs a shared multi-gigabyte framework more
+    /// than a differing shell script (`ablation-metric`).
+    Bytes,
+}
+
+impl DistanceMetric {
+    /// Stable lowercase token for CLI parsing and report labels.
+    pub fn token(self) -> &'static str {
+        match self {
+            DistanceMetric::PackageCount => "package-count",
+            DistanceMetric::Bytes => "bytes",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "package-count" => DistanceMetric::PackageCount,
+            "bytes" => DistanceMetric::Bytes,
+            _ => return None,
+        })
+    }
+}
+
+/// How merge candidates are enumerated before the distance check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CandidateStrategy {
+    /// Compare the request against every cached image with the exact
+    /// Jaccard distance (the paper's simulated configuration).
+    #[default]
+    ExactScan,
+    /// MinHash + banded LSH pre-filter, then exact confirmation. Never
+    /// merges a pair the exact scan would reject, but may miss pairs
+    /// (false negatives) — the trade the paper describes for very large
+    /// specification collections.
+    MinHashLsh {
+        /// Bands in the LSH index.
+        bands: usize,
+        /// Rows (signature slots) per band.
+        rows: usize,
+    },
+}
+
+impl CandidateStrategy {
+    /// Signature length required by this strategy (0 for exact scan).
+    pub fn signature_len(self) -> usize {
+        match self {
+            CandidateStrategy::ExactScan => 0,
+            CandidateStrategy::MinHashLsh { bands, rows } => bands * rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_tokens_round_trip() {
+        for p in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::Lfu,
+            EvictionPolicy::LargestFirst,
+            EvictionPolicy::CostDensity,
+        ] {
+            assert_eq!(EvictionPolicy::parse(p.token()), Some(p));
+        }
+        assert_eq!(EvictionPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn merge_order_tokens_round_trip() {
+        for m in [
+            MergeOrder::NearestFirst,
+            MergeOrder::ArrivalOrder,
+            MergeOrder::LargestFirst,
+            MergeOrder::SmallestFirst,
+        ] {
+            assert_eq!(MergeOrder::parse(m.token()), Some(m));
+        }
+        assert_eq!(MergeOrder::parse(""), None);
+    }
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(EvictionPolicy::default(), EvictionPolicy::Lru);
+        assert_eq!(MergeOrder::default(), MergeOrder::NearestFirst);
+        assert_eq!(CandidateStrategy::default(), CandidateStrategy::ExactScan);
+        assert_eq!(DistanceMetric::default(), DistanceMetric::PackageCount);
+    }
+
+    #[test]
+    fn metric_tokens_round_trip() {
+        for m in [DistanceMetric::PackageCount, DistanceMetric::Bytes] {
+            assert_eq!(DistanceMetric::parse(m.token()), Some(m));
+        }
+        assert_eq!(DistanceMetric::parse("x"), None);
+    }
+
+    #[test]
+    fn signature_len() {
+        assert_eq!(CandidateStrategy::ExactScan.signature_len(), 0);
+        assert_eq!(
+            CandidateStrategy::MinHashLsh { bands: 16, rows: 8 }.signature_len(),
+            128
+        );
+    }
+}

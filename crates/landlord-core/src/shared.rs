@@ -1,0 +1,160 @@
+//! Thread-safe shared cache for site-wide deployment.
+//!
+//! §V: "administrators may wish to employ LANDLORD for site-wide
+//! container management. The same core functionality … could easily be
+//! adapted into a plugin for a site's batch system." A batch-system
+//! plugin serves many submitters concurrently; [`SharedImageCache`]
+//! wraps the single-threaded [`ImageCache`] behind a `parking_lot`
+//! mutex and exposes the same request API plus lock-free-feeling
+//! conveniences for the read paths.
+//!
+//! Algorithm 1 is a read-modify-write over the whole image collection
+//! (a request may merge into *any* image), so a coarse lock is the
+//! honest concurrency model — the paper's own prototype serializes
+//! through the filesystem. The interesting guarantee is that counters
+//! and invariants stay exact under contention, which the stress test
+//! below pins down.
+
+use crate::cache::{CacheConfig, CacheStats, ImageCache, Outcome};
+use crate::conflict::ConflictPolicy;
+use crate::sizes::SizeModel;
+use crate::spec::Spec;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A clonable, thread-safe handle to one LANDLORD cache.
+#[derive(Clone)]
+pub struct SharedImageCache {
+    inner: Arc<Mutex<ImageCache>>,
+}
+
+impl SharedImageCache {
+    /// Create a shared cache (CVMFS no-conflict semantics).
+    pub fn new(config: CacheConfig, sizes: Arc<dyn SizeModel>) -> Self {
+        SharedImageCache { inner: Arc::new(Mutex::new(ImageCache::new(config, sizes))) }
+    }
+
+    /// Create with an explicit conflict policy.
+    pub fn with_conflicts(
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+    ) -> Self {
+        SharedImageCache {
+            inner: Arc::new(Mutex::new(ImageCache::with_conflicts(config, sizes, conflicts))),
+        }
+    }
+
+    /// Wrap an existing cache (e.g. one restored from a snapshot).
+    pub fn from_cache(cache: ImageCache) -> Self {
+        SharedImageCache { inner: Arc::new(Mutex::new(cache)) }
+    }
+
+    /// Process one job request (Algorithm 1), atomically.
+    pub fn request(&self, spec: &Spec) -> Outcome {
+        self.inner.lock().request(spec)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
+    }
+
+    /// Cache efficiency right now, percent.
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        self.inner.lock().cache_efficiency_pct()
+    }
+
+    /// Mean container efficiency so far, percent.
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.inner.lock().container_efficiency_pct()
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no images are cached.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// Run a closure with exclusive access to the underlying cache
+    /// (snapshots, invariant checks, administrative deletes).
+    pub fn with_cache<R>(&self, f: impl FnOnce(&mut ImageCache) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::UniformSizes;
+    use crate::spec::PackageId;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    fn shared(alpha: f64, limit: u64) -> SharedImageCache {
+        let cfg = CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() };
+        SharedImageCache::new(cfg, Arc::new(UniformSizes::new(1)))
+    }
+
+    #[test]
+    fn basic_request_flow() {
+        let cache = shared(0.8, 100);
+        assert!(cache.is_empty());
+        assert!(matches!(cache.request(&spec(&[1, 2, 3])), Outcome::Inserted { .. }));
+        assert!(matches!(cache.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().requests, 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = shared(0.8, 100);
+        let b = a.clone();
+        a.request(&spec(&[1, 2]));
+        assert!(matches!(b.request(&spec(&[1, 2])), Outcome::Hit { .. }));
+        assert_eq!(b.stats().requests, 2);
+    }
+
+    #[test]
+    fn concurrent_submitters_keep_exact_accounting() {
+        const THREADS: u32 = 8;
+        const PER_THREAD: u32 = 200;
+
+        let cache = shared(0.7, 500);
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Overlapping job families across threads so merges,
+                    // hits and evictions all happen under contention.
+                    let base = (i % 20) * 8;
+                    let ids = [base, base + 1, base + 2, (t * 7 + i) % 160];
+                    cache.request(&Spec::from_ids(ids.map(PackageId)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("submitter panicked");
+        }
+
+        let s = cache.stats();
+        assert_eq!(s.requests, (THREADS * PER_THREAD) as u64);
+        assert_eq!(s.requests, s.hits + s.merges + s.inserts);
+        cache.with_cache(|c| c.check_invariants());
+    }
+
+    #[test]
+    fn with_cache_allows_snapshots() {
+        let cache = shared(0.8, 100);
+        cache.request(&spec(&[1, 2]));
+        let snap = cache.with_cache(|c| c.snapshot());
+        assert_eq!(snap.images.len(), 1);
+    }
+}

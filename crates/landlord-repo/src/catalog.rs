@@ -1,0 +1,118 @@
+//! Name/version lookups over the package universe.
+//!
+//! Specifications in the wild are written as `name/version` strings
+//! ("each package is usually assigned a name/version string that is
+//! defined to be unique within the repo"); the catalog resolves those
+//! strings to dense [`PackageId`]s and groups versions of one product
+//! for the conflict policies.
+
+use crate::package::PackageMeta;
+use landlord_core::spec::PackageId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Bidirectional index: `name/version` string ↔ [`PackageId`], plus
+/// per-product version groups.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Catalog {
+    by_spec_string: BTreeMap<String, PackageId>,
+    /// Indexed by `name_id`: all versions of that product.
+    groups: Vec<Vec<PackageId>>,
+    package_count: usize,
+}
+
+impl Catalog {
+    /// Build from package metadata.
+    pub fn build(packages: &[PackageMeta]) -> Self {
+        let mut by_spec_string = BTreeMap::new();
+        let max_name = packages.iter().map(|p| p.name_id).max().map_or(0, |m| m as usize + 1);
+        let mut groups: Vec<Vec<PackageId>> = vec![Vec::new(); max_name];
+        for p in packages {
+            let prev = by_spec_string.insert(p.spec_string(), p.id);
+            assert!(prev.is_none(), "duplicate spec string {}", p.spec_string());
+            groups[p.name_id as usize].push(p.id);
+        }
+        Catalog { by_spec_string, groups, package_count: packages.len() }
+    }
+
+    /// Number of packages indexed.
+    pub fn package_count(&self) -> usize {
+        self.package_count
+    }
+
+    /// Number of distinct products (names).
+    pub fn product_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Resolve a `name/version` string.
+    pub fn lookup(&self, spec_string: &str) -> Option<PackageId> {
+        self.by_spec_string.get(spec_string).copied()
+    }
+
+    /// All versions of the product with this name id.
+    pub fn versions_of(&self, name_id: u32) -> &[PackageId] {
+        self.groups.get(name_id as usize).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterate version groups (one per product).
+    pub fn name_groups(&self) -> impl Iterator<Item = &[PackageId]> {
+        self.groups.iter().map(|v| v.as_slice())
+    }
+
+    /// All `name/version` strings, sorted.
+    pub fn spec_strings(&self) -> impl Iterator<Item = (&str, PackageId)> {
+        self.by_spec_string.iter().map(|(s, &id)| (s.as_str(), id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::PackageKind;
+
+    fn meta(id: u32, name: &str, version: &str, name_id: u32) -> PackageMeta {
+        PackageMeta {
+            id: PackageId(id),
+            name: name.into(),
+            version: version.into(),
+            name_id,
+            kind: PackageKind::Library,
+            layer: 2,
+            bytes: 1,
+        }
+    }
+
+    #[test]
+    fn lookup_round_trip() {
+        let packages = vec![
+            meta(0, "root", "6.20", 0),
+            meta(1, "root", "6.22", 0),
+            meta(2, "geant4", "10.6", 1),
+        ];
+        let c = Catalog::build(&packages);
+        assert_eq!(c.package_count(), 3);
+        assert_eq!(c.product_count(), 2);
+        assert_eq!(c.lookup("root/6.22"), Some(PackageId(1)));
+        assert_eq!(c.lookup("root/9.99"), None);
+        assert_eq!(c.versions_of(0), &[PackageId(0), PackageId(1)]);
+        assert_eq!(c.versions_of(1), &[PackageId(2)]);
+        assert!(c.versions_of(7).is_empty());
+    }
+
+    #[test]
+    fn groups_iteration() {
+        let packages = vec![meta(0, "a", "1", 0), meta(1, "b", "1", 1)];
+        let c = Catalog::build(&packages);
+        assert_eq!(c.name_groups().count(), 2);
+        let strings: Vec<&str> = c.spec_strings().map(|(s, _)| s).collect();
+        assert_eq!(strings, vec!["a/1", "b/1"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate spec string")]
+    fn duplicate_spec_string_rejected() {
+        let packages = vec![meta(0, "a", "1", 0), meta(1, "a", "1", 0)];
+        let _ = Catalog::build(&packages);
+    }
+}

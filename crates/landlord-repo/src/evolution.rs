@@ -1,0 +1,199 @@
+//! Repository evolution: new package versions arriving over time.
+//!
+//! The paper's strongest argument against full-repo images is update
+//! cost: "it also becomes prohibitively expensive to update and
+//! transfer such large container images … the process took around 24
+//! hours" (§III), and "when resources are limited or requirements
+//! change regularly, this approach becomes prohibitively expensive"
+//! (§VI). Evaluating that claim needs a repository that *changes*.
+//!
+//! [`evolve`] produces successive snapshots of a repository. Each epoch
+//! releases new versions of existing products: a new package whose
+//! dependencies mirror its newest sibling's (with re-rolled dependency
+//! versions, like real rebuilds against updated toolchains). Package
+//! ids are append-only — snapshot `k+1` contains snapshot `k`'s ids
+//! unchanged, so caches and size tables built against a later snapshot
+//! remain valid for streams generated against an earlier one (the
+//! CVMFS append-only property, at generator level).
+
+use crate::catalog::Catalog;
+use crate::graph::DepGraph;
+use crate::package::PackageMeta;
+use crate::Repository;
+use landlord_core::spec::PackageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one evolution run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EvolutionConfig {
+    /// Number of epochs (snapshots produced *after* the base).
+    pub epochs: usize,
+    /// New versions released per epoch.
+    pub releases_per_epoch: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EvolutionConfig {
+    fn default() -> Self {
+        EvolutionConfig { epochs: 4, releases_per_epoch: 100, seed: 7 }
+    }
+}
+
+/// Evolve `base` for `config.epochs` epochs; returns the snapshots
+/// after each epoch (`result.len() == config.epochs`). The base itself
+/// is snapshot zero and is not repeated in the result.
+pub fn evolve(base: &Repository, config: &EvolutionConfig) -> Vec<Repository> {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xe0_1e);
+    let mut packages: Vec<PackageMeta> = base.packages().to_vec();
+    let mut adjacency: Vec<Vec<PackageId>> = (0..packages.len())
+        .map(|i| base.graph().deps(PackageId(i as u32)).to_vec())
+        .collect();
+
+    let mut snapshots = Vec::with_capacity(config.epochs);
+    for epoch in 0..config.epochs {
+        for _ in 0..config.releases_per_epoch {
+            // Pick a product to release a new version of, by sampling
+            // an existing package and cloning its product identity.
+            let template_idx = rng.gen_range(0..packages.len());
+            let template = packages[template_idx].clone();
+            // Newest sibling = highest id with the same name_id; its
+            // dependency list is the model for the new release.
+            let newest_sibling = packages
+                .iter()
+                .rev()
+                .find(|p| p.name_id == template.name_id)
+                .expect("template's product exists")
+                .id;
+
+            let id = PackageId(packages.len() as u32);
+            let sibling_deps: Vec<PackageId> = adjacency[newest_sibling.index()].clone();
+            // Re-roll each dependency to a random version of the same
+            // product, as a rebuild against updated dependencies would.
+            let deps: Vec<PackageId> = sibling_deps
+                .iter()
+                .map(|&d| {
+                    let dep_name = packages[d.index()].name_id;
+                    let versions: Vec<PackageId> = packages
+                        .iter()
+                        .filter(|p| p.name_id == dep_name)
+                        .map(|p| p.id)
+                        .collect();
+                    versions[rng.gen_range(0..versions.len())]
+                })
+                .collect();
+
+            let sibling_count =
+                packages.iter().filter(|p| p.name_id == template.name_id).count();
+            // New version's size drifts ±20% from the template.
+            let drift = 0.8 + rng.gen_range(0.0..0.4);
+            packages.push(PackageMeta {
+                id,
+                name: template.name.clone(),
+                version: format!("{}.{}.e{}", sibling_count + 1, epoch + 1, 0),
+                name_id: template.name_id,
+                kind: template.kind,
+                layer: template.layer,
+                bytes: ((template.bytes as f64 * drift) as u64).max(1),
+            });
+            adjacency.push(deps);
+        }
+
+        let graph = DepGraph::from_adjacency(adjacency.clone());
+        let catalog = Catalog::build(&packages);
+        snapshots.push(Repository::from_parts(packages.clone(), graph, catalog));
+    }
+    snapshots
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::RepoConfig;
+
+    fn base() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(55))
+    }
+
+    fn config() -> EvolutionConfig {
+        EvolutionConfig { epochs: 3, releases_per_epoch: 20, seed: 2 }
+    }
+
+    #[test]
+    fn snapshots_grow_append_only() {
+        let b = base();
+        let snaps = evolve(&b, &config());
+        assert_eq!(snaps.len(), 3);
+        let mut prev = b.package_count();
+        for (k, snap) in snaps.iter().enumerate() {
+            assert_eq!(snap.package_count(), prev + 20, "epoch {k}");
+            prev = snap.package_count();
+            // Old ids keep their identity: name/version/bytes unchanged.
+            for i in 0..b.package_count() {
+                let id = PackageId(i as u32);
+                assert_eq!(snap.meta(id).name, b.meta(id).name);
+                assert_eq!(snap.meta(id).bytes, b.meta(id).bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshots_stay_acyclic_and_layered() {
+        let b = base();
+        for snap in evolve(&b, &config()) {
+            snap.graph().validate_acyclic().expect("evolved graph stays a DAG");
+            for p in snap.packages() {
+                for &d in snap.graph().deps(p.id) {
+                    assert!(snap.meta(d).layer <= p.layer, "layer order broken");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn new_releases_join_existing_products() {
+        let b = base();
+        let snaps = evolve(&b, &config());
+        let last = snaps.last().unwrap();
+        for i in b.package_count()..last.package_count() {
+            let p = last.meta(PackageId(i as u32));
+            assert!(
+                (p.name_id as usize) < b.catalog().product_count(),
+                "release created a brand-new product"
+            );
+            assert!(p.version.contains(".e"), "release version tagged with its epoch");
+        }
+        // The catalog resolves the new spec strings.
+        let newest = last.meta(PackageId(last.package_count() as u32 - 1));
+        assert_eq!(last.catalog().lookup(&newest.spec_string()), Some(newest.id));
+    }
+
+    #[test]
+    fn evolution_is_deterministic() {
+        let b = base();
+        let a = evolve(&b, &config());
+        let c = evolve(&b, &config());
+        for (x, y) in a.iter().zip(&c) {
+            assert_eq!(x.package_count(), y.package_count());
+            assert_eq!(x.total_bytes(), y.total_bytes());
+        }
+    }
+
+    #[test]
+    fn closures_against_new_versions_work() {
+        let b = base();
+        let snaps = evolve(&b, &config());
+        let last = snaps.last().unwrap();
+        let newest = PackageId(last.package_count() as u32 - 1);
+        let spec = last.closure_spec(&[newest]);
+        assert!(spec.contains(newest));
+        // Dependencies resolved within the snapshot.
+        for p in spec.iter() {
+            for &d in last.graph().deps(p) {
+                assert!(spec.contains(d));
+            }
+        }
+    }
+}

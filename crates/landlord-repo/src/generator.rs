@@ -1,0 +1,423 @@
+//! Synthetic SFT-like repository generation.
+//!
+//! We reproduce the *statistical shape* the paper reports for the CERN
+//! SFT repository rather than its proprietary contents:
+//!
+//! * **Layered hierarchy.** Products live in four layers — base
+//!   toolchains, core frameworks, libraries, leaf applications — and
+//!   dependencies always point to strictly lower layers, so the graph
+//!   is acyclic by construction. This yields the "tree structure of the
+//!   software dependencies" responsible for Fig. 3's non-linear closure
+//!   growth.
+//! * **Near-universal core components.** A handful of base products are
+//!   attached to most other products with high probability, matching
+//!   "certain core components are used near-universally … base
+//!   frameworks, setup scripts, calibration data".
+//! * **Preferential attachment.** Dependency targets are chosen
+//!   proportionally to their current fan-in, producing the heavy-tailed
+//!   fan-in distribution real package ecosystems show, plus the "long
+//!   tail" of rarely used components.
+//! * **Versions.** Each product expands into 1..=`versions_max`
+//!   versioned packages ("a program or library typically provides
+//!   packages for multiple versions, platforms, and configurations").
+//!   Each version re-samples which version of each dependency product
+//!   it links against.
+//! * **Sizes.** Log-normal with per-kind scale factors, then globally
+//!   rescaled so the repository totals `total_bytes` exactly (±rounding),
+//!   so experiments can state cache sizes as multiples of the repo size.
+
+use crate::catalog::Catalog;
+use crate::graph::DepGraph;
+use crate::package::{PackageKind, PackageMeta};
+use crate::Repository;
+use landlord_core::spec::PackageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the synthetic repository generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepoConfig {
+    /// Target number of packages (the paper's SFT snapshot: 9,660).
+    pub package_count: usize,
+    /// Total repository size in bytes after scaling (default 700 GB).
+    pub total_bytes: u64,
+    /// RNG seed; the same config always generates the same repository.
+    pub seed: u64,
+    /// Fraction of *products* per layer: base, framework, library,
+    /// application. Must sum to ~1.
+    pub layer_fractions: [f64; 4],
+    /// Maximum versions per product (min is 1).
+    pub versions_max: usize,
+    /// Number of base products treated as near-universal core.
+    pub universal_core_products: usize,
+    /// Probability that any given product depends on each universal
+    /// core product.
+    pub core_attach_probability: f64,
+    /// Dependency count ranges per dependent layer (framework, library,
+    /// application): inclusive `(min, max)` product dependencies, not
+    /// counting universal-core attachments.
+    pub dep_ranges: [(usize, usize); 3],
+    /// Log-normal σ of package sizes.
+    pub size_sigma: f64,
+}
+
+impl Default for RepoConfig {
+    fn default() -> Self {
+        Self::sft_like(0x5f7_c0de)
+    }
+}
+
+impl RepoConfig {
+    /// The configuration used for the paper-scale experiments: 9,660
+    /// packages, 700 GB.
+    pub fn sft_like(seed: u64) -> Self {
+        RepoConfig {
+            package_count: 9660,
+            total_bytes: 700 * 1_000_000_000,
+            seed,
+            layer_fractions: [0.01, 0.04, 0.25, 0.70],
+            versions_max: 5,
+            universal_core_products: 8,
+            core_attach_probability: 0.85,
+            dep_ranges: [(1, 3), (2, 5), (2, 6)],
+            size_sigma: 1.4,
+        }
+    }
+
+    /// A tiny universe for unit tests: 300 packages, 1 GB.
+    pub fn small_for_tests(seed: u64) -> Self {
+        RepoConfig {
+            package_count: 300,
+            total_bytes: 1_000_000_000,
+            seed,
+            versions_max: 3,
+            universal_core_products: 3,
+            ..Self::sft_like(seed)
+        }
+    }
+}
+
+struct Product {
+    layer: u8,
+    /// Package ids of this product's versions.
+    versions: Vec<PackageId>,
+    /// Fan-in counter for preferential attachment (product level).
+    fan_in: u32,
+}
+
+/// Standard normal sample via Box–Muller (rand 0.8 ships only uniform
+/// primitives; `rand_distr` stays outside the dependency budget).
+fn sample_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generate a repository per `config`. Deterministic in `config.seed`.
+pub fn generate(config: &RepoConfig) -> Repository {
+    assert!(config.package_count > 16, "universe too small to be layered");
+    assert!(
+        (0.0..=1.0).contains(&config.core_attach_probability),
+        "core_attach_probability must be a probability"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // ---- 1. Decide per-layer package budgets. ------------------------
+    let frac_sum: f64 = config.layer_fractions.iter().sum();
+    let mut layer_budget: Vec<usize> = config
+        .layer_fractions
+        .iter()
+        .map(|f| ((f / frac_sum) * config.package_count as f64).round() as usize)
+        .collect();
+    // Force exact total and at least the universal core in layer 0.
+    layer_budget[0] = layer_budget[0].max(config.universal_core_products);
+    let assigned: usize = layer_budget.iter().sum();
+    let last = layer_budget.len() - 1;
+    layer_budget[last] =
+        (layer_budget[last] + config.package_count).saturating_sub(assigned).max(1);
+
+    // ---- 2. Create products layer by layer, expanding versions. ------
+    let kind_of_layer =
+        [PackageKind::Base, PackageKind::Framework, PackageKind::Library, PackageKind::Application];
+    let mut products: Vec<Product> = Vec::new();
+    let mut packages: Vec<PackageMeta> = Vec::new();
+    let mut next_name_id = 0u32;
+
+    for (layer, &budget) in layer_budget.iter().enumerate() {
+        let mut made = 0usize;
+        while made < budget {
+            let remaining = budget - made;
+            let versions = if layer == 0 && products.len() < config.universal_core_products {
+                // Universal core products get a single canonical version:
+                // they must land in *every* closure identically or the
+                // near-universality property dissolves across versions.
+                1
+            } else {
+                rng.gen_range(1..=config.versions_max.min(remaining.max(1)))
+            };
+            let name_id = next_name_id;
+            next_name_id += 1;
+            let mut ids = Vec::with_capacity(versions);
+            for v in 0..versions {
+                let id = PackageId(packages.len() as u32);
+                ids.push(id);
+                packages.push(PackageMeta {
+                    id,
+                    name: format!("{}-{:04}", kind_of_layer[layer].token(), name_id),
+                    version: format!("{}.{}.0", 1 + v, (name_id * 7 + v as u32 * 3) % 10),
+                    name_id,
+                    kind: kind_of_layer[layer],
+                    layer: layer as u8,
+                    bytes: 0, // filled in step 4
+                });
+            }
+            made += versions;
+            products.push(Product { layer: layer as u8, versions: ids, fan_in: 0 });
+        }
+    }
+    let package_count = packages.len();
+
+    // ---- 3. Wire product-level dependencies, expand to packages. -----
+    // Products are ordered by layer, so product index ranges per layer
+    // are contiguous.
+    let layer_product_ranges: Vec<std::ops::Range<usize>> = {
+        let mut ranges = Vec::new();
+        let mut start = 0usize;
+        for layer in 0..layer_budget.len() as u8 {
+            let end = start + products[start..].iter().take_while(|p| p.layer == layer).count();
+            ranges.push(start..end);
+            start = end;
+        }
+        ranges
+    };
+
+    let mut adjacency: Vec<Vec<PackageId>> = vec![Vec::new(); package_count];
+    for pi in 0..products.len() {
+        let layer = products[pi].layer as usize;
+        if layer == 0 {
+            continue;
+        }
+        // Candidate dependency products: anything in strictly lower
+        // layers, weighted by fan-in + 1 (preferential attachment).
+        let lower_end = layer_product_ranges[layer - 1].end;
+        let (dep_min, dep_max) = config.dep_ranges[layer - 1];
+        let dep_count = rng.gen_range(dep_min..=dep_max).min(lower_end);
+
+        let mut chosen: Vec<usize> = Vec::with_capacity(dep_count + config.universal_core_products);
+        // Universal core attachments first; these do NOT consume the
+        // structural dependency budget, or applications would bottom out
+        // on base packages and never reach the library layer.
+        for core in 0..config.universal_core_products.min(lower_end) {
+            if rng.gen_bool(config.core_attach_probability) {
+                chosen.push(core);
+            }
+        }
+        // Preferential attachment for the structural dependencies:
+        // mostly from the adjacent lower layer (hierarchy), sometimes
+        // from any lower layer (cross-layer shortcuts, like real repos).
+        let core_picked = chosen.len();
+        let adjacent = layer_product_ranges[layer - 1].clone();
+        let mut guard = 0;
+        while chosen.len() - core_picked < dep_count && guard < dep_count * 20 + 20 {
+            guard += 1;
+            let range = if rng.gen_bool(0.75) && !adjacent.is_empty() {
+                adjacent.clone()
+            } else {
+                0..lower_end
+            };
+            let total_weight: u64 =
+                products[range.clone()].iter().map(|p| p.fan_in as u64 + 1).sum();
+            if total_weight == 0 {
+                break;
+            }
+            let mut ticket = rng.gen_range(0..total_weight);
+            let mut pick = None;
+            for (off, q) in products[range.clone()].iter().enumerate() {
+                let w = q.fan_in as u64 + 1;
+                if ticket < w {
+                    pick = Some(range.start + off);
+                    break;
+                }
+                ticket -= w;
+            }
+            let Some(pick) = pick else { continue };
+            if !chosen.contains(&pick) {
+                chosen.push(pick);
+            }
+        }
+        for &qi in &chosen {
+            products[qi].fan_in += 1;
+        }
+
+        // Expand to package level: each version of this product links a
+        // (possibly different) version of each dependency product.
+        let version_ids = products[pi].versions.clone();
+        for &vid in &version_ids {
+            for &qi in &chosen {
+                let dep_versions = &products[qi].versions;
+                let dep = dep_versions[rng.gen_range(0..dep_versions.len())];
+                adjacency[vid.index()].push(dep);
+            }
+        }
+    }
+    let graph = DepGraph::from_adjacency(adjacency);
+
+    // ---- 4. Sizes: log-normal with per-kind scale, then exact total. -
+    let kind_scale = |k: PackageKind| match k {
+        PackageKind::Base => 2.5,
+        PackageKind::Framework => 1.5,
+        PackageKind::Library => 1.0,
+        PackageKind::Application => 0.6,
+    };
+    let mut raw: Vec<f64> = Vec::with_capacity(package_count);
+    for p in &packages {
+        let n = sample_normal(&mut rng);
+        raw.push(kind_scale(p.kind) * (config.size_sigma * n).exp());
+    }
+    let raw_sum: f64 = raw.iter().sum();
+    let scale = config.total_bytes as f64 / raw_sum.max(f64::MIN_POSITIVE);
+    for (p, r) in packages.iter_mut().zip(raw) {
+        p.bytes = ((r * scale).round() as u64).max(1);
+    }
+
+    let catalog = Catalog::build(&packages);
+    Repository::from_parts(packages, graph, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::ClosureComputer;
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Repository::generate(&RepoConfig::small_for_tests(9));
+        let b = Repository::generate(&RepoConfig::small_for_tests(9));
+        assert_eq!(a.package_count(), b.package_count());
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        for (x, y) in a.packages().iter().zip(b.packages()) {
+            assert_eq!(x.bytes, y.bytes);
+            assert_eq!(x.name, y.name);
+        }
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Repository::generate(&RepoConfig::small_for_tests(1));
+        let b = Repository::generate(&RepoConfig::small_for_tests(2));
+        let same_sizes =
+            a.packages().iter().zip(b.packages()).all(|(x, y)| x.bytes == y.bytes);
+        assert!(!same_sizes, "seeds 1 and 2 produced identical repositories");
+    }
+
+    #[test]
+    fn package_count_close_to_target() {
+        let cfg = RepoConfig::small_for_tests(3);
+        let repo = Repository::generate(&cfg);
+        let n = repo.package_count() as i64;
+        let target = cfg.package_count as i64;
+        assert!((n - target).abs() <= cfg.versions_max as i64 * 4, "{n} vs {target}");
+    }
+
+    #[test]
+    fn total_bytes_close_to_target() {
+        let cfg = RepoConfig::small_for_tests(4);
+        let repo = Repository::generate(&cfg);
+        let total = repo.total_bytes() as f64;
+        let target = cfg.total_bytes as f64;
+        assert!((total - target).abs() / target < 0.01, "{total} vs {target}");
+    }
+
+    #[test]
+    fn graph_is_acyclic_and_layer_respecting() {
+        let repo = Repository::generate(&RepoConfig::small_for_tests(5));
+        repo.graph().validate_acyclic().unwrap();
+        for p in repo.packages() {
+            for &d in repo.graph().deps(p.id) {
+                assert!(
+                    repo.meta(d).layer < p.layer,
+                    "dep {} (layer {}) not below {} (layer {})",
+                    d,
+                    repo.meta(d).layer,
+                    p.id,
+                    p.layer
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn universal_core_appears_in_most_closures() {
+        let cfg = RepoConfig::small_for_tests(6);
+        let repo = Repository::generate(&cfg);
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut computer = ClosureComputer::new(repo.package_count());
+        let all: Vec<PackageId> = (0..repo.package_count() as u32).map(PackageId).collect();
+        // Sample applications only (the top layer drives real requests).
+        let apps: Vec<PackageId> = all
+            .iter()
+            .copied()
+            .filter(|&p| repo.meta(p).kind == PackageKind::Application)
+            .collect();
+        let mut core_hits = 0usize;
+        let trials = 50;
+        for _ in 0..trials {
+            let seed = *apps.choose(&mut rng).unwrap();
+            let closure = computer.closure(repo.graph(), &[seed]);
+            // Core product 0 is package id 0 (single version, layer 0).
+            if closure.contains(PackageId(0)) {
+                core_hits += 1;
+            }
+        }
+        assert!(
+            core_hits * 2 > trials,
+            "universal core in only {core_hits}/{trials} closures"
+        );
+    }
+
+    #[test]
+    fn closure_expansion_factor_matches_paper_shape() {
+        // Paper Fig. 3: small selections (< 100 packages) expand ~5x;
+        // growth saturates for larger selections. On the test-size
+        // universe we just require meaningful expansion (>2x) and
+        // saturation (<= universe).
+        let cfg = RepoConfig::small_for_tests(7);
+        let repo = Repository::generate(&cfg);
+        let mut rng = StdRng::seed_from_u64(1);
+        let all: Vec<PackageId> = (0..repo.package_count() as u32).map(PackageId).collect();
+        let sel: Vec<PackageId> =
+            all.choose_multiple(&mut rng, 20).copied().collect();
+        let closure = repo.closure_spec(&sel);
+        assert!(closure.len() >= 2 * sel.len(), "expansion {} from {}", closure.len(), sel.len());
+        assert!(closure.len() <= repo.package_count());
+    }
+
+    #[test]
+    fn versions_share_name_id() {
+        let repo = Repository::generate(&RepoConfig::small_for_tests(8));
+        // Find a product with >1 version via the catalog.
+        let mut found = false;
+        for group in repo.catalog().name_groups() {
+            if group.len() > 1 {
+                let nid = repo.meta(group[0]).name_id;
+                assert!(group.iter().all(|&p| repo.meta(p).name_id == nid));
+                let names: std::collections::HashSet<&str> =
+                    group.iter().map(|&p| repo.meta(p).name.as_str()).collect();
+                assert_eq!(names.len(), 1, "versions of one product share a name");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "generator produced no multi-version products");
+    }
+
+    #[test]
+    #[should_panic(expected = "universe too small")]
+    fn rejects_tiny_universe() {
+        let cfg = RepoConfig { package_count: 4, ..RepoConfig::small_for_tests(0) };
+        let _ = Repository::generate(&cfg);
+    }
+}

@@ -1,0 +1,117 @@
+//! Package metadata.
+//!
+//! The paper identifies packages by "a name/version string that is
+//! defined to be unique within the repo". We keep the human-readable
+//! name and version for display and catalog lookups, plus the interned
+//! `name_id` used by version-conflict policies, the structural layer
+//! the generator placed the package in, and its on-disk size.
+
+use landlord_core::spec::PackageId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Broad role of a package in the dependency hierarchy.
+///
+/// Mirrors the structure the paper observed in the SFT repository:
+/// base frameworks / setup scripts / calibration data that appear in
+/// nearly every image, mid-level libraries, and leaf applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackageKind {
+    /// Near-universal base component (compilers, runtimes, setup
+    /// scripts, calibration data).
+    Base,
+    /// Core framework most applications build on.
+    Framework,
+    /// Mid-level library.
+    Library,
+    /// Leaf application / analysis code.
+    Application,
+}
+
+impl PackageKind {
+    /// Stable lowercase token.
+    pub fn token(self) -> &'static str {
+        match self {
+            PackageKind::Base => "base",
+            PackageKind::Framework => "framework",
+            PackageKind::Library => "library",
+            PackageKind::Application => "application",
+        }
+    }
+}
+
+impl fmt::Display for PackageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// Metadata of one package (one name/version/platform combination).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackageMeta {
+    /// Dense id; equals this package's index in `Repository::packages`.
+    pub id: PackageId,
+    /// Software product name, e.g. `geant4`.
+    pub name: String,
+    /// Version string, e.g. `10.6.p01-x86_64`.
+    pub version: String,
+    /// Interned name id shared by all versions of one product.
+    pub name_id: u32,
+    /// Hierarchy role assigned by the generator.
+    pub kind: PackageKind,
+    /// Generator layer (0 = base). Dependencies always point to
+    /// strictly lower layers, which is what makes the graph acyclic.
+    pub layer: u8,
+    /// On-disk size in bytes.
+    pub bytes: u64,
+}
+
+impl PackageMeta {
+    /// `name/version` — the repository-unique identifier string.
+    pub fn spec_string(&self) -> String {
+        format!("{}/{}", self.name, self.version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tokens() {
+        assert_eq!(PackageKind::Base.token(), "base");
+        assert_eq!(PackageKind::Application.to_string(), "application");
+    }
+
+    #[test]
+    fn spec_string_format() {
+        let m = PackageMeta {
+            id: PackageId(3),
+            name: "root".into(),
+            version: "6.20.04".into(),
+            name_id: 1,
+            kind: PackageKind::Framework,
+            layer: 1,
+            bytes: 123,
+        };
+        assert_eq!(m.spec_string(), "root/6.20.04");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let m = PackageMeta {
+            id: PackageId(0),
+            name: "gcc".into(),
+            version: "9.2.0".into(),
+            name_id: 0,
+            kind: PackageKind::Base,
+            layer: 0,
+            bytes: 1 << 30,
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: PackageMeta = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name, m.name);
+        assert_eq!(back.bytes, m.bytes);
+        assert_eq!(back.kind, m.kind);
+    }
+}

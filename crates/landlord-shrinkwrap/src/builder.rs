@@ -1,0 +1,206 @@
+//! Building images from specifications.
+//!
+//! [`Shrinkwrap`] materializes a [`Spec`] against a repository: it
+//! resolves every member package's file tree, stores each file's bytes
+//! through the content-addressed store (a re-materialized package costs
+//! nothing new — the CVMFS dedup property), and writes one flat LLIMG
+//! file containing everything.
+
+use crate::filetree::{self, FileTreeConfig};
+use crate::format::{ImageEntry, ImageWriter};
+use landlord_core::spec::Spec;
+use landlord_repo::Repository;
+use landlord_store::{ObjectStore};
+use serde::{Deserialize, Serialize};
+use std::io::{self, Write};
+
+/// Outcome accounting of one build.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BuildReport {
+    /// Packages materialized.
+    pub packages: usize,
+    /// Files written into the image.
+    pub files: u64,
+    /// Physical bytes written into the image (after scaling).
+    pub physical_bytes: u64,
+    /// Logical bytes the image represents (repository accounting).
+    pub logical_bytes: u64,
+    /// Objects newly inserted into the store by this build.
+    pub objects_added: usize,
+    /// Files satisfied by objects already in the store (dedup hits).
+    pub dedup_hits: u64,
+}
+
+/// Image builder bound to a repository, a store, and a tree config.
+pub struct Shrinkwrap<'a> {
+    repo: &'a Repository,
+    store: &'a dyn ObjectStore,
+    tree_config: FileTreeConfig,
+}
+
+impl<'a> Shrinkwrap<'a> {
+    /// Create a builder.
+    pub fn new(
+        repo: &'a Repository,
+        store: &'a dyn ObjectStore,
+        tree_config: FileTreeConfig,
+    ) -> Self {
+        Shrinkwrap { repo, store, tree_config }
+    }
+
+    /// The tree configuration in use.
+    pub fn tree_config(&self) -> &FileTreeConfig {
+        &self.tree_config
+    }
+
+    /// Materialize `spec` into `out` as an LLIMG image.
+    ///
+    /// The spec is taken as-is (callers expand dependency closures
+    /// first; [`Repository::closure_spec`] does that).
+    pub fn build<W: Write>(&self, spec: &Spec, out: W) -> io::Result<BuildReport> {
+        let mut report = BuildReport { packages: spec.len(), ..Default::default() };
+
+        // Resolve all trees first: the image format wants its table up
+        // front, and we learn dedup stats while pushing file bytes in.
+        let mut entries = Vec::new();
+        let mut blobs: Vec<Vec<u8>> = Vec::new();
+        for pkg in spec.iter() {
+            let meta = self.repo.meta(pkg);
+            report.logical_bytes += meta.bytes;
+            for file in filetree::package_tree(meta, &self.tree_config) {
+                let contents = filetree::file_contents(&file);
+                let before = self.store.object_count();
+                self.store.put(&contents)?;
+                if self.store.object_count() == before {
+                    report.dedup_hits += 1;
+                } else {
+                    report.objects_added += 1;
+                }
+                report.files += 1;
+                report.physical_bytes += contents.len() as u64;
+                entries.push(ImageEntry {
+                    path: file.path.clone(),
+                    size: contents.len() as u64,
+                    executable: file.executable,
+                });
+                blobs.push(contents);
+            }
+        }
+
+        let mut writer = ImageWriter::new(out, entries)?;
+        for blob in &blobs {
+            writer.write_file(blob)?;
+        }
+        writer.finish()?;
+        Ok(report)
+    }
+
+    /// Build straight to a file path.
+    pub fn build_to_path(&self, spec: &Spec, path: &std::path::Path) -> io::Result<BuildReport> {
+        let file = std::fs::File::create(path)?;
+        let mut buf = std::io::BufWriter::new(file);
+        let report = self.build(spec, &mut buf)?;
+        buf.flush()?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::ImageReader;
+    use landlord_core::spec::PackageId;
+    use landlord_repo::RepoConfig;
+    use landlord_store::MemStore;
+
+    fn setup() -> (Repository, MemStore) {
+        (Repository::generate(&RepoConfig::small_for_tests(50)), MemStore::new())
+    }
+
+    #[test]
+    fn build_produces_readable_image() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+        let mut out = Vec::new();
+        let report = sw.build(&spec, &mut out).unwrap();
+
+        assert_eq!(report.packages, spec.len());
+        assert!(report.files > 0);
+        assert!(report.physical_bytes > 0);
+        assert!(report.logical_bytes >= report.physical_bytes);
+
+        let img = ImageReader::parse_bytes(&out).unwrap();
+        assert_eq!(img.len() as u64, report.files);
+        assert_eq!(img.content_bytes(), report.physical_bytes);
+    }
+
+    #[test]
+    fn image_contains_every_package_tree() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+        let mut out = Vec::new();
+        sw.build(&spec, &mut out).unwrap();
+        let img = ImageReader::parse_bytes(&out).unwrap();
+        for pkg in spec.iter() {
+            let meta = repo.meta(pkg);
+            let prefix = format!("pkg/{}/{}/", meta.name, meta.version);
+            assert!(
+                img.entries().iter().any(|e| e.path.starts_with(&prefix)),
+                "no files for {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_build_dedups_fully() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+        let r1 = sw.build(&spec, &mut Vec::new()).unwrap();
+        let r2 = sw.build(&spec, &mut Vec::new()).unwrap();
+        assert!(r1.objects_added > 0);
+        assert_eq!(r2.objects_added, 0, "all content already stored");
+        assert_eq!(r2.dedup_hits, r2.files);
+    }
+
+    #[test]
+    fn overlapping_specs_share_store_objects() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let a = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+        let b = repo.closure_spec(&[
+            PackageId(repo.package_count() as u32 - 1),
+            PackageId(repo.package_count() as u32 - 2),
+        ]);
+        sw.build(&a, &mut Vec::new()).unwrap();
+        let r2 = sw.build(&b, &mut Vec::new()).unwrap();
+        assert!(r2.dedup_hits > 0, "shared packages must dedup");
+    }
+
+    #[test]
+    fn build_to_path_writes_file() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let spec = repo.closure_spec(&[PackageId(0)]);
+        let path = std::env::temp_dir()
+            .join(format!("landlord-img-{}.llimg", std::process::id()));
+        let report = sw.build_to_path(&spec, &path).unwrap();
+        let on_disk = std::fs::metadata(&path).unwrap().len();
+        assert!(on_disk >= report.physical_bytes);
+        let img = ImageReader::parse(std::fs::File::open(&path).unwrap()).unwrap();
+        assert_eq!(img.len() as u64, report.files);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_spec_builds_empty_image() {
+        let (repo, store) = setup();
+        let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+        let mut out = Vec::new();
+        let report = sw.build(&Spec::empty(), &mut out).unwrap();
+        assert_eq!(report.files, 0);
+        assert!(ImageReader::parse_bytes(&out).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic synthetic file trees for packages.
+//!
+//! Every package expands to a reproducible set of files (paths, sizes,
+//! contents) derived purely from the package metadata and a scale
+//! factor. Two properties matter downstream:
+//!
+//! * **Determinism** — the same package always yields byte-identical
+//!   files, so content-addressed storage dedups repeated materialization
+//!   exactly like CVMFS dedups real package data.
+//! * **Scalability** — `scale_denominator` shrinks physical bytes (a
+//!   6 GB package can materialize as 6 KB on disk) while logical sizes
+//!   stay faithful, letting end-to-end disk tests run in milliseconds
+//!   while simulations account true bytes.
+
+use landlord_core::spec::PackageId;
+use landlord_repo::PackageMeta;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for tree synthesis.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FileTreeConfig {
+    /// Physical bytes = logical bytes / this (minimum 1 per file).
+    pub scale_denominator: u64,
+    /// Upper bound on files per package (big packages get more files,
+    /// roughly one per `bytes_per_file` logical bytes).
+    pub max_files: usize,
+    /// Logical bytes per synthesized file before capping.
+    pub bytes_per_file: u64,
+}
+
+impl Default for FileTreeConfig {
+    fn default() -> Self {
+        // Real HEP packages average a few hundred KB per file.
+        FileTreeConfig { scale_denominator: 1, max_files: 64, bytes_per_file: 4 << 20 }
+    }
+}
+
+impl FileTreeConfig {
+    /// A configuration for fast on-disk tests: megabytes become bytes.
+    pub fn miniature() -> Self {
+        FileTreeConfig { scale_denominator: 1 << 20, max_files: 16, bytes_per_file: 4 << 20 }
+    }
+}
+
+/// One synthesized file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileSpec {
+    /// Image-relative path, already namespaced by package.
+    pub path: String,
+    /// Physical content length in bytes.
+    pub physical_bytes: u64,
+    /// Seed for the deterministic content stream.
+    pub content_seed: u64,
+    /// Executable flag.
+    pub executable: bool,
+}
+
+/// Derive the file tree of one package.
+pub fn package_tree(meta: &PackageMeta, config: &FileTreeConfig) -> Vec<FileSpec> {
+    let logical = meta.bytes.max(1);
+    let file_count = ((logical / config.bytes_per_file.max(1)) as usize + 1).min(config.max_files);
+    let physical_total = (logical / config.scale_denominator.max(1)).max(file_count as u64);
+    let per_file = physical_total / file_count as u64;
+    let remainder = physical_total % file_count as u64;
+
+    let base_seed = splitmix(meta.id.0 as u64 ^ 0x5ee1_f11e);
+    let prefix = format!("pkg/{}/{}", meta.name, meta.version);
+    (0..file_count)
+        .map(|i| {
+            let (subdir, executable) = match i % 4 {
+                0 => ("bin", true),
+                1 => ("lib", false),
+                2 => ("share", false),
+                _ => ("data", false),
+            };
+            FileSpec {
+                path: format!("{prefix}/{subdir}/f{i:03}"),
+                physical_bytes: per_file + if (i as u64) < remainder { 1 } else { 0 },
+                content_seed: splitmix(base_seed ^ (i as u64).wrapping_mul(0x9e37_79b9)),
+                executable,
+            }
+        })
+        .collect()
+}
+
+/// Generate the deterministic contents of a file into `out`.
+pub fn file_contents(spec: &FileSpec) -> Vec<u8> {
+    let mut out = Vec::with_capacity(spec.physical_bytes as usize);
+    let mut state = spec.content_seed | 1;
+    while (out.len() as u64) < spec.physical_bytes {
+        state = splitmix(state);
+        let chunk = state.to_le_bytes();
+        let take = ((spec.physical_bytes - out.len() as u64) as usize).min(8);
+        out.extend_from_slice(&chunk[..take]);
+    }
+    out
+}
+
+/// Total physical bytes of a tree.
+pub fn tree_physical_bytes(tree: &[FileSpec]) -> u64 {
+    tree.iter().map(|f| f.physical_bytes).sum()
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Convenience: the tree of a package id within a repository.
+pub fn tree_of(
+    repo: &landlord_repo::Repository,
+    id: PackageId,
+    config: &FileTreeConfig,
+) -> Vec<FileSpec> {
+    package_tree(repo.meta(id), config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_repo::{PackageKind, Repository, RepoConfig};
+
+    fn meta(id: u32, bytes: u64) -> PackageMeta {
+        PackageMeta {
+            id: PackageId(id),
+            name: format!("pkg{id}"),
+            version: "1.0".into(),
+            name_id: id,
+            kind: PackageKind::Library,
+            layer: 2,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn tree_is_deterministic() {
+        let m = meta(5, 100 << 20);
+        let cfg = FileTreeConfig::default();
+        assert_eq!(package_tree(&m, &cfg), package_tree(&m, &cfg));
+    }
+
+    #[test]
+    fn different_packages_different_trees() {
+        let cfg = FileTreeConfig::default();
+        let a = package_tree(&meta(1, 1 << 20), &cfg);
+        let b = package_tree(&meta(2, 1 << 20), &cfg);
+        assert_ne!(a[0].content_seed, b[0].content_seed);
+        assert_ne!(a[0].path, b[0].path);
+    }
+
+    #[test]
+    fn physical_bytes_respect_scale() {
+        let m = meta(1, 64 << 20); // 64 MiB logical
+        let cfg = FileTreeConfig { scale_denominator: 1 << 10, ..Default::default() };
+        let tree = package_tree(&m, &cfg);
+        assert_eq!(tree_physical_bytes(&tree), 64 << 10, "scaled to 64 KiB");
+    }
+
+    #[test]
+    fn file_count_scales_with_size_and_caps() {
+        let cfg = FileTreeConfig { max_files: 10, bytes_per_file: 1 << 20, ..Default::default() };
+        let small = package_tree(&meta(1, 1 << 18), &cfg);
+        let large = package_tree(&meta(2, 1 << 30), &cfg);
+        assert_eq!(small.len(), 1);
+        assert_eq!(large.len(), 10, "capped at max_files");
+    }
+
+    #[test]
+    fn contents_match_declared_size_and_are_deterministic() {
+        let m = meta(9, 3 << 20);
+        let cfg = FileTreeConfig::miniature();
+        let tree = package_tree(&m, &cfg);
+        for f in &tree {
+            let c1 = file_contents(f);
+            let c2 = file_contents(f);
+            assert_eq!(c1.len() as u64, f.physical_bytes);
+            assert_eq!(c1, c2);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_contents() {
+        let a = FileSpec {
+            path: "a".into(),
+            physical_bytes: 256,
+            content_seed: 1,
+            executable: false,
+        };
+        let b = FileSpec { content_seed: 2, ..a.clone() };
+        assert_ne!(file_contents(&a), file_contents(&b));
+    }
+
+    #[test]
+    fn tree_of_uses_repo_metadata() {
+        let repo = Repository::generate(&RepoConfig::small_for_tests(2));
+        let cfg = FileTreeConfig::miniature();
+        let tree = tree_of(&repo, PackageId(0), &cfg);
+        assert!(!tree.is_empty());
+        assert!(tree[0].path.starts_with("pkg/"));
+    }
+
+    #[test]
+    fn zero_byte_package_still_has_a_file() {
+        let tree = package_tree(&meta(1, 0), &FileTreeConfig::default());
+        assert_eq!(tree.len(), 1);
+        assert!(tree[0].physical_bytes >= 1);
+    }
+}

@@ -1,0 +1,428 @@
+//! `LLIMG`: the flat single-file container image format.
+//!
+//! Singularity images are single files that mount read-only; LLIMG is
+//! the minimal stand-in with the same operational shape: one file,
+//! self-contained, enumerable, integrity-checkable.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   8  b"LLIMG\x01\0\0"
+//! count   4  number of files
+//! table      per file:
+//!   path_len 2 | path bytes | flags 1 | size 8
+//! check  16  content hash of the table region
+//! blobs      file contents, concatenated in table order
+//! ```
+//!
+//! Offsets are implicit (cumulative sizes in table order), which keeps
+//! the writer single-pass after the table is known.
+
+use landlord_store::ContentHash;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"LLIMG\x01\0\0";
+const FLAG_EXECUTABLE: u8 = 0b0000_0001;
+
+/// An entry in the image's file table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageEntry {
+    /// Image-relative path.
+    pub path: String,
+    /// Content length in bytes.
+    pub size: u64,
+    /// Executable flag.
+    pub executable: bool,
+}
+
+/// Errors raised when reading an image.
+#[derive(Debug)]
+pub enum ImageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Not an LLIMG file / wrong version.
+    BadMagic,
+    /// Structurally invalid (truncated table, non-UTF-8 path, …).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for ImageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ImageError::Io(e) => write!(f, "image I/O error: {e}"),
+            ImageError::BadMagic => write!(f, "not an LLIMG image"),
+            ImageError::Corrupt(what) => write!(f, "corrupt image: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+impl From<io::Error> for ImageError {
+    fn from(e: io::Error) -> Self {
+        ImageError::Io(e)
+    }
+}
+
+/// Streaming image writer: declare the table up front, then append each
+/// file's bytes in order.
+pub struct ImageWriter<W: Write> {
+    out: W,
+    entries: Vec<ImageEntry>,
+    next: usize,
+    written_of_current: u64,
+}
+
+impl<W: Write> ImageWriter<W> {
+    /// Write the header and table; afterwards feed each file's content
+    /// in table order via [`ImageWriter::write_file`].
+    pub fn new(mut out: W, entries: Vec<ImageEntry>) -> io::Result<Self> {
+        let mut table = Vec::new();
+        for e in &entries {
+            let path = e.path.as_bytes();
+            assert!(path.len() <= u16::MAX as usize, "path too long: {}", e.path);
+            table.extend_from_slice(&(path.len() as u16).to_le_bytes());
+            table.extend_from_slice(path);
+            table.push(if e.executable { FLAG_EXECUTABLE } else { 0 });
+            table.extend_from_slice(&e.size.to_le_bytes());
+        }
+        out.write_all(MAGIC)?;
+        out.write_all(&(entries.len() as u32).to_le_bytes())?;
+        out.write_all(&table)?;
+        let check = ContentHash::of(&table);
+        out.write_all(check.to_hex().as_bytes())?;
+        Ok(ImageWriter { out, entries, next: 0, written_of_current: 0 })
+    }
+
+    /// Append content bytes for the current file; may be called multiple
+    /// times per file until its declared size is reached.
+    pub fn write_file(&mut self, data: &[u8]) -> io::Result<()> {
+        // Zero-length files complete implicitly; skip past them so the
+        // next non-empty file receives this data.
+        while self.next < self.entries.len()
+            && self.entries[self.next].size == 0
+            && self.written_of_current == 0
+        {
+            self.next += 1;
+        }
+        assert!(self.next < self.entries.len(), "all files already written");
+        let declared = self.entries[self.next].size;
+        let new_total = self.written_of_current + data.len() as u64;
+        assert!(
+            new_total <= declared,
+            "file {} overflows declared size {declared}",
+            self.entries[self.next].path
+        );
+        self.out.write_all(data)?;
+        self.written_of_current = new_total;
+        if self.written_of_current == declared {
+            self.next += 1;
+            self.written_of_current = 0;
+        }
+        Ok(())
+    }
+
+    /// Finish writing; fails if any declared file is missing bytes.
+    pub fn finish(mut self) -> io::Result<W> {
+        // Zero-length trailing files complete implicitly.
+        while self.next < self.entries.len() && self.entries[self.next].size == 0 {
+            self.next += 1;
+        }
+        if self.next != self.entries.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("missing content for {}", self.entries[self.next].path),
+            ));
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// A parsed image: table plus blob bytes.
+#[derive(Debug, Clone)]
+pub struct ImageReader {
+    entries: Vec<ImageEntry>,
+    blobs: Vec<u8>,
+    /// Blob offsets per entry (cumulative sizes).
+    offsets: Vec<u64>,
+}
+
+impl ImageReader {
+    /// Parse a whole image from a reader.
+    pub fn parse<R: Read>(mut input: R) -> Result<Self, ImageError> {
+        let mut buf = Vec::new();
+        input.read_to_end(&mut buf)?;
+        Self::parse_bytes(&buf)
+    }
+
+    /// Parse a whole image from memory.
+    pub fn parse_bytes(buf: &[u8]) -> Result<Self, ImageError> {
+        if buf.len() < 12 || &buf[..8] != MAGIC {
+            return Err(ImageError::BadMagic);
+        }
+        let count = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let mut pos = 12usize;
+        let table_start = pos;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            if pos + 2 > buf.len() {
+                return Err(ImageError::Corrupt("truncated table"));
+            }
+            let plen = u16::from_le_bytes(buf[pos..pos + 2].try_into().unwrap()) as usize;
+            pos += 2;
+            if pos + plen + 1 + 8 > buf.len() {
+                return Err(ImageError::Corrupt("truncated entry"));
+            }
+            let path = std::str::from_utf8(&buf[pos..pos + plen])
+                .map_err(|_| ImageError::Corrupt("non-utf8 path"))?
+                .to_string();
+            pos += plen;
+            let flags = buf[pos];
+            pos += 1;
+            let size = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+            pos += 8;
+            entries.push(ImageEntry { path, size, executable: flags & FLAG_EXECUTABLE != 0 });
+        }
+        let table_end = pos;
+        if pos + 32 > buf.len() {
+            return Err(ImageError::Corrupt("missing checksum"));
+        }
+        let stored = std::str::from_utf8(&buf[pos..pos + 32])
+            .ok()
+            .and_then(ContentHash::from_hex)
+            .ok_or(ImageError::Corrupt("bad checksum encoding"))?;
+        if stored != ContentHash::of(&buf[table_start..table_end]) {
+            return Err(ImageError::Corrupt("table checksum mismatch"));
+        }
+        pos += 32;
+        let blobs = buf[pos..].to_vec();
+        let mut offsets = Vec::with_capacity(entries.len());
+        let mut off = 0u64;
+        for e in &entries {
+            offsets.push(off);
+            // Corrupted size fields can be astronomically large; a
+            // checked add turns that into a parse error instead of an
+            // overflow.
+            off = off
+                .checked_add(e.size)
+                .ok_or(ImageError::Corrupt("file sizes overflow"))?;
+        }
+        if off != blobs.len() as u64 {
+            return Err(ImageError::Corrupt("blob area size mismatch"));
+        }
+        Ok(ImageReader { entries, blobs, offsets })
+    }
+
+    /// File table, in image order.
+    pub fn entries(&self) -> &[ImageEntry] {
+        &self.entries
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the image contains no files.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total content bytes.
+    pub fn content_bytes(&self) -> u64 {
+        self.blobs.len() as u64
+    }
+
+    /// Extract one file's contents by path.
+    pub fn read_file(&self, path: &str) -> Option<&[u8]> {
+        let idx = self.entries.iter().position(|e| e.path == path)?;
+        let start = self.offsets[idx] as usize;
+        let end = start + self.entries[idx].size as usize;
+        Some(&self.blobs[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(path: &str, size: u64) -> ImageEntry {
+        ImageEntry { path: path.into(), size, executable: path.contains("bin") }
+    }
+
+    fn build(entries: Vec<ImageEntry>, blobs: &[&[u8]]) -> Vec<u8> {
+        let mut w = ImageWriter::new(Vec::new(), entries).unwrap();
+        for b in blobs {
+            w.write_file(b).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let bytes = build(
+            vec![entry("bin/app", 5), entry("lib/so", 3)],
+            &[b"hello", b"abc"],
+        );
+        let img = ImageReader::parse_bytes(&bytes).unwrap();
+        assert_eq!(img.len(), 2);
+        assert_eq!(img.read_file("bin/app"), Some(b"hello".as_slice()));
+        assert_eq!(img.read_file("lib/so"), Some(b"abc".as_slice()));
+        assert_eq!(img.read_file("nope"), None);
+        assert!(img.entries()[0].executable);
+        assert!(!img.entries()[1].executable);
+        assert_eq!(img.content_bytes(), 8);
+    }
+
+    #[test]
+    fn empty_image() {
+        let bytes = build(vec![], &[]);
+        let img = ImageReader::parse_bytes(&bytes).unwrap();
+        assert!(img.is_empty());
+        assert_eq!(img.content_bytes(), 0);
+    }
+
+    #[test]
+    fn chunked_writes_allowed() {
+        let mut w = ImageWriter::new(Vec::new(), vec![entry("f", 6)]).unwrap();
+        w.write_file(b"abc").unwrap();
+        w.write_file(b"def").unwrap();
+        let bytes = w.finish().unwrap();
+        let img = ImageReader::parse_bytes(&bytes).unwrap();
+        assert_eq!(img.read_file("f"), Some(b"abcdef".as_slice()));
+    }
+
+    #[test]
+    fn zero_size_files() {
+        let bytes = build(vec![entry("empty", 0), entry("x", 1)], &[b"z"]);
+        let img = ImageReader::parse_bytes(&bytes).unwrap();
+        assert_eq!(img.read_file("empty"), Some(b"".as_slice()));
+        assert_eq!(img.read_file("x"), Some(b"z".as_slice()));
+    }
+
+    #[test]
+    fn missing_content_fails_finish() {
+        let mut w = ImageWriter::new(Vec::new(), vec![entry("f", 4)]).unwrap();
+        w.write_file(b"ab").unwrap();
+        let err = w.finish().unwrap_err();
+        assert!(err.to_string().contains("missing content"));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows declared size")]
+    fn oversized_write_panics() {
+        let mut w = ImageWriter::new(Vec::new(), vec![entry("f", 2)]).unwrap();
+        w.write_file(b"abc").unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert!(matches!(
+            ImageReader::parse_bytes(b"NOTANIMAGE__"),
+            Err(ImageError::BadMagic)
+        ));
+        assert!(matches!(ImageReader::parse_bytes(b""), Err(ImageError::BadMagic)));
+    }
+
+    #[test]
+    fn corrupted_table_detected() {
+        let mut bytes = build(vec![entry("bin/app", 5)], &[b"hello"]);
+        // Flip a byte inside the table region (after magic+count).
+        bytes[14] ^= 0xFF;
+        let err = ImageReader::parse_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, ImageError::Corrupt(_)), "got {err}");
+    }
+
+    #[test]
+    fn truncated_blobs_detected() {
+        let bytes = build(vec![entry("f", 5)], &[b"hello"]);
+        let err = ImageReader::parse_bytes(&bytes[..bytes.len() - 2]).unwrap_err();
+        assert!(matches!(err, ImageError::Corrupt("blob area size mismatch")));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_entries() -> impl Strategy<Value = Vec<(String, Vec<u8>, bool)>> {
+        proptest::collection::vec(
+            (
+                "[a-z]{1,12}(/[a-z0-9]{1,8}){0,3}",
+                proptest::collection::vec(any::<u8>(), 0..200),
+                any::<bool>(),
+            ),
+            0..12,
+        )
+        .prop_map(|mut files| {
+            // Paths must be unique within an image.
+            files.sort_by(|a, b| a.0.cmp(&b.0));
+            files.dedup_by(|a, b| a.0 == b.0);
+            files
+        })
+    }
+
+    fn build(files: &[(String, Vec<u8>, bool)]) -> Vec<u8> {
+        let entries: Vec<ImageEntry> = files
+            .iter()
+            .map(|(path, data, exec)| ImageEntry {
+                path: path.clone(),
+                size: data.len() as u64,
+                executable: *exec,
+            })
+            .collect();
+        let mut w = ImageWriter::new(Vec::new(), entries).unwrap();
+        for (_, data, _) in files {
+            if !data.is_empty() {
+                w.write_file(data).unwrap();
+            }
+        }
+        w.finish().unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn arbitrary_images_round_trip(files in arb_entries()) {
+            let bytes = build(&files);
+            let img = ImageReader::parse_bytes(&bytes).unwrap();
+            prop_assert_eq!(img.len(), files.len());
+            for (path, data, exec) in &files {
+                prop_assert_eq!(img.read_file(path), Some(data.as_slice()));
+                let entry = img.entries().iter().find(|e| &e.path == path).unwrap();
+                prop_assert_eq!(entry.executable, *exec);
+            }
+        }
+
+        #[test]
+        fn single_byte_corruption_never_panics(
+            files in arb_entries(),
+            flip_at in any::<proptest::sample::Index>(),
+            xor in 1u8..=255,
+        ) {
+            let mut bytes = build(&files);
+            if bytes.is_empty() { return Ok(()); }
+            let idx = flip_at.index(bytes.len());
+            bytes[idx] ^= xor;
+            // Either the corruption lands in a blob (parse succeeds,
+            // contents differ) or parsing reports an error — never a
+            // panic, never UB.
+            let _ = ImageReader::parse_bytes(&bytes);
+        }
+
+        #[test]
+        fn truncation_never_panics(files in arb_entries(), cut in any::<proptest::sample::Index>()) {
+            let bytes = build(&files);
+            let keep = cut.index(bytes.len() + 1);
+            let _ = ImageReader::parse_bytes(&bytes[..keep]);
+        }
+
+        #[test]
+        fn random_garbage_never_panics(garbage in proptest::collection::vec(any::<u8>(), 0..300)) {
+            let _ = ImageReader::parse_bytes(&garbage);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! # landlord-shrinkwrap
+//!
+//! Image materialization: turn a container *specification* into a
+//! container *image file*, pulling contents from a content-addressed
+//! store — our reproduction of the paper's Shrinkwrap tool ("a tool
+//! developed as part of this work for efficiently building container
+//! images from CVMFS").
+//!
+//! Pipeline:
+//!
+//! 1. [`filetree`] derives a deterministic synthetic file tree for each
+//!    package (we have no CERN software to package; determinism means
+//!    identical packages produce identical bytes, so the store's
+//!    content addressing dedups them exactly as CVMFS would).
+//! 2. [`builder`] resolves a spec's packages, publishes/fetches their
+//!    trees through a [`landlord_store::ObjectStore`], and writes a
+//!    single flat image file.
+//! 3. [`format`](mod@format) defines that file: `LLIMG`, a minimal
+//!    SquashFS-stand-in with a file table and blob area, readable back
+//!    for verification.
+//! 4. [`timing`] converts byte/file counts into preparation-time
+//!    estimates with an explicit cost model (we cannot measure CERN's
+//!    testbed; the model's constants are calibrated against Fig. 2 and
+//!    documented in `EXPERIMENTS.md`).
+//! 5. [`bench_apps`] encodes the seven LHC benchmark applications of
+//!    Fig. 2 as reproducible workload profiles.
+//!
+//! ```
+//! use landlord_core::spec::PackageId;
+//! use landlord_repo::{RepoConfig, Repository};
+//! use landlord_shrinkwrap::filetree::FileTreeConfig;
+//! use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
+//! use landlord_store::MemStore;
+//!
+//! let repo = Repository::generate(&RepoConfig::small_for_tests(1));
+//! let store = MemStore::new();
+//! let shrinkwrap = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
+//!
+//! let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+//! let mut image = Vec::new();
+//! let report = shrinkwrap.build(&spec, &mut image).unwrap();
+//!
+//! let parsed = ImageReader::parse_bytes(&image).unwrap();
+//! assert_eq!(parsed.len() as u64, report.files);
+//! ```
+
+pub mod bench_apps;
+pub mod builder;
+pub mod filetree;
+pub mod format;
+pub mod timing;
+
+pub use builder::{BuildReport, Shrinkwrap};
+pub use format::{ImageReader, ImageWriter};
+pub use timing::CostModel;

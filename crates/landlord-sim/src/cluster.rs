@@ -1,0 +1,425 @@
+//! Worker-node image distribution — modeling the paper's deployment
+//! setting beyond the single shared cache.
+//!
+//! §V: "We also suppose that each compute node has scratch space
+//! available for storing container images locally, but that the total
+//! repository contents or the collection of all container images may be
+//! too large to store on every worker node."
+//!
+//! The model: a head node runs LANDLORD's [`ImageCache`]; each job is
+//! dispatched to one of `workers` nodes. If the serving image (at its
+//! current *revision* — merges rewrite an image in place, invalidating
+//! worker copies) is not in the worker's scratch, it is transferred
+//! from the head cache, evicting least-recently-used scratch entries to
+//! fit. The interesting outputs are the transfer volume and the local
+//! hit rate, and how the dispatch policy changes them.
+
+use crate::workload::{self, WorkloadConfig};
+use landlord_core::cache::{CacheConfig, CacheStats, ImageCache};
+use landlord_core::image::ImageId;
+use landlord_core::spec::Spec;
+use landlord_repo::Repository;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// How jobs are assigned to worker nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Dispatch {
+    /// Cycle through workers in order (fair, cache-oblivious).
+    #[default]
+    RoundRobin,
+    /// Uniform random worker per job.
+    Random,
+    /// Prefer a worker already holding the job's image at the current
+    /// revision; fall back to round-robin. This is the data-locality
+    /// scheduling HTC systems approximate with ranked matchmaking.
+    CacheAware,
+}
+
+impl Dispatch {
+    /// Stable token for reports and CLI parsing.
+    pub fn token(self) -> &'static str {
+        match self {
+            Dispatch::RoundRobin => "round-robin",
+            Dispatch::Random => "random",
+            Dispatch::CacheAware => "cache-aware",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "round-robin" => Dispatch::RoundRobin,
+            "random" => Dispatch::Random,
+            "cache-aware" => Dispatch::CacheAware,
+            _ => return None,
+        })
+    }
+}
+
+/// Cluster shape and scheduling policy.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Local scratch bytes per worker.
+    pub worker_scratch_bytes: u64,
+    /// Job dispatch policy.
+    pub dispatch: Dispatch,
+    /// Seed for the random dispatch policy.
+    pub seed: u64,
+}
+
+/// Aggregate outcome of a cluster simulation.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Jobs dispatched.
+    pub jobs: u64,
+    /// Jobs whose image (current revision) was already on the worker.
+    pub local_hits: u64,
+    /// Image transfers head → worker.
+    pub transfers: u64,
+    /// Bytes moved over the network.
+    pub transfer_bytes: u64,
+    /// Scratch evictions across all workers.
+    pub scratch_evictions: u64,
+}
+
+impl ClusterStats {
+    /// Fraction of jobs served from local scratch, percent.
+    pub fn local_hit_pct(&self) -> f64 {
+        if self.jobs == 0 {
+            return 100.0;
+        }
+        100.0 * self.local_hits as f64 / self.jobs as f64
+    }
+}
+
+/// Result of a cluster run: head-cache stats plus distribution stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterResult {
+    /// The head node's LANDLORD cache counters.
+    pub head: CacheStats,
+    /// Worker-side distribution counters.
+    pub cluster: ClusterStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ScratchEntry {
+    bytes: u64,
+    revision: u64,
+    last_used: u64,
+}
+
+struct Worker {
+    scratch: HashMap<u64, ScratchEntry>, // key: ImageId.0
+    used_bytes: u64,
+}
+
+impl Worker {
+    fn new() -> Self {
+        Worker { scratch: HashMap::new(), used_bytes: 0 }
+    }
+
+    fn has_current(&self, image: ImageId, revision: u64) -> bool {
+        self.scratch.get(&image.0).is_some_and(|e| e.revision == revision)
+    }
+
+    /// Install an image, evicting LRU entries to fit. Returns evictions.
+    fn install(
+        &mut self,
+        image: ImageId,
+        bytes: u64,
+        revision: u64,
+        now: u64,
+        limit: u64,
+    ) -> u64 {
+        if let Some(old) = self.scratch.remove(&image.0) {
+            self.used_bytes -= old.bytes;
+        }
+        let mut evictions = 0;
+        while self.used_bytes + bytes > limit && !self.scratch.is_empty() {
+            let (&victim, _) = self
+                .scratch
+                .iter()
+                .min_by_key(|(id, e)| (e.last_used, **id))
+                .expect("non-empty scratch");
+            let removed = self.scratch.remove(&victim).expect("victim exists");
+            self.used_bytes -= removed.bytes;
+            evictions += 1;
+        }
+        self.scratch.insert(image.0, ScratchEntry { bytes, revision, last_used: now });
+        self.used_bytes += bytes;
+        evictions
+    }
+
+    fn touch(&mut self, image: ImageId, now: u64) {
+        if let Some(e) = self.scratch.get_mut(&image.0) {
+            e.last_used = now;
+        }
+    }
+}
+
+/// Simulate a prepared stream over a head cache plus worker fleet.
+pub fn simulate_cluster_stream(
+    stream: &[Spec],
+    repo: &Repository,
+    cache_config: CacheConfig,
+    cluster: &ClusterConfig,
+) -> ClusterResult {
+    assert!(cluster.workers > 0, "need at least one worker");
+    let mut head = ImageCache::new(cache_config, Arc::new(repo.size_table()));
+    let mut workers: Vec<Worker> = (0..cluster.workers).map(|_| Worker::new()).collect();
+    let mut rng = StdRng::seed_from_u64(cluster.seed);
+    let mut stats = ClusterStats::default();
+    let mut rr_next = 0usize;
+
+    for (now, spec) in stream.iter().enumerate() {
+        let now = now as u64 + 1;
+        let outcome = head.request(spec);
+        let image = outcome.image();
+        let bytes = outcome.image_bytes();
+        // An image's revision is its merge count: every merge rewrites
+        // the file, so worker copies of earlier revisions are stale.
+        let revision = head.get(image).map(|i| i.merge_count).unwrap_or(0);
+
+        let target = match cluster.dispatch {
+            Dispatch::RoundRobin => {
+                let t = rr_next;
+                rr_next = (rr_next + 1) % workers.len();
+                t
+            }
+            Dispatch::Random => rng.gen_range(0..workers.len()),
+            Dispatch::CacheAware => {
+                match (0..workers.len()).find(|&w| workers[w].has_current(image, revision)) {
+                    Some(w) => w,
+                    None => {
+                        let t = rr_next;
+                        rr_next = (rr_next + 1) % workers.len();
+                        t
+                    }
+                }
+            }
+        };
+
+        stats.jobs += 1;
+        let worker = &mut workers[target];
+        if worker.has_current(image, revision) {
+            stats.local_hits += 1;
+            worker.touch(image, now);
+        } else {
+            stats.transfers += 1;
+            stats.transfer_bytes += bytes;
+            stats.scratch_evictions +=
+                worker.install(image, bytes, revision, now, cluster.worker_scratch_bytes);
+        }
+    }
+
+    ClusterResult { head: head.stats(), cluster: stats }
+}
+
+/// Convenience: generate the workload stream and run the cluster.
+pub fn simulate_cluster(
+    repo: &Repository,
+    workload: &WorkloadConfig,
+    cache_config: CacheConfig,
+    cluster: &ClusterConfig,
+) -> ClusterResult {
+    let stream = workload::generate_stream(repo, workload);
+    simulate_cluster_stream(&stream, repo, cache_config, cluster)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadScheme;
+    use landlord_repo::RepoConfig;
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(71))
+    }
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            unique_jobs: 25,
+            repeats: 4,
+            max_initial_selection: 6,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed: 5,
+        }
+    }
+
+    fn cluster(workers: usize, dispatch: Dispatch, scratch: u64) -> ClusterConfig {
+        ClusterConfig { workers, worker_scratch_bytes: scratch, dispatch, seed: 1 }
+    }
+
+    fn cache_cfg(repo: &Repository) -> CacheConfig {
+        CacheConfig { alpha: 0.8, limit_bytes: repo.total_bytes(), ..CacheConfig::default() }
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let r = repo();
+        let result =
+            simulate_cluster(&r, &workload(), cache_cfg(&r), &cluster(4, Dispatch::RoundRobin, r.total_bytes()));
+        let c = result.cluster;
+        assert_eq!(c.jobs, 100);
+        assert_eq!(c.jobs, c.local_hits + c.transfers);
+        assert!(c.transfer_bytes > 0);
+        assert_eq!(result.head.requests, 100);
+    }
+
+    #[test]
+    fn single_worker_with_roomy_scratch_converges_to_local_hits() {
+        let r = repo();
+        let result = simulate_cluster(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &cluster(1, Dispatch::RoundRobin, r.total_bytes() * 10),
+        );
+        // One worker sees every job; once merging settles, repeats are
+        // local. Expect a solid local hit rate.
+        assert!(
+            result.cluster.local_hit_pct() > 30.0,
+            "local hits only {:.1}%",
+            result.cluster.local_hit_pct()
+        );
+    }
+
+    #[test]
+    fn cache_aware_beats_round_robin_on_transfers() {
+        let r = repo();
+        let roomy = r.total_bytes() * 10;
+        let rr = simulate_cluster(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &cluster(8, Dispatch::RoundRobin, roomy),
+        );
+        let ca = simulate_cluster(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &cluster(8, Dispatch::CacheAware, roomy),
+        );
+        assert!(
+            ca.cluster.transfer_bytes < rr.cluster.transfer_bytes,
+            "cache-aware {} >= round-robin {}",
+            ca.cluster.transfer_bytes,
+            rr.cluster.transfer_bytes
+        );
+        assert!(ca.cluster.local_hit_pct() > rr.cluster.local_hit_pct());
+    }
+
+    #[test]
+    fn tiny_scratch_forces_evictions() {
+        let r = repo();
+        let result = simulate_cluster(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &cluster(2, Dispatch::RoundRobin, r.total_bytes() / 50),
+        );
+        assert!(result.cluster.scratch_evictions > 0, "tiny scratch must evict");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r = repo();
+        let cfg = cluster(4, Dispatch::Random, r.total_bytes());
+        let a = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        let b = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        assert_eq!(a.cluster.transfer_bytes, b.cluster.transfer_bytes);
+        assert_eq!(a.cluster.local_hits, b.cluster.local_hits);
+    }
+
+    #[test]
+    fn dispatch_tokens_round_trip() {
+        for d in [Dispatch::RoundRobin, Dispatch::Random, Dispatch::CacheAware] {
+            assert_eq!(Dispatch::parse(d.token()), Some(d));
+        }
+        assert_eq!(Dispatch::parse("nope"), None);
+    }
+
+    #[test]
+    fn merged_image_revisions_invalidate_worker_copies() {
+        // With very aggressive merging, the head image is rewritten
+        // often; workers must re-transfer, so transfers exceed the
+        // distinct-image count.
+        let r = repo();
+        let cfg = CacheConfig { alpha: 1.0, limit_bytes: r.total_bytes(), ..CacheConfig::default() };
+        let result = simulate_cluster(
+            &r,
+            &workload(),
+            cfg,
+            &cluster(1, Dispatch::RoundRobin, r.total_bytes() * 10),
+        );
+        assert!(
+            result.cluster.transfers > result.head.inserts,
+            "revision invalidation should force re-transfers: {} vs {}",
+            result.cluster.transfers,
+            result.head.inserts
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use landlord_core::spec::{PackageId, Spec};
+    use landlord_repo::RepoConfig;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Accounting invariants hold for arbitrary streams, dispatch
+        /// policies, fleet sizes, and scratch limits.
+        #[test]
+        fn cluster_accounting_invariants(
+            raw_stream in proptest::collection::vec(
+                proptest::collection::vec(0u32..200, 1..8),
+                1..40,
+            ),
+            workers in 1usize..12,
+            dispatch in prop_oneof![
+                Just(Dispatch::RoundRobin),
+                Just(Dispatch::Random),
+                Just(Dispatch::CacheAware),
+            ],
+            scratch_divisor in 1u64..50,
+        ) {
+            let repo = Repository::generate(&RepoConfig::small_for_tests(5));
+            let stream: Vec<Spec> = raw_stream
+                .into_iter()
+                .map(|ids| Spec::from_ids(ids.into_iter().map(PackageId)))
+                .collect();
+            let cache = CacheConfig {
+                alpha: 0.8,
+                limit_bytes: repo.total_bytes(),
+                ..CacheConfig::default()
+            };
+            let cluster = ClusterConfig {
+                workers,
+                worker_scratch_bytes: repo.total_bytes() / scratch_divisor,
+                dispatch,
+                seed: 3,
+            };
+            let result = simulate_cluster_stream(&stream, &repo, cache, &cluster);
+            let c = result.cluster;
+            prop_assert_eq!(c.jobs as usize, stream.len());
+            prop_assert_eq!(c.jobs, c.local_hits + c.transfers);
+            prop_assert!(c.local_hit_pct() <= 100.0);
+            // Transfers move at least one byte per non-empty image.
+            prop_assert!(c.transfer_bytes >= c.transfers.saturating_sub(
+                stream.iter().filter(|s| s.is_empty()).count() as u64
+            ));
+            // Head cache served every job exactly once.
+            prop_assert_eq!(result.head.requests as usize, stream.len());
+        }
+    }
+}

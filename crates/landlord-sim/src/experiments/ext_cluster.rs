@@ -1,0 +1,81 @@
+//! Extension experiment — worker-node image distribution.
+//!
+//! Not a paper figure: §V *describes* the deployment setting (head-node
+//! scratch for the image cache, per-worker scratch for local copies)
+//! but only evaluates the shared cache. This experiment measures the
+//! distribution half: for a fixed α, how do worker count and dispatch
+//! policy change the network transfer volume and the local hit rate?
+//! Merges cut the number of distinct images (fewer transfers) but
+//! rewrite them in place, invalidating worker copies — the same
+//! tension as Fig. 4c, one hop further out.
+
+use super::{ExperimentContext, Scale};
+use crate::cluster::{self, ClusterConfig, Dispatch};
+use crate::report::{fmt_tb, Table};
+
+/// α used for the cluster runs (the paper's recommended moderate pick).
+pub const CLUSTER_ALPHA: f64 = 0.8;
+
+/// Run the cluster distribution table.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    let workload = ctx.standard_workload();
+    let cache = ctx.standard_cache(&repo, CLUSTER_ALPHA);
+    let worker_counts: &[usize] = match ctx.scale {
+        Scale::Full => &[4, 16, 64],
+        Scale::Smoke => &[2, 4],
+    };
+    // Each worker's scratch holds roughly a handful of images.
+    let scratch = ctx.standard_cache_bytes(&repo) / 8;
+
+    let mut t = Table::new(
+        format!("Extension — worker-node distribution at alpha={CLUSTER_ALPHA}"),
+        &[
+            "workers",
+            "dispatch",
+            "local_hit_pct",
+            "transfers",
+            "transfer_TB",
+            "scratch_evicts",
+        ],
+    );
+    for &workers in worker_counts {
+        for dispatch in [Dispatch::RoundRobin, Dispatch::Random, Dispatch::CacheAware] {
+            let cfg = ClusterConfig {
+                workers,
+                worker_scratch_bytes: scratch,
+                dispatch,
+                seed: ctx.seed ^ 0xc1,
+            };
+            let result = cluster::simulate_cluster(&repo, &workload, cache, &cfg);
+            t.push_row(vec![
+                workers.to_string(),
+                dispatch.token().to_string(),
+                format!("{:.1}", result.cluster.local_hit_pct()),
+                result.cluster.transfers.to_string(),
+                fmt_tb(result.cluster.transfer_bytes as f64),
+                result.cluster.scratch_evictions.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_all_combinations() {
+        let ctx = ExperimentContext::smoke(43);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 2 * 3);
+        // Cache-aware never does worse than round-robin on local hits
+        // at the same worker count.
+        for chunk in t.rows.chunks(3) {
+            let rr: f64 = chunk[0][2].parse().unwrap();
+            let ca: f64 = chunk[2][2].parse().unwrap();
+            assert!(ca + 1e-9 >= rr, "cache-aware {ca} < round-robin {rr}");
+        }
+    }
+}

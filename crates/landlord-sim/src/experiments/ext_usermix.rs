@@ -1,0 +1,120 @@
+//! Extension experiment — multi-user workload structure.
+//!
+//! The paper's simulations draw selections uniformly over the whole
+//! repository; real sites see per-user streams where one user's jobs
+//! are near-clones of each other (§I: jobs "generated automatically by
+//! submission systems on behalf of multiple users"). This experiment
+//! holds the request count constant and varies the number of users the
+//! stream is partitioned across: fewer users ⇒ more intra-stream
+//! similarity ⇒ LANDLORD merges more effectively at moderate α.
+
+use super::{ExperimentContext, Scale};
+use crate::report::Table;
+use crate::simulator;
+use crate::sweep::AggregatedRun;
+use crate::workload::{self, UserMixConfig};
+use landlord_repo::Repository;
+
+/// α used for the user-mix comparison.
+pub const USERMIX_ALPHA: f64 = 0.8;
+
+fn run_mix(
+    ctx: &ExperimentContext,
+    repo: &Repository,
+    users: usize,
+    runs: usize,
+) -> AggregatedRun {
+    let base = ctx.standard_workload();
+    let mut results = Vec::with_capacity(runs);
+    for run in 0..runs {
+        let cfg = UserMixConfig {
+            users,
+            pool_size: match ctx.scale {
+                Scale::Full => 60,
+                Scale::Smoke => 15,
+            },
+            unique_jobs: base.unique_jobs,
+            repeats: base.repeats,
+            max_initial_selection: base.max_initial_selection.min(20),
+            seed: base.seed + run as u64,
+        };
+        let stream = workload::generate_user_mix_stream(repo, &cfg);
+        let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
+            std::sync::Arc::new(repo.size_table());
+        results.push(simulator::simulate_stream(
+            &stream,
+            ctx.standard_cache(repo, USERMIX_ALPHA),
+            sizes,
+            None,
+            0,
+        ));
+    }
+    AggregatedRun::from_runs(&results)
+}
+
+/// Run the user-mix table.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    let runs = ctx.runs().min(8);
+    let user_counts: &[usize] = match ctx.scale {
+        Scale::Full => &[5, 20, 100],
+        Scale::Smoke => &[2, 8],
+    };
+
+    let mut t = Table::new(
+        format!("Extension — multi-user structure at alpha={USERMIX_ALPHA}"),
+        &["users", "hits", "merges", "inserts", "cache_eff", "container_eff"],
+    );
+    for &users in user_counts {
+        let agg = run_mix(ctx, &repo, users, runs);
+        t.push_row(vec![
+            users.to_string(),
+            format!("{:.0}", agg.hits),
+            format!("{:.0}", agg.merges),
+            format!("{:.0}", agg.inserts),
+            format!("{:.1}", agg.cache_eff_pct),
+            format!("{:.1}", agg.container_eff_pct),
+        ]);
+    }
+    // Uniform baseline for reference (the paper's scheme).
+    let base = ctx.standard_workload();
+    let mut uniform = Vec::new();
+    for run in 0..runs {
+        let w = crate::workload::WorkloadConfig { seed: base.seed + run as u64, ..base };
+        uniform.push(simulator::simulate(
+            &repo,
+            &w,
+            ctx.standard_cache(&repo, USERMIX_ALPHA),
+            0,
+        ));
+    }
+    let agg = AggregatedRun::from_runs(&uniform);
+    t.push_row(vec![
+        "uniform".into(),
+        format!("{:.0}", agg.hits),
+        format!("{:.0}", agg.merges),
+        format!("{:.0}", agg.inserts),
+        format!("{:.1}", agg.cache_eff_pct),
+        format!("{:.1}", agg.container_eff_pct),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fewer_users_hit_more() {
+        let ctx = ExperimentContext::smoke(47);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), 3); // 2 user counts + uniform
+        let hits_few: f64 = t.rows[0][1].parse().unwrap();
+        let hits_many: f64 = t.rows[1][1].parse().unwrap();
+        // Fewer users ⇒ more overlap ⇒ at least as many hits.
+        assert!(
+            hits_few + 1e-9 >= hits_many,
+            "2 users ({hits_few}) should hit at least as often as 8 ({hits_many})"
+        );
+    }
+}

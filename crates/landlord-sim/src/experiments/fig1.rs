@@ -1,0 +1,105 @@
+//! Fig. 1 — "Refining via layers vs. Composition", quantified.
+//!
+//! The paper's Fig. 1 is a conceptual diagram: three jobs requiring
+//! {A,B,C}, {A,B,D}, {A,B,C} served either by refining one Docker-style
+//! layer chain or by composing specification images. We reproduce the
+//! exact three-job example and then scale the comparison up on a
+//! generated workload, reporting stored bytes for each approach.
+
+use super::ExperimentContext;
+use crate::report::{fmt_gb, Table};
+use crate::workload;
+use landlord_baselines::LayerChain;
+use landlord_core::cache::{CacheConfig, ImageCache};
+use landlord_core::sizes::UniformSizes;
+use landlord_core::spec::{PackageId, Spec};
+use std::sync::Arc;
+
+/// Run the comparison.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let mut table = Table::new(
+        "Fig. 1 — Layering vs. composition (stored bytes)",
+        &["workload", "requests", "layered", "composed", "layered/composed"],
+    );
+
+    // --- The paper's exact three-job illustration. ---------------------
+    // A=1, B=2, C=3, D=4; each item 1 byte.
+    let jobs: Vec<Spec> = [&[1u32, 2, 3][..], &[1, 2, 4], &[1, 2, 3]]
+        .iter()
+        .map(|ids| Spec::from_ids(ids.iter().map(|&i| PackageId(i))))
+        .collect();
+    let sizes = Arc::new(UniformSizes::new(1));
+    let (layered, composed) = compare(&jobs, sizes, u64::MAX);
+    table.push_row(vec![
+        "fig1-abc/abd/abc".into(),
+        "3".into(),
+        layered.to_string(),
+        composed.to_string(),
+        format!("{:.2}", layered as f64 / composed as f64),
+    ]);
+
+    // --- A generated stream at scale. ----------------------------------
+    let repo = ctx.repo();
+    let stream = workload::generate_stream(&repo, &ctx.standard_workload());
+    let sizes: Arc<dyn landlord_core::sizes::SizeModel> = Arc::new(repo.size_table());
+    let (layered, composed) = compare(&stream, sizes, u64::MAX);
+    table.push_row(vec![
+        "generated stream".into(),
+        stream.len().to_string(),
+        fmt_gb(layered as f64),
+        fmt_gb(composed as f64),
+        format!("{:.2}", layered as f64 / composed as f64),
+    ]);
+    table
+}
+
+/// Serve `jobs` both ways; return (layered stored bytes, composed
+/// stored bytes). Composition = LANDLORD with an unbounded cache and a
+/// merge-everything threshold, i.e. the union image.
+fn compare(
+    jobs: &[Spec],
+    sizes: Arc<dyn landlord_core::sizes::SizeModel>,
+    limit: u64,
+) -> (u64, u64) {
+    let mut chain = LayerChain::new(Arc::clone(&sizes));
+    for job in jobs {
+        chain.refine_to(job);
+    }
+
+    let cfg = CacheConfig { alpha: 1.0, limit_bytes: limit, ..CacheConfig::default() };
+    let mut cache = ImageCache::new(cfg, sizes);
+    for job in jobs {
+        cache.request(job);
+    }
+    (chain.stored_bytes(), cache.stats().total_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_numbers() {
+        // Layered: {A,B,C} (3) + add D (1) + re-add C (1) = 5 stored.
+        // Composed: union {A,B,C,D} = 4 stored.
+        let jobs: Vec<Spec> = [&[1u32, 2, 3][..], &[1, 2, 4], &[1, 2, 3]]
+            .iter()
+            .map(|ids| Spec::from_ids(ids.iter().map(|&i| PackageId(i))))
+            .collect();
+        let (layered, composed) = compare(&jobs, Arc::new(UniformSizes::new(1)), u64::MAX);
+        assert_eq!(layered, 5);
+        assert_eq!(composed, 4);
+    }
+
+    #[test]
+    fn smoke_table_shape() {
+        let t = run(&ExperimentContext::smoke(3));
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.columns.len(), 5);
+        // Layering never beats composition on storage.
+        for row in &t.rows {
+            let ratio: f64 = row[4].parse().unwrap();
+            assert!(ratio >= 1.0, "layered/composed ratio {ratio} < 1");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Fig. 2 — the LHC benchmark application table.
+//!
+//! Columns follow the paper: running time, preparation time, minimal
+//! image, full repo — with the paper's measured values printed next to
+//! ours. Running times are carried from the paper (physics doesn't
+//! re-run here); preparation times come from the documented cost model
+//! over the measured synthetic image; minimal-image and repo sizes are
+//! measured from the per-experiment synthetic repositories.
+
+use super::{ExperimentContext, Scale};
+use crate::report::{fmt_gb, fmt_secs, fmt_tb, Table};
+use landlord_shrinkwrap::bench_apps::{self, Experiment};
+use landlord_shrinkwrap::timing::CostModel;
+use landlord_repo::Repository;
+
+/// Run the Fig. 2 table.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let cost = CostModel::default();
+    let rows = match ctx.scale {
+        Scale::Full => bench_apps::fig2_table(ctx.seed, &cost),
+        // Smoke: shrink every experiment repo ~20× so tests stay fast;
+        // paper columns are still printed for comparison.
+        Scale::Smoke => scaled_fig2(ctx.seed, &cost, 20),
+    };
+
+    let mut table = Table::new(
+        "Fig. 2 — LHC benchmark applications (paper vs measured)",
+        &[
+            "app",
+            "run_s",
+            "prep_s(paper)",
+            "prep_s(model)",
+            "min_img_GB(paper)",
+            "min_img_GB(ours)",
+            "img_pkgs",
+            "repo_TB(paper)",
+            "repo_TB(ours)",
+        ],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.name,
+            fmt_secs(r.running_s),
+            fmt_secs(r.paper_prep_s),
+            fmt_secs(r.model_prep_s),
+            fmt_gb(r.paper_minimal_bytes as f64),
+            fmt_gb(r.measured_minimal_bytes as f64),
+            r.image_packages.to_string(),
+            fmt_tb(r.paper_repo_bytes as f64),
+            fmt_tb(r.measured_repo_bytes as f64),
+        ]);
+    }
+    table
+}
+
+/// Fig. 2 with every experiment repository scaled down by `divisor`
+/// (both package count and bytes), for fast smoke testing.
+fn scaled_fig2(seed: u64, cost: &CostModel, divisor: u64) -> Vec<bench_apps::Fig2Row> {
+    let mut repos: std::collections::HashMap<&'static str, Repository> =
+        std::collections::HashMap::new();
+    for e in Experiment::all() {
+        let mut cfg = e.repo_config(seed);
+        cfg.package_count = (cfg.package_count as u64 / divisor).max(200) as usize;
+        cfg.total_bytes /= divisor;
+        repos.insert(e.name(), Repository::generate(&cfg));
+    }
+    bench_apps::apps()
+        .iter()
+        .map(|app| {
+            let repo = &repos[app.experiment.name()];
+            // Scale the target too, so derivation stays meaningful.
+            let scaled_app = bench_apps::BenchApp {
+                paper_minimal_bytes: app.paper_minimal_bytes / divisor,
+                ..*app
+            };
+            let spec = bench_apps::derive_spec(&scaled_app, repo, seed);
+            let measured: u64 = spec.iter().map(|p| repo.meta(p).bytes).sum();
+            let files: u64 =
+                spec.iter().map(|p| ((repo.meta(p).bytes / (4 << 20)) + 1).min(64)).sum();
+            bench_apps::Fig2Row {
+                name: app.name.to_string(),
+                running_s: app.paper_running_s,
+                paper_prep_s: app.paper_prep_s,
+                model_prep_s: cost.preparation_seconds(measured, files),
+                paper_minimal_bytes: app.paper_minimal_bytes,
+                measured_minimal_bytes: measured,
+                paper_repo_bytes: app.paper_repo_bytes,
+                measured_repo_bytes: repo.total_bytes(),
+                image_packages: spec.len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_has_seven_rows() {
+        let t = run(&ExperimentContext::smoke(5));
+        assert_eq!(t.rows.len(), 7);
+        assert!(t.rows.iter().any(|r| r[0] == "atlas-sim"));
+        // Paper constants survive into the table.
+        let atlas_sim = t.rows.iter().find(|r| r[0] == "atlas-sim").unwrap();
+        assert_eq!(atlas_sim[1], "5340.0");
+        assert_eq!(atlas_sim[2], "115.0");
+    }
+}

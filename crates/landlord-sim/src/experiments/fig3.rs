@@ -1,0 +1,59 @@
+//! Fig. 3 — image size vs. specification size.
+//!
+//! "For each fixed specification size (on the x axis), we selected a
+//! random sample of packages. … We repeated this procedure 100 times
+//! for each specification size, taking the median." Columns mirror the
+//! figure's three series: the on-disk size of just the selection, the
+//! package count after closure, and the on-disk size after closure.
+
+use super::{ExperimentContext, Scale};
+use crate::report::{fmt_gb, Table};
+use landlord_repo::stats;
+
+/// Run the Fig. 3 growth curve.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    let (sizes, samples): (Vec<usize>, usize) = match ctx.scale {
+        // Paper: 0–1000 on the x axis, 100 samples per point.
+        Scale::Full => ((1..=10).map(|i| i * 100).chain([10, 50]).collect(), 100),
+        Scale::Smoke => (vec![5, 20, 60], 10),
+    };
+    let mut sizes = sizes;
+    sizes.sort_unstable();
+
+    let rows = stats::closure_growth(&repo, &sizes, samples, ctx.seed ^ 0xf163);
+    let mut table = Table::new(
+        "Fig. 3 — Image size vs. selection size (medians)",
+        &["spec_pkgs", "spec_GB", "image_pkgs", "image_GB", "expansion_x"],
+    );
+    for r in rows {
+        table.push_row(vec![
+            r.spec_size.to_string(),
+            fmt_gb(r.selection_bytes as f64),
+            r.image_packages.to_string(),
+            fmt_gb(r.image_bytes as f64),
+            format!("{:.1}", r.image_packages as f64 / r.spec_size.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shape() {
+        let t = run(&ExperimentContext::smoke(9));
+        assert_eq!(t.rows.len(), 3);
+        // Expansion factors decrease down the table (saturation).
+        let factors: Vec<f64> = t.rows.iter().map(|r| r[4].parse().unwrap()).collect();
+        assert!(factors[0] >= factors[2], "no saturation: {factors:?}");
+        // Image ≥ selection for every row.
+        for r in &t.rows {
+            let spec: f64 = r[1].parse().unwrap();
+            let img: f64 = r[3].parse().unwrap();
+            assert!(img >= spec);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Fig. 4 — cache behavior over the α range (three panels, one sweep).
+//!
+//! * **4a** Total cache operations: inserts/deletes dominate at low α
+//!   and fall as merges take over; hits jump at α = 1.
+//! * **4b** Duplication of data in cache: total pinned near the limit
+//!   at low α; unique data rising with merging; the two meet at α = 1.
+//! * **4c** Cumulative I/O overhead: actual writes track requested
+//!   writes at low α, then blow past them as merges rewrite images.
+
+use super::ExperimentContext;
+use crate::report::{fmt_count, fmt_gb, fmt_tb, Table};
+use crate::sweep::SweepPoint;
+
+/// All three panels from one shared sweep.
+pub fn run_all(ctx: &ExperimentContext) -> Vec<Table> {
+    let repo = ctx.repo();
+    let sweep = ctx.standard_sweep(&repo);
+    vec![table_a(&sweep), table_b(&sweep), table_c(&sweep)]
+}
+
+/// Fig. 4a only.
+pub fn run_a(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    table_a(&ctx.standard_sweep(&repo))
+}
+
+/// Fig. 4b only.
+pub fn run_b(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    table_b(&ctx.standard_sweep(&repo))
+}
+
+/// Fig. 4c only.
+pub fn run_c(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    table_c(&ctx.standard_sweep(&repo))
+}
+
+fn table_a(sweep: &[SweepPoint]) -> Table {
+    let mut t = Table::new(
+        "Fig. 4a — Total cache operations vs alpha (medians of runs)",
+        &["alpha", "inserts", "deletes", "merges", "hits"],
+    );
+    for p in sweep {
+        t.push_row(vec![
+            format!("{:.2}", p.alpha),
+            fmt_count(p.median.inserts),
+            fmt_count(p.median.deletes),
+            fmt_count(p.median.merges),
+            fmt_count(p.median.hits),
+        ]);
+    }
+    t
+}
+
+fn table_b(sweep: &[SweepPoint]) -> Table {
+    let mut t = Table::new(
+        "Fig. 4b — Duplication of data in cache vs alpha",
+        &["alpha", "unique_GB", "total_GB", "cache_eff_pct"],
+    );
+    for p in sweep {
+        t.push_row(vec![
+            format!("{:.2}", p.alpha),
+            fmt_gb(p.median.unique_bytes),
+            fmt_gb(p.median.total_bytes),
+            format!("{:.1}", p.median.cache_eff_pct),
+        ]);
+    }
+    t
+}
+
+fn table_c(sweep: &[SweepPoint]) -> Table {
+    let mut t = Table::new(
+        "Fig. 4c — Cumulative I/O overhead vs alpha",
+        &["alpha", "actual_writes_TB", "requested_writes_TB", "overhead_x"],
+    );
+    for p in sweep {
+        let overhead = if p.median.bytes_requested > 0.0 {
+            p.median.bytes_written / p.median.bytes_requested
+        } else {
+            1.0
+        };
+        t.push_row(vec![
+            format!("{:.2}", p.alpha),
+            fmt_tb(p.median.bytes_written),
+            fmt_tb(p.median.bytes_requested),
+            format!("{overhead:.2}"),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panels_share_alpha_grid_and_match_paper_shape() {
+        let ctx = ExperimentContext::smoke(11);
+        let tables = run_all(&ctx);
+        assert_eq!(tables.len(), 3);
+        let n = ctx.alphas().len();
+        for t in &tables {
+            assert_eq!(t.rows.len(), n);
+        }
+
+        // Shape checks on 4a: merges increase from the low-α end to the
+        // high range; inserts decrease.
+        let a = &tables[0];
+        let first_merges: f64 = a.rows.first().unwrap()[3].parse().unwrap();
+        let merges_near_one: f64 = a.rows[a.rows.len() - 2][3].parse().unwrap();
+        assert!(merges_near_one >= first_merges, "merging must rise with alpha");
+        let first_inserts: f64 = a.rows.first().unwrap()[1].parse().unwrap();
+        let last_inserts: f64 = a.rows.last().unwrap()[1].parse().unwrap();
+        assert!(last_inserts <= first_inserts, "inserts must fall with alpha");
+
+        // 4c: merging costs I/O — the α point with the most merges pays
+        // at least as much write overhead as the point with the fewest.
+        // (The strict monotone-in-α shape only emerges at full scale,
+        // where the paper's parameters keep low α truly merge-free.)
+        let c = &tables[2];
+        let merges: Vec<f64> = a.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let overheads: Vec<f64> = c.rows.iter().map(|r| r[3].parse().unwrap()).collect();
+        let max_m = merges.iter().copied().fold(f64::MIN, f64::max);
+        let min_m = merges.iter().copied().fold(f64::MAX, f64::min);
+        let oh_at = |m: f64| {
+            merges
+                .iter()
+                .position(|&x| x == m)
+                .map(|i| overheads[i])
+                .expect("value from the same vec")
+        };
+        assert!(
+            oh_at(max_m) + 1e-9 >= oh_at(min_m),
+            "more merging should not cost less I/O: {overheads:?} for merges {merges:?}"
+        );
+    }
+}

@@ -1,0 +1,163 @@
+//! Fig. 6 — sensitivity of the efficiency curves to cache size and
+//! unique-job count.
+//!
+//! Four panels from two sweep families:
+//!
+//! * **6a/6b** container / cache efficiency vs α at cache sizes of
+//!   1×, 2×, 5×, 10× the repository size;
+//! * **6c/6d** the same metrics at 100, 500, 1000 unique jobs.
+//!
+//! Expected shapes (§VI "Sensitivity Analysis"): larger caches lower
+//! *both* efficiencies; 500 and 1000 jobs are nearly indistinguishable
+//! (steady state) while 100 jobs is not.
+
+use super::{ExperimentContext, Scale};
+use crate::report::Table;
+use crate::sweep;
+use landlord_core::cache::CacheConfig;
+
+/// Which efficiency a panel reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Container efficiency (Figs. 6a, 6c).
+    Container,
+    /// Cache efficiency (Figs. 6b, 6d).
+    Cache,
+}
+
+impl Metric {
+    fn label(self) -> &'static str {
+        match self {
+            Metric::Container => "container_eff_pct",
+            Metric::Cache => "cache_eff_pct",
+        }
+    }
+
+    fn pick(self, agg: &crate::sweep::AggregatedRun) -> f64 {
+        match self {
+            Metric::Container => agg.container_eff_pct,
+            Metric::Cache => agg.cache_eff_pct,
+        }
+    }
+}
+
+/// Cache-size multipliers the paper sweeps.
+pub const CACHE_MULTIPLIERS: [f64; 4] = [1.0, 2.0, 5.0, 10.0];
+
+/// Fig. 6a/6b: efficiency vs α for each cache size.
+pub fn run_cache_size(ctx: &ExperimentContext, metric: Metric) -> Table {
+    let repo = ctx.repo();
+    let workload = ctx.standard_workload();
+    let alphas = ctx.alphas();
+    let runs = sensitivity_runs(ctx);
+
+    let mut columns = vec!["alpha".to_string()];
+    for m in CACHE_MULTIPLIERS {
+        columns.push(format!("{m:.0}x_repo"));
+    }
+    let title = match metric {
+        Metric::Container => "Fig. 6a — Container efficiency vs cache size",
+        Metric::Cache => "Fig. 6b — Cache efficiency vs cache size",
+    };
+    let mut series = Vec::new();
+    for m in CACHE_MULTIPLIERS {
+        let cache = CacheConfig {
+            limit_bytes: (repo.total_bytes() as f64 * m) as u64,
+            ..CacheConfig::default()
+        };
+        series.push(sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads));
+    }
+    assemble(title, &columns, &alphas, &series, metric)
+}
+
+/// Unique-job counts the paper sweeps.
+pub fn job_counts(ctx: &ExperimentContext) -> Vec<usize> {
+    match ctx.scale {
+        Scale::Full => vec![100, 500, 1000],
+        Scale::Smoke => vec![10, 40, 80],
+    }
+}
+
+/// Fig. 6c/6d: efficiency vs α for each unique-job count.
+pub fn run_job_count(ctx: &ExperimentContext, metric: Metric) -> Table {
+    let repo = ctx.repo();
+    let alphas = ctx.alphas();
+    let runs = sensitivity_runs(ctx);
+    let counts = job_counts(ctx);
+
+    let mut columns = vec!["alpha".to_string()];
+    for c in &counts {
+        columns.push(format!("{c}_jobs"));
+    }
+    let title = match metric {
+        Metric::Container => "Fig. 6c — Container efficiency vs unique job count",
+        Metric::Cache => "Fig. 6d — Cache efficiency vs unique job count",
+    };
+    let cache = ctx.standard_cache(&repo, 0.0);
+    let mut series = Vec::new();
+    for &c in &counts {
+        let workload =
+            crate::workload::WorkloadConfig { unique_jobs: c, ..ctx.standard_workload() };
+        series.push(sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads));
+    }
+    assemble(title, &columns, &alphas, &series, metric)
+}
+
+/// Sensitivity sweeps multiply the simulation count 4×; use half the
+/// standard runs at full scale (documented in EXPERIMENTS.md).
+fn sensitivity_runs(ctx: &ExperimentContext) -> usize {
+    match ctx.scale {
+        Scale::Full => (ctx.runs() / 2).max(1),
+        Scale::Smoke => ctx.runs(),
+    }
+}
+
+fn assemble(
+    title: &str,
+    columns: &[String],
+    alphas: &[f64],
+    series: &[Vec<sweep::SweepPoint>],
+    metric: Metric,
+) -> Table {
+    let col_refs: Vec<&str> = columns.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(format!("{title} ({})", metric.label()), &col_refs);
+    for (i, &alpha) in alphas.iter().enumerate() {
+        let mut row = vec![format!("{alpha:.2}")];
+        for s in series {
+            row.push(format!("{:.1}", metric.pick(&s[i].median)));
+        }
+        t.push_row(row);
+    }
+    t
+}
+
+// Re-export for lib users that want raw sweeps.
+pub use sweep::SweepPoint;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_size_panel_shape() {
+        let ctx = ExperimentContext::smoke(17);
+        let t = run_cache_size(&ctx, Metric::Cache);
+        assert_eq!(t.columns.len(), 5);
+        assert_eq!(t.rows.len(), ctx.alphas().len());
+        // Efficiencies are valid percentages.
+        for row in &t.rows {
+            for cell in &row[1..] {
+                let v: f64 = cell.parse().unwrap();
+                assert!((0.0..=100.0).contains(&v), "bad pct {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn job_count_panel_shape() {
+        let ctx = ExperimentContext::smoke(19);
+        let t = run_job_count(&ctx, Metric::Container);
+        assert_eq!(t.columns.len(), 1 + job_counts(&ctx).len());
+        assert_eq!(t.rows.len(), ctx.alphas().len());
+    }
+}

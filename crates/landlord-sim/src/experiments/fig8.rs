@@ -1,0 +1,167 @@
+//! Fig. 8 — limits on efficiency and the operational zone.
+//!
+//! Overlays the two efficiency curves and derives the two limit lines
+//! the paper draws:
+//!
+//! * the **thrashing** limit — the lowest α where cache efficiency
+//!   reaches an acceptable floor (the paper's plot shows ~30%);
+//! * the **excessive image size / I/O** limit — the highest α where
+//!   merge I/O stays within a budget ("e.g. allowing at most a twofold
+//!   increase in the compute and I/O time compared to directly
+//!   creating the requested images").
+//!
+//! Between them lies the operational zone, which the paper reports as
+//! roughly α ∈ [0.65, 0.95] for this configuration.
+
+use super::ExperimentContext;
+use crate::report::Table;
+use crate::sweep::SweepPoint;
+use serde::{Deserialize, Serialize};
+
+/// Cache-efficiency floor for the thrashing limit (percent).
+///
+/// The paper's Fig. 8 draws its left limit where *its* cache-efficiency
+/// curve passes ≈30%; our synthetic workload duplicates slightly less
+/// per image, so the equivalent knee sits a few points lower. The
+/// calibration is documented in `EXPERIMENTS.md`.
+pub const CACHE_EFF_FLOOR_PCT: f64 = 25.0;
+/// Maximum allowed actual/requested write ratio (the paper's example:
+/// "allowing at most a twofold increase in the compute and I/O time
+/// compared to directly creating the requested images").
+pub const WRITE_OVERHEAD_CEILING: f64 = 2.0;
+
+/// The derived operational zone.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct OperationalZone {
+    /// Lowest α meeting the cache-efficiency floor.
+    pub low: Option<f64>,
+    /// Highest α before merge I/O first exceeds the overhead ceiling.
+    pub high: Option<f64>,
+}
+
+/// Derive the zone from a standard sweep.
+///
+/// The high limit scans *upward* and stops just before the first α
+/// whose write overhead exceeds the ceiling: α = 1 often shows a
+/// misleading overhead dip (one converged image turns everything into
+/// hits) but sits far past the excessive-image-size limit the paper
+/// draws, so a reverse scan must not resurrect it.
+pub fn zone_from_sweep(sweep: &[SweepPoint]) -> OperationalZone {
+    let low = sweep
+        .iter()
+        .find(|p| p.median.cache_eff_pct >= CACHE_EFF_FLOOR_PCT)
+        .map(|p| p.alpha);
+    let overhead = |p: &SweepPoint| {
+        if p.median.bytes_requested > 0.0 {
+            p.median.bytes_written / p.median.bytes_requested
+        } else {
+            1.0
+        }
+    };
+    let mut high = None;
+    for p in sweep {
+        if overhead(p) > WRITE_OVERHEAD_CEILING {
+            break;
+        }
+        high = Some(p.alpha);
+    }
+    OperationalZone { low, high }
+}
+
+/// Run the Fig. 8 overlay plus the derived zone.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    let sweep = ctx.standard_sweep(&repo);
+    let zone = zone_from_sweep(&sweep);
+
+    let zone_txt = match (zone.low, zone.high) {
+        (Some(lo), Some(hi)) if lo <= hi => format!("operational zone: alpha in [{lo:.2}, {hi:.2}]"),
+        _ => "operational zone: not found (limits do not overlap)".to_string(),
+    };
+    let mut t = Table::new(
+        format!("Fig. 8 — Limits on efficiency ({zone_txt})"),
+        &["alpha", "cache_eff_pct", "container_eff_pct", "write_overhead_x", "in_zone"],
+    );
+    for p in &sweep {
+        let overhead = if p.median.bytes_requested > 0.0 {
+            p.median.bytes_written / p.median.bytes_requested
+        } else {
+            1.0
+        };
+        let in_zone = match (zone.low, zone.high) {
+            (Some(lo), Some(hi)) => p.alpha >= lo - 1e-9 && p.alpha <= hi + 1e-9,
+            _ => false,
+        };
+        t.push_row(vec![
+            format!("{:.2}", p.alpha),
+            format!("{:.1}", p.median.cache_eff_pct),
+            format!("{:.1}", p.median.container_eff_pct),
+            format!("{overhead:.2}"),
+            if in_zone { "yes".into() } else { "".into() },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::AggregatedRun;
+
+    fn point(alpha: f64, cache_eff: f64, written: f64, requested: f64) -> SweepPoint {
+        SweepPoint {
+            alpha,
+            median: AggregatedRun {
+                cache_eff_pct: cache_eff,
+                bytes_written: written,
+                bytes_requested: requested,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn zone_derivation() {
+        let sweep = vec![
+            point(0.4, 10.0, 100.0, 100.0),
+            point(0.6, 20.0, 120.0, 100.0),
+            point(0.7, 35.0, 150.0, 100.0), // first >= 25% cache eff
+            point(0.9, 60.0, 190.0, 100.0), // last before overhead > 2x
+            point(1.0, 100.0, 400.0, 100.0),
+        ];
+        let z = zone_from_sweep(&sweep);
+        assert_eq!(z.low, Some(0.7));
+        assert_eq!(z.high, Some(0.9));
+    }
+
+    #[test]
+    fn alpha_one_overhead_dip_does_not_extend_the_zone() {
+        // Overhead exceeds the ceiling at 0.95 and dips back under at
+        // 1.0; the zone must still end at 0.9.
+        let sweep = vec![
+            point(0.8, 30.0, 150.0, 100.0),
+            point(0.9, 33.0, 190.0, 100.0),
+            point(0.95, 38.0, 260.0, 100.0),
+            point(1.0, 100.0, 180.0, 100.0),
+        ];
+        let z = zone_from_sweep(&sweep);
+        assert_eq!(z.high, Some(0.9));
+        assert_eq!(z.low, Some(0.8));
+    }
+
+    #[test]
+    fn zone_absent_when_limits_unreachable() {
+        let sweep = vec![point(0.5, 5.0, 500.0, 100.0)];
+        let z = zone_from_sweep(&sweep);
+        assert_eq!(z.low, None);
+        assert_eq!(z.high, None);
+    }
+
+    #[test]
+    fn smoke_run_emits_all_alphas() {
+        let ctx = ExperimentContext::smoke(29);
+        let t = run(&ctx);
+        assert_eq!(t.rows.len(), ctx.alphas().len());
+        assert!(t.title.contains("operational zone"));
+    }
+}

@@ -1,0 +1,203 @@
+//! The experiment harness: one module per paper table/figure.
+//!
+//! Every experiment is a function from an [`ExperimentContext`] to one
+//! or more [`Table`]s whose rows are the series the paper plots. The
+//! context chooses between two scales:
+//!
+//! * [`Scale::Full`] — the paper's parameters (9,660-package repo,
+//!   500 unique jobs × 5 repeats, 1.4 TB cache, α swept 0.40–1.00 in
+//!   0.05 steps, 20 runs per point). Minutes of CPU.
+//! * [`Scale::Smoke`] — a miniature universe exercising the identical
+//!   code paths in well under a second, used by the test suite.
+//!
+//! The experiment ids (`fig2` … `fig8`, `fig1`, ablations) are indexed
+//! in `DESIGN.md` §4 and runnable via `landlord experiment <id>`.
+
+pub mod ablations;
+pub mod ext_cluster;
+pub mod ext_update;
+pub mod ext_usermix;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod paper_shapes;
+
+use crate::report::Table;
+use crate::sweep::{self, SweepPoint};
+use crate::workload::{WorkloadConfig, WorkloadScheme};
+use landlord_core::cache::CacheConfig;
+use landlord_repo::{RepoConfig, Repository};
+use serde::{Deserialize, Serialize};
+
+/// How big to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Paper-scale parameters.
+    Full,
+    /// Miniature parameters for tests.
+    Smoke,
+}
+
+/// Shared experiment parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ExperimentContext {
+    /// Full or smoke scale.
+    pub scale: Scale,
+    /// Master seed; every random element derives from it.
+    pub seed: u64,
+    /// Worker threads for sweeps.
+    pub threads: usize,
+}
+
+impl ExperimentContext {
+    /// Paper-scale context.
+    pub fn full(seed: u64, threads: usize) -> Self {
+        ExperimentContext { scale: Scale::Full, seed, threads }
+    }
+
+    /// Miniature context for tests.
+    pub fn smoke(seed: u64) -> Self {
+        ExperimentContext { scale: Scale::Smoke, seed, threads: 2 }
+    }
+
+    /// The SFT-like repository for the simulation figures.
+    pub fn repo(&self) -> Repository {
+        let cfg = match self.scale {
+            Scale::Full => RepoConfig::sft_like(self.seed),
+            Scale::Smoke => RepoConfig::small_for_tests(self.seed),
+        };
+        Repository::generate(&cfg)
+    }
+
+    /// The paper's standard stream: 500 unique jobs × 5 repeats.
+    pub fn standard_workload(&self) -> WorkloadConfig {
+        match self.scale {
+            Scale::Full => WorkloadConfig {
+                unique_jobs: 500,
+                repeats: 5,
+                max_initial_selection: 100,
+                scheme: WorkloadScheme::DependencyClosure,
+                seed: self.seed,
+            },
+            Scale::Smoke => WorkloadConfig {
+                unique_jobs: 40,
+                repeats: 3,
+                max_initial_selection: 8,
+                scheme: WorkloadScheme::DependencyClosure,
+                seed: self.seed,
+            },
+        }
+    }
+
+    /// The paper's standard cache: 1.4 TB (2× the 700 GB repo).
+    pub fn standard_cache_bytes(&self, repo: &Repository) -> u64 {
+        match self.scale {
+            Scale::Full => 1_400_000_000_000,
+            Scale::Smoke => repo.total_bytes() / 2,
+        }
+    }
+
+    /// Standard cache configuration at a given α.
+    pub fn standard_cache(&self, repo: &Repository, alpha: f64) -> CacheConfig {
+        CacheConfig {
+            alpha,
+            limit_bytes: self.standard_cache_bytes(repo),
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Runs per sweep point (paper: 20).
+    pub fn runs(&self) -> usize {
+        match self.scale {
+            Scale::Full => 20,
+            Scale::Smoke => 3,
+        }
+    }
+
+    /// The α grid.
+    pub fn alphas(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Full => sweep::paper_alpha_grid(),
+            Scale::Smoke => vec![0.4, 0.6, 0.8, 0.95, 1.0],
+        }
+    }
+
+    /// The standard α sweep shared by Figs. 4a–c and 8.
+    pub fn standard_sweep(&self, repo: &Repository) -> Vec<SweepPoint> {
+        let workload = self.standard_workload();
+        let cache = self.standard_cache(repo, 0.0);
+        sweep::sweep_alpha(repo, &workload, &cache, &self.alphas(), self.runs(), self.threads)
+    }
+}
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> &'static [&'static str] {
+    &[
+        "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig6c",
+        "fig6d", "fig7", "fig8", "ablation-evict", "ablation-merge-order",
+        "ablation-candidates", "ablation-split", "ablation-metric", "ext-cluster", "ext-usermix", "ext-update",
+    ]
+}
+
+/// Run one experiment by id. Returns its tables, or `None` for an
+/// unknown id.
+pub fn run(id: &str, ctx: &ExperimentContext) -> Option<Vec<Table>> {
+    Some(match id {
+        "fig1" => vec![fig1::run(ctx)],
+        "fig2" => vec![fig2::run(ctx)],
+        "fig3" => vec![fig3::run(ctx)],
+        "fig4a" => vec![fig4::run_a(ctx)],
+        "fig4b" => vec![fig4::run_b(ctx)],
+        "fig4c" => vec![fig4::run_c(ctx)],
+        "fig4" => fig4::run_all(ctx),
+        "fig5" => vec![fig5::run(ctx)],
+        "fig6a" => vec![fig6::run_cache_size(ctx, fig6::Metric::Container)],
+        "fig6b" => vec![fig6::run_cache_size(ctx, fig6::Metric::Cache)],
+        "fig6c" => vec![fig6::run_job_count(ctx, fig6::Metric::Container)],
+        "fig6d" => vec![fig6::run_job_count(ctx, fig6::Metric::Cache)],
+        "fig7" => vec![fig7::run(ctx)],
+        "fig8" => vec![fig8::run(ctx)],
+        "ablation-evict" => vec![ablations::eviction(ctx)],
+        "ablation-merge-order" => vec![ablations::merge_order(ctx)],
+        "ablation-candidates" => vec![ablations::candidates(ctx)],
+        "ablation-split" => vec![ablations::split(ctx)],
+        "ablation-metric" => vec![ablations::metric(ctx)],
+        "ext-cluster" => vec![ext_cluster::run(ctx)],
+        "ext-usermix" => vec![ext_usermix::run(ctx)],
+        "ext-update" => vec![ext_update::run(ctx)],
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_dispatchable() {
+        let ids = all_ids();
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(run("fig99", &ExperimentContext::smoke(1)).is_none());
+    }
+
+    #[test]
+    fn context_parameters_match_paper_at_full_scale() {
+        let ctx = ExperimentContext::full(1, 4);
+        let w = ctx.standard_workload();
+        assert_eq!(w.unique_jobs, 500);
+        assert_eq!(w.repeats, 5);
+        assert_eq!(w.max_initial_selection, 100);
+        assert_eq!(ctx.runs(), 20);
+        assert_eq!(ctx.alphas().len(), 13);
+    }
+}

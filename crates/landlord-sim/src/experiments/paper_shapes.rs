@@ -1,0 +1,148 @@
+//! Machine-checked paper-shape assertions at full scale.
+//!
+//! `EXPERIMENTS.md` claims that every figure reproduces the paper's
+//! *shape*; this module turns each claim into an assertion so the
+//! reproduction can be re-validated in one command:
+//!
+//! ```console
+//! cargo test -p landlord-sim --release -- --ignored paper_shape
+//! ```
+//!
+//! The tests are `#[ignore]`d because they run the full paper-scale
+//! sweeps (minutes of CPU); the regular test suite exercises the same
+//! code paths at smoke scale.
+
+#[cfg(test)]
+mod tests {
+    use crate::experiments::{fig8, ExperimentContext};
+    use crate::sweep::SweepPoint;
+    use crate::workload::{WorkloadConfig, WorkloadScheme};
+
+    fn full() -> ExperimentContext {
+        ExperimentContext::full(1, 1)
+    }
+
+    fn at(sweep: &[SweepPoint], alpha: f64) -> &SweepPoint {
+        sweep
+            .iter()
+            .find(|p| (p.alpha - alpha).abs() < 1e-9)
+            .unwrap_or_else(|| panic!("no sweep point at alpha {alpha}"))
+    }
+
+    /// Figs. 4a–c and 8 all read off the standard sweep; check every
+    /// claimed shape in one pass.
+    #[test]
+    #[ignore = "paper-scale (minutes); run with --ignored --release"]
+    fn paper_shape_fig4_and_fig8() {
+        let ctx = full();
+        let repo = ctx.repo();
+        let sweep = ctx.standard_sweep(&repo);
+
+        // 4a: plain-LRU regime at low α — no merges, inserts/deletes in
+        // lockstep (deletes lag only by what still fits in cache).
+        let low = at(&sweep, 0.40);
+        assert_eq!(low.median.merges, 0.0, "no merges in the LRU regime");
+        assert!(low.median.inserts > low.median.deletes);
+        assert!(low.median.inserts - low.median.deletes < 100.0, "lockstep");
+
+        // 4a: merges dominate the operational range; hits spike at α=1.
+        let mid = at(&sweep, 0.80);
+        assert!(mid.median.merges > mid.median.inserts * 3.0);
+        let one = at(&sweep, 1.00);
+        let near_one = at(&sweep, 0.95);
+        assert!(one.median.hits > near_one.median.hits * 2.0, "hit spike at alpha=1");
+        assert!(one.median.merges < near_one.median.merges / 2.0, "merge collapse at alpha=1");
+
+        // 4b: total pinned near the limit at low α; unique rises with α;
+        // the two meet at α=1.
+        let limit = ctx.standard_cache_bytes(&repo) as f64;
+        assert!(low.median.total_bytes > limit * 0.9, "cache pinned at the limit");
+        assert!(mid.median.unique_bytes > low.median.unique_bytes * 1.2);
+        assert!(
+            (one.median.unique_bytes - one.median.total_bytes).abs()
+                < one.median.total_bytes * 0.01,
+            "unique == total at alpha=1"
+        );
+
+        // 4c: requested writes constant; actual ≤ requested at low α;
+        // overhead grows through the merge regime.
+        let req_low = low.median.bytes_requested;
+        for p in &sweep {
+            assert!(
+                (p.median.bytes_requested - req_low).abs() < req_low * 0.01,
+                "requested writes must be constant in alpha"
+            );
+        }
+        assert!(low.median.bytes_written <= req_low, "reuse beats rebuild at low alpha");
+        assert!(
+            at(&sweep, 0.95).median.bytes_written > mid.median.bytes_written,
+            "merge I/O grows with alpha"
+        );
+
+        // Fig. 8: a non-empty operational zone at moderate α.
+        let zone = fig8::zone_from_sweep(&sweep);
+        let (lo, hi) = (zone.low.expect("low limit"), zone.high.expect("high limit"));
+        assert!(lo <= hi, "zone must be non-empty: [{lo}, {hi}]");
+        assert!((0.6..=0.95).contains(&lo), "zone start {lo} not moderate");
+        assert!((0.7..=1.0).contains(&hi), "zone end {hi} not moderate");
+    }
+
+    /// Fig. 7: the uniform-random control barely merges below α = 0.95.
+    #[test]
+    #[ignore = "paper-scale (minutes); run with --ignored --release"]
+    fn paper_shape_fig7_random_control() {
+        let ctx = full();
+        let repo = ctx.repo();
+        let cache = ctx.standard_cache(&repo, 0.0);
+        let workload = WorkloadConfig {
+            scheme: WorkloadScheme::UniformRandom,
+            ..ctx.standard_workload()
+        };
+        // A handful of runs suffices for the zero-merge claim.
+        let sweep = crate::sweep::sweep_alpha(
+            &repo,
+            &workload,
+            &cache,
+            &[0.6, 0.8, 0.9],
+            5,
+            ctx.threads,
+        );
+        for p in &sweep {
+            assert_eq!(
+                p.median.merges, 0.0,
+                "random workload must not merge at alpha {}",
+                p.alpha
+            );
+        }
+    }
+
+    /// Fig. 6a/b: larger caches lower both efficiencies at moderate α.
+    #[test]
+    #[ignore = "paper-scale (minutes); run with --ignored --release"]
+    fn paper_shape_fig6_cache_size_ordering() {
+        let ctx = full();
+        let repo = ctx.repo();
+        let workload = ctx.standard_workload();
+        let alpha = [0.8];
+        let mut container = Vec::new();
+        let mut cache_eff = Vec::new();
+        for mult in [1.0f64, 2.0, 5.0, 10.0] {
+            let cache = landlord_core::cache::CacheConfig {
+                limit_bytes: (repo.total_bytes() as f64 * mult) as u64,
+                ..Default::default()
+            };
+            let sweep =
+                crate::sweep::sweep_alpha(&repo, &workload, &cache, &alpha, 5, ctx.threads);
+            container.push(sweep[0].median.container_eff_pct);
+            cache_eff.push(sweep[0].median.cache_eff_pct);
+        }
+        assert!(
+            container.windows(2).all(|w| w[0] >= w[1] - 1.0),
+            "container efficiency must fall with cache size: {container:?}"
+        );
+        assert!(
+            cache_eff.windows(2).all(|w| w[0] >= w[1] - 1.0),
+            "cache efficiency must fall with cache size: {cache_eff:?}"
+        );
+    }
+}

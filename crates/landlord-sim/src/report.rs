@@ -1,0 +1,281 @@
+//! Experiment output: fixed-width tables and CSV.
+//!
+//! Every experiment returns a [`Table`]; the CLI renders it to the
+//! terminal and (optionally) writes the CSV next to it so the series
+//! can be re-plotted with gnuplot exactly like the paper's figures.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A titled table of string cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    /// Title shown above the table (e.g. "Fig. 4a — Total Cache Operations").
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row data; each row must match `columns` in length.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table with headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width disagrees with the header.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(row);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut header = String::new();
+        for (w, c) in widths.iter().zip(&self.columns) {
+            let _ = write!(header, "{c:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", header.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// CSV rendering (header + rows; cells containing commas quoted).
+    pub fn to_csv(&self) -> String {
+        fn cell(s: &str) -> String {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.columns.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ =
+                writeln!(out, "{}", row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+}
+
+/// Format bytes as GB with one decimal (decimal GB, like the paper).
+pub fn fmt_gb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1e9)
+}
+
+/// Format bytes as TB with two decimals.
+pub fn fmt_tb(bytes: f64) -> String {
+    format!("{:.2}", bytes / 1e12)
+}
+
+/// Format a percentage with one decimal.
+pub fn fmt_pct(pct: f64) -> String {
+    format!("{pct:.1}")
+}
+
+/// Format a count (median counts may be fractional).
+pub fn fmt_count(n: f64) -> String {
+    if (n - n.round()).abs() < 1e-9 {
+        format!("{}", n.round() as i64)
+    } else {
+        format!("{n:.1}")
+    }
+}
+
+/// Format seconds with one decimal.
+pub fn fmt_secs(s: f64) -> String {
+    format!("{s:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["alpha", "hits"]);
+        t.push_row(vec!["0.40".into(), "12".into()]);
+        t.push_row(vec!["1.00".into(), "1234".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("alpha"));
+        let lines: Vec<&str> = s.lines().collect();
+        // Title, header, separator, two rows.
+        assert_eq!(lines.len(), 5);
+        // Right-aligned numbers line up at the end.
+        assert!(lines[3].ends_with("12"));
+        assert!(lines[4].ends_with("1234"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("Bad", &["a", "b"]);
+        t.push_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("Csv", &["name", "note"]);
+        t.push_row(vec!["a,b".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv.lines().next().unwrap(), "name,note");
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_gb(1.5e9), "1.5");
+        assert_eq!(fmt_tb(2.5e12), "2.50");
+        assert_eq!(fmt_pct(33.333), "33.3");
+        assert_eq!(fmt_count(5.0), "5");
+        assert_eq!(fmt_count(5.5), "5.5");
+        assert_eq!(fmt_secs(12.34), "12.3");
+    }
+}
+
+/// Gnuplot emission: the paper's figures are classic gnuplot line
+/// plots; these helpers recreate that pipeline from any [`Table`] whose
+/// first column is the x value and remaining columns are series.
+impl Table {
+    /// Whitespace-separated data file (`#`-prefixed header).
+    pub fn to_gnuplot_data(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {}",
+            self.columns
+                .iter()
+                .map(|c| c.replace(' ', "_"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let cleaned = c.replace(' ', "_");
+                    if cleaned.is_empty() { "-".to_string() } else { cleaned }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(" "));
+        }
+        out
+    }
+
+    /// A gnuplot script plotting every series column against column 1,
+    /// reading from `data_file`.
+    pub fn to_gnuplot_script(&self, data_file: &str, output_png: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "set terminal pngcairo size 900,600");
+        let _ = writeln!(out, "set output '{output_png}'");
+        let _ = writeln!(out, "set title \"{}\"", self.title.replace('"', ""));
+        let _ = writeln!(out, "set xlabel '{}'", self.columns.first().map(|s| s.as_str()).unwrap_or("x"));
+        let _ = writeln!(out, "set key outside right");
+        let _ = writeln!(out, "set grid");
+        let series: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, name)| {
+                format!(
+                    "'{data_file}' using 1:{} with linespoints title '{}'",
+                    i + 1,
+                    name.replace('\'', "")
+                )
+            })
+            .collect();
+        let _ = writeln!(out, "plot {}", series.join(", \\\n     "));
+        out
+    }
+
+    /// Write `<stem>.dat` and `<stem>.gp` into `dir`.
+    pub fn write_gnuplot(&self, dir: &std::path::Path, stem: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let dat = format!("{stem}.dat");
+        std::fs::write(dir.join(&dat), self.to_gnuplot_data())?;
+        std::fs::write(
+            dir.join(format!("{stem}.gp")),
+            self.to_gnuplot_script(&dat, &format!("{stem}.png")),
+        )
+    }
+}
+
+#[cfg(test)]
+mod gnuplot_tests {
+    use super::*;
+
+    fn table() -> Table {
+        let mut t = Table::new("Fig. X — demo", &["alpha", "hits", "merges"]);
+        t.push_row(vec!["0.40".into(), "10".into(), "0".into()]);
+        t.push_row(vec!["0.80".into(), "31".into(), "19".into()]);
+        t
+    }
+
+    #[test]
+    fn data_file_shape() {
+        let dat = table().to_gnuplot_data();
+        let lines: Vec<&str> = dat.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("# alpha hits merges"));
+        assert_eq!(lines[2], "0.80 31 19");
+    }
+
+    #[test]
+    fn empty_cells_become_placeholders() {
+        let mut t = Table::new("T", &["x", "flag"]);
+        t.push_row(vec!["1".into(), "".into()]);
+        assert!(t.to_gnuplot_data().lines().nth(1).unwrap().ends_with(" -"));
+    }
+
+    #[test]
+    fn script_plots_every_series() {
+        let gp = table().to_gnuplot_script("demo.dat", "demo.png");
+        assert!(gp.contains("using 1:2"));
+        assert!(gp.contains("using 1:3"));
+        assert!(gp.contains("title 'hits'"));
+        assert!(gp.contains("set output 'demo.png'"));
+    }
+
+    #[test]
+    fn write_gnuplot_creates_both_files() {
+        let dir = std::env::temp_dir().join(format!("landlord-gp-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        table().write_gnuplot(&dir, "figx").unwrap();
+        assert!(dir.join("figx.dat").exists());
+        let gp = std::fs::read_to_string(dir.join("figx.gp")).unwrap();
+        assert!(gp.contains("figx.dat"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,184 @@
+//! Driving a request stream through the LANDLORD cache.
+//!
+//! One simulation = one [`ImageCache`] processing one job stream,
+//! with counter snapshots sampled along the way (Fig. 5's time series)
+//! and a summary at the end (one data point of every sweep figure).
+
+use crate::workload::{self, WorkloadConfig};
+use landlord_core::cache::{CacheConfig, CacheStats, ImageCache};
+use landlord_core::conflict::ConflictPolicy;
+use landlord_core::spec::Spec;
+use landlord_repo::Repository;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One sampled point of a simulation's time series.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Requests processed when the sample was taken (1-based).
+    pub request_index: usize,
+    /// Counter snapshot.
+    pub stats: CacheStats,
+    /// Mean container efficiency so far, percent.
+    pub container_eff_pct: f64,
+}
+
+/// Result of one complete simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Final counters.
+    pub final_stats: CacheStats,
+    /// Mean container efficiency over all requests, percent.
+    pub container_eff_pct: f64,
+    /// Cache efficiency at the end, percent.
+    pub cache_eff_pct: f64,
+    /// Sampled time series (empty when `sample_every == 0`).
+    pub series: Vec<SeriesPoint>,
+}
+
+/// Run one prepared stream through a cache built from `cache_config`.
+///
+/// `sample_every` > 0 records a [`SeriesPoint`] after every that many
+/// requests (and always after the last).
+pub fn simulate_stream(
+    stream: &[Spec],
+    cache_config: CacheConfig,
+    sizes: Arc<dyn landlord_core::sizes::SizeModel>,
+    conflicts: Option<Arc<dyn ConflictPolicy>>,
+    sample_every: usize,
+) -> RunResult {
+    let mut cache = match conflicts {
+        Some(c) => ImageCache::with_conflicts(cache_config, sizes, c),
+        None => ImageCache::new(cache_config, sizes),
+    };
+    let mut series = Vec::new();
+    for (i, spec) in stream.iter().enumerate() {
+        cache.request(spec);
+        let done = i + 1 == stream.len();
+        if sample_every > 0 && ((i + 1) % sample_every == 0 || done) {
+            series.push(SeriesPoint {
+                request_index: i + 1,
+                stats: cache.stats(),
+                container_eff_pct: cache.container_efficiency_pct(),
+            });
+        }
+    }
+    RunResult {
+        final_stats: cache.stats(),
+        container_eff_pct: cache.container_efficiency_pct(),
+        cache_eff_pct: cache.cache_efficiency_pct(),
+        series,
+    }
+}
+
+/// Convenience: generate the stream from a workload config and run it.
+pub fn simulate(
+    repo: &Repository,
+    workload: &WorkloadConfig,
+    cache_config: CacheConfig,
+    sample_every: usize,
+) -> RunResult {
+    let stream = workload::generate_stream(repo, workload);
+    let sizes: Arc<dyn landlord_core::sizes::SizeModel> = Arc::new(repo.size_table());
+    simulate_stream(&stream, cache_config, sizes, None, sample_every)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadScheme;
+    use landlord_repo::RepoConfig;
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(31))
+    }
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            unique_jobs: 30,
+            repeats: 3,
+            max_initial_selection: 8,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed: 2,
+        }
+    }
+
+    fn cache_cfg(alpha: f64, limit: u64) -> CacheConfig {
+        CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() }
+    }
+
+    #[test]
+    fn all_requests_accounted() {
+        let r = repo();
+        let w = workload();
+        let result = simulate(&r, &w, cache_cfg(0.75, r.total_bytes()), 0);
+        let s = result.final_stats;
+        assert_eq!(s.requests as usize, w.total_requests());
+        assert_eq!(s.requests, s.hits + s.merges + s.inserts);
+        assert!(result.series.is_empty());
+    }
+
+    #[test]
+    fn repeats_guarantee_hits() {
+        let r = repo();
+        let result = simulate(&r, &workload(), cache_cfg(0.75, r.total_bytes() * 10), 0);
+        // With 3 repeats per job and a roomy cache, at least the exact
+        // re-requests hit.
+        assert!(
+            result.final_stats.hits >= 30,
+            "only {} hits over 90 requests with repeats",
+            result.final_stats.hits
+        );
+    }
+
+    #[test]
+    fn series_sampling() {
+        let r = repo();
+        let result = simulate(&r, &workload(), cache_cfg(0.75, r.total_bytes()), 10);
+        assert_eq!(result.series.len(), 9, "90 requests sampled every 10");
+        assert_eq!(result.series.last().unwrap().request_index, 90);
+        // Monotone counters along the series.
+        for w in result.series.windows(2) {
+            assert!(w[0].stats.requests < w[1].stats.requests);
+            assert!(w[0].stats.bytes_written <= w[1].stats.bytes_written);
+        }
+    }
+
+    #[test]
+    fn tight_cache_forces_deletes() {
+        let r = repo();
+        // Cache a twentieth of the repo: heavy eviction pressure.
+        let result = simulate(&r, &workload(), cache_cfg(0.0, r.total_bytes() / 20), 0);
+        assert!(result.final_stats.deletes > 0, "tight cache must evict");
+        let total = result.final_stats.total_bytes;
+        // Bound: limit + one oversized image.
+        assert!(total <= r.total_bytes() / 20 + r.total_bytes() / 2);
+    }
+
+    #[test]
+    fn merging_raises_cache_efficiency() {
+        let r = repo();
+        let w = workload();
+        let limit = r.total_bytes(); // roomy enough to show duplication
+        let none = simulate(&r, &w, cache_cfg(0.0, limit), 0);
+        let lots = simulate(&r, &w, cache_cfg(0.95, limit), 0);
+        assert!(lots.final_stats.merges > 0);
+        assert!(
+            lots.cache_eff_pct > none.cache_eff_pct,
+            "merging should deduplicate: {} vs {}",
+            lots.cache_eff_pct,
+            none.cache_eff_pct
+        );
+        // And costs container efficiency.
+        assert!(lots.container_eff_pct < none.container_eff_pct + 1e-9);
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let r = repo();
+        let w = workload();
+        let a = simulate(&r, &w, cache_cfg(0.8, r.total_bytes()), 0);
+        let b = simulate(&r, &w, cache_cfg(0.8, r.total_bytes()), 0);
+        assert_eq!(a.final_stats, b.final_stats);
+    }
+}

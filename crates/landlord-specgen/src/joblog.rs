@@ -1,0 +1,133 @@
+//! Extracting requirements from job logs.
+//!
+//! The paper's fallback when no static spec exists: "runtime tracing
+//! (possibly over multiple runs to try to capture all behaviors)". A
+//! trace or log records accessed file paths; on CVMFS those paths embed
+//! the package identity:
+//!
+//! ```text
+//! /cvmfs/sft.cern.ch/lcg/releases/ROOT/6.20.04-x86_64/lib/libCore.so
+//! open("/cvmfs/sft.cern.ch/lcg/releases/Geant4/10.6.p01/data/...")
+//! ```
+//!
+//! The scanner finds every `/cvmfs/<repo>/.../<name>/<version>/...`
+//! occurrence anywhere in a line (logs wrap paths in syscall noise),
+//! using a configurable number of path components between the repo
+//! mount and the package name.
+
+use crate::Requirement;
+
+/// Where in a CVMFS path the package name/version sit.
+#[derive(Debug, Clone)]
+pub struct LogFormat {
+    /// Mount prefix, normally `/cvmfs/`.
+    pub mount: String,
+    /// Path components between the repository name and the package
+    /// name (e.g. `lcg/releases` → 2).
+    pub skip_components: usize,
+}
+
+impl Default for LogFormat {
+    fn default() -> Self {
+        LogFormat { mount: "/cvmfs/".to_string(), skip_components: 2 }
+    }
+}
+
+/// Scan log text for package accesses under the given format.
+pub fn scan(log: &str, format: &LogFormat) -> Vec<Requirement> {
+    let mut out = Vec::new();
+    for line in log.lines() {
+        let mut rest = line;
+        while let Some(pos) = rest.find(&format.mount) {
+            let path = &rest[pos + format.mount.len()..];
+            // Path ends at whitespace or a quote.
+            let end = path
+                .find(|c: char| c.is_whitespace() || c == '"' || c == '\'' || c == ')')
+                .unwrap_or(path.len());
+            let path = &path[..end];
+            let mut parts = path.split('/').filter(|p| !p.is_empty());
+            let _repo_name = parts.next();
+            for _ in 0..format.skip_components {
+                let _ = parts.next();
+            }
+            if let (Some(name), Some(version)) = (parts.next(), parts.next()) {
+                // Require a file below the version directory, otherwise
+                // `<name>/<version>` may actually be `<dir>/<file>`.
+                if parts.next().is_some() {
+                    out.push(Requirement::pinned(name, version));
+                }
+            }
+            rest = &rest[pos + format.mount.len()..];
+        }
+    }
+    crate::dedup_requirements(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FMT: fn() -> LogFormat = LogFormat::default;
+
+    #[test]
+    fn plain_paths() {
+        let log = "\
+/cvmfs/sft.cern.ch/lcg/releases/ROOT/6.20.04/lib/libCore.so
+/cvmfs/sft.cern.ch/lcg/releases/Geant4/10.6.p01/data/G4NDL.tar
+";
+        let reqs = scan(log, &FMT());
+        assert_eq!(
+            reqs,
+            vec![
+                Requirement::pinned("Geant4", "10.6.p01"),
+                Requirement::pinned("ROOT", "6.20.04"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strace_style_lines() {
+        let log = r#"open("/cvmfs/atlas.cern.ch/repo/sw/Athena/22.0.1/bin/athena.py", O_RDONLY) = 3"#;
+        let reqs = scan(log, &FMT());
+        assert_eq!(reqs, vec![Requirement::pinned("Athena", "22.0.1")]);
+    }
+
+    #[test]
+    fn repeated_accesses_collapse() {
+        let log = "\
+/cvmfs/x/a/b/pkg/1.0/f1
+/cvmfs/x/a/b/pkg/1.0/f2
+/cvmfs/x/a/b/pkg/1.0/deep/f3
+";
+        assert_eq!(scan(log, &FMT()), vec![Requirement::pinned("pkg", "1.0")]);
+    }
+
+    #[test]
+    fn too_shallow_paths_skipped() {
+        // No file below the version component: ambiguous, skip.
+        let log = "/cvmfs/x/a/b/pkg/1.0\n/cvmfs/x/a/b\n";
+        assert!(scan(log, &FMT()).is_empty());
+    }
+
+    #[test]
+    fn custom_skip_components() {
+        let fmt = LogFormat { mount: "/cvmfs/".into(), skip_components: 0 };
+        let log = "/cvmfs/lhcb.cern.ch/DaVinci/v45r3/run\n";
+        assert_eq!(scan(log, &fmt), vec![Requirement::pinned("DaVinci", "v45r3")]);
+    }
+
+    #[test]
+    fn multiple_paths_per_line() {
+        let log = "copy /cvmfs/r/a/b/x/1/f -> /cvmfs/r/a/b/y/2/g done\n";
+        let reqs = scan(log, &FMT());
+        assert_eq!(
+            reqs,
+            vec![Requirement::pinned("x", "1"), Requirement::pinned("y", "2")]
+        );
+    }
+
+    #[test]
+    fn lines_without_cvmfs_ignored() {
+        assert!(scan("writing output to /tmp/out.root\n", &FMT()).is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! # landlord-specgen
+//!
+//! Specification inference — the paper's analysis tooling (§V,
+//! "LANDLORD Deployment"): *"Simple specifications may be hand-written;
+//! we also developed several simple analysis tools to automatically
+//! generate specifications by scanning for Python `import` statements,
+//! `module load` directives, or logs from previous jobs."*
+//!
+//! Three extractors produce [`Requirement`]s (a package name and an
+//! optional version constraint):
+//!
+//! * [`python`] — `import x`, `import x.y as z`, `from x.y import f`
+//!   statements in Python source;
+//! * [`modules`] — `module load`/`module add`/`ml` directives and
+//!   `spack load` lines in shell scripts;
+//! * [`joblog`] — CVMFS-style access paths
+//!   (`/cvmfs/<repo>/<name>/<version>/…`) in job logs or traces.
+//!
+//! [`resolve::Resolver`] then maps requirements onto a concrete
+//! repository's catalog (exact version when pinned, newest otherwise)
+//! and reports what could not be resolved, producing the package set a
+//! [`landlord_core::Spec`] is built from. Dependency-closure expansion
+//! stays the repository's job
+//! ([`landlord_repo::Repository::closure_spec`]).
+
+pub mod joblog;
+pub mod modules;
+pub mod python;
+pub mod resolve;
+
+use serde::{Deserialize, Serialize};
+
+/// One extracted software requirement.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Requirement {
+    /// Package/product name as written in the source.
+    pub name: String,
+    /// Version, when the source pins one (`module load gcc/9.2.0`).
+    pub version: Option<String>,
+}
+
+impl Requirement {
+    /// An unversioned requirement.
+    pub fn unversioned(name: impl Into<String>) -> Self {
+        Requirement { name: name.into(), version: None }
+    }
+
+    /// A version-pinned requirement.
+    pub fn pinned(name: impl Into<String>, version: impl Into<String>) -> Self {
+        Requirement { name: name.into(), version: Some(version.into()) }
+    }
+}
+
+impl std::fmt::Display for Requirement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.version {
+            Some(v) => write!(f, "{}/{v}", self.name),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Deduplicate and sort requirements (extractors may see the same
+/// import many times).
+pub fn dedup_requirements(mut reqs: Vec<Requirement>) -> Vec<Requirement> {
+    reqs.sort();
+    reqs.dedup();
+    reqs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Requirement::unversioned("numpy").to_string(), "numpy");
+        assert_eq!(Requirement::pinned("gcc", "9.2.0").to_string(), "gcc/9.2.0");
+    }
+
+    #[test]
+    fn dedup_sorts_and_removes_duplicates() {
+        let reqs = vec![
+            Requirement::unversioned("b"),
+            Requirement::unversioned("a"),
+            Requirement::unversioned("b"),
+            Requirement::pinned("b", "1"),
+        ];
+        let out = dedup_requirements(reqs);
+        assert_eq!(
+            out,
+            vec![
+                Requirement::unversioned("a"),
+                Requirement::unversioned("b"),
+                Requirement::pinned("b", "1"),
+            ]
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Extracting requirements from environment-modules directives.
+//!
+//! HPC job scripts declare software with the `module` command (Lmod /
+//! Environment Modules) or `spack load`:
+//!
+//! ```sh
+//! module load gcc/9.2.0 cmake
+//! module add root/6.20.04
+//! ml geant4          # Lmod shorthand
+//! spack load hdf5@1.10.7
+//! ```
+//!
+//! `name/version` and `name@version` forms pin a version; bare names do
+//! not. `module unload`/`ml -x` removals are honoured in order, since a
+//! job script may swap toolchains.
+
+use crate::Requirement;
+
+fn parse_token(tok: &str) -> Option<Requirement> {
+    let tok = tok.trim();
+    if tok.is_empty() || tok.starts_with('-') || tok.starts_with('$') {
+        return None;
+    }
+    // spack syntax name@version; modules syntax name/version.
+    let (name, version) = match tok.split_once('@').or_else(|| tok.split_once('/')) {
+        Some((n, v)) if !n.is_empty() && !v.is_empty() => (n, Some(v)),
+        _ => (tok, None),
+    };
+    Some(Requirement { name: name.to_string(), version: version.map(str::to_string) })
+}
+
+/// Scan a shell script for module/spack load directives.
+pub fn scan(script: &str) -> Vec<Requirement> {
+    let mut loaded: Vec<Requirement> = Vec::new();
+    for raw in script.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        let mut words = line.split_whitespace();
+        let Some(cmd) = words.next() else { continue };
+        match cmd {
+            "module" | "ml" => {
+                // `ml foo` means load; `ml -foo` or `module unload foo`
+                // means unload.
+                let mut action = "load";
+                let mut rest: Vec<&str> = Vec::new();
+                for (i, w) in words.enumerate() {
+                    if i == 0 && matches!(w, "load" | "add" | "unload" | "rm" | "del" | "purge") {
+                        action = w;
+                    } else {
+                        rest.push(w);
+                    }
+                }
+                match action {
+                    "load" | "add" => {
+                        for tok in rest {
+                            match tok.strip_prefix('-') {
+                                // Lmod `ml -pkg` unload shorthand.
+                                Some(stripped) => loaded.retain(|r| r.name != stripped),
+                                None => {
+                                    if let Some(req) = parse_token(tok) {
+                                        loaded.push(req);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    "unload" | "rm" | "del" => {
+                        for tok in rest {
+                            if let Some(req) = parse_token(tok) {
+                                loaded.retain(|r| r.name != req.name);
+                            }
+                        }
+                    }
+                    "purge" => loaded.clear(),
+                    _ => {}
+                }
+            }
+            "spack" if words.next() == Some("load") => {
+                for tok in words {
+                    if let Some(req) = parse_token(tok) {
+                        loaded.push(req);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    crate::dedup_requirements(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_with_and_without_versions() {
+        let reqs = scan("module load gcc/9.2.0 cmake\n");
+        assert_eq!(
+            reqs,
+            vec![Requirement::unversioned("cmake"), Requirement::pinned("gcc", "9.2.0")]
+        );
+    }
+
+    #[test]
+    fn add_and_ml_shorthand() {
+        let reqs = scan("module add root/6.20.04\nml geant4\n");
+        assert_eq!(
+            reqs,
+            vec![Requirement::unversioned("geant4"), Requirement::pinned("root", "6.20.04")]
+        );
+    }
+
+    #[test]
+    fn spack_load() {
+        let reqs = scan("spack load hdf5@1.10.7\nspack install ignored\n");
+        assert_eq!(reqs, vec![Requirement::pinned("hdf5", "1.10.7")]);
+    }
+
+    #[test]
+    fn unload_removes() {
+        let reqs = scan("module load gcc/8.1.0 python\nmodule unload gcc\n");
+        assert_eq!(reqs, vec![Requirement::unversioned("python")]);
+    }
+
+    #[test]
+    fn lmod_minus_unloads() {
+        let reqs = scan("ml gcc python\nml -gcc\n");
+        assert_eq!(reqs, vec![Requirement::unversioned("python")]);
+    }
+
+    #[test]
+    fn purge_clears_everything() {
+        let reqs = scan("module load a b c\nmodule purge\nmodule load d\n");
+        assert_eq!(reqs, vec![Requirement::unversioned("d")]);
+    }
+
+    #[test]
+    fn comments_and_unrelated_lines_ignored() {
+        let script = "#!/bin/bash\n# module load fake\necho module load nope\nmodule load real # ok\n";
+        assert_eq!(scan(script), vec![Requirement::unversioned("real")]);
+    }
+
+    #[test]
+    fn flags_and_variables_skipped() {
+        let reqs = scan("module load --quiet gcc $EXTRA\n");
+        assert_eq!(reqs, vec![Requirement::unversioned("gcc")]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Extracting requirements from Python `import` statements.
+//!
+//! A pragmatic line-based scanner (not a full Python parser): it
+//! handles the import forms that occur in analysis scripts —
+//!
+//! ```python
+//! import numpy
+//! import numpy as np, scipy.linalg
+//! from ROOT import TFile
+//! from uproot.models import TTree   # only 'uproot' is a package
+//! ```
+//!
+//! — at any indentation (HEP scripts import inside functions), skips
+//! comment lines, relative imports (`from . import x`), and `__future__`,
+//! and maps dotted module paths to their top-level package name.
+
+use crate::Requirement;
+
+/// Standard-library module names that never map to installable
+/// packages. (A pragmatic subset — enough to keep specs clean.)
+const STDLIB: &[&str] = &[
+    "abc", "argparse", "array", "ast", "asyncio", "base64", "bisect", "collections",
+    "contextlib", "copy", "csv", "ctypes", "dataclasses", "datetime", "decimal", "enum",
+    "functools", "gc", "glob", "gzip", "hashlib", "heapq", "io", "itertools", "json",
+    "logging", "math", "multiprocessing", "os", "pathlib", "pickle", "random", "re",
+    "shutil", "signal", "socket", "struct", "subprocess", "sys", "tempfile", "threading",
+    "time", "traceback", "types", "typing", "unittest", "urllib", "uuid", "warnings",
+    "weakref", "xml", "zlib",
+];
+
+fn is_stdlib(name: &str) -> bool {
+    STDLIB.binary_search(&name).is_ok()
+}
+
+fn top_level(module_path: &str) -> Option<&str> {
+    let top = module_path.split('.').next()?.trim();
+    if top.is_empty() || top == "__future__" {
+        return None;
+    }
+    // Identifier check: letters, digits, underscore; not starting with
+    // a digit.
+    let mut chars = top.chars();
+    let first = chars.next()?;
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return None;
+    }
+    if !chars.all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some(top)
+}
+
+/// Scan Python source text for imported top-level packages.
+pub fn scan(source: &str) -> Vec<Requirement> {
+    let mut out = Vec::new();
+    for raw in source.lines() {
+        // Strip trailing comments naively (good enough for import lines,
+        // which rarely contain '#' in strings).
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if let Some(rest) = line.strip_prefix("import ") {
+            // `import a.b as c, d` — comma-separated module paths.
+            for part in rest.split(',') {
+                let module = part.split_whitespace().next().unwrap_or("");
+                if let Some(top) = top_level(module) {
+                    if !is_stdlib(top) {
+                        out.push(Requirement::unversioned(top));
+                    }
+                }
+            }
+        } else if let Some(rest) = line.strip_prefix("from ") {
+            // `from a.b import x` — only the source module matters.
+            let module = rest.split_whitespace().next().unwrap_or("");
+            if module.starts_with('.') {
+                continue; // relative import: same project, not a package
+            }
+            if let Some(top) = top_level(module) {
+                if !is_stdlib(top) {
+                    out.push(Requirement::unversioned(top));
+                }
+            }
+        }
+    }
+    crate::dedup_requirements(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|r| r.name).collect()
+    }
+
+    #[test]
+    fn plain_imports() {
+        assert_eq!(names("import numpy\nimport scipy"), vec!["numpy", "scipy"]);
+    }
+
+    #[test]
+    fn dotted_and_aliased() {
+        assert_eq!(names("import scipy.linalg as la"), vec!["scipy"]);
+        assert_eq!(names("import a.b.c"), vec!["a"]);
+    }
+
+    #[test]
+    fn comma_separated() {
+        assert_eq!(names("import numpy as np, uproot, awkward"), vec![
+            "awkward", "numpy", "uproot"
+        ]);
+    }
+
+    #[test]
+    fn from_imports() {
+        assert_eq!(names("from ROOT import TFile, TTree"), vec!["ROOT"]);
+        assert_eq!(names("from uproot.models import TTree"), vec!["uproot"]);
+    }
+
+    #[test]
+    fn indented_imports_found() {
+        let src = "def setup():\n    import tensorflow\n    return 1\n";
+        assert_eq!(names(src), vec!["tensorflow"]);
+    }
+
+    #[test]
+    fn stdlib_and_future_filtered() {
+        assert!(names("import os\nimport sys\nfrom __future__ import annotations").is_empty());
+    }
+
+    #[test]
+    fn relative_imports_skipped() {
+        assert!(names("from . import helpers\nfrom .utils import x").is_empty());
+    }
+
+    #[test]
+    fn comments_and_noise_ignored() {
+        let src = "# import fake\nx = 'import nothing'\nimport real  # trailing\n";
+        assert_eq!(names(src), vec!["real"]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        assert_eq!(names("import numpy\nimport numpy\nfrom numpy import array"), vec!["numpy"]);
+    }
+
+    #[test]
+    fn stdlib_table_is_sorted_for_binary_search() {
+        assert!(STDLIB.windows(2).all(|w| w[0] < w[1]), "STDLIB must stay sorted");
+    }
+}

@@ -1,0 +1,236 @@
+//! Resolving requirements against a concrete repository catalog.
+//!
+//! Extracted [`Requirement`]s are names (sometimes pinned to versions)
+//! in whatever spelling the source used; the repository knows packages
+//! as `name/version` pairs. The resolver matches them up:
+//!
+//! * exact `name/version` lookup when pinned;
+//! * newest available version when unpinned (matching what `module
+//!   load gcc` does on real systems);
+//! * case/punctuation-insensitive name fallback (`ROOT` vs `root`,
+//!   `scikit-learn` vs `scikit_learn`).
+//!
+//! Unresolved requirements are reported, never silently dropped — a
+//! spec missing a dependency produces a broken container, so the
+//! caller must decide.
+
+use crate::Requirement;
+use landlord_core::spec::{PackageId, Spec};
+use landlord_repo::Repository;
+use std::collections::HashMap;
+
+/// Result of resolving a batch of requirements.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// Successfully resolved package ids (deduplicated).
+    pub resolved: Vec<PackageId>,
+    /// Requirements with no matching package.
+    pub unresolved: Vec<Requirement>,
+}
+
+impl Resolution {
+    /// True when everything resolved.
+    pub fn is_complete(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+
+    /// The resolved ids as a spec (no closure expansion).
+    pub fn to_spec(&self) -> Spec {
+        Spec::from_ids(self.resolved.iter().copied())
+    }
+}
+
+fn normalize(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Maps requirement names to catalog packages.
+pub struct Resolver<'a> {
+    repo: &'a Repository,
+    /// Exact name → versions (package ids sorted by version string).
+    by_name: HashMap<&'a str, Vec<PackageId>>,
+    /// Normalized name → exact name (first writer wins).
+    by_normalized: HashMap<String, &'a str>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Index a repository's catalog.
+    pub fn new(repo: &'a Repository) -> Self {
+        let mut by_name: HashMap<&str, Vec<PackageId>> = HashMap::new();
+        for meta in repo.packages() {
+            by_name.entry(meta.name.as_str()).or_default().push(meta.id);
+        }
+        for versions in by_name.values_mut() {
+            versions.sort_by(|&a, &b| {
+                repo.meta(a).version.cmp(&repo.meta(b).version).then(a.cmp(&b))
+            });
+        }
+        let mut by_normalized = HashMap::new();
+        for &name in by_name.keys() {
+            by_normalized.entry(normalize(name)).or_insert(name);
+        }
+        Resolver { repo, by_name, by_normalized }
+    }
+
+    fn versions_of(&self, name: &str) -> Option<&[PackageId]> {
+        if let Some(v) = self.by_name.get(name) {
+            return Some(v);
+        }
+        let canonical = self.by_normalized.get(&normalize(name))?;
+        self.by_name.get(canonical).map(|v| v.as_slice())
+    }
+
+    /// Resolve one requirement.
+    pub fn resolve_one(&self, req: &Requirement) -> Option<PackageId> {
+        let versions = self.versions_of(&req.name)?;
+        match &req.version {
+            None => versions.last().copied(), // newest version
+            Some(want) => versions
+                .iter()
+                .copied()
+                .find(|&p| &self.repo.meta(p).version == want),
+        }
+    }
+
+    /// Resolve a batch, splitting into resolved ids and failures.
+    pub fn resolve(&self, reqs: &[Requirement]) -> Resolution {
+        let mut resolved = Vec::new();
+        let mut unresolved = Vec::new();
+        for req in reqs {
+            match self.resolve_one(req) {
+                Some(id) => resolved.push(id),
+                None => unresolved.push(req.clone()),
+            }
+        }
+        resolved.sort_unstable();
+        resolved.dedup();
+        Resolution { resolved, unresolved }
+    }
+
+    /// Resolve and expand the dependency closure in one step — the full
+    /// "job script → container spec" pipeline.
+    pub fn resolve_to_closure(&self, reqs: &[Requirement]) -> (Spec, Vec<Requirement>) {
+        let resolution = self.resolve(reqs);
+        let spec = self.repo.closure_spec(&resolution.resolved);
+        (spec, resolution.unresolved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use landlord_repo::{Catalog, DepGraph, PackageKind, PackageMeta};
+
+    /// Hand-built four-package repo: root/6.20, root/6.22, Geant4/10.6,
+    /// with root 6.22 depending on Geant4.
+    fn repo() -> Repository {
+        let metas = vec![
+            meta(0, "root", "6.20", 0),
+            meta(1, "root", "6.22", 0),
+            meta(2, "Geant4", "10.6", 1),
+            meta(3, "scikit-learn", "1.0", 2),
+        ];
+        let graph = DepGraph::from_adjacency(vec![
+            vec![],
+            vec![PackageId(2)],
+            vec![],
+            vec![],
+        ]);
+        let catalog = Catalog::build(&metas);
+        Repository::from_parts(metas, graph, catalog)
+    }
+
+    fn meta(id: u32, name: &str, version: &str, name_id: u32) -> PackageMeta {
+        PackageMeta {
+            id: PackageId(id),
+            name: name.into(),
+            version: version.into(),
+            name_id,
+            kind: PackageKind::Library,
+            layer: (id % 3) as u8,
+            bytes: 10,
+        }
+    }
+
+    #[test]
+    fn pinned_version_exact_match() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        assert_eq!(
+            resolver.resolve_one(&Requirement::pinned("root", "6.20")),
+            Some(PackageId(0))
+        );
+        assert_eq!(resolver.resolve_one(&Requirement::pinned("root", "9.99")), None);
+    }
+
+    #[test]
+    fn unpinned_takes_newest() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        assert_eq!(
+            resolver.resolve_one(&Requirement::unversioned("root")),
+            Some(PackageId(1)),
+            "6.22 > 6.20"
+        );
+    }
+
+    #[test]
+    fn normalized_name_fallback() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        assert_eq!(
+            resolver.resolve_one(&Requirement::unversioned("ROOT")),
+            Some(PackageId(1))
+        );
+        assert_eq!(
+            resolver.resolve_one(&Requirement::unversioned("scikit_learn")),
+            Some(PackageId(3))
+        );
+        assert_eq!(resolver.resolve_one(&Requirement::unversioned("nonexistent")), None);
+    }
+
+    #[test]
+    fn batch_resolution_reports_failures() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        let reqs = vec![
+            Requirement::unversioned("root"),
+            Requirement::unversioned("missing-package"),
+            Requirement::pinned("Geant4", "10.6"),
+        ];
+        let res = resolver.resolve(&reqs);
+        assert_eq!(res.resolved, vec![PackageId(1), PackageId(2)]);
+        assert_eq!(res.unresolved.len(), 1);
+        assert!(!res.is_complete());
+        assert_eq!(res.to_spec().len(), 2);
+    }
+
+    #[test]
+    fn closure_expansion_pipeline() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        let (spec, unresolved) =
+            resolver.resolve_to_closure(&[Requirement::pinned("root", "6.22")]);
+        assert!(unresolved.is_empty());
+        // root/6.22 pulls in its Geant4 dependency.
+        assert!(spec.contains(PackageId(1)));
+        assert!(spec.contains(PackageId(2)));
+        assert_eq!(spec.len(), 2);
+    }
+
+    #[test]
+    fn end_to_end_from_python_and_modules() {
+        let r = repo();
+        let resolver = Resolver::new(&r);
+        let mut reqs = crate::python::scan("import ROOT\nfrom Geant4 import run\n");
+        reqs.extend(crate::modules::scan("module load root/6.20\n"));
+        let reqs = crate::dedup_requirements(reqs);
+        let res = resolver.resolve(&reqs);
+        assert!(res.is_complete(), "unresolved: {:?}", res.unresolved);
+        // ROOT (newest), Geant4 (newest), root/6.20 (pinned).
+        assert_eq!(res.resolved, vec![PackageId(0), PackageId(1), PackageId(2)]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Directory catalogs: path → object mappings, stored as objects.
+//!
+//! A catalog is the CVMFS notion of a directory listing: each entry
+//! names a file path and the content hash + size of its data. Catalogs
+//! serialize to a canonical byte form and are stored in the object
+//! store themselves, so a whole filesystem revision is reachable from
+//! one root hash.
+
+use crate::hash::ContentHash;
+use crate::object::ObjectStore;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+
+/// One file in a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CatalogEntry {
+    /// Hash of the file contents.
+    pub hash: ContentHash,
+    /// File size in bytes.
+    pub size: u64,
+    /// Executable bit (the only mode bit container payloads care about).
+    pub executable: bool,
+}
+
+/// An ordered path → entry mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog lists no files.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert or replace a file entry. Paths are normalized to have no
+    /// leading slash.
+    pub fn insert(&mut self, path: &str, entry: CatalogEntry) {
+        self.entries.insert(normalize(path), entry);
+    }
+
+    /// Look up a file by path.
+    pub fn get(&self, path: &str) -> Option<&CatalogEntry> {
+        self.entries.get(&normalize(path))
+    }
+
+    /// Iterate entries in path order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> {
+        self.entries.iter().map(|(p, e)| (p.as_str(), e))
+    }
+
+    /// Sum of file sizes (logical bytes, before dedup).
+    pub fn total_bytes(&self) -> u64 {
+        self.entries.values().map(|e| e.size).sum()
+    }
+
+    /// Merge another catalog into this one. On path collisions the
+    /// *other* catalog wins (later publish overrides), mirroring how
+    /// overlapping packages lay down files in install order.
+    pub fn merge_from(&mut self, other: &Catalog) {
+        for (p, e) in &other.entries {
+            self.entries.insert(p.clone(), *e);
+        }
+    }
+
+    /// All entries under a path prefix (directory listing).
+    pub fn under_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a str, &'a CatalogEntry)> + 'a {
+        let norm = normalize(prefix);
+        self.entries
+            .range(norm.clone()..)
+            .take_while(move |(p, _)| p.starts_with(&norm))
+            .map(|(p, e)| (p.as_str(), e))
+    }
+
+    /// Serialize canonically and store as an object; returns the
+    /// catalog's own hash.
+    pub fn store(&self, store: &dyn ObjectStore) -> io::Result<ContentHash> {
+        let bytes = serde_json::to_vec(self).expect("catalogs always serialize");
+        store.put(&bytes)
+    }
+
+    /// Load a catalog previously written by [`Catalog::store`].
+    pub fn load(store: &dyn ObjectStore, hash: ContentHash) -> io::Result<Option<Catalog>> {
+        let Some(bytes) = store.get(hash)? else { return Ok(None) };
+        serde_json::from_slice(&bytes)
+            .map(Some)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+fn normalize(path: &str) -> String {
+    path.trim_start_matches('/').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MemStore;
+
+    fn entry(data: &[u8]) -> CatalogEntry {
+        CatalogEntry { hash: ContentHash::of(data), size: data.len() as u64, executable: false }
+    }
+
+    #[test]
+    fn insert_get_normalizes_paths() {
+        let mut c = Catalog::new();
+        c.insert("/usr/bin/root", entry(b"ROOT"));
+        assert!(c.get("usr/bin/root").is_some());
+        assert!(c.get("/usr/bin/root").is_some());
+        assert!(c.get("usr/bin/other").is_none());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn total_bytes_sums_sizes() {
+        let mut c = Catalog::new();
+        c.insert("a", entry(b"xx"));
+        c.insert("b", entry(b"yyy"));
+        assert_eq!(c.total_bytes(), 5);
+    }
+
+    #[test]
+    fn merge_later_wins() {
+        let mut a = Catalog::new();
+        a.insert("shared", entry(b"old"));
+        a.insert("only-a", entry(b"a"));
+        let mut b = Catalog::new();
+        b.insert("shared", entry(b"new"));
+        b.insert("only-b", entry(b"b"));
+        a.merge_from(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get("shared").unwrap().hash, ContentHash::of(b"new"));
+    }
+
+    #[test]
+    fn prefix_listing() {
+        let mut c = Catalog::new();
+        c.insert("pkg/root/lib.so", entry(b"1"));
+        c.insert("pkg/root/bin", entry(b"2"));
+        c.insert("pkg/zebra/data", entry(b"3"));
+        let under: Vec<&str> = c.under_prefix("pkg/root/").map(|(p, _)| p).collect();
+        assert_eq!(under, vec!["pkg/root/bin", "pkg/root/lib.so"]);
+        assert_eq!(c.under_prefix("nope/").count(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let store = MemStore::new();
+        let mut c = Catalog::new();
+        c.insert("x/y", entry(b"data"));
+        let h = c.store(&store).unwrap();
+        let back = Catalog::load(&store, h).unwrap().unwrap();
+        assert_eq!(back, c);
+        // Missing hash loads as None.
+        assert!(Catalog::load(&store, ContentHash::of(b"nothing")).unwrap().is_none());
+    }
+
+    #[test]
+    fn identical_catalogs_share_storage() {
+        let store = MemStore::new();
+        let mut c = Catalog::new();
+        c.insert("same", entry(b"same"));
+        let h1 = c.store(&store).unwrap();
+        let h2 = c.clone().store(&store).unwrap();
+        assert_eq!(h1, h2);
+        assert_eq!(store.object_count(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Fault injection for storage-dependent code paths.
+//!
+//! [`FaultyStore`] wraps any [`ObjectStore`] and fails operations on a
+//! schedule. Downstream crates use it to verify that image builds,
+//! cache submissions, and publishes *propagate* storage errors instead
+//! of panicking or silently corrupting accounting — the failure modes
+//! that matter on real scratch filesystems, which do fill up and do
+//! flake.
+
+use crate::hash::ContentHash;
+use crate::object::ObjectStore;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which operations fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// `put` fails once the budget is exhausted (disk-full behaviour).
+    FailPutsAfter(u64),
+    /// `get` fails unconditionally (unreadable medium).
+    FailGets,
+    /// Nothing fails (control).
+    None,
+}
+
+/// An [`ObjectStore`] decorator that injects failures.
+pub struct FaultyStore<S> {
+    inner: S,
+    mode: FaultMode,
+    puts: AtomicU64,
+}
+
+impl<S: ObjectStore> FaultyStore<S> {
+    /// Wrap `inner` with the given fault mode.
+    pub fn new(inner: S, mode: FaultMode) -> Self {
+        FaultyStore { inner, mode, puts: AtomicU64::new(0) }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of successful `put` calls so far.
+    pub fn successful_puts(&self) -> u64 {
+        self.puts.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
+    fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
+        if let FaultMode::FailPutsAfter(budget) = self.mode {
+            if self.puts.load(Ordering::Relaxed) >= budget {
+                return Err(io::Error::new(
+                    io::ErrorKind::StorageFull,
+                    "injected fault: no space left on device",
+                ));
+            }
+        }
+        let hash = self.inner.put(data)?;
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        Ok(hash)
+    }
+
+    fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
+        if self.mode == FaultMode::FailGets {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "injected fault: read error",
+            ));
+        }
+        self.inner.get(hash)
+    }
+
+    fn contains(&self, hash: ContentHash) -> bool {
+        self.inner.contains(hash)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.object_count()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner.stored_bytes()
+    }
+
+    fn hashes(&self) -> Vec<ContentHash> {
+        self.inner.hashes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MemStore;
+
+    #[test]
+    fn put_budget_exhausts() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::FailPutsAfter(2));
+        store.put(b"one").unwrap();
+        store.put(b"two").unwrap();
+        let err = store.put(b"three").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(store.successful_puts(), 2);
+        assert_eq!(store.object_count(), 2);
+    }
+
+    #[test]
+    fn get_faults() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::FailGets);
+        let h = store.put(b"data").unwrap();
+        assert!(store.get(h).is_err());
+        assert!(store.contains(h), "contains is metadata, still works");
+    }
+
+    #[test]
+    fn none_mode_is_transparent() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::None);
+        let h = store.put(b"data").unwrap();
+        assert_eq!(store.get(h).unwrap().as_deref(), Some(b"data".as_slice()));
+        assert_eq!(store.stored_bytes(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! Reachability analysis and retention accounting.
+//!
+//! §III: "CVMFS retains all historical versions to ensure
+//! reproducibility and backwards compatibility, making simple garbage
+//! collection impossible." This module puts numbers on that statement
+//! for a [`RepositoryFs`]: given a *retention window* (the set of
+//! revisions that must stay readable), which objects are reachable,
+//! and how many bytes would a collector reclaim if the older revisions
+//! were allowed to expire?
+//!
+//! There is deliberately no `delete` here — the store stays append-only
+//! (the property LANDLORD's conflict-free merging relies on). The
+//! analysis is what an operator consults *before* deciding whether
+//! breaking retention is worth it.
+
+use crate::catalog::Catalog;
+use crate::hash::ContentHash;
+use crate::object::ObjectStore;
+use crate::revision::{RepositoryFs, RevisionId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io;
+
+/// Result of a reachability analysis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GcReport {
+    /// Revisions inspected (the retention window).
+    pub retained_revisions: Vec<RevisionId>,
+    /// Objects reachable from the retained revisions (catalogs + file
+    /// contents).
+    pub reachable_objects: usize,
+    /// Bytes of reachable objects.
+    pub reachable_bytes: u64,
+    /// Objects in the store overall.
+    pub total_objects: usize,
+    /// Bytes in the store overall.
+    pub total_bytes: u64,
+}
+
+impl GcReport {
+    /// Objects a collector honouring the window could reclaim.
+    pub fn reclaimable_objects(&self) -> usize {
+        self.total_objects - self.reachable_objects
+    }
+
+    /// Bytes a collector honouring the window could reclaim.
+    pub fn reclaimable_bytes(&self) -> u64 {
+        self.total_bytes - self.reachable_bytes
+    }
+
+    /// Fraction of stored bytes the window pins, in percent.
+    pub fn pinned_pct(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 100.0;
+        }
+        100.0 * self.reachable_bytes as f64 / self.total_bytes as f64
+    }
+}
+
+/// Compute reachability for an explicit set of retained revisions.
+///
+/// Unknown revision ids are ignored (they pin nothing).
+pub fn analyze(fs: &RepositoryFs, retained: &[RevisionId]) -> io::Result<GcReport> {
+    let store = fs.store();
+    let mut reachable: HashSet<ContentHash> = HashSet::new();
+    let mut reachable_bytes = 0u64;
+    let mut retained_seen = Vec::new();
+
+    for &rev in retained {
+        let Some(catalog) = fs.open(rev)? else { continue };
+        retained_seen.push(rev);
+        // The catalog object itself is reachable; re-serialize through
+        // Catalog::store's canonical form to learn its hash and size.
+        let catalog_bytes =
+            serde_json::to_vec(&catalog).expect("catalogs always serialize");
+        let catalog_hash = ContentHash::of(&catalog_bytes);
+        if reachable.insert(catalog_hash) {
+            reachable_bytes += catalog_bytes.len() as u64;
+        }
+        for (_, entry) in catalog.iter() {
+            if reachable.insert(entry.hash) {
+                reachable_bytes += entry.size;
+            }
+        }
+    }
+
+    Ok(GcReport {
+        retained_revisions: retained_seen,
+        reachable_objects: reachable.len(),
+        reachable_bytes,
+        total_objects: store.object_count(),
+        total_bytes: store.stored_bytes(),
+    })
+}
+
+/// Convenience: retain only the newest `window` revisions.
+pub fn analyze_window(fs: &RepositoryFs, window: usize) -> io::Result<GcReport> {
+    let head = fs.head().map(|r| r.0).unwrap_or(0);
+    let start = head.saturating_sub(window as u64) + 1;
+    let retained: Vec<RevisionId> = (start..=head).map(RevisionId).collect();
+    analyze(fs, &retained)
+}
+
+/// Bytes pinned per retention window size, newest-first — the curve an
+/// operator looks at when deciding how much history to keep.
+pub fn retention_curve(fs: &RepositoryFs, max_window: usize) -> io::Result<Vec<(usize, u64)>> {
+    let mut curve = Vec::new();
+    for window in 1..=max_window.min(fs.revision_count()) {
+        let report = analyze_window(fs, window)?;
+        curve.push((window, report.reachable_bytes));
+    }
+    Ok(curve)
+}
+
+/// Verify that every object referenced by the retained revisions is
+/// actually present and intact in the store (fsck). Returns missing
+/// hashes (empty = healthy).
+pub fn verify(fs: &RepositoryFs, retained: &[RevisionId]) -> io::Result<Vec<ContentHash>> {
+    let store = fs.store();
+    let mut missing = Vec::new();
+    let mut checked: HashSet<ContentHash> = HashSet::new();
+    for &rev in retained {
+        let Some(catalog) = fs.open(rev)? else { continue };
+        check_catalog(&catalog, store.as_ref(), &mut checked, &mut missing)?;
+    }
+    Ok(missing)
+}
+
+fn check_catalog(
+    catalog: &Catalog,
+    store: &dyn ObjectStore,
+    checked: &mut HashSet<ContentHash>,
+    missing: &mut Vec<ContentHash>,
+) -> io::Result<()> {
+    for (_, entry) in catalog.iter() {
+        if !checked.insert(entry.hash) {
+            continue;
+        }
+        match store.get(entry.hash)? {
+            Some(data) => {
+                // Content addressing makes integrity checking free.
+                if ContentHash::of(&data) != entry.hash {
+                    missing.push(entry.hash);
+                }
+            }
+            None => missing.push(entry.hash),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::MemStore;
+    use std::sync::Arc;
+
+    fn fs_with_history() -> RepositoryFs {
+        let fs = RepositoryFs::new(Arc::new(MemStore::new()));
+        // rev1: a; rev2: a+b; rev3: a replaced, c added.
+        fs.publish([("a", b"alpha-contents".as_slice(), false)]).unwrap();
+        fs.publish([("b", b"beta-contents".as_slice(), false)]).unwrap();
+        fs.publish([
+            ("a", b"alpha-v2-contents".as_slice(), false),
+            ("c", b"gamma-contents".as_slice(), false),
+        ])
+        .unwrap();
+        fs
+    }
+
+    #[test]
+    fn full_retention_pins_everything_file_sized() {
+        let fs = fs_with_history();
+        let all: Vec<RevisionId> = (1..=3).map(RevisionId).collect();
+        let report = analyze(&fs, &all).unwrap();
+        assert_eq!(report.retained_revisions.len(), 3);
+        // Everything except nothing is reachable: the paper's point.
+        assert_eq!(report.reclaimable_objects(), 0);
+        assert_eq!(report.reclaimable_bytes(), 0);
+        assert_eq!(report.pinned_pct(), 100.0);
+    }
+
+    #[test]
+    fn head_only_retention_frees_old_versions() {
+        let fs = fs_with_history();
+        let report = analyze_window(&fs, 1).unwrap();
+        assert_eq!(report.retained_revisions, vec![RevisionId(3)]);
+        // Old alpha-contents + two superseded catalogs are reclaimable.
+        assert!(report.reclaimable_objects() >= 3, "{report:?}");
+        assert!(report.reclaimable_bytes() > 0);
+        assert!(report.pinned_pct() < 100.0);
+        // But the live tree (a-v2, b, c) is fully pinned.
+        let head = fs.open(RevisionId(3)).unwrap().unwrap();
+        assert!(report.reachable_bytes >= head.total_bytes());
+    }
+
+    #[test]
+    fn retention_curve_is_monotone() {
+        let fs = fs_with_history();
+        let curve = retention_curve(&fs, 10).unwrap();
+        assert_eq!(curve.len(), 3);
+        assert!(curve.windows(2).all(|w| w[0].1 <= w[1].1), "pinned bytes grow with window");
+        assert_eq!(curve[0].0, 1);
+    }
+
+    #[test]
+    fn unknown_revisions_pin_nothing() {
+        let fs = fs_with_history();
+        let report = analyze(&fs, &[RevisionId(99)]).unwrap();
+        assert!(report.retained_revisions.is_empty());
+        assert_eq!(report.reachable_objects, 0);
+    }
+
+    #[test]
+    fn verify_healthy_store() {
+        let fs = fs_with_history();
+        let all: Vec<RevisionId> = (1..=3).map(RevisionId).collect();
+        assert!(verify(&fs, &all).unwrap().is_empty());
+    }
+
+    #[test]
+    fn verify_detects_missing_objects() {
+        // Build a catalog referencing content that was never stored.
+        use crate::catalog::{Catalog, CatalogEntry};
+        let store = Arc::new(MemStore::new());
+        let fs = RepositoryFs::new(Arc::clone(&store) as _);
+        fs.publish([("present", b"here".as_slice(), false)]).unwrap();
+        // Manually corrupt: craft a second revision whose catalog points
+        // at a hash that does not exist. We publish it as raw bytes via
+        // the catalog API to keep RepositoryFs internals intact.
+        let mut cat = fs.open(RevisionId(1)).unwrap().unwrap();
+        cat.insert(
+            "ghost",
+            CatalogEntry { hash: ContentHash::of(b"never stored"), size: 12, executable: false },
+        );
+        // verify() against the crafted catalog directly.
+        let mut checked = HashSet::new();
+        let mut missing = Vec::new();
+        check_catalog(&cat, store.as_ref(), &mut checked, &mut missing).unwrap();
+        assert_eq!(missing, vec![ContentHash::of(b"never stored")]);
+        let _ = Catalog::new(); // silence unused-import style lints in cfg(test)
+    }
+}

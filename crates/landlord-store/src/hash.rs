@@ -1,0 +1,144 @@
+//! 128-bit content hashing.
+//!
+//! Objects are keyed by a 128-bit FNV-1a variant: two independent
+//! 64-bit FNV-1a streams (the second offset-basis perturbed), finalized
+//! with a SplitMix-style avalanche. This is **not** cryptographic — the
+//! store trusts its writers, exactly as a private CVMFS cache does —
+//! but 128 bits of well-mixed state make accidental collisions
+//! vanishingly unlikely at our object counts, and implementing it
+//! in-repo keeps the dependency budget at zero for this crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 128-bit content hash.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ContentHash {
+    hi: u64,
+    lo: u64,
+}
+
+impl ContentHash {
+    /// Hash a byte slice.
+    pub fn of(data: &[u8]) -> Self {
+        let mut a = FNV_OFFSET;
+        let mut b = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        for &byte in data {
+            a = (a ^ byte as u64).wrapping_mul(FNV_PRIME);
+            b = (b ^ byte.rotate_left(3) as u64).wrapping_mul(FNV_PRIME);
+        }
+        // Mix in the length so prefixes of zero bytes differ.
+        a ^= data.len() as u64;
+        ContentHash { hi: avalanche(a), lo: avalanche(b ^ a.rotate_left(17)) }
+    }
+
+    /// Hash the concatenation of several slices without copying.
+    pub fn of_parts<'a>(parts: impl IntoIterator<Item = &'a [u8]>) -> Self {
+        let mut a = FNV_OFFSET;
+        let mut b = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+        let mut len = 0u64;
+        for part in parts {
+            len += part.len() as u64;
+            for &byte in part {
+                a = (a ^ byte as u64).wrapping_mul(FNV_PRIME);
+                b = (b ^ byte.rotate_left(3) as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        a ^= len;
+        ContentHash { hi: avalanche(a), lo: avalanche(b ^ a.rotate_left(17)) }
+    }
+
+    /// Lowercase hex, 32 characters.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parse 32 hex characters.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(ContentHash { hi, lo })
+    }
+
+    /// First byte of the hash, used for on-disk fan-out directories.
+    pub fn fanout_byte(self) -> u8 {
+        (self.hi >> 56) as u8
+    }
+}
+
+impl fmt::Debug for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ContentHash({})", self.to_hex())
+    }
+}
+
+impl fmt::Display for ContentHash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(ContentHash::of(b"hello"), ContentHash::of(b"hello"));
+    }
+
+    #[test]
+    fn distinguishes_content() {
+        assert_ne!(ContentHash::of(b"hello"), ContentHash::of(b"world"));
+        assert_ne!(ContentHash::of(b""), ContentHash::of(b"\0"));
+        assert_ne!(ContentHash::of(b"\0"), ContentHash::of(b"\0\0"));
+    }
+
+    #[test]
+    fn of_parts_equals_concatenation() {
+        let whole = ContentHash::of(b"abcdef");
+        let parts = ContentHash::of_parts([b"ab".as_slice(), b"", b"cdef"]);
+        assert_eq!(whole, parts);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let h = ContentHash::of(b"round trip");
+        let hex = h.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ContentHash::from_hex(&hex), Some(h));
+        assert_eq!(ContentHash::from_hex("xyz"), None);
+        assert_eq!(ContentHash::from_hex(&"0".repeat(31)), None);
+    }
+
+    #[test]
+    fn no_collisions_over_small_corpus() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..20_000u32 {
+            let data = i.to_le_bytes();
+            assert!(seen.insert(ContentHash::of(&data)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn fanout_byte_spreads() {
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0..512u32 {
+            buckets.insert(ContentHash::of(&i.to_le_bytes()).fanout_byte());
+        }
+        assert!(buckets.len() > 200, "fan-out too clustered: {}", buckets.len());
+    }
+}

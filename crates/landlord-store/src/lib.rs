@@ -1,0 +1,53 @@
+//! # landlord-store
+//!
+//! A CVMFS-like content-addressed object store: the substrate the
+//! paper's Shrinkwrap tool pulls container contents from.
+//!
+//! CVMFS properties this crate reproduces (the ones LANDLORD's design
+//! leans on):
+//!
+//! * **Content addressing** — every stored blob is keyed by a hash of
+//!   its contents, so identical files across packages, revisions, and
+//!   images are stored once ([`object`]).
+//! * **Directory catalogs** — path → object mappings, themselves stored
+//!   as objects ([`catalog`]).
+//! * **Append-only revisions** — publishing never mutates or deletes
+//!   previous state; "CVMFS retains all historical versions to ensure
+//!   reproducibility and backwards compatibility, making simple garbage
+//!   collection impossible" ([`revision`]).
+//! * **Deduplication analysis** — file-level and block-level (fixed and
+//!   content-defined chunking) duplication measurement, backing the
+//!   paper's §III discussion of why block dedup alone cannot solve the
+//!   container explosion problem ([`dedup`]).
+//!
+//! A fault-injecting store decorator ([`fault`]) lets dependent crates
+//! test their error paths against disk-full and read-error conditions.
+//!
+//! Two object-store backends are provided: in-memory (simulation,
+//! tests) and on-disk with hash-prefix fan-out (the CLI's cache
+//! directory).
+//!
+//! ```
+//! use landlord_store::{MemStore, ObjectStore, RepositoryFs};
+//! use std::sync::Arc;
+//!
+//! let fs = RepositoryFs::new(Arc::new(MemStore::new()));
+//! let r1 = fs.publish([("setup.sh", b"v1".as_slice(), true)]).unwrap();
+//! let r2 = fs.publish([("setup.sh", b"v2".as_slice(), true)]).unwrap();
+//! // Append-only: the old revision still serves the old bytes.
+//! assert_eq!(fs.read(r1, "setup.sh").unwrap().unwrap(), b"v1");
+//! assert_eq!(fs.read(r2, "setup.sh").unwrap().unwrap(), b"v2");
+//! ```
+
+pub mod catalog;
+pub mod fault;
+pub mod gc;
+pub mod dedup;
+pub mod hash;
+pub mod object;
+pub mod revision;
+
+pub use catalog::{Catalog, CatalogEntry};
+pub use hash::ContentHash;
+pub use object::{DiskStore, MemStore, ObjectStore};
+pub use revision::{RepositoryFs, RevisionId};

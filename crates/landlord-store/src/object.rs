@@ -1,0 +1,321 @@
+//! Content-addressed object storage backends.
+//!
+//! [`ObjectStore`] is the narrow interface the rest of the system needs:
+//! put bytes → get a [`ContentHash`]; get bytes by hash. Putting the
+//! same content twice is free — that is the file-level deduplication
+//! CVMFS provides and LANDLORD's image builder relies on.
+//!
+//! Two backends:
+//!
+//! * [`MemStore`] — `RwLock`-guarded map, used by simulations and tests.
+//! * [`DiskStore`] — one file per object under a 256-way fan-out
+//!   directory (`objects/ab/abcdef….blob`), used by the CLI cache.
+
+use crate::hash::ContentHash;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// A content-addressed blob store.
+pub trait ObjectStore: Send + Sync {
+    /// Store `data`, returning its hash. Storing existing content is a
+    /// cheap no-op.
+    fn put(&self, data: &[u8]) -> io::Result<ContentHash>;
+
+    /// Fetch a blob. `Ok(None)` when absent.
+    fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>>;
+
+    /// Does the store hold this object?
+    fn contains(&self, hash: ContentHash) -> bool;
+
+    /// Number of distinct objects.
+    fn object_count(&self) -> usize;
+
+    /// Total bytes of distinct objects (after dedup).
+    fn stored_bytes(&self) -> u64;
+
+    /// All object hashes, in unspecified order (for fsck-style scans).
+    fn hashes(&self) -> Vec<ContentHash>;
+}
+
+/// In-memory object store.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    inner: RwLock<MemInner>,
+}
+
+#[derive(Debug, Default)]
+struct MemInner {
+    objects: HashMap<ContentHash, Arc<[u8]>>,
+    bytes: u64,
+}
+
+impl MemStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove one object (garbage collection); returns freed bytes.
+    ///
+    /// Inherent rather than on [`ObjectStore`]: deletion is a
+    /// store-owner decision, not something image builders may do.
+    pub fn remove(&self, hash: ContentHash) -> u64 {
+        let mut inner = self.inner.write();
+        match inner.objects.remove(&hash) {
+            Some(data) => {
+                inner.bytes -= data.len() as u64;
+                data.len() as u64
+            }
+            None => 0,
+        }
+    }
+
+    /// Zero-copy fetch (shared slice) — in-memory only.
+    pub fn get_shared(&self, hash: ContentHash) -> Option<Arc<[u8]>> {
+        self.inner.read().objects.get(&hash).cloned()
+    }
+}
+
+impl ObjectStore for MemStore {
+    fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
+        let hash = ContentHash::of(data);
+        let mut inner = self.inner.write();
+        if !inner.objects.contains_key(&hash) {
+            inner.bytes += data.len() as u64;
+            inner.objects.insert(hash, Arc::from(data));
+        }
+        Ok(hash)
+    }
+
+    fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
+        Ok(self.inner.read().objects.get(&hash).map(|a| a.to_vec()))
+    }
+
+    fn contains(&self, hash: ContentHash) -> bool {
+        self.inner.read().objects.contains_key(&hash)
+    }
+
+    fn object_count(&self) -> usize {
+        self.inner.read().objects.len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.inner.read().bytes
+    }
+
+    fn hashes(&self) -> Vec<ContentHash> {
+        self.inner.read().objects.keys().copied().collect()
+    }
+}
+
+/// On-disk object store with 256-way fan-out.
+#[derive(Debug)]
+pub struct DiskStore {
+    root: PathBuf,
+    // Index kept in memory; rebuilt by `open` from the directory tree.
+    index: RwLock<HashMap<ContentHash, u64>>,
+}
+
+impl DiskStore {
+    /// Create (or open) a store rooted at `root`.
+    pub fn open(root: &Path) -> io::Result<Self> {
+        std::fs::create_dir_all(root)?;
+        let mut index = HashMap::new();
+        for entry in std::fs::read_dir(root)? {
+            let dir = entry?.path();
+            if !dir.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(&dir)? {
+                let obj = obj?;
+                let name = obj.file_name();
+                let Some(stem) = name.to_str().and_then(|s| s.strip_suffix(".blob")) else {
+                    continue;
+                };
+                if let Some(hash) = ContentHash::from_hex(stem) {
+                    index.insert(hash, obj.metadata()?.len());
+                }
+            }
+        }
+        Ok(DiskStore { root: root.to_path_buf(), index: RwLock::new(index) })
+    }
+
+    /// Remove one object file (garbage collection); returns freed bytes.
+    ///
+    /// Inherent rather than on [`ObjectStore`]: deletion is a
+    /// store-owner decision, not something image builders may do.
+    pub fn remove(&self, hash: ContentHash) -> io::Result<u64> {
+        let Some(size) = self.index.write().remove(&hash) else { return Ok(0) };
+        match std::fs::remove_file(self.path_of(hash)) {
+            Ok(()) => Ok(size),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(size),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn path_of(&self, hash: ContentHash) -> PathBuf {
+        self.root
+            .join(format!("{:02x}", hash.fanout_byte()))
+            .join(format!("{}.blob", hash.to_hex()))
+    }
+}
+
+impl ObjectStore for DiskStore {
+    fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
+        let hash = ContentHash::of(data);
+        if self.contains(hash) {
+            return Ok(hash);
+        }
+        let path = self.path_of(hash);
+        std::fs::create_dir_all(path.parent().expect("object path has parent"))?;
+        // Write-then-rename so concurrent readers never see partial blobs.
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, data)?;
+        std::fs::rename(&tmp, &path)?;
+        self.index.write().insert(hash, data.len() as u64);
+        Ok(hash)
+    }
+
+    fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
+        if !self.contains(hash) {
+            return Ok(None);
+        }
+        match std::fs::read(self.path_of(hash)) {
+            Ok(data) => Ok(Some(data)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn contains(&self, hash: ContentHash) -> bool {
+        self.index.read().contains_key(&hash)
+    }
+
+    fn object_count(&self) -> usize {
+        self.index.read().len()
+    }
+
+    fn stored_bytes(&self) -> u64 {
+        self.index.read().values().sum()
+    }
+
+    fn hashes(&self) -> Vec<ContentHash> {
+        self.index.read().keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_store(store: &dyn ObjectStore) {
+        assert_eq!(store.object_count(), 0);
+        let h1 = store.put(b"first object").unwrap();
+        let h2 = store.put(b"second object").unwrap();
+        assert_ne!(h1, h2);
+        assert_eq!(store.object_count(), 2);
+        assert_eq!(store.get(h1).unwrap().as_deref(), Some(b"first object".as_slice()));
+        assert!(store.contains(h2));
+        assert!(!store.contains(ContentHash::of(b"absent")));
+        assert_eq!(store.get(ContentHash::of(b"absent")).unwrap(), None);
+
+        // Dedup: same content stored once.
+        let before = store.stored_bytes();
+        let h1_again = store.put(b"first object").unwrap();
+        assert_eq!(h1, h1_again);
+        assert_eq!(store.object_count(), 2);
+        assert_eq!(store.stored_bytes(), before);
+    }
+
+    #[test]
+    fn mem_store_basic() {
+        exercise_store(&MemStore::new());
+    }
+
+    #[test]
+    fn mem_store_shared_get() {
+        let s = MemStore::new();
+        let h = s.put(b"zero copy").unwrap();
+        let shared = s.get_shared(h).unwrap();
+        assert_eq!(&shared[..], b"zero copy");
+    }
+
+    #[test]
+    fn disk_store_basic() {
+        let dir = std::env::temp_dir().join(format!("landlord-disk-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = DiskStore::open(&dir).unwrap();
+        exercise_store(&store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mem = MemStore::new();
+        let h = mem.put(b"to be removed").unwrap();
+        assert_eq!(mem.remove(h), 13);
+        assert_eq!(mem.remove(h), 0, "second remove is a no-op");
+        assert!(!mem.contains(h));
+        assert_eq!(mem.stored_bytes(), 0);
+
+        let dir = std::env::temp_dir().join(format!("landlord-disk-rm-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let disk = DiskStore::open(&dir).unwrap();
+        let h = disk.put(b"on disk").unwrap();
+        assert_eq!(disk.remove(h).unwrap(), 7);
+        assert!(!disk.contains(h));
+        assert_eq!(disk.object_count(), 0);
+        // The blob file is actually gone (reopen finds nothing).
+        let reopened = DiskStore::open(&dir).unwrap();
+        assert_eq!(reopened.object_count(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn disk_store_reopens_with_index() {
+        let dir =
+            std::env::temp_dir().join(format!("landlord-disk-reopen-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let h = {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(b"persisted across opens").unwrap()
+        };
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.object_count(), 1);
+        assert!(store.contains(h));
+        assert_eq!(
+            store.get(h).unwrap().as_deref(),
+            Some(b"persisted across opens".as_slice())
+        );
+        assert_eq!(store.stored_bytes(), b"persisted across opens".len() as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stores_are_shareable_across_threads() {
+        let store = Arc::new(MemStore::new());
+        let mut handles = Vec::new();
+        for t in 0..4u8 {
+            let s = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100u32 {
+                    // Half the objects are shared across threads.
+                    let data = if i % 2 == 0 {
+                        format!("shared-{i}")
+                    } else {
+                        format!("private-{t}-{i}")
+                    };
+                    s.put(data.as_bytes()).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 50 shared + 4×50 private.
+        assert_eq!(store.object_count(), 50 + 200);
+    }
+}

@@ -1,0 +1,67 @@
+//! Alpha tuning: find a site's operational zone.
+//!
+//! Reproduces the paper's tuning methodology (§VI, Fig. 8) at demo
+//! scale: sweep α, watch cache efficiency (the thrashing limit) and
+//! write overhead (the excessive-image-size limit), and report the
+//! operational zone between them. The paper's advice: "A new
+//! application employing LANDLORD should choose a moderate α (e.g.
+//! 0.8) to start."
+//!
+//! Run with: `cargo run --example alpha_tuning`
+
+use landlord_sim::experiments::{fig8, ExperimentContext};
+use landlord_sim::sweep;
+
+fn main() {
+    let ctx = ExperimentContext::smoke(17);
+    let repo = ctx.repo();
+    let workload = ctx.standard_workload();
+    let cache = ctx.standard_cache(&repo, 0.0);
+
+    // A finer grid than the smoke default, like the paper's 0.05 steps.
+    let alphas: Vec<f64> = (8..=20).map(|i| i as f64 * 0.05).collect();
+    println!(
+        "sweeping {} alpha values x {} runs on {} requests each...\n",
+        alphas.len(),
+        ctx.runs(),
+        workload.total_requests()
+    );
+    let points =
+        sweep::sweep_alpha(&repo, &workload, &cache, &alphas, ctx.runs(), ctx.threads);
+
+    println!(
+        "{:>6} {:>11} {:>11} {:>11} {:>6}",
+        "alpha", "cache_eff%", "cont_eff%", "overhead_x", "zone"
+    );
+    let zone = fig8::zone_from_sweep(&points);
+    for p in &points {
+        let overhead = p.median.bytes_written / p.median.bytes_requested.max(1.0);
+        let in_zone = matches!(
+            (zone.low, zone.high),
+            (Some(lo), Some(hi)) if p.alpha >= lo - 1e-9 && p.alpha <= hi + 1e-9
+        );
+        println!(
+            "{:>6.2} {:>11.1} {:>11.1} {:>11.2} {:>6}",
+            p.alpha,
+            p.median.cache_eff_pct,
+            p.median.container_eff_pct,
+            overhead,
+            if in_zone { "<==" } else { "" }
+        );
+    }
+
+    println!();
+    match (zone.low, zone.high) {
+        (Some(lo), Some(hi)) if lo <= hi => {
+            println!(
+                "operational zone: alpha in [{lo:.2}, {hi:.2}] \
+                 (cache eff >= {:.0}%, write overhead <= {:.1}x)",
+                fig8::CACHE_EFF_FLOOR_PCT,
+                fig8::WRITE_OVERHEAD_CEILING
+            );
+            let pick = (lo + hi) / 2.0;
+            println!("suggested starting alpha: {:.2}", (pick * 20.0).round() / 20.0);
+        }
+        _ => println!("no operational zone at this scale; widen the cache or budget"),
+    }
+}

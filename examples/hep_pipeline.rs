@@ -1,0 +1,76 @@
+//! HEP pipeline: materialize real image files for LHC-style workloads.
+//!
+//! Mirrors the paper's case study (§VI, Fig. 2): per-experiment
+//! software repositories, benchmark application specs derived to match
+//! the paper's minimal image sizes, and shrinkwrap builds producing
+//! actual LLIMG files on disk (physically scaled down ~1M× so the
+//! example runs in seconds while the *logical* accounting matches the
+//! paper's scale).
+//!
+//! Run with: `cargo run --example hep_pipeline`
+
+use landlord_shrinkwrap::bench_apps::{self, Experiment};
+use landlord_shrinkwrap::filetree::FileTreeConfig;
+use landlord_shrinkwrap::timing::CostModel;
+use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
+use landlord_store::{DiskStore, ObjectStore};
+use landlord_repo::Repository;
+
+fn main() {
+    let out_dir = std::env::temp_dir().join("landlord-hep-pipeline");
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let store = DiskStore::open(&out_dir.join("objects")).expect("open store");
+    let cost = CostModel::default();
+
+    // Scale the experiment repos down ~20× so the example is quick; the
+    // full-scale table is `landlord experiment fig2 --scale full`.
+    let mut lhcb_cfg = Experiment::Lhcb.repo_config(1);
+    lhcb_cfg.package_count /= 20;
+    lhcb_cfg.total_bytes /= 20;
+    let repo = Repository::generate(&lhcb_cfg);
+    println!(
+        "lhcb repo: {} packages, {:.0} GB logical",
+        repo.package_count(),
+        repo.total_bytes() as f64 / 1e9
+    );
+
+    // Build the lhcb-gen-sim phases as separate images sharing a store.
+    let tree_cfg = FileTreeConfig::miniature(); // ~1M× physical scale-down
+    let shrinkwrap = Shrinkwrap::new(&repo, &store, tree_cfg);
+    let mut app = bench_apps::apps()[6]; // lhcb-gen-sim
+    app.paper_minimal_bytes /= 20;
+
+    println!();
+    println!(
+        "{:<12} {:>9} {:>10} {:>10} {:>12} {:>10}",
+        "phase", "pkgs", "logicalGB", "physKB", "prep_model_s", "dedup_hits"
+    );
+    for (phase, seed) in [("gen", 11u64), ("sim", 12), ("digi", 13)] {
+        let spec = bench_apps::derive_spec(&app, &repo, seed);
+        let path = out_dir.join(format!("lhcb-{phase}.llimg"));
+        let report = shrinkwrap.build_to_path(&spec, &path).expect("build image");
+        let prep = cost.preparation_seconds(report.logical_bytes, report.files);
+        println!(
+            "{:<12} {:>9} {:>10.2} {:>10.1} {:>12.1} {:>10}",
+            format!("lhcb-{phase}"),
+            report.packages,
+            report.logical_bytes as f64 / 1e9,
+            report.physical_bytes as f64 / 1e3,
+            prep,
+            report.dedup_hits
+        );
+
+        // Verify the image reads back intact.
+        let img = ImageReader::parse(std::fs::File::open(&path).expect("open image"))
+            .expect("parse image");
+        assert_eq!(img.len() as u64, report.files);
+    }
+
+    println!();
+    println!(
+        "store after all phases: {} objects, {:.1} KB physical (shared packages stored once)",
+        store.object_count(),
+        store.stored_bytes() as f64 / 1e3
+    );
+    println!("images in {}", out_dir.display());
+}

@@ -1,0 +1,88 @@
+//! Multi-site: the same job stream hitting three differently-provisioned
+//! sites.
+//!
+//! The paper's setting is distributed HTC: "each computing site has a
+//! different set of users and projects", worker storage varies, and
+//! LANDLORD's α is meant to be tuned per site (§VI, "Tuning LANDLORD").
+//! This example replays one WLCG-style job stream against three site
+//! configurations — a storage-rich grid site, a constrained HPC scratch
+//! allocation, and a no-merge naïve cache — and compares what each
+//! pays in storage, I/O, and hit rate.
+//!
+//! Run with: `cargo run --example multi_site`
+
+use landlord_core::cache::{CacheConfig, ImageCache};
+use landlord_repo::{RepoConfig, Repository};
+use landlord_sim::workload::{self, WorkloadConfig, WorkloadScheme};
+use std::sync::Arc;
+
+struct Site {
+    name: &'static str,
+    alpha: f64,
+    cache_fraction: f64, // of repo bytes
+}
+
+fn main() {
+    let repo = Repository::generate(&RepoConfig::small_for_tests(99));
+    let stream = workload::generate_stream(
+        &repo,
+        &WorkloadConfig {
+            unique_jobs: 80,
+            repeats: 4,
+            max_initial_selection: 8,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed: 3,
+        },
+    );
+    println!(
+        "replaying {} requests against {} packages ({:.2} GB repo)\n",
+        stream.len(),
+        repo.package_count(),
+        repo.total_bytes() as f64 / 1e9
+    );
+
+    let sites = [
+        Site { name: "grid-site (roomy, merge)", alpha: 0.8, cache_fraction: 1.0 },
+        Site { name: "hpc-scratch (tight, merge)", alpha: 0.8, cache_fraction: 0.25 },
+        Site { name: "naive (roomy, no merge)", alpha: 0.0, cache_fraction: 1.0 },
+    ];
+
+    println!(
+        "{:<28} {:>6} {:>7} {:>8} {:>8} {:>11} {:>11} {:>12}",
+        "site", "hits", "merges", "inserts", "deletes", "cache_eff%", "cont_eff%", "written_GB"
+    );
+    for site in &sites {
+        let config = CacheConfig {
+            alpha: site.alpha,
+            limit_bytes: (repo.total_bytes() as f64 * site.cache_fraction) as u64,
+            ..CacheConfig::default()
+        };
+        let mut cache = ImageCache::new(config, Arc::new(repo.size_table()));
+        for spec in &stream {
+            cache.request(spec);
+        }
+        let s = cache.stats();
+        println!(
+            "{:<28} {:>6} {:>7} {:>8} {:>8} {:>11.1} {:>11.1} {:>12.2}",
+            site.name,
+            s.hits,
+            s.merges,
+            s.inserts,
+            s.deletes,
+            cache.cache_efficiency_pct(),
+            cache.container_efficiency_pct(),
+            s.bytes_written as f64 / 1e9
+        );
+    }
+
+    println!();
+    println!("reading the table:");
+    println!("- merging buys hit rate and cache efficiency at the cost of");
+    println!("  container efficiency and extra write I/O (merged images are");
+    println!("  rewritten in full);");
+    println!("- at equal (roomy) storage, the no-merge site duplicates shared");
+    println!("  packages across its many images, so its cache efficiency is");
+    println!("  far below the merging grid site's;");
+    println!("- the tight site keeps only heavily-merged images alive, paying");
+    println!("  with the most write I/O per request.");
+}

@@ -1,0 +1,67 @@
+//! Quickstart: the LANDLORD loop in ~40 lines.
+//!
+//! Generates a small synthetic software repository, builds an image
+//! cache with a merge threshold, and submits a handful of jobs whose
+//! specs are dependency closures — printing what the cache decided for
+//! each (hit / merge / insert) and the efficiency metrics afterwards.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use landlord_core::cache::{CacheConfig, ImageCache, Outcome};
+use landlord_repo::sampler::{Sampler, SelectionScheme};
+use landlord_repo::{RepoConfig, Repository};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn main() {
+    // A 300-package universe totalling ~1 GB, deterministic in the seed.
+    let repo = Repository::generate(&RepoConfig::small_for_tests(42));
+    println!(
+        "repository: {} packages, {:.2} GB",
+        repo.package_count(),
+        repo.total_bytes() as f64 / 1e9
+    );
+
+    // Cache half the repository's bytes; merge images closer than 0.8.
+    let config = CacheConfig {
+        alpha: 0.8,
+        limit_bytes: repo.total_bytes() / 2,
+        ..CacheConfig::default()
+    };
+    let mut cache = ImageCache::new(config, Arc::new(repo.size_table()));
+
+    // Submit 12 jobs: each requests a few packages plus dependencies.
+    let sampler = Sampler::new(&repo);
+    let mut rng = StdRng::seed_from_u64(7);
+    for job in 0..12 {
+        let seeds = sampler.sample_distinct(&mut rng, SelectionScheme::UniformRandom, 3);
+        let spec = repo.closure_spec(&seeds);
+        let outcome = cache.request(&spec);
+        let verb = match outcome {
+            Outcome::Hit { .. } => "hit   ",
+            Outcome::Merged { .. } => "merge ",
+            Outcome::Inserted { .. } => "insert",
+        };
+        println!(
+            "job {job:2}: {verb} -> {} ({} pkgs, {:.0} MB image)",
+            outcome.image(),
+            spec.len(),
+            outcome.image_bytes() as f64 / 1e6
+        );
+    }
+
+    let s = cache.stats();
+    println!();
+    println!(
+        "totals: {} hits, {} merges, {} inserts, {} deletes",
+        s.hits, s.merges, s.inserts, s.deletes
+    );
+    println!(
+        "cache efficiency {:.1}% (unique {:.0} MB / total {:.0} MB), container efficiency {:.1}%",
+        cache.cache_efficiency_pct(),
+        s.unique_bytes as f64 / 1e6,
+        s.total_bytes as f64 / 1e6,
+        cache.container_efficiency_pct()
+    );
+}

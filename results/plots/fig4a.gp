@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,600
+set output 'fig4a.png'
+set title "Fig. 4a — Total cache operations vs alpha (medians of runs)"
+set xlabel 'alpha'
+set key outside right
+set grid
+plot 'fig4a.dat' using 1:2 with linespoints title 'inserts', \
+     'fig4a.dat' using 1:3 with linespoints title 'deletes', \
+     'fig4a.dat' using 1:4 with linespoints title 'merges', \
+     'fig4a.dat' using 1:5 with linespoints title 'hits'

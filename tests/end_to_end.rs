@@ -1,0 +1,156 @@
+//! End-to-end: the full on-disk path — repository → persistent cache →
+//! shrinkwrap builds → LLIMG files → read-back verification.
+
+use landlord_cli::persistent::{Decision, PersistentCache};
+use landlord_core::spec::PackageId;
+use landlord_repo::{persist, RepoConfig, Repository};
+use landlord_shrinkwrap::filetree::{self, FileTreeConfig};
+use landlord_shrinkwrap::ImageReader;
+use landlord_store::ObjectStore;
+use std::path::PathBuf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("landlord-e2e-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_lifecycle_on_disk() {
+    let dir = temp_dir("lifecycle");
+    let repo = Repository::generate(&RepoConfig::small_for_tests(2024));
+
+    // Persist and reload the repository like separate CLI invocations do.
+    let repo_path = dir.join("repo.json");
+    persist::save_json(&repo, &repo_path).unwrap();
+    let repo = persist::load_json(&repo_path).unwrap();
+
+    let mut cache = PersistentCache::open(
+        &dir.join("cache"),
+        0.9,
+        u64::MAX,
+        FileTreeConfig::miniature(),
+    )
+    .unwrap();
+
+    // Submit a sequence of jobs with overlapping closures.
+    let n = repo.package_count() as u32;
+    let jobs: Vec<_> = [
+        vec![PackageId(n - 1)],
+        vec![PackageId(n - 1)], // repeat → hit
+        vec![PackageId(n - 1), PackageId(n - 2)], // superset-ish → merge
+        vec![PackageId(n - 5)],
+    ]
+    .into_iter()
+    .map(|seeds| repo.closure_spec(&seeds))
+    .collect();
+
+    let d0 = cache.submit(&repo, &jobs[0]).unwrap();
+    assert!(matches!(d0, Decision::Inserted { .. }));
+    let d1 = cache.submit(&repo, &jobs[1]).unwrap();
+    assert!(matches!(d1, Decision::Hit { .. }));
+    let d2 = cache.submit(&repo, &jobs[2]).unwrap();
+    assert!(matches!(d2, Decision::Merged { .. }));
+
+    // Every decision points at a parseable image satisfying the job.
+    for (job, decision) in jobs.iter().zip([&d0, &d1, &d2]) {
+        let img = ImageReader::parse(std::fs::File::open(decision.image_path()).unwrap())
+            .unwrap();
+        for pkg in job.iter() {
+            let meta = repo.meta(pkg);
+            let prefix = format!("pkg/{}/{}/", meta.name, meta.version);
+            assert!(
+                img.entries().iter().any(|e| e.path.starts_with(&prefix)),
+                "{} missing from {}",
+                prefix,
+                decision.image_path().display()
+            );
+        }
+    }
+
+    // File contents round-trip bit-exact through store + image.
+    let d3 = cache.submit(&repo, &jobs[3]).unwrap();
+    let img =
+        ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
+    let some_pkg = jobs[3].iter().next().unwrap();
+    let tree = filetree::tree_of(&repo, some_pkg, &FileTreeConfig::miniature());
+    for file in &tree {
+        let expected = filetree::file_contents(file);
+        let got = img.read_file(&file.path).unwrap_or_else(|| {
+            panic!("{} not found in image", file.path)
+        });
+        assert_eq!(got, &expected[..], "content mismatch for {}", file.path);
+    }
+
+    // The object store deduplicated shared packages across images.
+    let report_objects = cache.store().object_count();
+    assert!(report_objects > 0);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_survives_process_restart() {
+    let dir = temp_dir("restart");
+    let repo = Repository::generate(&RepoConfig::small_for_tests(31415));
+    let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+
+    let first_path = {
+        let mut cache = PersistentCache::open(
+            &dir,
+            0.8,
+            u64::MAX,
+            FileTreeConfig::miniature(),
+        )
+        .unwrap();
+        let d = cache.submit(&repo, &spec).unwrap();
+        assert!(matches!(d, Decision::Inserted { .. }));
+        d.image_path().to_path_buf()
+    };
+
+    // "Restart": a brand-new handle over the same directory.
+    let mut cache =
+        PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
+    assert_eq!(cache.images().len(), 1);
+    let d = cache.submit(&repo, &spec).unwrap();
+    assert!(matches!(d, Decision::Hit { .. }));
+    assert_eq!(d.image_path(), first_path.as_path());
+    assert!(first_path.exists());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn store_objects_shared_between_similar_images() {
+    let dir = temp_dir("dedup");
+    let repo = Repository::generate(&RepoConfig::small_for_tests(27));
+    let n = repo.package_count() as u32;
+    let mut cache = PersistentCache::open(
+        &dir,
+        0.0, // no merging: force two separate images
+        u64::MAX,
+        FileTreeConfig::miniature(),
+    )
+    .unwrap();
+
+    let a = repo.closure_spec(&[PackageId(n - 1)]);
+    cache.submit(&repo, &a).unwrap();
+    let objects_after_first = cache.store().object_count();
+    let bytes_after_first = cache.store().stored_bytes();
+
+    // A different job sharing the universal core and most frameworks.
+    let b = repo.closure_spec(&[PackageId(n - 2)]);
+    cache.submit(&repo, &b).unwrap();
+    let objects_after_second = cache.store().object_count();
+    let bytes_after_second = cache.store().stored_bytes();
+
+    let new_objects = objects_after_second - objects_after_first;
+    assert!(
+        new_objects < objects_after_first,
+        "second image should reuse most objects: +{new_objects} over {objects_after_first}"
+    );
+    assert!(bytes_after_second > bytes_after_first, "but some new content exists");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,55 @@
+//! Smoke tests: every paper experiment runs end to end at miniature
+//! scale and produces structurally sane tables.
+
+use landlord_sim::experiments::{self, ExperimentContext};
+
+#[test]
+fn every_experiment_id_runs_and_produces_rows() {
+    let ctx = ExperimentContext::smoke(2718);
+    for &id in experiments::all_ids() {
+        let tables = experiments::run(id, &ctx)
+            .unwrap_or_else(|| panic!("experiment {id} unknown to the dispatcher"));
+        assert!(!tables.is_empty(), "{id} returned no tables");
+        for t in &tables {
+            assert!(!t.rows.is_empty(), "{id} produced an empty table");
+            for row in &t.rows {
+                assert_eq!(row.len(), t.columns.len(), "{id} row width mismatch");
+            }
+            // Rendering and CSV never panic and contain the data.
+            let rendered = t.render();
+            assert!(rendered.contains("=="));
+            let csv = t.to_csv();
+            assert_eq!(csv.lines().count(), t.rows.len() + 1);
+        }
+    }
+}
+
+#[test]
+fn fig4_combined_returns_three_panels() {
+    let ctx = ExperimentContext::smoke(3);
+    let tables = experiments::run("fig4", &ctx).unwrap();
+    assert_eq!(tables.len(), 3);
+    assert!(tables[0].title.contains("4a"));
+    assert!(tables[1].title.contains("4b"));
+    assert!(tables[2].title.contains("4c"));
+}
+
+#[test]
+fn experiments_are_deterministic_in_the_seed() {
+    let a = experiments::run("fig3", &ExperimentContext::smoke(5)).unwrap();
+    let b = experiments::run("fig3", &ExperimentContext::smoke(5)).unwrap();
+    assert_eq!(a[0].rows, b[0].rows);
+    let c = experiments::run("fig3", &ExperimentContext::smoke(6)).unwrap();
+    assert_ne!(a[0].rows, c[0].rows, "different seeds should differ");
+}
+
+#[test]
+fn fig8_finds_a_zone_or_reports_absence() {
+    let ctx = ExperimentContext::smoke(7);
+    let tables = experiments::run("fig8", &ctx).unwrap();
+    let title = &tables[0].title;
+    assert!(
+        title.contains("operational zone"),
+        "fig8 title must mention the zone: {title}"
+    );
+}

@@ -1,0 +1,77 @@
+//! Failure injection: storage faults must surface as errors with
+//! consistent state, never as panics or silent corruption.
+
+use landlord_core::spec::PackageId;
+use landlord_repo::{RepoConfig, Repository};
+use landlord_shrinkwrap::filetree::FileTreeConfig;
+use landlord_shrinkwrap::Shrinkwrap;
+use landlord_store::fault::{FaultMode, FaultyStore};
+use landlord_store::{MemStore, ObjectStore};
+
+fn repo() -> Repository {
+    Repository::generate(&RepoConfig::small_for_tests(404))
+}
+
+#[test]
+fn image_build_surfaces_disk_full() {
+    let r = repo();
+    let store = FaultyStore::new(MemStore::new(), FaultMode::FailPutsAfter(3));
+    let sw = Shrinkwrap::new(&r, &store, FileTreeConfig::miniature());
+    let spec = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+
+    let err = sw.build(&spec, &mut Vec::new()).expect_err("store is full");
+    assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    // The store holds exactly the objects that were written before the
+    // fault — no phantom accounting.
+    assert_eq!(store.successful_puts(), 3);
+    assert_eq!(store.inner().object_count(), 3);
+}
+
+#[test]
+fn build_succeeds_once_space_returns() {
+    // The same spec against a store with enough budget works — the
+    // earlier failure left nothing behind that blocks progress.
+    let r = repo();
+    let spec = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+
+    let full = FaultyStore::new(MemStore::new(), FaultMode::FailPutsAfter(1));
+    let sw = Shrinkwrap::new(&r, &full, FileTreeConfig::miniature());
+    sw.build(&spec, &mut Vec::new()).expect_err("must fail");
+
+    let roomy = MemStore::new();
+    let sw = Shrinkwrap::new(&r, &roomy, FileTreeConfig::miniature());
+    let report = sw.build(&spec, &mut Vec::new()).expect("roomy store works");
+    assert!(report.files > 0);
+}
+
+#[test]
+fn revision_publish_propagates_put_errors() {
+    use landlord_store::RepositoryFs;
+    use std::sync::Arc;
+
+    let store = Arc::new(FaultyStore::new(MemStore::new(), FaultMode::FailPutsAfter(0)));
+    let fs = RepositoryFs::new(store);
+    let err = fs
+        .publish([("a", b"data".as_slice(), false)])
+        .expect_err("publish must fail on a dead store");
+    assert_eq!(err.kind(), std::io::ErrorKind::StorageFull);
+    assert_eq!(fs.revision_count(), 0, "no partial revision may appear");
+    assert_eq!(fs.head(), None);
+}
+
+#[test]
+fn catalog_load_propagates_get_errors() {
+    use landlord_store::{Catalog, CatalogEntry, ContentHash};
+
+    let good = MemStore::new();
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        "f",
+        CatalogEntry { hash: ContentHash::of(b"x"), size: 1, executable: false },
+    );
+    let hash = catalog.store(&good).unwrap();
+
+    // Same catalog hash through a store whose reads fail.
+    let bad = FaultyStore::new(good, FaultMode::FailGets);
+    assert!(Catalog::load(&bad, hash).is_err());
+}

@@ -1,0 +1,231 @@
+//! Cross-crate integration tests: the crates agree with each other and
+//! with the paper's identities.
+
+use landlord_baselines::block_dedup;
+use landlord_baselines::{FullRepoStrategy, LayerChain, PerJobCache};
+use landlord_core::cache::{CacheConfig, ImageCache};
+use landlord_core::conflict::SingleVersionPerName;
+use landlord_core::spec::Spec;
+use landlord_repo::{RepoConfig, Repository};
+use landlord_sim::workload::{self, WorkloadConfig, WorkloadScheme};
+use std::sync::Arc;
+
+fn repo() -> Repository {
+    Repository::generate(&RepoConfig::small_for_tests(1234))
+}
+
+fn stream(repo: &Repository, seed: u64) -> Vec<Spec> {
+    workload::generate_stream(
+        repo,
+        &WorkloadConfig {
+            unique_jobs: 50,
+            repeats: 3,
+            max_initial_selection: 8,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed,
+        },
+    )
+}
+
+/// LANDLORD with α = 0 must behave exactly like the independent
+/// per-job LRU baseline: same hits, inserts, deletes, and bytes.
+#[test]
+fn alpha_zero_equals_per_job_baseline() {
+    let r = repo();
+    let jobs = stream(&r, 5);
+    let limit = r.total_bytes() / 3;
+
+    let cfg = CacheConfig { alpha: 0.0, limit_bytes: limit, ..CacheConfig::default() };
+    let mut landlord = ImageCache::new(cfg, Arc::new(r.size_table()));
+    let mut baseline = PerJobCache::new(limit, Arc::new(r.size_table()));
+
+    for job in &jobs {
+        landlord.request(job);
+        baseline.request(job);
+    }
+    let l = landlord.stats();
+    let b = baseline.stats();
+    assert_eq!(l.hits, b.hits, "hit counts diverge");
+    assert_eq!(l.inserts, b.inserts, "insert counts diverge");
+    assert_eq!(l.deletes, b.deletes, "delete counts diverge");
+    assert_eq!(l.bytes_written, b.bytes_written, "write accounting diverges");
+    assert_eq!(l.total_bytes, b.total_bytes, "cached bytes diverge");
+    assert_eq!(l.merges, 0);
+}
+
+/// The cache's incrementally-maintained unique/total bytes must equal
+/// a from-scratch package-dedup scan of its images.
+#[test]
+fn cache_duplication_matches_block_dedup_scan() {
+    let r = repo();
+    let cfg = CacheConfig {
+        alpha: 0.85,
+        limit_bytes: r.total_bytes() / 2,
+        ..CacheConfig::default()
+    };
+    let mut cache = ImageCache::new(cfg, Arc::new(r.size_table()));
+    for job in stream(&r, 6) {
+        cache.request(&job);
+    }
+    cache.check_invariants();
+
+    let images: Vec<Spec> = cache.images().map(|i| i.spec.clone()).collect();
+    let scan = block_dedup::package_dedup(&images, &r.size_table());
+    let s = cache.stats();
+    assert_eq!(scan.total_bytes, s.total_bytes);
+    assert_eq!(scan.unique_bytes, s.unique_bytes);
+    assert!((scan.efficiency_pct() - cache.cache_efficiency_pct()).abs() < 1e-9);
+}
+
+/// Full-repo baseline: perfect cache efficiency, terrible container
+/// efficiency; LANDLORD at moderate α sits between the extremes.
+#[test]
+fn landlord_sits_between_the_extremes() {
+    let r = repo();
+    let jobs = stream(&r, 7);
+    let sizes = Arc::new(r.size_table());
+
+    let mut full = FullRepoStrategy::new(Arc::clone(&sizes) as _, r.total_bytes());
+    let mut none = PerJobCache::new(r.total_bytes() / 2, Arc::clone(&sizes) as _);
+    let cfg = CacheConfig {
+        alpha: 0.8,
+        limit_bytes: r.total_bytes() / 2,
+        ..CacheConfig::default()
+    };
+    let mut landlord = ImageCache::new(cfg, Arc::clone(&sizes) as _);
+
+    for job in &jobs {
+        full.request(job);
+        none.request(job);
+        landlord.request(job);
+    }
+
+    // Container efficiency ordering: no-merge ≥ landlord ≥ full-repo.
+    assert!(none.container_efficiency_pct() >= landlord.container_efficiency_pct() - 1e-9);
+    assert!(landlord.container_efficiency_pct() > full.container_efficiency_pct());
+    // Cache efficiency ordering: full-repo (100) ≥ landlord ≥ no-merge.
+    let none_cache_eff = {
+        let unique = none.unique_bytes();
+        100.0 * unique as f64 / none.stats().total_bytes.max(1) as f64
+    };
+    assert!(full.cache_efficiency_pct() >= landlord.cache_efficiency_pct());
+    assert!(
+        landlord.cache_efficiency_pct() > none_cache_eff,
+        "merging must beat no-merge on duplication: {} vs {}",
+        landlord.cache_efficiency_pct(),
+        none_cache_eff
+    );
+}
+
+/// Layered chains never store less than LANDLORD's composed images on
+/// the same stream.
+#[test]
+fn layering_never_beats_composition() {
+    let r = repo();
+    let jobs = stream(&r, 8);
+    let sizes = Arc::new(r.size_table());
+
+    let mut chain = LayerChain::new(Arc::clone(&sizes) as _);
+    let cfg = CacheConfig { alpha: 1.0, limit_bytes: u64::MAX, ..CacheConfig::default() };
+    let mut cache = ImageCache::new(cfg, Arc::clone(&sizes) as _);
+    for job in &jobs {
+        chain.refine_to(job);
+        cache.request(job);
+    }
+    assert!(
+        chain.stored_bytes() >= cache.stats().total_bytes,
+        "layering {} < composition {}",
+        chain.stored_bytes(),
+        cache.stats().total_bytes
+    );
+    assert!(chain.dead_bytes() > 0, "masking must strand storage on this stream");
+}
+
+/// Under a single-version-per-name conflict policy, no cached image
+/// ever holds two versions of one product.
+#[test]
+fn conflict_policy_keeps_images_consistent() {
+    let r = repo();
+    let names = r.name_table();
+    let cfg = CacheConfig {
+        alpha: 0.95,
+        limit_bytes: r.total_bytes(),
+        ..CacheConfig::default()
+    };
+    let mut cache = ImageCache::with_conflicts(
+        cfg,
+        Arc::new(r.size_table()),
+        Arc::new(SingleVersionPerName::new(names.clone())),
+    );
+    for job in stream(&r, 9) {
+        // Job specs themselves may contain multiple versions (closures
+        // can pull two versions of a dep); filter to one per name so
+        // the invariant is meaningful.
+        let mut seen = std::collections::HashSet::new();
+        let filtered: Spec = job
+            .iter()
+            .filter(|p| seen.insert(names[p.index()]))
+            .collect();
+        cache.request(&filtered);
+    }
+    for img in cache.images() {
+        let mut seen = std::collections::HashMap::new();
+        for p in img.spec.iter() {
+            if let Some(prev) = seen.insert(names[p.index()], p) {
+                panic!("image {} holds two versions of name {}: {prev} and {p}",
+                    img.id, names[p.index()]);
+            }
+        }
+    }
+}
+
+/// Workload streams honour their generation scheme across crates: the
+/// Fig. 7 pair (deps vs random) produces size-matched unique specs.
+#[test]
+fn fig7_workload_pair_is_size_matched() {
+    let r = repo();
+    let base = WorkloadConfig {
+        unique_jobs: 30,
+        repeats: 1,
+        max_initial_selection: 10,
+        scheme: WorkloadScheme::DependencyClosure,
+        seed: 10,
+    };
+    let deps = workload::unique_specs(&r, &base);
+    let random = workload::unique_specs(
+        &r,
+        &WorkloadConfig { scheme: WorkloadScheme::UniformRandom, ..base },
+    );
+    for (d, x) in deps.iter().zip(&random) {
+        assert_eq!(d.len(), x.len());
+    }
+}
+
+/// Shrinkwrap materialization agrees with cache accounting: an image
+/// built from a cached spec reports exactly the logical bytes the
+/// cache charged for it.
+#[test]
+fn shrinkwrap_agrees_with_cache_accounting() {
+    use landlord_shrinkwrap::filetree::FileTreeConfig;
+    use landlord_shrinkwrap::Shrinkwrap;
+    use landlord_store::MemStore;
+
+    let r = repo();
+    let cfg = CacheConfig { alpha: 0.9, limit_bytes: u64::MAX, ..CacheConfig::default() };
+    let mut cache = ImageCache::new(cfg, Arc::new(r.size_table()));
+    for job in stream(&r, 11).into_iter().take(20) {
+        cache.request(&job);
+    }
+
+    let store = MemStore::new();
+    let sw = Shrinkwrap::new(&r, &store, FileTreeConfig::miniature());
+    for img in cache.images() {
+        let report = sw.build(&img.spec, &mut Vec::new()).unwrap();
+        assert_eq!(
+            report.logical_bytes, img.bytes,
+            "image {} logical bytes disagree",
+            img.id
+        );
+        assert_eq!(report.packages, img.spec.len());
+    }
+}
