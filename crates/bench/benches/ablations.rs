@@ -10,7 +10,11 @@ use landlord_core::policy::{CandidateStrategy, EvictionPolicy, MergeOrder};
 use std::hint::black_box;
 use std::sync::Arc;
 
-fn run_stream(repo: &landlord_repo::Repository, stream: &[landlord_core::spec::Spec], cfg: CacheConfig) -> landlord_core::cache::CacheStats {
+fn run_stream(
+    repo: &landlord_repo::Repository,
+    stream: &[landlord_core::spec::Spec],
+    cfg: CacheConfig,
+) -> landlord_core::cache::CacheStats {
     let mut cache = ImageCache::new(cfg, Arc::new(repo.size_table()));
     for spec in stream {
         black_box(cache.request(spec));
@@ -26,19 +30,29 @@ fn candidate_strategy(c: &mut Criterion) {
     group.sample_size(10);
     let variants: [(&str, CandidateStrategy); 3] = [
         ("exact", CandidateStrategy::ExactScan),
-        ("lsh_32x4", CandidateStrategy::MinHashLsh { bands: 32, rows: 4 }),
-        ("lsh_16x8", CandidateStrategy::MinHashLsh { bands: 16, rows: 8 }),
+        (
+            "lsh_32x4",
+            CandidateStrategy::MinHashLsh { bands: 32, rows: 4 },
+        ),
+        (
+            "lsh_16x8",
+            CandidateStrategy::MinHashLsh { bands: 16, rows: 8 },
+        ),
     ];
     for (name, candidates) in variants {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &candidates, |bench, &cand| {
-            let cfg = CacheConfig {
-                alpha: 0.8,
-                limit_bytes: repo.total_bytes() / 2,
-                candidates: cand,
-                ..CacheConfig::default()
-            };
-            bench.iter(|| black_box(run_stream(&repo, &stream, cfg)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &candidates,
+            |bench, &cand| {
+                let cfg = CacheConfig {
+                    alpha: 0.8,
+                    limit_bytes: repo.total_bytes() / 2,
+                    candidates: cand,
+                    ..CacheConfig::default()
+                };
+                bench.iter(|| black_box(run_stream(&repo, &stream, cfg)))
+            },
+        );
     }
     group.finish();
 }

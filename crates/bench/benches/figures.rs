@@ -15,8 +15,7 @@ fn figures(c: &mut Criterion) {
     for &id in experiments::all_ids() {
         group.bench_with_input(BenchmarkId::from_parameter(id), &id, |bench, &id| {
             bench.iter(|| {
-                let tables =
-                    experiments::run(black_box(id), &ctx).expect("known experiment id");
+                let tables = experiments::run(black_box(id), &ctx).expect("known experiment id");
                 assert!(!tables.is_empty());
                 black_box(tables)
             })

@@ -51,8 +51,9 @@ fn minhash_ops(c: &mut Criterion) {
     let hasher = MinHasher::new(128, 7);
     let mut index = LshIndex::new(LshShape { bands: 32, rows: 4 });
     for key in 0..200u64 {
-        let spec =
-            landlord_core::spec::Spec::from_ids((key as u32 * 37..key as u32 * 37 + 500).map(PackageId));
+        let spec = landlord_core::spec::Spec::from_ids(
+            (key as u32 * 37..key as u32 * 37 + 500).map(PackageId),
+        );
         index.insert(key, &hasher.signature(&spec));
     }
     let probe = hasher.signature(&a);
@@ -65,8 +66,8 @@ fn minhash_ops(c: &mut Criterion) {
 fn closures(c: &mut Criterion) {
     let repo = bench_repo();
     let mut computer = ClosureComputer::new(repo.package_count());
-    let seeds: Vec<PackageId> =
-        (0..20).map(|i| PackageId(repo.package_count() as u32 - 1 - i * 7)).collect();
+    let top = u32::try_from(repo.package_count()).unwrap_or(u32::MAX);
+    let seeds: Vec<PackageId> = (0..20).map(|i| PackageId(top - 1 - i * 7)).collect();
     c.bench_function("closure_20_seeds", |bench| {
         bench.iter(|| black_box(computer.closure_ids(repo.graph(), black_box(&seeds))))
     });
@@ -131,7 +132,8 @@ fn image_build(c: &mut Criterion) {
     let repo = bench_repo();
     let store = MemStore::new();
     let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
-    let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
+    let top = u32::try_from(repo.package_count()).unwrap_or(u32::MAX);
+    let spec = repo.closure_spec(&[PackageId(top - 1)]);
     let mut group = c.benchmark_group("shrinkwrap");
     group.sample_size(20);
     let build_name = format!("build_{}_pkgs", spec.len());

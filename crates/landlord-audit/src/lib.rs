@@ -1,0 +1,105 @@
+//! landlord-audit: project-specific static analysis for the landlord
+//! workspace.
+//!
+//! Run as `cargo run -p landlord-audit` from anywhere inside the
+//! workspace. Exit status is 0 when the tree is clean, 1 when findings
+//! exist, 2 on usage or I/O errors.
+//!
+//! See [`rules::RULES`] for the enforced rule set and DESIGN.md
+//! ("Correctness tooling") for the rationale.
+
+pub mod rules;
+pub mod scan;
+
+use rules::{check_file, FileKind, Finding, STRICT_CRATES};
+use std::path::{Path, PathBuf};
+
+/// Result of auditing a workspace tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Every violation, ordered by file then line.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Audit a single in-memory source, as the fixture tests do.
+pub fn audit_source(label: &str, kind: FileKind, source: &str) -> Vec<Finding> {
+    check_file(label, kind, &scan::scan(source))
+}
+
+/// Audit the workspace rooted at `root` (the directory containing the
+/// top-level `Cargo.toml` and `crates/`).
+pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut files: Vec<(PathBuf, FileKind)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if !entry.file_type()?.is_dir() {
+            continue;
+        }
+        let crate_dir = entry.path();
+        let crate_name = entry.file_name().to_string_lossy().into_owned();
+        let src_kind = if STRICT_CRATES.contains(&crate_name.as_str()) {
+            FileKind::StrictLib
+        } else {
+            FileKind::Lib
+        };
+        collect_rs(&crate_dir.join("src"), src_kind, &mut files)?;
+        for support in ["examples", "benches"] {
+            collect_rs(&crate_dir.join(support), FileKind::Support, &mut files)?;
+        }
+    }
+    collect_rs(&root.join("tests"), FileKind::IntegrationTest, &mut files)?;
+
+    files.sort();
+    let mut findings = Vec::new();
+    for (path, kind) in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        findings.extend(check_file(&rel, *kind, &scan::scan(&source)));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(Report {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Walk upward from `start` to the workspace root (identified by a
+/// `Cargo.toml` next to a `crates/` directory).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d.to_path_buf());
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+fn collect_rs(
+    dir: &Path,
+    kind: FileKind,
+    out: &mut Vec<(PathBuf, FileKind)>,
+) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, kind, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((path, kind));
+        }
+    }
+    Ok(())
+}

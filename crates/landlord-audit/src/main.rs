@@ -1,0 +1,87 @@
+//! CLI entry point: `cargo run -p landlord-audit [-- --root <dir>]`.
+
+use landlord_audit::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("landlord-audit: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            "--list-rules" => {
+                for (name, what) in RULES {
+                    println!("{name}: {what}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "landlord-audit: project-specific lint pass\n\n\
+                     usage: landlord-audit [--root <workspace-dir>] [--list-rules]\n\n\
+                     Exits 0 when clean, 1 when findings exist, 2 on errors.\n\
+                     Suppress a finding with `// audit: allow(<rule>) -- reason`\n\
+                     on the offending line or the line above it."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("landlord-audit: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("landlord-audit: cannot determine working directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match landlord_audit::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "landlord-audit: no workspace root (Cargo.toml + crates/) above {}",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let report = match landlord_audit::audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("landlord-audit: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for f in &report.findings {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+    }
+    let files = report.files_scanned;
+    if report.findings.is_empty() {
+        println!("landlord-audit: clean ({files} files scanned)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "landlord-audit: {} finding(s) across {files} scanned files",
+            report.findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

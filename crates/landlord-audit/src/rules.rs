@@ -1,0 +1,591 @@
+//! The six project-specific lints, plus allow-directive hygiene.
+//!
+//! Each rule pattern-matches on the blanked `code` text produced by
+//! [`crate::scan`], so string literals and comments never trigger
+//! findings. Rules are heuristic by design — this is a project lint,
+//! not a compiler — and every rule can be suppressed per line with
+//! `// audit: allow(<rule>) -- reason`.
+
+use crate::scan::SourceModel;
+
+/// Stable identifiers for every rule the audit enforces.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "no-panic-path",
+        "library code in landlord-core/-sim/-repo must not unwrap()/expect()/panic!: return Result or a domain error",
+    ),
+    (
+        "lossy-cast",
+        "byte/size/count values must not be narrowed with `as` (u64 -> u32/usize/...): use try_from or compare in u64",
+    ),
+    (
+        "float-eq",
+        "Jaccard/efficiency-style floats must not be compared with == or !=: compare with a tolerance or in integer milli-units",
+    ),
+    (
+        "unseeded-rng",
+        "non-test code must not construct entropy-seeded RNGs (thread_rng/from_entropy/...): take an explicit u64 seed",
+    ),
+    (
+        "guard-across-closure",
+        "a parking_lot guard must not be passed into a closure outside SharedImageCache::with_cache",
+    ),
+    (
+        "test-invariants",
+        "a #[test] that mutates an ImageCache must call check_invariants() before returning",
+    ),
+    (
+        "bad-allow",
+        "audit allow-directives must name known rules, carry a `-- reason`, and actually suppress something",
+    ),
+];
+
+/// True when `rule` is one of the audit's known rule names.
+pub fn is_known_rule(rule: &str) -> bool {
+    RULES.iter().any(|(name, _)| *name == rule)
+}
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Repo-relative path of the offending file.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule's stable name.
+    pub rule: &'static str,
+    /// Human-oriented explanation.
+    pub message: String,
+}
+
+/// What part of the workspace a file belongs to, which decides the
+/// rules that apply to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FileKind {
+    /// `crates/<name>/src/**` of a crate where panics are banned.
+    StrictLib,
+    /// `crates/<name>/src/**` of the remaining crates.
+    Lib,
+    /// Example, bench, or bin-only sources.
+    Support,
+    /// Integration tests (`tests/**`).
+    IntegrationTest,
+}
+
+/// Crates whose library code falls under the `no-panic-path` rule.
+pub const STRICT_CRATES: &[&str] = &["landlord-core", "landlord-sim", "landlord-repo"];
+
+/// Run every applicable rule over one scanned file.
+pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut used_allows: Vec<(usize, String)> = Vec::new();
+
+    let mut emit =
+        |line: usize, rule: &'static str, message: String, findings: &mut Vec<Finding>| {
+            if model.is_allowed(line, rule) {
+                used_allows.push((line, rule.to_string()));
+                return;
+            }
+            findings.push(Finding {
+                file: file.to_string(),
+                line: line + 1,
+                rule,
+                message,
+            });
+        };
+
+    let lints_code = matches!(
+        kind,
+        FileKind::StrictLib | FileKind::Lib | FileKind::Support
+    );
+
+    for (idx, info) in model.lines.iter().enumerate() {
+        let code = info.code.as_str();
+
+        // R1: no-panic-path — strict crates' non-test library code.
+        if kind == FileKind::StrictLib && !info.in_test {
+            for (needle, what) in [
+                (".unwrap()", "`.unwrap()`"),
+                (".expect(", "`.expect(..)`"),
+                ("panic!(", "`panic!`"),
+                ("unreachable!(", "`unreachable!`"),
+                ("todo!(", "`todo!`"),
+                ("unimplemented!(", "`unimplemented!`"),
+            ] {
+                if code.contains(needle) {
+                    emit(
+                        idx,
+                        "no-panic-path",
+                        format!(
+                            "{what} in library code: thread the failure through Result instead"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        // R2: lossy-cast — non-test code of all workspace crates.
+        if lints_code && !info.in_test {
+            for target in ["u8", "u16", "u32", "usize", "i32"] {
+                for (pos, source_expr) in lossy_cast_sources(code, target) {
+                    let _ = pos;
+                    if counter_tokens(&source_expr) && !widening_to_usize(target, &source_expr) {
+                        emit(
+                            idx,
+                            "lossy-cast",
+                            format!(
+                                "byte/size counter narrowed with `as {target}` (source: `{}`): use `{target}::try_from` or widen the comparison",
+                                source_expr.trim()
+                            ),
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+        }
+
+        // R3: float-eq — non-test code of all workspace crates.
+        if lints_code && !info.in_test {
+            for op in ["==", "!="] {
+                for (l, r) in comparison_operands(code, op) {
+                    if is_floatish(&l) || is_floatish(&r) {
+                        emit(
+                            idx,
+                            "float-eq",
+                            format!(
+                                "float compared with `{op}` (`{} {op} {}`): use an epsilon or integer milli-units",
+                                l.trim(),
+                                r.trim()
+                            ),
+                            &mut findings,
+                        );
+                    }
+                }
+            }
+        }
+
+        // R4: unseeded-rng — all non-test code (benches included: runs
+        // must be reproducible).
+        if !info.in_test {
+            for needle in ["thread_rng", "from_entropy", "rand::random", "OsRng"] {
+                if contains_token(code, needle) {
+                    emit(
+                        idx,
+                        "unseeded-rng",
+                        format!("`{needle}` constructs an unseeded RNG: accept an explicit u64 seed instead"),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        // R5: guard-across-closure — non-test code, any crate.
+        if lints_code && !info.in_test && (code.contains(".lock(") || code.contains(".try_lock(")) {
+            let sanctioned = info.fn_name.as_deref() == Some("with_cache");
+            if !sanctioned {
+                // Inspect the whole statement (up to 8 continuation
+                // lines) for a closure literal.
+                let mut stmt = String::new();
+                for look in model.lines.iter().skip(idx).take(8) {
+                    stmt.push_str(&look.code);
+                    stmt.push('\n');
+                    if look.code.trim_end().ends_with(';') || look.code.trim_end().ends_with('{') {
+                        break;
+                    }
+                }
+                if contains_closure(&stmt) {
+                    emit(
+                        idx,
+                        "guard-across-closure",
+                        "lock guard and closure share a statement outside `with_cache`: route through SharedImageCache::with_cache".to_string(),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        // Allow hygiene: unknown rule names and missing reasons.
+        if info.malformed_allow {
+            findings.push(Finding {
+                file: file.to_string(),
+                line: idx + 1,
+                rule: "bad-allow",
+                message: "malformed allow: use `// audit: allow(<rule>) -- reason`".to_string(),
+            });
+        }
+        for rule in &info.allows {
+            if !is_known_rule(rule) {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "bad-allow",
+                    message: format!("allow names unknown rule `{rule}`"),
+                });
+            }
+        }
+    }
+
+    // R6: test-invariants — every #[test] body, anywhere.
+    for span in &model.fns {
+        if !span.is_unit_test {
+            continue;
+        }
+        let body: String = model.lines[span.start_line..=span.end_line]
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let touches_cache = ["ImageCache", "SharedImageCache", "cache(", "cache."]
+            .iter()
+            .any(|n| body.contains(n));
+        let mutates = [
+            ".request(",
+            ".restore(",
+            ".evict",
+            ".merge_into(",
+            ".split_image(",
+        ]
+        .iter()
+        .any(|n| body.contains(n));
+        if touches_cache && mutates && !body.contains("check_invariants") {
+            emit(
+                span.start_line,
+                "test-invariants",
+                format!(
+                    "#[test] `{}` mutates an ImageCache but never calls check_invariants()",
+                    span.name
+                ),
+                &mut findings,
+            );
+        }
+    }
+
+    // Allow hygiene: an allow that suppressed nothing is stale.
+    for (idx, info) in model.lines.iter().enumerate() {
+        for rule in &info.allows {
+            if !is_known_rule(rule) {
+                continue;
+            }
+            let used = used_allows
+                .iter()
+                .any(|(l, r)| r == rule && (*l == idx || *l == idx + 1));
+            if !used {
+                findings.push(Finding {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: "bad-allow",
+                    message: format!("allow(`{rule}`) suppresses nothing here: remove it"),
+                });
+            }
+        }
+    }
+
+    findings
+}
+
+/// Find `<expr> as <target>` casts on a blanked code line and return
+/// the textual source expression for each.
+fn lossy_cast_sources(code: &str, target: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let needle = format!(" as {target}");
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(&needle) {
+        let pos = from + rel;
+        from = pos + needle.len();
+        // The target type must end at a word boundary (` as u32` must
+        // not match inside ` as u32x4`-style text).
+        let after = pos + needle.len();
+        if after < bytes.len() {
+            let c = bytes[after] as char;
+            if c.is_alphanumeric() || c == '_' {
+                continue;
+            }
+        }
+        out.push((pos, preceding_expr(code, pos)));
+    }
+    out
+}
+
+/// Extract the expression text immediately before byte offset `end`
+/// (scanning back over identifiers, field access, calls, and indexes).
+fn preceding_expr(code: &str, end: usize) -> String {
+    let chars: Vec<char> = code[..end].chars().collect();
+    let mut i = chars.len();
+    let mut depth = 0i32;
+    while i > 0 {
+        let c = chars[i - 1];
+        match c {
+            ')' | ']' => depth += 1,
+            '(' | '[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            c if c.is_alphanumeric() || c == '_' || c == '.' || c == ':' => {}
+            ' ' if depth > 0 => {}
+            '*' | '+' | '-' | '/' if depth > 0 => {}
+            _ => {
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        i -= 1;
+    }
+    chars[i..].iter().collect()
+}
+
+/// A cast to `usize` whose source expression explicitly names a
+/// narrower unsigned type (`u32::from_le_bytes(..) as usize`) widens
+/// on every supported target and is safe.
+fn widening_to_usize(target: &str, expr: &str) -> bool {
+    target == "usize" && ident_tokens(expr).any(|t| matches!(t.as_str(), "u8" | "u16" | "u32"))
+}
+
+/// Does the cast source look like a byte/size/count value?
+fn counter_tokens(expr: &str) -> bool {
+    // Widening helper results are never lossy regardless of name.
+    for safe in [
+        "count_ones()",
+        "count_zeros()",
+        "leading_zeros()",
+        "trailing_zeros()",
+    ] {
+        if expr.trim_end().ends_with(safe) {
+            return false;
+        }
+    }
+    ident_tokens(expr).any(|tok| {
+        matches!(
+            tok.as_str(),
+            "bytes" | "size" | "len" | "count" | "capacity"
+        )
+    })
+}
+
+/// Split an expression into identifier sub-tokens (`spec_bytes` yields
+/// `spec` and `bytes`).
+fn ident_tokens(expr: &str) -> impl Iterator<Item = String> + '_ {
+    expr.split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .flat_map(|word| word.split('_'))
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+}
+
+/// Find `lhs <op> rhs` comparisons and return both operand texts.
+fn comparison_operands(code: &str, op: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(op) {
+        let pos = from + rel;
+        from = pos + op.len();
+        // Reject `<=`, `>=`, `=>`, `===`-ish neighbours.
+        let before = pos.checked_sub(1).map(|p| bytes[p] as char);
+        let after = bytes.get(pos + op.len()).map(|&b| b as char);
+        if matches!(before, Some('=') | Some('<') | Some('>') | Some('!')) {
+            continue;
+        }
+        if matches!(after, Some('=') | Some('>')) {
+            continue;
+        }
+        let lhs = preceding_operand(code, pos);
+        let rhs = following_operand(code, pos + op.len());
+        out.push((lhs, rhs));
+    }
+    out
+}
+
+fn preceding_operand(code: &str, end: usize) -> String {
+    let chars: Vec<char> = code[..end].chars().collect();
+    let mut i = chars.len();
+    let mut depth = 0i32;
+    while i > 0 {
+        let c = chars[i - 1];
+        match c {
+            ')' | ']' => depth += 1,
+            '(' | '[' | '{' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ',' | ';' | '&' | '|' if depth == 0 => break,
+            _ => {}
+        }
+        i -= 1;
+    }
+    chars[i..].iter().collect::<String>().trim().to_string()
+}
+
+fn following_operand(code: &str, start: usize) -> String {
+    let chars: Vec<char> = code[start..].chars().collect();
+    let mut i = 0;
+    let mut depth = 0i32;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' | '}' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            ',' | ';' | '&' | '|' if depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    chars[..i].iter().collect::<String>().trim().to_string()
+}
+
+/// Identifier fragments that mark a value as float-like in this
+/// codebase (Jaccard distances, efficiencies, ratios...).
+const FLOAT_NAMES: &[&str] = &[
+    "jaccard",
+    "distance",
+    "efficiency",
+    "alpha",
+    "ratio",
+    "pct",
+    "density",
+    "overhead",
+    "factor",
+];
+
+/// Integer-scaled renditions of the above (safe to compare exactly).
+const INT_SCALED_SUFFIXES: &[&str] = &["milli", "bp", "permille"];
+
+fn is_floatish(operand: &str) -> bool {
+    // `1.5`, `0.`, `2f64` style literals.
+    let bytes = operand.as_bytes();
+    for (i, w) in bytes.windows(2).enumerate() {
+        if w[0] == b'.' && w[1].is_ascii_digit() && i > 0 && bytes[i - 1].is_ascii_digit() {
+            return true;
+        }
+    }
+    if operand.contains("f64") || operand.contains("f32") {
+        return true;
+    }
+    let toks: Vec<String> = ident_tokens(operand).collect();
+    if toks
+        .iter()
+        .any(|t| INT_SCALED_SUFFIXES.contains(&t.as_str()))
+    {
+        return false;
+    }
+    toks.iter().any(|t| FLOAT_NAMES.contains(&t.as_str()))
+}
+
+fn contains_token(code: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let pos = from + rel;
+        from = pos + needle.len();
+        let before_ok = pos == 0 || {
+            let c = code.as_bytes()[pos - 1] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        let end = pos + needle.len();
+        let after_ok = end >= code.len() || {
+            let c = code.as_bytes()[end] as char;
+            !(c.is_alphanumeric() || c == '_')
+        };
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does the statement text contain a closure literal (`|args| ...`)?
+fn contains_closure(stmt: &str) -> bool {
+    let chars: Vec<char> = stmt.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '|' {
+            continue;
+        }
+        // `||` as an operator (logical or) has operands on both sides;
+        // a closure `|` follows `(`, `,`, `=`, or start-of-statement.
+        let mut j = i;
+        while j > 0 && chars[j - 1].is_whitespace() {
+            j -= 1;
+        }
+        let prev = if j == 0 { None } else { Some(chars[j - 1]) };
+        let opens_closure = matches!(prev, None | Some('(') | Some(',') | Some('=') | Some('{'));
+        if !opens_closure {
+            continue;
+        }
+        // Must look like a parameter list: next non-space is ident-ish,
+        // `_`, `&`, `(`, or an immediate `|` (zero-arg closure).
+        let mut k = i + 1;
+        while k < chars.len() && chars[k] == ' ' {
+            k += 1;
+        }
+        let next = chars.get(k);
+        if matches!(next, Some(c) if c.is_alphabetic() || matches!(c, '_' | '&' | '(' | '|')) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(kind: FileKind, src: &str) -> Vec<Finding> {
+        check_file("fixture.rs", kind, &crate::scan::scan(src))
+    }
+
+    #[test]
+    fn closure_detection() {
+        assert!(contains_closure("m.lock().apply(|x| x + 1);"));
+        assert!(contains_closure("let g = map(|_| 0);"));
+        assert!(!contains_closure("if a || b { }"));
+        assert!(!contains_closure("self.inner.lock().request(spec);"));
+    }
+
+    #[test]
+    fn preceding_expr_extraction() {
+        let line = "self.emit(CacheEvent::Split { image: id, pieces: pieces.len() as u32 });";
+        let pos = line.find(" as u32").expect("cast present");
+        assert_eq!(preceding_expr(line, pos), "pieces.len()");
+    }
+
+    #[test]
+    fn counter_token_matching() {
+        assert!(counter_tokens("pieces.len()"));
+        assert!(counter_tokens("self.stats.image_count"));
+        assert!(counter_tokens("total_bytes"));
+        assert!(!counter_tokens("w.count_ones()"));
+        assert!(!counter_tokens("rng.gen_range(0..self.universe)"));
+    }
+
+    #[test]
+    fn floatish_operands() {
+        assert!(is_floatish("0.5"));
+        assert!(is_floatish("jaccard_distance(a, b)"));
+        assert!(is_floatish("self.cache_efficiency_pct()"));
+        assert!(!is_floatish("distance_milli"));
+        assert!(!is_floatish("rev.0"));
+        assert!(!is_floatish("a.0"));
+    }
+
+    #[test]
+    fn strict_lib_flags_unwrap_but_lib_does_not() {
+        let src = "fn f() {\n    let x = m.get(&k).unwrap();\n}\n";
+        assert_eq!(check(FileKind::StrictLib, src).len(), 1);
+        assert_eq!(check(FileKind::Lib, src).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let src = "fn f() {\n    let x = m.get(&k).unwrap_or_else(Default::default);\n}\n";
+        assert!(check(FileKind::StrictLib, src).is_empty());
+    }
+}

@@ -1,0 +1,540 @@
+//! Lightweight Rust source scanner for the audit lints.
+//!
+//! This is deliberately not a full parser. It performs one job well:
+//! classify every line of a source file so the rules in [`crate::rules`]
+//! can pattern-match on *code* without tripping over comments, string
+//! literals, or test-only regions.
+//!
+//! Per line it records:
+//! - `code`: the line with comment text and literal *contents* blanked
+//!   out (quotes are kept so "a string was here" remains visible);
+//! - `in_test`: whether any part of the line is inside a `#[cfg(test)]`
+//!   item or a `#[test]` function;
+//! - `fn_name`: the innermost enclosing function, when known;
+//! - `allows`: lint names allowed via `// audit: allow(rule) -- reason`.
+//!
+//! It also collects the span of every function body so function-scoped
+//! rules (like `test-invariants`) can inspect whole bodies.
+
+/// One classified source line.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// Source text with comments and literal contents blanked.
+    pub code: String,
+    /// True if any part of the line is inside test-only code.
+    pub in_test: bool,
+    /// Innermost enclosing function name, if inside a function body.
+    pub fn_name: Option<String>,
+    /// Rules allowed by an `audit: allow(...)` comment on this line.
+    pub allows: Vec<String>,
+    /// True if an allow comment on this line is missing its `-- reason`.
+    pub malformed_allow: bool,
+}
+
+/// The span of one function body (inclusive, 0-based line indices).
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// True when the function carries a `#[test]` attribute.
+    pub is_unit_test: bool,
+    /// True when the function lives inside any test-only region.
+    pub in_test_region: bool,
+    /// Line index of the opening brace.
+    pub start_line: usize,
+    /// Line index of the closing brace.
+    pub end_line: usize,
+}
+
+/// A scanned source file ready for rule evaluation.
+#[derive(Debug)]
+pub struct SourceModel {
+    /// Per-line classification, in file order.
+    pub lines: Vec<LineInfo>,
+    /// Every function body found in the file.
+    pub fns: Vec<FnSpan>,
+}
+
+impl SourceModel {
+    /// True when the rule is allowed on `line` (same line or the one
+    /// directly above carries the allow).
+    pub fn is_allowed(&self, line: usize, rule: &str) -> bool {
+        let hit = |l: &LineInfo| l.allows.iter().any(|a| a == rule);
+        if hit(&self.lines[line]) {
+            return true;
+        }
+        line > 0 && hit(&self.lines[line - 1])
+    }
+}
+
+#[derive(Debug)]
+struct Scope {
+    is_test: bool,
+    fn_name: Option<String>,
+    fn_index: Option<usize>,
+}
+
+/// Scan `source` into a [`SourceModel`].
+pub fn scan(source: &str) -> SourceModel {
+    let (blanked, comments) = blank_comments_and_strings(source);
+    classify(&blanked, &comments)
+}
+
+/// Pass 1: blank comment text and literal contents; collect per-line
+/// comment text (for allow-directive parsing).
+fn blank_comments_and_strings(source: &str) -> (String, Vec<String>) {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut i = 0;
+
+    macro_rules! push {
+        ($c:expr) => {{
+            let c = $c;
+            out.push(c);
+            if c == '\n' {
+                comments.push(String::new());
+            }
+        }};
+    }
+    macro_rules! blank {
+        ($c:expr) => {
+            push!(if $c == '\n' { '\n' } else { ' ' })
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    let idx = comments.len() - 1;
+                    comments[idx].push(chars[i]);
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            '/' if next == Some('*') => {
+                let mut depth = 0usize;
+                while i < chars.len() {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        let idx = comments.len() - 1;
+                        comments[idx].push_str("/*");
+                        blank!('/');
+                        blank!('*');
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        blank!('*');
+                        blank!('/');
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        let idx = comments.len() - 1;
+                        comments[idx].push(chars[i]);
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                // Ordinary string (possibly preceded by b, handled as
+                // plain code). Blank contents, keep the quotes.
+                push!('"');
+                i += 1;
+                while i < chars.len() {
+                    if chars[i] == '\\' && i + 1 < chars.len() {
+                        blank!(chars[i]);
+                        blank!(chars[i + 1]);
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        push!('"');
+                        i += 1;
+                        break;
+                    } else {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                }
+            }
+            'r' if is_raw_string_start(&chars, i) => {
+                // r"..." / r#"..."# / r##"..."## (also br...).
+                push!('r');
+                i += 1;
+                let mut hashes = 0;
+                while chars.get(i) == Some(&'#') {
+                    push!('#');
+                    hashes += 1;
+                    i += 1;
+                }
+                push!('"');
+                i += 1;
+                'raw: while i < chars.len() {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            push!('"');
+                            i += 1;
+                            for _ in 0..hashes {
+                                push!('#');
+                                i += 1;
+                            }
+                            break 'raw;
+                        }
+                    }
+                    blank!(chars[i]);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal or lifetime. A char literal closes with
+                // a `'` within a few characters; a lifetime does not.
+                if next == Some('\\') {
+                    // Escaped char literal: '\n', '\u{...}', '\''.
+                    push!('\'');
+                    blank!(' ');
+                    i += 2;
+                    while i < chars.len() && chars[i] != '\'' {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                    if i < chars.len() {
+                        push!('\'');
+                        i += 1;
+                    }
+                } else if chars.get(i + 2) == Some(&'\'') && next.is_some() {
+                    push!('\'');
+                    blank!(' ');
+                    push!('\'');
+                    i += 3;
+                } else {
+                    // Lifetime: keep as code.
+                    push!('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                push!(c);
+                i += 1;
+            }
+        }
+    }
+    (out, comments)
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // `r` must not be part of a longer identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Pass 2: walk the blanked source, tracking brace scopes, attributes,
+/// and function names.
+fn classify(blanked: &str, comments: &[String]) -> SourceModel {
+    let mut lines: Vec<LineInfo> = Vec::new();
+    let mut fns: Vec<FnSpan> = Vec::new();
+    let mut stack: Vec<Scope> = vec![Scope {
+        is_test: false,
+        fn_name: None,
+        fn_index: None,
+    }];
+
+    let mut pending_cfg_test = false;
+    let mut pending_test_attr = false;
+    let mut pending_fn: Option<String> = None;
+
+    for (line_no, raw_line) in blanked.lines().enumerate() {
+        let comment = comments.get(line_no).map(String::as_str).unwrap_or("");
+        let (allows, malformed_allow) = parse_allow(comment);
+        let mut in_test = stack.iter().any(|s| s.is_test) || pending_cfg_test || pending_test_attr;
+        let mut fn_name = innermost_fn(&stack).map(str::to_string);
+
+        let tokens = tokenize(raw_line);
+        let mut t = 0;
+        while t < tokens.len() {
+            match tokens[t].as_str() {
+                // Attribute: capture bracketed content.
+                "#" if tokens.get(t + 1).map(String::as_str) == Some("[") => {
+                    let mut depth = 0usize;
+                    let mut body: Vec<&str> = Vec::new();
+                    let mut u = t + 1;
+                    while u < tokens.len() {
+                        match tokens[u].as_str() {
+                            "[" => depth += 1,
+                            "]" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            tok => body.push(tok),
+                        }
+                        u += 1;
+                    }
+                    let is_cfg = body.first().copied() == Some("cfg");
+                    let mentions_test = body.contains(&"test");
+                    if is_cfg && mentions_test {
+                        pending_cfg_test = true;
+                        in_test = true;
+                    } else if !is_cfg && mentions_test {
+                        pending_test_attr = true;
+                        in_test = true;
+                    }
+                    t = u;
+                }
+                "fn" => {
+                    if let Some(name) = tokens.get(t + 1) {
+                        if name
+                            .chars()
+                            .next()
+                            .is_some_and(|c| c.is_alphabetic() || c == '_')
+                        {
+                            pending_fn = Some(name.clone());
+                        }
+                    }
+                }
+                ";" => {
+                    // An item ended without a body; attribute pendings
+                    // no longer apply (e.g. `#[cfg(test)] use foo;`).
+                    if stack.len() == 1 || pending_fn.is_none() {
+                        pending_cfg_test = false;
+                        pending_test_attr = false;
+                    }
+                    pending_fn = None;
+                }
+                "{" => {
+                    let parent_test = stack.iter().any(|s| s.is_test);
+                    let is_test = parent_test || pending_cfg_test || pending_test_attr;
+                    let (scope_fn, fn_index) = if let Some(name) = pending_fn.take() {
+                        fns.push(FnSpan {
+                            name: name.clone(),
+                            is_unit_test: pending_test_attr,
+                            in_test_region: is_test,
+                            start_line: line_no,
+                            end_line: line_no,
+                        });
+                        (Some(name), Some(fns.len() - 1))
+                    } else {
+                        (innermost_fn(&stack).map(str::to_string), None)
+                    };
+                    if scope_fn.is_some() {
+                        fn_name = scope_fn.clone();
+                    }
+                    stack.push(Scope {
+                        is_test,
+                        fn_name: scope_fn,
+                        fn_index,
+                    });
+                    pending_cfg_test = false;
+                    pending_test_attr = false;
+                    if is_test {
+                        in_test = true;
+                    }
+                }
+                "}" if stack.len() > 1 => {
+                    let popped = stack.pop().expect("scope stack underflow");
+                    if let Some(idx) = popped.fn_index {
+                        fns[idx].end_line = line_no;
+                    }
+                }
+                _ => {}
+            }
+            t += 1;
+        }
+
+        if stack.iter().any(|s| s.is_test) {
+            in_test = true;
+        }
+        if fn_name.is_none() {
+            fn_name = innermost_fn(&stack).map(str::to_string);
+        }
+        lines.push(LineInfo {
+            code: raw_line.to_string(),
+            in_test,
+            fn_name,
+            allows,
+            malformed_allow,
+        });
+    }
+
+    SourceModel { lines, fns }
+}
+
+fn innermost_fn(stack: &[Scope]) -> Option<&str> {
+    stack.iter().rev().find_map(|s| s.fn_name.as_deref())
+}
+
+/// Split a blanked line into coarse tokens: identifier/number runs and
+/// single punctuation characters. Whitespace is dropped.
+fn tokenize(line: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for c in line.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            cur.push(c);
+        } else {
+            if !cur.is_empty() {
+                tokens.push(std::mem::take(&mut cur));
+            }
+            if !c.is_whitespace() {
+                tokens.push(c.to_string());
+            }
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Parse `audit: allow(rule1, rule2) -- reason` out of a comment.
+/// Returns the allowed rules and whether the directive was malformed
+/// (present but missing a `-- reason` tail or unparseable).
+fn parse_allow(comment: &str) -> (Vec<String>, bool) {
+    // Directives live in plain `//` comments only; doc comments merely
+    // *talk about* the syntax.
+    let trimmed = comment.trim_start();
+    for doc in ["///", "//!", "/**", "/*!"] {
+        if trimmed.starts_with(doc) {
+            return (Vec::new(), false);
+        }
+    }
+    let Some(pos) = comment.find("audit:") else {
+        return (Vec::new(), false);
+    };
+    let rest = &comment[pos + "audit:".len()..];
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow") else {
+        return (Vec::new(), true);
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return (Vec::new(), true);
+    };
+    let Some(close) = rest.find(')') else {
+        return (Vec::new(), true);
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    let tail = rest[close + 1..].trim_start();
+    let has_reason = tail
+        .strip_prefix("--")
+        .map(|r| !r.trim().is_empty())
+        .unwrap_or(false);
+    if rules.is_empty() || !has_reason {
+        return (rules, true);
+    }
+    (rules, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = scan("let x = \"panic!(boom)\"; // .unwrap() here\n");
+        assert!(!m.lines[0].code.contains("panic"));
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(m.lines[0].code.contains("let x ="));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let m = scan(
+            "let s = r#\"has .unwrap() inside\"#; let c = '\"'; let l: &'static str = \"x\";\n",
+        );
+        assert!(!m.lines[0].code.contains("unwrap"));
+        // The double-quote inside the char literal must not open a string.
+        assert!(m.lines[0].code.contains("static"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_tracked() {
+        let src = "fn lib_code() {\n    body();\n}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() { body(); }\n}\nfn more_lib() {}\n";
+        let m = scan(src);
+        assert!(!m.lines[1].in_test, "lib body");
+        assert!(m.lines[5].in_test, "helper inside cfg(test)");
+        assert!(m.lines[7].in_test, "#[test] fn");
+        assert!(!m.lines[9].in_test, "lib code after the test mod");
+    }
+
+    #[test]
+    fn fn_spans_and_names() {
+        let src = "fn alpha() {\n    one();\n}\n\nfn beta() {\n    two();\n}\n";
+        let m = scan(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].name, "alpha");
+        assert_eq!((m.fns[0].start_line, m.fns[0].end_line), (0, 2));
+        assert_eq!(m.fns[1].name, "beta");
+        assert_eq!(m.lines[5].fn_name.as_deref(), Some("beta"));
+    }
+
+    #[test]
+    fn test_attr_marks_unit_test_fn() {
+        let src = "#[test]\nfn my_case() {\n    assert!(true);\n}\nfn plain() {}\n";
+        let m = scan(src);
+        assert!(m.fns[0].is_unit_test);
+        assert_eq!(m.fns[0].name, "my_case");
+        assert!(!m.fns[1].is_unit_test);
+    }
+
+    #[test]
+    fn cfg_attr_on_use_does_not_leak() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {\n    body();\n}\n";
+        let m = scan(src);
+        assert!(!m.lines[3].in_test);
+    }
+
+    #[test]
+    fn allow_directive_parses() {
+        let m = scan("x(); // audit: allow(no-panic-path) -- justified here\n");
+        assert_eq!(m.lines[0].allows, vec!["no-panic-path"]);
+        assert!(!m.lines[0].malformed_allow);
+        assert!(m.is_allowed(0, "no-panic-path"));
+        assert!(!m.is_allowed(0, "lossy-cast"));
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let m = scan("x(); // audit: allow(no-panic-path)\n");
+        assert!(m.lines[0].malformed_allow);
+    }
+
+    #[test]
+    fn allow_on_previous_line_covers_next() {
+        let src = "// audit: allow(lossy-cast, float-eq) -- fixture\nlet y = x as u32;\n";
+        let m = scan(src);
+        assert!(m.is_allowed(1, "lossy-cast"));
+        assert!(m.is_allowed(1, "float-eq"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = scan("/* outer /* inner .unwrap() */ still comment */ fn f() {}\n");
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert_eq!(m.fns[0].name, "f");
+    }
+}

@@ -1,0 +1,213 @@
+//! Fixture tests: every rule must (a) fire on a seeded violation,
+//! (b) honour an `// audit: allow(..)` directive, and (c) exempt test
+//! code. The final test audits the real workspace and demands zero
+//! findings, so the lint gate in CI can never silently rot.
+
+use landlord_audit::rules::FileKind;
+use landlord_audit::{audit_source, find_workspace_root};
+
+fn findings(kind: FileKind, src: &str) -> Vec<&'static str> {
+    audit_source("fixture.rs", kind, src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// ---- R1: no-panic-path -------------------------------------------------
+
+#[test]
+fn no_panic_path_fires_on_expect() {
+    let src = "fn f() {\n    let v = map.get(&k).expect(\"missing\");\n}\n";
+    assert_eq!(findings(FileKind::StrictLib, src), vec!["no-panic-path"]);
+}
+
+#[test]
+fn no_panic_path_honours_allow() {
+    let src = "fn f() {\n    // audit: allow(no-panic-path) -- fixture exercises the allowlist\n    let v = map.get(&k).expect(\"missing\");\n}\n";
+    assert!(findings(FileKind::StrictLib, src).is_empty());
+}
+
+#[test]
+fn no_panic_path_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        map.get(&k).expect(\"missing\");\n    }\n}\n";
+    assert!(findings(FileKind::StrictLib, src).is_empty());
+}
+
+#[test]
+fn no_panic_path_only_applies_to_strict_crates() {
+    let src = "fn f() {\n    let v = map.get(&k).unwrap();\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+    assert!(findings(FileKind::Support, src).is_empty());
+}
+
+// ---- R2: lossy-cast ----------------------------------------------------
+
+#[test]
+fn lossy_cast_fires_on_narrowed_counter() {
+    let src = "fn f(total_bytes: u64) -> u32 {\n    total_bytes as u32\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["lossy-cast"]);
+}
+
+#[test]
+fn lossy_cast_honours_allow() {
+    let src = "fn f(total_bytes: u64) -> u32 {\n    total_bytes as u32 // audit: allow(lossy-cast) -- fixture exercises the allowlist\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn lossy_cast_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let x = total_bytes as u32;\n    }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn lossy_cast_permits_widening_to_usize() {
+    let src = "fn f(b: [u8; 4]) -> usize {\n    u32::from_le_bytes(b) as usize\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+// ---- R3: float-eq ------------------------------------------------------
+
+#[test]
+fn float_eq_fires_on_exact_comparison() {
+    let src = "fn f(a: f64) -> bool {\n    jaccard_distance(a) == 0.5\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["float-eq"]);
+}
+
+#[test]
+fn float_eq_honours_allow() {
+    let src = "fn f(a: f64) -> bool {\n    // audit: allow(float-eq) -- fixture exercises the allowlist\n    jaccard_distance(a) == 0.5\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn float_eq_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        assert!(jaccard_distance(a) == 0.5);\n    }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn float_eq_permits_integer_scaled_values() {
+    let src = "fn f(distance_milli: u64) -> bool {\n    distance_milli == 500\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+// ---- R4: unseeded-rng --------------------------------------------------
+
+#[test]
+fn unseeded_rng_fires_on_thread_rng() {
+    let src = "fn f() {\n    let mut rng = thread_rng();\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["unseeded-rng"]);
+}
+
+#[test]
+fn unseeded_rng_honours_allow() {
+    let src = "fn f() {\n    let mut rng = thread_rng(); // audit: allow(unseeded-rng) -- fixture exercises the allowlist\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn unseeded_rng_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let mut rng = thread_rng();\n    }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn unseeded_rng_applies_to_benches_too() {
+    // Benchmarks must be reproducible as well.
+    let src = "fn bench() {\n    let mut rng = StdRng::from_entropy();\n}\n";
+    assert_eq!(findings(FileKind::Support, src), vec!["unseeded-rng"]);
+}
+
+// ---- R5: guard-across-closure ------------------------------------------
+
+#[test]
+fn guard_across_closure_fires() {
+    let src = "fn f(&self) {\n    let n = self.inner.lock().apply(|c| c.len());\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["guard-across-closure"]);
+}
+
+#[test]
+fn guard_across_closure_honours_allow() {
+    let src = "fn f(&self) {\n    // audit: allow(guard-across-closure) -- fixture exercises the allowlist\n    let n = self.inner.lock().apply(|c| c.len());\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn guard_across_closure_sanctions_with_cache() {
+    let src = "fn with_cache(&self) {\n    let n = self.inner.lock().apply(|c| c.len());\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn guard_across_closure_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let n = m.lock().apply(|c| c.len());\n    }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+// ---- R6: test-invariants -----------------------------------------------
+
+#[test]
+fn test_invariants_fires_on_unchecked_mutation() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let mut c = ImageCache::new(cfg, sizes);\n        c.request(&spec);\n    }\n}\n";
+    assert_eq!(findings(FileKind::StrictLib, src), vec!["test-invariants"]);
+}
+
+#[test]
+fn test_invariants_satisfied_by_check_call() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let mut c = ImageCache::new(cfg, sizes);\n        c.request(&spec);\n        c.check_invariants();\n    }\n}\n";
+    assert!(findings(FileKind::StrictLib, src).is_empty());
+}
+
+#[test]
+fn test_invariants_honours_allow() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    // audit: allow(test-invariants) -- fixture exercises the allowlist\n    fn t() {\n        let mut c = ImageCache::new(cfg, sizes);\n        c.request(&spec);\n    }\n}\n";
+    assert!(findings(FileKind::StrictLib, src).is_empty());
+}
+
+#[test]
+fn test_invariants_ignores_read_only_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let c = ImageCache::new(cfg, sizes);\n        assert!(c.is_empty());\n    }\n}\n";
+    assert!(findings(FileKind::StrictLib, src).is_empty());
+}
+
+// ---- Allow hygiene -----------------------------------------------------
+
+#[test]
+fn allow_with_unknown_rule_is_flagged() {
+    let src = "fn f() {\n    // audit: allow(no-such-rule) -- bogus\n    let x = 1;\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["bad-allow"]);
+}
+
+#[test]
+fn allow_without_reason_is_flagged() {
+    let src = "fn f() {\n    // audit: allow(no-panic-path)\n    let v = map.get(&k).expect(\"missing\");\n}\n";
+    let rules = findings(FileKind::StrictLib, src);
+    assert!(rules.contains(&"bad-allow"), "{rules:?}");
+}
+
+#[test]
+fn allow_that_suppresses_nothing_is_flagged() {
+    let src = "fn f() {\n    // audit: allow(no-panic-path) -- stale\n    let x = 1;\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["bad-allow"]);
+}
+
+// ---- Meta: the real workspace is clean ---------------------------------
+
+#[test]
+fn real_workspace_has_zero_findings() {
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = find_workspace_root(manifest).expect("workspace root above the audit crate");
+    let report = landlord_audit::audit_workspace(&root).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must stay audit-clean; run `cargo run -p landlord-audit`:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files_scanned > 50, "scan walked the whole tree");
+}

@@ -31,7 +31,12 @@ pub fn package_dedup(images: &[Spec], sizes: &dyn SizeModel) -> DedupReport {
             }
         }
     }
-    DedupReport { total_bytes, unique_bytes, total_units, unique_units: seen.len() as u64 }
+    DedupReport {
+        total_bytes,
+        unique_bytes,
+        total_units,
+        unique_units: seen.len() as u64,
+    }
 }
 
 /// The reclaimable fraction (1 − unique/total) in percent — what a

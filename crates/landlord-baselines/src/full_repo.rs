@@ -43,7 +43,12 @@ impl FullRepoStrategy {
             rebuilds: 1,
             ..FullRepoStats::default()
         };
-        FullRepoStrategy { sizes, repo_bytes, stats, container_eff: ContainerEfficiency::new() }
+        FullRepoStrategy {
+            sizes,
+            repo_bytes,
+            stats,
+            container_eff: ContainerEfficiency::new(),
+        }
     }
 
     /// Statistics so far.
@@ -71,7 +76,8 @@ impl FullRepoStrategy {
         let requested = self.sizes.spec_bytes(spec);
         self.stats.requests += 1;
         self.stats.bytes_requested += requested;
-        self.container_eff.record(requested, self.repo_bytes.max(requested));
+        self.container_eff
+            .record(requested, self.repo_bytes.max(requested));
     }
 
     /// A repository update forces a full image rebuild and re-transfer.

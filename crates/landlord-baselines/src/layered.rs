@@ -36,7 +36,10 @@ pub struct LayerChain {
 impl LayerChain {
     /// An empty chain.
     pub fn new(sizes: Arc<dyn SizeModel>) -> Self {
-        LayerChain { sizes, layers: Vec::new() }
+        LayerChain {
+            sizes,
+            layers: Vec::new(),
+        }
     }
 
     /// Number of layers.
@@ -87,7 +90,11 @@ impl LayerChain {
             return 0; // already exact; Docker would reuse the tag
         }
         let bytes = self.sizes.spec_bytes(&added);
-        self.layers.push(Layer { added, masked, bytes });
+        self.layers.push(Layer {
+            added,
+            masked,
+            bytes,
+        });
         bytes
     }
 

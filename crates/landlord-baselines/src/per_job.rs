@@ -124,6 +124,33 @@ impl PerJobCache {
         }
         false
     }
+
+    /// Assert internal bookkeeping consistency; panics on violation.
+    /// Mirrors `ImageCache::check_invariants` so baseline tests get the
+    /// same paranoid treatment.
+    pub fn check_invariants(&self) {
+        let sum: u64 = self.images.iter().map(|(_, b)| *b).sum();
+        assert_eq!(
+            self.stats.total_bytes, sum,
+            "total_bytes tracks cached images"
+        );
+        assert!(
+            self.stats.total_bytes <= self.limit_bytes || self.images.len() == 1,
+            "over the byte limit with more than one image"
+        );
+        assert_eq!(
+            self.stats.requests,
+            self.stats.hits + self.stats.inserts,
+            "every request either hits or inserts"
+        );
+        for (spec, bytes) in &self.images {
+            assert_eq!(
+                *bytes,
+                self.sizes.spec_bytes(spec),
+                "image size matches the size model"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +176,7 @@ mod tests {
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().inserts, 1);
         assert_eq!(c.len(), 1);
+        c.check_invariants();
     }
 
     #[test]
@@ -159,6 +187,7 @@ mod tests {
         assert_eq!(c.len(), 2, "close specs stay separate images");
         assert_eq!(c.unique_bytes(), 4); // {1,2,3,4}
         assert_eq!(c.stats().total_bytes, 6);
+        c.check_invariants();
     }
 
     #[test]
@@ -170,6 +199,7 @@ mod tests {
         c.request(&spec(&[7, 8, 9])); // evicts B
         assert!(c.request(&spec(&[1, 2, 3])), "A must have survived");
         assert_eq!(c.stats().deletes, 1);
+        c.check_invariants();
     }
 
     #[test]
@@ -179,6 +209,7 @@ mod tests {
         c.request(&spec(&[3, 4, 5]));
         c.request(&spec(&[1, 2]));
         assert_eq!(c.container_efficiency_pct(), 100.0);
+        c.check_invariants();
     }
 
     #[test]
@@ -187,6 +218,7 @@ mod tests {
         c.request(&spec(&[1, 2, 3, 4]));
         assert_eq!(c.len(), 1);
         assert!(c.stats().total_bytes > 2);
+        c.check_invariants();
     }
 
     #[test]
@@ -196,5 +228,6 @@ mod tests {
         c.request(&spec(&[1, 2]));
         assert_eq!(c.stats().bytes_requested, 4);
         assert_eq!(c.stats().bytes_written, 2, "hit writes nothing");
+        c.check_invariants();
     }
 }

@@ -20,7 +20,11 @@ pub enum ArgError {
     /// A required flag was absent.
     Required(String),
     /// A value failed to parse.
-    Invalid { flag: String, value: String, expected: &'static str },
+    Invalid {
+        flag: String,
+        value: String,
+        expected: &'static str,
+    },
 }
 
 impl std::fmt::Display for ArgError {
@@ -28,7 +32,11 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(k) => write!(f, "flag --{k} needs a value"),
             ArgError::Required(k) => write!(f, "missing required flag --{k}"),
-            ArgError::Invalid { flag, value, expected } => {
+            ArgError::Invalid {
+                flag,
+                value,
+                expected,
+            } => {
                 write!(f, "--{flag} {value:?}: expected {expected}")
             }
         }
@@ -44,8 +52,9 @@ impl Args {
         let mut iter = raw.into_iter().peekable();
         while let Some(tok) = iter.next() {
             if let Some(key) = tok.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError::MissingValue(key.to_string()))?;
                 out.flags.insert(key.to_string(), value);
             } else {
                 out.positional.push(tok);
@@ -71,7 +80,8 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError::Required(key.to_string()))
+        self.get(key)
+            .ok_or_else(|| ArgError::Required(key.to_string()))
     }
 
     /// Typed flag with default.

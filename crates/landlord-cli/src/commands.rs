@@ -4,10 +4,10 @@ use crate::args::Args;
 use crate::persistent::PersistentCache;
 use landlord_repo::sampler::{Sampler, SelectionScheme};
 use landlord_repo::{persist, RepoConfig, Repository};
+use landlord_shrinkwrap::filetree::FileTreeConfig;
 use landlord_sim::experiments::{self, ExperimentContext, Scale};
 use landlord_sim::report::{fmt_gb, fmt_pct, fmt_tb, Table};
 use landlord_sim::{simulator, workload};
-use landlord_shrinkwrap::filetree::FileTreeConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::error::Error;
@@ -78,25 +78,44 @@ pub fn stats(args: &Args) -> CmdResult {
     let s = landlord_repo::stats::repo_stats(&repo);
     let mut t = Table::new("Repository statistics", &["metric", "value"]);
     t.push_row(vec!["packages".into(), s.package_count.to_string()]);
-    t.push_row(vec!["products".into(), repo.catalog().product_count().to_string()]);
+    t.push_row(vec![
+        "products".into(),
+        repo.catalog().product_count().to_string(),
+    ]);
     t.push_row(vec!["edges".into(), s.edge_count.to_string()]);
     t.push_row(vec!["total GB".into(), fmt_gb(s.total_bytes as f64)]);
     t.push_row(vec!["max depth".into(), s.max_depth.to_string()]);
-    t.push_row(vec!["mean fan-out".into(), format!("{:.2}", s.mean_fan_out)]);
+    t.push_row(vec![
+        "mean fan-out".into(),
+        format!("{:.2}", s.mean_fan_out),
+    ]);
     t.push_row(vec!["max fan-in".into(), s.max_fan_in.to_string()]);
-    t.push_row(vec!["median pkg MB".into(), format!("{:.1}", s.median_package_bytes as f64 / 1e6)]);
+    t.push_row(vec![
+        "median pkg MB".into(),
+        format!("{:.1}", s.median_package_bytes as f64 / 1e6),
+    ]);
     print!("{}", t.render());
 
-    let mut h = Table::new("Fan-in distribution (log buckets)", &["fan_in >=", "packages"]);
+    let mut h = Table::new(
+        "Fan-in distribution (log buckets)",
+        &["fan_in >=", "packages"],
+    );
     for (lb, count) in landlord_repo::stats::fan_in_histogram(&repo).buckets() {
         h.push_row(vec![lb.to_string(), count.to_string()]);
     }
     print!("{}", h.render());
 
-    let mut top = Table::new("Most depended-upon packages", &["package", "layer", "fan_in"]);
+    let mut top = Table::new(
+        "Most depended-upon packages",
+        &["package", "layer", "fan_in"],
+    );
     for (p, fan_in) in landlord_repo::stats::top_fan_in(&repo, 8) {
         let meta = repo.meta(p);
-        top.push_row(vec![meta.spec_string(), meta.layer.to_string(), fan_in.to_string()]);
+        top.push_row(vec![
+            meta.spec_string(),
+            meta.layer.to_string(),
+            fan_in.to_string(),
+        ]);
     }
     print!("{}", top.render());
     Ok(())
@@ -155,7 +174,11 @@ pub fn submit(args: &Args) -> CmdResult {
 pub fn simulate(args: &Args) -> CmdResult {
     let scale = parse_scale(args)?;
     let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
-    let ctx = ExperimentContext { scale, seed, threads: 1 };
+    let ctx = ExperimentContext {
+        scale,
+        seed,
+        threads: 1,
+    };
     let repo = ctx.repo();
     let alpha = args.get_parsed("alpha", 0.75f64, "a float in [0,1]")?;
     let cache_x = args.get_parsed("cache-x", 2.0f64, "a repo-size multiple")?;
@@ -180,7 +203,10 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
     let s = result.final_stats;
     let mut t = Table::new(
-        format!("Simulation (alpha={alpha}, cache={cache_x}x repo, {} requests)", s.requests),
+        format!(
+            "Simulation (alpha={alpha}, cache={cache_x}x repo, {} requests)",
+            s.requests
+        ),
         &["metric", "value"],
     );
     t.push_row(vec!["hits".into(), s.hits.to_string()]);
@@ -190,9 +216,15 @@ pub fn simulate(args: &Args) -> CmdResult {
     t.push_row(vec!["cached GB".into(), fmt_gb(s.total_bytes as f64)]);
     t.push_row(vec!["unique GB".into(), fmt_gb(s.unique_bytes as f64)]);
     t.push_row(vec!["written TB".into(), fmt_tb(s.bytes_written as f64)]);
-    t.push_row(vec!["requested TB".into(), fmt_tb(s.bytes_requested as f64)]);
+    t.push_row(vec![
+        "requested TB".into(),
+        fmt_tb(s.bytes_requested as f64),
+    ]);
     t.push_row(vec!["cache eff %".into(), fmt_pct(result.cache_eff_pct)]);
-    t.push_row(vec!["container eff %".into(), fmt_pct(result.container_eff_pct)]);
+    t.push_row(vec![
+        "container eff %".into(),
+        fmt_pct(result.container_eff_pct),
+    ]);
     print!("{}", t.render());
     Ok(())
 }
@@ -207,7 +239,11 @@ pub fn experiment(args: &Args) -> CmdResult {
     let scale = parse_scale(args)?;
     let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
     let threads = args.get_parsed("threads", 4usize, "a thread count")?;
-    let ctx = ExperimentContext { scale, seed, threads };
+    let ctx = ExperimentContext {
+        scale,
+        seed,
+        threads,
+    };
 
     let ids: Vec<&str> = if id == "all" {
         experiments::all_ids().to_vec()
@@ -220,7 +256,11 @@ pub fn experiment(args: &Args) -> CmdResult {
         for (k, table) in tables.iter().enumerate() {
             print!("{}", table.render());
             println!();
-            let suffix = if tables.len() > 1 { format!("-{k}") } else { String::new() };
+            let suffix = if tables.len() > 1 {
+                format!("-{k}")
+            } else {
+                String::new()
+            };
             if let Some(dir) = args.get("csv-dir") {
                 std::fs::create_dir_all(dir)?;
                 let path = Path::new(dir).join(format!("{id}{suffix}.csv"));
@@ -241,7 +281,11 @@ pub fn trace(args: &Args) -> CmdResult {
     let out = args.require("out")?;
     let scale = parse_scale(args)?;
     let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
-    let ctx = ExperimentContext { scale, seed, threads: 1 };
+    let ctx = ExperimentContext {
+        scale,
+        seed,
+        threads: 1,
+    };
     let repo = ctx.repo();
     let w = ctx.standard_workload();
     let stream = workload::generate_stream(&repo, &w);
@@ -273,15 +317,24 @@ pub fn spec_from(args: &Args) -> CmdResult {
         any_source = true;
     }
     if let Some(path) = args.get("joblog") {
-        reqs.extend(joblog::scan(&std::fs::read_to_string(path)?, &joblog::LogFormat::default()));
+        reqs.extend(joblog::scan(
+            &std::fs::read_to_string(path)?,
+            &joblog::LogFormat::default(),
+        ));
         any_source = true;
     }
     if !any_source {
         return Err("spec-from needs at least one of --python/--modules/--joblog".into());
     }
     let reqs = dedup_requirements(reqs);
-    println!("extracted {} requirement(s): {}", reqs.len(),
-        reqs.iter().map(|r| r.to_string()).collect::<Vec<_>>().join(", "));
+    println!(
+        "extracted {} requirement(s): {}",
+        reqs.len(),
+        reqs.iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
 
     let resolver = Resolver::new(&repo);
     let (spec, unresolved) = resolver.resolve_to_closure(&reqs);
@@ -389,8 +442,7 @@ pub fn gc(args: &Args) -> CmdResult {
             Repository::generate(&RepoConfig::small_for_tests(seed))
         }
     };
-    let cache =
-        PersistentCache::open(&cache_dir, 0.8, u64::MAX, FileTreeConfig::miniature())?;
+    let cache = PersistentCache::open(&cache_dir, 0.8, u64::MAX, FileTreeConfig::miniature())?;
     let orphans = cache.orphaned_objects(&repo);
     println!(
         "store: {} objects, {} KB; {} orphaned object(s)",
@@ -461,12 +513,21 @@ mod tests {
 
     #[test]
     fn simulate_smoke_runs() {
-        simulate(&args(&["--scale", "smoke", "--jobs", "10", "--repeats", "2"])).unwrap();
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "10",
+            "--repeats",
+            "2",
+        ]))
+        .unwrap();
     }
 
     #[test]
     fn gen_repo_and_stats_round_trip() {
-        let path = std::env::temp_dir().join(format!("landlord-cli-repo-{}.json", std::process::id()));
+        let path =
+            std::env::temp_dir().join(format!("landlord-cli-repo-{}.json", std::process::id()));
         gen_repo(&args(&[
             "--out",
             path.to_str().unwrap(),
@@ -501,7 +562,9 @@ mod tests {
 
         // Load a real package by name from the generated universe.
         let repo = persist::load_json(&repo_path).unwrap();
-        let pkg = repo.meta(landlord_core::spec::PackageId(repo.package_count() as u32 - 1));
+        let pkg = repo.meta(landlord_core::spec::PackageId(
+            repo.package_count() as u32 - 1,
+        ));
         let modules_path = dir.join("job.sh");
         std::fs::write(
             &modules_path,
@@ -532,8 +595,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let repo_path = dir.join("repo.json");
         gen_repo(&args(&[
-            "--out", repo_path.to_str().unwrap(), "--packages", "300",
-            "--total-gb", "1", "--seed", "3",
+            "--out",
+            repo_path.to_str().unwrap(),
+            "--packages",
+            "300",
+            "--total-gb",
+            "1",
+            "--seed",
+            "3",
         ]))
         .unwrap();
         let err = spec_from(&args(&["--repo", repo_path.to_str().unwrap()])).unwrap_err();
@@ -545,8 +614,20 @@ mod tests {
     fn submit_smoke() {
         let dir = std::env::temp_dir().join(format!("landlord-cli-cache-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
-        submit(&args(&["--cache-dir", dir.to_str().unwrap(), "--seed", "5"])).unwrap();
-        submit(&args(&["--cache-dir", dir.to_str().unwrap(), "--seed", "5"])).unwrap();
+        submit(&args(&[
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        submit(&args(&[
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
         // A freshly submitted cache passes verification…
         verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
         // …and corrupting an image file fails it.
@@ -575,8 +656,15 @@ mod trace_replay_tests {
         let dir = std::env::temp_dir().join(format!("landlord-trace-cli-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("stream.json");
-        trace(&args(&["--out", path.to_str().unwrap(), "--scale", "smoke", "--seed", "3"]))
-            .unwrap();
+        trace(&args(&[
+            "--out",
+            path.to_str().unwrap(),
+            "--scale",
+            "smoke",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
         simulate(&args(&[
             "--scale",
             "smoke",

@@ -207,7 +207,9 @@ impl PersistentCache {
             self.state.images[idx] = rebuilt;
             self.evict_to_limit(old.id)?;
             self.save_state()?;
-            return Ok(Decision::Merged { image: self.image_path(old.id) });
+            return Ok(Decision::Merged {
+                image: self.image_path(old.id),
+            });
         }
 
         // 3. Fresh insert.
@@ -218,7 +220,9 @@ impl PersistentCache {
         self.state.images.push(img);
         self.evict_to_limit(id)?;
         self.save_state()?;
-        Ok(Decision::Inserted { image: self.image_path(id) })
+        Ok(Decision::Inserted {
+            image: self.image_path(id),
+        })
     }
 
     fn evict_to_limit(&mut self, protect: u64) -> io::Result<()> {
@@ -307,7 +311,10 @@ mod tests {
             PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
         assert_eq!(cache.images().len(), 1);
         let d = cache.submit(&r, &spec).unwrap();
-        assert!(matches!(d, Decision::Hit { .. }), "persisted image must hit");
+        assert!(
+            matches!(d, Decision::Hit { .. }),
+            "persisted image must hit"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -319,8 +326,7 @@ mod tests {
         let first = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
         let first_bytes: u64 = first.iter().map(|p| r.meta(p).bytes).sum();
         let mut cache =
-            PersistentCache::open(&dir, 0.0, first_bytes + 1, FileTreeConfig::miniature())
-                .unwrap();
+            PersistentCache::open(&dir, 0.0, first_bytes + 1, FileTreeConfig::miniature()).unwrap();
         let d1 = cache.submit(&r, &first).unwrap();
         // A disjoint-ish second spec (alpha 0 forbids merging anyway).
         let second = r.closure_spec(&[PackageId(r.package_count() as u32 - 7)]);
@@ -341,7 +347,10 @@ mod tests {
 impl PersistentCache {
     /// Hashes of every object referenced by the live images, recomputed
     /// deterministically from their specs and the tree config.
-    fn live_hashes(&self, repo: &Repository) -> std::collections::HashSet<landlord_store::ContentHash> {
+    fn live_hashes(
+        &self,
+        repo: &Repository,
+    ) -> std::collections::HashSet<landlord_store::ContentHash> {
         use landlord_shrinkwrap::filetree;
         let mut live = std::collections::HashSet::new();
         for img in &self.state.images {
@@ -360,7 +369,11 @@ impl PersistentCache {
     pub fn orphaned_objects(&self, repo: &Repository) -> Vec<landlord_store::ContentHash> {
         use landlord_store::ObjectStore;
         let live = self.live_hashes(repo);
-        self.store.hashes().into_iter().filter(|h| !live.contains(h)).collect()
+        self.store
+            .hashes()
+            .into_iter()
+            .filter(|h| !live.contains(h))
+            .collect()
     }
 
     /// Delete every orphaned object; returns `(objects, bytes)` freed.
@@ -405,7 +418,10 @@ mod gc_tests {
         .unwrap();
 
         cache.submit(&repo, &first).unwrap();
-        assert!(cache.orphaned_objects(&repo).is_empty(), "everything live initially");
+        assert!(
+            cache.orphaned_objects(&repo).is_empty(),
+            "everything live initially"
+        );
 
         let second = repo.closure_spec(&[PackageId(n - 7)]);
         cache.submit(&repo, &second).unwrap();
@@ -419,7 +435,10 @@ mod gc_tests {
         assert_eq!(count, orphans.len());
         assert!(freed > 0);
         assert_eq!(cache.store().stored_bytes(), before - freed);
-        assert!(cache.orphaned_objects(&repo).is_empty(), "prune is complete");
+        assert!(
+            cache.orphaned_objects(&repo).is_empty(),
+            "prune is complete"
+        );
 
         // The live image still verifies: pruning touched only garbage.
         let live_img = cache.images()[0].clone();

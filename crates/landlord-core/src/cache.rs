@@ -265,9 +265,9 @@ impl ImageCache {
             }
             cache.stats.total_bytes += img.bytes;
             cache.stats.image_count += 1;
-            if let Some(mh) = &cache.minhash {
+            if let (Some(mh), Some(lsh)) = (&cache.minhash, &mut cache.lsh) {
                 let sig = mh.signature(&img.spec);
-                cache.lsh.as_mut().expect("lsh with minhash").insert(img.id.0, &sig);
+                lsh.insert(img.id.0, &sig);
                 cache.signatures.insert(img.id.0, sig);
             }
             cache.images.insert(img.id.0, img);
@@ -361,7 +361,17 @@ impl ImageCache {
 
     /// Process one job request (Algorithm 1). Exactly one of
     /// hit/merge/insert happens, possibly followed by evictions.
+    ///
+    /// With the `paranoid` cargo feature enabled (debug builds only),
+    /// every request re-verifies [`Self::check_invariants`] on exit.
     pub fn request(&mut self, spec: &Spec) -> Outcome {
+        let outcome = self.request_inner(spec);
+        #[cfg(all(feature = "paranoid", debug_assertions))]
+        self.check_invariants();
+        outcome
+    }
+
+    fn request_inner(&mut self, spec: &Spec) -> Outcome {
         if let Some(id) = self.pending_split.take() {
             self.split_image(id);
         }
@@ -373,22 +383,31 @@ impl ImageCache {
 
         // 1. An existing image satisfies s.
         if let Some(id) = self.find_satisfying(spec).map(|img| img.id) {
-            let img = self.images.get_mut(&id.0).expect("image just found");
-            img.last_used = now;
-            img.use_count += 1;
-            let image_bytes = img.bytes;
-            self.stats.hits += 1;
-            self.container_eff.record(requested_bytes, image_bytes);
-            self.emit(CacheEvent::Hit { image: id, requested_bytes, image_bytes });
-            return Outcome::Hit { image: id, image_bytes };
+            if let Some(img) = self.images.get_mut(&id.0) {
+                img.last_used = now;
+                img.use_count += 1;
+                let image_bytes = img.bytes;
+                self.stats.hits += 1;
+                self.container_eff.record(requested_bytes, image_bytes);
+                self.emit(CacheEvent::Hit {
+                    image: id,
+                    requested_bytes,
+                    image_bytes,
+                });
+                return Outcome::Hit {
+                    image: id,
+                    image_bytes,
+                };
+            }
         }
 
         // 2. Attempt to merge into a close-enough, non-conflicting image.
         if self.config.alpha > 0.0 {
             if let Some((id, distance)) = self.pick_merge_candidate(spec) {
-                let outcome = self.merge_into(id, spec, distance, requested_bytes, now);
-                self.evict_to_limit(id);
-                return outcome;
+                if let Some(outcome) = self.merge_into(id, spec, distance, requested_bytes, now) {
+                    self.evict_to_limit(id);
+                    return outcome;
+                }
             }
         }
 
@@ -404,15 +423,21 @@ impl ImageCache {
         self.stats.inserts += 1;
         self.stats.image_count += 1;
         self.container_eff.record(requested_bytes, requested_bytes);
-        if let Some(mh) = &self.minhash {
+        if let (Some(mh), Some(lsh)) = (&self.minhash, &mut self.lsh) {
             let sig = mh.signature(spec);
-            self.lsh.as_mut().expect("lsh with minhash").insert(id.0, &sig);
+            lsh.insert(id.0, &sig);
             self.signatures.insert(id.0, sig);
         }
         self.images.insert(id.0, image);
-        self.emit(CacheEvent::Insert { image: id, bytes: requested_bytes });
+        self.emit(CacheEvent::Insert {
+            image: id,
+            bytes: requested_bytes,
+        });
         self.evict_to_limit(id);
-        Outcome::Inserted { image: id, image_bytes: requested_bytes }
+        Outcome::Inserted {
+            image: id,
+            image_bytes: requested_bytes,
+        }
     }
 
     /// Enumerate merge candidates, compute exact distances, filter by α,
@@ -433,9 +458,7 @@ impl ImageCache {
                     }
                     jaccard_distance(spec, &img.spec)
                 }
-                DistanceMetric::Bytes => {
-                    weighted_jaccard_distance(spec, &img.spec, sizes.as_ref())
-                }
+                DistanceMetric::Bytes => weighted_jaccard_distance(spec, &img.spec, sizes.as_ref()),
             };
             if d < alpha {
                 scored.push((img.id, d));
@@ -463,9 +486,9 @@ impl ImageCache {
                 scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
             }
             MergeOrder::ArrivalOrder => scored.sort_by_key(|&(id, _)| id),
-            MergeOrder::LargestFirst => scored.sort_by_key(|&(id, _)| {
-                (std::cmp::Reverse(self.images[&id.0].bytes), id)
-            }),
+            MergeOrder::LargestFirst => {
+                scored.sort_by_key(|&(id, _)| (std::cmp::Reverse(self.images[&id.0].bytes), id))
+            }
             MergeOrder::SmallestFirst => {
                 scored.sort_by_key(|&(id, _)| (self.images[&id.0].bytes, id))
             }
@@ -476,7 +499,8 @@ impl ImageCache {
             .find(|&(id, _)| !self.conflicts.conflicts(spec, &self.images[&id.0].spec))
     }
 
-    /// Replace image `id` with `merge(s, j)` in place.
+    /// Replace image `id` with `merge(s, j)` in place. Returns `None`
+    /// when `id` is not cached (the caller then falls back to insert).
     fn merge_into(
         &mut self,
         id: ImageId,
@@ -484,31 +508,29 @@ impl ImageCache {
         distance: f64,
         requested_bytes: u64,
         now: u64,
-    ) -> Outcome {
-        // Account the packages newly introduced by the request.
-        let added = {
-            let img = &self.images[&id.0];
-            spec.difference(&img.spec)
-        };
-        for p in added.iter() {
-            self.add_package_ref(p);
-        }
-
+    ) -> Option<Outcome> {
         let split_threshold = self.config.split_threshold;
-        let img = self.images.get_mut(&id.0).expect("merge target exists");
+        let sizes = Arc::clone(&self.sizes);
+        let img = self.images.get_mut(&id.0)?;
+
+        // Account the packages newly introduced by the request.
+        let added = spec.difference(&img.spec);
         let old_bytes = img.bytes;
         let new_spec = img.spec.union(spec);
-        let new_bytes = self.sizes.spec_bytes(&new_spec);
+        let new_bytes = sizes.spec_bytes(&new_spec);
         img.spec = new_spec;
         img.bytes = new_bytes;
         img.last_used = now;
         img.use_count += 1;
         img.merge_count += 1;
         img.push_constituent(spec);
-        if let Some(threshold) = split_threshold {
-            if img.merge_count >= threshold && img.constituents.len() > 1 {
-                self.pending_split = Some(id);
-            }
+        let wants_split = split_threshold
+            .is_some_and(|threshold| img.merge_count >= threshold && img.constituents.len() > 1);
+        if wants_split {
+            self.pending_split = Some(id);
+        }
+        for p in added.iter() {
+            self.add_package_ref(p);
         }
 
         self.stats.total_bytes += new_bytes - old_bytes;
@@ -535,7 +557,11 @@ impl ImageCache {
             old_bytes,
             new_bytes,
         });
-        Outcome::Merged { image: id, distance, image_bytes: new_bytes }
+        Some(Outcome::Merged {
+            image: id,
+            distance,
+            image_bytes: new_bytes,
+        })
     }
 
     /// Evict until within the byte limit. The image serving the current
@@ -553,17 +579,19 @@ impl ImageCache {
         let candidates = self.images.values().filter(|img| img.id != protect);
         match self.config.eviction {
             EvictionPolicy::Lru => candidates.min_by_key(|i| (i.last_used, i.id)).map(|i| i.id),
-            EvictionPolicy::Lfu => {
-                candidates.min_by_key(|i| (i.use_count, i.last_used, i.id)).map(|i| i.id)
-            }
-            EvictionPolicy::LargestFirst => {
-                candidates.max_by_key(|i| (i.bytes, std::cmp::Reverse(i.id))).map(|i| i.id)
-            }
+            EvictionPolicy::Lfu => candidates
+                .min_by_key(|i| (i.use_count, i.last_used, i.id))
+                .map(|i| i.id),
+            EvictionPolicy::LargestFirst => candidates
+                .max_by_key(|i| (i.bytes, std::cmp::Reverse(i.id)))
+                .map(|i| i.id),
             EvictionPolicy::CostDensity => candidates
                 .min_by(|a, b| {
                     let da = a.use_count as f64 / a.bytes.max(1) as f64;
                     let db = b.use_count as f64 / b.bytes.max(1) as f64;
-                    da.total_cmp(&db).then(a.last_used.cmp(&b.last_used)).then(a.id.cmp(&b.id))
+                    da.total_cmp(&db)
+                        .then(a.last_used.cmp(&b.last_used))
+                        .then(a.id.cmp(&b.id))
                 })
                 .map(|i| i.id),
         }
@@ -592,7 +620,10 @@ impl ImageCache {
     fn evict(&mut self, id: ImageId) {
         let Some(img) = self.detach(id) else { return };
         self.stats.deletes += 1;
-        self.emit(CacheEvent::Evict { image: id, bytes: img.bytes });
+        self.emit(CacheEvent::Evict {
+            image: id,
+            bytes: img.bytes,
+        });
     }
 
     /// Split a bloated image back into its constituent request specs.
@@ -602,11 +633,13 @@ impl ImageCache {
     /// image ids; empty when the image is unknown or has a single
     /// constituent (nothing to split).
     pub fn split_image(&mut self, id: ImageId) -> Vec<ImageId> {
-        let Some(img) = self.images.get(&id.0) else { return Vec::new() };
-        if img.constituents.len() <= 1 {
-            return Vec::new();
+        match self.images.get(&id.0) {
+            Some(img) if img.constituents.len() > 1 => {}
+            _ => return Vec::new(),
         }
-        let img = self.detach(id).expect("image just found");
+        let Some(img) = self.detach(id) else {
+            return Vec::new();
+        };
         self.clock += 1;
         let now = self.clock;
         let mut pieces = Vec::with_capacity(img.constituents.len());
@@ -620,16 +653,22 @@ impl ImageCache {
             self.stats.total_bytes += bytes;
             self.stats.bytes_written += bytes;
             self.stats.image_count += 1;
-            if let Some(mh) = &self.minhash {
+            if let (Some(mh), Some(lsh)) = (&self.minhash, &mut self.lsh) {
                 let sig = mh.signature(constituent);
-                self.lsh.as_mut().expect("lsh with minhash").insert(piece_id.0, &sig);
+                lsh.insert(piece_id.0, &sig);
                 self.signatures.insert(piece_id.0, sig);
             }
-            self.images.insert(piece_id.0, Image::new(piece_id, constituent.clone(), bytes, now));
+            self.images.insert(
+                piece_id.0,
+                Image::new(piece_id, constituent.clone(), bytes, now),
+            );
             pieces.push(piece_id);
         }
         self.stats.splits += 1;
-        self.emit(CacheEvent::Split { image: id, pieces: pieces.len() as u32 });
+        self.emit(CacheEvent::Split {
+            image: id,
+            pieces: u32::try_from(pieces.len()).unwrap_or(u32::MAX),
+        });
         // Splitting duplicates shared packages across pieces, so the
         // total can exceed the limit even though the union fit.
         if let Some(&keep) = pieces.first() {
@@ -706,7 +745,11 @@ impl ImageCache {
             }
         }
         assert_eq!(self.stats.total_bytes, total, "total_bytes out of sync");
-        assert_eq!(self.stats.image_count as usize, self.images.len(), "image_count");
+        assert_eq!(
+            self.stats.image_count,
+            self.images.len() as u64,
+            "image_count"
+        );
         assert_eq!(self.refcounts, refcounts, "package refcounts out of sync");
         let unique: u64 = refcounts.keys().map(|&p| self.sizes.package_size(p)).sum();
         assert_eq!(self.stats.unique_bytes, unique, "unique_bytes out of sync");
@@ -725,6 +768,75 @@ impl ImageCache {
                 "multi-image cache over limit: {} > {}",
                 self.stats.total_bytes,
                 self.config.limit_bytes
+            );
+        }
+
+        // Recency-order consistency: the logical clock bounds every
+        // image's last touch, ids stay below the allocator watermark,
+        // and nothing is cached that was never used. Together these
+        // guarantee the LRU victim scan's (last_used, id) order is a
+        // faithful recency order.
+        for img in self.images.values() {
+            assert!(
+                img.last_used <= self.clock,
+                "image {} touched at {} but clock is {}",
+                img.id,
+                img.last_used,
+                self.clock
+            );
+            assert!(
+                img.id.0 < self.next_id,
+                "image {} at or above next_id",
+                img.id
+            );
+            assert!(img.use_count >= 1, "image {} cached but never used", img.id);
+        }
+
+        // Candidate-index agreement: the LSH index and signature map
+        // mirror the image set exactly, every stored signature equals a
+        // fresh MinHash of the image's current spec (merges maintain
+        // this because signature union is exact for MinHash), and every
+        // image is among its own candidates.
+        if let (Some(mh), Some(lsh)) = (&self.minhash, &self.lsh) {
+            assert_eq!(lsh.len(), self.images.len(), "lsh key count out of sync");
+            assert_eq!(
+                self.signatures.len(),
+                self.images.len(),
+                "signature count out of sync"
+            );
+            for img in self.images.values() {
+                assert!(lsh.contains(img.id.0), "image {} missing from lsh", img.id);
+                let stored = self.signatures.get(&img.id.0);
+                let fresh = mh.signature(&img.spec);
+                assert_eq!(
+                    stored,
+                    Some(&fresh),
+                    "stale or missing signature for image {}",
+                    img.id
+                );
+                assert!(
+                    lsh.candidates(&fresh).contains(&img.id.0),
+                    "image {} is not its own lsh candidate",
+                    img.id
+                );
+            }
+        }
+
+        // Superset-lookup agreement: every image's own spec must hit,
+        // and the answer must match a brute-force subset scan (guards
+        // any future indexed find_satisfying implementation).
+        for img in self.images.values() {
+            let hit = self.find_satisfying(&img.spec).map(|h| h.id);
+            let brute = self
+                .images
+                .values()
+                .filter(|c| img.spec.len() <= c.spec.len() && img.spec.is_subset(&c.spec))
+                .min_by_key(|c| (c.bytes, c.id))
+                .map(|c| c.id);
+            assert!(brute.is_some(), "image {} does not satisfy itself", img.id);
+            assert_eq!(
+                hit, brute,
+                "find_satisfying disagrees with brute-force scan"
             );
         }
     }
@@ -752,7 +864,11 @@ mod tests {
     }
 
     fn cache(alpha: f64, limit: u64) -> ImageCache {
-        let cfg = CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        };
         ImageCache::new(cfg, Arc::new(UniformSizes::new(1)))
     }
 
@@ -798,6 +914,7 @@ mod tests {
         let out = c.request(&spec(&[1, 2]));
         // Both images satisfy {1,2}; the 3-package one is smaller.
         assert_eq!(out.image_bytes(), 3);
+        c.check_invariants();
     }
 
     #[test]
@@ -806,7 +923,11 @@ mod tests {
         let a = c.request(&spec(&[1, 2, 3]));
         let out = c.request(&spec(&[1, 2, 4])); // d = 2/4 = 0.5 < 0.8
         match out {
-            Outcome::Merged { image, distance, image_bytes } => {
+            Outcome::Merged {
+                image,
+                distance,
+                image_bytes,
+            } => {
                 assert_eq!(image, a.image(), "merge keeps the candidate's id");
                 assert!((distance - 0.5).abs() < 1e-12);
                 assert_eq!(image_bytes, 4); // {1,2,3,4}
@@ -827,6 +948,7 @@ mod tests {
         assert!(matches!(c.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
         assert!(matches!(c.request(&spec(&[1, 2, 4])), Outcome::Hit { .. }));
         assert!(matches!(c.request(&spec(&[3, 4])), Outcome::Hit { .. }));
+        c.check_invariants();
     }
 
     #[test]
@@ -848,6 +970,7 @@ mod tests {
         let out = c.request(&spec(&[4, 5, 6]));
         assert!(matches!(out, Outcome::Inserted { .. }));
         assert_eq!(c.len(), 2);
+        c.check_invariants();
     }
 
     #[test]
@@ -860,6 +983,7 @@ mod tests {
         // Fully disjoint still inserts (d = 1.0 is not < 1.0).
         let out = c.request(&spec(&[500]));
         assert!(matches!(out, Outcome::Inserted { .. }));
+        c.check_invariants();
     }
 
     #[test]
@@ -880,6 +1004,7 @@ mod tests {
         let a = c.images().find(|i| i.spec.contains(PackageId(1))).unwrap();
         assert!(a.spec.contains(PackageId(100)));
         assert!(!a.spec.contains(PackageId(101)));
+        c.check_invariants();
     }
 
     #[test]
@@ -904,6 +1029,7 @@ mod tests {
         c.request(&spec(&[1, 2, 3])); // hit A → A newer than B
         c.request(&spec(&[7, 8, 9])); // evicts B, not A
         assert!(matches!(c.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
+        c.check_invariants();
     }
 
     #[test]
@@ -935,7 +1061,11 @@ mod tests {
         // This tiny request is served by the big merged image.
         c.request(&spec(&[1, 11]));
         let eff = c.container_efficiency_pct();
-        assert!(eff < 100.0, "merging must cost container efficiency, got {eff}");
+        assert!(
+            eff < 100.0,
+            "merging must cost container efficiency, got {eff}"
+        );
+        c.check_invariants();
     }
 
     #[test]
@@ -947,6 +1077,7 @@ mod tests {
             for r in &reqs {
                 c.request(r);
             }
+            c.check_invariants();
             totals.push(c.stats().bytes_requested);
         }
         assert!(totals.windows(2).all(|w| w[0] == w[1]), "{totals:?}");
@@ -956,7 +1087,11 @@ mod tests {
     fn conflicting_merge_is_skipped() {
         // Packages 0 and 1 are two versions of the same name.
         let names = vec![7, 7, 8, 9, 10];
-        let cfg = CacheConfig { alpha: 1.0, limit_bytes: 1000, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha: 1.0,
+            limit_bytes: 1000,
+            ..CacheConfig::default()
+        };
         let mut c = ImageCache::with_conflicts(
             cfg,
             Arc::new(UniformSizes::new(1)),
@@ -965,7 +1100,10 @@ mod tests {
         c.request(&spec(&[0, 2]));
         // Overlaps via pkg 2, but pkg 1 conflicts with cached pkg 0.
         let out = c.request(&spec(&[1, 2]));
-        assert!(matches!(out, Outcome::Inserted { .. }), "conflict must block merge");
+        assert!(
+            matches!(out, Outcome::Inserted { .. }),
+            "conflict must block merge"
+        );
         assert_eq!(c.len(), 2);
         c.check_invariants();
     }
@@ -973,7 +1111,11 @@ mod tests {
     #[test]
     fn sized_packages_account_correctly() {
         let sizes = TableSizes::new(vec![10, 20, 30, 40]);
-        let cfg = CacheConfig { alpha: 0.9, limit_bytes: 1000, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha: 0.9,
+            limit_bytes: 1000,
+            ..CacheConfig::default()
+        };
         let mut c = ImageCache::new(cfg, Arc::new(sizes));
         c.request(&spec(&[0, 1])); // 30 bytes
         c.request(&spec(&[0, 2])); // d = 2/3 < 0.9 → merge {0,1,2} = 60 bytes
@@ -998,7 +1140,10 @@ mod tests {
         let mut close = base.clone();
         close[0] = 1000; // 99/101 similar
         let out = c.request(&spec(&close));
-        assert!(matches!(out, Outcome::Merged { .. }), "LSH must find near-duplicates");
+        assert!(
+            matches!(out, Outcome::Merged { .. }),
+            "LSH must find near-duplicates"
+        );
         c.check_invariants();
     }
 
@@ -1015,6 +1160,7 @@ mod tests {
         // Exact distance 0.6 ≥ 0.3 → must insert even if LSH proposes it.
         let out = c.request(&spec(&[1, 2, 9, 10]));
         assert!(matches!(out, Outcome::Inserted { .. }));
+        c.check_invariants();
     }
 
     #[test]
@@ -1054,12 +1200,14 @@ mod tests {
         assert!(c.split_image(id).is_empty());
         assert!(c.get(id).is_some());
         assert_eq!(c.stats().splits, 0);
+        c.check_invariants();
     }
 
     #[test]
     fn split_of_unknown_image_is_noop() {
         let mut c = cache(0.0, 1000);
         assert!(c.split_image(ImageId(99)).is_empty());
+        c.check_invariants();
     }
 
     #[test]
@@ -1116,6 +1264,7 @@ mod tests {
         c.request(&spec(&[1, 2, 3])); // insert
         c.request(&spec(&[1, 2, 3])); // hit
         c.request(&spec(&[10, 11, 12])); // insert + evict (over 3-byte limit)
+        c.check_invariants();
         let sink = c.take_sink().unwrap();
         // Downcast via the concrete type we installed.
         let events = {
@@ -1130,7 +1279,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "alpha must be in [0,1]")]
     fn invalid_alpha_rejected() {
-        let cfg = CacheConfig { alpha: 1.5, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha: 1.5,
+            ..CacheConfig::default()
+        };
         let _ = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
     }
 
@@ -1184,22 +1336,24 @@ mod proptests {
                 Just(CandidateStrategy::MinHashLsh { bands: 8, rows: 4 }),
             ],
         )
-            .prop_map(|(alpha, limit, eviction, merge_order, candidates)| CacheConfig {
-                alpha,
-                limit_bytes: limit,
-                eviction,
-                merge_order,
-                candidates,
-                minhash_seed: 42,
-                // Exercise the byte-weighted metric in half the cases
-                // and auto-splitting in a third.
-                metric: if limit % 2 == 0 {
-                    DistanceMetric::Bytes
-                } else {
-                    DistanceMetric::PackageCount
+            .prop_map(
+                |(alpha, limit, eviction, merge_order, candidates)| CacheConfig {
+                    alpha,
+                    limit_bytes: limit,
+                    eviction,
+                    merge_order,
+                    candidates,
+                    minhash_seed: 42,
+                    // Exercise the byte-weighted metric in half the cases
+                    // and auto-splitting in a third.
+                    metric: if limit % 2 == 0 {
+                        DistanceMetric::Bytes
+                    } else {
+                        DistanceMetric::PackageCount
+                    },
+                    split_threshold: if limit % 3 == 0 { Some(3) } else { None },
                 },
-                split_threshold: if limit % 3 == 0 { Some(3) } else { None },
-            })
+            )
     }
 
     proptest! {
@@ -1263,6 +1417,7 @@ mod proptests {
                 }
                 last_written = written;
             }
+            cache.check_invariants();
         }
     }
 }

@@ -58,7 +58,9 @@ pub struct SingleVersionPerName {
 impl SingleVersionPerName {
     /// Build from a package-id → name-id table.
     pub fn new(name_of: Vec<u32>) -> Self {
-        SingleVersionPerName { name_of: name_of.into_boxed_slice() }
+        SingleVersionPerName {
+            name_of: name_of.into_boxed_slice(),
+        }
     }
 
     fn name_id(&self, p: PackageId) -> Option<u32> {
@@ -167,10 +169,19 @@ mod tests {
     fn single_version_detects_version_clash() {
         // Packages 0,1 are versions of name 100; 2 is name 101.
         let p = SingleVersionPerName::new(vec![100, 100, 101]);
-        assert!(p.conflicts(&spec(&[0]), &spec(&[1])), "two versions of one name");
+        assert!(
+            p.conflicts(&spec(&[0]), &spec(&[1])),
+            "two versions of one name"
+        );
         assert!(!p.conflicts(&spec(&[0]), &spec(&[2])), "different names");
-        assert!(!p.conflicts(&spec(&[0]), &spec(&[0])), "same package is fine");
-        assert!(!p.conflicts(&spec(&[0, 2]), &spec(&[0])), "shared exact version");
+        assert!(
+            !p.conflicts(&spec(&[0]), &spec(&[0])),
+            "same package is fine"
+        );
+        assert!(
+            !p.conflicts(&spec(&[0, 2]), &spec(&[0])),
+            "shared exact version"
+        );
     }
 
     #[test]

@@ -72,11 +72,20 @@ impl CacheEvent {
 impl fmt::Display for CacheEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CacheEvent::Hit { image, requested_bytes, image_bytes } => write!(
+            CacheEvent::Hit {
+                image,
+                requested_bytes,
+                image_bytes,
+            } => write!(
                 f,
                 "hit    {image} requested={requested_bytes} used={image_bytes}"
             ),
-            CacheEvent::Merge { image, distance_milli, old_bytes, new_bytes } => write!(
+            CacheEvent::Merge {
+                image,
+                distance_milli,
+                old_bytes,
+                new_bytes,
+            } => write!(
                 f,
                 "merge  {image} d={:.3} {old_bytes}B -> {new_bytes}B",
                 *distance_milli as f64 / 1000.0
@@ -134,15 +143,46 @@ mod tests {
     #[test]
     fn kinds_are_stable() {
         assert_eq!(
-            CacheEvent::Hit { image: ImageId(1), requested_bytes: 1, image_bytes: 2 }.kind(),
+            CacheEvent::Hit {
+                image: ImageId(1),
+                requested_bytes: 1,
+                image_bytes: 2
+            }
+            .kind(),
             "hit"
         );
-        assert_eq!(CacheEvent::Insert { image: ImageId(1), bytes: 1 }.kind(), "insert");
-        assert_eq!(CacheEvent::Evict { image: ImageId(1), bytes: 1 }.kind(), "evict");
-        assert_eq!(CacheEvent::Split { image: ImageId(1), pieces: 2 }.kind(), "split");
         assert_eq!(
-            CacheEvent::Merge { image: ImageId(1), distance_milli: 500, old_bytes: 1, new_bytes: 2 }
-                .kind(),
+            CacheEvent::Insert {
+                image: ImageId(1),
+                bytes: 1
+            }
+            .kind(),
+            "insert"
+        );
+        assert_eq!(
+            CacheEvent::Evict {
+                image: ImageId(1),
+                bytes: 1
+            }
+            .kind(),
+            "evict"
+        );
+        assert_eq!(
+            CacheEvent::Split {
+                image: ImageId(1),
+                pieces: 2
+            }
+            .kind(),
+            "split"
+        );
+        assert_eq!(
+            CacheEvent::Merge {
+                image: ImageId(1),
+                distance_milli: 500,
+                old_bytes: 1,
+                new_bytes: 2
+            }
+            .kind(),
             "merge"
         );
     }
@@ -150,8 +190,14 @@ mod tests {
     #[test]
     fn vec_sink_records_in_order() {
         let mut sink = VecSink::new();
-        sink.on_event(&CacheEvent::Insert { image: ImageId(1), bytes: 10 });
-        sink.on_event(&CacheEvent::Evict { image: ImageId(1), bytes: 10 });
+        sink.on_event(&CacheEvent::Insert {
+            image: ImageId(1),
+            bytes: 10,
+        });
+        sink.on_event(&CacheEvent::Evict {
+            image: ImageId(1),
+            bytes: 10,
+        });
         assert_eq!(sink.events.len(), 2);
         assert_eq!(sink.count_kind("insert"), 1);
         assert_eq!(sink.count_kind("evict"), 1);

@@ -14,9 +14,7 @@ use std::fmt;
 /// Ids are never reused, even across merges: a merge *replaces* the
 /// candidate image's spec in place but keeps its id, matching the
 /// paper's Algorithm 1 ("Replace j in the cache with merge(s, j)").
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct ImageId(pub u64);
 

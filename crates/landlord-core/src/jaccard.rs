@@ -40,12 +40,12 @@ pub fn jaccard_similarity(a: &Spec, b: &Spec) -> f64 {
 /// free. Weighting by on-disk bytes makes the distance proportional to
 /// the actual storage at stake — evaluated against the unweighted
 /// metric in `landlord experiment ablation-metric`.
-pub fn weighted_jaccard_distance(
-    a: &Spec,
-    b: &Spec,
-    sizes: &dyn crate::sizes::SizeModel,
-) -> f64 {
-    let inter_bytes: u64 = a.intersection(b).iter().map(|p| sizes.package_size(p)).sum();
+pub fn weighted_jaccard_distance(a: &Spec, b: &Spec, sizes: &dyn crate::sizes::SizeModel) -> f64 {
+    let inter_bytes: u64 = a
+        .intersection(b)
+        .iter()
+        .map(|p| sizes.package_size(p))
+        .sum();
     let a_bytes = sizes.spec_bytes(a);
     let b_bytes = sizes.spec_bytes(b);
     let union_bytes = a_bytes + b_bytes - inter_bytes;
@@ -66,7 +66,11 @@ pub fn size_lower_bound(len_a: usize, len_b: usize) -> f64 {
     if len_a == 0 && len_b == 0 {
         return 0.0;
     }
-    let (small, large) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+    let (small, large) = if len_a <= len_b {
+        (len_a, len_b)
+    } else {
+        (len_b, len_a)
+    };
     if large == 0 {
         return 0.0;
     }
@@ -221,8 +225,7 @@ mod weighted_tests {
         let a = spec(&[1, 2, 3, 4]);
         let b = spec(&[3, 4, 5, 6]);
         assert!(
-            (weighted_jaccard_distance(&a, &b, &sizes) - jaccard_distance(&a, &b)).abs()
-                < 1e-12
+            (weighted_jaccard_distance(&a, &b, &sizes) - jaccard_distance(&a, &b)).abs() < 1e-12
         );
     }
 

@@ -207,6 +207,11 @@ impl LshIndex {
             .collect()
     }
 
+    /// True when `key` is currently indexed.
+    pub fn contains(&self, key: u64) -> bool {
+        self.key_bands.contains_key(&key)
+    }
+
     /// Insert (or re-insert) a key with its signature.
     pub fn insert(&mut self, key: u64, sig: &Signature) {
         self.remove(key);

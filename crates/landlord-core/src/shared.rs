@@ -31,7 +31,9 @@ pub struct SharedImageCache {
 impl SharedImageCache {
     /// Create a shared cache (CVMFS no-conflict semantics).
     pub fn new(config: CacheConfig, sizes: Arc<dyn SizeModel>) -> Self {
-        SharedImageCache { inner: Arc::new(Mutex::new(ImageCache::new(config, sizes))) }
+        SharedImageCache {
+            inner: Arc::new(Mutex::new(ImageCache::new(config, sizes))),
+        }
     }
 
     /// Create with an explicit conflict policy.
@@ -41,13 +43,17 @@ impl SharedImageCache {
         conflicts: Arc<dyn ConflictPolicy>,
     ) -> Self {
         SharedImageCache {
-            inner: Arc::new(Mutex::new(ImageCache::with_conflicts(config, sizes, conflicts))),
+            inner: Arc::new(Mutex::new(ImageCache::with_conflicts(
+                config, sizes, conflicts,
+            ))),
         }
     }
 
     /// Wrap an existing cache (e.g. one restored from a snapshot).
     pub fn from_cache(cache: ImageCache) -> Self {
-        SharedImageCache { inner: Arc::new(Mutex::new(cache)) }
+        SharedImageCache {
+            inner: Arc::new(Mutex::new(cache)),
+        }
     }
 
     /// Process one job request (Algorithm 1), atomically.
@@ -98,7 +104,11 @@ mod tests {
     }
 
     fn shared(alpha: f64, limit: u64) -> SharedImageCache {
-        let cfg = CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        };
         SharedImageCache::new(cfg, Arc::new(UniformSizes::new(1)))
     }
 
@@ -106,10 +116,17 @@ mod tests {
     fn basic_request_flow() {
         let cache = shared(0.8, 100);
         assert!(cache.is_empty());
-        assert!(matches!(cache.request(&spec(&[1, 2, 3])), Outcome::Inserted { .. }));
-        assert!(matches!(cache.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
+        assert!(matches!(
+            cache.request(&spec(&[1, 2, 3])),
+            Outcome::Inserted { .. }
+        ));
+        assert!(matches!(
+            cache.request(&spec(&[1, 2, 3])),
+            Outcome::Hit { .. }
+        ));
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.stats().requests, 2);
+        cache.with_cache(|c| c.check_invariants());
     }
 
     #[test]
@@ -156,5 +173,6 @@ mod tests {
         cache.request(&spec(&[1, 2]));
         let snap = cache.with_cache(|c| c.snapshot());
         assert_eq!(snap.images.len(), 1);
+        cache.with_cache(|c| c.check_invariants());
     }
 }

@@ -63,7 +63,9 @@ pub struct TableSizes {
 impl TableSizes {
     /// Build from a per-package size table.
     pub fn new(table: Vec<u64>) -> Self {
-        TableSizes { table: table.into_boxed_slice() }
+        TableSizes {
+            table: table.into_boxed_slice(),
+        }
     }
 
     /// Number of packages covered by the table.

@@ -138,7 +138,11 @@ mod tests {
     }
 
     fn populated_cache() -> ImageCache {
-        let cfg = CacheConfig { alpha: 0.8, limit_bytes: 100, ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha: 0.8,
+            limit_bytes: 100,
+            ..CacheConfig::default()
+        };
         let mut cache = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
         cache.request(&spec(&[1, 2, 3]));
         cache.request(&spec(&[1, 2, 4])); // merge
@@ -166,8 +170,14 @@ mod tests {
         restored.check_invariants();
 
         // The restored cache behaves identically going forward.
-        assert!(matches!(restored.request(&spec(&[1, 2, 3])), Outcome::Hit { .. }));
-        assert!(matches!(restored.request(&spec(&[1, 2, 5])), Outcome::Merged { .. }));
+        assert!(matches!(
+            restored.request(&spec(&[1, 2, 3])),
+            Outcome::Hit { .. }
+        ));
+        assert!(matches!(
+            restored.request(&spec(&[1, 2, 5])),
+            Outcome::Merged { .. }
+        ));
         restored.check_invariants();
     }
 
@@ -182,7 +192,11 @@ mod tests {
         )
         .unwrap();
         let out = restored.request(&spec(&[900, 901]));
-        assert!(out.image().0 > max_id, "fresh ids continue past the snapshot");
+        assert!(
+            out.image().0 > max_id,
+            "fresh ids continue past the snapshot"
+        );
+        restored.check_invariants();
     }
 
     #[test]
@@ -202,9 +216,8 @@ mod tests {
     fn bad_version_rejected() {
         let mut snap = populated_cache().snapshot();
         snap.version = 99;
-        let err =
-            ImageCache::restore(snap, Arc::new(UniformSizes::new(1)), Arc::new(NoConflicts))
-                .unwrap_err();
+        let err = ImageCache::restore(snap, Arc::new(UniformSizes::new(1)), Arc::new(NoConflicts))
+            .unwrap_err();
         assert!(matches!(err, SnapshotError::Version(99)));
     }
 
@@ -213,10 +226,12 @@ mod tests {
         let mut snap = populated_cache().snapshot();
         let dup = snap.images[0].clone();
         snap.images.push(dup);
-        let err =
-            ImageCache::restore(snap, Arc::new(UniformSizes::new(1)), Arc::new(NoConflicts))
-                .unwrap_err();
-        assert!(matches!(err, SnapshotError::Inconsistent("duplicate image id")));
+        let err = ImageCache::restore(snap, Arc::new(UniformSizes::new(1)), Arc::new(NoConflicts))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Inconsistent("duplicate image id")
+        ));
     }
 
     #[test]
@@ -241,7 +256,10 @@ mod tests {
         // A near-duplicate must still be found via the rebuilt index.
         let mut close = big.clone();
         close[0] = 1000;
-        assert!(matches!(restored.request(&spec(&close)), Outcome::Merged { .. }));
+        assert!(matches!(
+            restored.request(&spec(&close)),
+            Outcome::Merged { .. }
+        ));
         restored.check_invariants();
     }
 }

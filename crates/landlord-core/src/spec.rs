@@ -55,7 +55,9 @@ pub struct Spec {
 impl Spec {
     /// The empty specification.
     pub fn empty() -> Self {
-        Spec { members: Box::new([]) }
+        Spec {
+            members: Box::new([]),
+        }
     }
 
     /// Build a spec from any iterator of ids; sorts and deduplicates.
@@ -63,7 +65,9 @@ impl Spec {
         let mut v: Vec<PackageId> = ids.into_iter().collect();
         v.sort_unstable();
         v.dedup();
-        Spec { members: v.into_boxed_slice() }
+        Spec {
+            members: v.into_boxed_slice(),
+        }
     }
 
     /// Build a spec from a vector that is already sorted and deduplicated.
@@ -72,8 +76,13 @@ impl Spec {
     ///
     /// Panics in debug builds if the invariant does not hold.
     pub fn from_sorted_vec(v: Vec<PackageId>) -> Self {
-        debug_assert!(v.windows(2).all(|w| w[0] < w[1]), "spec must be sorted+unique");
-        Spec { members: v.into_boxed_slice() }
+        debug_assert!(
+            v.windows(2).all(|w| w[0] < w[1]),
+            "spec must be sorted+unique"
+        );
+        Spec {
+            members: v.into_boxed_slice(),
+        }
     }
 
     /// Number of member packages.
@@ -162,7 +171,9 @@ impl Spec {
         }
         out.extend_from_slice(&a[i..]);
         out.extend_from_slice(&b[j..]);
-        Spec { members: out.into_boxed_slice() }
+        Spec {
+            members: out.into_boxed_slice(),
+        }
     }
 
     /// The intersection `self ∩ other` as a new spec.
@@ -181,7 +192,9 @@ impl Spec {
                 }
             }
         }
-        Spec { members: out.into_boxed_slice() }
+        Spec {
+            members: out.into_boxed_slice(),
+        }
     }
 
     /// Set difference `self \ other` as a new spec.
@@ -200,7 +213,9 @@ impl Spec {
                 j += 1;
             }
         }
-        Spec { members: out.into_boxed_slice() }
+        Spec {
+            members: out.into_boxed_slice(),
+        }
     }
 }
 

@@ -25,14 +25,22 @@ impl Catalog {
     /// Build from package metadata.
     pub fn build(packages: &[PackageMeta]) -> Self {
         let mut by_spec_string = BTreeMap::new();
-        let max_name = packages.iter().map(|p| p.name_id).max().map_or(0, |m| m as usize + 1);
+        let max_name = packages
+            .iter()
+            .map(|p| p.name_id)
+            .max()
+            .map_or(0, |m| m as usize + 1);
         let mut groups: Vec<Vec<PackageId>> = vec![Vec::new(); max_name];
         for p in packages {
             let prev = by_spec_string.insert(p.spec_string(), p.id);
             assert!(prev.is_none(), "duplicate spec string {}", p.spec_string());
             groups[p.name_id as usize].push(p.id);
         }
-        Catalog { by_spec_string, groups, package_count: packages.len() }
+        Catalog {
+            by_spec_string,
+            groups,
+            package_count: packages.len(),
+        }
     }
 
     /// Number of packages indexed.
@@ -52,7 +60,10 @@ impl Catalog {
 
     /// All versions of the product with this name id.
     pub fn versions_of(&self, name_id: u32) -> &[PackageId] {
-        self.groups.get(name_id as usize).map(|v| v.as_slice()).unwrap_or(&[])
+        self.groups
+            .get(name_id as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Iterate version groups (one per product).

@@ -38,7 +38,11 @@ pub struct EvolutionConfig {
 
 impl Default for EvolutionConfig {
     fn default() -> Self {
-        EvolutionConfig { epochs: 4, releases_per_epoch: 100, seed: 7 }
+        EvolutionConfig {
+            epochs: 4,
+            releases_per_epoch: 100,
+            seed: 7,
+        }
     }
 }
 
@@ -61,14 +65,15 @@ pub fn evolve(base: &Repository, config: &EvolutionConfig) -> Vec<Repository> {
             let template = packages[template_idx].clone();
             // Newest sibling = highest id with the same name_id; its
             // dependency list is the model for the new release.
+            // The template itself matches, so `find` cannot miss; fall
+            // back to the template to keep this path panic-free.
             let newest_sibling = packages
                 .iter()
                 .rev()
                 .find(|p| p.name_id == template.name_id)
-                .expect("template's product exists")
-                .id;
+                .map_or(template.id, |p| p.id);
 
-            let id = PackageId(packages.len() as u32);
+            let id = PackageId(u32::try_from(packages.len()).unwrap_or(u32::MAX));
             let sibling_deps: Vec<PackageId> = adjacency[newest_sibling.index()].clone();
             // Re-roll each dependency to a random version of the same
             // product, as a rebuild against updated dependencies would.
@@ -85,8 +90,10 @@ pub fn evolve(base: &Repository, config: &EvolutionConfig) -> Vec<Repository> {
                 })
                 .collect();
 
-            let sibling_count =
-                packages.iter().filter(|p| p.name_id == template.name_id).count();
+            let sibling_count = packages
+                .iter()
+                .filter(|p| p.name_id == template.name_id)
+                .count();
             // New version's size drifts ±20% from the template.
             let drift = 0.8 + rng.gen_range(0.0..0.4);
             packages.push(PackageMeta {
@@ -118,7 +125,11 @@ mod tests {
     }
 
     fn config() -> EvolutionConfig {
-        EvolutionConfig { epochs: 3, releases_per_epoch: 20, seed: 2 }
+        EvolutionConfig {
+            epochs: 3,
+            releases_per_epoch: 20,
+            seed: 2,
+        }
     }
 
     #[test]
@@ -143,7 +154,9 @@ mod tests {
     fn snapshots_stay_acyclic_and_layered() {
         let b = base();
         for snap in evolve(&b, &config()) {
-            snap.graph().validate_acyclic().expect("evolved graph stays a DAG");
+            snap.graph()
+                .validate_acyclic()
+                .expect("evolved graph stays a DAG");
             for p in snap.packages() {
                 for &d in snap.graph().deps(p.id) {
                     assert!(snap.meta(d).layer <= p.layer, "layer order broken");
@@ -163,11 +176,17 @@ mod tests {
                 (p.name_id as usize) < b.catalog().product_count(),
                 "release created a brand-new product"
             );
-            assert!(p.version.contains(".e"), "release version tagged with its epoch");
+            assert!(
+                p.version.contains(".e"),
+                "release version tagged with its epoch"
+            );
         }
         // The catalog resolves the new spec strings.
         let newest = last.meta(PackageId(last.package_count() as u32 - 1));
-        assert_eq!(last.catalog().lookup(&newest.spec_string()), Some(newest.id));
+        assert_eq!(
+            last.catalog().lookup(&newest.spec_string()),
+            Some(newest.id)
+        );
     }
 
     #[test]

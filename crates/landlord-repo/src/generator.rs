@@ -116,7 +116,10 @@ fn sample_normal(rng: &mut StdRng) -> f64 {
 
 /// Generate a repository per `config`. Deterministic in `config.seed`.
 pub fn generate(config: &RepoConfig) -> Repository {
-    assert!(config.package_count > 16, "universe too small to be layered");
+    assert!(
+        config.package_count > 16,
+        "universe too small to be layered"
+    );
     assert!(
         (0.0..=1.0).contains(&config.core_attach_probability),
         "core_attach_probability must be a probability"
@@ -128,18 +131,24 @@ pub fn generate(config: &RepoConfig) -> Repository {
     let mut layer_budget: Vec<usize> = config
         .layer_fractions
         .iter()
+        // audit: allow(lossy-cast) -- f64→usize saturates; shares are bounded by package_count
         .map(|f| ((f / frac_sum) * config.package_count as f64).round() as usize)
         .collect();
     // Force exact total and at least the universal core in layer 0.
     layer_budget[0] = layer_budget[0].max(config.universal_core_products);
     let assigned: usize = layer_budget.iter().sum();
     let last = layer_budget.len() - 1;
-    layer_budget[last] =
-        (layer_budget[last] + config.package_count).saturating_sub(assigned).max(1);
+    layer_budget[last] = (layer_budget[last] + config.package_count)
+        .saturating_sub(assigned)
+        .max(1);
 
     // ---- 2. Create products layer by layer, expanding versions. ------
-    let kind_of_layer =
-        [PackageKind::Base, PackageKind::Framework, PackageKind::Library, PackageKind::Application];
+    let kind_of_layer = [
+        PackageKind::Base,
+        PackageKind::Framework,
+        PackageKind::Library,
+        PackageKind::Application,
+    ];
     let mut products: Vec<Product> = Vec::new();
     let mut packages: Vec<PackageMeta> = Vec::new();
     let mut next_name_id = 0u32;
@@ -160,7 +169,7 @@ pub fn generate(config: &RepoConfig) -> Repository {
             next_name_id += 1;
             let mut ids = Vec::with_capacity(versions);
             for v in 0..versions {
-                let id = PackageId(packages.len() as u32);
+                let id = PackageId(u32::try_from(packages.len()).unwrap_or(u32::MAX));
                 ids.push(id);
                 packages.push(PackageMeta {
                     id,
@@ -173,7 +182,11 @@ pub fn generate(config: &RepoConfig) -> Repository {
                 });
             }
             made += versions;
-            products.push(Product { layer: layer as u8, versions: ids, fan_in: 0 });
+            products.push(Product {
+                layer: layer as u8,
+                versions: ids,
+                fan_in: 0,
+            });
         }
     }
     let package_count = packages.len();
@@ -184,8 +197,12 @@ pub fn generate(config: &RepoConfig) -> Repository {
     let layer_product_ranges: Vec<std::ops::Range<usize>> = {
         let mut ranges = Vec::new();
         let mut start = 0usize;
-        for layer in 0..layer_budget.len() as u8 {
-            let end = start + products[start..].iter().take_while(|p| p.layer == layer).count();
+        for layer in 0..layer_budget.len() {
+            let end = start
+                + products[start..]
+                    .iter()
+                    .take_while(|p| usize::from(p.layer) == layer)
+                    .count();
             ranges.push(start..end);
             start = end;
         }
@@ -226,8 +243,10 @@ pub fn generate(config: &RepoConfig) -> Repository {
             } else {
                 0..lower_end
             };
-            let total_weight: u64 =
-                products[range.clone()].iter().map(|p| p.fan_in as u64 + 1).sum();
+            let total_weight: u64 = products[range.clone()]
+                .iter()
+                .map(|p| p.fan_in as u64 + 1)
+                .sum();
             if total_weight == 0 {
                 break;
             }
@@ -308,8 +327,11 @@ mod tests {
     fn different_seeds_differ() {
         let a = Repository::generate(&RepoConfig::small_for_tests(1));
         let b = Repository::generate(&RepoConfig::small_for_tests(2));
-        let same_sizes =
-            a.packages().iter().zip(b.packages()).all(|(x, y)| x.bytes == y.bytes);
+        let same_sizes = a
+            .packages()
+            .iter()
+            .zip(b.packages())
+            .all(|(x, y)| x.bytes == y.bytes);
         assert!(!same_sizes, "seeds 1 and 2 produced identical repositories");
     }
 
@@ -319,7 +341,10 @@ mod tests {
         let repo = Repository::generate(&cfg);
         let n = repo.package_count() as i64;
         let target = cfg.package_count as i64;
-        assert!((n - target).abs() <= cfg.versions_max as i64 * 4, "{n} vs {target}");
+        assert!(
+            (n - target).abs() <= cfg.versions_max as i64 * 4,
+            "{n} vs {target}"
+        );
     }
 
     #[test]
@@ -328,7 +353,10 @@ mod tests {
         let repo = Repository::generate(&cfg);
         let total = repo.total_bytes() as f64;
         let target = cfg.total_bytes as f64;
-        assert!((total - target).abs() / target < 0.01, "{total} vs {target}");
+        assert!(
+            (total - target).abs() / target < 0.01,
+            "{total} vs {target}"
+        );
     }
 
     #[test]
@@ -388,10 +416,14 @@ mod tests {
         let repo = Repository::generate(&cfg);
         let mut rng = StdRng::seed_from_u64(1);
         let all: Vec<PackageId> = (0..repo.package_count() as u32).map(PackageId).collect();
-        let sel: Vec<PackageId> =
-            all.choose_multiple(&mut rng, 20).copied().collect();
+        let sel: Vec<PackageId> = all.choose_multiple(&mut rng, 20).copied().collect();
         let closure = repo.closure_spec(&sel);
-        assert!(closure.len() >= 2 * sel.len(), "expansion {} from {}", closure.len(), sel.len());
+        assert!(
+            closure.len() >= 2 * sel.len(),
+            "expansion {} from {}",
+            closure.len(),
+            sel.len()
+        );
         assert!(closure.len() <= repo.package_count());
     }
 
@@ -417,7 +449,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "universe too small")]
     fn rejects_tiny_universe() {
-        let cfg = RepoConfig { package_count: 4, ..RepoConfig::small_for_tests(0) };
+        let cfg = RepoConfig {
+            package_count: 4,
+            ..RepoConfig::small_for_tests(0)
+        };
         let _ = Repository::generate(&cfg);
     }
 }

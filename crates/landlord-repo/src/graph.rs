@@ -53,7 +53,11 @@ impl DepGraph {
                 assert!(d.index() < n, "edge target {d} outside universe of {n}");
             }
             edges.extend_from_slice(&list);
-            offsets.push(edges.len() as u32);
+            assert!(
+                edges.len() <= u32::MAX as usize,
+                "edge count overflows the u32 offset table"
+            );
+            offsets.push(edges.len() as u32); // audit: allow(lossy-cast) -- asserted to fit u32 above
         }
         DepGraph { offsets, edges }
     }
@@ -94,9 +98,9 @@ impl DepGraph {
     pub fn topo_order(&self) -> Result<Vec<PackageId>, CycleError> {
         let n = self.package_count();
         // indegree in the "depends on" direction: count of dependents.
-        let mut indegree = vec![0u32; n];
+        let mut indegree = vec![0usize; n];
         for (p, slot) in indegree.iter_mut().enumerate() {
-            *slot = self.deps(PackageId(p as u32)).len() as u32;
+            *slot = self.deps(PackageId(p as u32)).len();
         }
         // Nodes with no dependencies come first.
         let mut queue: Vec<PackageId> = (0..n as u32)
@@ -117,10 +121,12 @@ impl DepGraph {
         if order.len() == n {
             Ok(order)
         } else {
+            // An incomplete order leaves some node with positive
+            // indegree; PackageId(0) is an unreachable fallback.
             let member = (0..n as u32)
                 .map(PackageId)
                 .find(|p| indegree[p.index()] > 0)
-                .expect("cycle implies a node with positive indegree");
+                .unwrap_or(PackageId(0));
             Err(CycleError { member })
         }
     }
@@ -163,7 +169,10 @@ pub struct ClosureComputer {
 impl ClosureComputer {
     /// State for a universe of `package_count` packages.
     pub fn new(package_count: usize) -> Self {
-        ClosureComputer { visited: BitSet::new(package_count), stack: Vec::new() }
+        ClosureComputer {
+            visited: BitSet::new(package_count),
+            stack: Vec::new(),
+        }
     }
 
     /// The dependency closure of `seeds` (including the seeds), as a
@@ -189,7 +198,10 @@ impl ClosureComputer {
                 }
             }
         }
-        self.visited.iter_ones().map(|i| PackageId(i as u32)).collect()
+        self.visited
+            .iter_ones()
+            .map(|i| PackageId(i as u32))
+            .collect()
     }
 }
 
@@ -199,12 +211,7 @@ mod tests {
 
     /// 0 ← 1 ← 2 (2 depends on 1 depends on 0), 3 isolated.
     fn chain() -> DepGraph {
-        DepGraph::from_adjacency(vec![
-            vec![],
-            vec![PackageId(0)],
-            vec![PackageId(1)],
-            vec![],
-        ])
+        DepGraph::from_adjacency(vec![vec![], vec![PackageId(0)], vec![PackageId(1)], vec![]])
     }
 
     #[test]

@@ -75,9 +75,21 @@ impl Repository {
     ///
     /// Panics when the parts disagree on the package count.
     pub fn from_parts(packages: Vec<PackageMeta>, graph: DepGraph, catalog: Catalog) -> Self {
-        assert_eq!(packages.len(), graph.package_count(), "graph/metadata mismatch");
-        assert_eq!(packages.len(), catalog.package_count(), "catalog/metadata mismatch");
-        Repository { packages, graph, catalog }
+        assert_eq!(
+            packages.len(),
+            graph.package_count(),
+            "graph/metadata mismatch"
+        );
+        assert_eq!(
+            packages.len(),
+            catalog.package_count(),
+            "catalog/metadata mismatch"
+        );
+        Repository {
+            packages,
+            graph,
+            catalog,
+        }
     }
 
     /// Generate a synthetic repository. See [`RepoConfig`].
@@ -163,7 +175,9 @@ mod tests {
         let repo = Repository::generate(&RepoConfig::small_for_tests(42));
         assert_eq!(repo.package_count(), repo.graph().package_count());
         assert!(repo.total_bytes() > 0);
-        repo.graph().validate_acyclic().expect("generated graph must be a DAG");
+        repo.graph()
+            .validate_acyclic()
+            .expect("generated graph must be a DAG");
     }
 
     #[test]

@@ -83,7 +83,9 @@ mod tests {
         assert_eq!(back.total_bytes(), repo.total_bytes());
         assert_eq!(back.graph().edge_count(), repo.graph().edge_count());
         // Closures agree, i.e. the graph survived intact.
-        let seed = [landlord_core::spec::PackageId(repo.package_count() as u32 - 1)];
+        let seed = [landlord_core::spec::PackageId(
+            repo.package_count() as u32 - 1,
+        )];
         assert_eq!(back.closure_spec(&seed), repo.closure_spec(&seed));
 
         std::fs::remove_file(&path).ok();

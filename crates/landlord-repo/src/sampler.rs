@@ -63,7 +63,10 @@ impl Sampler {
             acc += rev.deps(PackageId(i as u32)).len() as u64 + 1;
             cumulative.push(acc);
         }
-        Sampler { universe: repo.package_count(), cumulative }
+        Sampler {
+            universe: repo.package_count(),
+            cumulative,
+        }
     }
 
     /// Number of packages in the universe.
@@ -88,7 +91,12 @@ impl Sampler {
             let id = match scheme {
                 SelectionScheme::UniformRandom => rng.gen_range(0..self.universe) as u32,
                 SelectionScheme::PopularityWeighted => {
-                    let total = *self.cumulative.last().expect("non-empty universe");
+                    // k > 0 implies a non-empty universe with positive
+                    // total weight; bail out instead of panicking if not.
+                    let total = self.cumulative.last().copied().unwrap_or(0);
+                    if total == 0 {
+                        break;
+                    }
                     let ticket = rng.gen_range(0..total);
                     self.cumulative.partition_point(|&c| c <= ticket) as u32
                 }
@@ -148,7 +156,10 @@ mod tests {
         let r = repo();
         let s = Sampler::new(&r);
         let mut rng = StdRng::seed_from_u64(0);
-        for scheme in [SelectionScheme::UniformRandom, SelectionScheme::PopularityWeighted] {
+        for scheme in [
+            SelectionScheme::UniformRandom,
+            SelectionScheme::PopularityWeighted,
+        ] {
             let sel = s.sample_distinct(&mut rng, scheme, 50);
             assert_eq!(sel.len(), 50);
             let set: std::collections::HashSet<_> = sel.iter().collect();
@@ -208,7 +219,10 @@ mod tests {
 
     #[test]
     fn scheme_tokens_round_trip() {
-        for s in [SelectionScheme::UniformRandom, SelectionScheme::PopularityWeighted] {
+        for s in [
+            SelectionScheme::UniformRandom,
+            SelectionScheme::PopularityWeighted,
+        ] {
             assert_eq!(SelectionScheme::parse(s.token()), Some(s));
         }
         assert_eq!(SelectionScheme::parse("bogus"), None);

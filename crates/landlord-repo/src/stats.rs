@@ -41,7 +41,9 @@ pub fn repo_stats(repo: &Repository) -> RepoStats {
         .map(|i| rev.deps(landlord_core::spec::PackageId(i as u32)).len())
         .max()
         .unwrap_or(0);
-    let depths = graph.depths().expect("repository graphs are DAGs");
+    // Generated repositories are DAGs; a cyclic graph degrades to
+    // depth 0 rather than panicking.
+    let depths = graph.depths().unwrap_or_default();
     let mut sizes: Vec<u64> = repo.packages().iter().map(|p| p.bytes).collect();
     RepoStats {
         package_count: n,
@@ -118,8 +120,7 @@ pub fn median_f64(values: &mut [f64]) -> f64 {
         return 0.0;
     }
     let mid = values.len() / 2;
-    let (_, m, _) =
-        values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let (_, m, _) = values.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
     *m
 }
 
@@ -191,9 +192,12 @@ mod calibration {
     #[ignore = "paper-scale; run in release"]
     fn sft_like_matches_fig3() {
         let repo = Repository::generate(&RepoConfig::sft_like(1));
-        eprintln!("packages={} edges={} total={:.1} GB",
-            repo.package_count(), repo.graph().edge_count(),
-            repo.total_bytes() as f64 / 1e9);
+        eprintln!(
+            "packages={} edges={} total={:.1} GB",
+            repo.package_count(),
+            repo.graph().edge_count(),
+            repo.total_bytes() as f64 / 1e9
+        );
         let rows = closure_growth(&repo, &[10, 50, 100, 300, 600, 1000], 20, 5);
         for r in &rows {
             eprintln!(
@@ -213,8 +217,11 @@ mod calibration {
         let at1000 = rows.iter().find(|r| r.spec_size == 1000).unwrap();
         let f1000 = at1000.image_packages as f64 / 1000.0;
         assert!(f1000 < f100, "expansion must decelerate");
-        assert!(at1000.image_packages < repo.package_count() / 2,
-            "1000-pkg image {} too close to the whole repo", at1000.image_packages);
+        assert!(
+            at1000.image_packages < repo.package_count() / 2,
+            "1000-pkg image {} too close to the whole repo",
+            at1000.image_packages
+        );
     }
 }
 
@@ -235,7 +242,11 @@ impl LogHistogram {
 
     /// Record one observation.
     pub fn record(&mut self, value: u64) {
-        let bucket = if value <= 1 { 0 } else { 63 - value.leading_zeros() as usize };
+        let bucket = if value <= 1 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
         if self.buckets.len() <= bucket {
             self.buckets.resize(bucket + 1, 0);
         }
@@ -280,7 +291,9 @@ pub fn fan_in_histogram(repo: &Repository) -> LogHistogram {
 
 /// Dependency-depth histogram (longest chain below each package).
 pub fn depth_histogram(repo: &Repository) -> LogHistogram {
-    let depths = repo.graph().depths().expect("repository graphs are DAGs");
+    // Cyclic graphs (impossible for generated repos) yield an empty
+    // histogram rather than a panic.
+    let depths = repo.graph().depths().unwrap_or_default();
     let mut hist = LogHistogram::new();
     for d in depths {
         hist.record(d as u64);
@@ -335,8 +348,15 @@ mod histogram_tests {
         assert!(hist.max() > 20, "max fan-in only {}", hist.max());
         let buckets = hist.buckets();
         // Most packages sit in the low buckets.
-        let low: u64 = buckets.iter().filter(|(lb, _)| *lb <= 2).map(|(_, c)| c).sum();
-        assert!(low * 2 > hist.count(), "fan-in not concentrated at the low end");
+        let low: u64 = buckets
+            .iter()
+            .filter(|(lb, _)| *lb <= 2)
+            .map(|(_, c)| c)
+            .sum();
+        assert!(
+            low * 2 > hist.count(),
+            "fan-in not concentrated at the low end"
+        );
     }
 
     #[test]
@@ -349,7 +369,11 @@ mod histogram_tests {
         // (Preferential attachment legitimately lifts some libraries
         // into the top-5 on small universes, so only the leader is a
         // structural guarantee.)
-        assert_eq!(repo.meta(top[0].0).layer, 0, "top package must be base layer");
+        assert_eq!(
+            repo.meta(top[0].0).layer,
+            0,
+            "top package must be base layer"
+        );
     }
 
     #[test]

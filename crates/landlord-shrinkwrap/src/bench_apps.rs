@@ -39,7 +39,12 @@ pub enum Experiment {
 impl Experiment {
     /// All experiments.
     pub fn all() -> [Experiment; 4] {
-        [Experiment::Alice, Experiment::Atlas, Experiment::Cms, Experiment::Lhcb]
+        [
+            Experiment::Alice,
+            Experiment::Atlas,
+            Experiment::Cms,
+            Experiment::Lhcb,
+        ]
     }
 
     /// Display name.
@@ -81,7 +86,7 @@ impl Experiment {
 
 /// One Fig. 2 row: the paper's measured constants plus our derivation
 /// recipe.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize)]
 pub struct BenchApp {
     /// Workload name as in Fig. 2.
     pub name: &'static str,
@@ -178,8 +183,10 @@ pub fn derive_spec(app: &BenchApp, repo: &Repository, seed: u64) -> Spec {
     let bytes_of = |s: &Spec| -> u64 { s.iter().map(|p| repo.meta(p).bytes).sum() };
 
     // Best single seed among a candidate pool.
-    let candidates: Vec<PackageId> =
-        apps_only.choose_multiple(&mut rng, 64.min(apps_only.len())).copied().collect();
+    let candidates: Vec<PackageId> = apps_only
+        .choose_multiple(&mut rng, 64.min(apps_only.len()))
+        .copied()
+        .collect();
     let mut best: Option<(Spec, u64)> = None;
     for &c in &candidates {
         let s = repo.closure_spec(&[c]);

@@ -10,7 +10,7 @@ use crate::filetree::{self, FileTreeConfig};
 use crate::format::{ImageEntry, ImageWriter};
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
-use landlord_store::{ObjectStore};
+use landlord_store::ObjectStore;
 use serde::{Deserialize, Serialize};
 use std::io::{self, Write};
 
@@ -45,7 +45,11 @@ impl<'a> Shrinkwrap<'a> {
         store: &'a dyn ObjectStore,
         tree_config: FileTreeConfig,
     ) -> Self {
-        Shrinkwrap { repo, store, tree_config }
+        Shrinkwrap {
+            repo,
+            store,
+            tree_config,
+        }
     }
 
     /// The tree configuration in use.
@@ -58,7 +62,10 @@ impl<'a> Shrinkwrap<'a> {
     /// The spec is taken as-is (callers expand dependency closures
     /// first; [`Repository::closure_spec`] does that).
     pub fn build<W: Write>(&self, spec: &Spec, out: W) -> io::Result<BuildReport> {
-        let mut report = BuildReport { packages: spec.len(), ..Default::default() };
+        let mut report = BuildReport {
+            packages: spec.len(),
+            ..Default::default()
+        };
 
         // Resolve all trees first: the image format wants its table up
         // front, and we learn dedup stats while pushing file bytes in.
@@ -114,7 +121,10 @@ mod tests {
     use landlord_store::MemStore;
 
     fn setup() -> (Repository, MemStore) {
-        (Repository::generate(&RepoConfig::small_for_tests(50)), MemStore::new())
+        (
+            Repository::generate(&RepoConfig::small_for_tests(50)),
+            MemStore::new(),
+        )
     }
 
     #[test]
@@ -184,8 +194,7 @@ mod tests {
         let (repo, store) = setup();
         let sw = Shrinkwrap::new(&repo, &store, FileTreeConfig::miniature());
         let spec = repo.closure_spec(&[PackageId(0)]);
-        let path = std::env::temp_dir()
-            .join(format!("landlord-img-{}.llimg", std::process::id()));
+        let path = std::env::temp_dir().join(format!("landlord-img-{}.llimg", std::process::id()));
         let report = sw.build_to_path(&spec, &path).unwrap();
         let on_disk = std::fs::metadata(&path).unwrap().len();
         assert!(on_disk >= report.physical_bytes);

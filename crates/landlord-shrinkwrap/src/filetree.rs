@@ -31,14 +31,22 @@ pub struct FileTreeConfig {
 impl Default for FileTreeConfig {
     fn default() -> Self {
         // Real HEP packages average a few hundred KB per file.
-        FileTreeConfig { scale_denominator: 1, max_files: 64, bytes_per_file: 4 << 20 }
+        FileTreeConfig {
+            scale_denominator: 1,
+            max_files: 64,
+            bytes_per_file: 4 << 20,
+        }
     }
 }
 
 impl FileTreeConfig {
     /// A configuration for fast on-disk tests: megabytes become bytes.
     pub fn miniature() -> Self {
-        FileTreeConfig { scale_denominator: 1 << 20, max_files: 16, bytes_per_file: 4 << 20 }
+        FileTreeConfig {
+            scale_denominator: 1 << 20,
+            max_files: 16,
+            bytes_per_file: 4 << 20,
+        }
     }
 }
 
@@ -58,7 +66,10 @@ pub struct FileSpec {
 /// Derive the file tree of one package.
 pub fn package_tree(meta: &PackageMeta, config: &FileTreeConfig) -> Vec<FileSpec> {
     let logical = meta.bytes.max(1);
-    let file_count = ((logical / config.bytes_per_file.max(1)) as usize + 1).min(config.max_files);
+    let file_count = usize::try_from(logical / config.bytes_per_file.max(1))
+        .unwrap_or(usize::MAX)
+        .saturating_add(1)
+        .min(config.max_files);
     let physical_total = (logical / config.scale_denominator.max(1)).max(file_count as u64);
     let per_file = physical_total / file_count as u64;
     let remainder = physical_total % file_count as u64;
@@ -85,12 +96,13 @@ pub fn package_tree(meta: &PackageMeta, config: &FileTreeConfig) -> Vec<FileSpec
 
 /// Generate the deterministic contents of a file into `out`.
 pub fn file_contents(spec: &FileSpec) -> Vec<u8> {
-    let mut out = Vec::with_capacity(spec.physical_bytes as usize);
+    let mut out = Vec::with_capacity(usize::try_from(spec.physical_bytes).unwrap_or(0));
     let mut state = spec.content_seed | 1;
     while (out.len() as u64) < spec.physical_bytes {
         state = splitmix(state);
         let chunk = state.to_le_bytes();
-        let take = ((spec.physical_bytes - out.len() as u64) as usize).min(8);
+        let remaining = spec.physical_bytes - out.len() as u64;
+        let take = usize::try_from(remaining).unwrap_or(8).min(8);
         out.extend_from_slice(&chunk[..take]);
     }
     out
@@ -120,7 +132,7 @@ pub fn tree_of(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use landlord_repo::{PackageKind, Repository, RepoConfig};
+    use landlord_repo::{PackageKind, RepoConfig, Repository};
 
     fn meta(id: u32, bytes: u64) -> PackageMeta {
         PackageMeta {
@@ -153,14 +165,21 @@ mod tests {
     #[test]
     fn physical_bytes_respect_scale() {
         let m = meta(1, 64 << 20); // 64 MiB logical
-        let cfg = FileTreeConfig { scale_denominator: 1 << 10, ..Default::default() };
+        let cfg = FileTreeConfig {
+            scale_denominator: 1 << 10,
+            ..Default::default()
+        };
         let tree = package_tree(&m, &cfg);
         assert_eq!(tree_physical_bytes(&tree), 64 << 10, "scaled to 64 KiB");
     }
 
     #[test]
     fn file_count_scales_with_size_and_caps() {
-        let cfg = FileTreeConfig { max_files: 10, bytes_per_file: 1 << 20, ..Default::default() };
+        let cfg = FileTreeConfig {
+            max_files: 10,
+            bytes_per_file: 1 << 20,
+            ..Default::default()
+        };
         let small = package_tree(&meta(1, 1 << 18), &cfg);
         let large = package_tree(&meta(2, 1 << 30), &cfg);
         assert_eq!(small.len(), 1);
@@ -188,7 +207,10 @@ mod tests {
             content_seed: 1,
             executable: false,
         };
-        let b = FileSpec { content_seed: 2, ..a.clone() };
+        let b = FileSpec {
+            content_seed: 2,
+            ..a.clone()
+        };
         assert_ne!(file_contents(&a), file_contents(&b));
     }
 

@@ -81,17 +81,28 @@ impl<W: Write> ImageWriter<W> {
         for e in &entries {
             let path = e.path.as_bytes();
             assert!(path.len() <= u16::MAX as usize, "path too long: {}", e.path);
+            // audit: allow(lossy-cast) -- asserted to fit u16 on the line above
             table.extend_from_slice(&(path.len() as u16).to_le_bytes());
             table.extend_from_slice(path);
             table.push(if e.executable { FLAG_EXECUTABLE } else { 0 });
             table.extend_from_slice(&e.size.to_le_bytes());
         }
         out.write_all(MAGIC)?;
+        assert!(
+            entries.len() <= u32::MAX as usize,
+            "too many entries for the image table"
+        );
+        // audit: allow(lossy-cast) -- asserted to fit u32 on the line above
         out.write_all(&(entries.len() as u32).to_le_bytes())?;
         out.write_all(&table)?;
         let check = ContentHash::of(&table);
         out.write_all(check.to_hex().as_bytes())?;
-        Ok(ImageWriter { out, entries, next: 0, written_of_current: 0 })
+        Ok(ImageWriter {
+            out,
+            entries,
+            next: 0,
+            written_of_current: 0,
+        })
     }
 
     /// Append content bytes for the current file; may be called multiple
@@ -182,7 +193,11 @@ impl ImageReader {
             pos += 1;
             let size = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
             pos += 8;
-            entries.push(ImageEntry { path, size, executable: flags & FLAG_EXECUTABLE != 0 });
+            entries.push(ImageEntry {
+                path,
+                size,
+                executable: flags & FLAG_EXECUTABLE != 0,
+            });
         }
         let table_end = pos;
         if pos + 32 > buf.len() {
@@ -211,7 +226,11 @@ impl ImageReader {
         if off != blobs.len() as u64 {
             return Err(ImageError::Corrupt("blob area size mismatch"));
         }
-        Ok(ImageReader { entries, blobs, offsets })
+        Ok(ImageReader {
+            entries,
+            blobs,
+            offsets,
+        })
     }
 
     /// File table, in image order.
@@ -238,8 +257,9 @@ impl ImageReader {
     pub fn read_file(&self, path: &str) -> Option<&[u8]> {
         let idx = self.entries.iter().position(|e| e.path == path)?;
         let start = self.offsets[idx] as usize;
-        let end = start + self.entries[idx].size as usize;
-        Some(&self.blobs[start..end])
+        let len = usize::try_from(self.entries[idx].size).unwrap_or(0);
+        let end = start.checked_add(len)?;
+        self.blobs.get(start..end)
     }
 }
 
@@ -248,7 +268,11 @@ mod tests {
     use super::*;
 
     fn entry(path: &str, size: u64) -> ImageEntry {
-        ImageEntry { path: path.into(), size, executable: path.contains("bin") }
+        ImageEntry {
+            path: path.into(),
+            size,
+            executable: path.contains("bin"),
+        }
     }
 
     fn build(entries: Vec<ImageEntry>, blobs: &[&[u8]]) -> Vec<u8> {
@@ -322,7 +346,10 @@ mod tests {
             ImageReader::parse_bytes(b"NOTANIMAGE__"),
             Err(ImageError::BadMagic)
         ));
-        assert!(matches!(ImageReader::parse_bytes(b""), Err(ImageError::BadMagic)));
+        assert!(matches!(
+            ImageReader::parse_bytes(b""),
+            Err(ImageError::BadMagic)
+        ));
     }
 
     #[test]
@@ -338,7 +365,10 @@ mod tests {
     fn truncated_blobs_detected() {
         let bytes = build(vec![entry("f", 5)], &[b"hello"]);
         let err = ImageReader::parse_bytes(&bytes[..bytes.len() - 2]).unwrap_err();
-        assert!(matches!(err, ImageError::Corrupt("blob area size mismatch")));
+        assert!(matches!(
+            err,
+            ImageError::Corrupt("blob area size mismatch")
+        ));
     }
 }
 

@@ -73,7 +73,10 @@ mod tests {
         let m = CostModel::default();
         let few = m.preparation_seconds(1 << 30, 10);
         let many = m.preparation_seconds(1 << 30, 100_000);
-        assert!(many - few > 100.0, "per-file overhead lost: {few} vs {many}");
+        assert!(
+            many - few > 100.0,
+            "per-file overhead lost: {few} vs {many}"
+        );
     }
 
     #[test]

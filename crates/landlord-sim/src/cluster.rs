@@ -121,37 +121,45 @@ struct Worker {
 
 impl Worker {
     fn new() -> Self {
-        Worker { scratch: HashMap::new(), used_bytes: 0 }
+        Worker {
+            scratch: HashMap::new(),
+            used_bytes: 0,
+        }
     }
 
     fn has_current(&self, image: ImageId, revision: u64) -> bool {
-        self.scratch.get(&image.0).is_some_and(|e| e.revision == revision)
+        self.scratch
+            .get(&image.0)
+            .is_some_and(|e| e.revision == revision)
     }
 
     /// Install an image, evicting LRU entries to fit. Returns evictions.
-    fn install(
-        &mut self,
-        image: ImageId,
-        bytes: u64,
-        revision: u64,
-        now: u64,
-        limit: u64,
-    ) -> u64 {
+    fn install(&mut self, image: ImageId, bytes: u64, revision: u64, now: u64, limit: u64) -> u64 {
         if let Some(old) = self.scratch.remove(&image.0) {
             self.used_bytes -= old.bytes;
         }
         let mut evictions = 0;
-        while self.used_bytes + bytes > limit && !self.scratch.is_empty() {
-            let (&victim, _) = self
+        while self.used_bytes + bytes > limit {
+            let Some((&victim, _)) = self
                 .scratch
                 .iter()
                 .min_by_key(|(id, e)| (e.last_used, **id))
-                .expect("non-empty scratch");
-            let removed = self.scratch.remove(&victim).expect("victim exists");
-            self.used_bytes -= removed.bytes;
+            else {
+                break;
+            };
+            if let Some(removed) = self.scratch.remove(&victim) {
+                self.used_bytes -= removed.bytes;
+            }
             evictions += 1;
         }
-        self.scratch.insert(image.0, ScratchEntry { bytes, revision, last_used: now });
+        self.scratch.insert(
+            image.0,
+            ScratchEntry {
+                bytes,
+                revision,
+                last_used: now,
+            },
+        );
         self.used_bytes += bytes;
         evictions
     }
@@ -218,7 +226,10 @@ pub fn simulate_cluster_stream(
         }
     }
 
-    ClusterResult { head: head.stats(), cluster: stats }
+    ClusterResult {
+        head: head.stats(),
+        cluster: stats,
+    }
 }
 
 /// Convenience: generate the workload stream and run the cluster.
@@ -253,18 +264,31 @@ mod tests {
     }
 
     fn cluster(workers: usize, dispatch: Dispatch, scratch: u64) -> ClusterConfig {
-        ClusterConfig { workers, worker_scratch_bytes: scratch, dispatch, seed: 1 }
+        ClusterConfig {
+            workers,
+            worker_scratch_bytes: scratch,
+            dispatch,
+            seed: 1,
+        }
     }
 
     fn cache_cfg(repo: &Repository) -> CacheConfig {
-        CacheConfig { alpha: 0.8, limit_bytes: repo.total_bytes(), ..CacheConfig::default() }
+        CacheConfig {
+            alpha: 0.8,
+            limit_bytes: repo.total_bytes(),
+            ..CacheConfig::default()
+        }
     }
 
     #[test]
     fn accounting_adds_up() {
         let r = repo();
-        let result =
-            simulate_cluster(&r, &workload(), cache_cfg(&r), &cluster(4, Dispatch::RoundRobin, r.total_bytes()));
+        let result = simulate_cluster(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &cluster(4, Dispatch::RoundRobin, r.total_bytes()),
+        );
         let c = result.cluster;
         assert_eq!(c.jobs, 100);
         assert_eq!(c.jobs, c.local_hits + c.transfers);
@@ -324,7 +348,10 @@ mod tests {
             cache_cfg(&r),
             &cluster(2, Dispatch::RoundRobin, r.total_bytes() / 50),
         );
-        assert!(result.cluster.scratch_evictions > 0, "tiny scratch must evict");
+        assert!(
+            result.cluster.scratch_evictions > 0,
+            "tiny scratch must evict"
+        );
     }
 
     #[test]
@@ -351,7 +378,11 @@ mod tests {
         // often; workers must re-transfer, so transfers exceed the
         // distinct-image count.
         let r = repo();
-        let cfg = CacheConfig { alpha: 1.0, limit_bytes: r.total_bytes(), ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            alpha: 1.0,
+            limit_bytes: r.total_bytes(),
+            ..CacheConfig::default()
+        };
         let result = simulate_cluster(
             &r,
             &workload(),

@@ -23,7 +23,10 @@ fn run_variant(
     let workload = ctx.standard_workload();
     let mut results = Vec::new();
     for run in 0..ctx.runs().min(8) {
-        let w = crate::workload::WorkloadConfig { seed: workload.seed + run as u64, ..workload };
+        let w = crate::workload::WorkloadConfig {
+            seed: workload.seed + run as u64,
+            ..workload
+        };
         let mut cfg = ctx.standard_cache(repo, ABLATION_ALPHA);
         mutate(&mut cfg);
         results.push(simulator::simulate(repo, &w, cfg, 0));
@@ -43,8 +46,15 @@ fn push_variant(t: &mut Table, name: &str, agg: &AggregatedRun) {
     ]);
 }
 
-const COLUMNS: [&str; 7] =
-    ["variant", "hits", "merges", "deletes", "cache_eff", "container_eff", "written_TB"];
+const COLUMNS: [&str; 7] = [
+    "variant",
+    "hits",
+    "merges",
+    "deletes",
+    "cache_eff",
+    "container_eff",
+    "written_TB",
+];
 
 /// Eviction-policy ablation.
 pub fn eviction(ctx: &ExperimentContext) -> Table {

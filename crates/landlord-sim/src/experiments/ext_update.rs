@@ -30,9 +30,17 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     };
     let snapshots = evolution::evolve(
         &base,
-        &EvolutionConfig { epochs, releases_per_epoch: releases, seed: ctx.seed },
+        &EvolutionConfig {
+            epochs,
+            releases_per_epoch: releases,
+            seed: ctx.seed,
+        },
     );
-    let last = snapshots.last().expect("at least one epoch");
+    let Some(last) = snapshots.last() else {
+        // epochs >= 3 always, but degrade to an empty table rather
+        // than panic if the evolution config ever yields no snapshots.
+        return Table::new("Extension — update cost (no epochs)".to_string(), &[]);
+    };
     // The final snapshot's size table covers every id that will ever
     // appear (ids are append-only), so one model serves all epochs.
     let sizes = Arc::new(last.size_table());
@@ -101,13 +109,15 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     // The paper's §III constraint: "individual worker nodes may have
     // limited local disk space and be unable to store large container
     // images" — report the largest image a node must hold.
-    let landlord_node_image =
-        landlord.images().map(|i| i.bytes).max().unwrap_or(0);
+    let landlord_node_image = landlord.images().map(|i| i.bytes).max().unwrap_or(0);
     t.push_row(vec![
         format!("landlord a={UPDATE_ALPHA}"),
         fmt_tb(s.bytes_written as f64),
         fmt_tb(requested_bytes as f64),
-        format!("{:.2}", s.bytes_written as f64 / requested_bytes.max(1) as f64),
+        format!(
+            "{:.2}",
+            s.bytes_written as f64 / requested_bytes.max(1) as f64
+        ),
         s.hits.to_string(),
         format!("{:.1}", landlord.container_efficiency_pct()),
         format!("{:.0}", landlord_node_image as f64 / 1e9),
@@ -135,7 +145,10 @@ pub fn run(ctx: &ExperimentContext) -> Table {
         "per-job LRU".into(),
         fmt_tb(p.bytes_written as f64),
         fmt_tb(requested_bytes as f64),
-        format!("{:.2}", p.bytes_written as f64 / requested_bytes.max(1) as f64),
+        format!(
+            "{:.2}",
+            p.bytes_written as f64 / requested_bytes.max(1) as f64
+        ),
         p.hits.to_string(),
         format!("{:.1}", per_job.container_efficiency_pct()),
         format!("{:.0}", per_job_node_image as f64 / 1e9),
@@ -160,7 +173,10 @@ pub fn run(ctx: &ExperimentContext) -> Table {
         "full-repo rebuild/epoch".into(),
         fmt_tb(rebuild_bytes as f64),
         fmt_tb(requested_bytes as f64),
-        format!("{:.2}", rebuild_bytes as f64 / requested_bytes.max(1) as f64),
+        format!(
+            "{:.2}",
+            rebuild_bytes as f64 / requested_bytes.max(1) as f64
+        ),
         total_requests.to_string(),
         format!("{:.1}", full_eff.mean_pct()),
         format!("{:.0}", last.total_bytes() as f64 / 1e9),
@@ -172,7 +188,10 @@ pub fn run(ctx: &ExperimentContext) -> Table {
         format!("full-repo scale-out x{fleet} nodes"),
         fmt_tb((rebuild_bytes * fleet) as f64),
         fmt_tb(requested_bytes as f64),
-        format!("{:.2}", (rebuild_bytes * fleet) as f64 / requested_bytes.max(1) as f64),
+        format!(
+            "{:.2}",
+            (rebuild_bytes * fleet) as f64 / requested_bytes.max(1) as f64
+        ),
         total_requests.to_string(),
         format!("{:.1}", full_eff.mean_pct()),
         format!("{:.0}", last.total_bytes() as f64 / 1e9),
@@ -194,7 +213,10 @@ mod tests {
         assert!(req.windows(2).all(|w| w[0] == w[1]), "{req:?}");
         // Node footprint ordering: full-repo worst by far.
         let node_gb: Vec<f64> = t.rows.iter().map(|r| r[6].parse().unwrap()).collect();
-        assert!(node_gb[2] >= node_gb[0], "full-repo node image must be largest");
+        assert!(
+            node_gb[2] >= node_gb[0],
+            "full-repo node image must be largest"
+        );
         assert!(node_gb[2] >= node_gb[1]);
         // Full-repo always "hits".
         let full = &t.rows[2];

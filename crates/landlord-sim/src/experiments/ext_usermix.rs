@@ -18,12 +18,7 @@ use landlord_repo::Repository;
 /// α used for the user-mix comparison.
 pub const USERMIX_ALPHA: f64 = 0.8;
 
-fn run_mix(
-    ctx: &ExperimentContext,
-    repo: &Repository,
-    users: usize,
-    runs: usize,
-) -> AggregatedRun {
+fn run_mix(ctx: &ExperimentContext, repo: &Repository, users: usize, runs: usize) -> AggregatedRun {
     let base = ctx.standard_workload();
     let mut results = Vec::with_capacity(runs);
     for run in 0..runs {
@@ -63,7 +58,14 @@ pub fn run(ctx: &ExperimentContext) -> Table {
 
     let mut t = Table::new(
         format!("Extension — multi-user structure at alpha={USERMIX_ALPHA}"),
-        &["users", "hits", "merges", "inserts", "cache_eff", "container_eff"],
+        &[
+            "users",
+            "hits",
+            "merges",
+            "inserts",
+            "cache_eff",
+            "container_eff",
+        ],
     );
     for &users in user_counts {
         let agg = run_mix(ctx, &repo, users, runs);
@@ -80,7 +82,10 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     let base = ctx.standard_workload();
     let mut uniform = Vec::new();
     for run in 0..runs {
-        let w = crate::workload::WorkloadConfig { seed: base.seed + run as u64, ..base };
+        let w = crate::workload::WorkloadConfig {
+            seed: base.seed + run as u64,
+            ..base
+        };
         uniform.push(simulator::simulate(
             &repo,
             &w,

@@ -19,7 +19,13 @@ use std::sync::Arc;
 pub fn run(ctx: &ExperimentContext) -> Table {
     let mut table = Table::new(
         "Fig. 1 — Layering vs. composition (stored bytes)",
-        &["workload", "requests", "layered", "composed", "layered/composed"],
+        &[
+            "workload",
+            "requests",
+            "layered",
+            "composed",
+            "layered/composed",
+        ],
     );
 
     // --- The paper's exact three-job illustration. ---------------------
@@ -66,7 +72,11 @@ fn compare(
         chain.refine_to(job);
     }
 
-    let cfg = CacheConfig { alpha: 1.0, limit_bytes: limit, ..CacheConfig::default() };
+    let cfg = CacheConfig {
+        alpha: 1.0,
+        limit_bytes: limit,
+        ..CacheConfig::default()
+    };
     let mut cache = ImageCache::new(cfg, sizes);
     for job in jobs {
         cache.request(job);

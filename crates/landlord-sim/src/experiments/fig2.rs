@@ -9,9 +9,9 @@
 
 use super::{ExperimentContext, Scale};
 use crate::report::{fmt_gb, fmt_secs, fmt_tb, Table};
+use landlord_repo::Repository;
 use landlord_shrinkwrap::bench_apps::{self, Experiment};
 use landlord_shrinkwrap::timing::CostModel;
-use landlord_repo::Repository;
 
 /// Run the Fig. 2 table.
 pub fn run(ctx: &ExperimentContext) -> Table {
@@ -60,7 +60,8 @@ fn scaled_fig2(seed: u64, cost: &CostModel, divisor: u64) -> Vec<bench_apps::Fig
         std::collections::HashMap::new();
     for e in Experiment::all() {
         let mut cfg = e.repo_config(seed);
-        cfg.package_count = (cfg.package_count as u64 / divisor).max(200) as usize;
+        cfg.package_count =
+            usize::try_from((cfg.package_count as u64 / divisor).max(200)).unwrap_or(usize::MAX);
         cfg.total_bytes /= divisor;
         repos.insert(e.name(), Repository::generate(&cfg));
     }
@@ -75,8 +76,10 @@ fn scaled_fig2(seed: u64, cost: &CostModel, divisor: u64) -> Vec<bench_apps::Fig
             };
             let spec = bench_apps::derive_spec(&scaled_app, repo, seed);
             let measured: u64 = spec.iter().map(|p| repo.meta(p).bytes).sum();
-            let files: u64 =
-                spec.iter().map(|p| ((repo.meta(p).bytes / (4 << 20)) + 1).min(64)).sum();
+            let files: u64 = spec
+                .iter()
+                .map(|p| ((repo.meta(p).bytes / (4 << 20)) + 1).min(64))
+                .sum();
             bench_apps::Fig2Row {
                 name: app.name.to_string(),
                 running_s: app.paper_running_s,

@@ -24,7 +24,13 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     let rows = stats::closure_growth(&repo, &sizes, samples, ctx.seed ^ 0xf163);
     let mut table = Table::new(
         "Fig. 3 — Image size vs. selection size (medians)",
-        &["spec_pkgs", "spec_GB", "image_pkgs", "image_GB", "expansion_x"],
+        &[
+            "spec_pkgs",
+            "spec_GB",
+            "image_pkgs",
+            "image_GB",
+            "expansion_x",
+        ],
     );
     for r in rows {
         table.push_row(vec![

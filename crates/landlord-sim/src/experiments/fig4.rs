@@ -72,7 +72,12 @@ fn table_b(sweep: &[SweepPoint]) -> Table {
 fn table_c(sweep: &[SweepPoint]) -> Table {
     let mut t = Table::new(
         "Fig. 4c — Cumulative I/O overhead vs alpha",
-        &["alpha", "actual_writes_TB", "requested_writes_TB", "overhead_x"],
+        &[
+            "alpha",
+            "actual_writes_TB",
+            "requested_writes_TB",
+            "overhead_x",
+        ],
     );
     for p in sweep {
         let overhead = if p.median.bytes_requested > 0.0 {
@@ -109,10 +114,16 @@ mod tests {
         let a = &tables[0];
         let first_merges: f64 = a.rows.first().unwrap()[3].parse().unwrap();
         let merges_near_one: f64 = a.rows[a.rows.len() - 2][3].parse().unwrap();
-        assert!(merges_near_one >= first_merges, "merging must rise with alpha");
+        assert!(
+            merges_near_one >= first_merges,
+            "merging must rise with alpha"
+        );
         let first_inserts: f64 = a.rows.first().unwrap()[1].parse().unwrap();
         let last_inserts: f64 = a.rows.last().unwrap()[1].parse().unwrap();
-        assert!(last_inserts <= first_inserts, "inserts must fall with alpha");
+        assert!(
+            last_inserts <= first_inserts,
+            "inserts must fall with alpha"
+        );
 
         // 4c: merging costs I/O — the α point with the most merges pays
         // at least as much write overhead as the point with the fewest.

@@ -30,7 +30,13 @@ pub fn run(ctx: &ExperimentContext) -> Table {
             total
         ),
         &[
-            "request", "hits", "inserts", "deletes", "merges", "cached_TB", "written_TB",
+            "request",
+            "hits",
+            "inserts",
+            "deletes",
+            "merges",
+            "cached_TB",
+            "written_TB",
         ],
     );
     for p in &result.series {
@@ -59,7 +65,10 @@ mod tests {
         // Counters monotone nondecreasing down the table.
         for col in 1..=4 {
             let vals: Vec<u64> = t.rows.iter().map(|r| r[col].parse().unwrap()).collect();
-            assert!(vals.windows(2).all(|w| w[0] <= w[1]), "column {col} not monotone");
+            assert!(
+                vals.windows(2).all(|w| w[0] <= w[1]),
+                "column {col} not monotone"
+            );
         }
         // Merges dominate at α = 0.75 on a closure workload (paper:
         // "most of the operations are merges").

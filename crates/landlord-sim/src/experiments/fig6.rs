@@ -65,7 +65,14 @@ pub fn run_cache_size(ctx: &ExperimentContext, metric: Metric) -> Table {
             limit_bytes: (repo.total_bytes() as f64 * m) as u64,
             ..CacheConfig::default()
         };
-        series.push(sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads));
+        series.push(sweep::sweep_alpha(
+            &repo,
+            &workload,
+            &cache,
+            &alphas,
+            runs,
+            ctx.threads,
+        ));
     }
     assemble(title, &columns, &alphas, &series, metric)
 }
@@ -96,9 +103,18 @@ pub fn run_job_count(ctx: &ExperimentContext, metric: Metric) -> Table {
     let cache = ctx.standard_cache(&repo, 0.0);
     let mut series = Vec::new();
     for &c in &counts {
-        let workload =
-            crate::workload::WorkloadConfig { unique_jobs: c, ..ctx.standard_workload() };
-        series.push(sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads));
+        let workload = crate::workload::WorkloadConfig {
+            unique_jobs: c,
+            ..ctx.standard_workload()
+        };
+        series.push(sweep::sweep_alpha(
+            &repo,
+            &workload,
+            &cache,
+            &alphas,
+            runs,
+            ctx.threads,
+        ));
     }
     assemble(title, &columns, &alphas, &series, metric)
 }

@@ -21,9 +21,22 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     let runs = ctx.runs();
 
     let mut series = Vec::new();
-    for scheme in [WorkloadScheme::DependencyClosure, WorkloadScheme::UniformRandom] {
-        let workload = WorkloadConfig { scheme, ..ctx.standard_workload() };
-        series.push(sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads));
+    for scheme in [
+        WorkloadScheme::DependencyClosure,
+        WorkloadScheme::UniformRandom,
+    ] {
+        let workload = WorkloadConfig {
+            scheme,
+            ..ctx.standard_workload()
+        };
+        series.push(sweep::sweep_alpha(
+            &repo,
+            &workload,
+            &cache,
+            &alphas,
+            runs,
+            ctx.threads,
+        ));
     }
 
     let mut t = Table::new(

@@ -75,12 +75,20 @@ pub fn run(ctx: &ExperimentContext) -> Table {
     let zone = zone_from_sweep(&sweep);
 
     let zone_txt = match (zone.low, zone.high) {
-        (Some(lo), Some(hi)) if lo <= hi => format!("operational zone: alpha in [{lo:.2}, {hi:.2}]"),
+        (Some(lo), Some(hi)) if lo <= hi => {
+            format!("operational zone: alpha in [{lo:.2}, {hi:.2}]")
+        }
         _ => "operational zone: not found (limits do not overlap)".to_string(),
     };
     let mut t = Table::new(
         format!("Fig. 8 — Limits on efficiency ({zone_txt})"),
-        &["alpha", "cache_eff_pct", "container_eff_pct", "write_overhead_x", "in_zone"],
+        &[
+            "alpha",
+            "cache_eff_pct",
+            "container_eff_pct",
+            "write_overhead_x",
+            "in_zone",
+        ],
     );
     for p in &sweep {
         let overhead = if p.median.bytes_requested > 0.0 {

@@ -57,12 +57,20 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Paper-scale context.
     pub fn full(seed: u64, threads: usize) -> Self {
-        ExperimentContext { scale: Scale::Full, seed, threads }
+        ExperimentContext {
+            scale: Scale::Full,
+            seed,
+            threads,
+        }
     }
 
     /// Miniature context for tests.
     pub fn smoke(seed: u64) -> Self {
-        ExperimentContext { scale: Scale::Smoke, seed, threads: 2 }
+        ExperimentContext {
+            scale: Scale::Smoke,
+            seed,
+            threads: 2,
+        }
     }
 
     /// The SFT-like repository for the simulation figures.
@@ -131,16 +139,41 @@ impl ExperimentContext {
     pub fn standard_sweep(&self, repo: &Repository) -> Vec<SweepPoint> {
         let workload = self.standard_workload();
         let cache = self.standard_cache(repo, 0.0);
-        sweep::sweep_alpha(repo, &workload, &cache, &self.alphas(), self.runs(), self.threads)
+        sweep::sweep_alpha(
+            repo,
+            &workload,
+            &cache,
+            &self.alphas(),
+            self.runs(),
+            self.threads,
+        )
     }
 }
 
 /// All experiment ids, in paper order.
 pub fn all_ids() -> &'static [&'static str] {
     &[
-        "fig1", "fig2", "fig3", "fig4a", "fig4b", "fig4c", "fig5", "fig6a", "fig6b", "fig6c",
-        "fig6d", "fig7", "fig8", "ablation-evict", "ablation-merge-order",
-        "ablation-candidates", "ablation-split", "ablation-metric", "ext-cluster", "ext-usermix", "ext-update",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4a",
+        "fig4b",
+        "fig4c",
+        "fig5",
+        "fig6a",
+        "fig6b",
+        "fig6c",
+        "fig6d",
+        "fig7",
+        "fig8",
+        "ablation-evict",
+        "ablation-merge-order",
+        "ablation-candidates",
+        "ablation-split",
+        "ablation-metric",
+        "ext-cluster",
+        "ext-usermix",
+        "ext-update",
     ]
 }
 

@@ -50,13 +50,22 @@ mod tests {
         assert!(mid.median.merges > mid.median.inserts * 3.0);
         let one = at(&sweep, 1.00);
         let near_one = at(&sweep, 0.95);
-        assert!(one.median.hits > near_one.median.hits * 2.0, "hit spike at alpha=1");
-        assert!(one.median.merges < near_one.median.merges / 2.0, "merge collapse at alpha=1");
+        assert!(
+            one.median.hits > near_one.median.hits * 2.0,
+            "hit spike at alpha=1"
+        );
+        assert!(
+            one.median.merges < near_one.median.merges / 2.0,
+            "merge collapse at alpha=1"
+        );
 
         // 4b: total pinned near the limit at low α; unique rises with α;
         // the two meet at α=1.
         let limit = ctx.standard_cache_bytes(&repo) as f64;
-        assert!(low.median.total_bytes > limit * 0.9, "cache pinned at the limit");
+        assert!(
+            low.median.total_bytes > limit * 0.9,
+            "cache pinned at the limit"
+        );
         assert!(mid.median.unique_bytes > low.median.unique_bytes * 1.2);
         assert!(
             (one.median.unique_bytes - one.median.total_bytes).abs()
@@ -73,7 +82,10 @@ mod tests {
                 "requested writes must be constant in alpha"
             );
         }
-        assert!(low.median.bytes_written <= req_low, "reuse beats rebuild at low alpha");
+        assert!(
+            low.median.bytes_written <= req_low,
+            "reuse beats rebuild at low alpha"
+        );
         assert!(
             at(&sweep, 0.95).median.bytes_written > mid.median.bytes_written,
             "merge I/O grows with alpha"
@@ -99,14 +111,8 @@ mod tests {
             ..ctx.standard_workload()
         };
         // A handful of runs suffices for the zero-merge claim.
-        let sweep = crate::sweep::sweep_alpha(
-            &repo,
-            &workload,
-            &cache,
-            &[0.6, 0.8, 0.9],
-            5,
-            ctx.threads,
-        );
+        let sweep =
+            crate::sweep::sweep_alpha(&repo, &workload, &cache, &[0.6, 0.8, 0.9], 5, ctx.threads);
         for p in &sweep {
             assert_eq!(
                 p.median.merges, 0.0,
@@ -131,8 +137,7 @@ mod tests {
                 limit_bytes: (repo.total_bytes() as f64 * mult) as u64,
                 ..Default::default()
             };
-            let sweep =
-                crate::sweep::sweep_alpha(&repo, &workload, &cache, &alpha, 5, ctx.threads);
+            let sweep = crate::sweep::sweep_alpha(&repo, &workload, &cache, &alpha, 5, ctx.threads);
             container.push(sweep[0].median.container_eff_pct);
             cache_eff.push(sweep[0].median.cache_eff_pct);
         }

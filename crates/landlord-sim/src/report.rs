@@ -34,7 +34,12 @@ impl Table {
     ///
     /// Panics when the row width disagrees with the header.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
         self.rows.push(row);
     }
 
@@ -77,11 +82,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.columns.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+            self.columns
+                .iter()
+                .map(|c| cell(c))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for row in &self.rows {
-            let _ =
-                writeln!(out, "{}", row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -185,7 +197,11 @@ impl Table {
                 .iter()
                 .map(|c| {
                     let cleaned = c.replace(' ', "_");
-                    if cleaned.is_empty() { "-".to_string() } else { cleaned }
+                    if cleaned.is_empty() {
+                        "-".to_string()
+                    } else {
+                        cleaned
+                    }
                 })
                 .collect();
             let _ = writeln!(out, "{}", cells.join(" "));
@@ -200,7 +216,11 @@ impl Table {
         let _ = writeln!(out, "set terminal pngcairo size 900,600");
         let _ = writeln!(out, "set output '{output_png}'");
         let _ = writeln!(out, "set title \"{}\"", self.title.replace('"', ""));
-        let _ = writeln!(out, "set xlabel '{}'", self.columns.first().map(|s| s.as_str()).unwrap_or("x"));
+        let _ = writeln!(
+            out,
+            "set xlabel '{}'",
+            self.columns.first().map(|s| s.as_str()).unwrap_or("x")
+        );
         let _ = writeln!(out, "set key outside right");
         let _ = writeln!(out, "set grid");
         let series: Vec<String> = self

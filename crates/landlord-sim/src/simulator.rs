@@ -104,7 +104,11 @@ mod tests {
     }
 
     fn cache_cfg(alpha: f64, limit: u64) -> CacheConfig {
-        CacheConfig { alpha, limit_bytes: limit, ..CacheConfig::default() }
+        CacheConfig {
+            alpha,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        }
     }
 
     #[test]

@@ -93,14 +93,18 @@ pub fn sweep_alpha(
     let jobs: Vec<(usize, f64, u64)> = alphas
         .iter()
         .enumerate()
-        .flat_map(|(ai, &alpha)| {
-            (0..runs).map(move |run| (ai, alpha, run as u64))
-        })
+        .flat_map(|(ai, &alpha)| (0..runs).map(move |run| (ai, alpha, run as u64)))
         .collect();
 
     let results = run_parallel(repo, &jobs, threads, |alpha, run_seed| {
-        let w = WorkloadConfig { seed: workload.seed + run_seed, ..*workload };
-        let cfg = CacheConfig { alpha, ..*cache_config };
+        let w = WorkloadConfig {
+            seed: workload.seed + run_seed,
+            ..*workload
+        };
+        let cfg = CacheConfig {
+            alpha,
+            ..*cache_config
+        };
         simulate(repo, &w, cfg, 0)
     });
 
@@ -112,7 +116,10 @@ pub fn sweep_alpha(
     alphas
         .iter()
         .zip(grouped)
-        .map(|(&alpha, runs)| SweepPoint { alpha, median: AggregatedRun::from_runs(&runs) })
+        .map(|(&alpha, runs)| SweepPoint {
+            alpha,
+            median: AggregatedRun::from_runs(&runs),
+        })
         .collect()
 }
 
@@ -128,10 +135,11 @@ where
 {
     let threads = threads.max(1).min(jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let results: Vec<parking_lot_free::Slot> =
-        (0..jobs.len()).map(|_| parking_lot_free::Slot::new()).collect();
+    let results: Vec<parking_lot_free::Slot> = (0..jobs.len())
+        .map(|_| parking_lot_free::Slot::new())
+        .collect();
 
-    crossbeam::scope(|scope| {
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -142,17 +150,26 @@ where
                 results[i].set(work(alpha, run_seed));
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
+    debug_assert!(scope_result.is_ok(), "sweep worker panicked");
 
-    results.into_iter().map(|s| s.take()).collect()
+    // A slot is only ever empty if its worker died mid-sweep; recompute
+    // those jobs inline so the output stays aligned with `jobs`.
+    results
+        .into_iter()
+        .zip(jobs)
+        .map(|(slot, &(_, alpha, run_seed))| match slot.take() {
+            Some(result) => result,
+            None => work(alpha, run_seed),
+        })
+        .collect()
 }
 
 /// A tiny write-once cell usable from scoped threads without locks on
 /// the read side (each slot is written by exactly one worker).
 mod parking_lot_free {
     use crate::simulator::RunResult;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, PoisonError};
 
     pub struct Slot(Mutex<Option<RunResult>>);
 
@@ -162,13 +179,17 @@ mod parking_lot_free {
         }
 
         pub fn set(&self, value: RunResult) {
-            let mut guard = self.0.lock().expect("slot poisoned");
+            // A poisoned slot only means another worker died; the value
+            // we are writing is still sound.
+            let mut guard = self.0.lock().unwrap_or_else(PoisonError::into_inner);
             debug_assert!(guard.is_none(), "slot written twice");
             *guard = Some(value);
         }
 
-        pub fn take(self) -> RunResult {
-            self.0.into_inner().expect("slot poisoned").expect("job never ran")
+        /// The stored result, or `None` when the owning worker never
+        /// completed its write.
+        pub fn take(self) -> Option<RunResult> {
+            self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
         }
     }
 }
@@ -204,9 +225,11 @@ mod tests {
     #[test]
     fn sweep_covers_all_alphas_in_order() {
         let r = repo();
-        let cfg = CacheConfig { limit_bytes: r.total_bytes(), ..CacheConfig::default() };
-        let points =
-            sweep_alpha(&r, &workload(), &cfg, &[0.0, 0.5, 1.0], 3, 2);
+        let cfg = CacheConfig {
+            limit_bytes: r.total_bytes(),
+            ..CacheConfig::default()
+        };
+        let points = sweep_alpha(&r, &workload(), &cfg, &[0.0, 0.5, 1.0], 3, 2);
         assert_eq!(points.len(), 3);
         assert_eq!(points[0].alpha, 0.0);
         assert_eq!(points[2].alpha, 1.0);
@@ -218,13 +241,22 @@ mod tests {
     #[test]
     fn parallel_equals_sequential() {
         let r = repo();
-        let cfg = CacheConfig { limit_bytes: r.total_bytes(), ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            limit_bytes: r.total_bytes(),
+            ..CacheConfig::default()
+        };
         let seq = sweep_alpha(&r, &workload(), &cfg, &[0.4, 0.8], 4, 1);
         let par = sweep_alpha(&r, &workload(), &cfg, &[0.4, 0.8], 4, 4);
         for (a, b) in seq.iter().zip(&par) {
             assert_eq!(a.median.hits.to_bits(), b.median.hits.to_bits());
-            assert_eq!(a.median.bytes_written.to_bits(), b.median.bytes_written.to_bits());
-            assert_eq!(a.median.cache_eff_pct.to_bits(), b.median.cache_eff_pct.to_bits());
+            assert_eq!(
+                a.median.bytes_written.to_bits(),
+                b.median.bytes_written.to_bits()
+            );
+            assert_eq!(
+                a.median.cache_eff_pct.to_bits(),
+                b.median.cache_eff_pct.to_bits()
+            );
         }
     }
 
@@ -235,9 +267,15 @@ mod tests {
         // simulated job requirements." With per-run fixed seeds it is
         // *exactly* constant here.
         let r = repo();
-        let cfg = CacheConfig { limit_bytes: r.total_bytes(), ..CacheConfig::default() };
+        let cfg = CacheConfig {
+            limit_bytes: r.total_bytes(),
+            ..CacheConfig::default()
+        };
         let points = sweep_alpha(&r, &workload(), &cfg, &[0.4, 0.7, 1.0], 3, 2);
-        let req: Vec<u64> = points.iter().map(|p| p.median.bytes_requested as u64).collect();
+        let req: Vec<u64> = points
+            .iter()
+            .map(|p| p.median.bytes_requested as u64)
+            .collect();
         assert!(req.windows(2).all(|w| w[0] == w[1]), "{req:?}");
     }
 
@@ -245,7 +283,10 @@ mod tests {
     fn aggregate_medians() {
         use landlord_core::cache::CacheStats;
         let mk = |hits: u64| RunResult {
-            final_stats: CacheStats { hits, ..Default::default() },
+            final_stats: CacheStats {
+                hits,
+                ..Default::default()
+            },
             container_eff_pct: hits as f64,
             cache_eff_pct: 50.0,
             series: Vec::new(),

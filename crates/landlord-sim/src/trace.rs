@@ -29,7 +29,12 @@ impl Trace {
 
     /// Wrap a stream in a trace.
     pub fn new(description: impl Into<String>, workload_seed: u64, requests: Vec<Spec>) -> Self {
-        Trace { version: Self::VERSION, description: description.into(), workload_seed, requests }
+        Trace {
+            version: Self::VERSION,
+            description: description.into(),
+            workload_seed,
+            requests,
+        }
     }
 
     /// Number of requests.

@@ -157,7 +157,11 @@ mod tests {
         let uniques = unique_specs(&r, &cfg);
         for u in &uniques {
             let n = stream.iter().filter(|s| *s == u).count();
-            assert!(n >= cfg.repeats, "spec appeared {n} < {} times", cfg.repeats);
+            assert!(
+                n >= cfg.repeats,
+                "spec appeared {n} < {} times",
+                cfg.repeats
+            );
         }
     }
 
@@ -214,12 +218,18 @@ mod tests {
         // If unshuffled, every run of `repeats` identical specs would be
         // adjacent; count adjacency breaks to confirm interleaving.
         let breaks = stream.windows(2).filter(|w| w[0] != w[1]).count();
-        assert!(breaks > stream.len() / 2, "stream looks unshuffled: {breaks} breaks");
+        assert!(
+            breaks > stream.len() / 2,
+            "stream looks unshuffled: {breaks} breaks"
+        );
     }
 
     #[test]
     fn scheme_tokens_round_trip() {
-        for s in [WorkloadScheme::DependencyClosure, WorkloadScheme::UniformRandom] {
+        for s in [
+            WorkloadScheme::DependencyClosure,
+            WorkloadScheme::UniformRandom,
+        ] {
             assert_eq!(WorkloadScheme::parse(s.token()), Some(s));
         }
         assert_eq!(WorkloadScheme::parse("?"), None);
@@ -378,7 +388,13 @@ mod user_mix_tests {
     #[should_panic(expected = "at least one user")]
     fn zero_users_rejected() {
         let r = repo();
-        let _ = user_mix_unique_specs(&r, &UserMixConfig { users: 0, ..config(1) });
+        let _ = user_mix_unique_specs(
+            &r,
+            &UserMixConfig {
+                users: 0,
+                ..config(1)
+            },
+        );
     }
 }
 
@@ -396,8 +412,9 @@ pub fn generate_zipf_stream(
 ) -> Vec<Spec> {
     assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
     let uniques = unique_specs(repo, config);
-    let weights: Vec<f64> =
-        (0..uniques.len()).map(|k| 1.0 / ((k + 1) as f64).powf(exponent)).collect();
+    let weights: Vec<f64> = (0..uniques.len())
+        .map(|k| 1.0 / ((k + 1) as f64).powf(exponent))
+        .collect();
     let total_weight: f64 = weights.iter().sum();
     let target = config.total_requests() as f64;
 
@@ -450,8 +467,7 @@ mod zipf_tests {
         let cfg = config();
         let stream = generate_zipf_stream(&r, &cfg, 1.2);
         let uniques = unique_specs(&r, &cfg);
-        let count =
-            |u: &Spec| stream.iter().filter(|s| *s == u).count();
+        let count = |u: &Spec| stream.iter().filter(|s| *s == u).count();
         // Rank 0 dominates; the tail still appears at least once.
         assert!(count(&uniques[0]) > count(&uniques[uniques.len() - 1]) * 3);
         for u in &uniques {
@@ -468,14 +484,18 @@ mod zipf_tests {
         use std::sync::Arc;
         let r = repo();
         let cfg = config();
-        let cache_cfg =
-            CacheConfig { alpha: 0.8, limit_bytes: r.total_bytes() / 2, ..Default::default() };
+        let cache_cfg = CacheConfig {
+            alpha: 0.8,
+            limit_bytes: r.total_bytes() / 2,
+            ..Default::default()
+        };
 
         let run = |stream: &[Spec]| {
             let mut c = ImageCache::new(cache_cfg, Arc::new(r.size_table()));
             for s in stream {
                 c.request(s);
             }
+            c.check_invariants();
             c.stats().hits as f64 / c.stats().requests as f64
         };
         let uniform = run(&generate_stream(&r, &cfg));

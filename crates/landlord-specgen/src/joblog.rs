@@ -29,7 +29,10 @@ pub struct LogFormat {
 
 impl Default for LogFormat {
     fn default() -> Self {
-        LogFormat { mount: "/cvmfs/".to_string(), skip_components: 2 }
+        LogFormat {
+            mount: "/cvmfs/".to_string(),
+            skip_components: 2,
+        }
     }
 }
 
@@ -87,7 +90,8 @@ mod tests {
 
     #[test]
     fn strace_style_lines() {
-        let log = r#"open("/cvmfs/atlas.cern.ch/repo/sw/Athena/22.0.1/bin/athena.py", O_RDONLY) = 3"#;
+        let log =
+            r#"open("/cvmfs/atlas.cern.ch/repo/sw/Athena/22.0.1/bin/athena.py", O_RDONLY) = 3"#;
         let reqs = scan(log, &FMT());
         assert_eq!(reqs, vec![Requirement::pinned("Athena", "22.0.1")]);
     }
@@ -111,9 +115,15 @@ mod tests {
 
     #[test]
     fn custom_skip_components() {
-        let fmt = LogFormat { mount: "/cvmfs/".into(), skip_components: 0 };
+        let fmt = LogFormat {
+            mount: "/cvmfs/".into(),
+            skip_components: 0,
+        };
         let log = "/cvmfs/lhcb.cern.ch/DaVinci/v45r3/run\n";
-        assert_eq!(scan(log, &fmt), vec![Requirement::pinned("DaVinci", "v45r3")]);
+        assert_eq!(
+            scan(log, &fmt),
+            vec![Requirement::pinned("DaVinci", "v45r3")]
+        );
     }
 
     #[test]

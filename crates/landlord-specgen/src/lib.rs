@@ -42,12 +42,18 @@ pub struct Requirement {
 impl Requirement {
     /// An unversioned requirement.
     pub fn unversioned(name: impl Into<String>) -> Self {
-        Requirement { name: name.into(), version: None }
+        Requirement {
+            name: name.into(),
+            version: None,
+        }
     }
 
     /// A version-pinned requirement.
     pub fn pinned(name: impl Into<String>, version: impl Into<String>) -> Self {
-        Requirement { name: name.into(), version: Some(version.into()) }
+        Requirement {
+            name: name.into(),
+            version: Some(version.into()),
+        }
     }
 }
 

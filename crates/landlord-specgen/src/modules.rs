@@ -26,7 +26,10 @@ fn parse_token(tok: &str) -> Option<Requirement> {
         Some((n, v)) if !n.is_empty() && !v.is_empty() => (n, Some(v)),
         _ => (tok, None),
     };
-    Some(Requirement { name: name.to_string(), version: version.map(str::to_string) })
+    Some(Requirement {
+        name: name.to_string(),
+        version: version.map(str::to_string),
+    })
 }
 
 /// Scan a shell script for module/spack load directives.
@@ -96,7 +99,10 @@ mod tests {
         let reqs = scan("module load gcc/9.2.0 cmake\n");
         assert_eq!(
             reqs,
-            vec![Requirement::unversioned("cmake"), Requirement::pinned("gcc", "9.2.0")]
+            vec![
+                Requirement::unversioned("cmake"),
+                Requirement::pinned("gcc", "9.2.0")
+            ]
         );
     }
 
@@ -105,7 +111,10 @@ mod tests {
         let reqs = scan("module add root/6.20.04\nml geant4\n");
         assert_eq!(
             reqs,
-            vec![Requirement::unversioned("geant4"), Requirement::pinned("root", "6.20.04")]
+            vec![
+                Requirement::unversioned("geant4"),
+                Requirement::pinned("root", "6.20.04")
+            ]
         );
     }
 
@@ -135,7 +144,8 @@ mod tests {
 
     #[test]
     fn comments_and_unrelated_lines_ignored() {
-        let script = "#!/bin/bash\n# module load fake\necho module load nope\nmodule load real # ok\n";
+        let script =
+            "#!/bin/bash\n# module load fake\necho module load nope\nmodule load real # ok\n";
         assert_eq!(scan(script), vec![Requirement::unversioned("real")]);
     }
 

@@ -19,13 +19,58 @@ use crate::Requirement;
 /// Standard-library module names that never map to installable
 /// packages. (A pragmatic subset — enough to keep specs clean.)
 const STDLIB: &[&str] = &[
-    "abc", "argparse", "array", "ast", "asyncio", "base64", "bisect", "collections",
-    "contextlib", "copy", "csv", "ctypes", "dataclasses", "datetime", "decimal", "enum",
-    "functools", "gc", "glob", "gzip", "hashlib", "heapq", "io", "itertools", "json",
-    "logging", "math", "multiprocessing", "os", "pathlib", "pickle", "random", "re",
-    "shutil", "signal", "socket", "struct", "subprocess", "sys", "tempfile", "threading",
-    "time", "traceback", "types", "typing", "unittest", "urllib", "uuid", "warnings",
-    "weakref", "xml", "zlib",
+    "abc",
+    "argparse",
+    "array",
+    "ast",
+    "asyncio",
+    "base64",
+    "bisect",
+    "collections",
+    "contextlib",
+    "copy",
+    "csv",
+    "ctypes",
+    "dataclasses",
+    "datetime",
+    "decimal",
+    "enum",
+    "functools",
+    "gc",
+    "glob",
+    "gzip",
+    "hashlib",
+    "heapq",
+    "io",
+    "itertools",
+    "json",
+    "logging",
+    "math",
+    "multiprocessing",
+    "os",
+    "pathlib",
+    "pickle",
+    "random",
+    "re",
+    "shutil",
+    "signal",
+    "socket",
+    "struct",
+    "subprocess",
+    "sys",
+    "tempfile",
+    "threading",
+    "time",
+    "traceback",
+    "types",
+    "typing",
+    "unittest",
+    "urllib",
+    "uuid",
+    "warnings",
+    "weakref",
+    "xml",
+    "zlib",
 ];
 
 fn is_stdlib(name: &str) -> bool {
@@ -104,9 +149,10 @@ mod tests {
 
     #[test]
     fn comma_separated() {
-        assert_eq!(names("import numpy as np, uproot, awkward"), vec![
-            "awkward", "numpy", "uproot"
-        ]);
+        assert_eq!(
+            names("import numpy as np, uproot, awkward"),
+            vec!["awkward", "numpy", "uproot"]
+        );
     }
 
     #[test]
@@ -139,11 +185,17 @@ mod tests {
 
     #[test]
     fn duplicates_collapse() {
-        assert_eq!(names("import numpy\nimport numpy\nfrom numpy import array"), vec!["numpy"]);
+        assert_eq!(
+            names("import numpy\nimport numpy\nfrom numpy import array"),
+            vec!["numpy"]
+        );
     }
 
     #[test]
     fn stdlib_table_is_sorted_for_binary_search() {
-        assert!(STDLIB.windows(2).all(|w| w[0] < w[1]), "STDLIB must stay sorted");
+        assert!(
+            STDLIB.windows(2).all(|w| w[0] < w[1]),
+            "STDLIB must stay sorted"
+        );
     }
 }

@@ -65,14 +65,21 @@ impl<'a> Resolver<'a> {
         }
         for versions in by_name.values_mut() {
             versions.sort_by(|&a, &b| {
-                repo.meta(a).version.cmp(&repo.meta(b).version).then(a.cmp(&b))
+                repo.meta(a)
+                    .version
+                    .cmp(&repo.meta(b).version)
+                    .then(a.cmp(&b))
             });
         }
         let mut by_normalized = HashMap::new();
         for &name in by_name.keys() {
             by_normalized.entry(normalize(name)).or_insert(name);
         }
-        Resolver { repo, by_name, by_normalized }
+        Resolver {
+            repo,
+            by_name,
+            by_normalized,
+        }
     }
 
     fn versions_of(&self, name: &str) -> Option<&[PackageId]> {
@@ -107,7 +114,10 @@ impl<'a> Resolver<'a> {
         }
         resolved.sort_unstable();
         resolved.dedup();
-        Resolution { resolved, unresolved }
+        Resolution {
+            resolved,
+            unresolved,
+        }
     }
 
     /// Resolve and expand the dependency closure in one step — the full
@@ -133,12 +143,7 @@ mod tests {
             meta(2, "Geant4", "10.6", 1),
             meta(3, "scikit-learn", "1.0", 2),
         ];
-        let graph = DepGraph::from_adjacency(vec![
-            vec![],
-            vec![PackageId(2)],
-            vec![],
-            vec![],
-        ]);
+        let graph = DepGraph::from_adjacency(vec![vec![], vec![PackageId(2)], vec![], vec![]]);
         let catalog = Catalog::build(&metas);
         Repository::from_parts(metas, graph, catalog)
     }
@@ -163,7 +168,10 @@ mod tests {
             resolver.resolve_one(&Requirement::pinned("root", "6.20")),
             Some(PackageId(0))
         );
-        assert_eq!(resolver.resolve_one(&Requirement::pinned("root", "9.99")), None);
+        assert_eq!(
+            resolver.resolve_one(&Requirement::pinned("root", "9.99")),
+            None
+        );
     }
 
     #[test]
@@ -189,7 +197,10 @@ mod tests {
             resolver.resolve_one(&Requirement::unversioned("scikit_learn")),
             Some(PackageId(3))
         );
-        assert_eq!(resolver.resolve_one(&Requirement::unversioned("nonexistent")), None);
+        assert_eq!(
+            resolver.resolve_one(&Requirement::unversioned("nonexistent")),
+            None
+        );
     }
 
     #[test]

@@ -96,7 +96,9 @@ impl Catalog {
 
     /// Load a catalog previously written by [`Catalog::store`].
     pub fn load(store: &dyn ObjectStore, hash: ContentHash) -> io::Result<Option<Catalog>> {
-        let Some(bytes) = store.get(hash)? else { return Ok(None) };
+        let Some(bytes) = store.get(hash)? else {
+            return Ok(None);
+        };
         serde_json::from_slice(&bytes)
             .map(Some)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
@@ -113,7 +115,11 @@ mod tests {
     use crate::object::MemStore;
 
     fn entry(data: &[u8]) -> CatalogEntry {
-        CatalogEntry { hash: ContentHash::of(data), size: data.len() as u64, executable: false }
+        CatalogEntry {
+            hash: ContentHash::of(data),
+            size: data.len() as u64,
+            executable: false,
+        }
     }
 
     #[test]
@@ -167,7 +173,9 @@ mod tests {
         let back = Catalog::load(&store, h).unwrap().unwrap();
         assert_eq!(back, c);
         // Missing hash loads as None.
-        assert!(Catalog::load(&store, ContentHash::of(b"nothing")).unwrap().is_none());
+        assert!(Catalog::load(&store, ContentHash::of(b"nothing"))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

@@ -108,7 +108,12 @@ pub fn block_dedup_fixed(streams: &[&[u8]], block_size: usize) -> DedupReport {
             }
         }
     }
-    DedupReport { total_bytes, unique_bytes, total_units, unique_units: seen.len() as u64 }
+    DedupReport {
+        total_bytes,
+        unique_bytes,
+        total_units,
+        unique_units: seen.len() as u64,
+    }
 }
 
 /// Content-defined chunking parameters.
@@ -126,7 +131,11 @@ pub struct CdcParams {
 impl Default for CdcParams {
     fn default() -> Self {
         // Expected ~4 KiB chunks, bounded 1–16 KiB.
-        CdcParams { min: 1024, mask_bits: 12, max: 16 * 1024 }
+        CdcParams {
+            min: 1024,
+            mask_bits: 12,
+            max: 16 * 1024,
+        }
     }
 }
 
@@ -182,7 +191,12 @@ pub fn block_dedup_cdc(streams: &[&[u8]], params: &CdcParams) -> DedupReport {
             }
         }
     }
-    DedupReport { total_bytes, unique_bytes, total_units, unique_units: seen.len() as u64 }
+    DedupReport {
+        total_bytes,
+        unique_bytes,
+        total_units,
+        unique_units: seen.len() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -231,7 +245,9 @@ mod tests {
 
     #[test]
     fn cdc_chunks_cover_stream_exactly() {
-        let data: Vec<u8> = (0..100_000u32).map(|i| (i.wrapping_mul(2654435761)) as u8).collect();
+        let data: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(2654435761)) as u8)
+            .collect();
         let params = CdcParams::default();
         let chunks = cdc_chunks(&data, &params);
         let total: usize = chunks.iter().map(|c| c.len()).sum();
@@ -246,7 +262,9 @@ mod tests {
     fn cdc_survives_offset_shift() {
         // Insert a prefix before shared content; fixed blocks lose all
         // alignment, CDC re-synchronizes.
-        let shared: Vec<u8> = (0..200_000u32).map(|i| (i.wrapping_mul(2654435761) >> 3) as u8).collect();
+        let shared: Vec<u8> = (0..200_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 3) as u8)
+            .collect();
         let mut shifted = vec![0xAAu8; 777];
         shifted.extend_from_slice(&shared);
 
@@ -271,8 +289,9 @@ mod tests {
     fn identical_streams_dedup_fully() {
         // Non-periodic pseudo-random data: periodic content would dedup
         // within a single stream and break the exact-ratio assertion.
-        let data: Vec<u8> =
-            (0..50_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        let data: Vec<u8> = (0..50_000u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
         let r = block_dedup_cdc(&[&data, &data, &data], &CdcParams::default());
         assert_eq!(r.unique_bytes * 3, r.total_bytes);
         assert!((r.dedup_ratio() - 3.0).abs() < 1e-9);

@@ -33,7 +33,11 @@ pub struct FaultyStore<S> {
 impl<S: ObjectStore> FaultyStore<S> {
     /// Wrap `inner` with the given fault mode.
     pub fn new(inner: S, mode: FaultMode) -> Self {
-        FaultyStore { inner, mode, puts: AtomicU64::new(0) }
+        FaultyStore {
+            inner,
+            mode,
+            puts: AtomicU64::new(0),
+        }
     }
 
     /// The wrapped store.

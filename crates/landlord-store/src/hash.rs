@@ -39,7 +39,10 @@ impl ContentHash {
         }
         // Mix in the length so prefixes of zero bytes differ.
         a ^= data.len() as u64;
-        ContentHash { hi: avalanche(a), lo: avalanche(b ^ a.rotate_left(17)) }
+        ContentHash {
+            hi: avalanche(a),
+            lo: avalanche(b ^ a.rotate_left(17)),
+        }
     }
 
     /// Hash the concatenation of several slices without copying.
@@ -55,7 +58,10 @@ impl ContentHash {
             }
         }
         a ^= len;
-        ContentHash { hi: avalanche(a), lo: avalanche(b ^ a.rotate_left(17)) }
+        ContentHash {
+            hi: avalanche(a),
+            lo: avalanche(b ^ a.rotate_left(17)),
+        }
     }
 
     /// Lowercase hex, 32 characters.
@@ -139,6 +145,10 @@ mod tests {
         for i in 0..512u32 {
             buckets.insert(ContentHash::of(&i.to_le_bytes()).fanout_byte());
         }
-        assert!(buckets.len() > 200, "fan-out too clustered: {}", buckets.len());
+        assert!(
+            buckets.len() > 200,
+            "fan-out too clustered: {}",
+            buckets.len()
+        );
     }
 }

@@ -40,9 +40,9 @@
 //! ```
 
 pub mod catalog;
+pub mod dedup;
 pub mod fault;
 pub mod gc;
-pub mod dedup;
 pub mod hash;
 pub mod object;
 pub mod revision;

@@ -140,7 +140,10 @@ impl DiskStore {
                 }
             }
         }
-        Ok(DiskStore { root: root.to_path_buf(), index: RwLock::new(index) })
+        Ok(DiskStore {
+            root: root.to_path_buf(),
+            index: RwLock::new(index),
+        })
     }
 
     /// Remove one object file (garbage collection); returns freed bytes.
@@ -148,7 +151,9 @@ impl DiskStore {
     /// Inherent rather than on [`ObjectStore`]: deletion is a
     /// store-owner decision, not something image builders may do.
     pub fn remove(&self, hash: ContentHash) -> io::Result<u64> {
-        let Some(size) = self.index.write().remove(&hash) else { return Ok(0) };
+        let Some(size) = self.index.write().remove(&hash) else {
+            return Ok(0);
+        };
         match std::fs::remove_file(self.path_of(hash)) {
             Ok(()) => Ok(size),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(size),
@@ -217,7 +222,10 @@ mod tests {
         let h2 = store.put(b"second object").unwrap();
         assert_ne!(h1, h2);
         assert_eq!(store.object_count(), 2);
-        assert_eq!(store.get(h1).unwrap().as_deref(), Some(b"first object".as_slice()));
+        assert_eq!(
+            store.get(h1).unwrap().as_deref(),
+            Some(b"first object".as_slice())
+        );
         assert!(store.contains(h2));
         assert!(!store.contains(ContentHash::of(b"absent")));
         assert_eq!(store.get(ContentHash::of(b"absent")).unwrap(), None);
@@ -276,8 +284,7 @@ mod tests {
 
     #[test]
     fn disk_store_reopens_with_index() {
-        let dir =
-            std::env::temp_dir().join(format!("landlord-disk-reopen-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("landlord-disk-reopen-{}", std::process::id()));
         std::fs::remove_dir_all(&dir).ok();
         let h = {
             let store = DiskStore::open(&dir).unwrap();

@@ -35,7 +35,10 @@ pub struct RepositoryFs {
 impl RepositoryFs {
     /// A fresh filesystem over `store` with no revisions.
     pub fn new(store: Arc<dyn ObjectStore>) -> Self {
-        RepositoryFs { store, revisions: RwLock::new(Vec::new()) }
+        RepositoryFs {
+            store,
+            revisions: RwLock::new(Vec::new()),
+        }
     }
 
     /// The underlying object store.
@@ -70,7 +73,14 @@ impl RepositoryFs {
         };
         for (path, data, executable) in files {
             let hash = self.store.put(data)?;
-            catalog.insert(path, CatalogEntry { hash, size: data.len() as u64, executable });
+            catalog.insert(
+                path,
+                CatalogEntry {
+                    hash,
+                    size: data.len() as u64,
+                    executable,
+                },
+            );
         }
         let root = catalog.store(self.store.as_ref())?;
         let mut revisions = self.revisions.write();
@@ -92,8 +102,12 @@ impl RepositoryFs {
 
     /// Read one file from one revision.
     pub fn read(&self, rev: RevisionId, path: &str) -> io::Result<Option<Vec<u8>>> {
-        let Some(catalog) = self.open(rev)? else { return Ok(None) };
-        let Some(entry) = catalog.get(path) else { return Ok(None) };
+        let Some(catalog) = self.open(rev)? else {
+            return Ok(None);
+        };
+        let Some(entry) = catalog.get(path) else {
+            return Ok(None);
+        };
         self.store.get(entry.hash)
     }
 }
@@ -114,7 +128,10 @@ mod tests {
         let r1 = fs.publish([("bin/app", b"v1".as_slice(), true)]).unwrap();
         assert_eq!(r1, RevisionId(1));
         assert_eq!(fs.head(), Some(r1));
-        assert_eq!(fs.read(r1, "bin/app").unwrap().as_deref(), Some(b"v1".as_slice()));
+        assert_eq!(
+            fs.read(r1, "bin/app").unwrap().as_deref(),
+            Some(b"v1".as_slice())
+        );
         assert_eq!(fs.read(r1, "missing").unwrap(), None);
     }
 
@@ -124,9 +141,15 @@ mod tests {
         let r1 = fs.publish([("data", b"old".as_slice(), false)]).unwrap();
         let r2 = fs.publish([("data", b"new".as_slice(), false)]).unwrap();
         // New head sees the new content…
-        assert_eq!(fs.read(r2, "data").unwrap().as_deref(), Some(b"new".as_slice()));
+        assert_eq!(
+            fs.read(r2, "data").unwrap().as_deref(),
+            Some(b"new".as_slice())
+        );
         // …and the old revision still serves the old content.
-        assert_eq!(fs.read(r1, "data").unwrap().as_deref(), Some(b"old".as_slice()));
+        assert_eq!(
+            fs.read(r1, "data").unwrap().as_deref(),
+            Some(b"old".as_slice())
+        );
         assert_eq!(fs.revision_count(), 2);
     }
 
@@ -152,11 +175,16 @@ mod tests {
     #[test]
     fn identical_content_dedups_across_revisions() {
         let fs = fs();
-        fs.publish([("a", b"shared-bytes".as_slice(), false)]).unwrap();
+        fs.publish([("a", b"shared-bytes".as_slice(), false)])
+            .unwrap();
         let before = fs.store().stored_bytes();
-        fs.publish([("b", b"shared-bytes".as_slice(), false)]).unwrap();
+        fs.publish([("b", b"shared-bytes".as_slice(), false)])
+            .unwrap();
         let after = fs.store().stored_bytes();
         // Only the catalog object grew; the file bytes were reused.
-        assert!(after - before < 500, "file content duplicated: {before} -> {after}");
+        assert!(
+            after - before < 500,
+            "file content duplicated: {before} -> {after}"
+        );
     }
 }

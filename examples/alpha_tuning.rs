@@ -26,8 +26,7 @@ fn main() {
         ctx.runs(),
         workload.total_requests()
     );
-    let points =
-        sweep::sweep_alpha(&repo, &workload, &cache, &alphas, ctx.runs(), ctx.threads);
+    let points = sweep::sweep_alpha(&repo, &workload, &cache, &alphas, ctx.runs(), ctx.threads);
 
     println!(
         "{:>6} {:>11} {:>11} {:>11} {:>6}",
@@ -60,7 +59,10 @@ fn main() {
                 fig8::WRITE_OVERHEAD_CEILING
             );
             let pick = (lo + hi) / 2.0;
-            println!("suggested starting alpha: {:.2}", (pick * 20.0).round() / 20.0);
+            println!(
+                "suggested starting alpha: {:.2}",
+                (pick * 20.0).round() / 20.0
+            );
         }
         _ => println!("no operational zone at this scale; widen the cache or budget"),
     }

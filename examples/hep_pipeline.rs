@@ -9,12 +9,12 @@
 //!
 //! Run with: `cargo run --example hep_pipeline`
 
+use landlord_repo::Repository;
 use landlord_shrinkwrap::bench_apps::{self, Experiment};
 use landlord_shrinkwrap::filetree::FileTreeConfig;
 use landlord_shrinkwrap::timing::CostModel;
 use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
 use landlord_store::{DiskStore, ObjectStore};
-use landlord_repo::Repository;
 
 fn main() {
     let out_dir = std::env::temp_dir().join("landlord-hep-pipeline");

@@ -42,9 +42,21 @@ fn main() {
     );
 
     let sites = [
-        Site { name: "grid-site (roomy, merge)", alpha: 0.8, cache_fraction: 1.0 },
-        Site { name: "hpc-scratch (tight, merge)", alpha: 0.8, cache_fraction: 0.25 },
-        Site { name: "naive (roomy, no merge)", alpha: 0.0, cache_fraction: 1.0 },
+        Site {
+            name: "grid-site (roomy, merge)",
+            alpha: 0.8,
+            cache_fraction: 1.0,
+        },
+        Site {
+            name: "hpc-scratch (tight, merge)",
+            alpha: 0.8,
+            cache_fraction: 0.25,
+        },
+        Site {
+            name: "naive (roomy, no merge)",
+            alpha: 0.0,
+            cache_fraction: 1.0,
+        },
     ];
 
     println!(

@@ -38,7 +38,7 @@ fn full_lifecycle_on_disk() {
     let n = repo.package_count() as u32;
     let jobs: Vec<_> = [
         vec![PackageId(n - 1)],
-        vec![PackageId(n - 1)], // repeat → hit
+        vec![PackageId(n - 1)],                   // repeat → hit
         vec![PackageId(n - 1), PackageId(n - 2)], // superset-ish → merge
         vec![PackageId(n - 5)],
     ]
@@ -55,8 +55,7 @@ fn full_lifecycle_on_disk() {
 
     // Every decision points at a parseable image satisfying the job.
     for (job, decision) in jobs.iter().zip([&d0, &d1, &d2]) {
-        let img = ImageReader::parse(std::fs::File::open(decision.image_path()).unwrap())
-            .unwrap();
+        let img = ImageReader::parse(std::fs::File::open(decision.image_path()).unwrap()).unwrap();
         for pkg in job.iter() {
             let meta = repo.meta(pkg);
             let prefix = format!("pkg/{}/{}/", meta.name, meta.version);
@@ -71,15 +70,14 @@ fn full_lifecycle_on_disk() {
 
     // File contents round-trip bit-exact through store + image.
     let d3 = cache.submit(&repo, &jobs[3]).unwrap();
-    let img =
-        ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
+    let img = ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
     let some_pkg = jobs[3].iter().next().unwrap();
     let tree = filetree::tree_of(&repo, some_pkg, &FileTreeConfig::miniature());
     for file in &tree {
         let expected = filetree::file_contents(file);
-        let got = img.read_file(&file.path).unwrap_or_else(|| {
-            panic!("{} not found in image", file.path)
-        });
+        let got = img
+            .read_file(&file.path)
+            .unwrap_or_else(|| panic!("{} not found in image", file.path));
         assert_eq!(got, &expected[..], "content mismatch for {}", file.path);
     }
 
@@ -97,13 +95,8 @@ fn cache_survives_process_restart() {
     let spec = repo.closure_spec(&[PackageId(repo.package_count() as u32 - 1)]);
 
     let first_path = {
-        let mut cache = PersistentCache::open(
-            &dir,
-            0.8,
-            u64::MAX,
-            FileTreeConfig::miniature(),
-        )
-        .unwrap();
+        let mut cache =
+            PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
         let d = cache.submit(&repo, &spec).unwrap();
         assert!(matches!(d, Decision::Inserted { .. }));
         d.image_path().to_path_buf()
@@ -150,7 +143,10 @@ fn store_objects_shared_between_similar_images() {
         new_objects < objects_after_first,
         "second image should reuse most objects: +{new_objects} over {objects_after_first}"
     );
-    assert!(bytes_after_second > bytes_after_first, "but some new content exists");
+    assert!(
+        bytes_after_second > bytes_after_first,
+        "but some new content exists"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -49,7 +49,10 @@ fn revision_publish_propagates_put_errors() {
     use landlord_store::RepositoryFs;
     use std::sync::Arc;
 
-    let store = Arc::new(FaultyStore::new(MemStore::new(), FaultMode::FailPutsAfter(0)));
+    let store = Arc::new(FaultyStore::new(
+        MemStore::new(),
+        FaultMode::FailPutsAfter(0),
+    ));
     let fs = RepositoryFs::new(store);
     let err = fs
         .publish([("a", b"data".as_slice(), false)])
@@ -67,7 +70,11 @@ fn catalog_load_propagates_get_errors() {
     let mut catalog = Catalog::new();
     catalog.insert(
         "f",
-        CatalogEntry { hash: ContentHash::of(b"x"), size: 1, executable: false },
+        CatalogEntry {
+            hash: ContentHash::of(b"x"),
+            size: 1,
+            executable: false,
+        },
     );
     let hash = catalog.store(&good).unwrap();
 

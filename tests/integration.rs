@@ -35,7 +35,11 @@ fn alpha_zero_equals_per_job_baseline() {
     let jobs = stream(&r, 5);
     let limit = r.total_bytes() / 3;
 
-    let cfg = CacheConfig { alpha: 0.0, limit_bytes: limit, ..CacheConfig::default() };
+    let cfg = CacheConfig {
+        alpha: 0.0,
+        limit_bytes: limit,
+        ..CacheConfig::default()
+    };
     let mut landlord = ImageCache::new(cfg, Arc::new(r.size_table()));
     let mut baseline = PerJobCache::new(limit, Arc::new(r.size_table()));
 
@@ -48,9 +52,14 @@ fn alpha_zero_equals_per_job_baseline() {
     assert_eq!(l.hits, b.hits, "hit counts diverge");
     assert_eq!(l.inserts, b.inserts, "insert counts diverge");
     assert_eq!(l.deletes, b.deletes, "delete counts diverge");
-    assert_eq!(l.bytes_written, b.bytes_written, "write accounting diverges");
+    assert_eq!(
+        l.bytes_written, b.bytes_written,
+        "write accounting diverges"
+    );
     assert_eq!(l.total_bytes, b.total_bytes, "cached bytes diverge");
     assert_eq!(l.merges, 0);
+    landlord.check_invariants();
+    baseline.check_invariants();
 }
 
 /// The cache's incrementally-maintained unique/total bytes must equal
@@ -115,6 +124,8 @@ fn landlord_sits_between_the_extremes() {
         landlord.cache_efficiency_pct(),
         none_cache_eff
     );
+    landlord.check_invariants();
+    none.check_invariants();
 }
 
 /// Layered chains never store less than LANDLORD's composed images on
@@ -126,7 +137,11 @@ fn layering_never_beats_composition() {
     let sizes = Arc::new(r.size_table());
 
     let mut chain = LayerChain::new(Arc::clone(&sizes) as _);
-    let cfg = CacheConfig { alpha: 1.0, limit_bytes: u64::MAX, ..CacheConfig::default() };
+    let cfg = CacheConfig {
+        alpha: 1.0,
+        limit_bytes: u64::MAX,
+        ..CacheConfig::default()
+    };
     let mut cache = ImageCache::new(cfg, Arc::clone(&sizes) as _);
     for job in &jobs {
         chain.refine_to(job);
@@ -138,7 +153,11 @@ fn layering_never_beats_composition() {
         chain.stored_bytes(),
         cache.stats().total_bytes
     );
-    assert!(chain.dead_bytes() > 0, "masking must strand storage on this stream");
+    assert!(
+        chain.dead_bytes() > 0,
+        "masking must strand storage on this stream"
+    );
+    cache.check_invariants();
 }
 
 /// Under a single-version-per-name conflict policy, no cached image
@@ -172,11 +191,15 @@ fn conflict_policy_keeps_images_consistent() {
         let mut seen = std::collections::HashMap::new();
         for p in img.spec.iter() {
             if let Some(prev) = seen.insert(names[p.index()], p) {
-                panic!("image {} holds two versions of name {}: {prev} and {p}",
-                    img.id, names[p.index()]);
+                panic!(
+                    "image {} holds two versions of name {}: {prev} and {p}",
+                    img.id,
+                    names[p.index()]
+                );
             }
         }
     }
+    cache.check_invariants();
 }
 
 /// Workload streams honour their generation scheme across crates: the
@@ -194,7 +217,10 @@ fn fig7_workload_pair_is_size_matched() {
     let deps = workload::unique_specs(&r, &base);
     let random = workload::unique_specs(
         &r,
-        &WorkloadConfig { scheme: WorkloadScheme::UniformRandom, ..base },
+        &WorkloadConfig {
+            scheme: WorkloadScheme::UniformRandom,
+            ..base
+        },
     );
     for (d, x) in deps.iter().zip(&random) {
         assert_eq!(d.len(), x.len());
@@ -211,7 +237,11 @@ fn shrinkwrap_agrees_with_cache_accounting() {
     use landlord_store::MemStore;
 
     let r = repo();
-    let cfg = CacheConfig { alpha: 0.9, limit_bytes: u64::MAX, ..CacheConfig::default() };
+    let cfg = CacheConfig {
+        alpha: 0.9,
+        limit_bytes: u64::MAX,
+        ..CacheConfig::default()
+    };
     let mut cache = ImageCache::new(cfg, Arc::new(r.size_table()));
     for job in stream(&r, 11).into_iter().take(20) {
         cache.request(&job);
@@ -228,4 +258,5 @@ fn shrinkwrap_agrees_with_cache_accounting() {
         );
         assert_eq!(report.packages, img.spec.len());
     }
+    cache.check_invariants();
 }

@@ -1,0 +1,333 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of criterion's API for this workspace's bench
+//! targets to compile and produce useful numbers without crates.io
+//! access: mean wall-clock per iteration with adaptive iteration
+//! counts, printed one line per benchmark. No statistical analysis, no
+//! HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the target measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Set the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.measurement_time, None, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record elements/bytes processed per iteration for reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement_time = d;
+        self
+    }
+
+    /// Run a benchmark within the group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        T: ?Sized,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id);
+        run_one(
+            &label,
+            self.criterion.measurement_time,
+            self.throughput,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Close the group (no-op beyond matching criterion's API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at a given parameter value.
+    pub fn new<P: fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            function: s.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId {
+            function: s,
+            parameter: None,
+        }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        BenchmarkId {
+            function: s.clone(),
+            parameter: None,
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    measurement_time: Duration,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `f`, adaptively choosing the iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed call to warm caches and page in code.
+        black_box(f());
+        let mut iters: u64 = 1;
+        let budget = self.measurement_time;
+        let start = Instant::now();
+        let mut total_iters: u64 = 0;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let batch = t0.elapsed();
+            total_iters += iters;
+            if start.elapsed() >= budget {
+                let per_iter = batch.as_nanos() as f64 / iters as f64;
+                self.mean_ns = per_iter;
+                break;
+            }
+            // Grow batches until one batch spans ~a tenth of the budget.
+            if batch < budget / 10 {
+                iters = iters.saturating_mul(2);
+            }
+            let _ = total_iters;
+        }
+    }
+}
+
+fn run_one<F>(label: &str, measurement_time: Duration, throughput: Option<Throughput>, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        measurement_time,
+        mean_ns: 0.0,
+    };
+    f(&mut bencher);
+    let mean = bencher.mean_ns;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean > 0.0 => {
+            format!("  {:.1} Melem/s", n as f64 / mean * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean > 0.0 => {
+            format!("  {:.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<52} {:>14}{rate}", format_ns(mean));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declare a group of benchmark functions, optionally with a custom
+/// [`Criterion`] configuration (criterion's two macro forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; accept and
+            // ignore them, but honor `--test` by skipping measurement.
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(10));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(1 + 1));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides only [`scope`], implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63). The API mirrors `crossbeam::scope`: the
+//! closure receives a [`Scope`] whose `spawn` passes the scope back to
+//! the spawned closure, and the call returns `Err` (instead of
+//! unwinding) when any scoped thread panicked.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// The error half of [`scope`]'s result: the payload of the first
+/// panicking scoped thread.
+pub type ScopeError = Box<dyn Any + Send + 'static>;
+
+/// A handle for spawning threads tied to a [`scope`] call.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread. As in crossbeam, the closure receives the
+    /// scope again so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Create a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before this returns. Returns `Err`
+/// with the panic payload if any scoped thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, ScopeError>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Subset of `crossbeam::thread` re-exporting the same scope API.
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+            7
+        });
+        assert_eq!(out.ok(), Some(7));
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn panic_in_worker_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("worker died"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_argument() {
+        let counter = AtomicUsize::new(0);
+        let ok = super::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        });
+        assert!(ok.is_ok());
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

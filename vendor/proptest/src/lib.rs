@@ -1,0 +1,736 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, ranges and tuples
+//! as strategies, [`Just`], [`prop_oneof!`], `collection::vec`,
+//! `sample::Index`, `any::<T>()`, and `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints
+//! its seed context but is not minimized), and generation is driven by
+//! a per-test deterministic RNG seeded from the test's module path so
+//! runs are reproducible. Case counts honor `PROPTEST_CASES` from the
+//! environment, like the real crate.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Runner configuration (`cases` = iterations per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to execute per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` iterations.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property: carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Build a failure from a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic generator driving all strategies (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed deterministically from a test identifier (module path).
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name, SplitMix64-expanded to 256 bits.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            h = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = h;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *word = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe producing random values of `Self::Value`.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+
+    /// Produce one random value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed strategies (built by [`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V> Union<V> {
+    /// Build from the candidate arms; at least one is required.
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].generate(rng)
+    }
+}
+
+/// Coerce a concrete strategy into a boxed one (for [`prop_oneof!`]).
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                start + (rng.unit_f64() as $t) * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_strategy!(f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+// ---- regex string strategies ----
+//
+// Real proptest treats `&str` as a strategy producing strings matching
+// the regex. This shim supports the generator-friendly subset used in
+// this workspace: literals, `[a-z0-9]` classes with ranges, `(...)`
+// groups, and `{n}` / `{m,n}` / `?` / `*` / `+` quantifiers
+// (unbounded quantifiers cap at 8 repetitions).
+
+#[derive(Debug)]
+enum RegexNode {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(RegexNode, (u32, u32))>),
+}
+
+fn parse_regex_seq(
+    chars: &mut std::iter::Peekable<std::str::Chars>,
+) -> Vec<(RegexNode, (u32, u32))> {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.peek() {
+        let node = match c {
+            ')' => break,
+            '(' => {
+                chars.next();
+                let inner = parse_regex_seq(chars);
+                assert_eq!(chars.next(), Some(')'), "unclosed group in regex strategy");
+                RegexNode::Group(inner)
+            }
+            '[' => {
+                chars.next();
+                let mut ranges = Vec::new();
+                loop {
+                    let lo = chars.next().expect("unclosed class in regex strategy");
+                    if lo == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().expect("unclosed range in regex strategy");
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in regex strategy");
+                RegexNode::Class(ranges)
+            }
+            '\\' => {
+                chars.next();
+                RegexNode::Lit(chars.next().expect("dangling escape in regex strategy"))
+            }
+            '|' | '.' | '^' | '$' => panic!("unsupported regex construct `{c}` in shim strategy"),
+            _ => {
+                chars.next();
+                RegexNode::Lit(c)
+            }
+        };
+        let quant = match chars.peek() {
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.parse().expect("bad quantifier in regex strategy"),
+                        hi.parse().expect("bad quantifier in regex strategy"),
+                    ),
+                    None => {
+                        let n = spec.parse().expect("bad quantifier in regex strategy");
+                        (n, n)
+                    }
+                };
+                assert!(lo <= hi, "inverted quantifier in regex strategy");
+                (lo, hi)
+            }
+            _ => (1, 1),
+        };
+        seq.push((node, quant));
+    }
+    seq
+}
+
+fn generate_regex_seq(seq: &[(RegexNode, (u32, u32))], rng: &mut TestRng, out: &mut String) {
+    for (node, (lo, hi)) in seq {
+        let reps = lo + rng.below((hi - lo + 1) as u64) as u32;
+        for _ in 0..reps {
+            match node {
+                RegexNode::Lit(c) => out.push(*c),
+                RegexNode::Class(ranges) => {
+                    let (a, b) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = b as u32 - a as u32 + 1;
+                    let c = char::from_u32(a as u32 + rng.below(span as u64) as u32)
+                        .expect("class range produced invalid char");
+                    out.push(c);
+                }
+                RegexNode::Group(inner) => generate_regex_seq(inner, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut chars = self.chars().peekable();
+        let seq = parse_regex_seq(&mut chars);
+        assert!(chars.peek().is_none(), "unbalanced `)` in regex strategy");
+        let mut out = String::new();
+        generate_regex_seq(&seq, rng, &mut out);
+        out
+    }
+}
+
+/// Values constructible "from anywhere" via [`any`].
+pub trait Arbitrary: Sized {
+    /// Produce one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64() * 2.0 - 1.0
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Permissible lengths for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `vec(element, len)`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Index-like helper types.
+pub mod sample {
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index resolvable against any collection length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve against a collection of `size` elements.
+        ///
+        /// # Panics
+        ///
+        /// Panics when `size` is zero (as in real proptest).
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Everything a property test module wants in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Uniform choice among the given strategies (all must share one value
+/// type). Weighted arms are not supported by this shim.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...)` runs the
+/// body over `cases` random assignments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        $vis fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng =
+                $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(__e) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __config.cases,
+                        __e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fallible assertion: fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`",
+            __l,
+            __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(*__l != *__r, "assertion failed: `{:?}` != `{:?}`", __l, __r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let mut a = crate::TestRng::for_test("x::y");
+        let mut b = crate::TestRng::for_test("x::y");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::for_test("x::z");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn union_draws_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = crate::TestRng::for_test("union");
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&strat, &mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_bounds() {
+        let strat = crate::collection::vec(0u32..10, 2..5);
+        let mut rng = crate::TestRng::for_test("vecs");
+        for _ in 0..200 {
+            let v = Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec() {
+        let strat = crate::collection::vec(any::<bool>(), 7usize);
+        let mut rng = crate::TestRng::for_test("exact");
+        assert_eq!(Strategy::generate(&strat, &mut rng).len(), 7);
+    }
+
+    #[test]
+    fn index_resolves_in_bounds() {
+        let mut rng = crate::TestRng::for_test("idx");
+        for len in [1usize, 2, 17, 1000] {
+            let idx = crate::Arbitrary::arbitrary(&mut rng);
+            let i = crate::sample::Index::index(&idx, len);
+            assert!(i < len);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u32..50, flip in any::<bool>(), v in crate::collection::vec(0u8..4, 0..6)) {
+            prop_assert!(x < 50);
+            prop_assert_eq!(flip, flip);
+            prop_assert_ne!(x + 1, x);
+            prop_assert!(v.len() < 6, "len was {}", v.len());
+        }
+
+        #[test]
+        fn mapped_strategy((a, b) in (0u32..10, 0u32..10).prop_map(|(x, y)| (x, x + y))) {
+            prop_assert!(b >= a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest")]
+    fn failing_property_panics() {
+        mod inner {
+            use crate::prelude::*;
+            proptest! {
+                #![proptest_config(ProptestConfig::with_cases(4))]
+                pub fn always_fails(x in 0u32..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+        }
+        inner::always_fails();
+    }
+}

@@ -1,0 +1,543 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate depends on `syn`/`quote`, which are unavailable
+//! without crates.io access, so this one parses the item's token stream
+//! by hand. It supports exactly the shapes this workspace derives:
+//!
+//! - structs with named fields (optionally `#[serde(transparent)]` with
+//!   a single field, and `#[serde(default)]` on individual fields);
+//! - tuple structs (a single field serializes as its inner value, like
+//!   real serde newtypes; multi-field as an array);
+//! - enums with unit, single-tuple, and struct variants, using serde's
+//!   externally-tagged representation.
+//!
+//! Generics are rejected with a compile error rather than silently
+//! mis-serialized. Unknown `#[serde(...)]` arguments are also rejected
+//! so behavior can never silently diverge from real serde.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Variant {
+    Unit(String),
+    Tuple1(String),
+    Struct(String, Vec<Field>),
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        transparent: bool,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().unwrap_or_else(|e| {
+                compile_error(&format!("serde_derive shim generated invalid code: {e}"))
+            })
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error")
+}
+
+/// Outcome of scanning one attribute block: the serde args it carried.
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+}
+
+/// Consume a leading `#[...]`, returning its serde args (if any).
+fn take_attr(tokens: &[TokenTree], pos: &mut usize) -> Result<Option<SerdeAttrs>, String> {
+    match (tokens.get(*pos), tokens.get(*pos + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            *pos += 2;
+            let mut attrs = SerdeAttrs::default();
+            if let Some(TokenTree::Ident(id)) = inner.first() {
+                if id.to_string() == "serde" {
+                    let Some(TokenTree::Group(args)) = inner.get(1) else {
+                        return Err("malformed #[serde] attribute".into());
+                    };
+                    for arg in args.stream() {
+                        match arg {
+                            TokenTree::Ident(arg) => match arg.to_string().as_str() {
+                                "transparent" => attrs.transparent = true,
+                                "default" => attrs.default = true,
+                                other => {
+                                    return Err(format!(
+                                        "serde_derive shim: unsupported #[serde({other})]"
+                                    ))
+                                }
+                            },
+                            TokenTree::Punct(p) if p.as_char() == ',' => {}
+                            other => {
+                                return Err(format!(
+                                    "serde_derive shim: unsupported #[serde] token `{other}`"
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Some(attrs))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Skip attributes, accumulating serde flags.
+fn skip_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<SerdeAttrs, String> {
+    let mut acc = SerdeAttrs::default();
+    while let Some(attrs) = take_attr(tokens, pos)? {
+        acc.transparent |= attrs.transparent;
+        acc.default |= attrs.default;
+    }
+    Ok(acc)
+}
+
+/// Skip `pub` / `pub(crate)` / `pub(super)` etc.
+fn skip_vis(tokens: &[TokenTree], pos: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*pos) {
+        if id.to_string() == "pub" {
+            *pos += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *pos += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let item_attrs = skip_attrs(&tokens, &mut pos)?;
+    skip_vis(&tokens, &mut pos);
+
+    let kind = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    pos += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(pos) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is unsupported"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                if item_attrs.transparent && fields.len() != 1 {
+                    return Err(format!(
+                        "#[serde(transparent)] on `{name}` requires exactly one field"
+                    ));
+                }
+                Ok(Item::NamedStruct {
+                    name,
+                    transparent: item_attrs.transparent,
+                    fields,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream())?,
+                })
+            }
+            other => Err(format!("unsupported struct body for `{name}`: {other:?}")),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("unsupported enum body for `{name}`: {other:?}")),
+        },
+        other => Err(format!("cannot derive serde impls for `{other}` items")),
+    }
+}
+
+/// Advance past a type (or other expression) to the next top-level `,`,
+/// treating `<...>` as nesting.
+fn skip_to_comma(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                '-' => {
+                    // `->` carries a spacing-joint `>`; consume the pair
+                    // so the arrow's `>` doesn't unbalance the count.
+                    if let Some(TokenTree::Punct(next)) = tokens.get(*pos + 1) {
+                        if next.as_char() == '>' {
+                            *pos += 1;
+                        }
+                    }
+                }
+                ',' if angle_depth <= 0 => return,
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        let attrs = skip_attrs(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1; // past the comma (or end)
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> Result<usize, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut arity = 0;
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        skip_vis(&tokens, &mut pos);
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        arity += 1;
+    }
+    Ok(arity)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs(&tokens, &mut pos)?;
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        pos += 1;
+        let variant = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Variant::Struct(name, parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                match count_tuple_fields(g.stream())? {
+                    1 => Variant::Tuple1(name),
+                    n => {
+                        return Err(format!(
+                            "serde_derive shim: {n}-field tuple variant `{name}` unsupported"
+                        ))
+                    }
+                }
+            }
+            _ => Variant::Unit(name),
+        };
+        // Skip an explicit discriminant and advance past the comma.
+        skip_to_comma(&tokens, &mut pos);
+        pos += 1;
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn field_to_entry(f: &Field, accessor: &str) -> String {
+    format!(
+        "(String::from({:?}), ::serde::Serialize::to_value({accessor})),",
+        f.name
+    )
+}
+
+fn field_from_map(f: &Field, source: &str, owner: &str) -> String {
+    let missing = if f.default {
+        "::std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(::serde::DeError(String::from(\
+             \"missing field `{}` in {owner}\")))",
+            f.name
+        )
+    };
+    format!(
+        "{name}: match {source}.get({name_str:?}) {{ \
+           Some(__v) => ::serde::Deserialize::from_value(__v)?, \
+           None => {missing}, \
+         }},",
+        name = f.name,
+        name_str = f.name,
+        source = source,
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct {
+            name,
+            transparent: true,
+            fields,
+        } => {
+            let f = &fields[0].name;
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Serialize::to_value(&self.{f}) \
+                   }} \
+                 }}"
+            )
+        }
+        Item::NamedStruct {
+            name,
+            transparent: false,
+            fields,
+        } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| field_to_entry(f, &format!("&self.{}", f.name)))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Map(vec![{entries}]) \
+                   }} \
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{ \
+               fn to_value(&self) -> ::serde::Value {{ \
+                 ::serde::Serialize::to_value(&self.0) \
+               }} \
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     ::serde::Value::Seq(vec![{items}]) \
+                   }} \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| match v {
+                    Variant::Unit(v) => {
+                        format!("{name}::{v} => ::serde::Value::Str(String::from({v:?})),")
+                    }
+                    Variant::Tuple1(v) => format!(
+                        "{name}::{v}(__x) => ::serde::Value::Map(vec![\
+                           (String::from({v:?}), ::serde::Serialize::to_value(__x))]),"
+                    ),
+                    Variant::Struct(v, fields) => {
+                        let bindings: String =
+                            fields.iter().map(|f| format!("{},", f.name)).collect();
+                        let entries: String =
+                            fields.iter().map(|f| field_to_entry(f, &f.name)).collect();
+                        format!(
+                            "{name}::{v} {{ {bindings} }} => ::serde::Value::Map(vec![\
+                               (String::from({v:?}), \
+                                ::serde::Value::Map(vec![{entries}]))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{ \
+                   fn to_value(&self) -> ::serde::Value {{ \
+                     match self {{ {arms} }} \
+                   }} \
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct {
+            name,
+            transparent: true,
+            fields,
+        } => {
+            let f = &fields[0].name;
+            format!("Ok({name} {{ {f}: ::serde::Deserialize::from_value(__value)? }})")
+        }
+        Item::NamedStruct {
+            name,
+            transparent: false,
+            fields,
+        } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| field_from_map(f, "__value", name))
+                .collect();
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Map(_) => Ok({name} {{ {inits} }}), \
+                   __other => Err(::serde::DeError(format!(\
+                     \"expected object for {name}, got {{:?}}\", __other))), \
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: String = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?,"))
+                .collect();
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Seq(__items) if __items.len() == {arity} => \
+                     Ok({name}({items})), \
+                   __other => Err(::serde::DeError(format!(\
+                     \"expected {arity}-element array for {name}, got {{:?}}\", __other))), \
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(v) => Some(format!("{v:?} => Ok({name}::{v}),")),
+                    _ => None,
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| match v {
+                    Variant::Unit(_) => None,
+                    Variant::Tuple1(v) => Some(format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),"
+                    )),
+                    Variant::Struct(v, fields) => {
+                        let inits: String = fields
+                            .iter()
+                            .map(|f| field_from_map(f, "__inner", name))
+                            .collect();
+                        Some(format!("{v:?} => Ok({name}::{v} {{ {inits} }}),"))
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{ \
+                   ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                     {unit_arms} \
+                     __other => Err(::serde::DeError(format!(\
+                       \"unknown unit variant `{{}}` of {name}\", __other))), \
+                   }}, \
+                   ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                     let (__tag, __inner) = &__entries[0]; \
+                     match __tag.as_str() {{ \
+                       {tagged_arms} \
+                       __other => Err(::serde::DeError(format!(\
+                         \"unknown variant `{{}}` of {name}\", __other))), \
+                     }} \
+                   }}, \
+                   __other => Err(::serde::DeError(format!(\
+                     \"expected variant of {name}, got {{:?}}\", __other))), \
+                 }}"
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__value: &::serde::Value) -> Result<Self, ::serde::DeError> {{ \
+             {body} \
+           }} \
+         }}"
+    )
+}
