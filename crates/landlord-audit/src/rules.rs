@@ -1,4 +1,4 @@
-//! The six project-specific lints, plus allow-directive hygiene.
+//! The seven project-specific lints, plus allow-directive hygiene.
 //!
 //! Each rule pattern-matches on the blanked `code` text produced by
 //! [`crate::scan`], so string literals and comments never trigger
@@ -33,6 +33,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "test-invariants",
         "a #[test] that mutates an ImageCache must call check_invariants() before returning",
+    ),
+    (
+        "no-silent-io-drop",
+        "io::Result/serde_json::Result values must not be discarded with `let _ =` or a bare `.ok();` in non-test code: propagate or handle the error",
     ),
     (
         "bad-allow",
@@ -199,6 +203,60 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
                         idx,
                         "guard-across-closure",
                         "lock guard and closure share a statement outside `with_cache`: route through SharedImageCache::with_cache".to_string(),
+                        &mut findings,
+                    );
+                }
+            }
+        }
+
+        // R7: no-silent-io-drop — non-test code of all workspace
+        // crates. Discarding an io::Result hides exactly the failures
+        // the crash-recovery machinery exists to surface.
+        if lints_code && !info.in_test {
+            if code.contains("let _ =") || code.contains("let _ :") || code.contains("let _:") {
+                // Statement window: this line plus up to 3 continuations.
+                let mut stmt = String::new();
+                for look in model.lines.iter().skip(idx).take(4) {
+                    stmt.push_str(&look.code);
+                    stmt.push('\n');
+                    if look.code.trim_end().ends_with(';') {
+                        break;
+                    }
+                }
+                if io_result_tokens(&stmt) {
+                    emit(
+                        idx,
+                        "no-silent-io-drop",
+                        "`let _ =` discards an io::Result: propagate with `?` or handle the error"
+                            .to_string(),
+                        &mut findings,
+                    );
+                }
+            } else if code.contains(".ok();") {
+                // Gather the whole statement, looking back over up to
+                // 3 continuation lines.
+                let mut start = idx;
+                for back in (idx.saturating_sub(3)..idx).rev() {
+                    let prev = model.lines[back].code.trim_end();
+                    if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+                        break;
+                    }
+                    start = back;
+                }
+                let stmt: String = model.lines[start..=idx]
+                    .iter()
+                    .map(|l| l.code.as_str())
+                    .collect::<Vec<_>>()
+                    .join("\n");
+                // `let x = …ok();` / `y = …ok();` bind the value: used.
+                let value_used =
+                    stmt.contains("let ") || stmt.contains("return ") || stmt.contains("= ");
+                if !value_used && io_result_tokens(&stmt) {
+                    emit(
+                        idx,
+                        "no-silent-io-drop",
+                        "bare `.ok();` swallows an io::Result: propagate with `?` or handle the error"
+                            .to_string(),
                         &mut findings,
                     );
                 }
@@ -479,6 +537,31 @@ fn is_floatish(operand: &str) -> bool {
         return false;
     }
     toks.iter().any(|t| FLOAT_NAMES.contains(&t.as_str()))
+}
+
+/// Tokens that mark a statement as producing an `io::Result` (or
+/// `serde_json::Result`) in this codebase. Deliberately excludes the
+/// `write!`/`writeln!` macros: on Strings those return `fmt::Result`,
+/// whose discard is idiomatic.
+fn io_result_tokens(stmt: &str) -> bool {
+    [
+        "fs::",
+        "File::",
+        "remove_file",
+        "remove_dir",
+        "create_dir",
+        "rename(",
+        "hard_link",
+        "sync_all",
+        "sync_data",
+        "set_len",
+        "write_all",
+        "flush(",
+        "to_writer",
+        "save_state",
+    ]
+    .iter()
+    .any(|t| stmt.contains(t))
 }
 
 fn contains_token(code: &str, needle: &str) -> bool {

@@ -171,6 +171,51 @@ fn test_invariants_ignores_read_only_tests() {
     assert!(findings(FileKind::StrictLib, src).is_empty());
 }
 
+// ---- R7: no-silent-io-drop ---------------------------------------------
+
+#[test]
+fn silent_io_drop_fires_on_let_underscore() {
+    let src = "fn f(p: &Path) {\n    let _ = std::fs::remove_file(p);\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["no-silent-io-drop"]);
+}
+
+#[test]
+fn silent_io_drop_fires_on_bare_ok() {
+    let src = "fn f(a: &Path, b: &Path) {\n    std::fs::rename(a, b).ok();\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["no-silent-io-drop"]);
+}
+
+#[test]
+fn silent_io_drop_fires_across_continuation_lines() {
+    let src = "fn f(a: &Path, b: &Path) {\n    std::fs::rename(a, b)\n        .ok();\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["no-silent-io-drop"]);
+}
+
+#[test]
+fn silent_io_drop_honours_allow() {
+    let src = "fn f(p: &Path) {\n    // audit: allow(no-silent-io-drop) -- fixture exercises the allowlist\n    let _ = std::fs::remove_file(p);\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn silent_io_drop_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        std::fs::remove_dir_all(&dir).ok();\n    }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn silent_io_drop_ignores_non_io_discards() {
+    // `let _ =` on plain values and fmt writes to Strings are idiomatic.
+    let src = "fn f(out: &mut String, pos: usize) {\n    let _ = pos;\n    let _ = writeln!(out, \"header\");\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn silent_io_drop_permits_bound_ok_values() {
+    let src = "fn f(p: &Path) -> bool {\n    let removed = std::fs::remove_file(p).ok();\n    removed.is_some()\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
 // ---- Allow hygiene -----------------------------------------------------
 
 #[test]

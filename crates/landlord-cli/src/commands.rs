@@ -27,19 +27,21 @@ USAGE:
                       [--alpha A] [--limit-gb G] [--job-seed S]
   landlord simulate   [--scale full|smoke] [--alpha A] [--cache-x M]
                       [--jobs N] [--repeats R] [--seed S] [--trace FILE]
+                      [--fault-rate F] [--fault-seed S] [--retries N]
+                      [--backoff-base T] [--backoff-cap T]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
   landlord experiment <id|all> [--scale full|smoke] [--seed S]
                       [--threads T] [--csv-dir DIR] [--plot-dir DIR]
   landlord spec-from  --repo FILE (--python F | --modules F | --joblog F)...
                       [--out SPEC.json]
-  landlord verify     --cache-dir DIR
+  landlord verify     --cache-dir DIR [--repair yes] [--repo FILE | --seed S]
   landlord gc         --cache-dir DIR [--repo FILE | --seed S] [--prune yes]
   landlord help
 
 Experiment ids: fig1 fig2 fig3 fig4 fig4a fig4b fig4c fig5 fig6a fig6b
 fig6c fig6d fig7 fig8 ablation-evict ablation-merge-order
 ablation-candidates ablation-split ablation-metric ext-cluster
-ext-usermix ext-update
+ext-usermix ext-update ext-faults
 ";
 
 fn parse_scale(args: &Args) -> Result<Scale, Box<dyn Error>> {
@@ -191,15 +193,39 @@ pub fn simulate(args: &Args) -> CmdResult {
         limit_bytes: (repo.total_bytes() as f64 * cache_x) as u64,
         ..Default::default()
     };
+
+    // The failure model: --fault-rate > 0 switches to the faulty
+    // simulator, where merge/insert builds can fail and retry.
+    let fault_rate = args.get_parsed("fault-rate", 0.0f64, "a probability in [0,1]")?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate {fault_rate} must be in [0,1]").into());
+    }
+    let fault_seed = args.get_parsed("fault-seed", seed ^ 0xfa, "an integer seed")?;
+    let retries = args.get_parsed("retries", 0u32, "a retry count")?;
+    let backoff_base = args.get_parsed("backoff-base", 4u64, "a tick count")?;
+    let backoff_cap = args.get_parsed("backoff-cap", 32u64, "a tick count")?;
+
     // --trace FILE replays a recorded stream instead of generating one.
-    let result = match args.get("trace") {
-        Some(path) => {
-            let trace = landlord_sim::trace::Trace::load(Path::new(path))?;
-            let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
-                std::sync::Arc::new(repo.size_table());
-            simulator::simulate_stream(&trace.requests, cache, sizes, None, 0)
-        }
-        None => simulator::simulate(&repo, &w, cache, 0),
+    let stream = match args.get("trace") {
+        Some(path) => landlord_sim::trace::Trace::load(Path::new(path))?.requests,
+        None => workload::generate_stream(&repo, &w),
+    };
+    let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
+        std::sync::Arc::new(repo.size_table());
+    let (result, fault_stats) = if fault_rate > 0.0 {
+        let cfg = landlord_sim::faults::FaultConfig {
+            fail_per_mille: (fault_rate * 1000.0).round() as u32,
+            seed: fault_seed,
+            retry: landlord_core::policy::RetryPolicy::new(retries, backoff_base, backoff_cap),
+        };
+        let fr =
+            landlord_sim::faults::simulate_stream_with_faults(&stream, cache, sizes, None, &cfg);
+        (fr.run, Some(fr.faults))
+    } else {
+        (
+            simulator::simulate_stream(&stream, cache, sizes, None, 0),
+            None,
+        )
     };
     let s = result.final_stats;
     let mut t = Table::new(
@@ -225,6 +251,21 @@ pub fn simulate(args: &Args) -> CmdResult {
         "container eff %".into(),
         fmt_pct(result.container_eff_pct),
     ]);
+    if let Some(f) = fault_stats {
+        t.push_row(vec!["goodput %".into(), fmt_pct(f.goodput_pct())]);
+        t.push_row(vec![
+            "failed requests".into(),
+            f.failed_requests.to_string(),
+        ]);
+        t.push_row(vec!["injected faults".into(), f.faults.to_string()]);
+        t.push_row(vec!["retries".into(), f.retries.to_string()]);
+        t.push_row(vec!["backoff ticks".into(), f.backoff_ticks.to_string()]);
+        t.push_row(vec![
+            "degraded inserts".into(),
+            f.degraded_inserts.to_string(),
+        ]);
+        t.push_row(vec!["wasted TB".into(), fmt_tb(f.wasted_bytes as f64)]);
+    }
     print!("{}", t.render());
     Ok(())
 }
@@ -355,18 +396,48 @@ pub fn spec_from(args: &Args) -> CmdResult {
 
 /// `landlord verify` — fsck a cache directory: every indexed image
 /// must exist, parse as a valid LLIMG, and match its recorded sizes;
-/// every object in the content store must match its hash.
+/// every object in the content store must match its hash. Opening runs
+/// crash recovery; `--repair yes` additionally quarantines images whose
+/// LLIMG payload is corrupt and (given `--repo`/`--seed`) prunes
+/// orphaned objects.
 pub fn verify(args: &Args) -> CmdResult {
     use landlord_shrinkwrap::ImageReader;
     use landlord_store::{ContentHash, ObjectStore};
 
     let cache_dir = std::path::PathBuf::from(args.require("cache-dir")?);
-    let cache = PersistentCache::open(
+    let mut cache = PersistentCache::open(
         &cache_dir,
         0.8, // policy knobs are irrelevant to verification
         u64::MAX,
         FileTreeConfig::miniature(),
     )?;
+    let recovery = cache.last_recovery();
+    if !recovery.clean() {
+        println!(
+            "recovery: tmp-state {}, dropped {} missing image(s), quarantined {} image(s), removed {} object tmp(s)",
+            if recovery.quarantined_tmp_state { "quarantined" } else { "clean" },
+            recovery.dropped_missing_images,
+            recovery.quarantined_images,
+            recovery.removed_object_tmps,
+        );
+    }
+    cache.check_invariants()?;
+
+    if args.get_or("repair", "no") == "yes" {
+        let repo = if let Some(path) = args.get("repo") {
+            Some(persist::load_json(Path::new(path))?)
+        } else if args.get("seed").is_some() {
+            let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+            Some(Repository::generate(&RepoConfig::small_for_tests(seed)))
+        } else {
+            None
+        };
+        let report = cache.repair(repo.as_ref())?;
+        println!(
+            "repair: quarantined {} corrupt image(s), pruned {} orphaned object(s) ({} bytes)",
+            report.quarantined_images, report.pruned_objects, report.pruned_bytes
+        );
+    }
 
     let mut problems = 0usize;
     for img in cache.images() {
@@ -630,16 +701,66 @@ mod tests {
         .unwrap();
         // A freshly submitted cache passes verification…
         verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
-        // …and corrupting an image file fails it.
+        // …and deep-corrupting an image file fails it. (Same length:
+        // anything shorter is a torn write that open-time recovery
+        // quarantines on its own.)
         let images: Vec<_> = std::fs::read_dir(dir.join("images"))
             .unwrap()
             .map(|e| e.unwrap().path())
             .collect();
         assert!(!images.is_empty());
-        std::fs::write(&images[0], b"garbage").unwrap();
+        let len = std::fs::metadata(&images[0]).unwrap().len() as usize;
+        std::fs::write(&images[0], vec![0x5a; len]).unwrap();
         let err = verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("problem"));
+        // --repair quarantines the corrupt image and prunes the objects
+        // it orphaned; the directory then verifies clean again.
+        verify(&args(&[
+            "--cache-dir",
+            dir.to_str().unwrap(),
+            "--repair",
+            "yes",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_with_faults_runs_and_degrades() {
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "10",
+            "--repeats",
+            "2",
+            "--fault-rate",
+            "0.2",
+            "--fault-seed",
+            "9",
+            "--retries",
+            "2",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_rejects_bad_fault_rate() {
+        let err = simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "4",
+            "--repeats",
+            "1",
+            "--fault-rate",
+            "1.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("must be in [0,1]"));
     }
 }
 

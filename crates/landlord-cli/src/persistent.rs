@@ -12,6 +12,7 @@
 //! <dir>/state.json      image index (specs, sizes, usage clocks)
 //! <dir>/objects/…       content-addressed store (shrinkwrap source)
 //! <dir>/images/N.llimg  materialized container images
+//! <dir>/quarantine/…    crash artifacts set aside by recovery
 //! ```
 //!
 //! Decisions follow Algorithm 1 exactly (hit / merge / insert, then
@@ -19,15 +20,29 @@
 //! repository package sizes — drive all policy decisions; physical
 //! bytes on disk are scaled down by the file-tree config so a laptop
 //! can host a "terabyte" cache.
+//!
+//! ## Crash safety
+//!
+//! `state.json` carries a `LLSTATE1 <checksum>` header over its JSON
+//! payload and is replaced via fsynced-temp-file-then-rename (with the
+//! parent directory fsynced after the rename), so a crash at any write
+//! point leaves either the old state or the new — never a torn one.
+//! Image and object writes land *before* the state that references
+//! them; [`PersistentCache::open`] therefore runs a recovery pass that
+//! quarantines whatever a crash left behind (a stale `state.json.tmp`,
+//! truncated or unindexed `.llimg` files, leftover object temp files)
+//! and restores the invariants [`PersistentCache::check_invariants`]
+//! demands.
 
 use landlord_core::jaccard::jaccard_distance;
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
 use landlord_shrinkwrap::filetree::FileTreeConfig;
-use landlord_shrinkwrap::Shrinkwrap;
-use landlord_store::DiskStore;
+use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
+use landlord_store::{ContentHash, DiskStore};
 use serde::{Deserialize, Serialize};
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 /// One image in the persistent index.
@@ -84,6 +99,102 @@ impl Decision {
     }
 }
 
+/// What the recovery pass in [`PersistentCache::open`] had to clean up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// A leftover `state.json.tmp` (crash mid-save) was quarantined.
+    pub quarantined_tmp_state: bool,
+    /// Index entries dropped because their image file was missing.
+    pub dropped_missing_images: usize,
+    /// Image files quarantined: truncated (size mismatch vs the index)
+    /// or present on disk but absent from the index (crash between an
+    /// image write and the state save).
+    pub quarantined_images: usize,
+    /// Leftover object-store temp files removed.
+    pub removed_object_tmps: usize,
+    /// `next_id` / `clock` had to be bumped past recovered entries.
+    pub counters_bumped: bool,
+}
+
+impl RecoveryReport {
+    /// True when open found nothing to repair.
+    pub fn clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// What [`PersistentCache::repair`] did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Images that failed a deep LLIMG parse and were quarantined.
+    pub quarantined_images: usize,
+    /// Orphaned objects pruned (only when a repository was supplied).
+    pub pruned_objects: usize,
+    /// Bytes freed by the prune.
+    pub pruned_bytes: u64,
+}
+
+/// Header tag of a checksummed state file. The line is
+/// `LLSTATE1 <32-hex-content-hash-of-payload>\n` followed by the JSON
+/// payload the hash covers.
+const STATE_MAGIC: &[u8] = b"LLSTATE1 ";
+
+fn invalid_state(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Parse a state file, verifying the checksum header when present.
+/// Plain `{…` JSON (states written before checksumming) still parses.
+fn parse_state(bytes: &[u8]) -> io::Result<State> {
+    if let Some(rest) = bytes.strip_prefix(STATE_MAGIC) {
+        let nl = rest
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| invalid_state("state header is missing its newline"))?;
+        let hex = std::str::from_utf8(&rest[..nl])
+            .map_err(|_| invalid_state("state checksum is not UTF-8"))?;
+        let expected = ContentHash::from_hex(hex.trim())
+            .ok_or_else(|| invalid_state("state checksum is not a valid hash"))?;
+        let payload = &rest[nl + 1..];
+        if ContentHash::of(payload) != expected {
+            return Err(invalid_state(
+                "state checksum mismatch: torn or corrupted write",
+            ));
+        }
+        serde_json::from_slice(payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    } else {
+        serde_json::from_slice(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Fsync a directory so a just-renamed entry survives power loss.
+#[cfg(unix)]
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn fsync_dir(_dir: &Path) -> io::Result<()> {
+    Ok(())
+}
+
+/// Move a crash artifact into `<dir>/quarantine/` under a unique name.
+fn quarantine(dir: &Path, path: &Path) -> io::Result<()> {
+    let qdir = dir.join("quarantine");
+    std::fs::create_dir_all(&qdir)?;
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let mut dest = qdir.join(&name);
+    let mut n = 1u32;
+    while dest.exists() {
+        dest = qdir.join(format!("{name}.{n}"));
+        n += 1;
+    }
+    std::fs::rename(path, dest)
+}
+
 /// A cache directory handle.
 pub struct PersistentCache {
     dir: PathBuf,
@@ -92,10 +203,16 @@ pub struct PersistentCache {
     tree_config: FileTreeConfig,
     store: DiskStore,
     state: State,
+    recovery: RecoveryReport,
 }
 
 impl PersistentCache {
-    /// Open (or initialize) a cache directory.
+    /// Open (or initialize) a cache directory, running crash recovery:
+    /// quarantine a leftover `state.json.tmp`, verify the state
+    /// checksum, drop index entries whose image file is missing or
+    /// truncated, quarantine unindexed image files, and sweep leftover
+    /// object temp files. A genuinely corrupt `state.json` is an error
+    /// (never a panic) — the operator decides whether to discard it.
     pub fn open(
         dir: &Path,
         alpha: f64,
@@ -105,21 +222,179 @@ impl PersistentCache {
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
         std::fs::create_dir_all(dir.join("images"))?;
         let store = DiskStore::open(&dir.join("objects"))?;
+        let mut recovery = RecoveryReport::default();
+
+        // A leftover temp state means a crash mid-save; the durable
+        // state.json still holds the previous consistent save.
+        let tmp_state = dir.join("state.json.tmp");
+        if tmp_state.exists() {
+            quarantine(dir, &tmp_state)?;
+            recovery.quarantined_tmp_state = true;
+        }
+
         let state_path = dir.join("state.json");
-        let state = if state_path.exists() {
-            serde_json::from_slice(&std::fs::read(&state_path)?)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?
+        let mut state = if state_path.exists() {
+            parse_state(&std::fs::read(&state_path)?)?
         } else {
             State::default()
         };
-        Ok(PersistentCache {
+
+        // Drop entries whose image file a crash lost or truncated.
+        // Truncation is detectable because the index records the exact
+        // physical size of every complete image.
+        let mut kept = Vec::with_capacity(state.images.len());
+        for img in std::mem::take(&mut state.images) {
+            let path = dir.join("images").join(format!("{}.llimg", img.id));
+            match std::fs::metadata(&path) {
+                Ok(m) if m.len() == img.physical_bytes => kept.push(img),
+                Ok(_) => {
+                    quarantine(dir, &path)?;
+                    recovery.quarantined_images += 1;
+                    recovery.dropped_missing_images += 1;
+                }
+                Err(_) => recovery.dropped_missing_images += 1,
+            }
+        }
+        state.images = kept;
+
+        // Image files the index does not know about: a crash between an
+        // image write and the state save that would have indexed it.
+        let indexed: std::collections::HashSet<u64> =
+            state.images.iter().map(|img| img.id).collect();
+        for entry in std::fs::read_dir(dir.join("images"))? {
+            let path = entry?.path();
+            let known = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".llimg"))
+                .and_then(|stem| stem.parse::<u64>().ok())
+                .is_some_and(|id| indexed.contains(&id));
+            if !known {
+                quarantine(dir, &path)?;
+                recovery.quarantined_images += 1;
+            }
+        }
+
+        // Leftover object temp files from a crashed put. The store
+        // index never reads them, so deleting is safe.
+        for fanout in std::fs::read_dir(dir.join("objects"))? {
+            let fanout = fanout?.path();
+            if !fanout.is_dir() {
+                continue;
+            }
+            for obj in std::fs::read_dir(&fanout)? {
+                let path = obj?.path();
+                let is_tmp = path
+                    .extension()
+                    .and_then(|e| e.to_str())
+                    .is_some_and(|e| e.starts_with("tmp"));
+                if is_tmp {
+                    std::fs::remove_file(&path)?;
+                    recovery.removed_object_tmps += 1;
+                }
+            }
+        }
+
+        // Counters must stay ahead of every surviving entry.
+        let max_id = state.images.iter().map(|img| img.id).max();
+        if let Some(max_id) = max_id {
+            if state.next_id <= max_id {
+                state.next_id = max_id + 1;
+                recovery.counters_bumped = true;
+            }
+        }
+        let max_used = state.images.iter().map(|img| img.last_used).max();
+        if let Some(max_used) = max_used {
+            if state.clock < max_used {
+                state.clock = max_used;
+                recovery.counters_bumped = true;
+            }
+        }
+
+        let cache = PersistentCache {
             dir: dir.to_path_buf(),
             alpha,
             limit_logical_bytes,
             tree_config,
             store,
             state,
-        })
+            recovery,
+        };
+        if !cache.recovery.clean() {
+            cache.save_state()?;
+        }
+        Ok(cache)
+    }
+
+    /// What recovery had to clean up when this handle was opened.
+    pub fn last_recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Check the durable-state invariants; an `Err` means the directory
+    /// is corrupted in a way recovery should have fixed.
+    pub fn check_invariants(&self) -> io::Result<()> {
+        let mut ids = std::collections::HashSet::new();
+        for img in &self.state.images {
+            if !ids.insert(img.id) {
+                return Err(invalid_state(format!("duplicate image id {}", img.id)));
+            }
+            if img.id >= self.state.next_id {
+                return Err(invalid_state(format!(
+                    "image id {} >= next_id {}",
+                    img.id, self.state.next_id
+                )));
+            }
+            if img.last_used > self.state.clock {
+                return Err(invalid_state(format!(
+                    "image {} last_used {} is ahead of clock {}",
+                    img.id, img.last_used, self.state.clock
+                )));
+            }
+            let path = self.image_path(img.id);
+            let len = std::fs::metadata(&path)
+                .map_err(|_| invalid_state(format!("image file missing: {}", path.display())))?
+                .len();
+            if len != img.physical_bytes {
+                return Err(invalid_state(format!(
+                    "image {} is {} bytes on disk, index says {}",
+                    img.id, len, img.physical_bytes
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Deep repair: re-parse every image file and quarantine the ones
+    /// whose LLIMG payload is corrupt (recovery only checks sizes);
+    /// with a repository, also prune objects no surviving image
+    /// references.
+    pub fn repair(&mut self, repo: Option<&Repository>) -> io::Result<RepairReport> {
+        let mut report = RepairReport::default();
+        let mut kept = Vec::with_capacity(self.state.images.len());
+        for img in std::mem::take(&mut self.state.images) {
+            let path = self.image_path(img.id);
+            let parses = match std::fs::File::open(&path) {
+                Ok(f) => ImageReader::parse(f).is_ok(),
+                Err(_) => false,
+            };
+            if parses {
+                kept.push(img);
+            } else {
+                quarantine(&self.dir, &path)?;
+                report.quarantined_images += 1;
+            }
+        }
+        self.state.images = kept;
+        if let Some(repo) = repo {
+            let (count, bytes) = self.prune(repo)?;
+            report.pruned_objects = count;
+            report.pruned_bytes = bytes;
+        }
+        if report.quarantined_images > 0 {
+            self.save_state()?;
+        }
+        Ok(report)
     }
 
     /// Images currently cached.
@@ -141,23 +416,40 @@ impl PersistentCache {
         self.dir.join("images").join(format!("{id}.llimg"))
     }
 
+    /// Durably replace `state.json`: checksummed payload, fsynced temp
+    /// file, atomic rename, fsynced parent directory. A crash at any
+    /// point leaves either the previous state or this one intact.
     fn save_state(&self) -> io::Result<()> {
-        let bytes = serde_json::to_vec_pretty(&self.state)
+        let json = serde_json::to_vec_pretty(&self.state)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut bytes = Vec::with_capacity(STATE_MAGIC.len() + 33 + json.len());
+        bytes.extend_from_slice(STATE_MAGIC);
+        bytes.extend_from_slice(ContentHash::of(&json).to_hex().as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(&json);
         let tmp = self.dir.join("state.json.tmp");
-        std::fs::write(&tmp, bytes)?;
-        std::fs::rename(tmp, self.dir.join("state.json"))
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(tmp, self.dir.join("state.json"))?;
+        fsync_dir(&self.dir)
     }
 
     fn build_image(&self, repo: &Repository, id: u64, spec: &Spec) -> io::Result<StoredImage> {
         let sw = Shrinkwrap::new(repo, &self.store, self.tree_config);
         let path = self.image_path(id);
         let report = sw.build_to_path(spec, &path)?;
+        // The image must be durable before any state that references it
+        // is; recovery treats a size mismatch as a torn write.
+        let f = std::fs::File::open(&path)?;
+        f.sync_all()?;
         Ok(StoredImage {
             id,
             spec: spec.clone(),
             logical_bytes: report.logical_bytes,
-            physical_bytes: std::fs::metadata(&path)?.len(),
+            physical_bytes: f.metadata()?.len(),
             last_used: 0,
         })
     }
@@ -335,6 +627,161 @@ mod tests {
         assert_eq!(cache.images().len(), 1, "first image evicted");
         assert!(!d1.image_path().exists(), "evicted file must be deleted");
         assert!(d2.image_path().exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn open_default(dir: &Path) -> io::Result<PersistentCache> {
+        PersistentCache::open(dir, 0.8, u64::MAX, FileTreeConfig::miniature())
+    }
+
+    /// Populate a directory with two images and return it.
+    fn populated(tag: &str) -> (PathBuf, Repository) {
+        let dir = temp_dir(tag);
+        let r = repo();
+        let n = r.package_count() as u32;
+        let mut cache = PersistentCache::open(&dir, 0.0, u64::MAX, FileTreeConfig::miniature())
+            .expect("open fresh");
+        cache
+            .submit(&r, &r.closure_spec(&[PackageId(n - 1)]))
+            .unwrap();
+        cache
+            .submit(&r, &r.closure_spec(&[PackageId(n - 7)]))
+            .unwrap();
+        (dir, r)
+    }
+
+    #[test]
+    fn state_file_is_checksummed_and_round_trips() {
+        let (dir, _r) = populated("ckfmt");
+        let raw = std::fs::read(dir.join("state.json")).unwrap();
+        assert!(raw.starts_with(b"LLSTATE1 "), "state carries its header");
+        let cache = open_default(&dir).unwrap();
+        assert!(cache.last_recovery().clean(), "clean dir needs no recovery");
+        assert_eq!(cache.images().len(), 2);
+        cache.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_truncated_and_empty_state_error_without_panic() {
+        let (dir, _r) = populated("ckbad");
+        let state = dir.join("state.json");
+        let good = std::fs::read(&state).unwrap();
+
+        // Truncated mid-payload: the checksum catches it.
+        std::fs::write(&state, &good[..good.len() / 2]).unwrap();
+        assert!(open_default(&dir).is_err(), "truncated state must error");
+
+        // Flipped payload byte: also caught.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 2;
+        flipped[last] ^= 0x40;
+        std::fs::write(&state, &flipped).unwrap();
+        assert!(open_default(&dir).is_err(), "corrupted state must error");
+
+        // Empty file: parses as neither header nor JSON.
+        std::fs::write(&state, b"").unwrap();
+        assert!(open_default(&dir).is_err(), "empty state must error");
+
+        // Garbage JSON.
+        std::fs::write(&state, b"{\"next_id\": \"not a number\"").unwrap();
+        assert!(open_default(&dir).is_err(), "garbage state must error");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn legacy_plain_json_state_still_opens() {
+        let (dir, _r) = populated("cklegacy");
+        let raw = std::fs::read(dir.join("state.json")).unwrap();
+        let nl = raw.iter().position(|&b| b == b'\n').unwrap();
+        // Strip the header: exactly what a pre-checksum cache wrote.
+        std::fs::write(dir.join("state.json"), &raw[nl + 1..]).unwrap();
+        let cache = open_default(&dir).unwrap();
+        assert_eq!(cache.images().len(), 2);
+        cache.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn leftover_tmp_state_is_quarantined() {
+        let (dir, _r) = populated("cktmp");
+        std::fs::write(dir.join("state.json.tmp"), b"torn half-written state").unwrap();
+        let cache = open_default(&dir).unwrap();
+        assert!(cache.last_recovery().quarantined_tmp_state);
+        assert!(!dir.join("state.json.tmp").exists());
+        assert!(dir.join("quarantine").join("state.json.tmp").exists());
+        assert_eq!(cache.images().len(), 2, "durable state unaffected");
+        cache.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_image_is_quarantined_and_dropped() {
+        let (dir, r) = populated("cktorn");
+        let victim = {
+            let cache = open_default(&dir).unwrap();
+            cache.images()[0].clone()
+        };
+        let path = dir.join("images").join(format!("{}.llimg", victim.id));
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+
+        let mut cache = open_default(&dir).unwrap();
+        let rec = cache.last_recovery();
+        assert_eq!(rec.quarantined_images, 1);
+        assert_eq!(rec.dropped_missing_images, 1);
+        assert_eq!(cache.images().len(), 1, "torn image forgotten");
+        assert!(!path.exists());
+        cache.check_invariants().unwrap();
+        // The spec is servable again: it just rebuilds.
+        cache.submit(&r, &victim.spec).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unindexed_image_and_object_tmps_are_swept() {
+        let (dir, _r) = populated("ckstray");
+        // An image written right before a crash that never got indexed.
+        std::fs::write(dir.join("images").join("999.llimg"), b"almost an image").unwrap();
+        // A torn object put.
+        let fan = dir.join("objects").join("ab");
+        std::fs::create_dir_all(&fan).unwrap();
+        std::fs::write(fan.join("deadbeef.tmp1234"), b"half an object").unwrap();
+
+        let cache = open_default(&dir).unwrap();
+        let rec = cache.last_recovery();
+        assert_eq!(rec.quarantined_images, 1);
+        assert_eq!(rec.removed_object_tmps, 1);
+        assert!(!dir.join("images").join("999.llimg").exists());
+        assert!(!fan.join("deadbeef.tmp1234").exists());
+        cache.check_invariants().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repair_quarantines_deep_corruption_and_prunes() {
+        let (dir, r) = populated("ckrepair");
+        let victim_id = {
+            let cache = open_default(&dir).unwrap();
+            cache.images()[0].id
+        };
+        // Same length, garbage content: size recovery can't see it,
+        // only a deep parse can.
+        let path = dir.join("images").join(format!("{victim_id}.llimg"));
+        let len = std::fs::metadata(&path).unwrap().len() as usize;
+        std::fs::write(&path, vec![0x5a; len]).unwrap();
+
+        let mut cache = open_default(&dir).unwrap();
+        assert!(cache.last_recovery().clean(), "sizes all match");
+        let report = cache.repair(Some(&r)).unwrap();
+        assert_eq!(report.quarantined_images, 1);
+        assert!(
+            report.pruned_objects > 0,
+            "quarantined image must orphan objects"
+        );
+        assert_eq!(cache.images().len(), 1);
+        cache.check_invariants().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -172,6 +172,28 @@ impl Outcome {
     }
 }
 
+/// What [`ImageCache::request`] would decide for a spec, computed
+/// without mutating the cache. Used by failure-injecting drivers to
+/// know whether serving a request involves a build (merge/insert) that
+/// can fail, and what that build would cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannedOp {
+    /// An existing image satisfies the spec; no build, no I/O.
+    Hit {
+        /// The satisfying image.
+        image: ImageId,
+    },
+    /// The spec would be merged into this candidate (full rewrite).
+    Merge {
+        /// The absorbing image.
+        image: ImageId,
+        /// Jaccard distance to it.
+        distance: f64,
+    },
+    /// A fresh image would be built for exactly this spec.
+    Insert,
+}
+
 /// A byte-bounded container image cache implementing LANDLORD's online
 /// management algorithm. See the module docs for the full flow.
 pub struct ImageCache {
@@ -359,6 +381,24 @@ impl ImageCache {
             .min_by_key(|img| (img.bytes, img.id))
     }
 
+    /// What [`Self::request`] would decide for `spec`, without
+    /// mutating anything.
+    ///
+    /// Exact except when a bloat split is pending (the real request
+    /// applies the split first, which can change the decision); with
+    /// `split_threshold: None` the answer always matches.
+    pub fn plan(&self, spec: &Spec) -> PlannedOp {
+        if let Some(img) = self.find_satisfying(spec) {
+            return PlannedOp::Hit { image: img.id };
+        }
+        if self.config.alpha > 0.0 {
+            if let Some((image, distance)) = self.pick_merge_candidate(spec) {
+                return PlannedOp::Merge { image, distance };
+            }
+        }
+        PlannedOp::Insert
+    }
+
     /// Process one job request (Algorithm 1). Exactly one of
     /// hit/merge/insert happens, possibly followed by evictions.
     ///
@@ -369,6 +409,33 @@ impl ImageCache {
         #[cfg(all(feature = "paranoid", debug_assertions))]
         self.check_invariants();
         outcome
+    }
+
+    /// Degraded-path request: serve `spec` with a fresh image even when
+    /// a hit or merge candidate exists.
+    ///
+    /// This is the graceful-degradation fallback when a *merge* build
+    /// keeps failing (the candidate rewrite touches far more bytes than
+    /// the job needs): the job still launches, from a minimal per-job
+    /// image, and the shared image is left untouched. Accounted exactly
+    /// like an insert.
+    pub fn insert_fresh(&mut self, spec: &Spec) -> Outcome {
+        let outcome = self.insert_fresh_inner(spec);
+        #[cfg(all(feature = "paranoid", debug_assertions))]
+        self.check_invariants();
+        outcome
+    }
+
+    fn insert_fresh_inner(&mut self, spec: &Spec) -> Outcome {
+        if let Some(id) = self.pending_split.take() {
+            self.split_image(id);
+        }
+        self.clock += 1;
+        let now = self.clock;
+        let requested_bytes = self.sizes.spec_bytes(spec);
+        self.stats.requests += 1;
+        self.stats.bytes_requested += requested_bytes;
+        self.do_insert(spec, requested_bytes, now)
     }
 
     fn request_inner(&mut self, spec: &Spec) -> Outcome {
@@ -412,6 +479,13 @@ impl ImageCache {
         }
 
         // 3. Couldn't re-use or merge: insert a fresh image.
+        self.do_insert(spec, requested_bytes, now)
+    }
+
+    /// Build a fresh image for exactly `spec` (Algorithm 1's insert
+    /// arm). The caller has already advanced the clock and accounted
+    /// the request.
+    fn do_insert(&mut self, spec: &Spec, requested_bytes: u64, now: u64) -> Outcome {
         let id = ImageId(self.next_id);
         self.next_id += 1;
         for p in spec.iter() {
@@ -1295,6 +1369,72 @@ mod tests {
         // image satisfies only empty requests; others miss.
         let out2 = c.request(&Spec::empty());
         assert!(matches!(out2, Outcome::Hit { .. }));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn plan_predicts_request_decisions() {
+        let mut c = cache(0.8, 100);
+        assert_eq!(c.plan(&spec(&[1, 2, 3])), PlannedOp::Insert);
+        let id = c.request(&spec(&[1, 2, 3])).image();
+
+        assert_eq!(c.plan(&spec(&[1, 2])), PlannedOp::Hit { image: id });
+        match c.plan(&spec(&[1, 2, 4])) {
+            PlannedOp::Merge { image, distance } => {
+                assert_eq!(image, id);
+                assert!((distance - 0.5).abs() < 1e-12);
+            }
+            other => panic!("expected merge plan, got {other:?}"),
+        }
+        assert_eq!(c.plan(&spec(&[7, 8, 9])), PlannedOp::Insert);
+
+        // plan() mutated nothing.
+        assert_eq!(c.stats().requests, 1);
+        // And the real request agrees with the plan.
+        assert!(matches!(
+            c.request(&spec(&[1, 2, 4])),
+            Outcome::Merged { .. }
+        ));
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insert_fresh_bypasses_hit_and_merge() {
+        let mut c = cache(0.8, 100);
+        let first = c.request(&spec(&[1, 2, 3])).image();
+
+        // A spec that would HIT still gets its own fresh image.
+        let out = c.insert_fresh(&spec(&[1, 2, 3]));
+        match out {
+            Outcome::Inserted { image, image_bytes } => {
+                assert_ne!(image, first);
+                assert_eq!(image_bytes, 3);
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+        // A spec that would MERGE also inserts; the shared image's spec
+        // is left untouched.
+        assert!(matches!(c.plan(&spec(&[1, 2, 4])), PlannedOp::Merge { .. }));
+        assert!(matches!(
+            c.insert_fresh(&spec(&[1, 2, 4])),
+            Outcome::Inserted { .. }
+        ));
+        assert!(!c.get(first).unwrap().spec.contains(PackageId(4)));
+
+        let s = c.stats();
+        assert_eq!((s.requests, s.inserts, s.hits, s.merges), (3, 3, 0, 0));
+        assert_eq!(s.bytes_requested, 9);
+        c.check_invariants();
+    }
+
+    #[test]
+    fn insert_fresh_respects_byte_limit() {
+        let mut c = cache(0.0, 6);
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[4, 5, 6]));
+        c.insert_fresh(&spec(&[1, 2, 3])); // duplicate image → over limit
+        assert_eq!(c.stats().deletes, 1, "eviction still applies");
+        assert!(c.stats().total_bytes <= 6);
         c.check_invariants();
     }
 }

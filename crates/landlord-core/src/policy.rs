@@ -149,6 +149,77 @@ impl CandidateStrategy {
     }
 }
 
+/// Bounded retry with exponential backoff, in simulated time ticks.
+///
+/// A failed image build (worker crash, transient store error, build
+/// failure) may be re-attempted up to `max_retries` times; retry `k`
+/// (1-based) waits `backoff_base_ticks * 2^(k-1)` ticks, capped at
+/// `backoff_cap_ticks`. `RetryPolicy::none()` — the paper's implicit
+/// configuration, where every failure is terminal — is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Additional attempts allowed after the first failure.
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated ticks.
+    pub backoff_base_ticks: u64,
+    /// Upper bound on any single backoff wait.
+    pub backoff_cap_ticks: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: every failure is terminal.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff_base_ticks: 0,
+            backoff_cap_ticks: 0,
+        }
+    }
+
+    /// Retry up to `max_retries` times with capped exponential backoff.
+    pub fn new(max_retries: u32, backoff_base_ticks: u64, backoff_cap_ticks: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff_base_ticks,
+            backoff_cap_ticks,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), in ticks.
+    /// Saturates instead of overflowing and never exceeds the cap.
+    pub fn backoff_before(&self, retry: u32) -> u64 {
+        if retry == 0 || self.backoff_base_ticks == 0 {
+            return 0;
+        }
+        let doublings = retry - 1;
+        let wait = if doublings >= 64 {
+            u64::MAX
+        } else {
+            self.backoff_base_ticks.saturating_mul(1u64 << doublings)
+        };
+        wait.min(self.backoff_cap_ticks)
+    }
+
+    /// Compact label for tables and CLI output, e.g. `r3/b2c16` or
+    /// `none`.
+    pub fn label(&self) -> String {
+        if self.max_retries == 0 {
+            "none".to_string()
+        } else {
+            format!(
+                "r{}/b{}c{}",
+                self.max_retries, self.backoff_base_ticks, self.backoff_cap_ticks
+            )
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -193,6 +264,33 @@ mod tests {
             assert_eq!(DistanceMetric::parse(m.token()), Some(m));
         }
         assert_eq!(DistanceMetric::parse("x"), None);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = RetryPolicy::new(5, 2, 16);
+        assert_eq!(p.backoff_before(1), 2);
+        assert_eq!(p.backoff_before(2), 4);
+        assert_eq!(p.backoff_before(3), 8);
+        assert_eq!(p.backoff_before(4), 16);
+        assert_eq!(p.backoff_before(5), 16, "capped");
+        assert_eq!(p.backoff_before(0), 0);
+    }
+
+    #[test]
+    fn retry_backoff_saturates_on_huge_retry_counts() {
+        let p = RetryPolicy::new(u32::MAX, u64::MAX / 2, u64::MAX);
+        assert_eq!(p.backoff_before(200), u64::MAX, "saturates, no overflow");
+    }
+
+    #[test]
+    fn retry_none_is_inert() {
+        let p = RetryPolicy::none();
+        assert_eq!(p, RetryPolicy::default());
+        assert_eq!(p.max_retries, 0);
+        assert_eq!(p.backoff_before(1), 0);
+        assert_eq!(p.label(), "none");
+        assert_eq!(RetryPolicy::new(3, 1, 8).label(), "r3/b1c8");
     }
 
     #[test]

@@ -262,6 +262,31 @@ mod tests {
         ));
         restored.check_invariants();
     }
+
+    #[test]
+    fn truncated_corrupt_and_empty_json_error_without_panic() {
+        // A crash mid-write leaves a checkpoint file truncated, torn,
+        // or empty; deserialization must report an error in every case
+        // and never panic.
+        let json = serde_json::to_string(&populated_cache().snapshot()).unwrap();
+
+        for cut in [0, 1, json.len() / 2, json.len() - 1] {
+            let truncated = &json[..cut];
+            assert!(
+                serde_json::from_str::<Snapshot>(truncated).is_err(),
+                "truncation at byte {cut} must be an error"
+            );
+        }
+
+        let mut corrupt = json.clone().into_bytes();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] = b'\0';
+        assert!(serde_json::from_slice::<Snapshot>(&corrupt).is_err());
+
+        assert!(serde_json::from_str::<Snapshot>("").is_err());
+        assert!(serde_json::from_str::<Snapshot>("{}").is_err());
+        assert!(serde_json::from_str::<Snapshot>("not json at all").is_err());
+    }
 }
 
 #[cfg(test)]

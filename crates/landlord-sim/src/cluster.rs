@@ -71,6 +71,35 @@ pub struct ClusterConfig {
     pub dispatch: Dispatch,
     /// Seed for the random dispatch policy.
     pub seed: u64,
+    /// Optional worker crash/rejoin model (`None` = reliable fleet).
+    #[serde(default)]
+    pub faults: Option<WorkerFaultConfig>,
+}
+
+/// Seeded worker crash model: before serving a job, the dispatched
+/// worker may crash — its scratch cache is lost and it stays down for
+/// `rejoin_after` jobs before rejoining empty. The job itself is
+/// re-dispatched to a surviving worker (HTC schedulers requeue, they
+/// don't fail the job).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerFaultConfig {
+    /// Per-dispatch crash probability in thousandths (0..=1000).
+    pub crash_per_mille: u32,
+    /// Explicit seed; identical seeds reproduce identical crashes.
+    pub seed: u64,
+    /// Jobs a crashed worker stays down before rejoining with an
+    /// empty scratch cache.
+    pub rejoin_after: u64,
+}
+
+impl WorkerFaultConfig {
+    /// Does the worker dispatched for job `job` crash? Pure in
+    /// `(self, job)`.
+    fn crashes(&self, job: u64) -> bool {
+        self.crash_per_mille > 0
+            && crate::faults::mix(self.seed ^ job.wrapping_mul(0x2545_f491_4f6c_dd1d)) % 1000
+                < u64::from(self.crash_per_mille)
+    }
 }
 
 /// Aggregate outcome of a cluster simulation.
@@ -86,6 +115,12 @@ pub struct ClusterStats {
     pub transfer_bytes: u64,
     /// Scratch evictions across all workers.
     pub scratch_evictions: u64,
+    /// Worker crashes injected by the fault model.
+    #[serde(default)]
+    pub worker_crashes: u64,
+    /// Scratch bytes wiped by those crashes.
+    #[serde(default)]
+    pub scratch_lost_bytes: u64,
 }
 
 impl ClusterStats {
@@ -171,6 +206,40 @@ impl Worker {
     }
 }
 
+/// Pick a worker among the up fleet under the dispatch policy.
+fn pick_target(
+    dispatch: Dispatch,
+    workers: &[Worker],
+    up: &[usize],
+    image: ImageId,
+    revision: u64,
+    rr_next: &mut usize,
+    rng: &mut StdRng,
+) -> usize {
+    debug_assert!(!up.is_empty());
+    let round_robin = |rr_next: &mut usize| {
+        // Advance the cursor over the whole fleet, skipping down
+        // workers, so the rotation stays fair as workers come and go.
+        for _ in 0..workers.len() {
+            let t = *rr_next;
+            *rr_next = (*rr_next + 1) % workers.len();
+            if up.contains(&t) {
+                return t;
+            }
+        }
+        up[0]
+    };
+    match dispatch {
+        Dispatch::RoundRobin => round_robin(rr_next),
+        Dispatch::Random => up[rng.gen_range(0..up.len())],
+        Dispatch::CacheAware => up
+            .iter()
+            .copied()
+            .find(|&w| workers[w].has_current(image, revision))
+            .unwrap_or_else(|| round_robin(rr_next)),
+    }
+}
+
 /// Simulate a prepared stream over a head cache plus worker fleet.
 pub fn simulate_cluster_stream(
     stream: &[Spec],
@@ -184,6 +253,7 @@ pub fn simulate_cluster_stream(
     let mut rng = StdRng::seed_from_u64(cluster.seed);
     let mut stats = ClusterStats::default();
     let mut rr_next = 0usize;
+    let mut down_until: Vec<u64> = vec![0; cluster.workers];
 
     for (now, spec) in stream.iter().enumerate() {
         let now = now as u64 + 1;
@@ -194,24 +264,59 @@ pub fn simulate_cluster_stream(
         // the file, so worker copies of earlier revisions are stale.
         let revision = head.get(image).map(|i| i.merge_count).unwrap_or(0);
 
-        let target = match cluster.dispatch {
-            Dispatch::RoundRobin => {
-                let t = rr_next;
-                rr_next = (rr_next + 1) % workers.len();
-                t
-            }
-            Dispatch::Random => rng.gen_range(0..workers.len()),
-            Dispatch::CacheAware => {
-                match (0..workers.len()).find(|&w| workers[w].has_current(image, revision)) {
-                    Some(w) => w,
-                    None => {
-                        let t = rr_next;
-                        rr_next = (rr_next + 1) % workers.len();
-                        t
-                    }
+        // Workers whose downtime has elapsed have rejoined (with the
+        // empty scratch the crash left them). If the whole fleet is
+        // down, the earliest-due worker rejoins now so the job has
+        // somewhere to run.
+        let mut up: Vec<usize> = (0..workers.len())
+            .filter(|&w| down_until[w] <= now)
+            .collect();
+        if up.is_empty() {
+            let w = (0..workers.len())
+                .min_by_key(|&w| (down_until[w], w))
+                .unwrap_or(0);
+            down_until[w] = now;
+            up.push(w);
+        }
+
+        let mut target = pick_target(
+            cluster.dispatch,
+            &workers,
+            &up,
+            image,
+            revision,
+            &mut rr_next,
+            &mut rng,
+        );
+
+        // The dispatched worker may crash before serving: its scratch
+        // is lost, it leaves the fleet for a while, and the job is
+        // re-dispatched — HTC schedulers requeue, they don't fail jobs.
+        if let Some(f) = cluster.faults {
+            if f.crashes(now) {
+                stats.worker_crashes += 1;
+                stats.scratch_lost_bytes += workers[target].used_bytes;
+                workers[target].scratch.clear();
+                workers[target].used_bytes = 0;
+                down_until[target] = now + f.rejoin_after.max(1);
+                up.retain(|&w| w != target);
+                if up.is_empty() {
+                    // Sole worker crashed: it restarts immediately,
+                    // empty, and serves the job itself.
+                    down_until[target] = now;
+                    up.push(target);
                 }
+                target = pick_target(
+                    cluster.dispatch,
+                    &workers,
+                    &up,
+                    image,
+                    revision,
+                    &mut rr_next,
+                    &mut rng,
+                );
             }
-        };
+        }
 
         stats.jobs += 1;
         let worker = &mut workers[target];
@@ -269,6 +374,7 @@ mod tests {
             worker_scratch_bytes: scratch,
             dispatch,
             seed: 1,
+            faults: None,
         }
     }
 
@@ -396,6 +502,79 @@ mod tests {
             result.head.inserts
         );
     }
+
+    fn with_faults(base: ClusterConfig, crash_per_mille: u32, rejoin_after: u64) -> ClusterConfig {
+        ClusterConfig {
+            faults: Some(WorkerFaultConfig {
+                crash_per_mille,
+                seed: 77,
+                rejoin_after,
+            }),
+            ..base
+        }
+    }
+
+    #[test]
+    fn crashes_lose_scratch_but_never_jobs() {
+        let r = repo();
+        let cfg = with_faults(cluster(4, Dispatch::RoundRobin, r.total_bytes()), 300, 5);
+        let result = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        let c = result.cluster;
+        assert!(c.worker_crashes > 0, "30% crash rate must fire on 100 jobs");
+        assert!(c.scratch_lost_bytes > 0, "crashes must wipe warm scratch");
+        // Crashes requeue, never fail: every job still served exactly once.
+        assert_eq!(c.jobs, 100);
+        assert_eq!(c.jobs, c.local_hits + c.transfers);
+        assert_eq!(result.head.requests, 100);
+    }
+
+    #[test]
+    fn crashes_cost_local_hits_and_transfers() {
+        let r = repo();
+        let base = cluster(2, Dispatch::RoundRobin, r.total_bytes() * 10);
+        let reliable = simulate_cluster(&r, &workload(), cache_cfg(&r), &base);
+        let flaky = simulate_cluster(&r, &workload(), cache_cfg(&r), &with_faults(base, 400, 10));
+        assert!(
+            flaky.cluster.local_hits < reliable.cluster.local_hits,
+            "scratch loss must cost local hits: {} vs {}",
+            flaky.cluster.local_hits,
+            reliable.cluster.local_hits
+        );
+        assert!(flaky.cluster.transfer_bytes > reliable.cluster.transfer_bytes);
+    }
+
+    #[test]
+    fn sole_worker_crashes_restart_immediately() {
+        let r = repo();
+        let cfg = with_faults(cluster(1, Dispatch::RoundRobin, r.total_bytes()), 500, 100);
+        let result = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        assert!(result.cluster.worker_crashes > 0);
+        assert_eq!(result.cluster.jobs, 100, "single worker still serves all");
+    }
+
+    #[test]
+    fn crash_model_is_deterministic_in_the_seed() {
+        let r = repo();
+        let cfg = with_faults(cluster(4, Dispatch::Random, r.total_bytes()), 250, 4);
+        let a = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        let b = simulate_cluster(&r, &workload(), cache_cfg(&r), &cfg);
+        assert_eq!(a.cluster.worker_crashes, b.cluster.worker_crashes);
+        assert_eq!(a.cluster.scratch_lost_bytes, b.cluster.scratch_lost_bytes);
+        assert_eq!(a.cluster.transfer_bytes, b.cluster.transfer_bytes);
+        let other = ClusterConfig {
+            faults: Some(WorkerFaultConfig {
+                crash_per_mille: 250,
+                seed: 78,
+                rejoin_after: 4,
+            }),
+            ..cfg
+        };
+        let c = simulate_cluster(&r, &workload(), cache_cfg(&r), &other);
+        assert_ne!(
+            a.cluster.worker_crashes, c.cluster.worker_crashes,
+            "different crash seed must differ"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +602,7 @@ mod proptests {
                 Just(Dispatch::CacheAware),
             ],
             scratch_divisor in 1u64..50,
+            crash_per_mille in prop_oneof![Just(None), (1u32..600).prop_map(Some)],
         ) {
             let repo = Repository::generate(&RepoConfig::small_for_tests(5));
             let stream: Vec<Spec> = raw_stream
@@ -439,6 +619,11 @@ mod proptests {
                 worker_scratch_bytes: repo.total_bytes() / scratch_divisor,
                 dispatch,
                 seed: 3,
+                faults: crash_per_mille.map(|p| WorkerFaultConfig {
+                    crash_per_mille: p,
+                    seed: 4,
+                    rejoin_after: 3,
+                }),
             };
             let result = simulate_cluster_stream(&stream, &repo, cache, &cluster);
             let c = result.cluster;

@@ -46,6 +46,7 @@ pub fn run(ctx: &ExperimentContext) -> Table {
                 worker_scratch_bytes: scratch,
                 dispatch,
                 seed: ctx.seed ^ 0xc1,
+                faults: None,
             };
             let result = cluster::simulate_cluster(&repo, &workload, cache, &cfg);
             t.push_row(vec![

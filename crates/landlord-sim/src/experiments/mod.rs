@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod ext_cluster;
+pub mod ext_faults;
 pub mod ext_update;
 pub mod ext_usermix;
 pub mod fig1;
@@ -174,6 +175,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "ext-cluster",
         "ext-usermix",
         "ext-update",
+        "ext-faults",
     ]
 }
 
@@ -201,6 +203,7 @@ pub fn run(id: &str, ctx: &ExperimentContext) -> Option<Vec<Table>> {
         "ablation-split" => vec![ablations::split(ctx)],
         "ablation-metric" => vec![ablations::metric(ctx)],
         "ext-cluster" => vec![ext_cluster::run(ctx)],
+        "ext-faults" => vec![ext_faults::run(ctx)],
         "ext-usermix" => vec![ext_usermix::run(ctx)],
         "ext-update" => vec![ext_update::run(ctx)],
         _ => return None,

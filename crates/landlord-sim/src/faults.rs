@@ -1,0 +1,455 @@
+//! Seeded per-request failure events with retry, backoff, and graceful
+//! degradation — the end-to-end failure model the paper's deployment
+//! setting implies but never simulates.
+//!
+//! In distributed HTC, serving a request is not free of risk: the
+//! worker building an image can crash, the build itself can fail, and
+//! the shared store can throw transient errors. This module drives the
+//! same [`ImageCache`] as [`crate::simulator`], but each *build*
+//! (merge or insert — hits touch no storage and never fail) draws a
+//! failure from a seeded [`FaultPlan`]. A failed build is retried under
+//! a [`RetryPolicy`] with exponential backoff in simulated ticks; a
+//! merge whose retry budget is exhausted *degrades* to a fresh per-job
+//! insert (with a fresh budget) instead of failing the request — the
+//! job still launches, at the price of duplication. Only when the
+//! degraded path also exhausts its budget is the request counted as
+//! failed (goodput loss).
+//!
+//! Everything is a pure function of the explicit seeds, so fault sweeps
+//! regenerate bit-identically.
+
+use crate::workload::{self, WorkloadConfig};
+use landlord_core::cache::{CacheConfig, ImageCache, PlannedOp};
+use landlord_core::conflict::ConflictPolicy;
+use landlord_core::policy::RetryPolicy;
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::Spec;
+use landlord_repo::Repository;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// What went wrong with one build attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The worker node running the build died mid-build.
+    WorkerCrash,
+    /// The image build itself failed (bad layer, tool error).
+    BuildFailure,
+    /// The shared object store returned a transient I/O error.
+    TransientStoreError,
+}
+
+/// Deterministic per-attempt failure events derived from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Explicit seed; identical seeds reproduce identical fault
+    /// sequences.
+    pub seed: u64,
+    /// Per-attempt failure probability in thousandths (0..=1000).
+    pub fail_per_mille: u32,
+}
+
+/// SplitMix64 finalizer (same construction as the store's fault layer).
+pub(crate) fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that never fires.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            fail_per_mille: 0,
+        }
+    }
+
+    /// Build a plan from a failure probability in `[0, 1]`.
+    pub fn from_rate(seed: u64, rate: f64) -> Self {
+        let clamped = rate.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            fail_per_mille: (clamped * 1000.0).round() as u32,
+        }
+    }
+
+    /// Decide whether attempt `attempt` of request `request` fails, and
+    /// how. Pure in `(self, request, attempt)`.
+    pub fn draw(&self, request: u64, attempt: u32) -> Option<FaultKind> {
+        if self.fail_per_mille == 0 {
+            return None;
+        }
+        let h = mix(self.seed
+            ^ mix(request.wrapping_mul(0x2545_f491_4f6c_dd1d))
+            ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        if h % 1000 >= u64::from(self.fail_per_mille) {
+            return None;
+        }
+        Some(match (h >> 32) % 3 {
+            0 => FaultKind::WorkerCrash,
+            1 => FaultKind::BuildFailure,
+            _ => FaultKind::TransientStoreError,
+        })
+    }
+}
+
+/// Failure-model knobs for one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Per-attempt failure probability in thousandths.
+    pub fail_per_mille: u32,
+    /// Seed for the fault plan.
+    pub seed: u64,
+    /// Retry/backoff policy applied to failed builds.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// No faults, no retries — degenerates to the plain simulator.
+    pub fn none() -> Self {
+        FaultConfig {
+            fail_per_mille: 0,
+            seed: 0,
+            retry: RetryPolicy::none(),
+        }
+    }
+}
+
+/// Failure-model counters accumulated over one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Requests submitted (served + failed).
+    pub requests: u64,
+    /// Requests that exhausted every retry and the degraded path.
+    pub failed_requests: u64,
+    /// Injected failure events, total.
+    pub faults: u64,
+    /// ... of which worker crashes.
+    pub worker_crashes: u64,
+    /// ... of which build failures.
+    pub build_failures: u64,
+    /// ... of which transient store errors.
+    pub store_errors: u64,
+    /// Re-attempts scheduled by the retry policy.
+    pub retries: u64,
+    /// Simulated ticks spent waiting in backoff.
+    pub backoff_ticks: u64,
+    /// Bytes written by attempts that failed (retry write overhead).
+    pub wasted_bytes: u64,
+    /// Merge builds that fell back to a fresh per-job insert.
+    pub degraded_inserts: u64,
+}
+
+impl FaultStats {
+    /// Fraction of requests actually served, percent.
+    pub fn goodput_pct(&self) -> f64 {
+        if self.requests == 0 {
+            return 100.0;
+        }
+        100.0 * (self.requests - self.failed_requests) as f64 / self.requests as f64
+    }
+
+    fn record_kind(&mut self, kind: FaultKind) {
+        self.faults += 1;
+        match kind {
+            FaultKind::WorkerCrash => self.worker_crashes += 1,
+            FaultKind::BuildFailure => self.build_failures += 1,
+            FaultKind::TransientStoreError => self.store_errors += 1,
+        }
+    }
+}
+
+/// Result of one simulation under the failure model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultRunResult {
+    /// The cache-side outcome (identical in shape to the fault-free
+    /// simulator's result; counters cover *served* requests only).
+    pub run: crate::simulator::RunResult,
+    /// The failure-model counters.
+    pub faults: FaultStats,
+}
+
+/// Bytes one build attempt would write if it got through: the full
+/// merged image for a merge, the requested image for an insert. This is
+/// the I/O thrown away when the attempt fails.
+fn attempt_cost(cache: &ImageCache, spec: &Spec, planned: PlannedOp, sizes: &dyn SizeModel) -> u64 {
+    match planned {
+        PlannedOp::Hit { .. } => 0,
+        PlannedOp::Merge { image, .. } => match cache.get(image) {
+            Some(img) => sizes.spec_bytes(&img.spec.union(spec)),
+            None => sizes.spec_bytes(spec),
+        },
+        PlannedOp::Insert => sizes.spec_bytes(spec),
+    }
+}
+
+/// Run one prepared stream through a cache under the failure model.
+pub fn simulate_stream_with_faults(
+    stream: &[Spec],
+    cache_config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    conflicts: Option<Arc<dyn ConflictPolicy>>,
+    config: &FaultConfig,
+) -> FaultRunResult {
+    let mut cache = match conflicts {
+        Some(c) => ImageCache::with_conflicts(cache_config, Arc::clone(&sizes), c),
+        None => ImageCache::new(cache_config, Arc::clone(&sizes)),
+    };
+    let plan = FaultPlan {
+        seed: config.seed,
+        fail_per_mille: config.fail_per_mille,
+    };
+    let mut stats = FaultStats::default();
+
+    for (i, spec) in stream.iter().enumerate() {
+        stats.requests += 1;
+        let planned = cache.plan(spec);
+        if matches!(planned, PlannedOp::Hit { .. }) {
+            // Hits touch no storage: immune to build faults.
+            cache.request(spec);
+            continue;
+        }
+
+        // The build loop: `draws` indexes fault decisions (monotone per
+        // request, so degraded attempts roll fresh), `budget` tracks the
+        // retries left for the current build target.
+        let mut draws = 0u32;
+        let mut budget = config.retry.max_retries;
+        let mut degraded = false;
+        loop {
+            match plan.draw(i as u64, draws) {
+                None => {
+                    if degraded {
+                        cache.insert_fresh(spec);
+                    } else {
+                        cache.request(spec);
+                    }
+                    break;
+                }
+                Some(kind) => {
+                    stats.record_kind(kind);
+                    let cost = if degraded {
+                        sizes.spec_bytes(spec)
+                    } else {
+                        attempt_cost(&cache, spec, planned, sizes.as_ref())
+                    };
+                    stats.wasted_bytes += cost;
+                    if budget > 0 {
+                        let retry_index = config.retry.max_retries - budget + 1;
+                        budget -= 1;
+                        stats.retries += 1;
+                        stats.backoff_ticks += config.retry.backoff_before(retry_index);
+                    } else if !degraded && matches!(planned, PlannedOp::Merge { .. }) {
+                        // Graceful degradation: stop rewriting the
+                        // shared image, build a minimal per-job one.
+                        degraded = true;
+                        stats.degraded_inserts += 1;
+                        budget = config.retry.max_retries;
+                    } else {
+                        stats.failed_requests += 1;
+                        break;
+                    }
+                }
+            }
+            draws += 1;
+        }
+    }
+
+    FaultRunResult {
+        run: crate::simulator::RunResult {
+            final_stats: cache.stats(),
+            container_eff_pct: cache.container_efficiency_pct(),
+            cache_eff_pct: cache.cache_efficiency_pct(),
+            series: Vec::new(),
+        },
+        faults: stats,
+    }
+}
+
+/// Convenience: generate the stream from a workload config and run it
+/// under the failure model.
+pub fn simulate_with_faults(
+    repo: &Repository,
+    workload: &WorkloadConfig,
+    cache_config: CacheConfig,
+    config: &FaultConfig,
+) -> FaultRunResult {
+    let stream = workload::generate_stream(repo, workload);
+    let sizes: Arc<dyn SizeModel> = Arc::new(repo.size_table());
+    simulate_stream_with_faults(&stream, cache_config, sizes, None, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator;
+    use crate::workload::WorkloadScheme;
+    use landlord_repo::RepoConfig;
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(31))
+    }
+
+    fn workload() -> WorkloadConfig {
+        WorkloadConfig {
+            unique_jobs: 30,
+            repeats: 3,
+            max_initial_selection: 8,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed: 2,
+        }
+    }
+
+    fn cache_cfg(repo: &Repository) -> CacheConfig {
+        CacheConfig {
+            alpha: 0.8,
+            limit_bytes: repo.total_bytes(),
+            ..CacheConfig::default()
+        }
+    }
+
+    fn faults(per_mille: u32, retry: RetryPolicy) -> FaultConfig {
+        FaultConfig {
+            fail_per_mille: per_mille,
+            seed: 99,
+            retry,
+        }
+    }
+
+    #[test]
+    fn zero_rate_matches_plain_simulator() {
+        let r = repo();
+        let w = workload();
+        let plain = simulator::simulate(&r, &w, cache_cfg(&r), 0);
+        let faulty = simulate_with_faults(&r, &w, cache_cfg(&r), &FaultConfig::none());
+        assert_eq!(faulty.run.final_stats, plain.final_stats);
+        assert_eq!(faulty.faults.goodput_pct(), 100.0);
+        assert_eq!(
+            faulty.faults,
+            FaultStats {
+                requests: 90,
+                ..FaultStats::default()
+            }
+        );
+    }
+
+    #[test]
+    fn deterministic_in_the_seeds() {
+        let r = repo();
+        let w = workload();
+        let cfg = faults(200, RetryPolicy::new(2, 1, 8));
+        let a = simulate_with_faults(&r, &w, cache_cfg(&r), &cfg);
+        let b = simulate_with_faults(&r, &w, cache_cfg(&r), &cfg);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.run.final_stats, b.run.final_stats);
+
+        let other = FaultConfig { seed: 100, ..cfg };
+        let c = simulate_with_faults(&r, &w, cache_cfg(&r), &other);
+        assert_ne!(a.faults, c.faults, "different fault seed must differ");
+    }
+
+    #[test]
+    fn total_failure_without_retries_serves_nothing() {
+        let r = repo();
+        let result = simulate_with_faults(
+            &r,
+            &workload(),
+            cache_cfg(&r),
+            &faults(1000, RetryPolicy::none()),
+        );
+        // Every build fails, degraded or not; no image is ever created,
+        // so nothing can hit either.
+        assert_eq!(result.faults.failed_requests, result.faults.requests);
+        assert_eq!(result.faults.goodput_pct(), 0.0);
+        assert_eq!(result.run.final_stats.requests, 0);
+        assert_eq!(result.run.final_stats.image_count, 0);
+    }
+
+    #[test]
+    fn retries_preserve_goodput_at_a_write_cost() {
+        let r = repo();
+        let w = workload();
+        let none = simulate_with_faults(&r, &w, cache_cfg(&r), &faults(300, RetryPolicy::none()));
+        let some = simulate_with_faults(
+            &r,
+            &w,
+            cache_cfg(&r),
+            &faults(300, RetryPolicy::new(3, 1, 8)),
+        );
+        assert!(
+            some.faults.goodput_pct() > none.faults.goodput_pct(),
+            "retries must recover goodput: {} vs {}",
+            some.faults.goodput_pct(),
+            none.faults.goodput_pct()
+        );
+        assert!(some.faults.retries > 0);
+        assert!(some.faults.backoff_ticks > 0);
+        assert!(
+            some.faults.wasted_bytes > 0,
+            "failed attempts must cost wasted I/O"
+        );
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let r = repo();
+        let w = workload();
+        let result = simulate_with_faults(
+            &r,
+            &w,
+            cache_cfg(&r),
+            &faults(400, RetryPolicy::new(1, 2, 4)),
+        );
+        let f = result.faults;
+        assert_eq!(f.requests as usize, w.total_requests());
+        assert_eq!(
+            f.faults,
+            f.worker_crashes + f.build_failures + f.store_errors
+        );
+        assert_eq!(
+            result.run.final_stats.requests,
+            f.requests - f.failed_requests,
+            "cache counters cover exactly the served requests"
+        );
+        assert!(f.faults >= f.failed_requests);
+    }
+
+    #[test]
+    fn merge_failures_degrade_to_fresh_inserts() {
+        let r = repo();
+        let w = WorkloadConfig {
+            unique_jobs: 40,
+            repeats: 2,
+            ..workload()
+        };
+        // High rate without retries: first-attempt merge failures go
+        // straight to the degraded path.
+        let result = simulate_with_faults(&r, &w, cache_cfg(&r), &faults(500, RetryPolicy::none()));
+        assert!(
+            result.faults.degraded_inserts > 0,
+            "failing merges must degrade"
+        );
+        // Degradation keeps goodput above the no-degradation floor:
+        // some requests that lost their merge still launched.
+        assert!(result.faults.goodput_pct() > 0.0);
+    }
+
+    #[test]
+    fn fault_plan_is_pure_and_seed_sensitive() {
+        let p = FaultPlan::from_rate(7, 0.5);
+        assert_eq!(p.fail_per_mille, 500);
+        for req in 0..20u64 {
+            for attempt in 0..4u32 {
+                assert_eq!(p.draw(req, attempt), p.draw(req, attempt));
+            }
+        }
+        let q = FaultPlan { seed: 8, ..p };
+        let pa: Vec<_> = (0..200u64).map(|r| p.draw(r, 0)).collect();
+        let qa: Vec<_> = (0..200u64).map(|r| q.draw(r, 0)).collect();
+        assert_ne!(pa, qa);
+        assert!(FaultPlan::none().draw(3, 1).is_none());
+        assert!(FaultPlan::from_rate(1, 1.0).draw(3, 1).is_some());
+    }
+}

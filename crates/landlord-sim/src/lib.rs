@@ -24,6 +24,10 @@
 //! * [`cluster`] — an extension past the paper's single shared cache: a
 //!   head node plus a fleet of worker nodes with local scratch,
 //!   measuring image transfer volume under different dispatch policies.
+//! * [`faults`] — an end-to-end failure model: seeded per-request
+//!   fault events (worker crash, build failure, transient store error)
+//!   with bounded retry/backoff and graceful merge→insert degradation,
+//!   reporting goodput and retry overhead.
 //! * [`experiments`] — one module per paper table/figure; the CLI and
 //!   benches call these.
 
@@ -52,6 +56,7 @@
 
 pub mod cluster;
 pub mod experiments;
+pub mod faults;
 pub mod report;
 pub mod simulator;
 pub mod sweep;

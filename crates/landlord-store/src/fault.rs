@@ -6,6 +6,14 @@
 //! of panicking or silently corrupting accounting — the failure modes
 //! that matter on real scratch filesystems, which do fill up and do
 //! flake.
+//!
+//! Deterministic modes ([`FaultMode::FailPutsAfter`],
+//! [`FaultMode::FailGets`]) script exact failure points; the seeded
+//! modes ([`FaultMode::Transient`], [`FaultMode::FlakyGetsThenRecover`],
+//! [`FaultMode::TornPutAfter`]) model the probabilistic and partial
+//! failures of shared filesystems while staying fully reproducible:
+//! every decision is a pure function of the explicit seed and a
+//! per-store operation counter, never of ambient entropy.
 
 use crate::hash::ContentHash;
 use crate::object::ObjectStore;
@@ -21,6 +29,45 @@ pub enum FaultMode {
     FailGets,
     /// Nothing fails (control).
     None,
+    /// Seeded transient faults: each operation independently fails with
+    /// the given per-mille probability, decided by hashing the seed
+    /// with the operation's index. Identical seeds reproduce identical
+    /// failure patterns; failures do not persist (the next attempt
+    /// rolls fresh).
+    Transient {
+        /// Explicit seed for the per-op failure decisions.
+        seed: u64,
+        /// `put` failure probability in thousandths (0..=1000).
+        put_fail_per_mille: u16,
+        /// `get` failure probability in thousandths (0..=1000).
+        get_fail_per_mille: u16,
+    },
+    /// The first `0` reads fail, then the medium recovers — the
+    /// flaky-then-recover pattern of a remounting network filesystem.
+    FlakyGetsThenRecover(u64),
+    /// Puts succeed until the budget is exhausted; the put at the
+    /// budget *tears*: only a truncated prefix of the data reaches the
+    /// inner store (as an orphaned partial object, exactly what a
+    /// crash mid-write leaves behind) and the call errors. Later puts
+    /// succeed again.
+    TornPutAfter(u64),
+}
+
+/// SplitMix64 finalizer: turns (seed, op counter) into well-mixed bits.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Deterministic Bernoulli roll for operation `op` under `seed`.
+fn rolls_fault(seed: u64, salt: u64, op: u64, per_mille: u16) -> bool {
+    if per_mille == 0 {
+        return false;
+    }
+    let h = mix(seed ^ mix(salt) ^ op.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    (h % 1000) < u64::from(per_mille)
 }
 
 /// An [`ObjectStore`] decorator that injects failures.
@@ -28,6 +75,9 @@ pub struct FaultyStore<S> {
     inner: S,
     mode: FaultMode,
     puts: AtomicU64,
+    put_attempts: AtomicU64,
+    get_attempts: AtomicU64,
+    injected: AtomicU64,
 }
 
 impl<S: ObjectStore> FaultyStore<S> {
@@ -37,6 +87,9 @@ impl<S: ObjectStore> FaultyStore<S> {
             inner,
             mode,
             puts: AtomicU64::new(0),
+            put_attempts: AtomicU64::new(0),
+            get_attempts: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
         }
     }
 
@@ -49,17 +102,46 @@ impl<S: ObjectStore> FaultyStore<S> {
     pub fn successful_puts(&self) -> u64 {
         self.puts.load(Ordering::Relaxed)
     }
+
+    /// Number of faults injected so far (across all operations).
+    pub fn injected_faults(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    fn inject(&self, kind: io::ErrorKind, msg: &str) -> io::Error {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+        io::Error::new(kind, format!("injected fault: {msg}"))
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
-        if let FaultMode::FailPutsAfter(budget) = self.mode {
-            if self.puts.load(Ordering::Relaxed) >= budget {
-                return Err(io::Error::new(
-                    io::ErrorKind::StorageFull,
-                    "injected fault: no space left on device",
-                ));
+        let attempt = self.put_attempts.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            FaultMode::FailPutsAfter(budget) if self.puts.load(Ordering::Relaxed) >= budget => {
+                return Err(self.inject(io::ErrorKind::StorageFull, "no space left on device"));
             }
+            FaultMode::Transient {
+                seed,
+                put_fail_per_mille,
+                ..
+            } if rolls_fault(seed, 0x70, attempt, put_fail_per_mille) => {
+                return Err(self.inject(io::ErrorKind::Interrupted, "transient write error"));
+            }
+            FaultMode::TornPutAfter(budget) if attempt == budget => {
+                // Model a crash mid-write: a truncated prefix lands
+                // in the store as a partial object under *its own*
+                // content hash (the store is content-addressed, so
+                // the full hash never points at torn bytes), and
+                // the caller sees an error. Recovery/GC must clean
+                // the orphan up.
+                let keep = data.len() / 2;
+                if keep > 0 {
+                    self.inner.put(&data[..keep])?;
+                }
+                return Err(self.inject(io::ErrorKind::WriteZero, "torn write"));
+            }
+            _ => {}
         }
         let hash = self.inner.put(data)?;
         self.puts.fetch_add(1, Ordering::Relaxed);
@@ -67,11 +149,22 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     }
 
     fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
-        if self.mode == FaultMode::FailGets {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                "injected fault: read error",
-            ));
+        let attempt = self.get_attempts.fetch_add(1, Ordering::Relaxed);
+        match self.mode {
+            FaultMode::FailGets => {
+                return Err(self.inject(io::ErrorKind::InvalidData, "read error"));
+            }
+            FaultMode::Transient {
+                seed,
+                get_fail_per_mille,
+                ..
+            } if rolls_fault(seed, 0x67, attempt, get_fail_per_mille) => {
+                return Err(self.inject(io::ErrorKind::Interrupted, "transient read error"));
+            }
+            FaultMode::FlakyGetsThenRecover(failures) if attempt < failures => {
+                return Err(self.inject(io::ErrorKind::Interrupted, "flaky read"));
+            }
+            _ => {}
         }
         self.inner.get(hash)
     }
@@ -106,6 +199,7 @@ mod tests {
         let err = store.put(b"three").unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::StorageFull);
         assert_eq!(store.successful_puts(), 2);
+        assert_eq!(store.injected_faults(), 1);
         assert_eq!(store.object_count(), 2);
     }
 
@@ -123,5 +217,118 @@ mod tests {
         let h = store.put(b"data").unwrap();
         assert_eq!(store.get(h).unwrap().as_deref(), Some(b"data".as_slice()));
         assert_eq!(store.stored_bytes(), 4);
+        assert_eq!(store.injected_faults(), 0);
+    }
+
+    fn transient(seed: u64, put_pm: u16, get_pm: u16) -> FaultMode {
+        FaultMode::Transient {
+            seed,
+            put_fail_per_mille: put_pm,
+            get_fail_per_mille: get_pm,
+        }
+    }
+
+    /// Run 200 puts and record which attempt indexes failed.
+    fn put_failure_pattern(mode: FaultMode) -> Vec<usize> {
+        let store = FaultyStore::new(MemStore::new(), mode);
+        (0..200)
+            .filter(|i| store.put(format!("blob-{i}").as_bytes()).is_err())
+            .collect()
+    }
+
+    #[test]
+    fn transient_faults_are_deterministic_in_the_seed() {
+        let a = put_failure_pattern(transient(42, 250, 0));
+        let b = put_failure_pattern(transient(42, 250, 0));
+        assert_eq!(a, b, "same seed, same failure pattern");
+        assert!(!a.is_empty(), "250/1000 over 200 ops should fail some");
+        assert!(a.len() < 200, "and not all");
+        let c = put_failure_pattern(transient(43, 250, 0));
+        assert_ne!(a, c, "different seed, different pattern");
+    }
+
+    #[test]
+    fn transient_rate_extremes() {
+        assert!(put_failure_pattern(transient(7, 0, 0)).is_empty());
+        assert_eq!(put_failure_pattern(transient(7, 1000, 0)).len(), 200);
+    }
+
+    #[test]
+    fn transient_failures_do_not_persist() {
+        // A failed attempt leaves the store consistent: retrying the
+        // same content eventually succeeds and reads back intact.
+        let store = FaultyStore::new(MemStore::new(), transient(11, 500, 0));
+        let mut hash = None;
+        for _ in 0..64 {
+            if let Ok(h) = store.put(b"retried content") {
+                hash = Some(h);
+                break;
+            }
+        }
+        let h = hash.expect("500/1000 cannot fail 64 straight times");
+        assert_eq!(
+            store.get(h).unwrap().as_deref(),
+            Some(b"retried content".as_slice())
+        );
+    }
+
+    #[test]
+    fn transient_get_faults_roll_independently() {
+        let store = FaultyStore::new(MemStore::new(), transient(5, 0, 400));
+        let h = store.put(b"stable write path").unwrap();
+        let failures = (0..100).filter(|_| store.get(h).is_err()).count();
+        assert!(failures > 0, "400/1000 over 100 reads should fail some");
+        assert!(failures < 100, "and not all");
+    }
+
+    #[test]
+    fn flaky_gets_recover() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::FlakyGetsThenRecover(3));
+        let h = store.put(b"data").unwrap();
+        for _ in 0..3 {
+            assert!(store.get(h).is_err(), "first three reads flake");
+        }
+        assert_eq!(
+            store.get(h).unwrap().as_deref(),
+            Some(b"data".as_slice()),
+            "fourth read recovers"
+        );
+        assert_eq!(store.injected_faults(), 3);
+    }
+
+    #[test]
+    fn torn_put_leaves_partial_object_then_recovers() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::TornPutAfter(1));
+        let h0 = store.put(b"first object fits").unwrap();
+
+        let torn = store.put(b"this write is torn in half").unwrap_err();
+        assert_eq!(torn.kind(), io::ErrorKind::WriteZero);
+        // The truncated prefix landed as an orphan partial object.
+        let partial = ContentHash::of(b"this write is");
+        assert!(store.contains(partial), "partial object must be visible");
+        assert!(
+            !store.contains(ContentHash::of(b"this write is torn in half")),
+            "the full object must NOT exist"
+        );
+
+        // The tear was transient: the retry goes through whole.
+        let h2 = store.put(b"this write is torn in half").unwrap();
+        assert_eq!(
+            store.get(h2).unwrap().as_deref(),
+            Some(b"this write is torn in half".as_slice())
+        );
+        assert_eq!(
+            store.get(h0).unwrap().as_deref(),
+            Some(b"first object fits".as_slice())
+        );
+        assert_eq!(store.successful_puts(), 2, "torn put does not count");
+    }
+
+    #[test]
+    fn torn_put_of_tiny_data_stores_nothing() {
+        let store = FaultyStore::new(MemStore::new(), FaultMode::TornPutAfter(0));
+        assert!(store.put(b"x").is_err());
+        assert_eq!(store.object_count(), 0, "half of 1 byte is nothing");
+        assert!(store.put(b"x").is_ok());
     }
 }

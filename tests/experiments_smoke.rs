@@ -44,6 +44,30 @@ fn experiments_are_deterministic_in_the_seed() {
 }
 
 #[test]
+fn ext_faults_is_deterministic_and_degrades_goodput() {
+    // The failure-model sweep regenerates bit-identically from its
+    // seed, and a zero fault rate always yields 100% goodput.
+    let a = experiments::run("ext-faults", &ExperimentContext::smoke(9)).unwrap();
+    let b = experiments::run("ext-faults", &ExperimentContext::smoke(9)).unwrap();
+    assert_eq!(
+        a[0].rows, b[0].rows,
+        "ext-faults must regenerate bit-identically"
+    );
+
+    let fail_col = a[0].columns.iter().position(|c| c == "fail_pm").unwrap();
+    let goodput_col = a[0]
+        .columns
+        .iter()
+        .position(|c| c == "goodput_pct")
+        .unwrap();
+    for row in &a[0].rows {
+        if row[fail_col] == "0" {
+            assert_eq!(row[goodput_col], "100.0", "no faults means full goodput");
+        }
+    }
+}
+
+#[test]
 fn fig8_finds_a_zone_or_reports_absence() {
     let ctx = ExperimentContext::smoke(7);
     let tables = experiments::run("fig8", &ctx).unwrap();

@@ -62,6 +62,128 @@ fn revision_publish_propagates_put_errors() {
     assert_eq!(fs.head(), None);
 }
 
+// ---- Seeded fault modes through image builds ---------------------------
+
+#[test]
+fn transient_faults_are_reproducible_across_stores() {
+    // Two stores with the same seed see the same failure pattern for
+    // the same operation sequence: identical outcomes, identical fault
+    // counts. Reproducibility is what makes fault runs debuggable.
+    let r = repo();
+    let spec = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+    let mode = FaultMode::Transient {
+        seed: 7,
+        put_fail_per_mille: 400,
+        get_fail_per_mille: 0,
+    };
+
+    let run = |mode: FaultMode| {
+        let store = FaultyStore::new(MemStore::new(), mode);
+        let sw = Shrinkwrap::new(&r, &store, FileTreeConfig::miniature());
+        let outcomes: Vec<bool> = (0..4)
+            .map(|_| sw.build(&spec, &mut Vec::new()).is_ok())
+            .collect();
+        (outcomes, store.injected_faults())
+    };
+
+    let (a_outcomes, a_faults) = run(mode);
+    let (b_outcomes, b_faults) = run(mode);
+    assert_eq!(a_outcomes, b_outcomes);
+    assert_eq!(a_faults, b_faults);
+
+    // A different seed is allowed to (and here does) behave differently.
+    let (c_outcomes, _) = run(FaultMode::Transient {
+        seed: 8,
+        put_fail_per_mille: 400,
+        get_fail_per_mille: 0,
+    });
+    assert!(
+        a_outcomes != c_outcomes || a_faults > 0,
+        "some fault activity must be observable at 40% failure"
+    );
+}
+
+#[test]
+fn transient_build_retries_eventually_succeed() {
+    // Transient faults roll fresh per attempt (the op counter
+    // advances), so a bounded retry loop must get a build through. A
+    // build issues one put per object, and every put must survive for
+    // the attempt to succeed, so the per-op rate is kept low enough
+    // that a full clean window arrives within the retry budget.
+    let r = repo();
+    let spec = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+    let store = FaultyStore::new(
+        MemStore::new(),
+        FaultMode::Transient {
+            seed: 11,
+            put_fail_per_mille: 100,
+            get_fail_per_mille: 0,
+        },
+    );
+    let sw = Shrinkwrap::new(&r, &store, FileTreeConfig::miniature());
+
+    let mut attempts = 0u32;
+    let report = loop {
+        attempts += 1;
+        assert!(attempts <= 50, "retry loop must converge");
+        match sw.build(&spec, &mut Vec::new()) {
+            Ok(report) => break report,
+            Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::Interrupted),
+        }
+    };
+    assert!(report.files > 0);
+    assert!(
+        store.injected_faults() > 0,
+        "10% per-put failure must inject at least once across {attempts} attempts"
+    );
+}
+
+#[test]
+fn flaky_gets_recover_after_the_outage() {
+    use landlord_store::{Catalog, CatalogEntry, ContentHash};
+
+    let good = MemStore::new();
+    let mut catalog = Catalog::new();
+    catalog.insert(
+        "f",
+        CatalogEntry {
+            hash: ContentHash::of(b"x"),
+            size: 1,
+            executable: false,
+        },
+    );
+    let hash = catalog.store(&good).unwrap();
+
+    // The first reads fail (remounting network filesystem), then the
+    // medium recovers and the same load succeeds.
+    let flaky = FaultyStore::new(good, FaultMode::FlakyGetsThenRecover(2));
+    assert!(Catalog::load(&flaky, hash).is_err());
+    assert!(Catalog::load(&flaky, hash).is_err());
+    assert!(Catalog::load(&flaky, hash).is_ok(), "medium recovered");
+    assert_eq!(flaky.injected_faults(), 2);
+}
+
+#[test]
+fn torn_put_orphan_does_not_block_rebuild() {
+    // A torn write leaves a partial orphan object behind and errors;
+    // retrying the same build on the same store must succeed, with the
+    // orphan inert (content addressing keeps torn bytes off the real
+    // hash).
+    let r = repo();
+    let spec = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+    let store = FaultyStore::new(MemStore::new(), FaultMode::TornPutAfter(2));
+    let sw = Shrinkwrap::new(&r, &store, FileTreeConfig::miniature());
+
+    let err = sw.build(&spec, &mut Vec::new()).expect_err("put tears");
+    assert_eq!(err.kind(), std::io::ErrorKind::WriteZero);
+    let after_tear = store.inner().object_count();
+    assert!(after_tear > 0, "the torn prefix landed as an orphan");
+
+    let report = sw.build(&spec, &mut Vec::new()).expect("rebuild succeeds");
+    assert!(report.files > 0);
+    assert!(store.inner().object_count() > after_tear);
+}
+
 #[test]
 fn catalog_load_propagates_get_errors() {
     use landlord_store::{Catalog, CatalogEntry, ContentHash};
@@ -81,4 +203,151 @@ fn catalog_load_propagates_get_errors() {
     // Same catalog hash through a store whose reads fail.
     let bad = FaultyStore::new(good, FaultMode::FailGets);
     assert!(Catalog::load(&bad, hash).is_err());
+}
+
+// ---- Crash/reopen recovery for the persistent cache --------------------
+//
+// A kill at any write point leaves the cache directory in one of a
+// small set of shapes: a leftover state temp file, a truncated or
+// missing image, an image the index never learned about, junk object
+// temp files — or several at once. Whatever the combination,
+// `PersistentCache::open` must recover to a state that passes both
+// `check_invariants` and `landlord verify`, and keep serving submits.
+
+mod crash_recovery {
+    use super::*;
+    use landlord_cli::args::Args;
+    use landlord_cli::commands;
+    use landlord_cli::persistent::PersistentCache;
+    use landlord_shrinkwrap::filetree::FileTreeConfig;
+    use proptest::prelude::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// One thing a kill mid-operation can leave behind.
+    #[derive(Debug, Clone, Copy)]
+    enum Mutation {
+        /// Crash mid `save_state`: a garbage `state.json.tmp`.
+        GarbageTmpState,
+        /// Crash mid image write: a truncated `.llimg`.
+        TruncateImage(usize),
+        /// Crash after state save but before the image write landed.
+        DeleteImage(usize),
+        /// Crash between image write and state save: an unindexed file.
+        StrayImage,
+        /// Crash mid object put: a leftover store temp file.
+        JunkObjectTmp,
+    }
+
+    fn mutation() -> impl Strategy<Value = Mutation> {
+        prop_oneof![
+            Just(Mutation::GarbageTmpState),
+            any::<usize>().prop_map(Mutation::TruncateImage),
+            any::<usize>().prop_map(Mutation::DeleteImage),
+            Just(Mutation::StrayImage),
+            Just(Mutation::JunkObjectTmp),
+        ]
+    }
+
+    fn unique_dir() -> PathBuf {
+        static CASE: AtomicU64 = AtomicU64::new(0);
+        let n = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("landlord-crash-{}-{n}", std::process::id()));
+        let _removed = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn image_files(dir: &std::path::Path) -> Vec<PathBuf> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(dir.join("images"))
+            .map(|rd| {
+                rd.flatten()
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "llimg"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        files.sort();
+        files
+    }
+
+    fn apply(dir: &std::path::Path, m: Mutation) {
+        match m {
+            Mutation::GarbageTmpState => {
+                std::fs::write(dir.join("state.json.tmp"), b"{\"torn\":tru").unwrap();
+            }
+            Mutation::TruncateImage(pick) => {
+                let files = image_files(dir);
+                if !files.is_empty() {
+                    let path = &files[pick % files.len()];
+                    let len = std::fs::metadata(path).unwrap().len();
+                    let f = std::fs::OpenOptions::new().write(true).open(path).unwrap();
+                    f.set_len(len / 2).unwrap();
+                }
+            }
+            Mutation::DeleteImage(pick) => {
+                let files = image_files(dir);
+                if !files.is_empty() {
+                    std::fs::remove_file(&files[pick % files.len()]).unwrap();
+                }
+            }
+            Mutation::StrayImage => {
+                std::fs::write(dir.join("images").join("999.llimg"), b"not an image").unwrap();
+            }
+            Mutation::JunkObjectTmp => {
+                let fanout = dir.join("objects").join("aa");
+                std::fs::create_dir_all(&fanout).unwrap();
+                std::fs::write(fanout.join("deadbeef.tmp4242"), b"partial").unwrap();
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn kill_window_shapes_all_recover(
+            muts in proptest::collection::vec(mutation(), 1..4),
+            seed in 1u64..500,
+        ) {
+            let dir = unique_dir();
+            let r = Repository::generate(&RepoConfig::small_for_tests(seed));
+            let last = r.package_count() as u32 - 1;
+
+            // A clean cache with two disjoint images (alpha 0 forbids merges).
+            {
+                let mut cache =
+                    PersistentCache::open(&dir, 0.0, u64::MAX, FileTreeConfig::miniature())
+                        .unwrap();
+                cache.submit(&r, &r.closure_spec(&[PackageId(last)])).unwrap();
+                cache.submit(&r, &r.closure_spec(&[PackageId(last - 1)])).unwrap();
+            }
+
+            // The kill happens: some combination of torn artifacts.
+            for &m in &muts {
+                apply(&dir, m);
+            }
+
+            // Reopen recovers — never panics, never errors — and the
+            // recovered state is internally consistent and still serves.
+            let mut cache =
+                PersistentCache::open(&dir, 0.0, u64::MAX, FileTreeConfig::miniature())
+                    .unwrap();
+            prop_assert!(cache.check_invariants().is_ok());
+            let decision = cache
+                .submit(&r, &r.closure_spec(&[PackageId(last)]))
+                .unwrap();
+            prop_assert!(decision.image_path().exists());
+            drop(cache);
+
+            // `landlord verify` agrees the directory is healthy.
+            let args = Args::parse(vec![
+                "--cache-dir".to_string(),
+                dir.display().to_string(),
+            ])
+            .unwrap();
+            prop_assert!(commands::verify(&args).is_ok());
+
+            let _removed = std::fs::remove_dir_all(&dir);
+        }
+    }
 }
