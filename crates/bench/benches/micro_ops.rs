@@ -102,6 +102,34 @@ fn cache_requests(c: &mut Criterion) {
     group.finish();
 }
 
+/// Victim selection at 10k cached images, per eviction policy. The
+/// evictors maintain ordered structures (recency list, frequency
+/// buckets, priority heaps), so `peek_victim` must not degrade into the
+/// old O(n) `min_by_key` scan as the cache grows.
+fn victim_selection(c: &mut Criterion) {
+    use landlord_core::policy::EvictionPolicy;
+    use landlord_core::sizes::UniformSizes;
+    let mut group = c.benchmark_group("victim_selection_10k");
+    for policy in EvictionPolicy::ALL {
+        let cfg = CacheConfig {
+            alpha: 0.0,
+            limit_bytes: u64::MAX,
+            eviction: policy,
+            ..CacheConfig::default()
+        };
+        let mut cache = ImageCache::new(cfg, Arc::new(UniformSizes::new(1_000_000)));
+        for i in 0..10_000u32 {
+            let spec = landlord_core::spec::Spec::from_ids((i * 4..i * 4 + 4).map(PackageId));
+            cache.request(&spec);
+        }
+        assert_eq!(cache.len(), 10_000);
+        group.bench_function(policy.token(), |bench| {
+            bench.iter(|| black_box(cache.peek_victim()))
+        });
+    }
+    group.finish();
+}
+
 fn spec_inference(c: &mut Criterion) {
     let python_src = r#"
 import numpy as np, uproot
@@ -149,6 +177,6 @@ fn image_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = set_ops, minhash_ops, closures, cache_requests, spec_inference, image_build
+    targets = set_ops, minhash_ops, closures, cache_requests, victim_selection, spec_inference, image_build
 }
 criterion_main!(benches);

@@ -1,4 +1,4 @@
-//! The seven project-specific lints, plus allow-directive hygiene.
+//! The eight project-specific lints, plus allow-directive hygiene.
 //!
 //! Each rule pattern-matches on the blanked `code` text produced by
 //! [`crate::scan`], so string literals and comments never trigger
@@ -37,6 +37,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "no-silent-io-drop",
         "io::Result/serde_json::Result values must not be discarded with `let _ =` or a bare `.ok();` in non-test code: propagate or handle the error",
+    ),
+    (
+        "plan-purity",
+        "the plan/apply seam: cache/plan.rs must stay pure (no `&mut self`); cache/apply.rs must not re-derive plan decisions (find_satisfying/pick_merge_candidate/plan calls)",
     ),
     (
         "bad-allow",
@@ -103,8 +107,50 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
         FileKind::StrictLib | FileKind::Lib | FileKind::Support
     );
 
+    // The plan/apply seam of the cache engine (R8). Paths are
+    // repo-relative; fixture tests pass matching labels.
+    let plan_side = file.ends_with("cache/plan.rs");
+    let apply_side = file.ends_with("cache/apply.rs");
+
     for (idx, info) in model.lines.iter().enumerate() {
         let code = info.code.as_str();
+
+        // R8: plan-purity — planning is pure, applying never re-plans.
+        if plan_side && !info.in_test && code.contains("&mut self") {
+            emit(
+                idx,
+                "plan-purity",
+                "`&mut self` receiver in cache/plan.rs: planning must be pure (`&self` only) \
+                 so plan(spec) can never disturb the state it decides over"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+        if apply_side && !info.in_test {
+            for needle in ["find_satisfying", "pick_merge_candidate", "plan_over"] {
+                if contains_token(code, needle) {
+                    emit(
+                        idx,
+                        "plan-purity",
+                        format!(
+                            "`{needle}` called from cache/apply.rs: apply must execute the \
+                             decision carried by the Plan, never re-derive it"
+                        ),
+                        &mut findings,
+                    );
+                }
+            }
+            if code.contains(".plan(") {
+                emit(
+                    idx,
+                    "plan-purity",
+                    "`.plan(..)` called from cache/apply.rs: apply consumes a Plan computed \
+                     by the caller on settled state, it never plans itself"
+                        .to_string(),
+                    &mut findings,
+                );
+            }
+        }
 
         // R1: no-panic-path — strict crates' non-test library code.
         if kind == FileKind::StrictLib && !info.in_test {
@@ -670,5 +716,50 @@ mod tests {
     fn unwrap_or_else_is_not_flagged() {
         let src = "fn f() {\n    let x = m.get(&k).unwrap_or_else(Default::default);\n}\n";
         assert!(check(FileKind::StrictLib, src).is_empty());
+    }
+
+    fn check_at(file: &str, src: &str) -> Vec<Finding> {
+        check_file(file, FileKind::StrictLib, &crate::scan::scan(src))
+    }
+
+    #[test]
+    fn plan_purity_flags_mut_self_in_plan_module() {
+        let src = "impl ImageCache {\n    pub fn plan(&mut self, spec: &Spec) -> Plan {\n        todo(self)\n    }\n}\n";
+        let f = check_at("crates/landlord-core/src/cache/plan.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "plan-purity").count(), 1);
+        // The same text anywhere else is fine.
+        assert!(check_at("crates/landlord-core/src/cache/mod.rs", src)
+            .iter()
+            .all(|f| f.rule != "plan-purity"));
+    }
+
+    #[test]
+    fn plan_purity_flags_replanning_in_apply_module() {
+        let src = "impl ImageCache {\n    fn apply_inner(&mut self, spec: &Spec) {\n        let p = self.plan(spec);\n        let s = self.find_satisfying(spec);\n    }\n}\n";
+        let f = check_at("crates/landlord-core/src/cache/apply.rs", src);
+        assert_eq!(
+            f.iter().filter(|f| f.rule == "plan-purity").count(),
+            2,
+            "both the .plan( call and find_satisfying must be flagged: {f:?}"
+        );
+    }
+
+    #[test]
+    fn plan_purity_ignores_tests_and_clean_apply_code() {
+        // Executing a carried decision is exactly what apply is for.
+        let src = "impl ImageCache {\n    fn apply_inner(&mut self, spec: &Spec, plan: &Plan) {\n        match plan.op { _ => {} }\n    }\n}\n";
+        assert!(check_at("crates/landlord-core/src/cache/apply.rs", src).is_empty());
+        // Test code inside the module may re-plan freely.
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let p = cache.plan(&spec);\n        let _ = p;\n    }\n}\n";
+        assert!(
+            check_at("crates/landlord-core/src/cache/apply.rs", test_src)
+                .iter()
+                .all(|f| f.rule != "plan-purity")
+        );
+    }
+
+    #[test]
+    fn plan_purity_is_a_known_rule() {
+        assert!(is_known_rule("plan-purity"));
     }
 }

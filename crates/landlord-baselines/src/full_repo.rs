@@ -8,82 +8,99 @@
 //! data". Updates are brutal too: the paper cites ~24 hours to build
 //! and scale a full-repo image onto NERSC nodes.
 
-use landlord_core::metrics::ContainerEfficiency;
+use landlord_core::cache::{CacheStats, Ledger};
+use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
-/// Counters of the full-repo strategy.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
-pub struct FullRepoStats {
-    /// Requests served (all hits after the initial build).
-    pub requests: u64,
-    /// Bytes requested by jobs.
-    pub bytes_requested: u64,
-    /// Bytes written (the one-time image build, plus any rebuilds).
-    pub bytes_written: u64,
-    /// Rebuilds performed (repository updates).
-    pub rebuilds: u64,
-}
-
 /// Serve every job from one image containing the entire repository.
+/// `inserts` in the stats counts image (re)builds; everything else is
+/// the shared [`Ledger`] bookkeeping.
 pub struct FullRepoStrategy {
     sizes: Arc<dyn SizeModel>,
     repo_bytes: u64,
-    stats: FullRepoStats,
-    container_eff: ContainerEfficiency,
+    ledger: Ledger,
 }
 
 impl FullRepoStrategy {
     /// Build the all-purpose image (counted as the initial write).
     pub fn new(sizes: Arc<dyn SizeModel>, repo_bytes: u64) -> Self {
-        let stats = FullRepoStats {
-            bytes_written: repo_bytes,
-            rebuilds: 1,
-            ..FullRepoStats::default()
-        };
+        let mut ledger = Ledger::new();
+        ledger.count_insert();
+        ledger.write(repo_bytes);
+        ledger.admit(repo_bytes);
+        ledger.add_unique(repo_bytes);
         FullRepoStrategy {
             sizes,
             repo_bytes,
-            stats,
-            container_eff: ContainerEfficiency::new(),
+            ledger,
         }
     }
 
-    /// Statistics so far.
-    pub fn stats(&self) -> FullRepoStats {
-        self.stats
+    /// A repository update forces a full image rebuild and re-transfer.
+    pub fn rebuild(&mut self) {
+        self.ledger.count_insert();
+        self.ledger.write(self.repo_bytes);
     }
 
     /// The cache holds exactly the repository.
     pub fn total_bytes(&self) -> u64 {
         self.repo_bytes
     }
+}
 
-    /// One image with no internal duplication: always 100%.
-    pub fn cache_efficiency_pct(&self) -> f64 {
-        100.0
-    }
-
-    /// Mean container efficiency so far.
-    pub fn container_efficiency_pct(&self) -> f64 {
-        self.container_eff.mean_pct()
+impl CachePolicy for FullRepoStrategy {
+    fn name(&self) -> &'static str {
+        "full-repo"
     }
 
     /// Serve a request; always a hit against the full image.
-    pub fn request(&mut self, spec: &Spec) {
+    fn request(&mut self, spec: &Spec) -> Served {
         let requested = self.sizes.spec_bytes(spec);
-        self.stats.requests += 1;
-        self.stats.bytes_requested += requested;
-        self.container_eff
-            .record(requested, self.repo_bytes.max(requested));
+        self.ledger.begin_request(requested);
+        self.ledger.serve(requested, self.repo_bytes.max(requested));
+        self.ledger.count_hit();
+        Served {
+            op: ServedOp::Hit,
+            image: 0,
+            image_bytes: self.repo_bytes,
+            // Each rebuild republishes the image under a new revision.
+            revision: self.ledger.stats().inserts - 1,
+        }
     }
 
-    /// A repository update forces a full image rebuild and re-transfer.
-    pub fn rebuild(&mut self) {
-        self.stats.rebuilds += 1;
-        self.stats.bytes_written += self.repo_bytes;
+    fn plan_build(&self, _spec: &Spec) -> BuildPlan {
+        BuildPlan::Hit
+    }
+
+    fn spec_bytes(&self, spec: &Spec) -> u64 {
+        self.sizes.spec_bytes(spec)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.ledger.stats()
+    }
+
+    fn container_efficiency_pct(&self) -> f64 {
+        self.ledger.container_efficiency_pct()
+    }
+
+    fn len(&self) -> usize {
+        1
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.repo_bytes
+    }
+
+    fn check_invariants(&self) {
+        let s = self.ledger.stats();
+        assert_eq!(s.requests, s.hits, "every request hits the one image");
+        assert_eq!(s.total_bytes, self.repo_bytes);
+        assert_eq!(s.unique_bytes, self.repo_bytes);
+        assert_eq!(s.image_count, 1);
+        assert_eq!(s.bytes_written, s.inserts * self.repo_bytes);
     }
 }
 
@@ -100,10 +117,11 @@ mod tests {
     #[test]
     fn every_request_is_served() {
         let mut s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 1000);
-        s.request(&spec(&[1, 2, 3]));
-        s.request(&spec(&[500]));
+        assert_eq!(s.request(&spec(&[1, 2, 3])).op, ServedOp::Hit);
+        assert_eq!(s.request(&spec(&[500])).op, ServedOp::Hit);
         assert_eq!(s.stats().requests, 2);
         assert_eq!(s.cache_efficiency_pct(), 100.0);
+        s.check_invariants();
     }
 
     #[test]
@@ -118,8 +136,9 @@ mod tests {
     fn initial_build_counts_as_write() {
         let s = FullRepoStrategy::new(Arc::new(UniformSizes::new(1)), 777);
         assert_eq!(s.stats().bytes_written, 777);
-        assert_eq!(s.stats().rebuilds, 1);
+        assert_eq!(s.stats().inserts, 1);
         assert_eq!(s.total_bytes(), 777);
+        s.check_invariants();
     }
 
     #[test]
@@ -128,6 +147,10 @@ mod tests {
         s.rebuild();
         s.rebuild();
         assert_eq!(s.stats().bytes_written, 1500);
-        assert_eq!(s.stats().rebuilds, 3);
+        assert_eq!(s.stats().inserts, 3);
+        let before = s.request(&spec(&[1])).revision;
+        s.rebuild();
+        assert!(s.request(&spec(&[1])).revision > before);
+        s.check_invariants();
     }
 }

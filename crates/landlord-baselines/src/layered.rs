@@ -9,6 +9,8 @@
 //! storage cost is the sum of *all* layers, live or masked, while the
 //! *effective* set is what the top of the chain exposes.
 
+use landlord_core::cache::{CacheStats, Ledger};
+use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
 use serde::{Deserialize, Serialize};
@@ -31,6 +33,7 @@ pub struct Layer {
 pub struct LayerChain {
     sizes: Arc<dyn SizeModel>,
     layers: Vec<Layer>,
+    ledger: Ledger,
 }
 
 impl LayerChain {
@@ -39,10 +42,12 @@ impl LayerChain {
         LayerChain {
             sizes,
             layers: Vec::new(),
+            ledger: Ledger::new(),
         }
     }
 
-    /// Number of layers.
+    /// Number of layers. (The [`CachePolicy`] view counts the chain as
+    /// one image; this counts its history.)
     pub fn len(&self) -> usize {
         self.layers.len()
     }
@@ -102,6 +107,103 @@ impl LayerChain {
     /// bytes, counting duplicated adds too.
     pub fn dead_bytes(&self) -> u64 {
         self.stored_bytes().saturating_sub(self.effective_bytes())
+    }
+}
+
+impl CachePolicy for LayerChain {
+    fn name(&self) -> &'static str {
+        "layered"
+    }
+
+    /// Serve a request by refining the chain to it. An exact top-of-
+    /// chain match is a hit (tag reuse); anything else appends a layer
+    /// and counts as a merge — the whole chain must be transferred, so
+    /// container efficiency is requested over *stored* bytes.
+    fn request(&mut self, spec: &Spec) -> Served {
+        let requested = self.sizes.spec_bytes(spec);
+        self.ledger.begin_request(requested);
+        let before = self.layers.len();
+        let added = self.refine_to(spec);
+        if self.layers.len() == before {
+            self.ledger.count_hit();
+        } else {
+            self.ledger.count_merge();
+            self.ledger.write(added);
+        }
+        let stored = self.stored_bytes();
+        self.ledger.serve(requested, stored.max(requested));
+        Served {
+            op: if self.layers.len() == before {
+                ServedOp::Hit
+            } else {
+                ServedOp::Merged
+            },
+            image: 0,
+            image_bytes: stored,
+            revision: self.layers.len() as u64,
+        }
+    }
+
+    fn plan_build(&self, spec: &Spec) -> BuildPlan {
+        let visible = self.effective();
+        let added = spec.difference(&visible);
+        let masked = visible.difference(spec);
+        if added.is_empty() && masked.is_empty() {
+            BuildPlan::Hit
+        } else {
+            // Appending rewrites the shared chain's top.
+            BuildPlan::Rewrite {
+                bytes: self.sizes.spec_bytes(&added),
+            }
+        }
+    }
+
+    fn spec_bytes(&self, spec: &Spec) -> u64 {
+        self.sizes.spec_bytes(spec)
+    }
+
+    /// Chain totals override the ledger's current-state fields: total
+    /// is all stored layers, unique is the visible set, and the chain
+    /// is one image.
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            total_bytes: self.stored_bytes(),
+            unique_bytes: self.effective_bytes(),
+            image_count: if self.layers.is_empty() { 0 } else { 1 },
+            ..self.ledger.stats()
+        }
+    }
+
+    fn container_efficiency_pct(&self) -> f64 {
+        self.ledger.container_efficiency_pct()
+    }
+
+    fn len(&self) -> usize {
+        usize::from(!self.layers.is_empty())
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        u64::MAX
+    }
+
+    fn check_invariants(&self) {
+        let s = self.stats();
+        assert_eq!(
+            s.requests,
+            s.hits + s.merges,
+            "every request hits or refines"
+        );
+        assert_eq!(
+            s.total_bytes,
+            self.layers.iter().map(|l| l.bytes).sum::<u64>()
+        );
+        assert!(
+            s.unique_bytes <= s.total_bytes,
+            "visible set never exceeds stored layers"
+        );
+        for layer in &self.layers {
+            assert_eq!(layer.bytes, self.sizes.spec_bytes(&layer.added));
+        }
     }
 }
 
@@ -184,5 +286,26 @@ mod tests {
             assert!(c.stored_bytes() >= last, "layer storage can only grow");
             last = c.stored_bytes();
         }
+    }
+
+    #[test]
+    fn policy_requests_track_the_chain() {
+        let mut c = chain();
+        let a = c.request(&spec(&[1, 2, 3]));
+        assert_eq!(a.op, ServedOp::Merged);
+        let b = c.request(&spec(&[1, 2, 3]));
+        assert_eq!(b.op, ServedOp::Hit, "exact top-of-chain match reuses");
+        assert_eq!(b.revision, a.revision, "no new layer on a hit");
+        let d = c.request(&spec(&[1, 2, 4]));
+        assert_eq!(d.op, ServedOp::Merged);
+        assert!(d.revision > b.revision);
+        let s = c.stats();
+        assert_eq!((s.hits, s.merges, s.bytes_written), (1, 2, 4));
+        assert_eq!(c.plan_build(&spec(&[1, 2, 4])), BuildPlan::Hit);
+        assert_eq!(
+            c.plan_build(&spec(&[1, 2, 5])),
+            BuildPlan::Rewrite { bytes: 1 }
+        );
+        c.check_invariants();
     }
 }

@@ -17,12 +17,18 @@
 //! * [`block_dedup`] — post-hoc block deduplication across stored
 //!   images: measures how much duplication *exists*, which a guest user
 //!   without snapshot privileges cannot actually *reclaim*.
+//!
+//! Every strategy implements [`landlord_core::policy::CachePolicy`] and
+//! keeps its books in the shared [`landlord_core::cache::Ledger`], so
+//! the simulator's generic drivers can run any of them head-to-head
+//! against LANDLORD.
 
 pub mod block_dedup;
 pub mod full_repo;
 pub mod layered;
 pub mod per_job;
 
+pub use block_dedup::DedupStore;
 pub use full_repo::FullRepoStrategy;
 pub use layered::LayerChain;
 pub use per_job::PerJobCache;

@@ -6,42 +6,25 @@
 //! implementation of that strategy — deliberately *not* built on
 //! [`landlord_core::cache::ImageCache`] — so the integration tests can
 //! cross-validate that LANDLORD at α = 0 degenerates to exactly this
-//! behavior.
+//! behavior. Accounting lives in the shared
+//! [`landlord_core::cache::Ledger`]; only the LRU mechanics are local.
 
-use landlord_core::metrics::ContainerEfficiency;
+use landlord_core::cache::{CacheStats, Ledger, PackageRefs};
+use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
-use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-/// Counters of the per-job cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PerJobStats {
-    /// Requests served.
-    pub requests: u64,
-    /// Requests satisfied by a cached image (subset match).
-    pub hits: u64,
-    /// Fresh images created.
-    pub inserts: u64,
-    /// Images evicted.
-    pub deletes: u64,
-    /// Bytes written (inserted images).
-    pub bytes_written: u64,
-    /// Bytes requested.
-    pub bytes_requested: u64,
-    /// Current cached bytes.
-    pub total_bytes: u64,
-}
 
 /// A byte-bounded LRU image cache without merging.
 pub struct PerJobCache {
     limit_bytes: u64,
     sizes: Arc<dyn SizeModel>,
     /// Front = least recently used.
-    images: VecDeque<(Spec, u64)>,
-    stats: PerJobStats,
-    container_eff: ContainerEfficiency,
+    images: VecDeque<(u64, Spec, u64)>,
+    next_id: u64,
+    refcounts: PackageRefs,
+    ledger: Ledger,
 }
 
 impl PerJobCache {
@@ -51,105 +34,131 @@ impl PerJobCache {
             limit_bytes,
             sizes,
             images: VecDeque::new(),
-            stats: PerJobStats::default(),
-            container_eff: ContainerEfficiency::new(),
+            next_id: 0,
+            refcounts: PackageRefs::new(),
+            ledger: Ledger::new(),
         }
     }
 
-    /// Current statistics.
-    pub fn stats(&self) -> PerJobStats {
-        self.stats
+    /// Index of the smallest satisfying image, if any (pure).
+    fn find_hit(&self, spec: &Spec) -> Option<usize> {
+        self.images
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, cached, _))| spec.is_subset(cached))
+            .min_by_key(|(_, (_, _, bytes))| *bytes)
+            .map(|(i, _)| i)
+    }
+}
+
+impl CachePolicy for PerJobCache {
+    fn name(&self) -> &'static str {
+        "per-job"
     }
 
-    /// Number of cached images.
-    pub fn len(&self) -> usize {
+    /// Reuse the smallest satisfying image or insert a fresh one, then
+    /// evict LRU down to the byte limit (never the image just inserted).
+    fn request(&mut self, spec: &Spec) -> Served {
+        let requested = self.sizes.spec_bytes(spec);
+        self.ledger.begin_request(requested);
+
+        if let Some(i) = self.find_hit(spec) {
+            let (id, cached, bytes) = self.images.remove(i).expect("index valid");
+            self.ledger.serve(requested, bytes);
+            self.ledger.count_hit();
+            self.images.push_back((id, cached, bytes)); // most recently used
+            return Served {
+                op: ServedOp::Hit,
+                image: id,
+                image_bytes: bytes,
+                revision: 0,
+            };
+        }
+
+        self.ledger.serve(requested, requested);
+        self.ledger.count_insert();
+        self.ledger.write(requested);
+        self.ledger.admit(requested);
+        self.refcounts
+            .add_spec(spec, self.sizes.as_ref(), &mut self.ledger);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.images.push_back((id, spec.clone(), requested));
+        while self.ledger.stats().total_bytes > self.limit_bytes && self.images.len() > 1 {
+            let (_, victim, freed) = self.images.pop_front().expect("len > 1");
+            self.ledger.drop_image(freed);
+            self.ledger.count_delete();
+            self.refcounts
+                .release_spec(&victim, self.sizes.as_ref(), &mut self.ledger);
+        }
+        Served {
+            op: ServedOp::Inserted,
+            image: id,
+            image_bytes: requested,
+            revision: 0,
+        }
+    }
+
+    fn plan_build(&self, spec: &Spec) -> BuildPlan {
+        match self.find_hit(spec) {
+            Some(_) => BuildPlan::Hit,
+            None => BuildPlan::Insert {
+                bytes: self.sizes.spec_bytes(spec),
+            },
+        }
+    }
+
+    fn spec_bytes(&self, spec: &Spec) -> u64 {
+        self.sizes.spec_bytes(spec)
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.ledger.stats()
+    }
+
+    fn container_efficiency_pct(&self) -> f64 {
+        self.ledger.container_efficiency_pct()
+    }
+
+    fn len(&self) -> usize {
         self.images.len()
     }
 
-    /// True when no images are cached.
-    pub fn is_empty(&self) -> bool {
-        self.images.is_empty()
-    }
-
-    /// Mean container efficiency so far (percent).
-    pub fn container_efficiency_pct(&self) -> f64 {
-        self.container_eff.mean_pct()
-    }
-
-    /// Unique bytes across cached images (each package once) — needs a
-    /// scan, used by experiments at sample points only.
-    pub fn unique_bytes(&self) -> u64 {
-        let mut all = Spec::empty();
-        for (spec, _) in &self.images {
-            all = all.union(spec);
-        }
-        self.sizes.spec_bytes(&all)
-    }
-
-    /// Process one request: reuse the smallest satisfying image or
-    /// insert a fresh one, then evict LRU down to the byte limit.
-    /// Returns true on a hit.
-    pub fn request(&mut self, spec: &Spec) -> bool {
-        let requested = self.sizes.spec_bytes(spec);
-        self.stats.requests += 1;
-        self.stats.bytes_requested += requested;
-
-        // Find the smallest satisfying image.
-        let hit = self
-            .images
-            .iter()
-            .enumerate()
-            .filter(|(_, (cached, _))| spec.is_subset(cached))
-            .min_by_key(|(_, (_, bytes))| *bytes)
-            .map(|(i, _)| i);
-
-        if let Some(i) = hit {
-            let (cached, bytes) = self.images.remove(i).expect("index valid");
-            self.container_eff.record(requested, bytes);
-            self.images.push_back((cached, bytes)); // most recently used
-            self.stats.hits += 1;
-            return true;
-        }
-
-        self.container_eff.record(requested, requested);
-        self.stats.inserts += 1;
-        self.stats.bytes_written += requested;
-        self.stats.total_bytes += requested;
-        self.images.push_back((spec.clone(), requested));
-        // Evict, but never the image just inserted.
-        while self.stats.total_bytes > self.limit_bytes && self.images.len() > 1 {
-            let (_, freed) = self.images.pop_front().expect("len > 1");
-            self.stats.total_bytes -= freed;
-            self.stats.deletes += 1;
-        }
-        false
+    fn limit_bytes(&self) -> u64 {
+        self.limit_bytes
     }
 
     /// Assert internal bookkeeping consistency; panics on violation.
     /// Mirrors `ImageCache::check_invariants` so baseline tests get the
     /// same paranoid treatment.
-    pub fn check_invariants(&self) {
-        let sum: u64 = self.images.iter().map(|(_, b)| *b).sum();
-        assert_eq!(
-            self.stats.total_bytes, sum,
-            "total_bytes tracks cached images"
-        );
+    fn check_invariants(&self) {
+        let s = self.ledger.stats();
+        let sum: u64 = self.images.iter().map(|(_, _, b)| *b).sum();
+        assert_eq!(s.total_bytes, sum, "total_bytes tracks cached images");
+        assert_eq!(s.image_count, self.images.len() as u64);
         assert!(
-            self.stats.total_bytes <= self.limit_bytes || self.images.len() == 1,
+            s.total_bytes <= self.limit_bytes || self.images.len() == 1,
             "over the byte limit with more than one image"
         );
         assert_eq!(
-            self.stats.requests,
-            self.stats.hits + self.stats.inserts,
+            s.requests,
+            s.hits + s.inserts,
             "every request either hits or inserts"
         );
-        for (spec, bytes) in &self.images {
+        let mut all = Spec::empty();
+        for (_, spec, bytes) in &self.images {
             assert_eq!(
                 *bytes,
                 self.sizes.spec_bytes(spec),
                 "image size matches the size model"
             );
+            all = all.union(spec);
         }
+        assert_eq!(
+            s.unique_bytes,
+            self.sizes.spec_bytes(&all),
+            "refcounted unique bytes match a fresh scan"
+        );
     }
 }
 
@@ -167,12 +176,16 @@ mod tests {
         PerJobCache::new(limit, Arc::new(UniformSizes::new(1)))
     }
 
+    fn hit(c: &mut PerJobCache, ids: &[u32]) -> bool {
+        c.request(&spec(ids)).op == ServedOp::Hit
+    }
+
     #[test]
     fn insert_then_hit() {
         let mut c = cache(100);
-        assert!(!c.request(&spec(&[1, 2])));
-        assert!(c.request(&spec(&[1, 2])));
-        assert!(c.request(&spec(&[1])), "subset should hit");
+        assert!(!hit(&mut c, &[1, 2]));
+        assert!(hit(&mut c, &[1, 2]));
+        assert!(hit(&mut c, &[1]), "subset should hit");
         assert_eq!(c.stats().hits, 2);
         assert_eq!(c.stats().inserts, 1);
         assert_eq!(c.len(), 1);
@@ -185,7 +198,7 @@ mod tests {
         c.request(&spec(&[1, 2, 3]));
         c.request(&spec(&[1, 2, 4]));
         assert_eq!(c.len(), 2, "close specs stay separate images");
-        assert_eq!(c.unique_bytes(), 4); // {1,2,3,4}
+        assert_eq!(c.stats().unique_bytes, 4); // {1,2,3,4}
         assert_eq!(c.stats().total_bytes, 6);
         c.check_invariants();
     }
@@ -197,7 +210,7 @@ mod tests {
         c.request(&spec(&[4, 5, 6])); // B
         c.request(&spec(&[1, 2, 3])); // touch A
         c.request(&spec(&[7, 8, 9])); // evicts B
-        assert!(c.request(&spec(&[1, 2, 3])), "A must have survived");
+        assert!(hit(&mut c, &[1, 2, 3]), "A must have survived");
         assert_eq!(c.stats().deletes, 1);
         c.check_invariants();
     }
@@ -228,6 +241,16 @@ mod tests {
         c.request(&spec(&[1, 2]));
         assert_eq!(c.stats().bytes_requested, 4);
         assert_eq!(c.stats().bytes_written, 2, "hit writes nothing");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn plan_build_predicts_request() {
+        let mut c = cache(100);
+        assert_eq!(c.plan_build(&spec(&[1, 2])), BuildPlan::Insert { bytes: 2 });
+        c.request(&spec(&[1, 2]));
+        assert_eq!(c.plan_build(&spec(&[1])), BuildPlan::Hit);
+        assert_eq!(c.plan_build(&spec(&[3])), BuildPlan::Insert { bytes: 1 });
         c.check_invariants();
     }
 }

@@ -27,6 +27,8 @@ USAGE:
                       [--alpha A] [--limit-gb G] [--job-seed S]
   landlord simulate   [--scale full|smoke] [--alpha A] [--cache-x M]
                       [--jobs N] [--repeats R] [--seed S] [--trace FILE]
+                      [--policy P] [--eviction E] [--merge-order O]
+                      [--metric D] [--candidates C] [--report-json FILE]
                       [--fault-rate F] [--fault-seed S] [--retries N]
                       [--backoff-base T] [--backoff-cap T]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
@@ -42,7 +44,31 @@ Experiment ids: fig1 fig2 fig3 fig4 fig4a fig4b fig4c fig5 fig6a fig6b
 fig6c fig6d fig7 fig8 ablation-evict ablation-merge-order
 ablation-candidates ablation-split ablation-metric ext-cluster
 ext-usermix ext-update ext-faults
+
+Simulate policies (--policy): landlord per-job full-repo layered
+block-dedup. LANDLORD knobs: --eviction lru|lfu|largest-first|
+cost-density|gdsf, --merge-order nearest-first|arrival-order|
+largest-first|smallest-first, --metric package-count|bytes,
+--candidates exact-scan|minhash-lsh:<bands>x<rows>.
+--report-json FILE (or -) writes the machine-readable PolicyReport.
 ";
+
+/// Parse an optional `--key token` flag via an enum's `parse`,
+/// erroring with the full list of valid tokens.
+fn token_flag<T>(
+    args: &Args,
+    key: &str,
+    parse: impl Fn(&str) -> Option<T>,
+    default: T,
+    tokens: &str,
+) -> Result<T, Box<dyn Error>> {
+    match args.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            parse(v).ok_or_else(|| format!("unknown --{key} {v:?} (valid: {tokens})").into())
+        }
+    }
+}
 
 fn parse_scale(args: &Args) -> Result<Scale, Box<dyn Error>> {
     match args.get_or("scale", "smoke") {
@@ -188,9 +214,38 @@ pub fn simulate(args: &Args) -> CmdResult {
     w.unique_jobs = args.get_parsed("jobs", w.unique_jobs, "a job count")?;
     w.repeats = args.get_parsed("repeats", w.repeats, "a repeat count")?;
 
+    use landlord_core::policy::{CandidateStrategy, DistanceMetric, EvictionPolicy, MergeOrder};
     let cache = landlord_core::cache::CacheConfig {
         alpha,
         limit_bytes: (repo.total_bytes() as f64 * cache_x) as u64,
+        eviction: token_flag(
+            args,
+            "eviction",
+            EvictionPolicy::parse,
+            EvictionPolicy::default(),
+            EvictionPolicy::TOKENS,
+        )?,
+        merge_order: token_flag(
+            args,
+            "merge-order",
+            MergeOrder::parse,
+            MergeOrder::default(),
+            MergeOrder::TOKENS,
+        )?,
+        metric: token_flag(
+            args,
+            "metric",
+            DistanceMetric::parse,
+            DistanceMetric::default(),
+            DistanceMetric::TOKENS,
+        )?,
+        candidates: token_flag(
+            args,
+            "candidates",
+            CandidateStrategy::parse,
+            CandidateStrategy::default(),
+            CandidateStrategy::TOKENS,
+        )?,
         ..Default::default()
     };
 
@@ -212,25 +267,42 @@ pub fn simulate(args: &Args) -> CmdResult {
     };
     let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
         std::sync::Arc::new(repo.size_table());
+    let policy_token = args.get_or("policy", "landlord");
+    let mut policy = simulator::make_policy(policy_token, cache, sizes, repo.total_bytes())
+        .ok_or_else(|| {
+            format!(
+                "unknown --policy {policy_token:?} (valid: {})",
+                simulator::POLICY_TOKENS.join(", ")
+            )
+        })?;
     let (result, fault_stats) = if fault_rate > 0.0 {
         let cfg = landlord_sim::faults::FaultConfig {
             fail_per_mille: (fault_rate * 1000.0).round() as u32,
             seed: fault_seed,
             retry: landlord_core::policy::RetryPolicy::new(retries, backoff_base, backoff_cap),
         };
-        let fr =
-            landlord_sim::faults::simulate_stream_with_faults(&stream, cache, sizes, None, &cfg);
+        let fr = landlord_sim::faults::simulate_policy_with_faults(policy.as_mut(), &stream, &cfg);
         (fr.run, Some(fr.faults))
     } else {
         (
-            simulator::simulate_stream(&stream, cache, sizes, None, 0),
+            simulator::simulate_policy(policy.as_mut(), &stream, 0),
             None,
         )
     };
+    if let Some(out) = args.get("report-json") {
+        let report = simulator::PolicyReport::from_run(policy_token, &result, fault_stats);
+        let json = format!("{}\n", serde_json::to_string_pretty(&report)?);
+        if out == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(out, json)?;
+            eprintln!("[report] {out}");
+        }
+    }
     let s = result.final_stats;
     let mut t = Table::new(
         format!(
-            "Simulation (alpha={alpha}, cache={cache_x}x repo, {} requests)",
+            "Simulation ({policy_token}, alpha={alpha}, cache={cache_x}x repo, {} requests)",
             s.requests
         ),
         &["metric", "value"],
@@ -745,6 +817,109 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_runs_every_policy_token() {
+        for token in landlord_sim::simulator::POLICY_TOKENS {
+            simulate(&args(&[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "4",
+                "--repeats",
+                "1",
+                "--policy",
+                token,
+            ]))
+            .unwrap_or_else(|e| panic!("--policy {token} failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_policy_listing_tokens() {
+        let err = simulate(&args(&["--scale", "smoke", "--policy", "zfs"])).unwrap_err();
+        let msg = err.to_string();
+        for token in landlord_sim::simulator::POLICY_TOKENS {
+            assert!(msg.contains(token), "error {msg:?} must list {token}");
+        }
+    }
+
+    #[test]
+    fn simulate_rejects_unknown_knob_tokens_listing_valid_ones() {
+        use landlord_core::policy::{
+            CandidateStrategy, DistanceMetric, EvictionPolicy, MergeOrder,
+        };
+        for (flag, tokens) in [
+            ("eviction", EvictionPolicy::TOKENS),
+            ("merge-order", MergeOrder::TOKENS),
+            ("metric", DistanceMetric::TOKENS),
+            ("candidates", CandidateStrategy::TOKENS),
+        ] {
+            let flag_arg = format!("--{flag}");
+            let err =
+                simulate(&args(&["--scale", "smoke", flag_arg.as_str(), "bogus"])).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(flag), "{msg:?} must name --{flag}");
+            assert!(msg.contains(tokens), "{msg:?} must list {tokens:?}");
+        }
+    }
+
+    #[test]
+    fn simulate_gdsf_and_lsh_knobs_run() {
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "6",
+            "--repeats",
+            "1",
+            "--eviction",
+            "gdsf",
+            "--merge-order",
+            "smallest-first",
+            "--metric",
+            "bytes",
+            "--candidates",
+            "minhash-lsh:16x4",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_report_json_round_trips() {
+        let path = std::env::temp_dir().join(format!(
+            "landlord-cli-report-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "5",
+            "--repeats",
+            "1",
+            "--policy",
+            "per-job",
+            "--fault-rate",
+            "0.2",
+            "--retries",
+            "1",
+            "--report-json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report: landlord_sim::simulator::PolicyReport =
+            serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(report.policy, "per-job");
+        let faults = report.faults.expect("faulted run records fault stats");
+        assert_eq!(
+            report.final_stats.requests + faults.failed_requests,
+            5,
+            "every request is either served or recorded as failed"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

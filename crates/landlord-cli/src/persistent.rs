@@ -34,7 +34,9 @@
 //! and restores the invariants [`PersistentCache::check_invariants`]
 //! demands.
 
-use landlord_core::jaccard::jaccard_distance;
+use landlord_core::cache::{plan_over, PlannedOp};
+use landlord_core::conflict::NoConflicts;
+use landlord_core::policy::{DistanceMetric, MergeOrder};
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
 use landlord_shrinkwrap::filetree::FileTreeConfig;
@@ -457,64 +459,78 @@ impl PersistentCache {
     /// Process one job specification (Algorithm 1), materializing
     /// images on disk as needed. The spec must already include its
     /// dependency closure.
+    ///
+    /// The hit / merge / insert decision comes from the same planner
+    /// the in-memory engine uses ([`plan_over`], the paper's
+    /// configuration: nearest-first candidates, package-count Jaccard,
+    /// CVMFS semantics so nothing conflicts); this store only executes
+    /// it against disk.
     pub fn submit(&mut self, repo: &Repository, spec: &Spec) -> io::Result<Decision> {
         self.state.clock += 1;
         let now = self.state.clock;
 
-        // 1. Existing image satisfies the spec (smallest wins).
-        if let Some(idx) = self
+        let entries: Vec<(u64, &Spec, u64)> = self
             .state
             .images
             .iter()
-            .enumerate()
-            .filter(|(_, img)| spec.is_subset(&img.spec))
-            .min_by_key(|(_, img)| (img.logical_bytes, img.id))
-            .map(|(i, _)| i)
-        {
-            let id = {
-                let img = &mut self.state.images[idx];
+            .map(|img| (img.id, &img.spec, img.logical_bytes))
+            .collect();
+        let sizes = repo.size_table();
+        let op = plan_over(
+            &entries,
+            spec,
+            self.alpha,
+            MergeOrder::NearestFirst,
+            DistanceMetric::PackageCount,
+            &sizes,
+            &NoConflicts,
+        );
+        drop(entries);
+
+        match op {
+            PlannedOp::Hit { image } => {
+                let img = self
+                    .state
+                    .images
+                    .iter_mut()
+                    .find(|img| img.id == image.0)
+                    .expect("planned hit image is indexed");
                 img.last_used = now;
-                img.id
-            };
-            let path = self.image_path(id);
-            self.save_state()?;
-            return Ok(Decision::Hit { image: path });
+                let path = self.image_path(image.0);
+                self.save_state()?;
+                Ok(Decision::Hit { image: path })
+            }
+            PlannedOp::Merge { image, .. } => {
+                let idx = self
+                    .state
+                    .images
+                    .iter()
+                    .position(|img| img.id == image.0)
+                    .expect("planned merge image is indexed");
+                let old = self.state.images[idx].clone();
+                let merged_spec = old.spec.union(spec);
+                let mut rebuilt = self.build_image(repo, old.id, &merged_spec)?;
+                rebuilt.last_used = now;
+                self.state.images[idx] = rebuilt;
+                self.evict_to_limit(old.id)?;
+                self.save_state()?;
+                Ok(Decision::Merged {
+                    image: self.image_path(old.id),
+                })
+            }
+            PlannedOp::Insert => {
+                let id = self.state.next_id;
+                self.state.next_id += 1;
+                let mut img = self.build_image(repo, id, spec)?;
+                img.last_used = now;
+                self.state.images.push(img);
+                self.evict_to_limit(id)?;
+                self.save_state()?;
+                Ok(Decision::Inserted {
+                    image: self.image_path(id),
+                })
+            }
         }
-
-        // 2. Merge into the nearest non-conflicting candidate.
-        //    (CVMFS semantics: nothing conflicts.)
-        let candidate = self
-            .state
-            .images
-            .iter()
-            .enumerate()
-            .map(|(i, img)| (i, jaccard_distance(spec, &img.spec)))
-            .filter(|(_, d)| *d < self.alpha)
-            .min_by(|a, b| a.1.total_cmp(&b.1));
-        if let Some((idx, _)) = candidate {
-            let old = self.state.images[idx].clone();
-            let merged_spec = old.spec.union(spec);
-            let mut rebuilt = self.build_image(repo, old.id, &merged_spec)?;
-            rebuilt.last_used = now;
-            self.state.images[idx] = rebuilt;
-            self.evict_to_limit(old.id)?;
-            self.save_state()?;
-            return Ok(Decision::Merged {
-                image: self.image_path(old.id),
-            });
-        }
-
-        // 3. Fresh insert.
-        let id = self.state.next_id;
-        self.state.next_id += 1;
-        let mut img = self.build_image(repo, id, spec)?;
-        img.last_used = now;
-        self.state.images.push(img);
-        self.evict_to_limit(id)?;
-        self.save_state()?;
-        Ok(Decision::Inserted {
-            image: self.image_path(id),
-        })
     }
 
     fn evict_to_limit(&mut self, protect: u64) -> io::Result<()> {

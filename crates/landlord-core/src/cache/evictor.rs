@@ -1,0 +1,355 @@
+//! The eviction seam: an incrementally maintained ordered victim index
+//! behind the [`Evictor`] trait.
+//!
+//! The original engine picked victims with an O(n) `min_by_key` scan
+//! over every cached image on every eviction. Each policy here instead
+//! keeps a `BTreeSet` of `(key, id)` pairs — exactly the tuple the old
+//! scan minimized, so the victim choice is bit-identical — updated in
+//! O(log n) as images are inserted, touched, rewritten, and removed.
+//! Victim selection is then an O(log n) ordered lookup
+//! ([`Evictor::peek_victim`]), benchmarked at 10k images in the `bench`
+//! crate.
+
+use crate::image::{Image, ImageId};
+use crate::policy::EvictionPolicy;
+use crate::util::FxHashMap;
+use std::cmp::Reverse;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// Total order over `f64` via `total_cmp`, matching the `min_by(...
+/// total_cmp ...)` comparison the inline scans used.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Maintains a victim order over the cached images. The engine notifies
+/// the evictor of every image lifecycle event; the evictor answers
+/// "who goes next" without scanning.
+pub trait Evictor: Send {
+    /// The policy this evictor implements.
+    fn policy(&self) -> EvictionPolicy;
+    /// A new image entered the cache.
+    fn on_insert(&mut self, img: &Image);
+    /// An image's ordering-relevant fields changed (hit or merge
+    /// already applied to `img`).
+    fn on_touch(&mut self, img: &Image);
+    /// An image left the cache (already removed from the image map).
+    fn on_remove(&mut self, img: &Image);
+    /// An image is about to be evicted *by the byte limit* (still
+    /// cached). Lets aging policies (GDSF) advance their clock.
+    fn note_eviction(&mut self, _img: &Image) {}
+    /// The next victim, never `protect`. `None` when nothing (else) is
+    /// cached.
+    fn peek_victim(&self, protect: Option<ImageId>) -> Option<ImageId>;
+    /// Number of indexed images.
+    fn len(&self) -> usize;
+    /// Whether no images are indexed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Verify the index against the authoritative image map; panics on
+    /// inconsistency.
+    fn check(&self, images: &FxHashMap<u64, Image>);
+}
+
+/// How one policy ranks an image. Victims are *minimal* in `(Key, id)`
+/// order; keys encode any "largest first" reversal themselves.
+trait VictimKey: Send {
+    type Key: Ord + Copy + Debug + Send;
+    /// The image's current rank.
+    fn key(&self, img: &Image) -> Self::Key;
+    /// The stored rank of an image evicted by the byte limit.
+    fn on_eviction(&mut self, _key: &Self::Key) {}
+    /// Whether `key()` is a pure function of the image (true for every
+    /// policy except GDSF, whose keys embed the inflation value at the
+    /// time of the last touch).
+    fn keys_are_current(&self) -> bool {
+        true
+    }
+}
+
+/// Shared implementation: a `BTreeSet<(Key, ImageId)>` ordered index
+/// plus an id → key map so stale entries can be removed on update.
+struct IndexedEvictor<P: VictimKey> {
+    policy: EvictionPolicy,
+    keyer: P,
+    order: BTreeSet<(P::Key, ImageId)>,
+    keys: FxHashMap<u64, P::Key>,
+}
+
+impl<P: VictimKey> IndexedEvictor<P> {
+    fn new(policy: EvictionPolicy, keyer: P) -> Self {
+        IndexedEvictor {
+            policy,
+            keyer,
+            order: BTreeSet::new(),
+            keys: FxHashMap::default(),
+        }
+    }
+
+    fn reindex(&mut self, img: &Image) {
+        if let Some(old) = self.keys.remove(&img.id.0) {
+            self.order.remove(&(old, img.id));
+        }
+        let key = self.keyer.key(img);
+        self.keys.insert(img.id.0, key);
+        self.order.insert((key, img.id));
+    }
+}
+
+impl<P: VictimKey> Evictor for IndexedEvictor<P> {
+    fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    fn on_insert(&mut self, img: &Image) {
+        self.reindex(img);
+    }
+
+    fn on_touch(&mut self, img: &Image) {
+        self.reindex(img);
+    }
+
+    fn on_remove(&mut self, img: &Image) {
+        if let Some(old) = self.keys.remove(&img.id.0) {
+            self.order.remove(&(old, img.id));
+        }
+    }
+
+    fn note_eviction(&mut self, img: &Image) {
+        if let Some(key) = self.keys.get(&img.id.0) {
+            self.keyer.on_eviction(key);
+        }
+    }
+
+    fn peek_victim(&self, protect: Option<ImageId>) -> Option<ImageId> {
+        self.order
+            .iter()
+            .map(|&(_, id)| id)
+            .find(|&id| Some(id) != protect)
+    }
+
+    fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    fn check(&self, images: &FxHashMap<u64, Image>) {
+        assert_eq!(self.order.len(), images.len(), "evictor order size");
+        assert_eq!(self.keys.len(), images.len(), "evictor key-map size");
+        for img in images.values() {
+            let stored = self.keys.get(&img.id.0);
+            assert!(stored.is_some(), "image {} missing from evictor", img.id);
+            let Some(stored) = stored else { continue };
+            assert!(
+                self.order.contains(&(*stored, img.id)),
+                "evictor key for image {} missing from order",
+                img.id
+            );
+            if self.keyer.keys_are_current() {
+                assert_eq!(
+                    *stored,
+                    self.keyer.key(img),
+                    "stale evictor key for image {}",
+                    img.id
+                );
+            }
+        }
+        if self.keyer.keys_are_current() {
+            // The ordered index must agree with a brute-force scan.
+            let brute = images
+                .values()
+                .map(|img| (self.keyer.key(img), img.id))
+                .min()
+                .map(|(_, id)| id);
+            assert_eq!(self.peek_victim(None), brute, "victim disagrees with scan");
+        }
+    }
+}
+
+struct LruKey;
+impl VictimKey for LruKey {
+    type Key = u64;
+    fn key(&self, img: &Image) -> u64 {
+        img.last_used
+    }
+}
+
+struct LfuKey;
+impl VictimKey for LfuKey {
+    type Key = (u64, u64);
+    fn key(&self, img: &Image) -> (u64, u64) {
+        (img.use_count, img.last_used)
+    }
+}
+
+struct LargestFirstKey;
+impl VictimKey for LargestFirstKey {
+    type Key = Reverse<u64>;
+    fn key(&self, img: &Image) -> Reverse<u64> {
+        Reverse(img.bytes)
+    }
+}
+
+fn density(img: &Image) -> f64 {
+    img.use_count as f64 / img.bytes.max(1) as f64
+}
+
+struct CostDensityKey;
+impl VictimKey for CostDensityKey {
+    type Key = (OrdF64, u64);
+    fn key(&self, img: &Image) -> (OrdF64, u64) {
+        (OrdF64(density(img)), img.last_used)
+    }
+}
+
+/// Greedy-Dual-Size-Frequency: priority `H = L + use_count / bytes`,
+/// computed with the inflation value `L` current at insert/touch time.
+/// Evicting a victim raises `L` to the victim's priority, so priorities
+/// of untouched images decay *relative to* new arrivals — size-aware
+/// like cost-density, aging like LRU.
+struct GdsfKey {
+    inflation: f64,
+}
+
+impl VictimKey for GdsfKey {
+    type Key = (OrdF64, u64);
+    fn key(&self, img: &Image) -> (OrdF64, u64) {
+        (OrdF64(self.inflation + density(img)), img.last_used)
+    }
+    fn on_eviction(&mut self, key: &Self::Key) {
+        if key.0 .0 > self.inflation {
+            self.inflation = key.0 .0;
+        }
+    }
+    fn keys_are_current(&self) -> bool {
+        false
+    }
+}
+
+/// Build the evictor for a policy.
+pub(crate) fn make_evictor(policy: EvictionPolicy) -> Box<dyn Evictor> {
+    match policy {
+        EvictionPolicy::Lru => Box::new(IndexedEvictor::new(policy, LruKey)),
+        EvictionPolicy::Lfu => Box::new(IndexedEvictor::new(policy, LfuKey)),
+        EvictionPolicy::LargestFirst => Box::new(IndexedEvictor::new(policy, LargestFirstKey)),
+        EvictionPolicy::CostDensity => Box::new(IndexedEvictor::new(policy, CostDensityKey)),
+        EvictionPolicy::Gdsf => Box::new(IndexedEvictor::new(policy, GdsfKey { inflation: 0.0 })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PackageId, Spec};
+
+    fn img(id: u64, bytes: u64, last_used: u64, use_count: u64) -> Image {
+        let mut i = Image::new(
+            ImageId(id),
+            Spec::from_ids([PackageId(id as u32)]),
+            bytes,
+            last_used,
+        );
+        i.use_count = use_count;
+        i
+    }
+
+    #[test]
+    fn lru_picks_oldest_and_respects_protect() {
+        let mut e = make_evictor(EvictionPolicy::Lru);
+        e.on_insert(&img(1, 10, 5, 1));
+        e.on_insert(&img(2, 10, 3, 1));
+        e.on_insert(&img(3, 10, 9, 1));
+        assert_eq!(e.peek_victim(None), Some(ImageId(2)));
+        assert_eq!(e.peek_victim(Some(ImageId(2))), Some(ImageId(1)));
+    }
+
+    #[test]
+    fn lru_ties_break_by_id() {
+        let mut e = make_evictor(EvictionPolicy::Lru);
+        e.on_insert(&img(7, 10, 4, 1));
+        e.on_insert(&img(3, 10, 4, 1));
+        assert_eq!(e.peek_victim(None), Some(ImageId(3)));
+    }
+
+    #[test]
+    fn touch_moves_image_to_the_back() {
+        let mut e = make_evictor(EvictionPolicy::Lru);
+        e.on_insert(&img(1, 10, 1, 1));
+        e.on_insert(&img(2, 10, 2, 1));
+        e.on_touch(&img(1, 10, 8, 2));
+        assert_eq!(e.peek_victim(None), Some(ImageId(2)));
+    }
+
+    #[test]
+    fn largest_first_prefers_big_then_small_id() {
+        let mut e = make_evictor(EvictionPolicy::LargestFirst);
+        e.on_insert(&img(1, 10, 1, 1));
+        e.on_insert(&img(2, 30, 2, 1));
+        e.on_insert(&img(3, 30, 3, 1));
+        assert_eq!(e.peek_victim(None), Some(ImageId(2)), "ties → smallest id");
+    }
+
+    #[test]
+    fn cost_density_evicts_fewest_uses_per_byte() {
+        let mut e = make_evictor(EvictionPolicy::CostDensity);
+        e.on_insert(&img(1, 100, 1, 1)); // 0.01 uses/byte
+        e.on_insert(&img(2, 10, 2, 5)); // 0.5 uses/byte
+        assert_eq!(e.peek_victim(None), Some(ImageId(1)));
+    }
+
+    #[test]
+    fn gdsf_inflation_ages_out_old_high_frequency_images() {
+        let mut e = make_evictor(EvictionPolicy::Gdsf);
+        // Old image, many uses: H = 0 + 10/10 = 1.0.
+        let old = img(1, 10, 1, 10);
+        e.on_insert(&old);
+        // Cheap victim: H = 0 + 1/100 = 0.01. Evicting it raises L.
+        let cheap = img(2, 100, 2, 1);
+        e.on_insert(&cheap);
+        assert_eq!(e.peek_victim(None), Some(ImageId(2)));
+        e.note_eviction(&cheap);
+        e.on_remove(&cheap);
+        // After many evictions the inflation exceeds 1.0 and freshly
+        // inserted low-frequency images outrank the stale hot one.
+        for k in 0..200u64 {
+            let v = img(10 + k, 1, 3 + k, 2);
+            e.on_insert(&v);
+            let victim = e.peek_victim(None).unwrap();
+            let vi = if victim == v.id {
+                v.clone()
+            } else {
+                old.clone()
+            };
+            e.note_eviction(&vi);
+            e.on_remove(&vi);
+            if victim == old.id {
+                return; // the hot-but-stale image aged out
+            }
+        }
+        panic!("stale image never aged out under GDSF");
+    }
+
+    #[test]
+    fn remove_forgets_the_image() {
+        let mut e = make_evictor(EvictionPolicy::Lru);
+        let a = img(1, 10, 1, 1);
+        e.on_insert(&a);
+        e.on_remove(&a);
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.peek_victim(None), None);
+    }
+}

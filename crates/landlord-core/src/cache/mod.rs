@@ -1,0 +1,560 @@
+//! The LANDLORD image cache — the paper's Algorithm 1 plus byte-bounded
+//! eviction and full operation accounting — structured as a
+//! transactional **plan → apply** policy engine.
+//!
+//! For each submitted specification `s` the cache:
+//!
+//! 1. **Hit** — if any cached image `i` satisfies `s ⊆ i`, reuse it.
+//!    (We pick the *smallest* satisfying image, which maximizes
+//!    container efficiency; Algorithm 1 as printed returns the first
+//!    match, which is iteration-order dependent.)
+//! 2. **Merge** — otherwise, consider images `j` with Jaccard distance
+//!    `d_j(s, j) < α`, ordered by the configured
+//!    [`crate::policy::MergeOrder`] (nearest-first by
+//!    default, the paper's "selection can be sorted by dj()"). The first
+//!    candidate that does not conflict with `s` is replaced in place by
+//!    `merge(s, j)` — the union image — and the whole merged image is
+//!    rewritten (the dominant I/O cost the paper measures in Fig. 4c).
+//! 3. **Insert** — otherwise a fresh image for exactly `s` is created.
+//!
+//! After a merge or insert, least-valuable images are evicted until the
+//! total cached bytes drop back under the limit ("inserts and deletes
+//! are filling and emptying the cache such that it remains close to its
+//! storage limit", §VI).
+//!
+//! # Module map
+//!
+//! | module | role |
+//! |---|---|
+//! | [`mod@self`] | engine struct, lifecycle, `settle`/`request` composition |
+//! | `config` | [`CacheConfig`], [`CacheStats`] |
+//! | `plan` | pure decision side: [`ImageCache::plan`] → [`Plan`] |
+//! | `apply` | sole mutator: [`ImageCache::apply`] executes a [`Plan`] |
+//! | `evictor` | [`Evictor`] seam: ordered O(log n) victim indexes |
+//! | `candidates` | [`CandidateIndex`] seam: exact scan vs MinHash/LSH |
+//! | `ledger` | [`Ledger`]: accounting shared with every baseline |
+//!
+//! `request()` is literally `settle(); apply(spec, &plan(spec))`: the
+//! pure planner decides, the applier mutates, and any other consumer
+//! (fault injection, the persistent store) can hold the [`Plan`] in
+//! between.
+//!
+//! The cache maintains, incrementally, the quantities behind the paper's
+//! metrics: total cached bytes, *unique* cached bytes (each distinct
+//! package counted once — the numerator of cache efficiency), cumulative
+//! bytes written (actual I/O) and cumulative bytes requested.
+
+mod apply;
+mod candidates;
+mod config;
+mod evictor;
+mod ledger;
+mod plan;
+#[cfg(test)]
+mod proptests;
+#[cfg(test)]
+mod tests;
+
+pub use apply::Outcome;
+pub use candidates::CandidateIndex;
+pub use config::{CacheConfig, CacheStats};
+pub use evictor::Evictor;
+pub use ledger::{Ledger, PackageRefs};
+pub use plan::{plan_over, Plan, PlannedOp};
+
+use crate::conflict::{ConflictPolicy, NoConflicts};
+use crate::events::{CacheEvent, EventSink};
+use crate::image::{Image, ImageId};
+use crate::metrics::ContainerEfficiency;
+use crate::policy::{BuildPlan, CachePolicy, Served, ServedOp};
+use crate::sizes::SizeModel;
+use crate::spec::{PackageId, Spec};
+use crate::util::FxHashMap;
+use std::sync::Arc;
+
+/// A byte-bounded container image cache implementing LANDLORD's online
+/// management algorithm. See the module docs for the full flow.
+pub struct ImageCache {
+    config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    conflicts: Arc<dyn ConflictPolicy>,
+    images: FxHashMap<u64, Image>,
+    clock: u64,
+    next_id: u64,
+    ledger: Ledger,
+    refcounts: PackageRefs,
+    evictor: Box<dyn Evictor>,
+    candidate_index: Box<dyn CandidateIndex>,
+    sink: Option<Box<dyn EventSink + Send>>,
+    /// Image flagged by the last merge for bloat splitting; processed
+    /// lazily by [`ImageCache::settle`] at the start of the next
+    /// request so the merge's own outcome keeps pointing at a live
+    /// image.
+    pending_split: Option<ImageId>,
+}
+
+impl ImageCache {
+    /// Create a cache with the CVMFS-style no-conflict policy.
+    pub fn new(config: CacheConfig, sizes: Arc<dyn SizeModel>) -> Self {
+        Self::with_conflicts(config, sizes, Arc::new(NoConflicts))
+    }
+
+    /// Create a cache with an explicit conflict policy.
+    pub fn with_conflicts(
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.alpha),
+            "alpha must be in [0,1], got {}",
+            config.alpha
+        );
+        ImageCache {
+            config,
+            sizes,
+            conflicts,
+            images: FxHashMap::default(),
+            clock: 0,
+            next_id: 0,
+            ledger: Ledger::new(),
+            refcounts: PackageRefs::new(),
+            evictor: evictor::make_evictor(config.eviction),
+            candidate_index: candidates::make_candidate_index(
+                config.candidates,
+                config.minhash_seed,
+            ),
+            sink: None,
+            pending_split: None,
+        }
+    }
+
+    /// Reassemble a cache from checkpointed state (see
+    /// [`crate::snapshot`]). Monotonic counters come from the snapshot;
+    /// all current-state accounting (totals, refcounts, indexes) is
+    /// recomputed from the images so it can never be inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+        images: Vec<Image>,
+        clock: u64,
+        next_id: u64,
+        stats: CacheStats,
+        container_eff: ContainerEfficiency,
+    ) -> Self {
+        let mut cache = ImageCache::with_conflicts(config, sizes, conflicts);
+        cache.clock = clock;
+        cache.next_id = next_id;
+        cache.ledger = Ledger::from_state(stats, container_eff);
+        cache.ledger.reset_current();
+        for img in images {
+            cache
+                .refcounts
+                .add_spec(&img.spec, cache.sizes.as_ref(), &mut cache.ledger);
+            cache.ledger.admit(img.bytes);
+            cache.candidate_index.on_insert(img.id.0, &img.spec);
+            cache.evictor.on_insert(&img);
+            cache.images.insert(img.id.0, img);
+        }
+        cache
+    }
+
+    /// Current logical clock (for checkpointing).
+    pub(crate) fn clock_value(&self) -> u64 {
+        self.clock
+    }
+
+    /// Next image id to allocate (for checkpointing).
+    pub(crate) fn next_id_value(&self) -> u64 {
+        self.next_id
+    }
+
+    /// The container-efficiency accumulator (for checkpointing).
+    pub(crate) fn container_eff_state(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
+    }
+
+    /// Image awaiting a bloat split, if any (for checkpointing).
+    pub(crate) fn pending_split_value(&self) -> Option<ImageId> {
+        self.pending_split
+    }
+
+    /// Restore a pending split (checkpoint restore only).
+    pub(crate) fn set_pending_split(&mut self, pending: Option<ImageId>) {
+        self.pending_split = pending;
+    }
+
+    /// Attach an event sink receiving every cache operation.
+    pub fn set_sink(&mut self, sink: Box<dyn EventSink + Send>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detach and return the current event sink, if any.
+    pub fn take_sink(&mut self) -> Option<Box<dyn EventSink + Send>> {
+        self.sink.take()
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Snapshot of all counters and totals.
+    pub fn stats(&self) -> CacheStats {
+        self.ledger.stats()
+    }
+
+    /// Mean container efficiency over all requests so far (percent).
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.ledger.container_efficiency_pct()
+    }
+
+    /// Cache efficiency right now (percent).
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        self.ledger.cache_efficiency_pct()
+    }
+
+    /// Number of cached images.
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when no images are cached.
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+
+    /// Look up an image by id.
+    pub fn get(&self, id: ImageId) -> Option<&Image> {
+        self.images.get(&id.0)
+    }
+
+    /// Iterate over cached images in unspecified order.
+    pub fn images(&self) -> impl Iterator<Item = &Image> {
+        self.images.values()
+    }
+
+    /// The next eviction victim under the configured policy (with no
+    /// image protected), answered from the ordered index without
+    /// scanning. `None` on an empty cache.
+    pub fn peek_victim(&self) -> Option<ImageId> {
+        self.evictor.peek_victim(None)
+    }
+
+    /// Apply any deferred maintenance (currently: a pending bloat
+    /// split) so that [`ImageCache::plan`] is exact. Called implicitly
+    /// by [`ImageCache::request`] and [`ImageCache::insert_fresh`];
+    /// callers driving the plan → apply pipeline themselves must call
+    /// it before planning.
+    pub fn settle(&mut self) {
+        if let Some(id) = self.pending_split.take() {
+            self.split_image(id);
+        }
+    }
+
+    /// Process one job request (Algorithm 1): settle, plan, apply.
+    /// Exactly one of hit/merge/insert happens, possibly followed by
+    /// evictions.
+    pub fn request(&mut self, spec: &Spec) -> Outcome {
+        self.settle();
+        let plan = self.plan(spec);
+        self.apply(spec, &plan)
+    }
+
+    /// Degraded-path request: serve `spec` with a fresh image even when
+    /// a hit or merge candidate exists.
+    ///
+    /// This is the graceful-degradation fallback when a *merge* build
+    /// keeps failing (the candidate rewrite touches far more bytes than
+    /// the job needs): the job still launches, from a minimal per-job
+    /// image, and the shared image is left untouched. Accounted exactly
+    /// like an insert.
+    pub fn insert_fresh(&mut self, spec: &Spec) -> Outcome {
+        self.settle();
+        let forced = Plan {
+            op: PlannedOp::Insert,
+            requested_bytes: self.sizes.spec_bytes(spec),
+        };
+        self.apply(spec, &forced)
+    }
+
+    /// Remove an image from all structures without deciding *why* —
+    /// shared by eviction (counted as a delete) and splitting (not).
+    fn detach(&mut self, id: ImageId) -> Option<Image> {
+        let img = self.images.remove(&id.0)?;
+        self.refcounts
+            .release_spec(&img.spec, self.sizes.as_ref(), &mut self.ledger);
+        self.ledger.drop_image(img.bytes);
+        self.evictor.on_remove(&img);
+        self.candidate_index.on_remove(id.0);
+        if self.pending_split == Some(id) {
+            self.pending_split = None;
+        }
+        Some(img)
+    }
+
+    /// Remove one image and release its package references.
+    pub(super) fn evict(&mut self, id: ImageId) {
+        if let Some(img) = self.images.get(&id.0) {
+            self.evictor.note_eviction(img);
+        }
+        let Some(img) = self.detach(id) else { return };
+        self.ledger.count_delete();
+        self.emit(CacheEvent::Evict {
+            image: id,
+            bytes: img.bytes,
+        });
+    }
+
+    /// Split a bloated image back into its constituent request specs.
+    ///
+    /// Every constituent becomes a fresh image (each written in full —
+    /// splitting costs I/O just like merging does). Returns the new
+    /// image ids; empty when the image is unknown or has a single
+    /// constituent (nothing to split).
+    pub fn split_image(&mut self, id: ImageId) -> Vec<ImageId> {
+        match self.images.get(&id.0) {
+            Some(img) if img.constituents.len() > 1 => {}
+            _ => return Vec::new(),
+        }
+        let Some(img) = self.detach(id) else {
+            return Vec::new();
+        };
+        self.clock += 1;
+        let now = self.clock;
+        let mut pieces = Vec::with_capacity(img.constituents.len());
+        for constituent in &img.constituents {
+            let piece_id = ImageId(self.next_id);
+            self.next_id += 1;
+            self.refcounts
+                .add_spec(constituent, self.sizes.as_ref(), &mut self.ledger);
+            let bytes = self.sizes.spec_bytes(constituent);
+            self.ledger.admit(bytes);
+            self.ledger.write(bytes);
+            let piece = Image::new(piece_id, constituent.clone(), bytes, now);
+            self.candidate_index.on_insert(piece_id.0, constituent);
+            self.evictor.on_insert(&piece);
+            self.images.insert(piece_id.0, piece);
+            pieces.push(piece_id);
+        }
+        self.ledger.count_split();
+        self.emit(CacheEvent::Split {
+            image: id,
+            pieces: u32::try_from(pieces.len()).unwrap_or(u32::MAX),
+        });
+        // Splitting duplicates shared packages across pieces, so the
+        // total can exceed the limit even though the union fit.
+        if let Some(&keep) = pieces.first() {
+            self.evict_to_limit(keep);
+        }
+        pieces
+    }
+
+    /// Drop a specific image (administrative delete, not counted as an
+    /// eviction by the byte limit but recorded in `deletes`).
+    pub fn remove_image(&mut self, id: ImageId) -> bool {
+        if self.images.contains_key(&id.0) {
+            self.evict(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    pub(super) fn emit(&mut self, event: CacheEvent) {
+        if let Some(sink) = &mut self.sink {
+            sink.on_event(&event);
+        }
+    }
+
+    /// Recompute all derived state from scratch and compare with the
+    /// incrementally maintained values. Used by the property tests;
+    /// cheap enough to call in integration tests too.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any inconsistency.
+    pub fn check_invariants(&self) {
+        let stats = self.ledger.stats();
+        let mut total = 0u64;
+        let mut refcounts: FxHashMap<PackageId, u32> = FxHashMap::default();
+        for img in self.images.values() {
+            assert_eq!(
+                img.bytes,
+                self.sizes.spec_bytes(&img.spec),
+                "image {} bytes out of sync with spec",
+                img.id
+            );
+            let union = img
+                .constituents
+                .iter()
+                .fold(Spec::empty(), |acc, c| acc.union(c));
+            assert_eq!(
+                union, img.spec,
+                "image {} constituents do not union to its spec",
+                img.id
+            );
+            total += img.bytes;
+            for p in img.spec.iter() {
+                *refcounts.entry(p).or_insert(0) += 1;
+            }
+        }
+        assert_eq!(stats.total_bytes, total, "total_bytes out of sync");
+        assert_eq!(stats.image_count, self.images.len() as u64, "image_count");
+        assert_eq!(
+            self.refcounts.counts(),
+            &refcounts,
+            "package refcounts out of sync"
+        );
+        let unique: u64 = refcounts.keys().map(|&p| self.sizes.package_size(p)).sum();
+        assert_eq!(stats.unique_bytes, unique, "unique_bytes out of sync");
+        assert!(stats.unique_bytes <= stats.total_bytes.max(1));
+        assert_eq!(
+            stats.requests,
+            stats.hits + stats.merges + stats.inserts,
+            "every request is exactly one of hit/merge/insert"
+        );
+        // Eviction runs until the total fits or a single (protected)
+        // image remains; therefore any multi-image state respects the
+        // limit exactly.
+        if self.images.len() > 1 {
+            assert!(
+                stats.total_bytes <= self.config.limit_bytes,
+                "multi-image cache over limit: {} > {}",
+                stats.total_bytes,
+                self.config.limit_bytes
+            );
+        }
+
+        // Recency-order consistency: the logical clock bounds every
+        // image's last touch, ids stay below the allocator watermark,
+        // and nothing is cached that was never used. Together these
+        // guarantee the LRU victim index's (last_used, id) order is a
+        // faithful recency order.
+        for img in self.images.values() {
+            assert!(
+                img.last_used <= self.clock,
+                "image {} touched at {} but clock is {}",
+                img.id,
+                img.last_used,
+                self.clock
+            );
+            assert!(
+                img.id.0 < self.next_id,
+                "image {} at or above next_id",
+                img.id
+            );
+            assert!(img.use_count >= 1, "image {} cached but never used", img.id);
+        }
+
+        // Seam agreement: the ordered victim index and the candidate
+        // index both mirror the image map exactly; each verifies itself
+        // against a brute-force recomputation where possible.
+        self.evictor.check(&self.images);
+        self.candidate_index.check(&self.images);
+
+        // Superset-lookup agreement: every image's own spec must hit,
+        // and the answer must match a brute-force subset scan (guards
+        // any future indexed find_satisfying implementation).
+        for img in self.images.values() {
+            let hit = self.find_satisfying(&img.spec).map(|h| h.id);
+            let brute = self
+                .images
+                .values()
+                .filter(|c| img.spec.len() <= c.spec.len() && img.spec.is_subset(&c.spec))
+                .min_by_key(|c| (c.bytes, c.id))
+                .map(|c| c.id);
+            assert!(brute.is_some(), "image {} does not satisfy itself", img.id);
+            assert_eq!(
+                hit, brute,
+                "find_satisfying disagrees with brute-force scan"
+            );
+        }
+    }
+
+    fn serve_outcome(&self, out: Outcome) -> Served {
+        let image = out.image();
+        Served {
+            op: match out {
+                Outcome::Hit { .. } => ServedOp::Hit,
+                Outcome::Merged { .. } => ServedOp::Merged,
+                Outcome::Inserted { .. } => ServedOp::Inserted,
+            },
+            image: image.0,
+            image_bytes: out.image_bytes(),
+            revision: self.get(image).map(|img| img.merge_count).unwrap_or(0),
+        }
+    }
+}
+
+impl CachePolicy for ImageCache {
+    fn name(&self) -> &'static str {
+        "landlord"
+    }
+
+    fn settle(&mut self) {
+        ImageCache::settle(self);
+    }
+
+    fn request(&mut self, spec: &Spec) -> Served {
+        let out = ImageCache::request(self, spec);
+        self.serve_outcome(out)
+    }
+
+    fn insert_fresh(&mut self, spec: &Spec) -> Served {
+        let out = ImageCache::insert_fresh(self, spec);
+        self.serve_outcome(out)
+    }
+
+    fn plan_build(&self, spec: &Spec) -> BuildPlan {
+        match ImageCache::plan(self, spec).op {
+            PlannedOp::Hit { .. } => BuildPlan::Hit,
+            PlannedOp::Merge { image, .. } => BuildPlan::Rewrite {
+                bytes: self
+                    .get(image)
+                    .map(|img| self.sizes.spec_bytes(&img.spec.union(spec)))
+                    .unwrap_or_else(|| self.sizes.spec_bytes(spec)),
+            },
+            PlannedOp::Insert => BuildPlan::Insert {
+                bytes: self.sizes.spec_bytes(spec),
+            },
+        }
+    }
+
+    fn spec_bytes(&self, spec: &Spec) -> u64 {
+        self.sizes.spec_bytes(spec)
+    }
+
+    fn stats(&self) -> CacheStats {
+        ImageCache::stats(self)
+    }
+
+    fn container_efficiency_pct(&self) -> f64 {
+        ImageCache::container_efficiency_pct(self)
+    }
+
+    fn len(&self) -> usize {
+        ImageCache::len(self)
+    }
+
+    fn limit_bytes(&self) -> u64 {
+        self.config.limit_bytes
+    }
+
+    fn check_invariants(&self) {
+        ImageCache::check_invariants(self);
+    }
+}
+
+impl std::fmt::Debug for ImageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageCache")
+            .field("alpha", &self.config.alpha)
+            .field("limit_bytes", &self.config.limit_bytes)
+            .field("images", &self.images.len())
+            .field("stats", &self.ledger.stats())
+            .finish()
+    }
+}

@@ -1,0 +1,205 @@
+//! The pure planning side of the engine: decide *what* serving a spec
+//! would do, without mutating anything.
+//!
+//! Everything in this module takes `&self`/`&` receivers only — the
+//! `plan-purity` audit rule enforces that no `&mut` sneaks in. The
+//! decisions made here (Algorithm 1's hit / merge / insert choice,
+//! including every tie-break) are consumed verbatim by
+//! [`super::ImageCache::apply`]; the apply side never re-derives them.
+
+use super::ImageCache;
+use crate::conflict::ConflictPolicy;
+use crate::image::{Image, ImageId};
+use crate::jaccard::{jaccard_distance, size_lower_bound, weighted_jaccard_distance};
+use crate::policy::{DistanceMetric, MergeOrder};
+use crate::sizes::SizeModel;
+use crate::spec::Spec;
+
+/// What [`ImageCache::request`] would decide for a spec. Computed by
+/// [`ImageCache::plan`] on a settled cache; consumed by
+/// [`ImageCache::apply`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlannedOp {
+    /// An existing image satisfies the spec; no build, no I/O.
+    Hit {
+        /// The satisfying image.
+        image: ImageId,
+    },
+    /// The spec would be merged into this candidate (full rewrite).
+    Merge {
+        /// The absorbing image.
+        image: ImageId,
+        /// Jaccard distance to it.
+        distance: f64,
+    },
+    /// A fresh image would be built for exactly this spec.
+    Insert,
+}
+
+/// A complete, immutable decision for one request: the operation plus
+/// the request's byte demand. Produced by [`ImageCache::plan`], the
+/// only input [`ImageCache::apply`] acts on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// The decided operation.
+    pub op: PlannedOp,
+    /// Bytes the request asks for (`SizeModel::spec_bytes` of the
+    /// spec); accounted as requested I/O when the plan is applied.
+    pub requested_bytes: u64,
+}
+
+impl ImageCache {
+    /// Would this spec hit without mutating anything? Returns the
+    /// smallest satisfying image.
+    pub fn find_satisfying(&self, spec: &Spec) -> Option<&Image> {
+        self.images
+            .values()
+            .filter(|img| spec.len() <= img.spec.len() && spec.is_subset(&img.spec))
+            .min_by_key(|img| (img.bytes, img.id))
+    }
+
+    /// Decide what serving `spec` would do (Algorithm 1), without
+    /// mutating anything.
+    ///
+    /// Exact on a settled cache (see [`ImageCache::settle`]); when a
+    /// bloat split is pending, the real request settles first, which
+    /// can change the decision.
+    pub fn plan(&self, spec: &Spec) -> Plan {
+        let op = if let Some(img) = self.find_satisfying(spec) {
+            PlannedOp::Hit { image: img.id }
+        } else if self.config.alpha > 0.0 {
+            match self.pick_merge_candidate(spec) {
+                Some((image, distance)) => PlannedOp::Merge { image, distance },
+                None => PlannedOp::Insert,
+            }
+        } else {
+            PlannedOp::Insert
+        };
+        Plan {
+            op,
+            requested_bytes: self.sizes.spec_bytes(spec),
+        }
+    }
+
+    /// Enumerate merge candidates (via the candidate index), compute
+    /// exact distances, filter by α, order per policy, and return the
+    /// first non-conflicting one.
+    pub(super) fn pick_merge_candidate(&self, spec: &Spec) -> Option<(ImageId, f64)> {
+        let alpha = self.config.alpha;
+        let mut scored: Vec<(ImageId, f64)> = Vec::new();
+
+        let metric = self.config.metric;
+        let sizes = &self.sizes;
+        let consider = |img: &Image, scored: &mut Vec<(ImageId, f64)>| {
+            let d = match metric {
+                DistanceMetric::PackageCount => {
+                    // Cheap size-ratio bound prunes most far candidates
+                    // without touching the member lists.
+                    if size_lower_bound(spec.len(), img.spec.len()) >= alpha {
+                        return;
+                    }
+                    jaccard_distance(spec, &img.spec)
+                }
+                DistanceMetric::Bytes => weighted_jaccard_distance(spec, &img.spec, sizes.as_ref()),
+            };
+            if d < alpha {
+                scored.push((img.id, d));
+            }
+        };
+
+        match self.candidate_index.candidates(spec) {
+            Some(keys) => {
+                for key in keys {
+                    if let Some(img) = self.images.get(&key) {
+                        consider(img, &mut scored);
+                    }
+                }
+            }
+            None => {
+                for img in self.images.values() {
+                    consider(img, &mut scored);
+                }
+            }
+        }
+
+        match self.config.merge_order {
+            MergeOrder::NearestFirst => {
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            }
+            MergeOrder::ArrivalOrder => scored.sort_by_key(|&(id, _)| id),
+            MergeOrder::LargestFirst => {
+                scored.sort_by_key(|&(id, _)| (std::cmp::Reverse(self.images[&id.0].bytes), id))
+            }
+            MergeOrder::SmallestFirst => {
+                scored.sort_by_key(|&(id, _)| (self.images[&id.0].bytes, id))
+            }
+        }
+
+        scored
+            .into_iter()
+            .find(|&(id, _)| !self.conflicts.conflicts(spec, &self.images[&id.0].spec))
+    }
+}
+
+/// Run Algorithm 1's decision over an arbitrary collection of
+/// `(id, spec, bytes)` images — the same hit selection, distance
+/// filter, candidate ordering, and tie-breaks as [`ImageCache::plan`],
+/// for stores that keep their own image records (e.g. the CLI's
+/// crash-safe `PersistentCache`).
+///
+/// Always scans every entry (exact-scan semantics).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_over(
+    entries: &[(u64, &Spec, u64)],
+    spec: &Spec,
+    alpha: f64,
+    merge_order: MergeOrder,
+    metric: DistanceMetric,
+    sizes: &dyn SizeModel,
+    conflicts: &dyn ConflictPolicy,
+) -> PlannedOp {
+    if let Some(&(id, _, _)) = entries
+        .iter()
+        .filter(|(_, s, _)| spec.len() <= s.len() && spec.is_subset(s))
+        .min_by_key(|&&(id, _, bytes)| (bytes, id))
+    {
+        return PlannedOp::Hit { image: ImageId(id) };
+    }
+    if alpha > 0.0 {
+        let mut scored: Vec<(u64, f64, u64, &Spec)> = Vec::new();
+        for &(id, s, bytes) in entries {
+            let d = match metric {
+                DistanceMetric::PackageCount => {
+                    if size_lower_bound(spec.len(), s.len()) >= alpha {
+                        continue;
+                    }
+                    jaccard_distance(spec, s)
+                }
+                DistanceMetric::Bytes => weighted_jaccard_distance(spec, s, sizes),
+            };
+            if d < alpha {
+                scored.push((id, d, bytes, s));
+            }
+        }
+        match merge_order {
+            MergeOrder::NearestFirst => {
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+            }
+            MergeOrder::ArrivalOrder => scored.sort_by_key(|&(id, ..)| id),
+            MergeOrder::LargestFirst => {
+                scored.sort_by_key(|&(id, _, bytes, _)| (std::cmp::Reverse(bytes), id))
+            }
+            MergeOrder::SmallestFirst => scored.sort_by_key(|&(id, _, bytes, _)| (bytes, id)),
+        }
+        if let Some(&(id, distance, ..)) = scored
+            .iter()
+            .find(|&&(_, _, _, s)| !conflicts.conflicts(spec, s))
+        {
+            return PlannedOp::Merge {
+                image: ImageId(id),
+                distance,
+            };
+        }
+    }
+    PlannedOp::Insert
+}

@@ -1,0 +1,187 @@
+use super::*;
+use crate::conflict::NoConflicts;
+use crate::policy::{CandidateStrategy, DistanceMetric, EvictionPolicy, MergeOrder};
+use crate::sizes::TableSizes;
+use proptest::prelude::*;
+
+const UNIVERSE: u32 = 60;
+
+fn arb_stream() -> impl Strategy<Value = Vec<Spec>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0..UNIVERSE, 1..12)
+            .prop_map(|v| Spec::from_ids(v.into_iter().map(PackageId))),
+        1..60,
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = CacheConfig> {
+    (
+        0.0f64..=1.0,
+        1u64..200,
+        prop_oneof![
+            Just(EvictionPolicy::Lru),
+            Just(EvictionPolicy::Lfu),
+            Just(EvictionPolicy::LargestFirst),
+            Just(EvictionPolicy::CostDensity),
+            Just(EvictionPolicy::Gdsf),
+        ],
+        prop_oneof![
+            Just(MergeOrder::NearestFirst),
+            Just(MergeOrder::ArrivalOrder),
+            Just(MergeOrder::LargestFirst),
+            Just(MergeOrder::SmallestFirst),
+        ],
+        prop_oneof![
+            Just(CandidateStrategy::ExactScan),
+            Just(CandidateStrategy::MinHashLsh { bands: 8, rows: 4 }),
+        ],
+    )
+        .prop_map(
+            |(alpha, limit, eviction, merge_order, candidates)| CacheConfig {
+                alpha,
+                limit_bytes: limit,
+                eviction,
+                merge_order,
+                candidates,
+                minhash_seed: 42,
+                // Exercise the byte-weighted metric in half the cases
+                // and auto-splitting in a third.
+                metric: if limit % 2 == 0 {
+                    DistanceMetric::Bytes
+                } else {
+                    DistanceMetric::PackageCount
+                },
+                split_threshold: if limit % 3 == 0 { Some(3) } else { None },
+            },
+        )
+}
+
+fn size_table() -> Vec<u64> {
+    (0..UNIVERSE as u64).map(|i| 1 + i % 7).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_under_arbitrary_streams(
+        cfg in arb_config(),
+        stream in arb_stream(),
+    ) {
+        let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(size_table())));
+        for s in &stream {
+            let out = cache.request(s);
+            // Whatever happened, the serving image satisfies the spec.
+            let img = cache.get(out.image()).expect("serving image cached");
+            prop_assert!(s.is_subset(&img.spec));
+        }
+        cache.check_invariants();
+        let st = cache.stats();
+        prop_assert_eq!(st.requests as usize, stream.len());
+        prop_assert!(st.bytes_written >= st.total_bytes,
+            "everything cached was written at least once");
+    }
+
+    /// The refactor-parity property: `request()` is *defined* as
+    /// settle → plan → apply, and driving the pipeline by hand must be
+    /// indistinguishable from calling `request()` — same outcomes, same
+    /// counters, same images — under every config knob.
+    #[test]
+    fn apply_of_plan_equals_request(
+        cfg in arb_config(),
+        stream in arb_stream(),
+    ) {
+        let sizes = Arc::new(TableSizes::new(size_table()));
+        let mut via_request = ImageCache::new(cfg, Arc::clone(&sizes) as Arc<dyn crate::sizes::SizeModel>);
+        let mut via_pipeline = ImageCache::new(cfg, sizes);
+        for s in &stream {
+            let a = via_request.request(s);
+            via_pipeline.settle();
+            let plan = via_pipeline.plan(s);
+            let b = via_pipeline.apply(s, &plan);
+            prop_assert_eq!(a, b, "outcome diverged");
+        }
+        prop_assert_eq!(via_request.stats(), via_pipeline.stats());
+        prop_assert_eq!(via_request.len(), via_pipeline.len());
+        prop_assert!(
+            (via_request.container_efficiency_pct()
+                - via_pipeline.container_efficiency_pct()).abs() < 1e-12
+        );
+        via_request.check_invariants();
+        via_pipeline.check_invariants();
+    }
+
+    /// The slice-based planner used by external stores agrees with the
+    /// engine's planner, decision for decision (exact-scan configs).
+    #[test]
+    fn plan_over_matches_engine_plan(
+        cfg in arb_config(),
+        stream in arb_stream(),
+    ) {
+        let cfg = CacheConfig { candidates: CandidateStrategy::ExactScan, ..cfg };
+        let sizes = Arc::new(TableSizes::new(size_table()));
+        let mut cache = ImageCache::new(cfg, Arc::clone(&sizes) as Arc<dyn crate::sizes::SizeModel>);
+        for s in &stream {
+            cache.settle();
+            {
+                let entries: Vec<(u64, &Spec, u64)> = cache
+                    .images()
+                    .map(|img| (img.id.0, &img.spec, img.bytes))
+                    .collect();
+                let free = plan_over(
+                    &entries,
+                    s,
+                    cfg.alpha,
+                    cfg.merge_order,
+                    cfg.metric,
+                    sizes.as_ref(),
+                    &NoConflicts,
+                );
+                prop_assert_eq!(cache.plan(s).op, free);
+            }
+            cache.request(s);
+        }
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn alpha_zero_degenerates_to_plain_lru(stream in arb_stream()) {
+        let cfg = CacheConfig { alpha: 0.0, limit_bytes: 64, ..CacheConfig::default() };
+        let sizes: Vec<u64> = vec![1; UNIVERSE as usize];
+        let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(sizes)));
+        let mut any_subset_hit = false;
+        for s in &stream {
+            let out = cache.request(s);
+            if matches!(out, Outcome::Hit { .. }) && out.image_bytes() != cache.sizes.spec_bytes(s) {
+                any_subset_hit = true;
+            }
+        }
+        prop_assert_eq!(cache.stats().merges, 0);
+        cache.check_invariants();
+        // Without merging, every created image is exactly what some
+        // job asked for; container efficiency only dips below 100%
+        // when a request hits a strict-superset image.
+        if !any_subset_hit {
+            prop_assert!((cache.container_efficiency_pct() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hits_never_write(stream in arb_stream()) {
+        let cfg = CacheConfig { alpha: 0.7, limit_bytes: u64::MAX, ..CacheConfig::default() };
+        let sizes: Vec<u64> = vec![2; UNIVERSE as usize];
+        let mut cache = ImageCache::new(cfg, Arc::new(TableSizes::new(sizes)));
+        let mut last_written = 0;
+        for s in &stream {
+            let out = cache.request(s);
+            let written = cache.stats().bytes_written;
+            if matches!(out, Outcome::Hit { .. }) {
+                prop_assert_eq!(written, last_written, "hit must not write");
+            } else {
+                prop_assert!(written > last_written || s.is_empty());
+            }
+            last_written = written;
+        }
+        cache.check_invariants();
+    }
+}

@@ -1,11 +1,16 @@
-//! Tunable cache policies — the knobs behind the paper's ablations.
+//! Tunable cache policies — the knobs behind the paper's ablations —
+//! and the workspace-wide [`CachePolicy`] trait every image-management
+//! strategy (LANDLORD plus all baselines) implements.
 //!
 //! The paper evaluates one concrete configuration (LRU eviction, merge
 //! candidates "sorted by dj()", exact Jaccard) but explicitly points at
 //! the alternatives: MinHash pre-filtering for very large specs (§V) and
 //! site-specific tuning (§VI, "Tuning LANDLORD"). These enums make each
-//! choice explicit and benchmarkable.
+//! choice explicit and benchmarkable, and the trait lets one generic
+//! driver (simulator, cluster model, CLI, benches) run any strategy.
 
+use crate::cache::CacheStats;
+use crate::spec::Spec;
 use serde::{Deserialize, Serialize};
 
 /// Which image to evict when the cache exceeds its byte limit.
@@ -23,9 +28,28 @@ pub enum EvictionPolicy {
     /// Smallest `use_count / bytes` density first: evict images that
     /// deliver the fewest requests per byte retained.
     CostDensity,
+    /// Greedy-Dual-Size-Frequency: evict the smallest priority
+    /// `L + use_count / bytes`, where the inflation term `L` is raised
+    /// to each victim's priority on eviction. Size-aware like
+    /// [`EvictionPolicy::CostDensity`], but the inflation term ages
+    /// images out the way LRU does, so a once-hot giant image cannot
+    /// squat in the cache forever.
+    Gdsf,
 }
 
 impl EvictionPolicy {
+    /// Every variant, for exhaustive tests and CLI help strings.
+    pub const ALL: [EvictionPolicy; 5] = [
+        EvictionPolicy::Lru,
+        EvictionPolicy::Lfu,
+        EvictionPolicy::LargestFirst,
+        EvictionPolicy::CostDensity,
+        EvictionPolicy::Gdsf,
+    ];
+
+    /// The valid CLI tokens, for error messages.
+    pub const TOKENS: &'static str = "lru, lfu, largest-first, cost-density, gdsf";
+
     /// Stable lowercase token for CLI parsing and report labels.
     pub fn token(self) -> &'static str {
         match self {
@@ -33,6 +57,7 @@ impl EvictionPolicy {
             EvictionPolicy::Lfu => "lfu",
             EvictionPolicy::LargestFirst => "largest-first",
             EvictionPolicy::CostDensity => "cost-density",
+            EvictionPolicy::Gdsf => "gdsf",
         }
     }
 
@@ -43,6 +68,7 @@ impl EvictionPolicy {
             "lfu" => EvictionPolicy::Lfu,
             "largest-first" => EvictionPolicy::LargestFirst,
             "cost-density" => EvictionPolicy::CostDensity,
+            "gdsf" => EvictionPolicy::Gdsf,
             _ => return None,
         })
     }
@@ -68,6 +94,17 @@ pub enum MergeOrder {
 }
 
 impl MergeOrder {
+    /// Every variant, for exhaustive tests and CLI help strings.
+    pub const ALL: [MergeOrder; 4] = [
+        MergeOrder::NearestFirst,
+        MergeOrder::ArrivalOrder,
+        MergeOrder::LargestFirst,
+        MergeOrder::SmallestFirst,
+    ];
+
+    /// The valid CLI tokens, for error messages.
+    pub const TOKENS: &'static str = "nearest-first, arrival-order, largest-first, smallest-first";
+
     /// Stable lowercase token for CLI parsing and report labels.
     pub fn token(self) -> &'static str {
         match self {
@@ -102,6 +139,12 @@ pub enum DistanceMetric {
 }
 
 impl DistanceMetric {
+    /// Every variant, for exhaustive tests and CLI help strings.
+    pub const ALL: [DistanceMetric; 2] = [DistanceMetric::PackageCount, DistanceMetric::Bytes];
+
+    /// The valid CLI tokens, for error messages.
+    pub const TOKENS: &'static str = "package-count, bytes";
+
     /// Stable lowercase token for CLI parsing and report labels.
     pub fn token(self) -> &'static str {
         match self {
@@ -140,12 +183,42 @@ pub enum CandidateStrategy {
 }
 
 impl CandidateStrategy {
+    /// The valid CLI token shapes, for error messages.
+    pub const TOKENS: &'static str = "exact-scan, minhash-lsh:<bands>x<rows>";
+
     /// Signature length required by this strategy (0 for exact scan).
     pub fn signature_len(self) -> usize {
         match self {
             CandidateStrategy::ExactScan => 0,
             CandidateStrategy::MinHashLsh { bands, rows } => bands * rows,
         }
+    }
+
+    /// Stable lowercase token for CLI parsing and report labels;
+    /// parameterized for the LSH variant (e.g. `minhash-lsh:32x4`).
+    pub fn token(self) -> String {
+        match self {
+            CandidateStrategy::ExactScan => "exact-scan".to_string(),
+            CandidateStrategy::MinHashLsh { bands, rows } => {
+                format!("minhash-lsh:{bands}x{rows}")
+            }
+        }
+    }
+
+    /// Parse a CLI token. `minhash-lsh` without parameters uses the
+    /// 32x4 shape the ablations run.
+    pub fn parse(s: &str) -> Option<Self> {
+        if s == "exact-scan" {
+            return Some(CandidateStrategy::ExactScan);
+        }
+        if s == "minhash-lsh" {
+            return Some(CandidateStrategy::MinHashLsh { bands: 32, rows: 4 });
+        }
+        let shape = s.strip_prefix("minhash-lsh:")?;
+        let (bands, rows) = shape.split_once('x')?;
+        let bands: usize = bands.parse().ok().filter(|&b| b > 0)?;
+        let rows: usize = rows.parse().ok().filter(|&r| r > 0)?;
+        Some(CandidateStrategy::MinHashLsh { bands, rows })
     }
 }
 
@@ -220,32 +293,147 @@ impl RetryPolicy {
     }
 }
 
+/// How one request was served by a [`CachePolicy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedOp {
+    /// An existing image satisfied the request; nothing was written.
+    Hit,
+    /// An existing image was rewritten (merged) to absorb the request.
+    Merged,
+    /// A fresh image was created for the request.
+    Inserted,
+}
+
+/// What serving one request through a [`CachePolicy`] yielded — the
+/// policy-agnostic slice of [`crate::cache::Outcome`] the generic
+/// drivers (simulator, cluster model) need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Served {
+    /// Which operation the policy performed.
+    pub op: ServedOp,
+    /// Identity of the serving image, stable within the policy. For
+    /// strategies with a single image (full-repo, layer chain) this is
+    /// always 0.
+    pub image: u64,
+    /// Bytes of the image the job actually runs from.
+    pub image_bytes: u64,
+    /// Monotone revision of the serving image; bumps whenever the image
+    /// is rewritten in place, invalidating worker-node copies.
+    pub revision: u64,
+}
+
+/// What serving a spec would require of storage — the policy-agnostic
+/// slice of [`crate::cache::Plan`] the failure-injecting drivers need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildPlan {
+    /// An existing image satisfies the spec: no build, nothing to fail.
+    Hit,
+    /// A fresh image of this many bytes would be built.
+    Insert {
+        /// Bytes the build would write.
+        bytes: u64,
+    },
+    /// An existing image would be rewritten in place at this total
+    /// size. Rewrites can gracefully degrade to a fresh insert when
+    /// they keep failing; plain inserts cannot.
+    Rewrite {
+        /// Bytes the rewrite would write.
+        bytes: u64,
+    },
+}
+
+impl BuildPlan {
+    /// Bytes one attempt would write (thrown away if the attempt fails).
+    pub fn cost(self) -> u64 {
+        match self {
+            BuildPlan::Hit => 0,
+            BuildPlan::Insert { bytes } | BuildPlan::Rewrite { bytes } => bytes,
+        }
+    }
+}
+
+/// One image-management strategy, drivable by the generic simulator.
+///
+/// Implemented by [`crate::cache::ImageCache`] (LANDLORD) and by every
+/// baseline in `landlord-baselines` (per-job LRU, full-repo, layer
+/// chain, block-dedup store), so `landlord-sim`, `landlord-cli
+/// simulate` and the benches drive any of them through one code path.
+pub trait CachePolicy {
+    /// Stable policy name for reports and CLI selection.
+    fn name(&self) -> &'static str;
+
+    /// Apply any deferred maintenance so that [`Self::plan_build`] is
+    /// exact. Policies with no deferred work (everything but LANDLORD's
+    /// lazy bloat split) need not override this.
+    fn settle(&mut self) {}
+
+    /// Serve one request end to end.
+    fn request(&mut self, spec: &Spec) -> Served;
+
+    /// Degraded-path request: serve `spec` with a minimal fresh image
+    /// even when a hit or merge candidate exists. Policies without a
+    /// degraded path serve normally.
+    fn insert_fresh(&mut self, spec: &Spec) -> Served {
+        self.request(spec)
+    }
+
+    /// What serving `spec` would require of storage, without mutating
+    /// anything — the hook the failure-injecting driver uses to decide
+    /// which requests can fail and what a failed attempt wastes.
+    fn plan_build(&self, spec: &Spec) -> BuildPlan;
+
+    /// Bytes `spec` occupies under this policy's size model.
+    fn spec_bytes(&self, spec: &Spec) -> u64;
+
+    /// Counter snapshot in the shared [`CacheStats`] shape.
+    fn stats(&self) -> CacheStats;
+
+    /// Mean container efficiency over all requests so far (percent).
+    fn container_efficiency_pct(&self) -> f64;
+
+    /// Cache efficiency right now (percent).
+    fn cache_efficiency_pct(&self) -> f64 {
+        self.stats().cache_efficiency_pct()
+    }
+
+    /// Number of cached images.
+    fn len(&self) -> usize;
+
+    /// True when nothing is cached.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The byte limit this policy evicts down to (`u64::MAX` when
+    /// unbounded).
+    fn limit_bytes(&self) -> u64;
+
+    /// Re-verify all internal bookkeeping; panics on inconsistency.
+    fn check_invariants(&self);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn eviction_tokens_round_trip() {
-        for p in [
-            EvictionPolicy::Lru,
-            EvictionPolicy::Lfu,
-            EvictionPolicy::LargestFirst,
-            EvictionPolicy::CostDensity,
-        ] {
+    fn eviction_tokens_round_trip_exhaustively() {
+        for p in EvictionPolicy::ALL {
             assert_eq!(EvictionPolicy::parse(p.token()), Some(p));
+            assert!(
+                EvictionPolicy::TOKENS.contains(p.token()),
+                "{} missing from TOKENS",
+                p.token()
+            );
         }
         assert_eq!(EvictionPolicy::parse("nope"), None);
     }
 
     #[test]
-    fn merge_order_tokens_round_trip() {
-        for m in [
-            MergeOrder::NearestFirst,
-            MergeOrder::ArrivalOrder,
-            MergeOrder::LargestFirst,
-            MergeOrder::SmallestFirst,
-        ] {
+    fn merge_order_tokens_round_trip_exhaustively() {
+        for m in MergeOrder::ALL {
             assert_eq!(MergeOrder::parse(m.token()), Some(m));
+            assert!(MergeOrder::TOKENS.contains(m.token()));
         }
         assert_eq!(MergeOrder::parse(""), None);
     }
@@ -259,11 +447,41 @@ mod tests {
     }
 
     #[test]
-    fn metric_tokens_round_trip() {
-        for m in [DistanceMetric::PackageCount, DistanceMetric::Bytes] {
+    fn metric_tokens_round_trip_exhaustively() {
+        for m in DistanceMetric::ALL {
             assert_eq!(DistanceMetric::parse(m.token()), Some(m));
+            assert!(DistanceMetric::TOKENS.contains(m.token()));
         }
         assert_eq!(DistanceMetric::parse("x"), None);
+    }
+
+    #[test]
+    fn candidate_tokens_round_trip() {
+        for c in [
+            CandidateStrategy::ExactScan,
+            CandidateStrategy::MinHashLsh { bands: 32, rows: 4 },
+            CandidateStrategy::MinHashLsh { bands: 8, rows: 16 },
+            CandidateStrategy::MinHashLsh { bands: 1, rows: 1 },
+        ] {
+            assert_eq!(CandidateStrategy::parse(&c.token()), Some(c));
+        }
+        assert_eq!(
+            CandidateStrategy::parse("minhash-lsh"),
+            Some(CandidateStrategy::MinHashLsh { bands: 32, rows: 4 }),
+            "bare token uses the ablation shape"
+        );
+        for bad in [
+            "",
+            "exact",
+            "minhash-lsh:",
+            "minhash-lsh:0x4",
+            "minhash-lsh:4x0",
+            "minhash-lsh:4",
+            "minhash-lsh:x",
+            "minhash-lsh:ax4",
+        ] {
+            assert_eq!(CandidateStrategy::parse(bad), None, "{bad:?} must reject");
+        }
     }
 
     #[test]
@@ -300,5 +518,12 @@ mod tests {
             CandidateStrategy::MinHashLsh { bands: 16, rows: 8 }.signature_len(),
             128
         );
+    }
+
+    #[test]
+    fn build_plan_costs() {
+        assert_eq!(BuildPlan::Hit.cost(), 0);
+        assert_eq!(BuildPlan::Insert { bytes: 7 }.cost(), 7);
+        assert_eq!(BuildPlan::Rewrite { bytes: 9 }.cost(), 9);
     }
 }

@@ -17,6 +17,7 @@
 use crate::workload::{self, WorkloadConfig};
 use landlord_core::cache::{CacheConfig, CacheStats, ImageCache};
 use landlord_core::image::ImageId;
+use landlord_core::policy::CachePolicy;
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
 use rand::rngs::StdRng;
@@ -240,15 +241,28 @@ fn pick_target(
     }
 }
 
-/// Simulate a prepared stream over a head cache plus worker fleet.
+/// Simulate a prepared stream over a LANDLORD head cache plus worker
+/// fleet.
 pub fn simulate_cluster_stream(
     stream: &[Spec],
     repo: &Repository,
     cache_config: CacheConfig,
     cluster: &ClusterConfig,
 ) -> ClusterResult {
-    assert!(cluster.workers > 0, "need at least one worker");
     let mut head = ImageCache::new(cache_config, Arc::new(repo.size_table()));
+    simulate_cluster_policy_stream(&mut head, stream, cluster)
+}
+
+/// Simulate a prepared stream over *any* head policy plus worker
+/// fleet. The [`landlord_core::policy::Served`] value carries the
+/// serving image's id, size, and revision, which is all the
+/// distribution model needs.
+pub fn simulate_cluster_policy_stream(
+    head: &mut dyn CachePolicy,
+    stream: &[Spec],
+    cluster: &ClusterConfig,
+) -> ClusterResult {
+    assert!(cluster.workers > 0, "need at least one worker");
     let mut workers: Vec<Worker> = (0..cluster.workers).map(|_| Worker::new()).collect();
     let mut rng = StdRng::seed_from_u64(cluster.seed);
     let mut stats = ClusterStats::default();
@@ -257,12 +271,12 @@ pub fn simulate_cluster_stream(
 
     for (now, spec) in stream.iter().enumerate() {
         let now = now as u64 + 1;
-        let outcome = head.request(spec);
-        let image = outcome.image();
-        let bytes = outcome.image_bytes();
+        let served = head.request(spec);
+        let image = ImageId(served.image);
+        let bytes = served.image_bytes;
         // An image's revision is its merge count: every merge rewrites
         // the file, so worker copies of earlier revisions are stale.
-        let revision = head.get(image).map(|i| i.merge_count).unwrap_or(0);
+        let revision = served.revision;
 
         // Workers whose downtime has elapsed have rejoined (with the
         // empty scratch the crash left them). If the whole fleet is

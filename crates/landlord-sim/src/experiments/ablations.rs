@@ -63,12 +63,7 @@ pub fn eviction(ctx: &ExperimentContext) -> Table {
         format!("Ablation — eviction policy at alpha={ABLATION_ALPHA}"),
         &COLUMNS,
     );
-    for policy in [
-        EvictionPolicy::Lru,
-        EvictionPolicy::Lfu,
-        EvictionPolicy::LargestFirst,
-        EvictionPolicy::CostDensity,
-    ] {
+    for policy in EvictionPolicy::ALL {
         let agg = run_variant(ctx, &repo, |c| c.eviction = policy);
         push_variant(&mut t, policy.token(), &agg);
     }
@@ -158,10 +153,11 @@ mod tests {
     #[test]
     fn eviction_table_covers_all_policies() {
         let t = eviction(&ExperimentContext::smoke(31));
-        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.rows.len(), EvictionPolicy::ALL.len());
         let names: Vec<&str> = t.rows.iter().map(|r| r[0].as_str()).collect();
         assert!(names.contains(&"lru"));
         assert!(names.contains(&"cost-density"));
+        assert!(names.contains(&"gdsf"));
     }
 
     #[test]

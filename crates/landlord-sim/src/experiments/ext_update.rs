@@ -15,6 +15,7 @@ use crate::report::{fmt_tb, Table};
 use crate::workload::{self, WorkloadConfig};
 use landlord_baselines::PerJobCache;
 use landlord_core::cache::ImageCache;
+use landlord_core::policy::CachePolicy;
 use landlord_repo::evolution::{self, EvolutionConfig};
 use std::sync::Arc;
 

@@ -19,9 +19,9 @@
 //! regenerate bit-identically.
 
 use crate::workload::{self, WorkloadConfig};
-use landlord_core::cache::{CacheConfig, ImageCache, PlannedOp};
+use landlord_core::cache::{CacheConfig, ImageCache, Plan, PlannedOp};
 use landlord_core::conflict::ConflictPolicy;
-use landlord_core::policy::RetryPolicy;
+use landlord_core::policy::{BuildPlan, CachePolicy, RetryPolicy};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
@@ -174,8 +174,8 @@ pub struct FaultRunResult {
 /// Bytes one build attempt would write if it got through: the full
 /// merged image for a merge, the requested image for an insert. This is
 /// the I/O thrown away when the attempt fails.
-fn attempt_cost(cache: &ImageCache, spec: &Spec, planned: PlannedOp, sizes: &dyn SizeModel) -> u64 {
-    match planned {
+fn attempt_cost(cache: &ImageCache, spec: &Spec, planned: &Plan, sizes: &dyn SizeModel) -> u64 {
+    match planned.op {
         PlannedOp::Hit { .. } => 0,
         PlannedOp::Merge { image, .. } => match cache.get(image) {
             Some(img) => sizes.spec_bytes(&img.spec.union(spec)),
@@ -186,6 +186,12 @@ fn attempt_cost(cache: &ImageCache, spec: &Spec, planned: PlannedOp, sizes: &dyn
 }
 
 /// Run one prepared stream through a cache under the failure model.
+///
+/// Each request is planned exactly once ([`ImageCache::plan`] on the
+/// settled cache); the resulting [`Plan`] both prices the failed
+/// attempts and, via [`ImageCache::apply`], serves the successful one —
+/// the decision is never re-derived between the fault draws and the
+/// mutation.
 pub fn simulate_stream_with_faults(
     stream: &[Spec],
     cache_config: CacheConfig,
@@ -205,12 +211,16 @@ pub fn simulate_stream_with_faults(
 
     for (i, spec) in stream.iter().enumerate() {
         stats.requests += 1;
+        cache.settle();
         let planned = cache.plan(spec);
-        if matches!(planned, PlannedOp::Hit { .. }) {
+        if matches!(planned.op, PlannedOp::Hit { .. }) {
             // Hits touch no storage: immune to build faults.
-            cache.request(spec);
+            cache.apply(spec, &planned);
             continue;
         }
+        // Failed attempts never mutate the cache, so the attempt price
+        // is fixed by the plan for the whole build loop.
+        let build_cost = attempt_cost(&cache, spec, &planned, sizes.as_ref());
 
         // The build loop: `draws` indexes fault decisions (monotone per
         // request, so degraded attempts roll fresh), `budget` tracks the
@@ -224,7 +234,7 @@ pub fn simulate_stream_with_faults(
                     if degraded {
                         cache.insert_fresh(spec);
                     } else {
-                        cache.request(spec);
+                        cache.apply(spec, &planned);
                     }
                     break;
                 }
@@ -233,7 +243,7 @@ pub fn simulate_stream_with_faults(
                     let cost = if degraded {
                         sizes.spec_bytes(spec)
                     } else {
-                        attempt_cost(&cache, spec, planned, sizes.as_ref())
+                        build_cost
                     };
                     stats.wasted_bytes += cost;
                     if budget > 0 {
@@ -241,7 +251,7 @@ pub fn simulate_stream_with_faults(
                         budget -= 1;
                         stats.retries += 1;
                         stats.backoff_ticks += config.retry.backoff_before(retry_index);
-                    } else if !degraded && matches!(planned, PlannedOp::Merge { .. }) {
+                    } else if !degraded && matches!(planned.op, PlannedOp::Merge { .. }) {
                         // Graceful degradation: stop rewriting the
                         // shared image, build a minimal per-job one.
                         degraded = true;
@@ -262,6 +272,86 @@ pub fn simulate_stream_with_faults(
             final_stats: cache.stats(),
             container_eff_pct: cache.container_efficiency_pct(),
             cache_eff_pct: cache.cache_efficiency_pct(),
+            series: Vec::new(),
+        },
+        faults: stats,
+    }
+}
+
+/// Run one prepared stream through *any* [`CachePolicy`] under the
+/// failure model — the policy-agnostic twin of
+/// [`simulate_stream_with_faults`], used to put the baselines under the
+/// same fault regime as LANDLORD.
+///
+/// The policy's [`CachePolicy::plan_build`] prices the attempts and
+/// decides degradability: only a [`BuildPlan::Rewrite`] (a shared-image
+/// rewrite) may fall back to a fresh per-job insert. Driving
+/// [`ImageCache`] through this function is bit-identical to the
+/// specialized driver.
+pub fn simulate_policy_with_faults(
+    policy: &mut dyn CachePolicy,
+    stream: &[Spec],
+    config: &FaultConfig,
+) -> FaultRunResult {
+    let plan = FaultPlan {
+        seed: config.seed,
+        fail_per_mille: config.fail_per_mille,
+    };
+    let mut stats = FaultStats::default();
+
+    for (i, spec) in stream.iter().enumerate() {
+        stats.requests += 1;
+        policy.settle();
+        let build = policy.plan_build(spec);
+        if matches!(build, BuildPlan::Hit) {
+            policy.request(spec);
+            continue;
+        }
+        let mut draws = 0u32;
+        let mut budget = config.retry.max_retries;
+        let mut degraded = false;
+        loop {
+            match plan.draw(i as u64, draws) {
+                None => {
+                    if degraded {
+                        policy.insert_fresh(spec);
+                    } else {
+                        policy.request(spec);
+                    }
+                    break;
+                }
+                Some(kind) => {
+                    stats.record_kind(kind);
+                    let cost = if degraded {
+                        policy.spec_bytes(spec)
+                    } else {
+                        build.cost()
+                    };
+                    stats.wasted_bytes += cost;
+                    if budget > 0 {
+                        let retry_index = config.retry.max_retries - budget + 1;
+                        budget -= 1;
+                        stats.retries += 1;
+                        stats.backoff_ticks += config.retry.backoff_before(retry_index);
+                    } else if !degraded && matches!(build, BuildPlan::Rewrite { .. }) {
+                        degraded = true;
+                        stats.degraded_inserts += 1;
+                        budget = config.retry.max_retries;
+                    } else {
+                        stats.failed_requests += 1;
+                        break;
+                    }
+                }
+            }
+            draws += 1;
+        }
+    }
+
+    FaultRunResult {
+        run: crate::simulator::RunResult {
+            final_stats: policy.stats(),
+            container_eff_pct: policy.container_efficiency_pct(),
+            cache_eff_pct: policy.cache_efficiency_pct(),
             series: Vec::new(),
         },
         faults: stats,
@@ -434,6 +524,24 @@ mod tests {
         // Degradation keeps goodput above the no-degradation floor:
         // some requests that lost their merge still launched.
         assert!(result.faults.goodput_pct() > 0.0);
+    }
+
+    #[test]
+    fn generic_driver_matches_specialized_for_landlord() {
+        let r = repo();
+        let w = workload();
+        let stream = workload::generate_stream(&r, &w);
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let cfg = faults(350, RetryPolicy::new(2, 1, 8));
+
+        let special =
+            simulate_stream_with_faults(&stream, cache_cfg(&r), Arc::clone(&sizes), None, &cfg);
+        let mut cache = ImageCache::new(cache_cfg(&r), sizes);
+        let generic = simulate_policy_with_faults(&mut cache, &stream, &cfg);
+
+        assert_eq!(special.faults, generic.faults);
+        assert_eq!(special.run.final_stats, generic.run.final_stats);
+        assert_eq!(special.run.container_eff_pct, generic.run.container_eff_pct);
     }
 
     #[test]

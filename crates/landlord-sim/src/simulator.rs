@@ -1,12 +1,18 @@
-//! Driving a request stream through the LANDLORD cache.
+//! Driving a request stream through a cache policy.
 //!
-//! One simulation = one [`ImageCache`] processing one job stream,
-//! with counter snapshots sampled along the way (Fig. 5's time series)
-//! and a summary at the end (one data point of every sweep figure).
+//! One simulation = one [`CachePolicy`] (LANDLORD's [`ImageCache`] or
+//! any baseline) processing one job stream, with counter snapshots
+//! sampled along the way (Fig. 5's time series) and a summary at the
+//! end (one data point of every sweep figure). [`simulate_policy`] is
+//! the single generic driver; the `ImageCache`-typed entry points
+//! delegate to it.
 
 use crate::workload::{self, WorkloadConfig};
+use landlord_baselines::{DedupStore, FullRepoStrategy, LayerChain, PerJobCache};
 use landlord_core::cache::{CacheConfig, CacheStats, ImageCache};
 use landlord_core::conflict::ConflictPolicy;
+use landlord_core::policy::CachePolicy;
+use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
 use landlord_repo::Repository;
 use serde::{Deserialize, Serialize};
@@ -51,23 +57,92 @@ pub fn simulate_stream(
         Some(c) => ImageCache::with_conflicts(cache_config, sizes, c),
         None => ImageCache::new(cache_config, sizes),
     };
+    simulate_policy(&mut cache, stream, sample_every)
+}
+
+/// Run one prepared stream through *any* policy — the one generic
+/// driver behind every simulation entry point.
+pub fn simulate_policy(
+    policy: &mut dyn CachePolicy,
+    stream: &[Spec],
+    sample_every: usize,
+) -> RunResult {
     let mut series = Vec::new();
     for (i, spec) in stream.iter().enumerate() {
-        cache.request(spec);
+        policy.request(spec);
         let done = i + 1 == stream.len();
         if sample_every > 0 && ((i + 1) % sample_every == 0 || done) {
             series.push(SeriesPoint {
                 request_index: i + 1,
-                stats: cache.stats(),
-                container_eff_pct: cache.container_efficiency_pct(),
+                stats: policy.stats(),
+                container_eff_pct: policy.container_efficiency_pct(),
             });
         }
     }
     RunResult {
-        final_stats: cache.stats(),
-        container_eff_pct: cache.container_efficiency_pct(),
-        cache_eff_pct: cache.cache_efficiency_pct(),
+        final_stats: policy.stats(),
+        container_eff_pct: policy.container_efficiency_pct(),
+        cache_eff_pct: policy.cache_efficiency_pct(),
         series,
+    }
+}
+
+/// CLI/report tokens accepted by [`make_policy`].
+pub const POLICY_TOKENS: &[&str] = &["landlord", "per-job", "full-repo", "layered", "block-dedup"];
+
+/// Construct a policy by token. `cache_config` shapes LANDLORD (and
+/// supplies the byte limit for per-job); `repo_bytes` sizes the
+/// full-repo image. Returns `None` for an unknown token.
+pub fn make_policy(
+    name: &str,
+    cache_config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    repo_bytes: u64,
+) -> Option<Box<dyn CachePolicy>> {
+    Some(match name {
+        "landlord" => Box::new(ImageCache::new(cache_config, sizes)),
+        "per-job" => Box::new(PerJobCache::new(cache_config.limit_bytes, sizes)),
+        "full-repo" => Box::new(FullRepoStrategy::new(sizes, repo_bytes)),
+        "layered" => Box::new(LayerChain::new(sizes)),
+        "block-dedup" => Box::new(DedupStore::new(sizes)),
+        _ => return None,
+    })
+}
+
+/// One policy's summary in a multi-policy comparison report.
+/// Percentages are pinned as integer milli-percent so the JSON is
+/// byte-stable across float formatting changes.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+pub struct PolicyReport {
+    /// Policy token (see [`POLICY_TOKENS`]).
+    pub policy: String,
+    /// Final counters.
+    pub final_stats: CacheStats,
+    /// Mean container efficiency, milli-percent (60957 = 60.957%).
+    pub container_eff_milli: u64,
+    /// Final cache efficiency, milli-percent.
+    pub cache_eff_milli: u64,
+    /// Fault-model counters when the run injected faults (`null` for
+    /// fault-free runs).
+    #[serde(default)]
+    pub faults: Option<crate::faults::FaultStats>,
+}
+
+impl PolicyReport {
+    /// Summarize a finished run.
+    pub fn from_run(
+        policy: &str,
+        run: &RunResult,
+        faults: Option<crate::faults::FaultStats>,
+    ) -> Self {
+        let milli = |pct: f64| (pct * 1000.0).round() as u64;
+        PolicyReport {
+            policy: policy.to_string(),
+            final_stats: run.final_stats,
+            container_eff_milli: milli(run.container_eff_pct),
+            cache_eff_milli: milli(run.cache_eff_pct),
+            faults,
+        }
     }
 }
 
@@ -184,5 +259,51 @@ mod tests {
         let a = simulate(&r, &w, cache_cfg(0.8, r.total_bytes()), 0);
         let b = simulate(&r, &w, cache_cfg(0.8, r.total_bytes()), 0);
         assert_eq!(a.final_stats, b.final_stats);
+    }
+
+    #[test]
+    fn every_policy_token_constructs_and_runs() {
+        let r = repo();
+        let stream = workload::generate_stream(&r, &workload());
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        for &token in POLICY_TOKENS {
+            let mut policy = make_policy(
+                token,
+                cache_cfg(0.8, r.total_bytes()),
+                Arc::clone(&sizes),
+                r.total_bytes(),
+            )
+            .expect("known token");
+            assert_eq!(policy.name(), token);
+            let run = simulate_policy(policy.as_mut(), &stream, 0);
+            assert_eq!(run.final_stats.requests as usize, stream.len());
+            policy.check_invariants();
+        }
+        assert!(make_policy("nope", CacheConfig::default(), Arc::clone(&sizes), 1).is_none());
+    }
+
+    #[test]
+    fn generic_driver_matches_typed_entry_point_for_landlord() {
+        let r = repo();
+        let w = workload();
+        let cfg = cache_cfg(0.8, r.total_bytes() / 2);
+        let typed = simulate(&r, &w, cfg, 7);
+        let stream = workload::generate_stream(&r, &w);
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let mut policy = make_policy("landlord", cfg, sizes, r.total_bytes()).unwrap();
+        let generic = simulate_policy(policy.as_mut(), &stream, 7);
+        assert_eq!(typed.final_stats, generic.final_stats);
+        assert_eq!(typed.container_eff_pct, generic.container_eff_pct);
+        assert_eq!(typed.series.len(), generic.series.len());
+    }
+
+    #[test]
+    fn policy_report_round_trips_through_json() {
+        let r = repo();
+        let run = simulate(&r, &workload(), cache_cfg(0.8, r.total_bytes()), 0);
+        let report = PolicyReport::from_run("landlord", &run, None);
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PolicyReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
     }
 }

@@ -1,0 +1,160 @@
+//! Golden-file tests pinning seeded `simulate` reports byte-identical.
+//!
+//! One fixed scenario (seeded repository, workload, byte limit) is run
+//! through every policy token, with and without the fault model, and
+//! the [`PolicyReport`] JSON is compared byte-for-byte against the
+//! files in `tests/golden/`. Any change to planning, eviction, merge
+//! accounting, or the fault loop that shifts a single counter fails
+//! here first.
+//!
+//! To regenerate after an *intentional* behavior change:
+//!
+//! ```text
+//! BLESS_GOLDENS=1 cargo test -p landlord-sim --test golden_reports
+//! ```
+
+use landlord_core::cache::CacheConfig;
+use landlord_core::policy::RetryPolicy;
+use landlord_core::sizes::SizeModel;
+use landlord_repo::{RepoConfig, Repository};
+use landlord_sim::faults::{simulate_policy_with_faults, FaultConfig};
+use landlord_sim::simulator::{make_policy, simulate_policy, PolicyReport, POLICY_TOKENS};
+use landlord_sim::workload::{generate_stream, WorkloadConfig, WorkloadScheme};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn scenario() -> (Repository, Vec<landlord_core::spec::Spec>, CacheConfig) {
+    let repo = Repository::generate(&RepoConfig::small_for_tests(1234));
+    let workload = WorkloadConfig {
+        unique_jobs: 60,
+        repeats: 3,
+        max_initial_selection: 8,
+        scheme: WorkloadScheme::DependencyClosure,
+        seed: 7,
+    };
+    let stream = generate_stream(&repo, &workload);
+    let cfg = CacheConfig {
+        alpha: 0.75,
+        limit_bytes: repo.total_bytes() / 3,
+        ..CacheConfig::default()
+    };
+    (repo, stream, cfg)
+}
+
+fn fault_config() -> FaultConfig {
+    FaultConfig {
+        fail_per_mille: 250,
+        seed: 99,
+        retry: RetryPolicy::new(2, 1, 8),
+    }
+}
+
+fn report(token: &str, faulted: bool) -> PolicyReport {
+    let (repo, stream, cfg) = scenario();
+    let sizes: Arc<dyn SizeModel> = Arc::new(repo.size_table());
+    let mut policy = make_policy(token, cfg, sizes, repo.total_bytes()).expect("known token");
+    if faulted {
+        let result = simulate_policy_with_faults(policy.as_mut(), &stream, &fault_config());
+        PolicyReport::from_run(token, &result.run, Some(result.faults))
+    } else {
+        let run = simulate_policy(policy.as_mut(), &stream, 0);
+        PolicyReport::from_run(token, &run, None)
+    }
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+#[test]
+fn golden_reports_are_byte_identical() {
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    for &token in POLICY_TOKENS {
+        for faulted in [false, true] {
+            let name = if faulted {
+                format!("{token}-faults")
+            } else {
+                token.to_string()
+            };
+            let rendered = format!(
+                "{}\n",
+                serde_json::to_string_pretty(&report(token, faulted)).unwrap()
+            );
+            let path = golden_path(&name);
+            if bless {
+                std::fs::write(&path, &rendered).unwrap();
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("missing golden {path:?} ({e}); regenerate with BLESS_GOLDENS=1")
+            });
+            assert_eq!(
+                rendered, expected,
+                "report for `{name}` drifted from {path:?}; if the change \
+                 is intentional, regenerate with BLESS_GOLDENS=1"
+            );
+        }
+    }
+}
+
+/// The LANDLORD numbers in the goldens were captured from the
+/// pre-refactor monolithic `ImageCache::request` path. Pinning them
+/// here too means even a blessed regeneration cannot silently change
+/// the engine's behavior on this scenario.
+#[test]
+fn landlord_goldens_match_the_pre_refactor_engine() {
+    let plain = report("landlord", false);
+    let s = plain.final_stats;
+    assert_eq!(
+        (s.requests, s.hits, s.merges, s.inserts, s.deletes),
+        (180, 24, 127, 29, 28)
+    );
+    assert_eq!(s.bytes_written, 30_610_013_723);
+    assert_eq!(s.total_bytes, 332_024_302);
+    assert_eq!(s.image_count, 1);
+    assert_eq!(plain.container_eff_milli, 60_957);
+    assert_eq!(plain.cache_eff_milli, 100_000);
+
+    let faulted = report("landlord", true);
+    let s = faulted.final_stats;
+    assert_eq!(
+        (s.requests, s.hits, s.merges, s.inserts, s.deletes),
+        (180, 25, 124, 31, 30)
+    );
+    assert_eq!(s.bytes_written, 29_577_446_183);
+    assert_eq!(faulted.container_eff_milli, 62_300);
+    let f = faulted.faults.expect("fault stats recorded");
+    assert_eq!(f.failed_requests, 0);
+    assert_eq!(f.faults, 49);
+    assert_eq!(f.retries, 47);
+    assert_eq!(f.wasted_bytes, 10_134_000_217);
+    assert_eq!(f.degraded_inserts, 2);
+}
+
+/// Same pin for the baselines that existed before the refactor: the
+/// Ledger rewrite must not move a single counter.
+#[test]
+fn baseline_goldens_match_the_pre_refactor_accounting() {
+    let per_job = report("per-job", false);
+    let s = per_job.final_stats;
+    assert_eq!(
+        (s.requests, s.hits, s.inserts, s.deletes),
+        (180, 17, 163, 161)
+    );
+    assert_eq!(s.bytes_written, 18_535_863_049);
+    assert_eq!(s.total_bytes, 197_472_344);
+    assert_eq!(s.unique_bytes, 131_203_383);
+    assert_eq!(s.image_count, 2);
+    assert_eq!(per_job.container_eff_milli, 95_269);
+    assert_eq!(per_job.cache_eff_milli, 66_441);
+
+    let full = report("full-repo", false);
+    let s = full.final_stats;
+    assert_eq!((s.requests, s.hits, s.inserts), (180, 180, 1));
+    assert_eq!(s.bytes_written, 999_999_999);
+    assert_eq!(s.total_bytes, 999_999_999);
+    assert_eq!(full.container_eff_milli, 10_861);
+    assert_eq!(full.cache_eff_milli, 100_000);
+}

@@ -5,6 +5,7 @@ use landlord_baselines::block_dedup;
 use landlord_baselines::{FullRepoStrategy, LayerChain, PerJobCache};
 use landlord_core::cache::{CacheConfig, ImageCache};
 use landlord_core::conflict::SingleVersionPerName;
+use landlord_core::policy::CachePolicy;
 use landlord_core::spec::Spec;
 use landlord_repo::{RepoConfig, Repository};
 use landlord_sim::workload::{self, WorkloadConfig, WorkloadScheme};
@@ -114,7 +115,7 @@ fn landlord_sits_between_the_extremes() {
     assert!(landlord.container_efficiency_pct() > full.container_efficiency_pct());
     // Cache efficiency ordering: full-repo (100) ≥ landlord ≥ no-merge.
     let none_cache_eff = {
-        let unique = none.unique_bytes();
+        let unique = none.stats().unique_bytes;
         100.0 * unique as f64 / none.stats().total_bytes.max(1) as f64
     };
     assert!(full.cache_efficiency_pct() >= landlord.cache_efficiency_pct());
