@@ -12,6 +12,7 @@
 //! unique-bytes counter showing what dedup *could* reclaim.
 
 use landlord_core::cache::{CacheStats, Ledger, PackageRefs};
+use landlord_core::metrics::ContainerEfficiency;
 use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::{PackageId, Spec};
@@ -132,6 +133,10 @@ impl CachePolicy for DedupStore {
 
     fn container_efficiency_pct(&self) -> f64 {
         self.ledger.container_efficiency_pct()
+    }
+
+    fn container_eff(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
     }
 
     fn len(&self) -> usize {

@@ -9,6 +9,7 @@
 //! and scale a full-repo image onto NERSC nodes.
 
 use landlord_core::cache::{CacheStats, Ledger};
+use landlord_core::metrics::ContainerEfficiency;
 use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
@@ -84,6 +85,10 @@ impl CachePolicy for FullRepoStrategy {
 
     fn container_efficiency_pct(&self) -> f64 {
         self.ledger.container_efficiency_pct()
+    }
+
+    fn container_eff(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
     }
 
     fn len(&self) -> usize {

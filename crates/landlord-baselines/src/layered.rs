@@ -10,6 +10,7 @@
 //! *effective* set is what the top of the chain exposes.
 
 use landlord_core::cache::{CacheStats, Ledger};
+use landlord_core::metrics::ContainerEfficiency;
 use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
@@ -176,6 +177,10 @@ impl CachePolicy for LayerChain {
 
     fn container_efficiency_pct(&self) -> f64 {
         self.ledger.container_efficiency_pct()
+    }
+
+    fn container_eff(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
     }
 
     fn len(&self) -> usize {

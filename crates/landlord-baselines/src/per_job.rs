@@ -10,6 +10,7 @@
 //! [`landlord_core::cache::Ledger`]; only the LRU mechanics are local.
 
 use landlord_core::cache::{CacheStats, Ledger, PackageRefs};
+use landlord_core::metrics::ContainerEfficiency;
 use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
@@ -118,6 +119,10 @@ impl CachePolicy for PerJobCache {
 
     fn container_efficiency_pct(&self) -> f64 {
         self.ledger.container_efficiency_pct()
+    }
+
+    fn container_eff(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
     }
 
     fn len(&self) -> usize {

@@ -31,6 +31,7 @@ USAGE:
                       [--metric D] [--candidates C] [--report-json FILE]
                       [--fault-rate F] [--fault-seed S] [--retries N]
                       [--backoff-base T] [--backoff-cap T]
+                      [--shards N] [--threads M]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
   landlord experiment <id|all> [--scale full|smoke] [--seed S]
                       [--threads T] [--csv-dir DIR] [--plot-dir DIR]
@@ -51,6 +52,9 @@ cost-density|gdsf, --merge-order nearest-first|arrival-order|
 largest-first|smallest-first, --metric package-count|bytes,
 --candidates exact-scan|minhash-lsh:<bands>x<rows>.
 --report-json FILE (or -) writes the machine-readable PolicyReport.
+--shards N partitions the cache into N independent shards and --threads M
+replays the trace with M deterministic shard-affine workers (landlord
+policy only, incompatible with --fault-rate).
 ";
 
 /// Parse an optional `--key token` flag via an enum's `parse`,
@@ -268,14 +272,46 @@ pub fn simulate(args: &Args) -> CmdResult {
     let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
         std::sync::Arc::new(repo.size_table());
     let policy_token = args.get_or("policy", "landlord");
-    let mut policy = simulator::make_policy(policy_token, cache, sizes, repo.total_bytes())
-        .ok_or_else(|| {
-            format!(
-                "unknown --policy {policy_token:?} (valid: {})",
-                simulator::POLICY_TOKENS.join(", ")
+    let shards = args.get_parsed("shards", 1usize, "a shard count")?;
+    let sim_threads = args.get_parsed("threads", 1usize, "a worker thread count")?;
+    if shards == 0 || sim_threads == 0 {
+        return Err("--shards and --threads must be at least 1".into());
+    }
+    let mut policy = simulator::make_policy(
+        policy_token,
+        cache,
+        std::sync::Arc::clone(&sizes),
+        repo.total_bytes(),
+    )
+    .ok_or_else(|| {
+        format!(
+            "unknown --policy {policy_token:?} (valid: {})",
+            simulator::POLICY_TOKENS.join(", ")
+        )
+    })?;
+    let (result, fault_stats) = if shards > 1 || sim_threads > 1 {
+        if policy_token != "landlord" {
+            return Err(format!(
+                "--shards/--threads support only --policy landlord, got {policy_token:?}"
             )
-        })?;
-    let (result, fault_stats) = if fault_rate > 0.0 {
+            .into());
+        }
+        if fault_rate > 0.0 {
+            return Err(
+                "--fault-rate cannot be combined with --shards/--threads (the failure model \
+                 replays single-threaded)"
+                    .into(),
+            );
+        }
+        let run = landlord_sim::sharded::simulate_stream_sharded(
+            &stream,
+            cache,
+            std::sync::Arc::clone(&sizes),
+            shards,
+            sim_threads,
+        );
+        (run, None)
+    } else if fault_rate > 0.0 {
         let cfg = landlord_sim::faults::FaultConfig {
             fail_per_mille: (fault_rate * 1000.0).round() as u32,
             seed: fault_seed,
@@ -323,6 +359,10 @@ pub fn simulate(args: &Args) -> CmdResult {
         "container eff %".into(),
         fmt_pct(result.container_eff_pct),
     ]);
+    if shards > 1 || sim_threads > 1 {
+        t.push_row(vec!["shards".into(), shards.to_string()]);
+        t.push_row(vec!["worker threads".into(), sim_threads.to_string()]);
+    }
     if let Some(f) = fault_stats {
         t.push_row(vec!["goodput %".into(), fmt_pct(f.goodput_pct())]);
         t.push_row(vec![
@@ -863,6 +903,75 @@ mod tests {
             assert!(msg.contains(flag), "{msg:?} must name --{flag}");
             assert!(msg.contains(tokens), "{msg:?} must list {tokens:?}");
         }
+    }
+
+    #[test]
+    fn simulate_rejects_degenerate_lsh_shapes_listing_tokens() {
+        // Regression: `minhash-lsh:0x4` / `4x0` describe an index with
+        // no band hashing at all and must fail parsing like any other
+        // bad token, not construct a degenerate index.
+        use landlord_core::policy::CandidateStrategy;
+        for bad in ["minhash-lsh:0x4", "minhash-lsh:4x0", "minhash-lsh:junk"] {
+            let err = simulate(&args(&["--scale", "smoke", "--candidates", bad])).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("candidates"), "{msg:?} must name --candidates");
+            assert!(
+                msg.contains(CandidateStrategy::TOKENS),
+                "{msg:?} must list the valid tokens"
+            );
+        }
+    }
+
+    #[test]
+    fn simulate_sharded_smoke_runs_and_reports() {
+        let path = std::env::temp_dir().join(format!(
+            "landlord-cli-sharded-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "12",
+            "--repeats",
+            "2",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--report-json",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report: landlord_sim::simulator::PolicyReport =
+            serde_json::from_slice(&std::fs::read(&path).unwrap()).unwrap();
+        assert_eq!(report.policy, "landlord");
+        assert_eq!(report.final_stats.requests, 24);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn simulate_sharded_rejects_unsupported_combinations() {
+        let err = simulate(&args(&[
+            "--scale", "smoke", "--shards", "2", "--policy", "per-job",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("landlord"), "{err}");
+
+        let err = simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--shards",
+            "2",
+            "--fault-rate",
+            "0.5",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("fault-rate"), "{err}");
+
+        let err = simulate(&args(&["--scale", "smoke", "--shards", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
     }
 
     #[test]

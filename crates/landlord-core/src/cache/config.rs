@@ -87,4 +87,62 @@ impl CacheStats {
     pub fn cache_efficiency_pct(&self) -> f64 {
         crate::metrics::cache_efficiency_pct(self.unique_bytes, self.total_bytes)
     }
+
+    /// Fold another snapshot into this one, field by field.
+    ///
+    /// Counters add; the "current" totals (`total_bytes`,
+    /// `unique_bytes`, `image_count`) also add, which is exact when the
+    /// snapshots describe disjoint populations — e.g. the shards of a
+    /// [`super::ShardedImageCache`], whose images and packages never
+    /// overlap across shards.
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.requests += other.requests;
+        self.hits += other.hits;
+        self.merges += other.merges;
+        self.inserts += other.inserts;
+        self.deletes += other.deletes;
+        self.splits += other.splits;
+        self.bytes_written += other.bytes_written;
+        self.bytes_requested += other.bytes_requested;
+        self.total_bytes += other.total_bytes;
+        self.unique_bytes += other.unique_bytes;
+        self.image_count += other.image_count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        // Build two snapshots with every field distinct so a missed
+        // field in merge() cannot cancel out.
+        let mut a = CacheStats::default();
+        let mut b = CacheStats::default();
+        let fields: &[fn(&mut CacheStats) -> &mut u64] = &[
+            |s| &mut s.requests,
+            |s| &mut s.hits,
+            |s| &mut s.merges,
+            |s| &mut s.inserts,
+            |s| &mut s.deletes,
+            |s| &mut s.splits,
+            |s| &mut s.bytes_written,
+            |s| &mut s.bytes_requested,
+            |s| &mut s.total_bytes,
+            |s| &mut s.unique_bytes,
+            |s| &mut s.image_count,
+        ];
+        for (i, field) in fields.iter().enumerate() {
+            let i = i as u64;
+            *field(&mut a) = 1 + i;
+            *field(&mut b) = 100 + i;
+        }
+        let mut folded = a;
+        folded.merge(&b);
+        for (i, field) in fields.iter().enumerate() {
+            let i = i as u64;
+            assert_eq!(*field(&mut folded), 101 + 2 * i);
+        }
+    }
 }

@@ -52,6 +52,7 @@ mod ledger;
 mod plan;
 #[cfg(test)]
 mod proptests;
+mod sharded;
 #[cfg(test)]
 mod tests;
 
@@ -61,6 +62,7 @@ pub use config::{CacheConfig, CacheStats};
 pub use evictor::Evictor;
 pub use ledger::{Ledger, PackageRefs};
 pub use plan::{plan_over, Plan, PlannedOp};
+pub use sharded::{shard_limit_bytes, ShardedImageCache};
 
 use crate::conflict::{ConflictPolicy, NoConflicts};
 use crate::events::{CacheEvent, EventSink};
@@ -209,6 +211,12 @@ impl ImageCache {
     /// Mean container efficiency over all requests so far (percent).
     pub fn container_efficiency_pct(&self) -> f64 {
         self.ledger.container_efficiency_pct()
+    }
+
+    /// The raw container-efficiency accumulator (exact parallel folding
+    /// and clamp accounting; see [`ContainerEfficiency::merge`]).
+    pub fn container_eff(&self) -> ContainerEfficiency {
+        self.ledger.container_eff()
     }
 
     /// Cache efficiency right now (percent).
@@ -533,6 +541,10 @@ impl CachePolicy for ImageCache {
 
     fn container_efficiency_pct(&self) -> f64 {
         ImageCache::container_efficiency_pct(self)
+    }
+
+    fn container_eff(&self) -> ContainerEfficiency {
+        ImageCache::container_eff(self)
     }
 
     fn len(&self) -> usize {

@@ -65,7 +65,30 @@ impl ImageCache {
     /// bloat split is pending, the real request settles first, which
     /// can change the decision.
     pub fn plan(&self, spec: &Spec) -> Plan {
-        let op = if let Some(img) = self.find_satisfying(spec) {
+        self.plan_with_peek(spec, true)
+    }
+
+    /// [`ImageCache::plan`] with an externally supplied superset hint.
+    ///
+    /// `superset_possible = false` asserts that the caller has already
+    /// proven no cached image can satisfy `spec` (e.g. the sharded
+    /// frontend's package-summary peek reported a package of `spec`
+    /// absent from every image of this cache), so the hit scan is
+    /// skipped entirely. The hint must be conservative: passing `false`
+    /// when a superset exists turns a hit into a merge/insert, which is
+    /// a correctness bug, not just a slowdown. `true` is always safe
+    /// and recovers exact [`ImageCache::plan`] behaviour.
+    pub fn plan_with_peek(&self, spec: &Spec, superset_possible: bool) -> Plan {
+        let hit = if superset_possible {
+            self.find_satisfying(spec)
+        } else {
+            debug_assert!(
+                self.find_satisfying(spec).is_none(),
+                "peek claimed no superset but a satisfying image exists"
+            );
+            None
+        };
+        let op = if let Some(img) = hit {
             PlannedOp::Hit { image: img.id }
         } else if self.config.alpha > 0.0 {
             match self.pick_merge_candidate(spec) {

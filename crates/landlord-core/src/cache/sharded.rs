@@ -1,0 +1,596 @@
+//! A sharded concurrent frontend over N independent [`ImageCache`]s.
+//!
+//! §V's site-wide deployment serves many submitters at once, but
+//! Algorithm 1 is a read-modify-write over the whole image collection,
+//! so [`crate::shared::SharedImageCache`] serializes every request
+//! behind one coarse mutex. [`ShardedImageCache`] recovers concurrency
+//! the way distributed HTC sites scale shared state: partition it.
+//!
+//! * **Routing** — each spec is owned by exactly one shard, chosen by a
+//!   one-slot MinHash of its package set (the minimum of a seeded
+//!   [`mix2`] over the member ids, mod N). Like the LSH candidate
+//!   index, this is similarity-sensitive: specs sharing their minimum
+//!   package land on the same shard, so the near neighbours Algorithm 1
+//!   wants to merge tend to colocate. Routing is a pure function of the
+//!   spec — no spec can map to two shards, which
+//!   [`ShardedImageCache::check_invariants`] re-verifies from every
+//!   cached image's constituents.
+//! * **Budget partition** — the global byte limit is split across
+//!   shards so the per-shard limits sum to it *exactly* (the first
+//!   `limit % N` shards get one extra byte).
+//! * **Superset peek** — each shard publishes a 256-bit package-set
+//!   summary (a tiny Bloom filter over live package ids, maintained in
+//!   atomics). A reader can ask, without any lock, whether a shard
+//!   could possibly hold a superset of a spec; a clear bit for any
+//!   member proves it cannot. The owning shard re-reads its own summary
+//!   under its lock (where it is authoritative, not advisory) and feeds
+//!   the answer to [`ImageCache::plan_with_peek`], skipping the O(n)
+//!   hit scan for specs that introduce any new package.
+//! * **Batching** — [`ShardedImageCache::request_many`] groups a batch
+//!   by owning shard and takes each shard lock once per batch instead
+//!   of once per request, preserving per-shard arrival order.
+//! * **Metric folding** — counters stay shard-local and are folded on
+//!   read with [`CacheStats::merge`] /
+//!   [`crate::metrics::ContainerEfficiency::merge`], which are exact
+//!   (sums, not averages of averages). The folded `unique_bytes` counts
+//!   a package once *per shard holding it*; cross-shard duplication is
+//!   the price of lock-free partitioning and is documented rather than
+//!   hidden.
+//!
+//! Because every request is served entirely by its owning shard, a
+//! multi-threaded replay is *deterministic*: whatever the interleaving,
+//! each shard observes its own requests in submission order, so global
+//! folded counters equal a single-threaded replay partitioned by shard
+//! ownership. The `sharded_stress` proptest pins this down.
+
+use super::{CacheConfig, CacheStats, ImageCache, Outcome};
+use crate::conflict::{ConflictPolicy, NoConflicts};
+use crate::metrics::ContainerEfficiency;
+use crate::sizes::SizeModel;
+use crate::spec::{PackageId, Spec};
+use crate::util::{mix2, mix64};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Words in a shard's package-set summary (256 bits total).
+const SUMMARY_WORDS: usize = 4;
+
+/// Requests between summary rebuilds. Evictions only *clear* liveness,
+/// which the summary cannot express incrementally (bits are shared), so
+/// stale set bits accumulate as false "possible" answers until the next
+/// rebuild re-derives the summary from the live images.
+const SUMMARY_REBUILD_EVERY: u64 = 128;
+
+/// Salt distinguishing the routing hash family from the MinHash/LSH
+/// families derived from the same configured seed.
+const ROUTE_SALT: u64 = 0x51a2_d3e4_0000_0005;
+
+/// A lock-free 256-bit summary of the package ids live in one shard.
+///
+/// Writers (inserts, merges, rebuilds) only run under the shard lock;
+/// readers may run anywhere. A clear bit proves the package is absent
+/// from every live image of the shard; a set bit proves nothing (hash
+/// collisions and evicted packages leave false positives).
+struct PackageSummary {
+    bits: [AtomicU64; SUMMARY_WORDS],
+    /// Requests noted since the last rebuild.
+    notes: AtomicU64,
+}
+
+impl PackageSummary {
+    fn new() -> Self {
+        PackageSummary {
+            bits: std::array::from_fn(|_| AtomicU64::new(0)),
+            notes: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(package: PackageId) -> (usize, u64) {
+        let h = mix64(u64::from(package.0));
+        let idx = (h & 255) as usize;
+        (idx >> 6, 1u64 << (idx & 63))
+    }
+
+    /// Could this shard hold a superset of `spec`? `false` is a proof
+    /// of absence; `true` is only a possibility. The empty spec is a
+    /// subset of anything, so it is always "possible".
+    fn may_contain_superset(&self, spec: &Spec) -> bool {
+        spec.iter().all(|p| {
+            let (word, mask) = Self::slot(p);
+            self.bits[word].load(Ordering::Relaxed) & mask == mask
+        })
+    }
+
+    /// Record that `spec`'s packages are (now) live in this shard.
+    /// Called under the shard lock after every served request; hits are
+    /// redundant but harmless.
+    fn note_spec(&self, spec: &Spec) {
+        for p in spec.iter() {
+            let (word, mask) = Self::slot(p);
+            if self.bits[word].load(Ordering::Relaxed) & mask != mask {
+                self.bits[word].fetch_or(mask, Ordering::Relaxed);
+            }
+        }
+        self.notes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Re-derive the summary from the live images, dropping bits whose
+    /// packages were evicted. Must run under the shard lock.
+    fn rebuild_from(&self, cache: &ImageCache) {
+        let mut fresh = [0u64; SUMMARY_WORDS];
+        for img in cache.images() {
+            for p in img.spec.iter() {
+                let (word, mask) = Self::slot(p);
+                fresh[word] |= mask;
+            }
+        }
+        for (word, value) in fresh.iter().enumerate() {
+            self.bits[word].store(*value, Ordering::Relaxed);
+        }
+        self.notes.store(0, Ordering::Relaxed);
+    }
+
+    /// Rebuild when enough requests have accumulated.
+    fn maybe_rebuild(&self, cache: &ImageCache) {
+        if self.notes.load(Ordering::Relaxed) >= SUMMARY_REBUILD_EVERY {
+            self.rebuild_from(cache);
+        }
+    }
+}
+
+struct Shard {
+    cache: Mutex<ImageCache>,
+    summary: PackageSummary,
+}
+
+struct Inner {
+    shards: Box<[Shard]>,
+    route_seed: u64,
+    limit_bytes: u64,
+}
+
+/// A clonable, thread-safe, sharded LANDLORD cache. See the module docs
+/// for the partitioning model.
+#[derive(Clone)]
+pub struct ShardedImageCache {
+    inner: Arc<Inner>,
+}
+
+/// The byte budget of shard `index` out of `shards` under global
+/// `limit`: an exact partition (the budgets sum to `limit`).
+pub fn shard_limit_bytes(limit: u64, shards: u64, index: u64) -> u64 {
+    limit / shards + u64::from(index < limit % shards)
+}
+
+impl ShardedImageCache {
+    /// Create a sharded cache with `shards` independent shards (CVMFS
+    /// no-conflict semantics). `config.limit_bytes` is the *global*
+    /// budget, partitioned exactly across shards.
+    pub fn new(shards: usize, config: CacheConfig, sizes: Arc<dyn SizeModel>) -> Self {
+        Self::with_conflicts(shards, config, sizes, Arc::new(NoConflicts))
+    }
+
+    /// Create with an explicit conflict policy.
+    pub fn with_conflicts(
+        shards: usize,
+        config: CacheConfig,
+        sizes: Arc<dyn SizeModel>,
+        conflicts: Arc<dyn ConflictPolicy>,
+    ) -> Self {
+        assert!(shards >= 1, "a sharded cache needs at least one shard");
+        let n = shards as u64;
+        let built: Vec<Shard> = (0..n)
+            .map(|i| {
+                let shard_config = CacheConfig {
+                    limit_bytes: shard_limit_bytes(config.limit_bytes, n, i),
+                    ..config
+                };
+                Shard {
+                    cache: Mutex::new(ImageCache::with_conflicts(
+                        shard_config,
+                        Arc::clone(&sizes),
+                        Arc::clone(&conflicts),
+                    )),
+                    summary: PackageSummary::new(),
+                }
+            })
+            .collect();
+        ShardedImageCache {
+            inner: Arc::new(Inner {
+                shards: built.into_boxed_slice(),
+                route_seed: mix2(config.minhash_seed, ROUTE_SALT),
+                limit_bytes: config.limit_bytes,
+            }),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// The global byte budget (the shard budgets partition it exactly).
+    pub fn limit_bytes(&self) -> u64 {
+        self.inner.limit_bytes
+    }
+
+    /// The shard owning `spec`: the minimum of a seeded hash over its
+    /// package ids, mod the shard count (a one-slot MinHash, so similar
+    /// specs colocate). The empty spec is owned by shard 0. Pure —
+    /// the same spec always routes to the same shard.
+    pub fn route(&self, spec: &Spec) -> usize {
+        let n = self.inner.shards.len() as u64;
+        if n == 1 || spec.is_empty() {
+            return 0;
+        }
+        let mut best = u64::MAX;
+        for p in spec.iter() {
+            best = best.min(mix2(self.inner.route_seed, u64::from(p.0)));
+        }
+        (best % n) as usize
+    }
+
+    /// Lock-free cross-shard peek: could *any* shard hold an image
+    /// satisfying `spec`? `false` proves a global miss without taking a
+    /// single lock (modulo summary staleness — a freshly noted spec is
+    /// visible only after its writer's critical section). `true` means
+    /// only "possibly"; the owning shard's `plan()` remains the
+    /// authority.
+    pub fn peek_any_superset(&self, spec: &Spec) -> bool {
+        self.inner
+            .shards
+            .iter()
+            .any(|s| s.summary.may_contain_superset(spec))
+    }
+
+    /// Serve one request under the owning shard's lock: settle, consult
+    /// the (now authoritative) summary, plan with the peek, apply, and
+    /// note the spec's packages as live.
+    fn serve_locked(shard: &Shard, cache: &mut ImageCache, spec: &Spec) -> Outcome {
+        cache.settle();
+        let superset_possible = shard.summary.may_contain_superset(spec);
+        let plan = cache.plan_with_peek(spec, superset_possible);
+        let outcome = cache.apply(spec, &plan);
+        shard.summary.note_spec(spec);
+        outcome
+    }
+
+    /// Process one job request (Algorithm 1) on the owning shard.
+    pub fn request(&self, spec: &Spec) -> Outcome {
+        let shard = &self.inner.shards[self.route(spec)];
+        let mut cache = shard.cache.lock();
+        let outcome = Self::serve_locked(shard, &mut cache, spec);
+        shard.summary.maybe_rebuild(&cache);
+        outcome
+    }
+
+    /// Process a batch of requests, taking each shard lock once.
+    ///
+    /// Requests are grouped by owning shard and served in submission
+    /// order within each shard — the order every counter depends on —
+    /// so the outcomes (returned in input order) are identical to
+    /// calling [`ShardedImageCache::request`] per spec.
+    pub fn request_many(&self, specs: &[Spec]) -> Vec<Outcome> {
+        let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shard_count()];
+        for (i, spec) in specs.iter().enumerate() {
+            by_shard[self.route(spec)].push(i);
+        }
+        let mut outcomes: Vec<Option<Outcome>> = vec![None; specs.len()];
+        for (shard_index, owned) in by_shard.iter().enumerate() {
+            if owned.is_empty() {
+                continue;
+            }
+            let shard = &self.inner.shards[shard_index];
+            let mut cache = shard.cache.lock();
+            for &i in owned {
+                outcomes[i] = Some(Self::serve_locked(shard, &mut cache, &specs[i]));
+            }
+            shard.summary.maybe_rebuild(&cache);
+        }
+        outcomes.into_iter().flatten().collect()
+    }
+
+    /// Folded counter snapshot across all shards (exact sums; see the
+    /// module docs for the `unique_bytes` caveat). Shards are sampled
+    /// one at a time, so under concurrent writers the snapshot is a
+    /// consistent *per-shard* composite, not a global instant.
+    pub fn stats(&self) -> CacheStats {
+        let mut folded = CacheStats::default();
+        for shard in self.inner.shards.iter() {
+            let cache = shard.cache.lock();
+            let shard_stats = cache.stats();
+            folded.merge(&shard_stats);
+        }
+        folded
+    }
+
+    /// Folded container-efficiency accumulator (exact — identical to
+    /// recording every request into one accumulator).
+    pub fn container_eff(&self) -> ContainerEfficiency {
+        let mut folded = ContainerEfficiency::new();
+        for shard in self.inner.shards.iter() {
+            let cache = shard.cache.lock();
+            let shard_eff = cache.container_eff();
+            folded.merge(&shard_eff);
+        }
+        folded
+    }
+
+    /// Mean container efficiency over all requests so far (percent).
+    pub fn container_efficiency_pct(&self) -> f64 {
+        self.container_eff().mean_pct()
+    }
+
+    /// Cache efficiency of the folded totals (percent). Uniqueness is
+    /// per shard: a package cached by two shards counts twice.
+    pub fn cache_efficiency_pct(&self) -> f64 {
+        self.stats().cache_efficiency_pct()
+    }
+
+    /// Total cached images across shards.
+    pub fn len(&self) -> usize {
+        let mut total = 0;
+        for shard in self.inner.shards.iter() {
+            total += shard.cache.lock().len();
+        }
+        total
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Run a closure with exclusive access to one shard's cache
+    /// (snapshots, invariant checks, administrative surgery).
+    pub fn with_shard<R>(&self, index: usize, f: impl FnOnce(&mut ImageCache) -> R) -> R {
+        let mut cache = self.inner.shards[index].cache.lock();
+        f(&mut cache)
+    }
+
+    /// Re-verify every per-shard invariant plus the cross-shard ones:
+    ///
+    /// * each shard's own [`ImageCache::check_invariants`] holds;
+    /// * the per-shard byte budgets partition the global budget exactly;
+    /// * routing is consistent — every constituent spec of every cached
+    ///   image routes to the shard caching it (no spec maps to two
+    ///   shards, and none migrated);
+    /// * each shard's summary covers every live package (the peek can
+    ///   produce false positives but never a false miss).
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a description) on any inconsistency.
+    pub fn check_invariants(&self) {
+        let mut limit_sum: u128 = 0;
+        for (i, shard) in self.inner.shards.iter().enumerate() {
+            let cache = shard.cache.lock();
+            cache.check_invariants();
+            limit_sum += u128::from(cache.config().limit_bytes);
+            for img in cache.images() {
+                for constituent in &img.constituents {
+                    if constituent.is_empty() {
+                        continue;
+                    }
+                    assert_eq!(
+                        self.route(constituent),
+                        i,
+                        "image {} holds a constituent owned by shard {}, cached in shard {i}",
+                        img.id,
+                        self.route(constituent)
+                    );
+                }
+                assert!(
+                    shard.summary.may_contain_superset(&img.spec),
+                    "summary of shard {i} misses live packages of image {}",
+                    img.id
+                );
+            }
+        }
+        assert_eq!(
+            limit_sum,
+            u128::from(self.inner.limit_bytes),
+            "shard byte budgets do not partition the global budget"
+        );
+    }
+}
+
+impl std::fmt::Debug for ShardedImageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedImageCache")
+            .field("shards", &self.shard_count())
+            .field("limit_bytes", &self.inner.limit_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sizes::UniformSizes;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    fn sharded(shards: usize, alpha: f64, limit: u64) -> ShardedImageCache {
+        let cfg = CacheConfig {
+            alpha,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        };
+        ShardedImageCache::new(shards, cfg, Arc::new(UniformSizes::new(1)))
+    }
+
+    /// A deterministic stream of overlapping specs exercising hits,
+    /// merges and evictions.
+    fn stream(n: u32) -> Vec<Spec> {
+        (0..n)
+            .map(|i| {
+                let base = (i % 23) * 6;
+                spec(&[base, base + 1, base + 2, (i * 13) % 140])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_pure_and_in_range() {
+        let cache = sharded(8, 0.7, 1_000);
+        for s in stream(200) {
+            let first = cache.route(&s);
+            assert!(first < 8);
+            assert_eq!(cache.route(&s), first, "routing must be deterministic");
+        }
+        assert_eq!(cache.route(&Spec::empty()), 0);
+    }
+
+    #[test]
+    fn budgets_partition_global_limit_exactly() {
+        for (limit, shards) in [(0u64, 3usize), (7, 8), (1_000, 8), (u64::MAX, 6), (13, 1)] {
+            let cache = sharded(shards, 0.5, limit);
+            let mut sum: u128 = 0;
+            for i in 0..shards {
+                sum += u128::from(cache.with_shard(i, |c| c.config().limit_bytes));
+            }
+            assert_eq!(sum, u128::from(limit), "limit {limit} over {shards} shards");
+            for i in 0..shards {
+                let expected = shard_limit_bytes(limit, shards as u64, i as u64);
+                assert_eq!(cache.with_shard(i, |c| c.config().limit_bytes), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_matches_plain_image_cache() {
+        let cfg = CacheConfig {
+            alpha: 0.7,
+            limit_bytes: 400,
+            ..CacheConfig::default()
+        };
+        let sharded = ShardedImageCache::new(1, cfg, Arc::new(UniformSizes::new(1)));
+        let mut plain = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+        for s in stream(300) {
+            let a = sharded.request(&s);
+            let b = plain.request(&s);
+            assert_eq!(a, b, "one shard must reproduce the unsharded cache");
+        }
+        assert_eq!(sharded.stats(), plain.stats());
+        sharded.check_invariants();
+        plain.check_invariants();
+    }
+
+    #[test]
+    fn request_many_matches_one_by_one() {
+        let batched = sharded(4, 0.7, 600);
+        let sequential = sharded(4, 0.7, 600);
+        let jobs = stream(400);
+        let mut expected = Vec::new();
+        for s in &jobs {
+            expected.push(sequential.request(s));
+        }
+        for chunk in jobs.chunks(37) {
+            let got = batched.request_many(chunk);
+            assert_eq!(got.len(), chunk.len());
+            for outcome in got {
+                assert_eq!(outcome, expected.remove(0));
+            }
+        }
+        assert_eq!(batched.stats(), sequential.stats());
+        assert_eq!(
+            batched.container_eff().samples(),
+            sequential.container_eff().samples()
+        );
+        batched.check_invariants();
+        sequential.check_invariants();
+    }
+
+    #[test]
+    fn folded_stats_are_exact_sums() {
+        let cache = sharded(8, 0.6, 500);
+        for s in stream(500) {
+            cache.request(&s);
+        }
+        let folded = cache.stats();
+        let mut manual = CacheStats::default();
+        for i in 0..cache.shard_count() {
+            let shard_stats = cache.with_shard(i, |c| c.stats());
+            manual.merge(&shard_stats);
+        }
+        assert_eq!(folded, manual);
+        assert_eq!(folded.requests, 500);
+        assert_eq!(
+            folded.requests,
+            folded.hits + folded.merges + folded.inserts
+        );
+        let samples = cache.container_eff().samples();
+        assert_eq!(samples, 500);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn peek_never_claims_a_false_miss() {
+        let cache = sharded(8, 0.0, u64::MAX);
+        let jobs = stream(300);
+        for s in &jobs {
+            cache.request(s);
+        }
+        // Every cached spec must still be "possible" everywhere it is
+        // cached; and a peek miss must mean a true global miss.
+        for s in &jobs {
+            assert!(
+                cache.peek_any_superset(s),
+                "spec served earlier peeked as a guaranteed miss"
+            );
+        }
+        for probe in (0..200).map(|i| spec(&[1000 + i, 2000 + i])) {
+            if !cache.peek_any_superset(&probe) {
+                for i in 0..cache.shard_count() {
+                    let hit = cache.with_shard(i, |c| c.find_satisfying(&probe).map(|h| h.id));
+                    assert_eq!(hit, None, "peek miss but shard {i} satisfies the probe");
+                }
+            }
+        }
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_submitters_fold_to_exact_totals() {
+        const THREADS: u32 = 8;
+        const PER_THREAD: u32 = 250;
+        let cache = sharded(8, 0.7, 700);
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    let base = (i % 20) * 8;
+                    let ids = [base, base + 1, base + 2, (t * 7 + i) % 160];
+                    cache.request(&Spec::from_ids(ids.map(PackageId)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("submitter panicked");
+        }
+        let s = cache.stats();
+        assert_eq!(s.requests, u64::from(THREADS * PER_THREAD));
+        assert_eq!(s.requests, s.hits + s.merges + s.inserts);
+        assert_eq!(cache.container_eff().samples(), s.requests);
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn summary_rebuild_tightens_after_evictions() {
+        // A tiny budget forces constant eviction; after enough requests
+        // to trigger rebuilds, the summary must still cover live images
+        // (checked by check_invariants) while remaining useful.
+        let cache = sharded(2, 0.0, 16);
+        for s in stream(600) {
+            cache.request(&s);
+        }
+        cache.check_invariants();
+        assert!(cache.stats().deletes > 0, "tiny budget must evict");
+    }
+}

@@ -81,6 +81,6 @@ pub mod snapshot;
 pub mod spec;
 pub mod util;
 
-pub use cache::{CacheConfig, CacheStats, ImageCache, Outcome};
+pub use cache::{CacheConfig, CacheStats, ImageCache, Outcome, ShardedImageCache};
 pub use image::{Image, ImageId};
 pub use spec::{PackageId, Spec};

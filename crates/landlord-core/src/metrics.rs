@@ -26,15 +26,20 @@ pub fn cache_efficiency_pct(unique_bytes: u64, total_bytes: u64) -> f64 {
 }
 
 /// Container efficiency of one request in percent:
-/// `requested_bytes / used_bytes × 100`.
+/// `requested_bytes / used_bytes × 100`, clamped to 100.
 ///
-/// A zero-byte request served by a zero-byte image is 100%.
+/// A zero-byte request served by a zero-byte image is 100%. A serving
+/// image is normally a superset of the request, so the ratio cannot
+/// exceed 1 — but degraded serving paths (a merge that fell back to a
+/// fresh insert under faults, or a non-additive size model) can present
+/// `requested_bytes > used_bytes`. Instead of silently reporting >100%
+/// in release builds, the value is clamped; callers that care about the
+/// violation count it via [`ContainerEfficiency::clamped_samples`].
 pub fn container_efficiency_pct(requested_bytes: u64, used_bytes: u64) -> f64 {
     if used_bytes == 0 {
         return 100.0;
     }
-    debug_assert!(requested_bytes <= used_bytes, "image must satisfy request");
-    100.0 * requested_bytes as f64 / used_bytes as f64
+    (100.0 * requested_bytes as f64 / used_bytes as f64).min(100.0)
 }
 
 /// Streaming mean of per-request container efficiencies.
@@ -45,6 +50,8 @@ pub fn container_efficiency_pct(requested_bytes: u64, used_bytes: u64) -> f64 {
 pub struct ContainerEfficiency {
     sum_pct: f64,
     samples: u64,
+    #[serde(default)]
+    clamped: u64,
 }
 
 impl ContainerEfficiency {
@@ -55,6 +62,9 @@ impl ContainerEfficiency {
 
     /// Record one request.
     pub fn record(&mut self, requested_bytes: u64, used_bytes: u64) {
+        if requested_bytes > used_bytes && used_bytes > 0 {
+            self.clamped += 1;
+        }
         self.sum_pct += container_efficiency_pct(requested_bytes, used_bytes);
         self.samples += 1;
     }
@@ -62,6 +72,12 @@ impl ContainerEfficiency {
     /// Number of recorded requests.
     pub fn samples(&self) -> u64 {
         self.samples
+    }
+
+    /// Number of recorded requests whose raw ratio exceeded 100% and
+    /// was clamped (see [`container_efficiency_pct`]).
+    pub fn clamped_samples(&self) -> u64 {
+        self.clamped
     }
 
     /// Mean efficiency in percent (100 when nothing recorded).
@@ -74,9 +90,16 @@ impl ContainerEfficiency {
     }
 
     /// Merge another accumulator into this one.
+    ///
+    /// Folding is exact, not an average of averages: the raw `sum_pct`
+    /// and `samples` add, so merging any partition of a request stream
+    /// yields bit-identical state to recording the whole stream into
+    /// one accumulator. The sharded cache frontend relies on this to
+    /// report site-wide container efficiency without a global lock.
     pub fn merge(&mut self, other: &ContainerEfficiency) {
         self.sum_pct += other.sum_pct;
         self.samples += other.samples;
+        self.clamped += other.clamped;
     }
 }
 
@@ -117,6 +140,55 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.samples(), 2);
         assert!((a.mean_pct() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_requests_clamp_to_100_and_are_counted() {
+        // Regression: release builds used to report >100% silently when
+        // a degraded path served a request from a smaller image.
+        assert_eq!(container_efficiency_pct(200, 100), 100.0);
+        assert_eq!(container_efficiency_pct(u64::MAX, 1), 100.0);
+        let mut acc = ContainerEfficiency::new();
+        acc.record(200, 100); // clamped
+        acc.record(50, 100); // fine
+        acc.record(7, 0); // zero-byte image: defined 100%, not a clamp
+        assert_eq!(acc.samples(), 3);
+        assert_eq!(acc.clamped_samples(), 1);
+        assert!((acc.mean_pct() - (100.0 + 50.0 + 100.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_of_splits_equals_fold_of_whole() {
+        // Regression: a parallel fold must not average averages. Split
+        // one stream at every point, fold the halves, and demand
+        // bit-identical state to the single-accumulator run.
+        // used == 100 keeps every per-request percentage an exact small
+        // integer, so float sums are associative and the bit-equality
+        // below is meaningful; some requests exceed 100 to exercise the
+        // clamp counter through the merge.
+        let stream: Vec<(u64, u64)> = (0u64..40)
+            .map(|i| (i.wrapping_mul(977) % 160, 100))
+            .collect();
+        let mut whole = ContainerEfficiency::new();
+        for &(req, used) in &stream {
+            whole.record(req, used);
+        }
+        for split in 0..=stream.len() {
+            let (left, right) = stream.split_at(split);
+            let mut a = ContainerEfficiency::new();
+            for &(req, used) in left {
+                a.record(req, used);
+            }
+            let mut b = ContainerEfficiency::new();
+            for &(req, used) in right {
+                b.record(req, used);
+            }
+            a.merge(&b);
+            assert_eq!(a.samples(), whole.samples());
+            assert_eq!(a.clamped_samples(), whole.clamped_samples());
+            assert_eq!(a.sum_pct.to_bits(), whole.sum_pct.to_bits());
+            assert_eq!(a.mean_pct().to_bits(), whole.mean_pct().to_bits());
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! driver (simulator, cluster model, CLI, benches) run any strategy.
 
 use crate::cache::CacheStats;
+use crate::metrics::ContainerEfficiency;
 use crate::spec::Spec;
 use serde::{Deserialize, Serialize};
 
@@ -390,6 +391,11 @@ pub trait CachePolicy {
 
     /// Mean container efficiency over all requests so far (percent).
     fn container_efficiency_pct(&self) -> f64;
+
+    /// The raw container-efficiency accumulator, so callers can fold
+    /// partitions exactly ([`ContainerEfficiency::merge`]) and read the
+    /// clamp counter ([`ContainerEfficiency::clamped_samples`]).
+    fn container_eff(&self) -> ContainerEfficiency;
 
     /// Cache efficiency right now (percent).
     fn cache_efficiency_pct(&self) -> f64 {

@@ -61,6 +61,20 @@ impl SharedImageCache {
         self.inner.lock().request(spec)
     }
 
+    /// Process a batch of requests while holding the lock once, in
+    /// submission order. Identical outcomes to per-spec
+    /// [`SharedImageCache::request`] calls, minus the per-request lock
+    /// traffic — the coarse-mutex counterpart of
+    /// [`crate::cache::ShardedImageCache::request_many`].
+    pub fn request_many(&self, specs: &[Spec]) -> Vec<Outcome> {
+        let mut cache = self.inner.lock();
+        let mut outcomes = Vec::with_capacity(specs.len());
+        for spec in specs {
+            outcomes.push(cache.request(spec));
+        }
+        outcomes
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         self.inner.lock().stats()
@@ -165,6 +179,26 @@ mod tests {
         assert_eq!(s.requests, (THREADS * PER_THREAD) as u64);
         assert_eq!(s.requests, s.hits + s.merges + s.inserts);
         cache.with_cache(|c| c.check_invariants());
+    }
+
+    #[test]
+    fn request_many_matches_one_by_one() {
+        let batched = shared(0.7, 300);
+        let sequential = shared(0.7, 300);
+        let jobs: Vec<Spec> = (0..120u32)
+            .map(|i| {
+                let base = (i % 15) * 5;
+                spec(&[base, base + 1, (i * 11) % 90])
+            })
+            .collect();
+        let mut expected = Vec::new();
+        for s in &jobs {
+            expected.push(sequential.request(s));
+        }
+        let got = batched.request_many(&jobs);
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), sequential.stats());
+        batched.with_cache(|c| c.check_invariants());
     }
 
     #[test]

@@ -140,6 +140,12 @@ pub struct FaultStats {
     pub wasted_bytes: u64,
     /// Merge builds that fell back to a fresh per-job insert.
     pub degraded_inserts: u64,
+    /// Served requests whose raw container-efficiency ratio exceeded
+    /// 100% and was clamped (a degraded path served a request from a
+    /// smaller image than it asked for; release builds used to report
+    /// >100% silently).
+    #[serde(default)]
+    pub efficiency_clamps: u64,
 }
 
 impl FaultStats {
@@ -267,6 +273,7 @@ pub fn simulate_stream_with_faults(
         }
     }
 
+    stats.efficiency_clamps = cache.container_eff().clamped_samples();
     FaultRunResult {
         run: crate::simulator::RunResult {
             final_stats: cache.stats(),
@@ -347,6 +354,7 @@ pub fn simulate_policy_with_faults(
         }
     }
 
+    stats.efficiency_clamps = policy.container_eff().clamped_samples();
     FaultRunResult {
         run: crate::simulator::RunResult {
             final_stats: policy.stats(),
@@ -542,6 +550,100 @@ mod tests {
         assert_eq!(special.faults, generic.faults);
         assert_eq!(special.run.final_stats, generic.run.final_stats);
         assert_eq!(special.run.container_eff_pct, generic.run.container_eff_pct);
+    }
+
+    #[test]
+    fn degraded_serving_clamps_efficiency_and_counts_it() {
+        use landlord_core::cache::{CacheStats, Ledger};
+        use landlord_core::metrics::ContainerEfficiency;
+        use landlord_core::policy::Served;
+
+        /// Test double: a policy whose degraded path launches jobs from
+        /// an image *half* the requested size — the exact shape that
+        /// made `container_efficiency_pct` exceed 100% silently in
+        /// release builds before the clamp.
+        struct UndersizedDegrade {
+            ledger: Ledger,
+        }
+        impl CachePolicy for UndersizedDegrade {
+            fn name(&self) -> &'static str {
+                "undersized-degrade"
+            }
+            fn request(&mut self, spec: &Spec) -> Served {
+                let bytes = self.spec_bytes(spec);
+                self.ledger.begin_request(bytes);
+                self.ledger.count_insert();
+                self.ledger.serve(bytes, bytes);
+                Served {
+                    op: landlord_core::policy::ServedOp::Inserted,
+                    image: 0,
+                    image_bytes: bytes,
+                    revision: 0,
+                }
+            }
+            fn insert_fresh(&mut self, spec: &Spec) -> Served {
+                let bytes = self.spec_bytes(spec);
+                self.ledger.begin_request(bytes);
+                self.ledger.count_insert();
+                // The degraded image is smaller than the request.
+                self.ledger.serve(bytes, bytes / 2);
+                Served {
+                    op: landlord_core::policy::ServedOp::Inserted,
+                    image: 0,
+                    image_bytes: bytes / 2,
+                    revision: 0,
+                }
+            }
+            fn plan_build(&self, spec: &Spec) -> BuildPlan {
+                BuildPlan::Rewrite {
+                    bytes: self.spec_bytes(spec),
+                }
+            }
+            fn spec_bytes(&self, spec: &Spec) -> u64 {
+                spec.len() as u64 * 10
+            }
+            fn stats(&self) -> CacheStats {
+                self.ledger.stats()
+            }
+            fn container_efficiency_pct(&self) -> f64 {
+                self.ledger.container_efficiency_pct()
+            }
+            fn container_eff(&self) -> ContainerEfficiency {
+                self.ledger.container_eff()
+            }
+            fn len(&self) -> usize {
+                0
+            }
+            fn limit_bytes(&self) -> u64 {
+                u64::MAX
+            }
+            fn check_invariants(&self) {}
+        }
+
+        let r = repo();
+        let stream = workload::generate_stream(&r, &workload());
+        // Every first attempt fails, no retries: every build degrades
+        // to the undersized fresh insert, whose second draw succeeds
+        // often enough to serve plenty of requests.
+        let cfg = faults(600, RetryPolicy::none());
+        let mut policy = UndersizedDegrade {
+            ledger: Ledger::new(),
+        };
+        let result = simulate_policy_with_faults(&mut policy, &stream, &cfg);
+        assert!(result.faults.degraded_inserts > 0, "no degradation driven");
+        assert!(
+            result.faults.efficiency_clamps > 0,
+            "undersized degraded serves must be counted as clamps"
+        );
+        assert!(
+            result.run.container_eff_pct <= 100.0,
+            "container efficiency leaked past 100%: {}",
+            result.run.container_eff_pct
+        );
+        // The clamp counter survives the report serialization path.
+        let json = serde_json::to_string(&result.faults).expect("serialize");
+        let back: FaultStats = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, result.faults);
     }
 
     #[test]

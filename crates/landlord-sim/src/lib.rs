@@ -28,6 +28,9 @@
 //!   fault events (worker crash, build failure, transient store error)
 //!   with bounded retry/backoff and graceful merge→insert degradation,
 //!   reporting goodput and retry overhead.
+//! * [`sharded`] — multi-threaded replay against the sharded cache
+//!   frontend: shard-affine workers, per-shard stream order, folded
+//!   counters identical to a single-threaded partitioned replay.
 //! * [`experiments`] — one module per paper table/figure; the CLI and
 //!   benches call these.
 
@@ -58,6 +61,7 @@ pub mod cluster;
 pub mod experiments;
 pub mod faults;
 pub mod report;
+pub mod sharded;
 pub mod simulator;
 pub mod sweep;
 pub mod trace;

@@ -1,0 +1,179 @@
+//! Multi-threaded trace replay against the sharded cache frontend.
+//!
+//! The paper's site-wide deployment (§V) is many submitters hammering
+//! one shared cache. This driver replays a prepared stream with `M`
+//! worker threads against a [`ShardedImageCache`] — and stays
+//! **deterministic**: requests are partitioned by owning shard (the
+//! same pure routing the cache itself uses), each shard is assigned to
+//! exactly one worker (`shard % threads`), and every worker serves its
+//! shards' requests in stream order via batched
+//! [`ShardedImageCache::request_many`] calls. Each shard therefore
+//! observes exactly the subsequence — in exactly the order — it would
+//! observe under a single-threaded replay, so the folded counters are
+//! independent of the thread count. The `sharded_stress` proptest pins
+//! this equality down.
+
+use crate::simulator::RunResult;
+use landlord_core::cache::{CacheConfig, ShardedImageCache};
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::Spec;
+use std::sync::Arc;
+
+/// Requests per [`ShardedImageCache::request_many`] batch. Small enough
+/// to keep shard locks short, large enough to amortize them.
+const BATCH: usize = 64;
+
+/// Replay `stream` against a fresh [`ShardedImageCache`] with `shards`
+/// shards and `threads` worker threads. Deterministic in the stream and
+/// config regardless of `threads` (see the module docs).
+///
+/// The time series is not sampled (there is no global request order to
+/// sample along); `series` comes back empty.
+pub fn simulate_stream_sharded(
+    stream: &[Spec],
+    cache_config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    shards: usize,
+    threads: usize,
+) -> RunResult {
+    let cache = ShardedImageCache::new(shards.max(1), cache_config, sizes);
+    replay_sharded(&cache, stream, threads.max(1));
+    RunResult {
+        final_stats: cache.stats(),
+        container_eff_pct: cache.container_efficiency_pct(),
+        cache_eff_pct: cache.cache_efficiency_pct(),
+        series: Vec::new(),
+    }
+}
+
+/// Drive one prepared stream into an existing sharded cache with
+/// `threads` workers, shard-affine and in per-shard stream order.
+pub fn replay_sharded(cache: &ShardedImageCache, stream: &[Spec], threads: usize) {
+    let shard_count = cache.shard_count();
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (i, spec) in stream.iter().enumerate() {
+        by_shard[cache.route(spec)].push(i);
+    }
+    let threads = threads.max(1).min(shard_count);
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let by_shard = &by_shard;
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for (shard, owned) in by_shard.iter().enumerate() {
+                    if shard % threads != worker {
+                        continue;
+                    }
+                    for chunk in owned.chunks(BATCH) {
+                        let batch: Vec<Spec> = chunk.iter().map(|&i| stream[i].clone()).collect();
+                        cache.request_many(&batch);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{self, WorkloadConfig, WorkloadScheme};
+    use landlord_core::cache::{shard_limit_bytes, CacheStats, ImageCache};
+    use landlord_core::metrics::ContainerEfficiency;
+    use landlord_repo::{RepoConfig, Repository};
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(31))
+    }
+
+    fn stream() -> Vec<Spec> {
+        let w = WorkloadConfig {
+            unique_jobs: 60,
+            repeats: 3,
+            max_initial_selection: 8,
+            scheme: WorkloadScheme::DependencyClosure,
+            seed: 5,
+        };
+        workload::generate_stream(&repo(), &w)
+    }
+
+    fn cfg(limit: u64) -> CacheConfig {
+        CacheConfig {
+            alpha: 0.7,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let r = repo();
+        let jobs = stream();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let config = cfg(r.total_bytes() / 2);
+        let baseline = simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), 8, 1);
+        for threads in [2, 4, 8] {
+            let run = simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), 8, threads);
+            assert_eq!(
+                run.final_stats, baseline.final_stats,
+                "{threads} threads diverged from single-threaded replay"
+            );
+            assert_eq!(run.container_eff_pct, baseline.container_eff_pct);
+        }
+    }
+
+    #[test]
+    fn folded_counters_equal_partitioned_single_threaded_replay() {
+        let r = repo();
+        let jobs = stream();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let shards = 4usize;
+        let config = cfg(r.total_bytes() / 3);
+
+        let sharded = ShardedImageCache::new(shards, config, Arc::clone(&sizes));
+        replay_sharded(&sharded, &jobs, 4);
+        sharded.check_invariants();
+
+        // Reference: one plain ImageCache per shard, fed exactly the
+        // subsequence the router assigns, with the partitioned budget.
+        let mut folded = CacheStats::default();
+        let mut eff = ContainerEfficiency::new();
+        for shard in 0..shards {
+            let shard_config = CacheConfig {
+                limit_bytes: shard_limit_bytes(config.limit_bytes, shards as u64, shard as u64),
+                ..config
+            };
+            let mut reference = ImageCache::new(shard_config, Arc::clone(&sizes));
+            for spec in jobs.iter().filter(|s| sharded.route(s) == shard) {
+                reference.request(spec);
+            }
+            reference.check_invariants();
+            let shard_stats = reference.stats();
+            folded.merge(&shard_stats);
+            let shard_eff = reference.container_eff();
+            eff.merge(&shard_eff);
+        }
+        assert_eq!(sharded.stats(), folded);
+        assert_eq!(
+            sharded.container_eff().samples(),
+            eff.samples(),
+            "container-efficiency sample counts diverged"
+        );
+        assert!(
+            (sharded.container_efficiency_pct() - eff.mean_pct()).abs() < 1e-9,
+            "container-efficiency means diverged"
+        );
+    }
+
+    #[test]
+    fn more_threads_than_shards_is_clamped_not_wrong() {
+        let r = repo();
+        let jobs = stream();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let config = cfg(r.total_bytes());
+        let narrow = simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), 2, 16);
+        let wide = simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), 2, 2);
+        assert_eq!(narrow.final_stats, wide.final_stats);
+        assert_eq!(narrow.final_stats.requests as usize, jobs.len());
+    }
+}

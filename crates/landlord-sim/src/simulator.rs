@@ -109,6 +109,17 @@ pub fn make_policy(
     })
 }
 
+/// Pin a percentage to integer milli-percent (60957 ⇒ 60.957%) —
+/// the one fixed-precision rounding used everywhere a report is
+/// serialized. Golden report JSON compares byte-for-byte, so every
+/// serialized metric must pass through this helper rather than ad-hoc
+/// float formatting that could drift across platforms or formatting
+/// changes. Round-half-up via `f64::round`; inputs are percentages in
+/// `[0, 100]` by construction.
+pub fn milli_pct(pct: f64) -> u64 {
+    (pct * 1000.0).round() as u64
+}
+
 /// One policy's summary in a multi-policy comparison report.
 /// Percentages are pinned as integer milli-percent so the JSON is
 /// byte-stable across float formatting changes.
@@ -135,12 +146,11 @@ impl PolicyReport {
         run: &RunResult,
         faults: Option<crate::faults::FaultStats>,
     ) -> Self {
-        let milli = |pct: f64| (pct * 1000.0).round() as u64;
         PolicyReport {
             policy: policy.to_string(),
             final_stats: run.final_stats,
-            container_eff_milli: milli(run.container_eff_pct),
-            cache_eff_milli: milli(run.cache_eff_pct),
+            container_eff_milli: milli_pct(run.container_eff_pct),
+            cache_eff_milli: milli_pct(run.cache_eff_pct),
             faults,
         }
     }
@@ -295,6 +305,18 @@ mod tests {
         assert_eq!(typed.final_stats, generic.final_stats);
         assert_eq!(typed.container_eff_pct, generic.container_eff_pct);
         assert_eq!(typed.series.len(), generic.series.len());
+    }
+
+    #[test]
+    fn milli_pct_is_pinned() {
+        // Regression: golden report JSON depends on this exact
+        // rounding; any drift rewrites every golden file.
+        assert_eq!(milli_pct(0.0), 0);
+        assert_eq!(milli_pct(100.0), 100_000);
+        assert_eq!(milli_pct(60.957), 60_957);
+        assert_eq!(milli_pct(12.3456), 12_346);
+        assert_eq!(milli_pct(0.0004), 0);
+        assert_eq!(milli_pct(33.0 + 1.0 / 3.0), 33_333);
     }
 
     #[test]
