@@ -1,4 +1,4 @@
-//! The eight project-specific lints, plus allow-directive hygiene.
+//! The nine project-specific lints, plus allow-directive hygiene.
 //!
 //! Each rule pattern-matches on the blanked `code` text produced by
 //! [`crate::scan`], so string literals and comments never trigger
@@ -41,6 +41,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "plan-purity",
         "the plan/apply seam: cache/plan.rs must stay pure (no `&mut self`); cache/apply.rs must not re-derive plan decisions (find_satisfying/pick_merge_candidate/plan calls)",
+    ),
+    (
+        "no-raw-clock",
+        "landlord-core/-sim non-test code must not read std::time directly (Instant/SystemTime): go through the landlord-obs Clock abstraction so runs stay deterministic",
     ),
     (
         "bad-allow",
@@ -112,6 +116,12 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
     let plan_side = file.ends_with("cache/plan.rs");
     let apply_side = file.ends_with("cache/apply.rs");
 
+    // R9: no-raw-clock — the deterministic crates must route all time
+    // through landlord-obs's Clock. (landlord-obs itself implements
+    // MonotonicClock over Instant, and the CLI's bench-report times
+    // wall-clock on purpose; neither path is scoped here.)
+    let clock_scoped = file.contains("landlord-core/src") || file.contains("landlord-sim/src");
+
     for (idx, info) in model.lines.iter().enumerate() {
         let code = info.code.as_str();
 
@@ -149,6 +159,25 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
                         .to_string(),
                     &mut findings,
                 );
+            }
+        }
+
+        // R9: no-raw-clock — simulation results must be a pure
+        // function of the request stream, and a raw Instant::now() or
+        // SystemTime::now() silently breaks that.
+        if clock_scoped && !info.in_test {
+            for needle in ["Instant", "SystemTime"] {
+                if contains_token(code, needle) {
+                    emit(
+                        idx,
+                        "no-raw-clock",
+                        format!(
+                            "`{needle}` in deterministic simulation code: take a \
+                             `landlord_obs::Clock` (LogicalClock / MonotonicClock) instead"
+                        ),
+                        &mut findings,
+                    );
+                }
             }
         }
 
@@ -761,5 +790,39 @@ mod tests {
     #[test]
     fn plan_purity_is_a_known_rule() {
         assert!(is_known_rule("plan-purity"));
+    }
+
+    #[test]
+    fn no_raw_clock_flags_instant_and_systemtime_in_scoped_crates() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        let f = check_at("crates/landlord-core/src/cache/mod.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-clock").count(), 1);
+        let src = "fn f() {\n    let t = SystemTime::now();\n}\n";
+        let f = check_at("crates/landlord-sim/src/simulator.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == "no-raw-clock").count(), 1);
+    }
+
+    #[test]
+    fn no_raw_clock_ignores_unscoped_crates_tests_and_clock_types() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n}\n";
+        // landlord-obs implements MonotonicClock over Instant; the CLI
+        // times wall-clock deliberately. Neither is scoped.
+        assert!(check_at("crates/landlord-obs/src/clock.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-raw-clock"));
+        assert!(check_at("crates/landlord-cli/src/commands.rs", src)
+            .iter()
+            .all(|f| f.rule != "no-raw-clock"));
+        // Test code inside a scoped crate may time itself freely.
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let t = std::time::Instant::now();\n        let _ = t;\n    }\n}\n";
+        assert!(check_at("crates/landlord-sim/src/simulator.rs", test_src)
+            .iter()
+            .all(|f| f.rule != "no-raw-clock"));
+        // Word-boundary matching: the Clock wrappers never trip it.
+        let ok_src = "fn f(c: &MonotonicClock) {\n    let t = c.now_ticks();\n}\n";
+        assert!(check_at("crates/landlord-sim/src/simulator.rs", ok_src)
+            .iter()
+            .all(|f| f.rule != "no-raw-clock"));
+        assert!(is_known_rule("no-raw-clock"));
     }
 }

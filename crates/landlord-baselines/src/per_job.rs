@@ -14,8 +14,17 @@ use landlord_core::metrics::ContainerEfficiency;
 use landlord_core::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
+use landlord_obs::{Counter, Histogram, MetricsRegistry};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Pre-resolved handles for the baseline's own metrics, so sweeps that
+/// compare policies under one registry see the baseline's behaviour
+/// next to LANDLORD's `core.*` series.
+struct PerJobObs {
+    evictions: Arc<Counter>,
+    hit_scan: Arc<Histogram>,
+}
 
 /// A byte-bounded LRU image cache without merging.
 pub struct PerJobCache {
@@ -26,6 +35,7 @@ pub struct PerJobCache {
     next_id: u64,
     refcounts: PackageRefs,
     ledger: Ledger,
+    obs: Option<PerJobObs>,
 }
 
 impl PerJobCache {
@@ -38,6 +48,7 @@ impl PerJobCache {
             next_id: 0,
             refcounts: PackageRefs::new(),
             ledger: Ledger::new(),
+            obs: None,
         }
     }
 
@@ -63,6 +74,9 @@ impl CachePolicy for PerJobCache {
         let requested = self.sizes.spec_bytes(spec);
         self.ledger.begin_request(requested);
 
+        if let Some(obs) = &self.obs {
+            obs.hit_scan.record(self.images.len() as u64);
+        }
         if let Some(i) = self.find_hit(spec) {
             let (id, cached, bytes) = self.images.remove(i).expect("index valid");
             self.ledger.serve(requested, bytes);
@@ -91,6 +105,9 @@ impl CachePolicy for PerJobCache {
             self.ledger.count_delete();
             self.refcounts
                 .release_spec(&victim, self.sizes.as_ref(), &mut self.ledger);
+            if let Some(obs) = &self.obs {
+                obs.evictions.inc();
+            }
         }
         Served {
             op: ServedOp::Inserted,
@@ -164,6 +181,13 @@ impl CachePolicy for PerJobCache {
             self.sizes.spec_bytes(&all),
             "refcounted unique bytes match a fresh scan"
         );
+    }
+
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(PerJobObs {
+            evictions: registry.counter("perjob.evictions"),
+            hit_scan: registry.histogram("perjob.hit_scan"),
+        });
     }
 }
 
@@ -246,6 +270,22 @@ mod tests {
         c.request(&spec(&[1, 2]));
         assert_eq!(c.stats().bytes_requested, 4);
         assert_eq!(c.stats().bytes_written, 2, "hit writes nothing");
+        c.check_invariants();
+    }
+
+    #[test]
+    fn attached_metrics_track_evictions_and_scans() {
+        use landlord_obs::LogicalClock;
+
+        let mut c = cache(6);
+        let reg = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        c.attach_metrics(&reg);
+        c.request(&spec(&[1, 2, 3]));
+        c.request(&spec(&[4, 5, 6]));
+        c.request(&spec(&[7, 8, 9])); // evicts the LRU image
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["perjob.evictions"], c.stats().deletes);
+        assert_eq!(snap.histograms["perjob.hit_scan"].count, 3);
         c.check_invariants();
     }
 

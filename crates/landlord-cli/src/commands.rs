@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::persistent::PersistentCache;
+use landlord_core::events::{SequencedEvent, SequencingSink};
 use landlord_repo::sampler::{Sampler, SelectionScheme};
 use landlord_repo::{persist, RepoConfig, Repository};
 use landlord_shrinkwrap::filetree::FileTreeConfig;
@@ -29,8 +30,11 @@ USAGE:
                       [--jobs N] [--repeats R] [--seed S] [--trace FILE]
                       [--policy P] [--eviction E] [--merge-order O]
                       [--metric D] [--candidates C] [--report-json FILE]
+                      [--metrics-json FILE] [--events-jsonl FILE]
                       [--fault-rate F] [--fault-seed S] [--retries N]
                       [--backoff-base T] [--backoff-cap T]
+                      [--shards N] [--threads M]
+  landlord bench-report [--out FILE] [--seed S] [--jobs N] [--repeats R]
                       [--shards N] [--threads M]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
   landlord experiment <id|all> [--scale full|smoke] [--seed S]
@@ -52,9 +56,19 @@ cost-density|gdsf, --merge-order nearest-first|arrival-order|
 largest-first|smallest-first, --metric package-count|bytes,
 --candidates exact-scan|minhash-lsh:<bands>x<rows>.
 --report-json FILE (or -) writes the machine-readable PolicyReport.
+--metrics-json FILE (or -) exports a deterministic metrics snapshot
+(landlord-obs-metrics/v1): counters, gauges, and logical-tick span
+histograms that are byte-identical across runs at a fixed seed.
+--events-jsonl FILE writes the sequenced cache-event journal as JSONL
+(- streams it to stderr; stdout stays machine-parseable); landlord
+policy only, without --shards/--threads.
 --shards N partitions the cache into N independent shards and --threads M
 replays the trace with M deterministic shard-affine workers (landlord
 policy only, incompatible with --fault-rate).
+bench-report runs a pinned smoke workload under a wall-clock registry
+and writes BENCH_core.json (landlord-bench/v1): ops/sec, plan/apply
+p50/p99 nanoseconds, and a fold-exactness check that a concurrent
+sharded replay folds to byte-identical deterministic metrics.
 ";
 
 /// Parse an optional `--key token` flag via an enum's `parse`,
@@ -289,6 +303,46 @@ pub fn simulate(args: &Args) -> CmdResult {
             simulator::POLICY_TOKENS.join(", ")
         )
     })?;
+
+    // --events-jsonl taps the landlord cache's event stream through a
+    // sequencing sink; the sequenced journal is written after the run
+    // (to a file, or to stderr with `-`) so stdout stays reserved for
+    // the report table / JSON.
+    let events_out = args.get("events-jsonl");
+    let event_buf: Option<std::sync::Arc<std::sync::Mutex<Vec<SequencedEvent>>>> =
+        if events_out.is_some() {
+            if policy_token != "landlord" {
+                return Err(format!(
+                    "--events-jsonl supports only --policy landlord, got {policy_token:?}"
+                )
+                .into());
+            }
+            if shards > 1 || sim_threads > 1 {
+                return Err(
+                    "--events-jsonl cannot be combined with --shards/--threads (shards have \
+                     no global event order)"
+                        .into(),
+                );
+            }
+            let buf = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+            let sink_buf = std::sync::Arc::clone(&buf);
+            let mut tapped =
+                landlord_core::cache::ImageCache::new(cache, std::sync::Arc::clone(&sizes));
+            tapped.set_sink(Box::new(SequencingSink::new(move |se: SequencedEvent| {
+                sink_buf.lock().expect("event buffer poisoned").push(se);
+            })));
+            policy = Box::new(tapped);
+            Some(buf)
+        } else {
+            None
+        };
+
+    // --metrics-json records the run into a logical-clock registry:
+    // every exported value is a pure function of the request stream,
+    // so the snapshot is byte-identical across runs at a fixed seed.
+    let metrics_out = args.get("metrics-json");
+    let obs = metrics_out.map(|_| simulator::SimObs::deterministic());
+
     let (result, fault_stats) = if shards > 1 || sim_threads > 1 {
         if policy_token != "landlord" {
             return Err(format!(
@@ -303,12 +357,13 @@ pub fn simulate(args: &Args) -> CmdResult {
                     .into(),
             );
         }
-        let run = landlord_sim::sharded::simulate_stream_sharded(
+        let run = landlord_sim::sharded::simulate_stream_sharded_observed(
             &stream,
             cache,
             std::sync::Arc::clone(&sizes),
             shards,
             sim_threads,
+            obs.as_ref().map(|o| &*o.registry),
         );
         (run, None)
     } else if fault_rate > 0.0 {
@@ -317,11 +372,17 @@ pub fn simulate(args: &Args) -> CmdResult {
             seed: fault_seed,
             retry: landlord_core::policy::RetryPolicy::new(retries, backoff_base, backoff_cap),
         };
+        if let Some(o) = &obs {
+            policy.attach_metrics(&o.registry);
+        }
         let fr = landlord_sim::faults::simulate_policy_with_faults(policy.as_mut(), &stream, &cfg);
+        if let Some(o) = &obs {
+            fr.faults.record_metrics(&o.registry);
+        }
         (fr.run, Some(fr.faults))
     } else {
         (
-            simulator::simulate_policy(policy.as_mut(), &stream, 0),
+            simulator::simulate_policy_observed(policy.as_mut(), &stream, 0, obs.as_ref()),
             None,
         )
     };
@@ -333,6 +394,29 @@ pub fn simulate(args: &Args) -> CmdResult {
         } else {
             std::fs::write(out, json)?;
             eprintln!("[report] {out}");
+        }
+    }
+    if let (Some(out), Some(o)) = (metrics_out, &obs) {
+        let json = o.registry.snapshot().to_json_pretty();
+        if out == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(out, json)?;
+            eprintln!("[metrics] {out}");
+        }
+    }
+    if let (Some(out), Some(buf)) = (events_out, &event_buf) {
+        let events = buf.lock().expect("event buffer poisoned");
+        let mut body = String::with_capacity(events.len() * 64);
+        for se in events.iter() {
+            body.push_str(&serde_json::to_string(se)?);
+            body.push('\n');
+        }
+        if out == "-" {
+            eprint!("{body}");
+        } else {
+            std::fs::write(out, body)?;
+            eprintln!("[events] {out} ({} events)", events.len());
         }
     }
     let s = result.final_stats;
@@ -379,6 +463,140 @@ pub fn simulate(args: &Args) -> CmdResult {
         t.push_row(vec!["wasted TB".into(), fmt_tb(f.wasted_bytes as f64)]);
     }
     print!("{}", t.render());
+    Ok(())
+}
+
+/// Schema tag of [`BenchReport`]; bump when fields change meaning.
+pub const BENCH_SCHEMA: &str = "landlord-bench/v1";
+
+/// Phase timing summary inside `BENCH_core.json`. Ticks come from the
+/// wall-clock registry (nanoseconds); p50/p99 are the log2-bucket
+/// upper bounds the deterministic quantile estimator reports.
+#[derive(Debug, serde::Serialize)]
+struct BenchPhase {
+    count: u64,
+    sum_ns: u64,
+    p50_ns_upper: u64,
+    p99_ns_upper: u64,
+}
+
+impl BenchPhase {
+    fn from_snapshot(h: &landlord_obs::HistogramSnapshot) -> Self {
+        BenchPhase {
+            count: h.count,
+            sum_ns: h.sum,
+            p50_ns_upper: h.p50,
+            p99_ns_upper: h.p99,
+        }
+    }
+}
+
+/// The perf-trajectory record `landlord bench-report` writes. Wall
+/// time lives only here — the `--metrics-json` snapshot stays a pure
+/// function of the request stream.
+#[derive(Debug, serde::Serialize)]
+struct BenchReport {
+    schema: String,
+    seed: u64,
+    requests: u64,
+    elapsed_ns: u64,
+    ops_per_sec: f64,
+    plan: BenchPhase,
+    apply: BenchPhase,
+    hits: u64,
+    merges: u64,
+    inserts: u64,
+    evictions: u64,
+    container_eff_milli_pct: u64,
+    fold_exact: bool,
+}
+
+/// `landlord bench-report`: time a pinned smoke workload through the
+/// landlord policy under a wall-clock registry, check metric
+/// fold-exactness under a concurrent sharded replay, and write
+/// `BENCH_core.json`.
+pub fn bench_report(args: &Args) -> CmdResult {
+    use landlord_core::cache::CacheConfig;
+    use std::sync::Arc;
+
+    let out = args.get_or("out", "BENCH_core.json");
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let ctx = ExperimentContext {
+        scale: Scale::Smoke,
+        seed,
+        threads: 1,
+    };
+    let repo = ctx.repo();
+    let mut w = ctx.standard_workload();
+    w.unique_jobs = args.get_parsed("jobs", w.unique_jobs, "a job count")?;
+    w.repeats = args.get_parsed("repeats", w.repeats, "a repeat count")?;
+    let stream = workload::generate_stream(&repo, &w);
+    let sizes: Arc<dyn landlord_core::sizes::SizeModel> = Arc::new(repo.size_table());
+    let cache = CacheConfig {
+        alpha: 0.75,
+        limit_bytes: (repo.total_bytes() as f64 * 2.0) as u64,
+        ..Default::default()
+    };
+
+    // Timed pass: wall-clock registry, span histograms in nanoseconds.
+    let obs = simulator::SimObs::wall_clock();
+    let mut policy = landlord_core::cache::ImageCache::new(cache, Arc::clone(&sizes));
+    let start = std::time::Instant::now();
+    let result = simulator::simulate_policy_observed(&mut policy, &stream, 0, Some(&obs));
+    let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let snap = obs.registry.snapshot();
+
+    // Fold-exactness pass: the same stream through a sharded cache,
+    // concurrently and single-threaded, each into a fresh
+    // deterministic registry. Exact folding means the two snapshots
+    // are byte-identical regardless of thread interleaving.
+    let shards = args.get_parsed("shards", 4usize, "a shard count")?;
+    let threads = args.get_parsed("threads", 4usize, "a worker thread count")?;
+    let fold_snapshot = |threads: usize| {
+        let o = simulator::SimObs::deterministic();
+        landlord_sim::sharded::simulate_stream_sharded_observed(
+            &stream,
+            cache,
+            Arc::clone(&sizes),
+            shards,
+            threads,
+            Some(&o.registry),
+        );
+        o.registry.snapshot().to_json_pretty()
+    };
+    let fold_exact = fold_snapshot(threads) == fold_snapshot(1);
+
+    let empty = landlord_obs::HistogramSnapshot::empty();
+    let s = result.final_stats;
+    let report = BenchReport {
+        schema: BENCH_SCHEMA.to_string(),
+        seed,
+        requests: s.requests,
+        elapsed_ns,
+        ops_per_sec: s.requests as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        plan: BenchPhase::from_snapshot(snap.histograms.get("core.plan_ticks").unwrap_or(&empty)),
+        apply: BenchPhase::from_snapshot(snap.histograms.get("core.apply_ticks").unwrap_or(&empty)),
+        hits: s.hits,
+        merges: s.merges,
+        inserts: s.inserts,
+        evictions: s.deletes,
+        container_eff_milli_pct: simulator::milli_pct(result.container_eff_pct),
+        fold_exact,
+    };
+    let json = format!("{}\n", serde_json::to_string_pretty(&report)?);
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json)?;
+        eprintln!("[bench] {out}");
+    }
+    if !fold_exact {
+        return Err(
+            "metric fold-exactness check failed: concurrent sharded replay \
+                    diverged from single-threaded"
+                .into(),
+        );
+    }
     Ok(())
 }
 
@@ -649,6 +867,7 @@ pub fn dispatch(cmd: &str, args: &Args) -> CmdResult {
         "stats" => stats(args),
         "submit" => submit(args),
         "simulate" => simulate(args),
+        "bench-report" => bench_report(args),
         "experiment" => experiment(args),
         "trace" => trace(args),
         "spec-from" => spec_from(args),
@@ -705,6 +924,176 @@ mod tests {
             "2",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn simulate_metrics_json_is_byte_deterministic() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-metrics-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |tag: &str| {
+            let out = dir.join(format!("metrics-{tag}.json"));
+            simulate(&args(&[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "20",
+                "--repeats",
+                "2",
+                "--metrics-json",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            std::fs::read(&out).unwrap()
+        };
+        let first = run("a");
+        let second = run("b");
+        assert!(!first.is_empty());
+        assert_eq!(first, second, "metrics snapshot must be byte-identical");
+        let text = String::from_utf8(first).unwrap();
+        assert!(text.contains(landlord_obs::METRICS_SCHEMA));
+        assert!(text.contains("core.plan_ticks"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_metrics_json_works_sharded_and_faulted() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-metrics-sf-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sharded = dir.join("sharded.json");
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "20",
+            "--repeats",
+            "2",
+            "--shards",
+            "4",
+            "--threads",
+            "2",
+            "--metrics-json",
+            sharded.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&sharded).unwrap();
+        assert!(text.contains("sharded.peek_possible"));
+
+        let faulted = dir.join("faulted.json");
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "20",
+            "--repeats",
+            "2",
+            "--fault-rate",
+            "0.2",
+            "--retries",
+            "2",
+            "--metrics-json",
+            faulted.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&faulted).unwrap();
+        assert!(text.contains("faults.requests"), "FaultStats must export");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_events_jsonl_writes_sequenced_events() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-events-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("events.jsonl");
+        simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "15",
+            "--repeats",
+            "2",
+            "--events-jsonl",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&out).unwrap();
+        let events: Vec<SequencedEvent> = body
+            .lines()
+            .map(|line| serde_json::from_str(line).unwrap())
+            .collect();
+        assert!(!events.is_empty(), "a smoke run must emit events");
+        for (i, se) in events.iter().enumerate() {
+            assert_eq!(se.seq, i as u64, "seq numbers must be dense from 0");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn simulate_events_jsonl_rejects_sharded_and_foreign_policies() {
+        let err = simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "5",
+            "--shards",
+            "2",
+            "--threads",
+            "2",
+            "--events-jsonl",
+            "x.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--events-jsonl"));
+        let err = simulate(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "5",
+            "--policy",
+            "per-job",
+            "--events-jsonl",
+            "x.jsonl",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--policy landlord"));
+    }
+
+    #[test]
+    fn bench_report_writes_schema_tagged_json() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-bench-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_core.json");
+        bench_report(&args(&[
+            "--out",
+            out.to_str().unwrap(),
+            "--jobs",
+            "20",
+            "--repeats",
+            "2",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains(BENCH_SCHEMA));
+        assert!(text.contains("\"fold_exact\": true"));
+        assert!(text.contains("ops_per_sec"));
+        let parsed: serde::Value = serde_json::from_str(&text).unwrap();
+        assert!(parsed.get("plan").is_some() && parsed.get("apply").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

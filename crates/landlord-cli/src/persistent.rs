@@ -38,6 +38,7 @@ use landlord_core::cache::{plan_over, PlannedOp};
 use landlord_core::conflict::NoConflicts;
 use landlord_core::policy::{DistanceMetric, MergeOrder};
 use landlord_core::spec::Spec;
+use landlord_obs::{Counter, MetricsRegistry};
 use landlord_repo::Repository;
 use landlord_shrinkwrap::filetree::FileTreeConfig;
 use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
@@ -197,6 +198,35 @@ fn quarantine(dir: &Path, path: &Path) -> io::Result<()> {
     std::fs::rename(path, dest)
 }
 
+/// Cached metric handles for the durable cache directory (see
+/// `landlord-obs`). Counts decisions and the I/O they cause; the
+/// backing [`DiskStore`] contributes its own `store.obj_*` counters.
+struct PcObs {
+    submits: std::sync::Arc<Counter>,
+    hits: std::sync::Arc<Counter>,
+    merges: std::sync::Arc<Counter>,
+    inserts: std::sync::Arc<Counter>,
+    images_built: std::sync::Arc<Counter>,
+    image_bytes_written: std::sync::Arc<Counter>,
+    state_saves: std::sync::Arc<Counter>,
+    evicted_images: std::sync::Arc<Counter>,
+}
+
+impl PcObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        PcObs {
+            submits: registry.counter("persist.submits"),
+            hits: registry.counter("persist.hits"),
+            merges: registry.counter("persist.merges"),
+            inserts: registry.counter("persist.inserts"),
+            images_built: registry.counter("persist.images_built"),
+            image_bytes_written: registry.counter("persist.image_bytes_written"),
+            state_saves: registry.counter("persist.state_saves"),
+            evicted_images: registry.counter("persist.evicted_images"),
+        }
+    }
+}
+
 /// A cache directory handle.
 pub struct PersistentCache {
     dir: PathBuf,
@@ -206,6 +236,7 @@ pub struct PersistentCache {
     store: DiskStore,
     state: State,
     recovery: RecoveryReport,
+    obs: Option<PcObs>,
 }
 
 impl PersistentCache {
@@ -321,6 +352,7 @@ impl PersistentCache {
             store,
             state,
             recovery,
+            obs: None,
         };
         if !cache.recovery.clean() {
             cache.save_state()?;
@@ -331,6 +363,14 @@ impl PersistentCache {
     /// What recovery had to clean up when this handle was opened.
     pub fn last_recovery(&self) -> RecoveryReport {
         self.recovery
+    }
+
+    /// Register `persist.*` counters (decisions, image builds, state
+    /// saves, evictions) and the backing store's `store.obj_*` I/O
+    /// counters in `registry`. Subsequent operations record into it.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(PcObs::new(registry));
+        self.store.attach_metrics(registry);
     }
 
     /// Check the durable-state invariants; an `Err` means the directory
@@ -436,7 +476,11 @@ impl PersistentCache {
             f.sync_all()?;
         }
         std::fs::rename(tmp, self.dir.join("state.json"))?;
-        fsync_dir(&self.dir)
+        fsync_dir(&self.dir)?;
+        if let Some(obs) = &self.obs {
+            obs.state_saves.inc();
+        }
+        Ok(())
     }
 
     fn build_image(&self, repo: &Repository, id: u64, spec: &Spec) -> io::Result<StoredImage> {
@@ -447,11 +491,16 @@ impl PersistentCache {
         // is; recovery treats a size mismatch as a torn write.
         let f = std::fs::File::open(&path)?;
         f.sync_all()?;
+        let physical_bytes = f.metadata()?.len();
+        if let Some(obs) = &self.obs {
+            obs.images_built.inc();
+            obs.image_bytes_written.add(physical_bytes);
+        }
         Ok(StoredImage {
             id,
             spec: spec.clone(),
             logical_bytes: report.logical_bytes,
-            physical_bytes: f.metadata()?.len(),
+            physical_bytes,
             last_used: 0,
         })
     }
@@ -466,6 +515,9 @@ impl PersistentCache {
     /// CVMFS semantics so nothing conflicts); this store only executes
     /// it against disk.
     pub fn submit(&mut self, repo: &Repository, spec: &Spec) -> io::Result<Decision> {
+        if let Some(obs) = &self.obs {
+            obs.submits.inc();
+        }
         self.state.clock += 1;
         let now = self.state.clock;
 
@@ -498,6 +550,9 @@ impl PersistentCache {
                 img.last_used = now;
                 let path = self.image_path(image.0);
                 self.save_state()?;
+                if let Some(obs) = &self.obs {
+                    obs.hits.inc();
+                }
                 Ok(Decision::Hit { image: path })
             }
             PlannedOp::Merge { image, .. } => {
@@ -514,6 +569,9 @@ impl PersistentCache {
                 self.state.images[idx] = rebuilt;
                 self.evict_to_limit(old.id)?;
                 self.save_state()?;
+                if let Some(obs) = &self.obs {
+                    obs.merges.inc();
+                }
                 Ok(Decision::Merged {
                     image: self.image_path(old.id),
                 })
@@ -526,6 +584,9 @@ impl PersistentCache {
                 self.state.images.push(img);
                 self.evict_to_limit(id)?;
                 self.save_state()?;
+                if let Some(obs) = &self.obs {
+                    obs.inserts.inc();
+                }
                 Ok(Decision::Inserted {
                     image: self.image_path(id),
                 })
@@ -544,6 +605,9 @@ impl PersistentCache {
                 .map(|img| img.id);
             let Some(victim) = victim else { break };
             self.state.images.retain(|img| img.id != victim);
+            if let Some(obs) = &self.obs {
+                obs.evicted_images.inc();
+            }
             let path = self.image_path(victim);
             if path.exists() {
                 std::fs::remove_file(path)?;
@@ -601,6 +665,50 @@ mod tests {
         // The merged image file is a valid LLIMG covering the union.
         let img = ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
         assert!(!img.is_empty());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attached_metrics_count_decisions_and_io() {
+        use landlord_obs::LogicalClock;
+        use std::sync::Arc;
+
+        let dir = temp_dir("metrics");
+        let r = repo();
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        let mut cache =
+            PersistentCache::open(&dir, 0.9, u64::MAX, FileTreeConfig::miniature()).unwrap();
+        cache.attach_metrics(&registry);
+
+        let a = r.closure_spec(&[PackageId(r.package_count() as u32 - 1)]);
+        assert!(matches!(
+            cache.submit(&r, &a).unwrap(),
+            Decision::Inserted { .. }
+        ));
+        assert!(matches!(
+            cache.submit(&r, &a).unwrap(),
+            Decision::Hit { .. }
+        ));
+        let b = r.closure_spec(&[
+            PackageId(r.package_count() as u32 - 1),
+            PackageId(r.package_count() as u32 - 2),
+        ]);
+        assert!(matches!(
+            cache.submit(&r, &b).unwrap(),
+            Decision::Merged { .. }
+        ));
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters.get("persist.submits"), Some(&3));
+        assert_eq!(snap.counters.get("persist.hits"), Some(&1));
+        assert_eq!(snap.counters.get("persist.merges"), Some(&1));
+        assert_eq!(snap.counters.get("persist.inserts"), Some(&1));
+        assert_eq!(snap.counters.get("persist.images_built"), Some(&2));
+        assert_eq!(snap.counters.get("persist.state_saves"), Some(&3));
+        assert!(snap.counters.get("persist.image_bytes_written").copied() > Some(0));
+        // The backing store's I/O counters ride along.
+        assert!(snap.counters.get("store.obj_puts").copied() > Some(0));
 
         std::fs::remove_dir_all(&dir).ok();
     }

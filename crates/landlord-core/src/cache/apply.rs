@@ -77,7 +77,16 @@ impl ImageCache {
     /// every apply re-verifies [`ImageCache::check_invariants`] on
     /// exit.
     pub fn apply(&mut self, spec: &Spec, plan: &Plan) -> Outcome {
+        let span = self.obs.as_ref().map(|o| o.apply_span());
         let outcome = self.apply_inner(spec, plan);
+        drop(span);
+        // High-water mark (`raise`, not `set`): a max-fold is
+        // order-independent, so shards sharing a registry stay
+        // deterministic under any thread interleaving.
+        if let Some(obs) = &self.obs {
+            obs.resident_images
+                .raise(u64::try_from(self.images.len()).unwrap_or(u64::MAX));
+        }
         #[cfg(all(feature = "paranoid", debug_assertions))]
         self.check_invariants();
         outcome
@@ -210,11 +219,16 @@ impl ImageCache {
     /// request (`protect`) is never evicted — a job's image must
     /// survive at least until the job launches.
     pub(super) fn evict_to_limit(&mut self, protect: ImageId) {
+        let mut chain: u64 = 0;
         while self.ledger.stats().total_bytes > self.config.limit_bytes {
             let Some(victim) = self.evictor.peek_victim(Some(protect)) else {
                 break;
             };
             self.evict(victim);
+            chain += 1;
+        }
+        if let Some(obs) = &self.obs {
+            obs.evict_chain.record(chain);
         }
     }
 }

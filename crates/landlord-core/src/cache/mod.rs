@@ -49,6 +49,7 @@ mod candidates;
 mod config;
 mod evictor;
 mod ledger;
+pub mod observe;
 mod plan;
 #[cfg(test)]
 mod proptests;
@@ -72,6 +73,7 @@ use crate::policy::{BuildPlan, CachePolicy, Served, ServedOp};
 use crate::sizes::SizeModel;
 use crate::spec::{PackageId, Spec};
 use crate::util::FxHashMap;
+use landlord_obs::{Journal, MetricsRegistry};
 use std::sync::Arc;
 
 /// A byte-bounded container image cache implementing LANDLORD's online
@@ -88,6 +90,14 @@ pub struct ImageCache {
     evictor: Box<dyn Evictor>,
     candidate_index: Box<dyn CandidateIndex>,
     sink: Option<Box<dyn EventSink + Send>>,
+    /// Pre-resolved metric handles; `None` until
+    /// [`ImageCache::attach_metrics`] is called (the default — an
+    /// unobserved cache pays one branch per instrumented site).
+    obs: Option<observe::CoreObs>,
+    /// Bounded event journal; every emitted [`CacheEvent`] is also
+    /// recorded here (sequence-stamped, phase-attributed) when
+    /// attached.
+    journal: Option<Arc<Journal<CacheEvent>>>,
     /// Image flagged by the last merge for bloat splitting; processed
     /// lazily by [`ImageCache::settle`] at the start of the next
     /// request so the merge's own outcome keeps pointing at a live
@@ -127,6 +137,8 @@ impl ImageCache {
                 config.minhash_seed,
             ),
             sink: None,
+            obs: None,
+            journal: None,
             pending_split: None,
         }
     }
@@ -196,6 +208,23 @@ impl ImageCache {
     /// Detach and return the current event sink, if any.
     pub fn take_sink(&mut self) -> Option<Box<dyn EventSink + Send>> {
         self.sink.take()
+    }
+
+    /// Attach a metrics registry; the cache resolves its metric
+    /// handles once and records plan/apply timings, candidate-scan and
+    /// eviction-chain lengths, and resident-image counts from then on.
+    /// Several caches may share one registry — all counters and
+    /// histograms are shared atomics, so their contributions fold
+    /// exactly (see `landlord_obs`).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(observe::CoreObs::new(registry));
+    }
+
+    /// Attach a bounded event journal; every emitted [`CacheEvent`] is
+    /// additionally recorded there, stamped with a sequence number,
+    /// the registry clock's tick, and its phase.
+    pub fn attach_journal(&mut self, journal: Arc<Journal<CacheEvent>>) {
+        self.journal = Some(journal);
     }
 
     /// The configuration this cache was built with.
@@ -310,6 +339,9 @@ impl ImageCache {
         }
         let Some(img) = self.detach(id) else { return };
         self.ledger.count_delete();
+        if let Some(obs) = &self.obs {
+            obs.evictions.inc();
+        }
         self.emit(CacheEvent::Evict {
             image: id,
             bytes: img.bytes,
@@ -372,6 +404,9 @@ impl ImageCache {
     }
 
     pub(super) fn emit(&mut self, event: CacheEvent) {
+        if let Some(journal) = &self.journal {
+            journal.record(event.phase(), event);
+        }
         if let Some(sink) = &mut self.sink {
             sink.on_event(&event);
         }
@@ -557,6 +592,10 @@ impl CachePolicy for ImageCache {
 
     fn check_invariants(&self) {
         ImageCache::check_invariants(self);
+    }
+
+    fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        ImageCache::attach_metrics(self, registry);
     }
 }
 

@@ -79,6 +79,8 @@ impl ImageCache {
     /// a correctness bug, not just a slowdown. `true` is always safe
     /// and recovers exact [`ImageCache::plan`] behaviour.
     pub fn plan_with_peek(&self, spec: &Spec, superset_possible: bool) -> Plan {
+        // Atomic recording only: planning stays `&self`-pure.
+        let _span = self.obs.as_ref().map(|o| o.plan_span());
         let hit = if superset_possible {
             self.find_satisfying(spec)
         } else {
@@ -130,19 +132,25 @@ impl ImageCache {
             }
         };
 
+        let mut examined: u64 = 0;
         match self.candidate_index.candidates(spec) {
             Some(keys) => {
                 for key in keys {
                     if let Some(img) = self.images.get(&key) {
+                        examined += 1;
                         consider(img, &mut scored);
                     }
                 }
             }
             None => {
                 for img in self.images.values() {
+                    examined += 1;
                     consider(img, &mut scored);
                 }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.candidate_scan.record(examined);
         }
 
         match self.config.merge_order {

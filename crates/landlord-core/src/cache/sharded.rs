@@ -43,15 +43,17 @@
 //! folded counters equal a single-threaded replay partitioned by shard
 //! ownership. The `sharded_stress` proptest pins this down.
 
+use super::observe::names;
 use super::{CacheConfig, CacheStats, ImageCache, Outcome};
 use crate::conflict::{ConflictPolicy, NoConflicts};
 use crate::metrics::ContainerEfficiency;
 use crate::sizes::SizeModel;
 use crate::spec::{PackageId, Spec};
 use crate::util::{mix2, mix64};
+use landlord_obs::{Clock, Counter, Histogram, MetricsRegistry};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Words in a shard's package-set summary (256 bits total).
 const SUMMARY_WORDS: usize = 4;
@@ -144,10 +146,37 @@ struct Shard {
     summary: PackageSummary,
 }
 
+/// Pre-resolved handles for the frontend's own metrics (lock
+/// contention and peek effectiveness). Shard-*interior* metrics live on
+/// each shard's [`ImageCache`] and share the same registry, so the
+/// whole picture folds into one snapshot.
+struct ShardObs {
+    clock: Arc<dyn Clock>,
+    lock_wait: Arc<Histogram>,
+    lock_hold: Arc<Histogram>,
+    peek_skip: Arc<Counter>,
+    peek_possible: Arc<Counter>,
+}
+
+impl ShardObs {
+    fn new(registry: &MetricsRegistry) -> Self {
+        ShardObs {
+            clock: Arc::clone(registry.clock()),
+            lock_wait: registry.histogram(names::SHARD_LOCK_WAIT),
+            lock_hold: registry.histogram(names::SHARD_LOCK_HOLD),
+            peek_skip: registry.counter(names::SHARD_PEEK_SKIP),
+            peek_possible: registry.counter(names::SHARD_PEEK_POSSIBLE),
+        }
+    }
+}
+
 struct Inner {
     shards: Box<[Shard]>,
     route_seed: u64,
     limit_bytes: u64,
+    /// Set once by [`ShardedImageCache::attach_metrics`]; read
+    /// lock-free on every request thereafter.
+    obs: OnceLock<ShardObs>,
 }
 
 /// A clonable, thread-safe, sharded LANDLORD cache. See the module docs
@@ -201,6 +230,7 @@ impl ShardedImageCache {
                 shards: built.into_boxed_slice(),
                 route_seed: mix2(config.minhash_seed, ROUTE_SALT),
                 limit_bytes: config.limit_bytes,
+                obs: OnceLock::new(),
             }),
         }
     }
@@ -244,12 +274,40 @@ impl ShardedImageCache {
             .any(|s| s.summary.may_contain_superset(spec))
     }
 
+    /// Attach a metrics registry to the frontend and every shard. The
+    /// frontend records lock wait/hold times and bloom-peek outcomes;
+    /// each shard's [`ImageCache`] records its own plan/apply/eviction
+    /// metrics into the *same* registry, where shard contributions fold
+    /// exactly (shared atomic counters and histogram buckets). Only the
+    /// first call attaches the frontend handles; later calls still
+    /// (re-)attach the shards.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        // A lost race here is harmless: the loser's handles resolve to
+        // the very same registry entries.
+        let _ = self.inner.obs.set(ShardObs::new(registry));
+        for shard in self.inner.shards.iter() {
+            shard.cache.lock().attach_metrics(registry);
+        }
+    }
+
     /// Serve one request under the owning shard's lock: settle, consult
     /// the (now authoritative) summary, plan with the peek, apply, and
     /// note the spec's packages as live.
-    fn serve_locked(shard: &Shard, cache: &mut ImageCache, spec: &Spec) -> Outcome {
+    fn serve_locked(
+        shard: &Shard,
+        cache: &mut ImageCache,
+        spec: &Spec,
+        obs: Option<&ShardObs>,
+    ) -> Outcome {
         cache.settle();
         let superset_possible = shard.summary.may_contain_superset(spec);
+        if let Some(o) = obs {
+            if superset_possible {
+                o.peek_possible.inc();
+            } else {
+                o.peek_skip.inc();
+            }
+        }
         let plan = cache.plan_with_peek(spec, superset_possible);
         let outcome = cache.apply(spec, &plan);
         shard.summary.note_spec(spec);
@@ -259,9 +317,22 @@ impl ShardedImageCache {
     /// Process one job request (Algorithm 1) on the owning shard.
     pub fn request(&self, spec: &Spec) -> Outcome {
         let shard = &self.inner.shards[self.route(spec)];
+        let obs = self.inner.obs.get();
+        let wait_start = obs.map(|o| o.clock.now_ticks());
         let mut cache = shard.cache.lock();
-        let outcome = Self::serve_locked(shard, &mut cache, spec);
+        let hold_start = obs.map(|o| {
+            let now = o.clock.now_ticks();
+            if let Some(start) = wait_start {
+                o.lock_wait.record(now.saturating_sub(start));
+            }
+            now
+        });
+        let outcome = Self::serve_locked(shard, &mut cache, spec, obs);
         shard.summary.maybe_rebuild(&cache);
+        if let (Some(o), Some(start)) = (obs, hold_start) {
+            o.lock_hold
+                .record(o.clock.now_ticks().saturating_sub(start));
+        }
         outcome
     }
 
@@ -282,11 +353,24 @@ impl ShardedImageCache {
                 continue;
             }
             let shard = &self.inner.shards[shard_index];
+            let obs = self.inner.obs.get();
+            let wait_start = obs.map(|o| o.clock.now_ticks());
             let mut cache = shard.cache.lock();
+            let hold_start = obs.map(|o| {
+                let now = o.clock.now_ticks();
+                if let Some(start) = wait_start {
+                    o.lock_wait.record(now.saturating_sub(start));
+                }
+                now
+            });
             for &i in owned {
-                outcomes[i] = Some(Self::serve_locked(shard, &mut cache, &specs[i]));
+                outcomes[i] = Some(Self::serve_locked(shard, &mut cache, &specs[i], obs));
             }
             shard.summary.maybe_rebuild(&cache);
+            if let (Some(o), Some(start)) = (obs, hold_start) {
+                o.lock_hold
+                    .record(o.clock.now_ticks().saturating_sub(start));
+            }
         }
         outcomes.into_iter().flatten().collect()
     }
@@ -592,5 +676,101 @@ mod tests {
         }
         cache.check_invariants();
         assert!(cache.stats().deletes > 0, "tiny budget must evict");
+    }
+
+    #[test]
+    fn attached_metrics_count_peeks_and_core_ops() {
+        use landlord_obs::LogicalClock;
+
+        let cache = sharded(4, 0.7, 200);
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        cache.attach_metrics(&registry);
+        let jobs = stream(300);
+        for s in &jobs {
+            cache.request(s);
+        }
+        cache.check_invariants();
+        let snap = registry.snapshot();
+        // Every request resolved its peek one way or the other.
+        let skips = snap
+            .counters
+            .get(names::SHARD_PEEK_SKIP)
+            .copied()
+            .unwrap_or(0);
+        let possible = snap
+            .counters
+            .get(names::SHARD_PEEK_POSSIBLE)
+            .copied()
+            .unwrap_or(0);
+        assert_eq!(skips + possible, jobs.len() as u64);
+        // Shard-interior instrumentation flows into the same registry.
+        assert_eq!(snap.histograms[names::APPLY_TICKS].count, jobs.len() as u64);
+        assert_eq!(
+            snap.histograms[names::SHARD_LOCK_WAIT].count,
+            jobs.len() as u64
+        );
+        assert_eq!(
+            snap.counters.get(names::EVICTIONS).copied().unwrap_or(0),
+            cache.stats().deletes
+        );
+    }
+
+    /// The observability analogue of the `sharded_stress` counter-fold
+    /// property: a sharded run with one shared registry produces
+    /// exactly the same `core.*` metrics as per-shard plain caches,
+    /// each with its own registry, replaying their route-partitioned
+    /// subsequences and merging the registries afterwards.
+    #[test]
+    fn shared_registry_equals_partitioned_registries_merged() {
+        use landlord_obs::LogicalClock;
+
+        let shards = 4usize;
+        let limit = 300u64;
+        let jobs = stream(400);
+
+        let sharded = sharded(shards, 0.7, limit);
+        let shared = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        sharded.attach_metrics(&shared);
+        for s in &jobs {
+            sharded.request(s);
+        }
+        sharded.check_invariants();
+
+        let folded = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        for index in 0..shards {
+            let cfg = CacheConfig {
+                alpha: 0.7,
+                limit_bytes: shard_limit_bytes(limit, shards as u64, index as u64),
+                ..CacheConfig::default()
+            };
+            let mut plain = ImageCache::new(cfg, Arc::new(UniformSizes::new(1)));
+            let own = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+            plain.attach_metrics(&own);
+            for s in jobs.iter().filter(|s| sharded.route(s) == index) {
+                plain.request(s);
+            }
+            plain.check_invariants();
+            folded.merge(&own);
+        }
+
+        let shared_snap = shared.snapshot();
+        let folded_snap = folded.snapshot();
+        // Compare the shard-interior (core.*) subset; the sharded.*
+        // frontend metrics exist only on the sharded side.
+        for (name, hist) in &folded_snap.histograms {
+            assert_eq!(
+                shared_snap.histograms.get(name),
+                Some(hist),
+                "histogram {name} diverged between shared and folded registries"
+            );
+        }
+        assert_eq!(
+            folded_snap.counters.get(names::EVICTIONS),
+            shared_snap.counters.get(names::EVICTIONS)
+        );
+        assert_eq!(
+            folded_snap.gauges.get(names::RESIDENT_IMAGES),
+            shared_snap.gauges.get(names::RESIDENT_IMAGES)
+        );
     }
 }

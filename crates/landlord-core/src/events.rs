@@ -67,6 +67,19 @@ impl CacheEvent {
             CacheEvent::Split { .. } => "split",
         }
     }
+
+    /// Request-lifecycle phase the event belongs to, for journal
+    /// attribution: the per-request outcome events are `"apply"`, while
+    /// evictions and splits are maintenance that may trail a request.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            CacheEvent::Hit { .. } | CacheEvent::Merge { .. } | CacheEvent::Insert { .. } => {
+                "apply"
+            }
+            CacheEvent::Evict { .. } => "evict",
+            CacheEvent::Split { .. } => "split",
+        }
+    }
 }
 
 impl fmt::Display for CacheEvent {
@@ -95,6 +108,20 @@ impl fmt::Display for CacheEvent {
             CacheEvent::Split { image, pieces } => write!(f, "split  {image} -> {pieces} pieces"),
         }
     }
+}
+
+/// A [`CacheEvent`] stamped with a monotone per-cache sequence number.
+///
+/// Sequence numbers start at 0 and increase by exactly 1 per event, so
+/// downstream consumers (JSONL logs, crash-recovery diffing) can detect
+/// dropped or reordered events. This is the wire form the CLI writes
+/// for `--events-jsonl`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SequencedEvent {
+    /// Position in the event stream: 0 for the first event, dense.
+    pub seq: u64,
+    /// The underlying cache operation.
+    pub event: CacheEvent,
 }
 
 /// Receives cache events as they happen.
@@ -133,6 +160,42 @@ impl VecSink {
 impl EventSink for VecSink {
     fn on_event(&mut self, event: &CacheEvent) {
         self.events.push(*event);
+    }
+}
+
+/// Stamps every event with a dense, monotone sequence number and hands
+/// the resulting [`SequencedEvent`] to a delivery function.
+///
+/// The counter lives in the sink, so sequence numbers reflect exactly
+/// the events this sink saw — attach it for a cache's whole lifetime to
+/// get a gap-free stream.
+#[derive(Debug)]
+pub struct SequencingSink<F: FnMut(SequencedEvent)> {
+    next_seq: u64,
+    deliver: F,
+}
+
+impl<F: FnMut(SequencedEvent)> SequencingSink<F> {
+    /// A sink starting at sequence number 0.
+    pub fn new(deliver: F) -> Self {
+        Self {
+            next_seq: 0,
+            deliver,
+        }
+    }
+
+    /// The sequence number the next event will receive (equals the
+    /// count of events seen so far).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+impl<F: FnMut(SequencedEvent)> EventSink for SequencingSink<F> {
+    fn on_event(&mut self, event: &CacheEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        (self.deliver)(SequencedEvent { seq, event: *event });
     }
 }
 
@@ -202,6 +265,93 @@ mod tests {
         assert_eq!(sink.count_kind("insert"), 1);
         assert_eq!(sink.count_kind("evict"), 1);
         assert_eq!(sink.count_kind("hit"), 0);
+    }
+
+    #[test]
+    fn sequencing_sink_stamps_dense_monotone_seqs() {
+        let mut seen: Vec<SequencedEvent> = Vec::new();
+        {
+            let mut sink = SequencingSink::new(|se| seen.push(se));
+            assert_eq!(sink.next_seq(), 0);
+            for i in 0..5u64 {
+                sink.on_event(&CacheEvent::Insert {
+                    image: ImageId(i),
+                    bytes: i,
+                });
+            }
+            assert_eq!(sink.next_seq(), 5);
+        }
+        assert_eq!(seen.len(), 5);
+        for (i, se) in seen.iter().enumerate() {
+            assert_eq!(se.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn sequenced_events_round_trip_through_serde() {
+        let events = [
+            CacheEvent::Hit {
+                image: ImageId(1),
+                requested_bytes: 100,
+                image_bytes: u64::MAX,
+            },
+            CacheEvent::Merge {
+                image: ImageId(2),
+                distance_milli: 999,
+                old_bytes: 0,
+                new_bytes: u64::MAX,
+            },
+            CacheEvent::Insert {
+                image: ImageId(3),
+                bytes: 42,
+            },
+            CacheEvent::Evict {
+                image: ImageId(4),
+                bytes: 7,
+            },
+            CacheEvent::Split {
+                image: ImageId(5),
+                pieces: u32::MAX,
+            },
+        ];
+        for (seq, event) in events.iter().enumerate() {
+            let original = SequencedEvent {
+                seq: seq as u64,
+                event: *event,
+            };
+            let json = serde_json::to_string(&original).unwrap();
+            let back: SequencedEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, original, "round-trip mismatch for {json}");
+        }
+    }
+
+    #[test]
+    fn phases_are_stable() {
+        assert_eq!(
+            CacheEvent::Hit {
+                image: ImageId(1),
+                requested_bytes: 1,
+                image_bytes: 1
+            }
+            .phase(),
+            "apply"
+        );
+        assert_eq!(
+            CacheEvent::Evict {
+                image: ImageId(1),
+                bytes: 1
+            }
+            .phase(),
+            "evict"
+        );
+        assert_eq!(
+            CacheEvent::Split {
+                image: ImageId(1),
+                pieces: 2
+            }
+            .phase(),
+            "split"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use crate::cache::CacheStats;
 use crate::metrics::ContainerEfficiency;
 use crate::spec::Spec;
+use landlord_obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 
 /// Which image to evict when the cache exceeds its byte limit.
@@ -416,6 +417,13 @@ pub trait CachePolicy {
 
     /// Re-verify all internal bookkeeping; panics on inconsistency.
     fn check_invariants(&self);
+
+    /// Attach a metrics registry. Instrumented policies resolve their
+    /// metric handles from it and record from then on; the default is
+    /// a no-op so un-instrumented baselines cost nothing. Safe to call
+    /// with a registry shared across policies/shards — every metric
+    /// folds exactly.
+    fn attach_metrics(&mut self, _registry: &MetricsRegistry) {}
 }
 
 #[cfg(test)]

@@ -1,0 +1,190 @@
+//! Bounded, sequence-stamped event journal.
+//!
+//! A ring buffer of the most recent `capacity` events, each stamped
+//! with a globally monotone sequence number, the clock tick at record
+//! time, and a phase label (`"plan"`, `"apply"`, `"evict"`, ...).
+//! Sequence numbers keep counting past evicted entries, so a reader
+//! can always tell how much history the ring dropped.
+//!
+//! The payload type is generic; landlord-core journals its
+//! `CacheEvent`s through this, but fault events or store I/O records
+//! work just as well. With a `Serialize` payload the journal exports
+//! as JSONL (one entry per line, in sequence order).
+
+use crate::clock::Clock;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One journaled event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry<E> {
+    /// Monotone sequence number, starting at 0, never reused.
+    pub seq: u64,
+    /// Clock tick when the event was recorded.
+    pub tick: u64,
+    /// Phase the event is attributed to.
+    pub phase: String,
+    /// The event payload.
+    pub event: E,
+}
+
+// The serde_derive shim does not handle generic types; spell the
+// (flat, field-per-key) impls out by hand.
+impl<E: Serialize> Serialize for JournalEntry<E> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("seq".to_string(), self.seq.to_value()),
+            ("tick".to_string(), self.tick.to_value()),
+            ("phase".to_string(), self.phase.to_value()),
+            ("event".to_string(), self.event.to_value()),
+        ])
+    }
+}
+
+impl<E: Deserialize> Deserialize for JournalEntry<E> {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let field = |name: &str| {
+            v.get(name)
+                .ok_or_else(|| serde::DeError::custom(format!("JournalEntry missing `{name}`")))
+        };
+        Ok(JournalEntry {
+            seq: u64::from_value(field("seq")?)?,
+            tick: u64::from_value(field("tick")?)?,
+            phase: String::from_value(field("phase")?)?,
+            event: E::from_value(field("event")?)?,
+        })
+    }
+}
+
+/// Bounded ring buffer of [`JournalEntry`]s.
+pub struct Journal<E> {
+    capacity: usize,
+    next_seq: AtomicU64,
+    clock: Arc<dyn Clock>,
+    entries: Mutex<VecDeque<JournalEntry<E>>>,
+}
+
+impl<E> std::fmt::Debug for Journal<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity)
+            .field("next_seq", &self.next_seq.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<E> Journal<E> {
+    /// A journal keeping at most `capacity` (≥ 1) recent entries.
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            next_seq: AtomicU64::new(0),
+            clock,
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Record an event under `phase`; returns its sequence number. The
+    /// oldest entry is dropped once the ring is full.
+    pub fn record(&self, phase: &str, event: E) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let entry = JournalEntry {
+            seq,
+            tick: self.clock.now_ticks(),
+            phase: phase.to_string(),
+            event,
+        };
+        let mut entries = self.entries.lock();
+        if entries.len() == self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        seq
+    }
+
+    /// Total events ever recorded (including ones the ring dropped).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently retained, oldest first.
+    pub fn retained(&self) -> Vec<JournalEntry<E>>
+    where
+        E: Clone,
+    {
+        self.entries.lock().iter().cloned().collect()
+    }
+}
+
+impl<E: Serialize> Journal<E> {
+    /// Write the retained entries as JSONL, oldest first.
+    pub fn export_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
+        let entries = self.entries.lock();
+        for entry in entries.iter() {
+            let line = serde_json::to_string(entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            out.write_all(line.as_bytes())?;
+            out.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+
+    fn journal(capacity: usize) -> (Journal<u32>, Arc<LogicalClock>) {
+        let clock = Arc::new(LogicalClock::new());
+        (Journal::new(capacity, Arc::clone(&clock) as _), clock)
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone_and_dense() {
+        let (j, clock) = journal(8);
+        for i in 0..5u32 {
+            clock.tick();
+            assert_eq!(j.record("phase", i), u64::from(i));
+        }
+        let retained = j.retained();
+        assert_eq!(retained.len(), 5);
+        assert_eq!(retained[4].seq, 4);
+        assert_eq!(retained[4].tick, 5);
+    }
+
+    #[test]
+    fn ring_drops_oldest_but_keeps_counting() {
+        let (j, _clock) = journal(3);
+        for i in 0..10u32 {
+            j.record("p", i);
+        }
+        assert_eq!(j.recorded(), 10);
+        let retained = j.retained();
+        assert_eq!(retained.len(), 3);
+        assert_eq!(retained[0].seq, 7);
+        assert_eq!(retained[2].event, 9);
+    }
+
+    #[test]
+    fn jsonl_export_round_trips() {
+        let (j, clock) = journal(4);
+        clock.advance(2);
+        j.record("plan", 7u32);
+        j.record("apply", 8u32);
+        let mut buf = Vec::new();
+        j.export_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: JournalEntry<u32> = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.seq, 0);
+        assert_eq!(first.tick, 2);
+        assert_eq!(first.phase, "plan");
+        assert_eq!(first.event, 7);
+    }
+}

@@ -1,0 +1,440 @@
+//! The lock-free metrics registry.
+//!
+//! Three metric kinds, all plain `u64` atomics underneath:
+//!
+//! * [`Counter`] — monotone event count; folds by exact addition.
+//! * [`Gauge`] — last-set level (e.g. resident images); folds by `max`
+//!   so a fold of per-shard gauges reports the high-water shard.
+//! * [`Histogram`] — log2-bucketed value distribution; folds by exact
+//!   per-bucket addition.
+//!
+//! Registration (name → handle) takes a short `RwLock` write; the hot
+//! path — recording through a cached [`Arc`] handle — is a handful of
+//! relaxed atomic ops and never locks. Names are `&'static str` so
+//! recording allocates nothing.
+//!
+//! Every fold is an exact integer operation, associative and
+//! commutative, mirroring `CacheStats::merge` from the sharded
+//! frontend: folding N per-worker registries in any order yields a
+//! byte-identical [`MetricsSnapshot`]. (Histogram `sum` uses wrapping
+//! addition — exact arithmetic modulo 2^64 — so even adversarial
+//! inputs near `u64::MAX` stay associative; realistic tick sums never
+//! wrap.)
+
+use crate::clock::Clock;
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot, METRICS_SCHEMA};
+use crate::span::SpanGuard;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i)` — so bucket 64's
+/// range is `[2^63, u64::MAX]` and every u64 has a bucket.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Bucket index for a value (see [`HISTOGRAM_BUCKETS`]).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `index`; quantile estimates report
+/// this bound, which makes them deterministic functions of the bucket
+/// counts alone.
+pub fn bucket_upper_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        64.. => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Upper bound of the bucket containing the `numer/denom` quantile
+/// (rank = ceil(count · numer / denom)), or 0 for an empty
+/// distribution. Shared by live histograms and snapshots so both agree.
+pub(crate) fn quantile_upper_bound(buckets: &[u64], count: u64, numer: u64, denom: u64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = (u128::from(count) * u128::from(numer)).div_ceil(u128::from(denom));
+    let mut seen: u128 = 0;
+    for (i, &n) in buckets.iter().enumerate() {
+        seen += u128::from(n);
+        if seen >= rank {
+            return bucket_upper_bound(i);
+        }
+    }
+    bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Monotone counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-set level. Folds by `max` (high-water across sources).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level to at least `v`.
+    #[inline]
+    pub fn raise(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Log2-bucketed u64 histogram with exact, associative merge.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    /// Wrapping sum of recorded values (exact modulo 2^64).
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        // Wrapping by construction: fetch_add on AtomicU64 wraps.
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Fold `other` into `self`, exactly: per-bucket and count/sum
+    /// addition, min/max lattice joins. Associative and commutative.
+    pub fn merge(&self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Freeze into an exportable snapshot. Quantiles are bucket upper
+    /// bounds — deterministic in the bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        let p50 = quantile_upper_bound(&buckets, count, 50, 100);
+        let p99 = quantile_upper_bound(&buckets, count, 99, 100);
+        let min = self.min.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { min },
+            max: self.max.load(Ordering::Relaxed),
+            p50,
+            p99,
+            buckets,
+        }
+    }
+}
+
+/// The registry: named counters, gauges, and histograms plus the clock
+/// spans time themselves against. Cheap to share (`Arc`), safe to hit
+/// from many threads.
+pub struct MetricsRegistry {
+    clock: Arc<dyn Clock>,
+    counters: RwLock<BTreeMap<&'static str, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<&'static str, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<Histogram>>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.counters.read().len())
+            .field("gauges", &self.gauges.read().len())
+            .field("histograms", &self.histograms.read().len())
+            .finish()
+    }
+}
+
+impl MetricsRegistry {
+    /// A registry timing spans against `clock`.
+    pub fn new(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// The clock spans read from.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Handle to the counter `name`, registering it on first use.
+    /// Cache the handle; the lookup takes a lock, the handle does not.
+    pub fn counter(&self, name: &'static str) -> Arc<Counter> {
+        if let Some(c) = self.counters.read().get(name) {
+            return Arc::clone(c);
+        }
+        Arc::clone(self.counters.write().entry(name).or_default())
+    }
+
+    /// Handle to the gauge `name`, registering it on first use.
+    pub fn gauge(&self, name: &'static str) -> Arc<Gauge> {
+        if let Some(g) = self.gauges.read().get(name) {
+            return Arc::clone(g);
+        }
+        Arc::clone(self.gauges.write().entry(name).or_default())
+    }
+
+    /// Handle to the histogram `name`, registering it on first use.
+    pub fn histogram(&self, name: &'static str) -> Arc<Histogram> {
+        if let Some(h) = self.histograms.read().get(name) {
+            return Arc::clone(h);
+        }
+        Arc::clone(self.histograms.write().entry(name).or_default())
+    }
+
+    /// Start a span: elapsed ticks land in the histogram `name` when
+    /// the guard drops. See also the [`span!`](crate::span!) macro.
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        SpanGuard::start(self.histogram(name), Arc::clone(&self.clock))
+    }
+
+    /// Fold `other` into `self`: counters add, gauges join by max,
+    /// histograms merge exactly. Associative and commutative up to
+    /// snapshot equality; the identity is an empty registry.
+    pub fn merge(&self, other: &MetricsRegistry) {
+        for (name, theirs) in other.counters.read().iter() {
+            self.counter(name).add(theirs.get());
+        }
+        for (name, theirs) in other.gauges.read().iter() {
+            self.gauge(name).raise(theirs.get());
+        }
+        for (name, theirs) in other.histograms.read().iter() {
+            self.histogram(name).merge(theirs);
+        }
+    }
+
+    /// Freeze every metric into a schema-versioned, deterministically
+    /// ordered snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            schema: METRICS_SCHEMA.to_string(),
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new(Arc::new(LogicalClock::new()))
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_index(1 << 63), 64);
+        assert_eq!(bucket_index((1 << 63) - 1), 63);
+    }
+
+    #[test]
+    fn bucket_upper_bounds_cover_the_domain() {
+        assert_eq!(bucket_upper_bound(0), 0);
+        assert_eq!(bucket_upper_bound(1), 1);
+        assert_eq!(bucket_upper_bound(2), 3);
+        assert_eq!(bucket_upper_bound(64), u64::MAX);
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX] {
+            assert!(v <= bucket_upper_bound(bucket_index(v)));
+        }
+    }
+
+    #[test]
+    fn histogram_basics() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        // ranks: p50 -> 3rd of 5 sorted [0,1,5,5,1000] -> bucket of 5.
+        assert_eq!(s.p50, bucket_upper_bound(bucket_index(5)));
+        assert_eq!(s.p99, bucket_upper_bound(bucket_index(1000)));
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.p50, 0);
+        assert_eq!(s.p99, 0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let whole = Histogram::new();
+        for v in [3u64, 9, 200] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, u64::MAX, 17] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.snapshot(), whole.snapshot());
+    }
+
+    #[test]
+    fn registry_merge_folds_all_kinds() {
+        let a = registry();
+        let b = registry();
+        a.counter("requests").add(3);
+        b.counter("requests").add(4);
+        b.counter("only_b").inc();
+        a.gauge("resident").set(10);
+        b.gauge("resident").set(7);
+        a.histogram("lat").record(8);
+        b.histogram("lat").record(1024);
+        a.merge(&b);
+        let s = a.snapshot();
+        assert_eq!(s.counters["requests"], 7);
+        assert_eq!(s.counters["only_b"], 1);
+        assert_eq!(s.gauges["resident"], 10);
+        assert_eq!(s.histograms["lat"].count, 2);
+    }
+
+    #[test]
+    fn span_records_elapsed_logical_ticks() {
+        let clock = Arc::new(LogicalClock::new());
+        let reg = MetricsRegistry::new(Arc::clone(&clock) as Arc<dyn Clock>);
+        {
+            let _guard = reg.span("phase");
+            clock.advance(5);
+        }
+        let s = reg.snapshot();
+        assert_eq!(s.histograms["phase"].count, 1);
+        assert_eq!(s.histograms["phase"].sum, 5);
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let reg = registry();
+        let c1 = reg.counter("x");
+        let c2 = reg.counter("x");
+        c1.inc();
+        c2.inc();
+        assert_eq!(reg.snapshot().counters["x"], 2);
+    }
+}

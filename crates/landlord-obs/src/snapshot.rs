@@ -1,0 +1,203 @@
+//! Frozen, exportable metric state.
+//!
+//! A [`MetricsSnapshot`] is the serialization boundary: integer-only,
+//! `BTreeMap`-keyed (so JSON key order is deterministic), and stamped
+//! with [`METRICS_SCHEMA`] so downstream tooling can detect layout
+//! changes. At a fixed seed under a logical clock, the snapshot JSON is
+//! byte-identical across runs — the CLI's `--metrics-json` contract.
+//!
+//! Snapshots also merge ([`MetricsSnapshot::merge`]) with the same
+//! exact integer folds as the live registry, which is what the
+//! fold-exactness proptests pin down: snapshot-then-merge equals
+//! merge-then-snapshot.
+
+use crate::registry::quantile_upper_bound;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Schema tag written into every snapshot. Bump when the layout
+/// changes shape (not when new metric names appear — names are data).
+pub const METRICS_SCHEMA: &str = "landlord-obs-metrics/v1";
+
+/// Frozen histogram state. `buckets[i]` is the occupancy of log2
+/// bucket `i` (see [`crate::registry::bucket_index`]), with trailing
+/// empty buckets trimmed. `p50`/`p99` are bucket upper bounds —
+/// deterministic functions of the buckets, never interpolated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Wrapping sum of observations (exact modulo 2^64).
+    pub sum: u64,
+    /// Smallest observation (0 when empty).
+    pub min: u64,
+    /// Largest observation (0 when empty).
+    pub max: u64,
+    /// Upper bound of the median's bucket.
+    pub p50: u64,
+    /// Upper bound of the 99th percentile's bucket.
+    pub p99: u64,
+    /// Per-bucket occupancy, trailing zeros trimmed.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// An empty histogram snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            p50: 0,
+            p99: 0,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Exact fold of `other` into `self`; quantiles are recomputed
+    /// from the merged buckets. Associative and commutative.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += *theirs;
+        }
+        // min: ignore the empty side (whose min is a placeholder 0).
+        self.min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.p50 = quantile_upper_bound(&self.buckets, self.count, 50, 100);
+        self.p99 = quantile_upper_bound(&self.buckets, self.count, 99, 100);
+    }
+}
+
+/// A schema-versioned, deterministically ordered freeze of a
+/// [`MetricsRegistry`](crate::registry::MetricsRegistry).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Layout tag; always [`METRICS_SCHEMA`] for snapshots produced by
+    /// this crate version.
+    pub schema: String,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram state by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot (the merge identity).
+    pub fn empty() -> Self {
+        Self {
+            schema: METRICS_SCHEMA.to_string(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Fold `other` into `self` with the registry's semantics:
+    /// counters add, gauges join by max, histograms merge exactly.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, v) in &other.gauges {
+            let slot = self.gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        for (name, h) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(HistogramSnapshot::empty)
+                .merge(h);
+        }
+    }
+
+    /// Pretty JSON plus trailing newline — the exact bytes the CLI
+    /// writes for `--metrics-json`, byte-stable at a fixed seed.
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self)
+            .expect("metrics snapshots are integer-only and always serialize");
+        s.push('\n');
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::LogicalClock;
+    use crate::registry::MetricsRegistry;
+    use std::sync::Arc;
+
+    fn registry() -> MetricsRegistry {
+        MetricsRegistry::new(Arc::new(LogicalClock::new()))
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let reg = registry();
+        reg.counter("a").add(3);
+        reg.gauge("g").set(9);
+        reg.histogram("h").record(42);
+        reg.histogram("h").record(u64::MAX);
+        let snap = reg.snapshot();
+        let json = snap.to_json_pretty();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.schema, METRICS_SCHEMA);
+        assert_eq!(back.histograms["h"].max, u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_merge_matches_registry_merge() {
+        let a = registry();
+        let b = registry();
+        a.counter("c").add(1);
+        b.counter("c").add(2);
+        a.histogram("h").record(10);
+        b.histogram("h").record(0);
+        b.gauge("g").set(4);
+
+        let mut folded = a.snapshot();
+        folded.merge(&b.snapshot());
+
+        a.merge(&b);
+        assert_eq!(folded, a.snapshot());
+    }
+
+    #[test]
+    fn empty_is_merge_identity() {
+        let reg = registry();
+        reg.counter("c").add(7);
+        reg.histogram("h").record(3);
+        let snap = reg.snapshot();
+        let mut left = MetricsSnapshot::empty();
+        left.merge(&snap);
+        assert_eq!(left, snap);
+        let mut right = snap.clone();
+        right.merge(&MetricsSnapshot::empty());
+        assert_eq!(right, snap);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_bytes() {
+        let make = || {
+            let reg = registry();
+            reg.counter("z").add(2);
+            reg.counter("a").add(1);
+            reg.histogram("lat").record(100);
+            reg.snapshot().to_json_pretty()
+        };
+        assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,250 @@
+//! Property coverage for metric folding: `merge()` on histograms and
+//! whole registries must be an exact associative, commutative fold
+//! with the empty registry as identity. These are the algebraic facts
+//! the sharded cache's shared-vs-partitioned registry equality (see
+//! `landlord-core`'s `sharded_stress`) leans on; here they are pinned
+//! directly, including the saturating bucket edges (0, 1, `u64::MAX`).
+
+use landlord_obs::{
+    bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, LogicalClock, MetricsRegistry,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn registry() -> MetricsRegistry {
+    MetricsRegistry::new(Arc::new(LogicalClock::new()))
+}
+
+/// Values biased toward the edges the log2 bucketing must saturate at.
+fn arb_value() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        Just(0u64),
+        Just(1u64),
+        Just(2u64),
+        Just(u64::MAX - 1),
+        Just(u64::MAX),
+        any::<u64>(),
+        0u64..1024,
+    ]
+}
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// One registry's worth of recordings: counter adds, gauge raises,
+/// histogram samples — all against fixed names so folds line up.
+#[derive(Debug, Clone)]
+struct Recording {
+    counter_adds: Vec<u64>,
+    gauge_raises: Vec<u64>,
+    hist_values: Vec<u64>,
+}
+
+fn arb_recording() -> impl Strategy<Value = Recording> {
+    (
+        proptest::collection::vec(0u64..1 << 40, 0..8),
+        proptest::collection::vec(arb_value(), 0..8),
+        proptest::collection::vec(arb_value(), 0..16),
+    )
+        .prop_map(|(counter_adds, gauge_raises, hist_values)| Recording {
+            counter_adds,
+            gauge_raises,
+            hist_values,
+        })
+}
+
+fn registry_of(rec: &Recording) -> MetricsRegistry {
+    let r = registry();
+    let c = r.counter("prop.counter");
+    for &n in &rec.counter_adds {
+        c.add(n);
+    }
+    let g = r.gauge("prop.gauge");
+    for &v in &rec.gauge_raises {
+        g.raise(v);
+    }
+    let h = r.histogram("prop.hist");
+    for &v in &rec.hist_values {
+        h.record(v);
+    }
+    r
+}
+
+fn snapshot_bytes(r: &MetricsRegistry) -> String {
+    r.snapshot().to_json_pretty()
+}
+
+proptest! {
+    /// Bucketing saturates instead of panicking, and every value lands
+    /// in a bucket whose upper bound covers it.
+    #[test]
+    fn bucketing_covers_every_value(v in arb_value()) {
+        let idx = bucket_index(v);
+        prop_assert!(idx < 65);
+        prop_assert!(bucket_upper_bound(idx) >= v);
+        if idx > 0 {
+            prop_assert!(bucket_upper_bound(idx - 1) < v);
+        }
+    }
+
+    /// Histogram merge is commutative: fold(a, b) == fold(b, a).
+    #[test]
+    fn histogram_merge_commutes(
+        a in proptest::collection::vec(arb_value(), 0..20),
+        b in proptest::collection::vec(arb_value(), 0..20),
+    ) {
+        let ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+    }
+
+    /// Histogram merge is associative: (a+b)+c == a+(b+c), and both
+    /// equal recording everything into one histogram.
+    #[test]
+    fn histogram_merge_associates(
+        a in proptest::collection::vec(arb_value(), 0..20),
+        b in proptest::collection::vec(arb_value(), 0..20),
+        c in proptest::collection::vec(arb_value(), 0..20),
+    ) {
+        let left = hist_of(&a);
+        left.merge(&hist_of(&b));
+        left.merge(&hist_of(&c));
+
+        let bc = hist_of(&b);
+        bc.merge(&hist_of(&c));
+        let right = hist_of(&a);
+        right.merge(&bc);
+
+        let mut all: Vec<u64> = Vec::new();
+        all.extend_from_slice(&a);
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        let flat = hist_of(&all);
+
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+        prop_assert_eq!(left.snapshot(), flat.snapshot());
+    }
+
+    /// Snapshot-level merge agrees with histogram-level merge.
+    #[test]
+    fn snapshot_merge_matches_histogram_merge(
+        a in proptest::collection::vec(arb_value(), 0..20),
+        b in proptest::collection::vec(arb_value(), 0..20),
+    ) {
+        let h = hist_of(&a);
+        h.merge(&hist_of(&b));
+        let mut snap = hist_of(&a).snapshot();
+        snap.merge(&hist_of(&b).snapshot());
+        prop_assert_eq!(h.snapshot(), snap);
+
+        let mut id = HistogramSnapshot::empty();
+        id.merge(&h.snapshot());
+        prop_assert_eq!(h.snapshot(), id);
+    }
+
+    /// Registry merge is commutative across all metric kinds
+    /// (counters sum, gauges max-fold, histograms bucket-sum), down to
+    /// exported snapshot bytes.
+    #[test]
+    fn registry_merge_commutes(a in arb_recording(), b in arb_recording()) {
+        let ab = registry_of(&a);
+        ab.merge(&registry_of(&b));
+        let ba = registry_of(&b);
+        ba.merge(&registry_of(&a));
+        prop_assert_eq!(snapshot_bytes(&ab), snapshot_bytes(&ba));
+    }
+
+    /// Registry merge is associative, and the empty registry is the
+    /// identity on both sides.
+    #[test]
+    fn registry_merge_associates_with_empty_identity(
+        a in arb_recording(),
+        b in arb_recording(),
+        c in arb_recording(),
+    ) {
+        let left = registry_of(&a);
+        left.merge(&registry_of(&b));
+        left.merge(&registry_of(&c));
+
+        let bc = registry_of(&b);
+        bc.merge(&registry_of(&c));
+        let right = registry_of(&a);
+        right.merge(&bc);
+        prop_assert_eq!(snapshot_bytes(&left), snapshot_bytes(&right));
+
+        let id_left = registry();
+        id_left.merge(&registry_of(&a));
+        let id_right = registry_of(&a);
+        id_right.merge(&registry());
+        prop_assert_eq!(snapshot_bytes(&id_left), snapshot_bytes(&registry_of(&a)));
+        prop_assert_eq!(snapshot_bytes(&id_right), snapshot_bytes(&registry_of(&a)));
+    }
+
+    /// Partition-fold equality, the property the sharded cache relies
+    /// on: recording a stream split across N registries then merging
+    /// gives byte-identical snapshots to recording it all into one.
+    #[test]
+    fn partitioned_registries_fold_to_the_unpartitioned_snapshot(
+        values in proptest::collection::vec(arb_value(), 0..64),
+        parts in 1usize..5,
+    ) {
+        let whole = registry();
+        let wh = whole.histogram("prop.hist");
+        let wc = whole.counter("prop.counter");
+        let wg = whole.gauge("prop.gauge");
+        for &v in &values {
+            wh.record(v);
+            wc.add(v % 17);
+            wg.raise(v);
+        }
+
+        let folded = registry();
+        for part in 0..parts {
+            let own = registry();
+            let h = own.histogram("prop.hist");
+            let c = own.counter("prop.counter");
+            let g = own.gauge("prop.gauge");
+            for (i, &v) in values.iter().enumerate() {
+                if i % parts == part {
+                    h.record(v);
+                    c.add(v % 17);
+                    g.raise(v);
+                }
+            }
+            folded.merge(&own);
+        }
+        prop_assert_eq!(snapshot_bytes(&whole), snapshot_bytes(&folded));
+    }
+}
+
+/// Saturation edges, pinned exactly (not via sampling): 0 and 1 get
+/// their own buckets, `u64::MAX` lands in the last bucket, and sums
+/// wrap rather than panic.
+#[test]
+fn bucket_edges_are_exact() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert_eq!(bucket_upper_bound(0), 0);
+    assert_eq!(bucket_upper_bound(1), 1);
+    assert_eq!(bucket_upper_bound(64), u64::MAX);
+
+    let h = Histogram::new();
+    h.record(u64::MAX);
+    h.record(u64::MAX);
+    h.record(0);
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 3);
+    // Sums fold with wrapping adds; 2×u64::MAX wraps to MAX−1.
+    assert_eq!(snap.sum, u64::MAX.wrapping_add(u64::MAX));
+    assert_eq!(snap.buckets[64], 2);
+    assert_eq!(snap.buckets[0], 1);
+}

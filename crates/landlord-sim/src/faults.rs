@@ -165,6 +165,41 @@ impl FaultStats {
             FaultKind::TransientStoreError => self.store_errors += 1,
         }
     }
+
+    /// Export every counter into `registry` under the `faults.*`
+    /// prefix, so a metrics snapshot taken after a faulted run carries
+    /// the failure model's retries, degradations, and clamp counts
+    /// alongside the cache metrics. Additive: safe to call once per
+    /// run on a shared registry (counters fold by sum).
+    pub fn record_metrics(&self, registry: &landlord_obs::MetricsRegistry) {
+        registry.counter("faults.requests").add(self.requests);
+        registry
+            .counter("faults.failed_requests")
+            .add(self.failed_requests);
+        registry.counter("faults.injected").add(self.faults);
+        registry
+            .counter("faults.worker_crashes")
+            .add(self.worker_crashes);
+        registry
+            .counter("faults.build_failures")
+            .add(self.build_failures);
+        registry
+            .counter("faults.store_errors")
+            .add(self.store_errors);
+        registry.counter("faults.retries").add(self.retries);
+        registry
+            .counter("faults.backoff_ticks")
+            .add(self.backoff_ticks);
+        registry
+            .counter("faults.wasted_bytes")
+            .add(self.wasted_bytes);
+        registry
+            .counter("faults.degraded_inserts")
+            .add(self.degraded_inserts);
+        registry
+            .counter("faults.efficiency_clamps")
+            .add(self.efficiency_clamps);
+    }
 }
 
 /// Result of one simulation under the failure model.
@@ -414,6 +449,35 @@ mod tests {
             seed: 99,
             retry,
         }
+    }
+
+    #[test]
+    fn fault_stats_export_as_counters() {
+        use landlord_obs::{LogicalClock, MetricsRegistry};
+
+        let r = repo();
+        let w = workload();
+        let cfg = faults(250, RetryPolicy::new(2, 1, 8));
+        let result = simulate_with_faults(&r, &w, cache_cfg(&r), &cfg);
+        assert!(result.faults.faults > 0, "fault rate 25% must inject");
+
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        result.faults.record_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["faults.requests"], result.faults.requests);
+        assert_eq!(snap.counters["faults.injected"], result.faults.faults);
+        assert_eq!(snap.counters["faults.retries"], result.faults.retries);
+        assert_eq!(
+            snap.counters["faults.degraded_inserts"],
+            result.faults.degraded_inserts
+        );
+        assert_eq!(
+            snap.counters["faults.worker_crashes"]
+                + snap.counters["faults.build_failures"]
+                + snap.counters["faults.store_errors"],
+            result.faults.faults,
+            "fault kinds partition the injected total"
+        );
     }
 
     #[test]

@@ -36,7 +36,26 @@ pub fn simulate_stream_sharded(
     shards: usize,
     threads: usize,
 ) -> RunResult {
+    simulate_stream_sharded_observed(stream, cache_config, sizes, shards, threads, None)
+}
+
+/// [`simulate_stream_sharded`] with an optional metrics registry
+/// attached before the replay. The `core.*` metrics recorded into the
+/// registry fold exactly: at a fixed stream and config they are
+/// independent of both the thread count and whether shards share one
+/// registry or record into private registries merged afterwards.
+pub fn simulate_stream_sharded_observed(
+    stream: &[Spec],
+    cache_config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    shards: usize,
+    threads: usize,
+    registry: Option<&landlord_obs::MetricsRegistry>,
+) -> RunResult {
     let cache = ShardedImageCache::new(shards.max(1), cache_config, sizes);
+    if let Some(registry) = registry {
+        cache.attach_metrics(registry);
+    }
     replay_sharded(&cache, stream, threads.max(1));
     RunResult {
         final_stats: cache.stats(),
@@ -163,6 +182,68 @@ mod tests {
             (sharded.container_efficiency_pct() - eff.mean_pct()).abs() < 1e-9,
             "container-efficiency means diverged"
         );
+    }
+
+    /// The metrics analogue of the counter-fold property above, under
+    /// real concurrency: a 4-thread sharded replay recording into one
+    /// shared registry produces exactly the same deterministic `core.*`
+    /// metrics as per-shard single-threaded replays recording into
+    /// private registries merged afterwards.
+    #[test]
+    fn concurrent_metrics_fold_equals_partitioned_registries() {
+        use landlord_obs::{LogicalClock, MetricsRegistry};
+
+        let r = repo();
+        let jobs = stream();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let shards = 4usize;
+        let config = cfg(r.total_bytes() / 3);
+
+        let sharded = ShardedImageCache::new(shards, config, Arc::clone(&sizes));
+        let shared = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        sharded.attach_metrics(&shared);
+        replay_sharded(&sharded, &jobs, 4);
+        sharded.check_invariants();
+
+        let folded = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        for shard in 0..shards {
+            let shard_config = CacheConfig {
+                limit_bytes: shard_limit_bytes(config.limit_bytes, shards as u64, shard as u64),
+                ..config
+            };
+            let mut reference = ImageCache::new(shard_config, Arc::clone(&sizes));
+            let own = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+            reference.attach_metrics(&own);
+            for spec in jobs.iter().filter(|s| sharded.route(s) == shard) {
+                reference.request(spec);
+            }
+            reference.check_invariants();
+            folded.merge(&own);
+        }
+
+        let shared_snap = shared.snapshot();
+        let folded_snap = folded.snapshot();
+        for (name, hist) in &folded_snap.histograms {
+            assert_eq!(
+                shared_snap.histograms.get(name),
+                Some(hist),
+                "histogram {name} diverged under concurrency"
+            );
+        }
+        for (name, value) in &folded_snap.counters {
+            assert_eq!(
+                shared_snap.counters.get(name),
+                Some(value),
+                "counter {name} diverged under concurrency"
+            );
+        }
+        for (name, value) in &folded_snap.gauges {
+            assert_eq!(
+                shared_snap.gauges.get(name),
+                Some(value),
+                "gauge {name} diverged under concurrency"
+            );
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use landlord_core::conflict::ConflictPolicy;
 use landlord_core::policy::CachePolicy;
 use landlord_core::sizes::SizeModel;
 use landlord_core::spec::Spec;
+use landlord_obs::{LogicalClock, MetricsRegistry, MonotonicClock};
 use landlord_repo::Repository;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -67,8 +68,62 @@ pub fn simulate_policy(
     stream: &[Spec],
     sample_every: usize,
 ) -> RunResult {
+    simulate_policy_observed(policy, stream, sample_every, None)
+}
+
+/// The observability harness for one simulation run: a registry the
+/// policy records into, plus (for the deterministic flavour) the
+/// logical clock the driver advances once per request so span
+/// histograms measure *requests*, not wall time.
+pub struct SimObs {
+    /// The registry to attach to the policy and export afterwards.
+    pub registry: Arc<MetricsRegistry>,
+    /// The logical clock driving the registry, when deterministic;
+    /// `None` for wall-clock registries (the clock advances itself).
+    pub tick: Option<Arc<LogicalClock>>,
+}
+
+impl SimObs {
+    /// A registry on a logical clock, ticked once per request by
+    /// [`simulate_policy_observed`]: every metric — including span
+    /// histograms — is a pure function of the request stream, so the
+    /// exported snapshot is byte-identical across runs at a fixed
+    /// seed.
+    pub fn deterministic() -> Self {
+        let clock = Arc::new(LogicalClock::new());
+        SimObs {
+            registry: Arc::new(MetricsRegistry::new(Arc::clone(&clock) as _)),
+            tick: Some(clock),
+        }
+    }
+
+    /// A registry on a monotonic wall clock (nanosecond ticks), for
+    /// real timing (`bench-report`). Not deterministic by design.
+    pub fn wall_clock() -> Self {
+        SimObs {
+            registry: Arc::new(MetricsRegistry::new(Arc::new(MonotonicClock::new()))),
+            tick: None,
+        }
+    }
+}
+
+/// [`simulate_policy`] with optional observability: attaches the
+/// registry to the policy up front and, for deterministic harnesses,
+/// advances the logical clock once per request.
+pub fn simulate_policy_observed(
+    policy: &mut dyn CachePolicy,
+    stream: &[Spec],
+    sample_every: usize,
+    obs: Option<&SimObs>,
+) -> RunResult {
+    if let Some(o) = obs {
+        policy.attach_metrics(&o.registry);
+    }
     let mut series = Vec::new();
     for (i, spec) in stream.iter().enumerate() {
+        if let Some(tick) = obs.and_then(|o| o.tick.as_deref()) {
+            tick.tick();
+        }
         policy.request(spec);
         let done = i + 1 == stream.len();
         if sample_every > 0 && ((i + 1) % sample_every == 0 || done) {
@@ -194,6 +249,32 @@ mod tests {
             limit_bytes: limit,
             ..CacheConfig::default()
         }
+    }
+
+    #[test]
+    fn observed_run_records_spans_and_is_byte_deterministic() {
+        let r = repo();
+        let w = workload();
+        let jobs = workload::generate_stream(&r, &w);
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+
+        let run = |jobs: &[Spec]| {
+            let obs = SimObs::deterministic();
+            let mut cache =
+                ImageCache::new(cache_cfg(0.75, r.total_bytes() / 2), Arc::clone(&sizes));
+            simulate_policy_observed(&mut cache, jobs, 0, Some(&obs));
+            obs.registry.snapshot()
+        };
+
+        let snap = run(&jobs);
+        // One plan span and one apply span per request; the logical
+        // clock advanced once per request, so ticks sum to at most the
+        // request count per span.
+        assert_eq!(snap.histograms["core.plan_ticks"].count, jobs.len() as u64);
+        assert_eq!(snap.histograms["core.apply_ticks"].count, jobs.len() as u64);
+        assert!(snap.counters.contains_key("core.evictions"));
+        // The whole snapshot (JSON bytes included) reproduces exactly.
+        assert_eq!(snap.to_json_pretty(), run(&jobs).to_json_pretty());
     }
 
     #[test]

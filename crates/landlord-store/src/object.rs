@@ -12,6 +12,7 @@
 //!   directory (`objects/ab/abcdef….blob`), used by the CLI cache.
 
 use crate::hash::ContentHash;
+use landlord_obs::{Counter, MetricsRegistry};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::io;
@@ -117,9 +118,33 @@ pub struct DiskStore {
     root: PathBuf,
     // Index kept in memory; rebuilt by `open` from the directory tree.
     index: RwLock<HashMap<ContentHash, u64>>,
+    obs: Option<StoreObs>,
+}
+
+/// Pre-resolved counters for the disk store's I/O traffic.
+#[derive(Debug)]
+struct StoreObs {
+    puts: Arc<Counter>,
+    put_bytes: Arc<Counter>,
+    dedup_hits: Arc<Counter>,
+    gets: Arc<Counter>,
+    get_bytes: Arc<Counter>,
 }
 
 impl DiskStore {
+    /// Attach a metrics registry: from here on the store counts object
+    /// puts/gets, bytes moved, and dedup short-circuits under the
+    /// `store.*` prefix.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.obs = Some(StoreObs {
+            puts: registry.counter("store.obj_puts"),
+            put_bytes: registry.counter("store.obj_put_bytes"),
+            dedup_hits: registry.counter("store.obj_dedup_hits"),
+            gets: registry.counter("store.obj_gets"),
+            get_bytes: registry.counter("store.obj_get_bytes"),
+        });
+    }
+
     /// Create (or open) a store rooted at `root`.
     pub fn open(root: &Path) -> io::Result<Self> {
         std::fs::create_dir_all(root)?;
@@ -143,6 +168,7 @@ impl DiskStore {
         Ok(DiskStore {
             root: root.to_path_buf(),
             index: RwLock::new(index),
+            obs: None,
         })
     }
 
@@ -172,6 +198,9 @@ impl ObjectStore for DiskStore {
     fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
         let hash = ContentHash::of(data);
         if self.contains(hash) {
+            if let Some(obs) = &self.obs {
+                obs.dedup_hits.inc();
+            }
             return Ok(hash);
         }
         let path = self.path_of(hash);
@@ -181,6 +210,10 @@ impl ObjectStore for DiskStore {
         std::fs::write(&tmp, data)?;
         std::fs::rename(&tmp, &path)?;
         self.index.write().insert(hash, data.len() as u64);
+        if let Some(obs) = &self.obs {
+            obs.puts.inc();
+            obs.put_bytes.add(data.len() as u64);
+        }
         Ok(hash)
     }
 
@@ -189,7 +222,13 @@ impl ObjectStore for DiskStore {
             return Ok(None);
         }
         match std::fs::read(self.path_of(hash)) {
-            Ok(data) => Ok(Some(data)),
+            Ok(data) => {
+                if let Some(obs) = &self.obs {
+                    obs.gets.inc();
+                    obs.get_bytes.add(data.len() as u64);
+                }
+                Ok(Some(data))
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
             Err(e) => Err(e),
         }
@@ -324,5 +363,30 @@ mod tests {
         }
         // 50 shared + 4×50 private.
         assert_eq!(store.object_count(), 50 + 200);
+    }
+
+    #[test]
+    fn disk_store_metrics_count_io_and_dedup() {
+        use landlord_obs::LogicalClock;
+
+        let dir =
+            std::env::temp_dir().join(format!("landlord-disk-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DiskStore::open(&dir).unwrap();
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        store.attach_metrics(&registry);
+
+        let h = store.put(b"payload").unwrap();
+        store.put(b"payload").unwrap(); // dedup short-circuit
+        store.put(b"other").unwrap();
+        assert!(store.get(h).unwrap().is_some());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["store.obj_puts"], 2);
+        assert_eq!(snap.counters["store.obj_dedup_hits"], 1);
+        assert_eq!(snap.counters["store.obj_put_bytes"], 7 + 5);
+        assert_eq!(snap.counters["store.obj_gets"], 1);
+        assert_eq!(snap.counters["store.obj_get_bytes"], 7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
