@@ -1,0 +1,116 @@
+//! Cross-file structural analyses.
+//!
+//! The line [`crate::rules`] catch per-line smells; the analyses here
+//! reason over the [`crate::structure::StructureModel`] of *every*
+//! workspace file at once:
+//!
+//! - [`lock_order`]: the workspace lock-acquisition graph must be
+//!   acyclic, and no parking_lot guard may be held across store I/O;
+//! - [`atomic_ordering`]: every `Ordering::Relaxed` in non-test code
+//!   must carry a `// sync: <why relaxed is sound>` annotation;
+//! - [`counter_overflow`]: merge/fold paths must not use unchecked
+//!   `+`/`+=`/`*` on counter- or byte-size-like values.
+//!
+//! Each analysis respects the standard allow escape hatch
+//! (`// audit: allow(<analysis>) -- reason`); the analysis names are
+//! registered in [`crate::rules::ANALYSIS_RULES`] so allow hygiene
+//! accepts them.
+
+pub mod atomic_ordering;
+pub mod counter_overflow;
+pub mod lock_order;
+
+use crate::rules::{FileKind, Finding};
+use crate::scan::{self, SourceModel};
+use crate::structure::StructureModel;
+
+/// The analyses the audit binary can run, with one-line descriptions.
+pub const ANALYSES: &[(&str, &str)] = &[
+    (
+        "lock-order",
+        "workspace lock-acquisition graph must be cycle-free and no guard may be held across store I/O",
+    ),
+    (
+        "atomic-ordering",
+        "every Ordering::Relaxed in non-test code needs a `// sync: <why>` annotation (or an upgrade)",
+    ),
+    (
+        "counter-overflow",
+        "merge/fold paths must use saturating_*/checked_* on counter and byte-size values",
+    ),
+];
+
+/// True when `name` is one of the structural analyses.
+pub fn is_known_analysis(name: &str) -> bool {
+    ANALYSES.iter().any(|(n, _)| *n == name)
+}
+
+/// One fully-modelled source file, shared by all analyses.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Repo-relative path (or fixture label).
+    pub path: String,
+    /// Where in the workspace the file lives.
+    pub kind: FileKind,
+    /// Per-line classification (test regions, allows, sync notes).
+    pub lines: SourceModel,
+    /// Token-level structure (functions, calls, brace nesting).
+    pub structure: StructureModel,
+}
+
+impl FileModel {
+    /// Build the full model for one source text.
+    pub fn build(path: &str, kind: FileKind, source: &str) -> FileModel {
+        let lines = scan::scan(source);
+        let (blanked, _comments) = scan::blank_source(source);
+        let structure = StructureModel::build(&blanked, &lines);
+        FileModel {
+            path: path.to_string(),
+            kind,
+            lines,
+            structure,
+        }
+    }
+
+    /// Analyses only look at library code: examples, benches, and
+    /// integration tests exercise the APIs under test harness rules.
+    pub fn analyzed(&self) -> bool {
+        matches!(self.kind, FileKind::StrictLib | FileKind::Lib)
+    }
+}
+
+/// Run the named analyses over a modelled file set. Unknown names are
+/// the caller's error and are skipped here (the CLI validates them).
+pub fn run_analyses(files: &[FileModel], names: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for name in names {
+        match *name {
+            "lock-order" => findings.extend(lock_order::run(files)),
+            "atomic-ordering" => findings.extend(atomic_ordering::run(files)),
+            "counter-overflow" => findings.extend(counter_overflow::run(files)),
+            _ => {}
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    findings
+}
+
+/// Emit helper shared by the analyses: drops the finding when the line
+/// (or the line above) carries a matching allow directive.
+pub(crate) fn emit(
+    out: &mut Vec<Finding>,
+    file: &FileModel,
+    line: usize,
+    rule: &'static str,
+    message: String,
+) {
+    if file.lines.is_allowed(line, rule) {
+        return;
+    }
+    out.push(Finding {
+        file: file.path.clone(),
+        line: line + 1,
+        rule,
+        message,
+    });
+}

@@ -8,9 +8,13 @@
 //! See [`rules::RULES`] for the enforced rule set and DESIGN.md
 //! ("Correctness tooling") for the rationale.
 
+pub mod analyses;
 pub mod rules;
 pub mod scan;
+pub mod structure;
+pub mod tokens;
 
+use analyses::FileModel;
 use rules::{check_file, FileKind, Finding, STRICT_CRATES};
 use std::path::{Path, PathBuf};
 
@@ -28,9 +32,18 @@ pub fn audit_source(label: &str, kind: FileKind, source: &str) -> Vec<Finding> {
     check_file(label, kind, &scan::scan(source))
 }
 
-/// Audit the workspace rooted at `root` (the directory containing the
-/// top-level `Cargo.toml` and `crates/`).
-pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
+/// Run the named structural analyses over a set of in-memory sources,
+/// as the analysis fixture tests do.
+pub fn analyze_sources(sources: &[(&str, FileKind, &str)], names: &[&str]) -> Vec<Finding> {
+    let files: Vec<FileModel> = sources
+        .iter()
+        .map(|(path, kind, src)| FileModel::build(path, *kind, src))
+        .collect();
+    analyses::run_analyses(&files, names)
+}
+
+/// Enumerate every auditable source file under `root` with its kind.
+fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<(PathBuf, FileKind)>> {
     let mut files: Vec<(PathBuf, FileKind)> = Vec::new();
 
     let crates_dir = root.join("crates");
@@ -54,6 +67,13 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
     collect_rs(&root.join("tests"), FileKind::IntegrationTest, &mut files)?;
 
     files.sort();
+    Ok(files)
+}
+
+/// Audit the workspace rooted at `root` (the directory containing the
+/// top-level `Cargo.toml` and `crates/`) with the per-line rules.
+pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = collect_workspace_files(root)?;
     let mut findings = Vec::new();
     for (path, kind) in &files {
         let source = std::fs::read_to_string(path)?;
@@ -69,6 +89,74 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<Report> {
         findings,
         files_scanned: files.len(),
     })
+}
+
+/// Run the named structural analyses over the whole workspace.
+pub fn analyze_workspace(root: &Path, names: &[&str]) -> std::io::Result<Report> {
+    let files = collect_workspace_files(root)?;
+    let mut models = Vec::with_capacity(files.len());
+    for (path, kind) in &files {
+        let source = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        models.push(FileModel::build(&rel, *kind, &source));
+    }
+    Ok(Report {
+        findings: analyses::run_analyses(&models, names),
+        files_scanned: models.len(),
+    })
+}
+
+/// Render findings as a machine-readable JSON report (hand-rolled so
+/// the audit crate keeps zero dependencies).
+pub fn json_report(passes: &[&str], files_scanned: usize, findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"passes\": [");
+    for (i, p) in passes.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&json_string(p));
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {},\n", findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i > 0 { ",\n    " } else { "\n    " });
+        out.push_str(&format!(
+            "{{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&f.file),
+            f.line,
+            json_string(f.rule),
+            json_string(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Walk upward from `start` to the workspace root (identified by a

@@ -1,4 +1,4 @@
-//! The nine project-specific lints, plus allow-directive hygiene.
+//! The ten project-specific lints, plus allow-directive hygiene.
 //!
 //! Each rule pattern-matches on the blanked `code` text produced by
 //! [`crate::scan`], so string literals and comments never trigger
@@ -44,7 +44,11 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "no-raw-clock",
-        "landlord-core/-sim non-test code must not read std::time directly (Instant/SystemTime): go through the landlord-obs Clock abstraction so runs stay deterministic",
+        "landlord-core/-sim/-store/-obs non-test code must not read std::time directly (Instant/SystemTime): go through the landlord-obs Clock abstraction so runs stay deterministic",
+    ),
+    (
+        "no-unsafe",
+        "`unsafe` is banned in workspace code: encapsulate the need behind a safe API or justify it with an allow",
     ),
     (
         "bad-allow",
@@ -52,9 +56,14 @@ pub const RULES: &[(&str, &str)] = &[
     ),
 ];
 
-/// True when `rule` is one of the audit's known rule names.
+/// The structural analyses (see [`crate::analyses`]) also accept allow
+/// directives. They run in a separate pass, so the stale-allow check
+/// here must leave their directives alone.
+pub const ANALYSIS_RULES: &[&str] = &["lock-order", "atomic-ordering", "counter-overflow"];
+
+/// True when `rule` is one of the audit's known rule or analysis names.
 pub fn is_known_rule(rule: &str) -> bool {
-    RULES.iter().any(|(name, _)| *name == rule)
+    RULES.iter().any(|(name, _)| *name == rule) || ANALYSIS_RULES.contains(&rule)
 }
 
 /// One lint violation.
@@ -117,10 +126,18 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
     let apply_side = file.ends_with("cache/apply.rs");
 
     // R9: no-raw-clock — the deterministic crates must route all time
-    // through landlord-obs's Clock. (landlord-obs itself implements
-    // MonotonicClock over Instant, and the CLI's bench-report times
-    // wall-clock on purpose; neither path is scoped here.)
-    let clock_scoped = file.contains("landlord-core/src") || file.contains("landlord-sim/src");
+    // through landlord-obs's Clock. clock.rs is the one sanctioned
+    // Instant wrapper (MonotonicClock), and the CLI's bench-report
+    // times wall-clock on purpose; neither path is scoped here.
+    let clock_scoped = [
+        "landlord-core",
+        "landlord-sim",
+        "landlord-store",
+        "landlord-obs",
+    ]
+    .iter()
+    .any(|c| file.contains(&format!("{c}/src")))
+        && !file.ends_with("landlord-obs/src/clock.rs");
 
     for (idx, info) in model.lines.iter().enumerate() {
         let code = info.code.as_str();
@@ -338,6 +355,20 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
             }
         }
 
+        // R10: no-unsafe — everywhere, tests included. The workspace
+        // is pure-safe Rust by policy; a genuinely unavoidable unsafe
+        // block must carry an allow with its safety argument.
+        if contains_token(code, "unsafe") {
+            emit(
+                idx,
+                "no-unsafe",
+                "`unsafe` in workspace code: rework behind a safe API, or justify with \
+                 `// audit: allow(no-unsafe) -- <safety argument>`"
+                    .to_string(),
+                &mut findings,
+            );
+        }
+
         // Allow hygiene: unknown rule names and missing reasons.
         if info.malformed_allow {
             findings.push(Finding {
@@ -395,9 +426,11 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
     }
 
     // Allow hygiene: an allow that suppressed nothing is stale.
+    // Analysis allows are exercised by the analysis passes, which this
+    // per-file pass cannot see — they are exempt from staleness.
     for (idx, info) in model.lines.iter().enumerate() {
         for rule in &info.allows {
-            if !is_known_rule(rule) {
+            if !is_known_rule(rule) || ANALYSIS_RULES.contains(&rule.as_str()) {
                 continue;
             }
             let used = used_allows

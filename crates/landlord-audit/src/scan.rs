@@ -29,6 +29,10 @@ pub struct LineInfo {
     pub allows: Vec<String>,
     /// True if an allow comment on this line is missing its `-- reason`.
     pub malformed_allow: bool,
+    /// True if the line carries a `// sync: <why>` annotation
+    /// justifying a relaxed atomic ordering (see the atomic-ordering
+    /// analysis in [`crate::analyses`]).
+    pub sync_note: bool,
 }
 
 /// The span of one function body (inclusive, 0-based line indices).
@@ -76,13 +80,14 @@ struct Scope {
 
 /// Scan `source` into a [`SourceModel`].
 pub fn scan(source: &str) -> SourceModel {
-    let (blanked, comments) = blank_comments_and_strings(source);
+    let (blanked, comments) = blank_source(source);
     classify(&blanked, &comments)
 }
 
 /// Pass 1: blank comment text and literal contents; collect per-line
-/// comment text (for allow-directive parsing).
-fn blank_comments_and_strings(source: &str) -> (String, Vec<String>) {
+/// comment text (for allow-directive parsing). Public so the
+/// structural analyses can tokenize the same neutralised text.
+pub fn blank_source(source: &str) -> (String, Vec<String>) {
     let chars: Vec<char> = source.chars().collect();
     let mut out = String::with_capacity(source.len());
     let mut comments: Vec<String> = vec![String::new()];
@@ -141,69 +146,70 @@ fn blank_comments_and_strings(source: &str) -> (String, Vec<String>) {
                     }
                 }
             }
-            '"' => {
-                // Ordinary string (possibly preceded by b, handled as
-                // plain code). Blank contents, keep the quotes.
-                push!('"');
-                i += 1;
-                while i < chars.len() {
-                    if chars[i] == '\\' && i + 1 < chars.len() {
-                        blank!(chars[i]);
-                        blank!(chars[i + 1]);
-                        i += 2;
-                    } else if chars[i] == '"' {
-                        push!('"');
-                        i += 1;
-                        break;
-                    } else {
+            _ if string_literal_start(&chars, i).is_some() => {
+                // Any string literal: `"..."`, `b"..."`, `c"..."`,
+                // `r"..."`, `r#"..."#`, `br#"..."#`, `cr"..."`, with
+                // any number of hashes. The prefix and quotes are kept
+                // as code; contents are blanked. Raw strings have no
+                // escapes and close only on `"` followed by exactly
+                // their hash count, so a raw string containing
+                // `.unwrap()`, `*/`, or bare quotes cannot corrupt the
+                // blanking.
+                let (prefix_len, raw, hashes) =
+                    string_literal_start(&chars, i).expect("guard checked");
+                for _ in 0..prefix_len {
+                    push!(chars[i]);
+                    i += 1;
+                }
+                if raw {
+                    'raw: while i < chars.len() {
+                        if chars[i] == '"' {
+                            let closes = (0..hashes).all(|k| chars.get(i + 1 + k) == Some(&'#'));
+                            if closes {
+                                push!('"');
+                                i += 1;
+                                for _ in 0..hashes {
+                                    push!('#');
+                                    i += 1;
+                                }
+                                break 'raw;
+                            }
+                        }
                         blank!(chars[i]);
                         i += 1;
                     }
-                }
-            }
-            'r' if is_raw_string_start(&chars, i) => {
-                // r"..." / r#"..."# / r##"..."## (also br...).
-                push!('r');
-                i += 1;
-                let mut hashes = 0;
-                while chars.get(i) == Some(&'#') {
-                    push!('#');
-                    hashes += 1;
-                    i += 1;
-                }
-                push!('"');
-                i += 1;
-                'raw: while i < chars.len() {
-                    if chars[i] == '"' {
-                        let mut ok = true;
-                        for k in 0..hashes {
-                            if chars.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
+                } else {
+                    while i < chars.len() {
+                        if chars[i] == '\\' && i + 1 < chars.len() {
+                            blank!(chars[i]);
+                            blank!(chars[i + 1]);
+                            i += 2;
+                        } else if chars[i] == '"' {
                             push!('"');
                             i += 1;
-                            for _ in 0..hashes {
-                                push!('#');
-                                i += 1;
-                            }
-                            break 'raw;
+                            break;
+                        } else {
+                            blank!(chars[i]);
+                            i += 1;
                         }
                     }
-                    blank!(chars[i]);
-                    i += 1;
                 }
             }
             '\'' => {
                 // Char literal or lifetime. A char literal closes with
                 // a `'` within a few characters; a lifetime does not.
                 if next == Some('\\') {
-                    // Escaped char literal: '\n', '\u{...}', '\''.
+                    // Escaped char literal: '\n', '\u{...}', '\''. The
+                    // character right after the backslash is part of
+                    // the escape and never closes the literal (so
+                    // '\'' blanks correctly).
                     push!('\'');
                     blank!(' ');
                     i += 2;
+                    if i < chars.len() {
+                        blank!(chars[i]);
+                        i += 1;
+                    }
                     while i < chars.len() && chars[i] != '\'' {
                         blank!(chars[i]);
                         i += 1;
@@ -232,19 +238,40 @@ fn blank_comments_and_strings(source: &str) -> (String, Vec<String>) {
     (out, comments)
 }
 
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // `r` must not be part of a longer identifier.
+/// Does a string literal start at `i`? Returns `(prefix_len, raw,
+/// hashes)` where `prefix_len` counts every character up to and
+/// including the opening quote. Recognises all of Rust's string
+/// prefixes: `b`, `c`, `r`, `br`, `cr`, with any number of hashes on
+/// the raw forms. Raw identifiers (`r#match`) and longer identifiers
+/// ending in a prefix letter do not match.
+fn string_literal_start(chars: &[char], i: usize) -> Option<(usize, bool, usize)> {
+    // The prefix must not be the tail of a longer identifier.
     if i > 0 {
         let prev = chars[i - 1];
         if prev.is_alphanumeric() || prev == '_' {
-            return false;
+            return None;
         }
     }
-    let mut j = i + 1;
-    while chars.get(j) == Some(&'#') {
+    let mut j = i;
+    if matches!(chars.get(j), Some('b') | Some('c')) {
         j += 1;
     }
-    chars.get(j) == Some(&'"')
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i + 1, raw, hashes))
+    } else {
+        None
+    }
 }
 
 /// Pass 2: walk the blanked source, tracking brace scopes, attributes,
@@ -265,6 +292,7 @@ fn classify(blanked: &str, comments: &[String]) -> SourceModel {
     for (line_no, raw_line) in blanked.lines().enumerate() {
         let comment = comments.get(line_no).map(String::as_str).unwrap_or("");
         let (allows, malformed_allow) = parse_allow(comment);
+        let sync_note = comment.contains("sync:");
         let mut in_test = stack.iter().any(|s| s.is_test) || pending_cfg_test || pending_test_attr;
         let mut fn_name = innermost_fn(&stack).map(str::to_string);
 
@@ -373,6 +401,7 @@ fn classify(blanked: &str, comments: &[String]) -> SourceModel {
             fn_name,
             allows,
             malformed_allow,
+            sync_note,
         });
     }
 
@@ -536,5 +565,63 @@ mod tests {
         let m = scan("/* outer /* inner .unwrap() */ still comment */ fn f() {}\n");
         assert!(!m.lines[0].code.contains("unwrap"));
         assert_eq!(m.fns[0].name, "f");
+    }
+
+    #[test]
+    fn byte_raw_strings_are_blanked() {
+        // `br`/`cr` prefixes used to defeat raw-string detection: the
+        // string was lexed as an ordinary one, so an interior `"`
+        // re-opened code mid-literal.
+        let m = scan("let s = br#\"say \"hi\" then .unwrap() and */\"#; fn g() {}\n");
+        assert!(!m.lines[0].code.contains("unwrap"), "{}", m.lines[0].code);
+        assert!(!m.lines[0].code.contains("hi"));
+        assert!(!m.lines[0].code.contains("*/"));
+        assert_eq!(m.fns[0].name, "g");
+        let m = scan("let s = b\"panic!(x)\"; let t = cr\"todo!()\";\n");
+        assert!(!m.lines[0].code.contains("panic"));
+        assert!(!m.lines[0].code.contains("todo"));
+    }
+
+    #[test]
+    fn raw_string_with_comment_closers_does_not_corrupt() {
+        // `*/` and `/*` inside a raw string are literal text; the code
+        // after the string must stay code.
+        let src = "let s = r#\"*/ /* .unwrap() //\"#;\nfn h() { body(); }\n";
+        let m = scan(src);
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert_eq!(m.fns[0].name, "h");
+        assert!(m.lines[1].code.contains("body"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_closes_correctly() {
+        // '\'' used to close at the escaped quote, leaving a stray `'`
+        // in the code stream.
+        let m = scan("let q = '\\''; let s = \".unwrap()\"; fn k() {}\n");
+        assert!(!m.lines[0].code.contains("unwrap"), "{}", m.lines[0].code);
+        assert_eq!(m.fns[0].name, "k");
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_strings() {
+        let m = scan("fn r#match() { let r#fn = 1; body(); }\n");
+        assert!(m.lines[0].code.contains("body"));
+        assert_eq!(m.fns.len(), 1, "raw-ident fn still found");
+    }
+
+    #[test]
+    fn multiline_raw_string_spans_lines() {
+        let src = "let s = r#\"line one .unwrap()\nline two */\n\"#;\nfn tail() {}\n";
+        let m = scan(src);
+        assert!(!m.lines[0].code.contains("unwrap"));
+        assert!(!m.lines[1].code.contains("*/"));
+        assert_eq!(m.fns[0].name, "tail");
+    }
+
+    #[test]
+    fn sync_notes_are_tracked() {
+        let m = scan("x.load(Relaxed); // sync: folded on read, never a publish\ny();\n");
+        assert!(m.lines[0].sync_note);
+        assert!(!m.lines[1].sync_note);
     }
 }

@@ -1,0 +1,474 @@
+//! Structural model of one source file: functions, impl blocks, call
+//! targets, and brace nesting, built over the [`crate::tokens`] stream.
+//!
+//! This layers *under* the per-line [`crate::scan::SourceModel`]: both
+//! are derived from the same blanked text, so line numbers agree and
+//! the structural analyses can consult line-level facts (test regions,
+//! allow directives, `// sync:` notes) for any token.
+//!
+//! The model is deliberately type-free: it records *names* (function
+//! names, impl self-type names, callee names, receiver ident chains)
+//! and lets each analysis decide how much ambiguity it tolerates.
+
+use crate::scan::SourceModel;
+use crate::tokens::{tokenize, Token, TokenKind};
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called function's name (last path segment).
+    pub callee: String,
+    /// Path segments before the callee for `A::b::c(..)` calls
+    /// (empty for plain calls and method calls).
+    pub path: Vec<String>,
+    /// For method calls, the receiver's ident chain with indexing and
+    /// call parentheses elided: `self.inner.shards[i].cache.lock()`
+    /// yields `["self", "inner", "shards", "cache"]`.
+    pub receiver: Vec<String>,
+    /// True for `recv.callee(..)` method calls.
+    pub is_method: bool,
+    /// Token index of the callee ident.
+    pub token: usize,
+    /// 0-based line of the callee ident.
+    pub line: usize,
+}
+
+/// One function found in the file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's own name.
+    pub name: String,
+    /// The `impl` self type the function lives in, when any
+    /// (`impl Foo` and `impl Trait for Foo` both yield `Foo`).
+    pub self_type: Option<String>,
+    /// `Type::name` when inside an impl, else just `name`.
+    pub qualified: String,
+    /// True when the function is inside any test-only region (a
+    /// `#[test]` attribute or `#[cfg(test)]` scope), per the line
+    /// classification of [`SourceModel`].
+    pub in_test: bool,
+    /// Token indices of the body's `{` and matching `}`.
+    pub body: (usize, usize),
+    /// 0-based line of the body's opening brace.
+    pub start_line: usize,
+    /// 0-based line of the body's closing brace.
+    pub end_line: usize,
+    /// Every call site in the body, in token order.
+    pub calls: Vec<CallSite>,
+}
+
+/// Token stream plus the functions shaping it.
+#[derive(Debug)]
+pub struct StructureModel {
+    /// The file's full token stream (blanked text).
+    pub tokens: Vec<Token>,
+    /// Every function body, in source order.
+    pub fns: Vec<FnInfo>,
+}
+
+impl StructureModel {
+    /// Build the structural model from blanked source text and its
+    /// line classification (both produced by [`crate::scan`]).
+    pub fn build(blanked: &str, lines: &SourceModel) -> StructureModel {
+        let tokens = tokenize(blanked);
+        let fns = find_fns(&tokens, lines);
+        StructureModel { tokens, fns }
+    }
+
+    /// The function whose body contains token `idx`, if any. Inner
+    /// (nested) functions win over enclosing ones.
+    pub fn fn_at(&self, idx: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= idx && idx <= f.body.1)
+            .max_by_key(|f| f.body.0)
+    }
+}
+
+/// Scope kinds the brace tracker distinguishes.
+#[derive(Debug)]
+enum ScopeKind {
+    /// An `impl` block for the named self type.
+    Impl(String),
+    /// A function body.
+    Fn,
+    /// Any other brace scope.
+    Other,
+}
+
+fn find_fns(tokens: &[Token], lines: &SourceModel) -> Vec<FnInfo> {
+    let mut fns: Vec<FnInfo> = Vec::new();
+    let mut stack: Vec<ScopeKind> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut pending_impl: Option<String> = None;
+    let mut i = 0usize;
+
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match (t.kind, t.text.as_str()) {
+            // `#[...]` attributes: skip wholesale so `test` inside an
+            // attribute path is never mistaken for an ident of
+            // interest (test regions come from `lines`).
+            (TokenKind::Punct, "#") if tokens.get(i + 1).is_some_and(|n| n.is_punct("[")) => {
+                let mut depth = 0usize;
+                i += 1;
+                while i < tokens.len() {
+                    if tokens[i].is_punct("[") {
+                        depth += 1;
+                    } else if tokens[i].is_punct("]") {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            (TokenKind::Ident, "impl") if pending_fn.is_none() => {
+                // Only a top-of-item `impl` opens an impl block;
+                // `-> impl Trait` in a pending fn signature does not.
+                pending_impl = Some(parse_impl_type(tokens, i + 1));
+            }
+            (TokenKind::Ident, "fn") => {
+                if let Some(name) = tokens.get(i + 1) {
+                    if name.kind == TokenKind::Ident {
+                        pending_fn = Some(name.text.clone());
+                    }
+                }
+            }
+            (TokenKind::Punct, ";") => {
+                // Trait method declarations and items without bodies.
+                pending_fn = None;
+            }
+            (TokenKind::Punct, "{") => {
+                if let Some(name) = pending_fn.take() {
+                    let close = matching_brace(tokens, i);
+                    let self_type = stack.iter().rev().find_map(|s| match s {
+                        ScopeKind::Impl(ty) => Some(ty.clone()),
+                        _ => None,
+                    });
+                    let qualified = match &self_type {
+                        Some(ty) => format!("{ty}::{name}"),
+                        None => name.clone(),
+                    };
+                    let start_line = tokens[i].line;
+                    let end_line = tokens.get(close).map_or(start_line, |t| t.line);
+                    let in_test = lines
+                        .lines
+                        .get(start_line)
+                        .map(|l| l.in_test)
+                        .unwrap_or(false);
+                    fns.push(FnInfo {
+                        name,
+                        self_type,
+                        qualified,
+                        in_test,
+                        body: (i, close),
+                        start_line,
+                        end_line,
+                        calls: Vec::new(),
+                    });
+                    stack.push(ScopeKind::Fn);
+                } else if let Some(ty) = pending_impl.take() {
+                    stack.push(ScopeKind::Impl(ty));
+                } else {
+                    stack.push(ScopeKind::Other);
+                }
+            }
+            (TokenKind::Punct, "}") => {
+                stack.pop();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+
+    // Second pass: collect call sites per function.
+    let mut sites = find_calls(tokens);
+    sites.sort_by_key(|s| s.token);
+    for site in sites {
+        // Attribute each call to the innermost containing fn.
+        let owner = fns
+            .iter_mut()
+            .filter(|f| f.body.0 < site.token && site.token < f.body.1)
+            .max_by_key(|f| f.body.0);
+        if let Some(f) = owner {
+            f.calls.push(site);
+        }
+    }
+    fns
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Extract the self-type name of an `impl` item starting after the
+/// `impl` keyword: the last path ident outside angle brackets, taken
+/// after `for` when present (`impl<K> Index for Lsh<K>` → `Lsh`).
+fn parse_impl_type(tokens: &[Token], mut i: usize) -> String {
+    let mut angle: i32 = 0;
+    let mut last_ident = String::new();
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle += 1,
+            (TokenKind::Punct, ">") => angle = (angle - 1).max(0),
+            (TokenKind::Punct, "->") => {}
+            (TokenKind::Punct, "{") | (TokenKind::Ident, "where") => break,
+            (TokenKind::Ident, "for") if angle == 0 => last_ident.clear(),
+            (TokenKind::Ident, "dyn") | (TokenKind::Ident, "mut") => {}
+            (TokenKind::Ident, _) if angle == 0 => last_ident = t.text.clone(),
+            _ => {}
+        }
+        i += 1;
+    }
+    last_ident
+}
+
+/// Keywords that look like `ident (` but are not calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "let", "else", "move", "fn",
+    "unsafe", "pub",
+];
+
+fn find_calls(tokens: &[Token]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokenKind::Ident || CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if !tokens.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        // `name!(...)` macros and `fn name(` definitions are not calls.
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        if prev.is_some_and(|p| p.is_ident("fn") || p.is_punct("!")) {
+            continue;
+        }
+        // Macro invocation: `name !` handled above; also skip when the
+        // NEXT token after the ident is `!` (never reaches here since
+        // `(` is required).
+        let mut site = CallSite {
+            callee: t.text.clone(),
+            path: Vec::new(),
+            receiver: Vec::new(),
+            is_method: false,
+            token: i,
+            line: t.line,
+        };
+        match prev {
+            Some(p) if p.is_punct(".") => {
+                site.is_method = true;
+                site.receiver = receiver_chain(tokens, i - 1);
+            }
+            Some(p) if p.is_punct("::") => {
+                site.path = path_chain(tokens, i - 1);
+            }
+            _ => {}
+        }
+        out.push(site);
+    }
+    out
+}
+
+/// Walk a method-call receiver backwards from the `.` at `dot`:
+/// collects the ident chain, skipping balanced `[..]`/`(..)` groups
+/// (`self.inner.shards[i].cache` → `[self, inner, shards, cache]`).
+pub fn receiver_chain(tokens: &[Token], dot: usize) -> Vec<String> {
+    let mut rev: Vec<String> = Vec::new();
+    let mut i = dot; // index of the `.` before the callee
+                     // Before the dot there must be an ident, `)`, `]`, or a number
+                     // (tuple field like `.0`).
+    while let Some(prev) = i.checked_sub(1) {
+        let t = &tokens[prev];
+        if t.is_punct("]") || t.is_punct(")") {
+            // Skip the balanced group, then expect an ident before it.
+            let open = if t.is_punct("]") { "[" } else { "(" };
+            let close = &t.text;
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                if tokens[j].text == *close && tokens[j].kind == TokenKind::Punct {
+                    depth += 1;
+                } else if tokens[j].is_punct(open) {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                let Some(nj) = j.checked_sub(1) else { break };
+                j = nj;
+            }
+            i = j;
+            // A call group `name(...)` keeps its name in the chain.
+            continue;
+        }
+        if t.kind == TokenKind::Ident || t.kind == TokenKind::Number {
+            rev.push(t.text.clone());
+            // Continue the chain over `.` or `::`.
+            match i.checked_sub(2).map(|p| &tokens[p]) {
+                Some(link) if link.is_punct(".") || link.is_punct("::") => {
+                    i = prev.saturating_sub(1);
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        break;
+    }
+    rev.reverse();
+    rev
+}
+
+/// Walk a `::` path backwards from the `::` at `sep`:
+/// `std::fs::write` → `[std, fs]` (the callee itself excluded).
+fn path_chain(tokens: &[Token], sep: usize) -> Vec<String> {
+    let mut rev: Vec<String> = Vec::new();
+    let mut i = sep;
+    while let Some(prev) = i.checked_sub(1) {
+        let t = &tokens[prev];
+        // Skip turbofish / generic args between path segments.
+        if t.is_punct(">") {
+            let mut depth = 0i32;
+            let mut j = prev;
+            loop {
+                if tokens[j].is_punct(">") {
+                    depth += 1;
+                } else if tokens[j].is_punct("<") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                let Some(nj) = j.checked_sub(1) else { break };
+                j = nj;
+            }
+            i = j;
+            continue;
+        }
+        if t.kind == TokenKind::Ident {
+            rev.push(t.text.clone());
+            match prev.checked_sub(1).map(|p| &tokens[p]) {
+                Some(link) if link.is_punct("::") => {
+                    i = prev - 1;
+                    continue;
+                }
+                _ => break,
+            }
+        }
+        break;
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan;
+
+    fn model(src: &str) -> StructureModel {
+        let (blanked, _comments) = scan::blank_source(src);
+        let lines = scan::scan(src);
+        StructureModel::build(&blanked, &lines)
+    }
+
+    #[test]
+    fn fns_and_impl_types() {
+        let src = "impl ShardedImageCache {\n    pub fn request(&self, spec: &Spec) -> Outcome {\n        self.serve(spec)\n    }\n}\nfn free() {}\n";
+        let m = model(src);
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[0].qualified, "ShardedImageCache::request");
+        assert_eq!(m.fns[0].self_type.as_deref(), Some("ShardedImageCache"));
+        assert_eq!(m.fns[1].qualified, "free");
+    }
+
+    #[test]
+    fn trait_impls_use_the_self_type() {
+        let src =
+            "impl<K: Key> CandidateIndex for LshIndex<K> {\n    fn probe(&self) { x(); }\n}\n";
+        let m = model(src);
+        assert_eq!(m.fns[0].qualified, "LshIndex::probe");
+    }
+
+    #[test]
+    fn return_position_impl_is_not_an_impl_block() {
+        let src = "fn make() -> impl Iterator<Item = u64> {\n    build()\n}\n";
+        let m = model(src);
+        assert_eq!(m.fns.len(), 1);
+        assert_eq!(m.fns[0].qualified, "make");
+        assert!(m.fns[0].self_type.is_none());
+    }
+
+    #[test]
+    fn calls_record_receiver_chains() {
+        let src = "fn f(&self) {\n    let g = self.inner.shards[i].cache.lock();\n    helper(g);\n    std::fs::write(p, b);\n}\n";
+        let m = model(src);
+        let calls = &m.fns[0].calls;
+        let lock = calls.iter().find(|c| c.callee == "lock").expect("lock");
+        assert!(lock.is_method);
+        assert_eq!(lock.receiver, vec!["self", "inner", "shards", "cache"]);
+        let helper = calls.iter().find(|c| c.callee == "helper").expect("helper");
+        assert!(!helper.is_method);
+        assert!(helper.receiver.is_empty());
+        let write = calls.iter().find(|c| c.callee == "write").expect("write");
+        assert_eq!(write.path, vec!["std", "fs"]);
+    }
+
+    #[test]
+    fn chained_call_receivers_keep_the_chain() {
+        let src = "fn f() {\n    self.counters.read().get(name);\n}\n";
+        let m = model(src);
+        let get = m.fns[0]
+            .calls
+            .iter()
+            .find(|c| c.callee == "get")
+            .expect("get call");
+        // The chain walks through the `read()` call group.
+        assert_eq!(get.receiver, vec!["self", "counters", "read"]);
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x(); }\n}\nfn lib() { y(); }\n";
+        let m = model(src);
+        let t = m.fns.iter().find(|f| f.name == "t").expect("test fn");
+        assert!(t.in_test);
+        let lib = m.fns.iter().find(|f| f.name == "lib").expect("lib fn");
+        assert!(!lib.in_test);
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let src = "fn f() {\n    assert_eq!(a, b);\n    println!(\"x\");\n    real(a);\n}\n";
+        let m = model(src);
+        let names: Vec<&str> = m.fns[0].calls.iter().map(|c| c.callee.as_str()).collect();
+        assert!(names.contains(&"real"));
+        assert!(!names.contains(&"assert_eq"));
+        assert!(!names.contains(&"println"));
+    }
+
+    #[test]
+    fn fn_at_finds_innermost() {
+        let src = "fn outer() {\n    fn inner() { x(); }\n    y();\n}\n";
+        let m = model(src);
+        let inner = m.fns.iter().find(|f| f.name == "inner").expect("inner");
+        let x_call = &inner.calls[0];
+        assert_eq!(m.fn_at(x_call.token).expect("owner").name, "inner");
+    }
+}

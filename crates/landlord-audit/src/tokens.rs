@@ -1,0 +1,319 @@
+//! Whole-file token stream for the structural analyses.
+//!
+//! [`crate::scan`] classifies *lines*; the cross-file analyses
+//! (lock-order, atomic-ordering, counter-overflow) need more: call
+//! targets, receiver chains, operator occurrences, brace nesting. This
+//! module lexes the *blanked* source (strings and comments already
+//! neutralised by [`crate::scan::blank_source`]) into a flat token
+//! stream with line numbers, which [`crate::structure`] then shapes
+//! into functions and impl blocks.
+//!
+//! The lexer is deliberately small: identifiers, numbers, lifetimes,
+//! (blanked) string/char literals, and punctuation with maximal-munch
+//! multi-character operators (`::`, `->`, `+=`, `..=`, ...). It is not
+//! a full Rust lexer — it only needs to be faithful on blanked text,
+//! where literal contents can no longer confuse it.
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `impl`, `foo`, `u64`).
+    Ident,
+    /// Numeric literal (`42`, `0x1f`, `1_000`).
+    Number,
+    /// A (blanked) string literal, raw or not, including prefixes.
+    Str,
+    /// A (blanked) char literal.
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation, possibly multi-character (`::`, `+=`, `{`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token text. For `Str`/`Char` this is the blanked literal.
+    pub text: String,
+    /// Coarse classification.
+    pub kind: TokenKind,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// True when this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works by
+/// scanning the table in order.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+/// Lex blanked source into tokens. Never fails: unexpected bytes
+/// become single-character `Punct` tokens.
+pub fn tokenize(blanked: &str) -> Vec<Token> {
+    let chars: Vec<char> = blanked.chars().collect();
+    let mut tokens = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // String literal (blanked): optional b/c prefix, optional r and
+        // hashes, then a quote. The blanking pass guarantees contents
+        // are spaces/newlines, so scanning to the closing quote+hashes
+        // is exact.
+        if let Some((prefix_len, hashes)) = string_start(&chars, i) {
+            let start_line = line;
+            let mut text = String::new();
+            let mut j = i;
+            for _ in 0..prefix_len {
+                text.push(chars[j]);
+                j += 1;
+            }
+            // Body: scan for `"` followed by `hashes` hashes.
+            while j < chars.len() {
+                let ch = chars[j];
+                if ch == '\n' {
+                    line += 1;
+                }
+                text.push(ch);
+                j += 1;
+                if ch == '"' && closes_raw(&chars, j, hashes) {
+                    for _ in 0..hashes {
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                    break;
+                }
+            }
+            tokens.push(Token {
+                text,
+                kind: TokenKind::Str,
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Lifetime or (blanked) char literal.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || n == '_')
+                && chars.get(i + 2).copied() != Some('\'');
+            if is_lifetime {
+                let mut text = String::from('\'');
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                tokens.push(Token {
+                    text,
+                    kind: TokenKind::Lifetime,
+                    line,
+                });
+                i = j;
+            } else {
+                // Blanked char literal: `'` ... `'`.
+                let mut text = String::from('\'');
+                let mut j = i + 1;
+                while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                    text.push(chars[j]);
+                    j += 1;
+                }
+                if chars.get(j).copied() == Some('\'') {
+                    text.push('\'');
+                    j += 1;
+                }
+                tokens.push(Token {
+                    text,
+                    kind: TokenKind::Char,
+                    line,
+                });
+                i = j;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            let mut j = i;
+            while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                text.push(chars[j]);
+                j += 1;
+            }
+            tokens.push(Token {
+                text,
+                kind: TokenKind::Ident,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Number (digits plus the usual suffix/separator characters;
+        // precision does not matter for the analyses).
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut j = i;
+            while j < chars.len()
+                && (chars[j].is_alphanumeric() || chars[j] == '_' || is_float_continue(&chars, j))
+            {
+                text.push(chars[j]);
+                j += 1;
+            }
+            tokens.push(Token {
+                text,
+                kind: TokenKind::Number,
+                line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation: maximal munch over the multi-char table.
+        let mut matched = None;
+        for op in MULTI_PUNCT {
+            let op_chars: Vec<char> = op.chars().collect();
+            if chars[i..].starts_with(&op_chars) {
+                matched = Some(*op);
+                break;
+            }
+        }
+        if let Some(op) = matched {
+            tokens.push(Token {
+                text: op.to_string(),
+                kind: TokenKind::Punct,
+                line,
+            });
+            i += op.chars().count();
+        } else {
+            tokens.push(Token {
+                text: c.to_string(),
+                kind: TokenKind::Punct,
+                line,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// A `.` inside a number continues it only when followed by a digit
+/// (so `1..4` and `x.0` lex as separate tokens but `1.5` is one).
+fn is_float_continue(chars: &[char], j: usize) -> bool {
+    chars[j] == '.' && chars.get(j + 1).is_some_and(|c| c.is_ascii_digit())
+}
+
+/// Is a string literal starting at `i`? Returns the prefix length
+/// (characters before the string body, including the opening quote)
+/// and the number of hashes a raw string closes with.
+fn string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut j = i;
+    // Optional byte/C-string prefix.
+    if matches!(chars.get(j), Some('b') | Some('c')) {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    if raw {
+        while chars.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+    }
+    if chars.get(j) == Some(&'"') {
+        Some((j - i + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// After consuming a `"` at index `j`, do `hashes` hash characters
+/// follow (closing a raw string)?
+fn closes_raw(chars: &[char], j: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(j + k) == Some(&'#'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src).into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn idents_and_multichar_puncts() {
+        assert_eq!(
+            texts("self.bits[word].load(Ordering::Relaxed)"),
+            vec![
+                "self", ".", "bits", "[", "word", "]", ".", "load", "(", "Ordering", "::",
+                "Relaxed", ")"
+            ]
+        );
+        assert_eq!(texts("a += b * c;"), vec!["a", "+=", "b", "*", "c", ";"]);
+        assert_eq!(texts("x..=y .. z"), vec!["x", "..=", "y", "..", "z"]);
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = tokenize("fn f() {\n    a.lock();\n}\n");
+        let lock = toks.iter().find(|t| t.text == "lock").expect("lock token");
+        assert_eq!(lock.line, 1);
+        let close = toks.iter().rfind(|t| t.text == "}").expect("close brace");
+        assert_eq!(close.line, 2);
+    }
+
+    #[test]
+    fn blanked_strings_are_single_tokens() {
+        let toks = tokenize("let s = \"      \"; let r = r#\"    \"#;");
+        let strs: Vec<&Token> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.starts_with("r#\""));
+        assert!(strs[1].text.ends_with("\"#"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = tokenize("fn f<'a>(x: &'a str) { let c = ' '; }");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Char));
+    }
+
+    #[test]
+    fn numbers_including_floats() {
+        assert_eq!(texts("1.5 + 2"), vec!["1.5", "+", "2"]);
+        assert_eq!(texts("0..10"), vec!["0", "..", "10"]);
+    }
+}

@@ -216,6 +216,35 @@ fn silent_io_drop_permits_bound_ok_values() {
     assert!(findings(FileKind::Lib, src).is_empty());
 }
 
+// ---- R10: no-unsafe ----------------------------------------------------
+
+#[test]
+fn no_unsafe_fires_on_unsafe_block() {
+    let src = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["no-unsafe"]);
+}
+
+#[test]
+fn no_unsafe_fires_even_in_test_code() {
+    // Unlike the other rules, unsafety in tests is still unsafety:
+    // a UB-laden test poisons every suite run that includes it.
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = unsafe { std::mem::zeroed::<u64>() };\n        assert_eq!(v, 0);\n    }\n}\n";
+    assert_eq!(findings(FileKind::Lib, src), vec!["no-unsafe"]);
+}
+
+#[test]
+fn no_unsafe_honours_allow_with_safety_argument() {
+    let src = "fn f(p: *const u8) -> u8 {\n    // audit: allow(no-unsafe) -- caller guarantees p outlives the call\n    unsafe { *p }\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
+#[test]
+fn no_unsafe_ignores_mentions_in_comments_and_strings() {
+    let src =
+        "fn f() -> &'static str {\n    // The word unsafe in prose is fine.\n    \"unsafe\"\n}\n";
+    assert!(findings(FileKind::Lib, src).is_empty());
+}
+
 // ---- Allow hygiene -----------------------------------------------------
 
 #[test]

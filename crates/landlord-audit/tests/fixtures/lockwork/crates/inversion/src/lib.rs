@@ -1,0 +1,23 @@
+//! Known-bad: a deliberate two-lock inversion. `forward` takes a then
+//! b; `backward` takes b then a — the classic AB/BA deadlock.
+
+use parking_lot::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn backward(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,25 @@
+//! Known-bad: a guard held across file I/O (the journal-export bug
+//! shape), plus a known-good sibling that releases first.
+
+use parking_lot::Mutex;
+use std::io;
+use std::path::Path;
+
+pub struct Logger {
+    entries: Mutex<Vec<String>>,
+}
+
+impl Logger {
+    pub fn dump_holding_guard(&self, path: &Path) -> io::Result<()> {
+        let entries = self.entries.lock();
+        std::fs::write(path, entries.join("\n"))
+    }
+
+    pub fn dump_after_release(&self, path: &Path) -> io::Result<()> {
+        let body = {
+            let entries = self.entries.lock();
+            entries.join("\n")
+        };
+        std::fs::write(path, body)
+    }
+}

@@ -1,0 +1,27 @@
+//! Known-good: both paths take the locks in the same order, so the
+//! lock graph has an a→b edge but no cycle.
+
+use parking_lot::Mutex;
+
+pub struct Consistent {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Consistent {
+    pub fn sum(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+
+    pub fn swap_halves(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *gb - *ga
+    }
+
+    pub fn only_b(&self) -> u64 {
+        *self.b.lock()
+    }
+}

@@ -181,8 +181,8 @@ impl ImageCache {
         img.spec = new_spec;
         img.bytes = new_bytes;
         img.last_used = now;
-        img.use_count += 1;
-        img.merge_count += 1;
+        img.use_count = img.use_count.saturating_add(1);
+        img.merge_count = img.merge_count.saturating_add(1);
         img.push_constituent(spec);
         let wants_split = split_threshold
             .is_some_and(|threshold| img.merge_count >= threshold && img.constituents.len() > 1);

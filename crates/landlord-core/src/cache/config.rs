@@ -95,18 +95,20 @@ impl CacheStats {
     /// snapshots describe disjoint populations — e.g. the shards of a
     /// [`super::ShardedImageCache`], whose images and packages never
     /// overlap across shards.
+    /// Sums saturate rather than wrap: a fold over many shards must
+    /// degrade to a pinned ceiling, never to a small wrapped lie.
     pub fn merge(&mut self, other: &CacheStats) {
-        self.requests += other.requests;
-        self.hits += other.hits;
-        self.merges += other.merges;
-        self.inserts += other.inserts;
-        self.deletes += other.deletes;
-        self.splits += other.splits;
-        self.bytes_written += other.bytes_written;
-        self.bytes_requested += other.bytes_requested;
-        self.total_bytes += other.total_bytes;
-        self.unique_bytes += other.unique_bytes;
-        self.image_count += other.image_count;
+        self.requests = self.requests.saturating_add(other.requests);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.merges = self.merges.saturating_add(other.merges);
+        self.inserts = self.inserts.saturating_add(other.inserts);
+        self.deletes = self.deletes.saturating_add(other.deletes);
+        self.splits = self.splits.saturating_add(other.splits);
+        self.bytes_written = self.bytes_written.saturating_add(other.bytes_written);
+        self.bytes_requested = self.bytes_requested.saturating_add(other.bytes_requested);
+        self.total_bytes = self.total_bytes.saturating_add(other.total_bytes);
+        self.unique_bytes = self.unique_bytes.saturating_add(other.unique_bytes);
+        self.image_count = self.image_count.saturating_add(other.image_count);
     }
 }
 

@@ -85,7 +85,7 @@ impl Ledger {
 
     /// The request was absorbed by rewriting an existing image.
     pub fn count_merge(&mut self) {
-        self.stats.merges += 1;
+        self.stats.merges = self.stats.merges.saturating_add(1);
     }
 
     /// The request got a fresh image.

@@ -100,7 +100,7 @@ impl PackageSummary {
     fn may_contain_superset(&self, spec: &Spec) -> bool {
         spec.iter().all(|p| {
             let (word, mask) = Self::slot(p);
-            self.bits[word].load(Ordering::Relaxed) & mask == mask
+            self.bits[word].load(Ordering::Relaxed) & mask == mask // sync: bloom probe tolerates stale bits; a false positive only costs a shard scan
         })
     }
 
@@ -110,11 +110,12 @@ impl PackageSummary {
     fn note_spec(&self, spec: &Spec) {
         for p in spec.iter() {
             let (word, mask) = Self::slot(p);
+            // sync: racy pre-check; worst case is a redundant fetch_or
             if self.bits[word].load(Ordering::Relaxed) & mask != mask {
-                self.bits[word].fetch_or(mask, Ordering::Relaxed);
+                self.bits[word].fetch_or(mask, Ordering::Relaxed); // sync: idempotent bit-set; readers tolerate stale views by design
             }
         }
-        self.notes.fetch_add(1, Ordering::Relaxed);
+        self.notes.fetch_add(1, Ordering::Relaxed); // sync: rebuild heuristic counter; publishes no data
     }
 
     /// Re-derive the summary from the live images, dropping bits whose
@@ -128,13 +129,14 @@ impl PackageSummary {
             }
         }
         for (word, value) in fresh.iter().enumerate() {
-            self.bits[word].store(*value, Ordering::Relaxed);
+            self.bits[word].store(*value, Ordering::Relaxed); // sync: runs under the shard lock, whose release publishes the bits
         }
-        self.notes.store(0, Ordering::Relaxed);
+        self.notes.store(0, Ordering::Relaxed); // sync: runs under the shard lock, which orders the reset
     }
 
     /// Rebuild when enough requests have accumulated.
     fn maybe_rebuild(&self, cache: &ImageCache) {
+        // sync: heuristic threshold; staleness only delays a rebuild
         if self.notes.load(Ordering::Relaxed) >= SUMMARY_REBUILD_EVERY {
             self.rebuild_from(cache);
         }

@@ -441,21 +441,27 @@ fn split_pieces_respect_cache_limit() {
 
 #[test]
 fn event_sink_sees_all_operations() {
-    use crate::events::VecSink;
+    use crate::events::{CacheEvent, EventSink};
+    use parking_lot::Mutex;
+
+    // A sink that shares its buffer with the test, so no downcast of
+    // the boxed `dyn EventSink` is ever needed.
+    struct Capture(Arc<Mutex<Vec<CacheEvent>>>);
+    impl EventSink for Capture {
+        fn on_event(&mut self, event: &CacheEvent) {
+            self.0.lock().push(*event);
+        }
+    }
+
+    let events = Arc::new(Mutex::new(Vec::new()));
     let mut c = cache(0.8, 3);
-    c.set_sink(Box::new(VecSink::new()));
+    c.set_sink(Box::new(Capture(Arc::clone(&events))));
     c.request(&spec(&[1, 2, 3])); // insert
     c.request(&spec(&[1, 2, 3])); // hit
     c.request(&spec(&[10, 11, 12])); // insert + evict (over 3-byte limit)
     c.check_invariants();
-    let sink = c.take_sink().unwrap();
-    // Downcast via the concrete type we installed.
-    let events = {
-        let raw = Box::into_raw(sink) as *mut VecSink;
-        // SAFETY: we installed exactly a VecSink above.
-        unsafe { Box::from_raw(raw) }.events
-    };
-    let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+    drop(c.take_sink());
+    let kinds: Vec<&str> = events.lock().iter().map(|e| e.kind()).collect();
     assert_eq!(kinds, vec!["insert", "hit", "insert", "evict"]);
 }
 

@@ -98,8 +98,8 @@ impl ContainerEfficiency {
     /// report site-wide container efficiency without a global lock.
     pub fn merge(&mut self, other: &ContainerEfficiency) {
         self.sum_pct += other.sum_pct;
-        self.samples += other.samples;
-        self.clamped += other.clamped;
+        self.samples = self.samples.saturating_add(other.samples);
+        self.clamped = self.clamped.saturating_add(other.clamped);
     }
 }
 

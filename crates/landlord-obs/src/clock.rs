@@ -10,7 +10,8 @@
 //! * [`MonotonicClock`] — real elapsed nanoseconds, for `bench-report`
 //!   style wall timing. This type is the *only* sanctioned home of
 //!   `std::time::Instant` in metrics code; the `no-raw-clock` audit
-//!   rule bans raw `Instant`/`SystemTime` in landlord-core/-sim.
+//!   rule bans raw `Instant`/`SystemTime` across landlord-core, -sim,
+//!   -store and -obs, with this file as the one sanctioned exception.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -38,18 +39,18 @@ impl LogicalClock {
 
     /// Advance by one tick and return the new value.
     pub fn tick(&self) -> u64 {
-        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1 // sync: tick counting, not a publication fence; callers order via their own locks
     }
 
     /// Advance by `n` ticks.
     pub fn advance(&self, n: u64) {
-        self.ticks.fetch_add(n, Ordering::Relaxed);
+        self.ticks.fetch_add(n, Ordering::Relaxed); // sync: monotone counter bump; no payload rides on it
     }
 }
 
 impl Clock for LogicalClock {
     fn now_ticks(&self) -> u64 {
-        self.ticks.load(Ordering::Relaxed)
+        self.ticks.load(Ordering::Relaxed) // sync: a stale tick read is indistinguishable from an earlier now_ticks()
     }
 }
 

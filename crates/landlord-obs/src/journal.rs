@@ -72,7 +72,7 @@ impl<E> std::fmt::Debug for Journal<E> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Journal")
             .field("capacity", &self.capacity)
-            .field("next_seq", &self.next_seq.load(Ordering::Relaxed))
+            .field("next_seq", &self.next_seq.load(Ordering::Relaxed)) // sync: diagnostic read; single-cell atomicity suffices
             .finish()
     }
 }
@@ -91,7 +91,7 @@ impl<E> Journal<E> {
     /// Record an event under `phase`; returns its sequence number. The
     /// oldest entry is dropped once the ring is full.
     pub fn record(&self, phase: &str, event: E) -> u64 {
-        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed); // sync: seq only needs uniqueness; the entry publishes under the entries lock
         let entry = JournalEntry {
             seq,
             tick: self.clock.now_ticks(),
@@ -108,7 +108,7 @@ impl<E> Journal<E> {
 
     /// Total events ever recorded (including ones the ring dropped).
     pub fn recorded(&self) -> u64 {
-        self.next_seq.load(Ordering::Relaxed)
+        self.next_seq.load(Ordering::Relaxed) // sync: monotone counter read; no payload ordered behind it
     }
 
     /// Entries currently retained, oldest first.
@@ -122,11 +122,22 @@ impl<E> Journal<E> {
 
 impl<E: Serialize> Journal<E> {
     /// Write the retained entries as JSONL, oldest first.
+    ///
+    /// Serializes under the ring lock but writes after releasing it:
+    /// holding the guard across file I/O would stall every recorder
+    /// behind a slow disk (and trips the lock-order analysis).
     pub fn export_jsonl<W: Write>(&self, mut out: W) -> io::Result<()> {
-        let entries = self.entries.lock();
-        for entry in entries.iter() {
-            let line = serde_json::to_string(entry)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let lines: io::Result<Vec<String>> = {
+            let entries = self.entries.lock();
+            entries
+                .iter()
+                .map(|entry| {
+                    serde_json::to_string(entry)
+                        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+                })
+                .collect()
+        };
+        for line in lines? {
             out.write_all(line.as_bytes())?;
             out.write_all(b"\n")?;
         }

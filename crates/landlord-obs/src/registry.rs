@@ -89,12 +89,12 @@ impl Counter {
     /// Add `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        self.value.fetch_add(n, Ordering::Relaxed); // sync: monotone counter; folds read exact values at quiescence
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // sync: single-cell read; no payload ordered behind it
     }
 }
 
@@ -108,18 +108,18 @@ impl Gauge {
     /// Overwrite the level.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.value.store(v, Ordering::Relaxed);
+        self.value.store(v, Ordering::Relaxed); // sync: last-writer-wins level; no payload rides on it
     }
 
     /// Raise the level to at least `v`.
     #[inline]
     pub fn raise(&self, v: u64) {
-        self.value.fetch_max(v, Ordering::Relaxed);
+        self.value.fetch_max(v, Ordering::Relaxed); // sync: max lattice join; commutative, needs no ordering
     }
 
     /// Current level.
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        self.value.load(Ordering::Relaxed) // sync: a stale level read is indistinguishable from an earlier get()
     }
 }
 
@@ -155,55 +155,55 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record(&self, value: u64) {
-        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
-        // Wrapping by construction: fetch_add on AtomicU64 wraps.
-        self.sum.fetch_add(value, Ordering::Relaxed);
-        self.min.fetch_min(value, Ordering::Relaxed);
-        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed); // sync: independent monotone cells; snapshots tolerate torn cross-cell reads
+        self.count.fetch_add(1, Ordering::Relaxed); // sync: see above; count is one more independent cell
+                                                    // Wrapping by construction: fetch_add on AtomicU64 wraps.
+        self.sum.fetch_add(value, Ordering::Relaxed); // sync: independent cell; wrap is the documented sum semantics
+        self.min.fetch_min(value, Ordering::Relaxed); // sync: min lattice join; commutative, needs no ordering
+        self.max.fetch_max(value, Ordering::Relaxed); // sync: max lattice join; commutative, needs no ordering
     }
 
     /// Observations recorded so far.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.count.load(Ordering::Relaxed) // sync: single-cell read; no cross-cell invariant claimed
     }
 
     /// Fold `other` into `self`, exactly: per-bucket and count/sum
     /// addition, min/max lattice joins. Associative and commutative.
     pub fn merge(&self, other: &Histogram) {
         for (mine, theirs) in self.buckets.iter().zip(other.buckets.iter()) {
-            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed); // sync: cell-wise fold; exact once both sides are quiescent
         }
         self.count
-            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed); // sync: cell-wise fold; exact once both sides are quiescent
         self.sum
-            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed); // sync: cell-wise fold; exact once both sides are quiescent
         self.min
-            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed); // sync: min lattice join over independent cells
         self.max
-            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed); // sync: max lattice join over independent cells
     }
 
     /// Freeze into an exportable snapshot. Quantiles are bucket upper
     /// bounds — deterministic in the bucket counts.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count.load(Ordering::Relaxed);
+        let count = self.count.load(Ordering::Relaxed); // sync: snapshot reads are per-cell; cross-cell tearing is documented
         let mut buckets: Vec<u64> = self
             .buckets
             .iter()
-            .map(|b| b.load(Ordering::Relaxed))
+            .map(|b| b.load(Ordering::Relaxed)) // sync: snapshot reads are per-cell; cross-cell tearing is documented
             .collect();
         while buckets.last() == Some(&0) {
             buckets.pop();
         }
         let p50 = quantile_upper_bound(&buckets, count, 50, 100);
         let p99 = quantile_upper_bound(&buckets, count, 99, 100);
-        let min = self.min.load(Ordering::Relaxed);
+        let min = self.min.load(Ordering::Relaxed); // sync: snapshot reads are per-cell; cross-cell tearing is documented
         HistogramSnapshot {
             count,
-            sum: self.sum.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed), // sync: snapshot reads are per-cell; cross-cell tearing is documented
             min: if count == 0 { 0 } else { min },
-            max: self.max.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed), // sync: snapshot reads are per-cell; cross-cell tearing is documented
             p50,
             p99,
             buckets,

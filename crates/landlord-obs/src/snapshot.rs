@@ -62,7 +62,7 @@ impl HistogramSnapshot {
             self.buckets.resize(other.buckets.len(), 0);
         }
         for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *mine += *theirs;
+            *mine = mine.saturating_add(*theirs);
         }
         // min: ignore the empty side (whose min is a placeholder 0).
         self.min = match (self.count, other.count) {
@@ -71,7 +71,7 @@ impl HistogramSnapshot {
             _ => self.min.min(other.min),
         };
         self.max = self.max.max(other.max);
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.sum = self.sum.wrapping_add(other.sum);
         self.p50 = quantile_upper_bound(&self.buckets, self.count, 50, 100);
         self.p99 = quantile_upper_bound(&self.buckets, self.count, 99, 100);

@@ -142,7 +142,7 @@ where
     let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
+                let i = next.fetch_add(1, Ordering::Relaxed); // sync: job-claim ticket; fetch_add's atomicity alone partitions the work, results publish via Slot
                 if i >= jobs.len() {
                     break;
                 }

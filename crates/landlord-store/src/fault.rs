@@ -100,25 +100,26 @@ impl<S: ObjectStore> FaultyStore<S> {
 
     /// Number of successful `put` calls so far.
     pub fn successful_puts(&self) -> u64 {
-        self.puts.load(Ordering::Relaxed)
+        self.puts.load(Ordering::Relaxed) // sync: fixture counter; read exactly only after threads join
     }
 
     /// Number of faults injected so far (across all operations).
     pub fn injected_faults(&self) -> u64 {
-        self.injected.load(Ordering::Relaxed)
+        self.injected.load(Ordering::Relaxed) // sync: fixture counter; read exactly only after threads join
     }
 
     fn inject(&self, kind: io::ErrorKind, msg: &str) -> io::Error {
-        self.injected.fetch_add(1, Ordering::Relaxed);
+        self.injected.fetch_add(1, Ordering::Relaxed); // sync: fixture counter bump; publishes no data
         io::Error::new(kind, format!("injected fault: {msg}"))
     }
 }
 
 impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
     fn put(&self, data: &[u8]) -> io::Result<ContentHash> {
-        let attempt = self.put_attempts.fetch_add(1, Ordering::Relaxed);
+        let attempt = self.put_attempts.fetch_add(1, Ordering::Relaxed); // sync: attempt ticket; uniqueness is all the fault schedule needs
         match self.mode {
             FaultMode::FailPutsAfter(budget) if self.puts.load(Ordering::Relaxed) >= budget => {
+                // sync: budget check tolerates a racy read; the test harness is single-writer
                 return Err(self.inject(io::ErrorKind::StorageFull, "no space left on device"));
             }
             FaultMode::Transient {
@@ -144,12 +145,12 @@ impl<S: ObjectStore> ObjectStore for FaultyStore<S> {
             _ => {}
         }
         let hash = self.inner.put(data)?;
-        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.puts.fetch_add(1, Ordering::Relaxed); // sync: fixture counter bump; publishes no data
         Ok(hash)
     }
 
     fn get(&self, hash: ContentHash) -> io::Result<Option<Vec<u8>>> {
-        let attempt = self.get_attempts.fetch_add(1, Ordering::Relaxed);
+        let attempt = self.get_attempts.fetch_add(1, Ordering::Relaxed); // sync: attempt ticket; uniqueness is all the fault schedule needs
         match self.mode {
             FaultMode::FailGets => {
                 return Err(self.inject(io::ErrorKind::InvalidData, "read error"));
