@@ -36,7 +36,7 @@ pub const RULES: &[(&str, &str)] = &[
     ),
     (
         "no-silent-io-drop",
-        "io::Result/serde_json::Result values must not be discarded with `let _ =` or a bare `.ok();` in non-test code: propagate or handle the error",
+        "io::Result/serde_json::Result values must not be discarded with `let _ =` or a bare `.ok();` in non-test code: propagate or handle the error; durability-layer functions (landlord-wal, persistent.rs) additionally must fsync every durable write before returning",
     ),
     (
         "plan-purity",
@@ -94,7 +94,12 @@ pub enum FileKind {
 }
 
 /// Crates whose library code falls under the `no-panic-path` rule.
-pub const STRICT_CRATES: &[&str] = &["landlord-core", "landlord-sim", "landlord-repo"];
+pub const STRICT_CRATES: &[&str] = &[
+    "landlord-core",
+    "landlord-sim",
+    "landlord-repo",
+    "landlord-wal",
+];
 
 /// Run every applicable rule over one scanned file.
 pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Finding> {
@@ -386,6 +391,44 @@ pub fn check_file(file: &str, kind: FileKind, model: &SourceModel) -> Vec<Findin
                     rule: "bad-allow",
                     message: format!("allow names unknown rule `{rule}`"),
                 });
+            }
+        }
+    }
+
+    // R7 (durability half): fsync-before-ack. In the write-ahead-log
+    // layer and the persistent cache, returning Ok from a function
+    // that wrote or renamed durable bytes is an acknowledgement — and
+    // an acknowledgement without an fsync is a promise the next power
+    // cut can revoke. Every such function must sync (sync_all /
+    // sync_data / fsync_dir) somewhere in its body.
+    let durability_path = file.contains("landlord-wal/src") || file.ends_with("persistent.rs");
+    if durability_path {
+        for span in &model.fns {
+            if span.is_unit_test || span.in_test_region {
+                continue;
+            }
+            let body: String = model.lines[span.start_line..=span.end_line]
+                .iter()
+                .map(|l| l.code.as_str())
+                .collect::<Vec<_>>()
+                .join("\n");
+            let writes_durably = ["write_all(", "rename(", ".set_len("]
+                .iter()
+                .any(|t| body.contains(t));
+            let syncs = ["sync_all", "sync_data", "fsync_dir", "fsync("]
+                .iter()
+                .any(|t| body.contains(t));
+            if writes_durably && !syncs {
+                emit(
+                    span.start_line,
+                    "no-silent-io-drop",
+                    format!(
+                        "`{}` writes durable bytes (write_all/rename/set_len) but never fsyncs \
+                         (sync_all/sync_data/fsync_dir): an unsynced write must not be acknowledged",
+                        span.name
+                    ),
+                    &mut findings,
+                );
             }
         }
     }

@@ -216,6 +216,59 @@ fn silent_io_drop_permits_bound_ok_values() {
     assert!(findings(FileKind::Lib, src).is_empty());
 }
 
+// ---- R7 (durability half): fsync-before-ack ----------------------------
+
+fn findings_in(file: &str, src: &str) -> Vec<&'static str> {
+    audit_source(file, FileKind::Lib, src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+#[test]
+fn fsync_before_ack_fires_on_unsynced_wal_append() {
+    let src = "impl Wal {\n    pub fn append(&mut self, frame: &[u8]) -> io::Result<u64> {\n        self.file.write_all(frame)?;\n        Ok(self.bump())\n    }\n}\n";
+    assert_eq!(
+        findings_in("crates/landlord-wal/src/log.rs", src),
+        vec!["no-silent-io-drop"]
+    );
+}
+
+#[test]
+fn fsync_before_ack_fires_on_unsynced_checkpoint_rename() {
+    let src = "fn write_state(dir: &Path, bytes: &[u8]) -> io::Result<()> {\n    std::fs::write(dir.join(\"tmp\"), bytes)?;\n    std::fs::rename(dir.join(\"tmp\"), dir.join(\"state.json\"))\n}\n";
+    assert_eq!(
+        findings_in("crates/landlord-cli/src/persistent.rs", src),
+        vec!["no-silent-io-drop"]
+    );
+}
+
+#[test]
+fn fsync_before_ack_accepts_synced_writes() {
+    let src = "impl Wal {\n    pub fn append(&mut self, frame: &[u8]) -> io::Result<u64> {\n        self.file.write_all(frame)?;\n        self.file.sync_data()?;\n        Ok(self.bump())\n    }\n}\n";
+    assert!(findings_in("crates/landlord-wal/src/log.rs", src).is_empty());
+    // A dir-fsync helper call counts: the sync happens, just not via a
+    // direct method on the written file.
+    let src = "fn move_in(dir: &Path, a: &Path, b: &Path) -> io::Result<()> {\n    std::fs::rename(a, b)?;\n    fsync_dir(dir)\n}\n";
+    assert!(findings_in("crates/landlord-cli/src/persistent.rs", src).is_empty());
+}
+
+#[test]
+fn fsync_before_ack_is_scoped_to_the_durability_layer() {
+    // The same unsynced write outside landlord-wal / persistent.rs is
+    // ordinary IO — other rules may care, this one must not.
+    let src = "fn jot(p: &Path, line: &[u8]) -> io::Result<()> {\n    let mut f = std::fs::File::create(p)?;\n    f.write_all(line)\n}\n";
+    assert!(findings_in("crates/landlord-core/src/cache/mod.rs", src).is_empty());
+}
+
+#[test]
+fn fsync_before_ack_exempts_test_code_and_honours_allow() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn scribble(p: &Path, b: &[u8]) -> io::Result<()> {\n        std::fs::File::create(p)?.write_all(b)\n    }\n}\n";
+    assert!(findings_in("crates/landlord-wal/src/log.rs", src).is_empty());
+    let src = "// audit: allow(no-silent-io-drop) -- fixture exercises the allowlist\nfn jot(f: &mut File, b: &[u8]) -> io::Result<()> {\n    f.write_all(b)\n}\n";
+    assert!(findings_in("crates/landlord-wal/src/log.rs", src).is_empty());
+}
+
 // ---- R10: no-unsafe ----------------------------------------------------
 
 #[test]

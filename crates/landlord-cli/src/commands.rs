@@ -17,6 +17,53 @@ use std::path::Path;
 /// Any command error (message already formatted for the user).
 pub type CmdResult = Result<(), Box<dyn Error>>;
 
+/// A command failure that carries a specific process exit code.
+/// `landlord verify` uses the full contract: 0 = clean, 1 = damage was
+/// found and repaired (the directory is consistent again), 2 =
+/// unrecoverable. Plain errors keep the generic exit code 1.
+#[derive(Debug)]
+pub struct ExitStatus {
+    /// The process exit code `main` should report.
+    pub code: i32,
+    message: String,
+}
+
+impl ExitStatus {
+    /// Exit code 1: damage was found, repaired, and verified.
+    pub fn recovered(message: impl Into<String>) -> Self {
+        ExitStatus {
+            code: 1,
+            message: message.into(),
+        }
+    }
+
+    /// Exit code 2: the directory cannot be restored to a trustworthy
+    /// state automatically.
+    pub fn unrecoverable(message: impl Into<String>) -> Self {
+        ExitStatus {
+            code: 2,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ExitStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl Error for ExitStatus {}
+
+/// The process exit code a command result maps to: 0 for success, the
+/// embedded [`ExitStatus`] code when one was raised, 1 otherwise.
+pub fn exit_code(result: &CmdResult) -> i32 {
+    match result {
+        Ok(()) => 0,
+        Err(e) => e.downcast_ref::<ExitStatus>().map_or(1, |s| s.code),
+    }
+}
+
 /// Usage text.
 pub const USAGE: &str = "\
 landlord — specification-level container image management (LANDLORD, IPDPS 2020)
@@ -26,6 +73,7 @@ USAGE:
   landlord stats      --repo FILE
   landlord submit     --cache-dir DIR (--repo FILE | --seed S) [--select N]
                       [--alpha A] [--limit-gb G] [--job-seed S]
+                      [--checkpoint-every N]
   landlord simulate   [--scale full|smoke] [--alpha A] [--cache-x M]
                       [--jobs N] [--repeats R] [--seed S] [--trace FILE]
                       [--policy P] [--eviction E] [--merge-order O]
@@ -36,6 +84,8 @@ USAGE:
                       [--shards N] [--threads M]
   landlord bench-report [--out FILE] [--seed S] [--jobs N] [--repeats R]
                       [--shards N] [--threads M]
+  landlord bench-persist [--out FILE] [--images N,N,...] [--rewrite-ops N]
+                      [--append-ops N] [--replay-records N]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
   landlord experiment <id|all> [--scale full|smoke] [--seed S]
                       [--threads T] [--csv-dir DIR] [--plot-dir DIR]
@@ -69,6 +119,13 @@ bench-report runs a pinned smoke workload under a wall-clock registry
 and writes BENCH_core.json (landlord-bench/v1): ops/sec, plan/apply
 p50/p99 nanoseconds, and a fold-exactness check that a concurrent
 sharded replay folds to byte-identical deterministic metrics.
+bench-persist writes BENCH_persist.json (landlord-persist-bench/v1):
+per-operation persistence cost of the pre-WAL full-state rewrite vs
+the WAL append, and checkpoint-load + log-replay open time, at each
+synthetic cache population in --images.
+verify exits 0 when the cache directory was already clean, 1 when
+crash damage was found and repaired, and 2 when the directory is
+unrecoverable (or problems remain without --repair).
 ";
 
 /// Parse an optional `--key token` flag via an enum's `parse`,
@@ -181,6 +238,14 @@ pub fn submit(args: &Args) -> CmdResult {
     let limit_gb = args.get_parsed("limit-gb", 1000.0f64, "a size in GB")?;
     let select = args.get_parsed("select", 3usize, "a selection size")?;
     let job_seed = args.get_parsed("job-seed", 7u64, "an integer seed")?;
+    let checkpoint_every = args.get_parsed(
+        "checkpoint-every",
+        crate::persistent::DEFAULT_CHECKPOINT_EVERY,
+        "a record count",
+    )?;
+    if checkpoint_every == 0 {
+        return Err("--checkpoint-every must be at least 1".into());
+    }
 
     // Draw a job: random selection expanded by its dependency closure —
     // exactly what a spec file generated from `pip imports` or `module
@@ -190,12 +255,13 @@ pub fn submit(args: &Args) -> CmdResult {
     let seeds = sampler.sample_distinct(&mut rng, SelectionScheme::UniformRandom, select);
     let spec = repo.closure_spec(&seeds);
 
-    let mut cache = PersistentCache::open(
-        Path::new(cache_dir),
+    let mut options = crate::persistent::PersistOptions::new(
         alpha,
         (limit_gb * 1e9) as u64,
         FileTreeConfig::miniature(),
-    )?;
+    );
+    options.checkpoint_every = checkpoint_every;
+    let mut cache = PersistentCache::open_with(Path::new(cache_dir), options)?;
     let decision = cache.submit(&repo, &spec)?;
     let verb = match &decision {
         crate::persistent::Decision::Hit { .. } => "HIT   ",
@@ -600,6 +666,98 @@ pub fn bench_report(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Schema tag of `BENCH_persist.json`; bump when fields change meaning.
+pub const PERSIST_BENCH_SCHEMA: &str = "landlord-persist-bench/v1";
+
+/// One population point inside `BENCH_persist.json`.
+#[derive(Debug, serde::Serialize)]
+struct PersistBenchSample {
+    images: u64,
+    rewrite_ns_per_op: u64,
+    wal_append_ns_per_op: u64,
+    speedup: f64,
+    open_replay_ns: u64,
+    replayed_records: u64,
+}
+
+/// The record `landlord bench-persist` writes.
+#[derive(Debug, serde::Serialize)]
+struct PersistBenchReport {
+    schema: String,
+    rewrite_ops: u64,
+    append_ops: u64,
+    replay_records: u64,
+    samples: Vec<PersistBenchSample>,
+}
+
+/// `landlord bench-persist`: measure the persistence cost of the old
+/// rewrite-the-world `state.json` model against the WAL append model
+/// on synthetic indexes (default 10k and 100k images), plus the
+/// checkpoint-load-and-replay open path, and write `BENCH_persist.json`
+/// ([`PERSIST_BENCH_SCHEMA`]).
+pub fn bench_persist(args: &Args) -> CmdResult {
+    let out = args.get_or("out", "BENCH_persist.json");
+    let images_list = args.get_or("images", "10000,100000");
+    let rewrite_ops = args.get_parsed("rewrite-ops", 4u64, "an op count")?;
+    let append_ops = args.get_parsed("append-ops", 256u64, "an op count")?;
+    let replay_records = args.get_parsed("replay-records", 256u64, "a record count")?;
+    if rewrite_ops == 0 || append_ops == 0 {
+        return Err("--rewrite-ops and --append-ops must be at least 1".into());
+    }
+
+    let mut samples = Vec::new();
+    for tok in images_list.split(',') {
+        let images: u64 = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("--images entry {tok:?}: expected an image count"))?;
+        if images == 0 {
+            return Err("--images entries must be at least 1".into());
+        }
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-bench-persist-{}-{images}",
+            std::process::id()
+        ));
+        let _fresh = std::fs::remove_dir_all(&dir);
+        let s = crate::persistent::bench::measure(
+            &dir,
+            images,
+            rewrite_ops,
+            append_ops,
+            replay_records,
+        )?;
+        let _cleaned = std::fs::remove_dir_all(&dir);
+        eprintln!(
+            "[bench-persist] {images} images: rewrite {} ns/op, wal append {} ns/op ({:.1}x), open+replay {} ns",
+            s.rewrite_ns_per_op, s.wal_append_ns_per_op, s.speedup, s.open_replay_ns
+        );
+        samples.push(PersistBenchSample {
+            images: s.images,
+            rewrite_ns_per_op: s.rewrite_ns_per_op,
+            wal_append_ns_per_op: s.wal_append_ns_per_op,
+            speedup: s.speedup,
+            open_replay_ns: s.open_replay_ns,
+            replayed_records: s.replayed_records,
+        });
+    }
+
+    let report = PersistBenchReport {
+        schema: PERSIST_BENCH_SCHEMA.to_string(),
+        rewrite_ops,
+        append_ops,
+        replay_records,
+        samples,
+    };
+    let json = format!("{}\n", serde_json::to_string_pretty(&report)?);
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json)?;
+        eprintln!("[bench-persist] {out}");
+    }
+    Ok(())
+}
+
 /// `landlord experiment`
 pub fn experiment(args: &Args) -> CmdResult {
     let id = args
@@ -727,9 +885,14 @@ pub fn spec_from(args: &Args) -> CmdResult {
 /// `landlord verify` — fsck a cache directory: every indexed image
 /// must exist, parse as a valid LLIMG, and match its recorded sizes;
 /// every object in the content store must match its hash. Opening runs
-/// crash recovery; `--repair yes` additionally quarantines images whose
-/// LLIMG payload is corrupt and (given `--repo`/`--seed`) prunes
-/// orphaned objects.
+/// crash recovery (checkpoint load, WAL replay, artifact quarantine);
+/// `--repair yes` additionally quarantines images whose LLIMG payload
+/// is corrupt and (given `--repo`/`--seed`) prunes orphaned objects.
+///
+/// Exit codes: 0 — the directory was already clean; 1 — crash damage
+/// was found, repaired, and the repaired directory verifies; 2 — the
+/// directory cannot be restored automatically (unreadable checkpoint,
+/// WAL sequence gap, or problems `--repair` did not fix).
 pub fn verify(args: &Args) -> CmdResult {
     use landlord_shrinkwrap::ImageReader;
     use landlord_store::{ContentHash, ObjectStore};
@@ -740,19 +903,24 @@ pub fn verify(args: &Args) -> CmdResult {
         0.8, // policy knobs are irrelevant to verification
         u64::MAX,
         FileTreeConfig::miniature(),
-    )?;
+    )
+    .map_err(|e| ExitStatus::unrecoverable(format!("cannot recover cache directory: {e}")))?;
     let recovery = cache.last_recovery();
     if !recovery.clean() {
         println!(
-            "recovery: tmp-state {}, dropped {} missing image(s), quarantined {} image(s), removed {} object tmp(s)",
+            "recovery: tmp-state {}, wal-tail {}, dropped {} missing image(s), quarantined {} image(s), removed {} object tmp(s)",
             if recovery.quarantined_tmp_state { "quarantined" } else { "clean" },
+            if recovery.quarantined_wal_tail { "quarantined" } else { "clean" },
             recovery.dropped_missing_images,
             recovery.quarantined_images,
             recovery.removed_object_tmps,
         );
     }
-    cache.check_invariants()?;
+    cache
+        .check_invariants()
+        .map_err(|e| ExitStatus::unrecoverable(format!("recovered state is inconsistent: {e}")))?;
 
+    let mut repair_quarantined = 0usize;
     if args.get_or("repair", "no") == "yes" {
         let repo = if let Some(path) = args.get("repo") {
             Some(persist::load_json(Path::new(path))?)
@@ -767,6 +935,7 @@ pub fn verify(args: &Args) -> CmdResult {
             "repair: quarantined {} corrupt image(s), pruned {} orphaned object(s) ({} bytes)",
             report.quarantined_images, report.pruned_objects, report.pruned_bytes
         );
+        repair_quarantined = report.quarantined_images;
     }
 
     let mut problems = 0usize;
@@ -824,7 +993,17 @@ pub fn verify(args: &Args) -> CmdResult {
         bad_objects
     );
     if problems + bad_objects > 0 {
-        return Err(format!("{} problem(s) found", problems + bad_objects).into());
+        return Err(ExitStatus::unrecoverable(format!(
+            "{} problem(s) found (rerun with --repair yes to quarantine)",
+            problems + bad_objects
+        ))
+        .into());
+    }
+    if !recovery.clean() || repair_quarantined > 0 {
+        return Err(ExitStatus::recovered(
+            "crash damage was repaired; the cache directory is consistent again",
+        )
+        .into());
     }
     Ok(())
 }
@@ -868,6 +1047,7 @@ pub fn dispatch(cmd: &str, args: &Args) -> CmdResult {
         "submit" => submit(args),
         "simulate" => simulate(args),
         "bench-report" => bench_report(args),
+        "bench-persist" => bench_persist(args),
         "experiment" => experiment(args),
         "trace" => trace(args),
         "spec-from" => spec_from(args),
@@ -1097,6 +1277,49 @@ mod tests {
     }
 
     #[test]
+    fn bench_persist_writes_schema_tagged_json() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-benchp-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_persist.json");
+        // Small populations keep the smoke test fast; the committed
+        // report uses the default 10k/100k.
+        bench_persist(&args(&[
+            "--out",
+            out.to_str().unwrap(),
+            "--images",
+            "100,1000",
+            "--rewrite-ops",
+            "2",
+            "--append-ops",
+            "32",
+            "--replay-records",
+            "32",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains(PERSIST_BENCH_SCHEMA));
+        let parsed: serde::Value = serde_json::from_str(&text).unwrap();
+        let serde::Value::Seq(samples) = parsed.get("samples").unwrap() else {
+            panic!("samples must be an array");
+        };
+        assert_eq!(samples.len(), 2);
+        for s in samples {
+            let field = |key: &str| match s.get(key) {
+                Some(serde::Value::U64(n)) => *n,
+                other => panic!("{key} must be a u64, got {other:?}"),
+            };
+            assert!(field("rewrite_ns_per_op") > 0);
+            assert!(field("wal_append_ns_per_op") > 0);
+            assert_eq!(field("replayed_records"), 32);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn gen_repo_and_stats_round_trip() {
         let path =
             std::env::temp_dir().join(format!("landlord-cli-repo-{}.json", std::process::id()));
@@ -1200,11 +1423,12 @@ mod tests {
             "5",
         ]))
         .unwrap();
-        // A freshly submitted cache passes verification…
-        verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
-        // …and deep-corrupting an image file fails it. (Same length:
-        // anything shorter is a torn write that open-time recovery
-        // quarantines on its own.)
+        // A freshly submitted cache passes verification (exit 0)…
+        let clean = verify(&args(&["--cache-dir", dir.to_str().unwrap()]));
+        assert_eq!(exit_code(&clean), 0, "{clean:?}");
+        // …and deep-corrupting an image file fails it as unrecoverable
+        // (exit 2) until repaired. (Same length: anything shorter is a
+        // torn write that open-time recovery quarantines on its own.)
         let images: Vec<_> = std::fs::read_dir(dir.join("images"))
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -1212,20 +1436,22 @@ mod tests {
         assert!(!images.is_empty());
         let len = std::fs::metadata(&images[0]).unwrap().len() as usize;
         std::fs::write(&images[0], vec![0x5a; len]).unwrap();
-        let err = verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap_err();
-        assert!(err.to_string().contains("problem"));
+        let found = verify(&args(&["--cache-dir", dir.to_str().unwrap()]));
+        assert_eq!(exit_code(&found), 2);
+        assert!(found.unwrap_err().to_string().contains("problem"));
         // --repair quarantines the corrupt image and prunes the objects
-        // it orphaned; the directory then verifies clean again.
-        verify(&args(&[
+        // it orphaned: exit 1 (repaired), then exit 0 (clean again).
+        let repaired = verify(&args(&[
             "--cache-dir",
             dir.to_str().unwrap(),
             "--repair",
             "yes",
             "--seed",
             "5",
-        ]))
-        .unwrap();
-        verify(&args(&["--cache-dir", dir.to_str().unwrap()])).unwrap();
+        ]));
+        assert_eq!(exit_code(&repaired), 1, "{repaired:?}");
+        let clean = verify(&args(&["--cache-dir", dir.to_str().unwrap()]));
+        assert_eq!(exit_code(&clean), 0, "{clean:?}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -17,8 +17,20 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = commands::dispatch(&cmd, &args) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    let result = commands::dispatch(&cmd, &args);
+    if let Err(e) = &result {
+        // A "recovered" status (verify exit 1) is an outcome report,
+        // not a failure; everything else gets the error prefix.
+        match e.downcast_ref::<commands::ExitStatus>() {
+            Some(status) if status.code == 1 => eprintln!("{status}"),
+            _ => eprintln!("error: {e}"),
+        }
+    }
+    // Commands with a richer exit-code contract (`verify`: 0 clean,
+    // 1 repaired, 2 unrecoverable) raise an ExitStatus; everything
+    // else maps to the generic failure code 1.
+    let code = commands::exit_code(&result);
+    if code != 0 {
+        std::process::exit(code);
     }
 }

@@ -9,7 +9,8 @@
 //! Layout of a cache directory:
 //!
 //! ```text
-//! <dir>/state.json      image index (specs, sizes, usage clocks)
+//! <dir>/state.json      checkpoint: image index at the last compaction
+//! <dir>/wal.log         append-only log of operations since
 //! <dir>/objects/…       content-addressed store (shrinkwrap source)
 //! <dir>/images/N.llimg  materialized container images
 //! <dir>/quarantine/…    crash artifacts set aside by recovery
@@ -21,32 +22,64 @@
 //! bytes on disk are scaled down by the file-tree config so a laptop
 //! can host a "terabyte" cache.
 //!
-//! ## Crash safety
+//! ## Crash safety: WAL + checkpoints
 //!
-//! `state.json` carries a `LLSTATE1 <checksum>` header over its JSON
-//! payload and is replaced via fsynced-temp-file-then-rename (with the
-//! parent directory fsynced after the rename), so a crash at any write
-//! point leaves either the old state or the new — never a torn one.
-//! Image and object writes land *before* the state that references
-//! them; [`PersistentCache::open`] therefore runs a recovery pass that
-//! quarantines whatever a crash left behind (a stale `state.json.tmp`,
-//! truncated or unindexed `.llimg` files, leftover object temp files)
-//! and restores the invariants [`PersistentCache::check_invariants`]
-//! demands.
+//! Earlier revisions rewrote the whole index (`state.json`) after
+//! every submit — O(cache size) bytes per operation. The index is now
+//! **log-structured**:
+//!
+//! * Every submit appends one checksummed record to `wal.log`
+//!   (`landlord-wal` framing: length-prefix, sequence number, CRC-32)
+//!   and fsyncs it. The fsynced append *is* the acknowledgement.
+//! * Every `checkpoint_every` records, the folded state is written to
+//!   `state.json` (checksummed `LLSTATE1` header, fsynced temp file,
+//!   atomic rename, fsynced directory — the same idiom as before) with
+//!   an `applied_seq` watermark, and the log is truncated.
+//! * [`PersistentCache::open`] recovers by loading the newest valid
+//!   checkpoint and replaying the log suffix past `applied_seq`. A
+//!   torn log tail (crash mid-append) is quarantined and stripped; a
+//!   sequence gap inside valid records is unrecoverable corruption and
+//!   errors out rather than guessing.
+//!
+//! Image and object writes land — durably — *before* the record that
+//! references them, so recovery restores exactly a prefix of the
+//! acknowledged operations: the checkpoint, plus the replayable log
+//! suffix, plus at most one fully-written-but-unacknowledged record.
+//! Whatever a crash left beyond that (a stale `state.json.tmp`,
+//! truncated or unindexed `.llimg` files, leftover object temp files,
+//! a torn log tail) is quarantined or swept, restoring the invariants
+//! [`PersistentCache::check_invariants`] demands.
+//!
+//! Every durability step consults a [`KillSwitch`], so the crash
+//! matrix in `tests/failure_injection.rs` can deterministically kill
+//! the process model at each point a real crash could land.
+//!
+//! ## Membership filter
+//!
+//! The hit scan is gated by an [`XorFilter`] over every package id
+//! live in the cache (≈10 bits per key, fixed ≈0.39% false-positive
+//! rate at millions of packages), rebuilt at each checkpoint with an
+//! exact overlay for ids added since. A filter miss proves no cached
+//! image can satisfy the spec, skipping the O(images) subset scan.
 
-use landlord_core::cache::{plan_over, PlannedOp};
+use landlord_core::cache::{plan_over_with_peek, PlannedOp};
 use landlord_core::conflict::NoConflicts;
+use landlord_core::filter::XorFilter;
 use landlord_core::policy::{DistanceMetric, MergeOrder};
 use landlord_core::spec::Spec;
 use landlord_obs::{Counter, MetricsRegistry};
 use landlord_repo::Repository;
 use landlord_shrinkwrap::filetree::FileTreeConfig;
 use landlord_shrinkwrap::{ImageReader, Shrinkwrap};
-use landlord_store::{ContentHash, DiskStore};
+use landlord_store::fault::{FaultMode, FaultyStore};
+use landlord_store::{ContentHash, DiskStore, KillPoint, KillSwitch};
+use landlord_wal::Wal;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use std::io;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// One image in the persistent index.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -63,12 +96,54 @@ pub struct StoredImage {
     pub last_used: u64,
 }
 
-/// The serialized cache state.
+/// The checkpointed cache state.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 struct State {
     next_id: u64,
     clock: u64,
+    /// WAL records below this sequence number are folded into this
+    /// checkpoint; replay starts here. Absent (0) in states written
+    /// before the log-structured format.
+    #[serde(default)]
+    applied_seq: u64,
     images: Vec<StoredImage>,
+}
+
+/// One logged operation: everything replay needs to reproduce the
+/// submit's effect without re-planning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct WalEntry {
+    /// The LRU clock after this operation.
+    clock: u64,
+    /// The id counter after this operation.
+    next_id: u64,
+    op: WalOp,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum WalOp {
+    /// A hit: bump `last_used` of an existing image to `clock`.
+    Touch {
+        /// The satisfying image.
+        id: u64,
+    },
+    /// A merge: the union image was built under a fresh id; the
+    /// absorbed image and any LRU victims go.
+    Merge {
+        /// The new union image (file already durable).
+        image: StoredImage,
+        /// The image the spec was merged into (its file is deleted).
+        absorbed: u64,
+        /// LRU victims evicted to restore the byte limit.
+        evict: Vec<u64>,
+    },
+    /// A fresh image insert plus any LRU victims.
+    Insert {
+        /// The new image (file already durable).
+        image: StoredImage,
+        /// LRU victims evicted to restore the byte limit.
+        evict: Vec<u64>,
+    },
 }
 
 /// What `submit` did for a job.
@@ -79,7 +154,8 @@ pub enum Decision {
         /// Path to the image to launch with.
         image: PathBuf,
     },
-    /// A close image was merged and rebuilt.
+    /// A close image was merged and rebuilt (under a fresh id — the
+    /// pre-merge image survives on disk until the merge is durable).
     Merged {
         /// Path to the merged image.
         image: PathBuf,
@@ -103,15 +179,20 @@ impl Decision {
 }
 
 /// What the recovery pass in [`PersistentCache::open`] had to clean up.
+/// Replaying intact log records is *not* recovery — it is the normal
+/// open path — so replay counts are deliberately absent.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RecoveryReport {
     /// A leftover `state.json.tmp` (crash mid-save) was quarantined.
     pub quarantined_tmp_state: bool,
+    /// A torn `wal.log` tail (crash mid-append or mid-truncate) was
+    /// quarantined and stripped.
+    pub quarantined_wal_tail: bool,
     /// Index entries dropped because their image file was missing.
     pub dropped_missing_images: usize,
     /// Image files quarantined: truncated (size mismatch vs the index)
     /// or present on disk but absent from the index (crash between an
-    /// image write and the state save).
+    /// image write and the record that would have indexed it).
     pub quarantined_images: usize,
     /// Leftover object-store temp files removed.
     pub removed_object_tmps: usize,
@@ -141,6 +222,10 @@ pub struct RepairReport {
 /// `LLSTATE1 <32-hex-content-hash-of-payload>\n` followed by the JSON
 /// payload the hash covers.
 const STATE_MAGIC: &[u8] = b"LLSTATE1 ";
+
+/// Default checkpoint cadence: WAL records accumulated before the
+/// state is folded and the log truncated.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
 
 fn invalid_state(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -181,21 +266,113 @@ fn fsync_dir(_dir: &Path) -> io::Result<()> {
     Ok(())
 }
 
-/// Move a crash artifact into `<dir>/quarantine/` under a unique name.
-fn quarantine(dir: &Path, path: &Path) -> io::Result<()> {
+/// A unique destination under `<dir>/quarantine/` for `name`: repeated
+/// crashes must never overwrite an earlier quarantined artifact.
+fn quarantine_dest(dir: &Path, name: &str) -> io::Result<(PathBuf, PathBuf)> {
     let qdir = dir.join("quarantine");
     std::fs::create_dir_all(&qdir)?;
-    let name = path
-        .file_name()
-        .map(|n| n.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "unnamed".to_string());
-    let mut dest = qdir.join(&name);
+    let mut dest = qdir.join(name);
     let mut n = 1u32;
     while dest.exists() {
         dest = qdir.join(format!("{name}.{n}"));
         n += 1;
     }
-    std::fs::rename(path, dest)
+    Ok((qdir, dest))
+}
+
+/// Move a crash artifact into `<dir>/quarantine/` under a unique name,
+/// fsyncing the quarantine directory so the move itself survives a
+/// crash during recovery.
+fn quarantine(dir: &Path, path: &Path) -> io::Result<()> {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unnamed".to_string());
+    let (qdir, dest) = quarantine_dest(dir, &name)?;
+    std::fs::rename(path, dest)?;
+    fsync_dir(&qdir)
+}
+
+/// Preserve in-memory crash-artifact bytes (a stripped WAL tail) under
+/// `<dir>/quarantine/<name>`, durably and without overwriting earlier
+/// artifacts.
+fn quarantine_bytes(dir: &Path, name: &str, bytes: &[u8]) -> io::Result<()> {
+    let (qdir, dest) = quarantine_dest(dir, name)?;
+    let mut f = std::fs::File::create(&dest)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    fsync_dir(&qdir)
+}
+
+/// Durably replace `<dir>/state.json` with `state`: checksummed
+/// payload, fsynced temp file, atomic rename, fsynced parent
+/// directory. A crash at any point leaves either the previous state or
+/// this one intact — the kill-points model exactly those crashes.
+fn write_state_file(dir: &Path, state: &State, kill: &KillSwitch) -> io::Result<()> {
+    let json = serde_json::to_vec_pretty(state)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let mut bytes = Vec::with_capacity(STATE_MAGIC.len() + 33 + json.len());
+    bytes.extend_from_slice(STATE_MAGIC);
+    bytes.extend_from_slice(ContentHash::of(&json).to_hex().as_bytes());
+    bytes.push(b'\n');
+    bytes.extend_from_slice(&json);
+    let tmp = dir.join("state.json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        let split = bytes.len() / 2;
+        f.write_all(&bytes[..split])?;
+        kill.check(KillPoint::MidCheckpoint)?;
+        f.write_all(&bytes[split..])?;
+        f.sync_all()?;
+    }
+    std::fs::rename(tmp, dir.join("state.json"))?;
+    kill.check(KillPoint::PostRenamePreDirFsync)?;
+    fsync_dir(dir)
+}
+
+/// Apply one replayed log entry to `state`, returning the image ids
+/// whose files the original submit deleted (the absorbed merge source
+/// and LRU victims) — replay must delete them too if the crash landed
+/// before the deletions. A reference to a nonexistent image is not a
+/// crash shape (records are acked only after their images are durable
+/// and indexed) and is reported as corruption.
+fn replay_entry(state: &mut State, entry: &WalEntry) -> io::Result<Vec<u64>> {
+    let mut deleted = Vec::new();
+    match &entry.op {
+        WalOp::Touch { id } => {
+            let img = state
+                .images
+                .iter_mut()
+                .find(|img| img.id == *id)
+                .ok_or_else(|| invalid_state(format!("WAL touch references unknown image {id}")))?;
+            img.last_used = entry.clock;
+        }
+        WalOp::Merge {
+            image,
+            absorbed,
+            evict,
+        } => {
+            if !state.images.iter().any(|img| img.id == *absorbed) {
+                return Err(invalid_state(format!(
+                    "WAL merge absorbs unknown image {absorbed}"
+                )));
+            }
+            state
+                .images
+                .retain(|img| img.id != *absorbed && !evict.contains(&img.id));
+            state.images.push(image.clone());
+            deleted.push(*absorbed);
+            deleted.extend_from_slice(evict);
+        }
+        WalOp::Insert { image, evict } => {
+            state.images.retain(|img| !evict.contains(&img.id));
+            state.images.push(image.clone());
+            deleted.extend_from_slice(evict);
+        }
+    }
+    state.clock = entry.clock;
+    state.next_id = entry.next_id;
+    Ok(deleted)
 }
 
 /// Cached metric handles for the durable cache directory (see
@@ -208,7 +385,9 @@ struct PcObs {
     inserts: std::sync::Arc<Counter>,
     images_built: std::sync::Arc<Counter>,
     image_bytes_written: std::sync::Arc<Counter>,
-    state_saves: std::sync::Arc<Counter>,
+    wal_appends: std::sync::Arc<Counter>,
+    checkpoints: std::sync::Arc<Counter>,
+    filter_skips: std::sync::Arc<Counter>,
     evicted_images: std::sync::Arc<Counter>,
 }
 
@@ -221,8 +400,43 @@ impl PcObs {
             inserts: registry.counter("persist.inserts"),
             images_built: registry.counter("persist.images_built"),
             image_bytes_written: registry.counter("persist.image_bytes_written"),
-            state_saves: registry.counter("persist.state_saves"),
+            wal_appends: registry.counter("persist.wal_appends"),
+            checkpoints: registry.counter("persist.state_saves"),
+            filter_skips: registry.counter("persist.filter_skips"),
             evicted_images: registry.counter("persist.evicted_images"),
+        }
+    }
+}
+
+/// Everything [`PersistentCache::open_with`] can be configured with
+/// beyond the policy basics: checkpoint cadence, store fault
+/// injection, and the kill-point switch for crash tests.
+pub struct PersistOptions {
+    /// Merge threshold (Jaccard distance), in `[0, 1]`.
+    pub alpha: f64,
+    /// Logical byte budget driving LRU eviction.
+    pub limit_logical_bytes: u64,
+    /// Package → file-tree scaling for image materialization.
+    pub tree_config: FileTreeConfig,
+    /// WAL records accumulated before a checkpoint folds them.
+    pub checkpoint_every: u64,
+    /// Fault injection for the backing object store.
+    pub fault_mode: FaultMode,
+    /// Kill-point switch consulted at every durability step.
+    pub kill: Arc<KillSwitch>,
+}
+
+impl PersistOptions {
+    /// Defaults: checkpoint every [`DEFAULT_CHECKPOINT_EVERY`] records,
+    /// no store faults, no kill-points.
+    pub fn new(alpha: f64, limit_logical_bytes: u64, tree_config: FileTreeConfig) -> Self {
+        PersistOptions {
+            alpha,
+            limit_logical_bytes,
+            tree_config,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            fault_mode: FaultMode::None,
+            kill: Arc::new(KillSwitch::never()),
         }
     }
 }
@@ -233,32 +447,64 @@ pub struct PersistentCache {
     alpha: f64,
     limit_logical_bytes: u64,
     tree_config: FileTreeConfig,
-    store: DiskStore,
+    checkpoint_every: u64,
+    kill: Arc<KillSwitch>,
+    store: FaultyStore<DiskStore>,
     state: State,
+    wal: Wal,
+    /// Static membership filter over every package id live at the last
+    /// checkpoint, plus the exact overlay of ids added since.
+    filter: XorFilter,
+    fresh_packages: HashSet<u64>,
     recovery: RecoveryReport,
     obs: Option<PcObs>,
 }
 
 impl PersistentCache {
-    /// Open (or initialize) a cache directory, running crash recovery:
-    /// quarantine a leftover `state.json.tmp`, verify the state
-    /// checksum, drop index entries whose image file is missing or
-    /// truncated, quarantine unindexed image files, and sweep leftover
-    /// object temp files. A genuinely corrupt `state.json` is an error
-    /// (never a panic) — the operator decides whether to discard it.
+    /// Open (or initialize) a cache directory with default options —
+    /// see [`PersistentCache::open_with`] for the recovery contract.
     pub fn open(
         dir: &Path,
         alpha: f64,
         limit_logical_bytes: u64,
         tree_config: FileTreeConfig,
     ) -> io::Result<Self> {
+        Self::open_with(
+            dir,
+            PersistOptions::new(alpha, limit_logical_bytes, tree_config),
+        )
+    }
+
+    /// Open (or initialize) a cache directory, recovering to exactly a
+    /// prefix of the acknowledged operations:
+    ///
+    /// 1. quarantine a leftover `state.json.tmp`;
+    /// 2. load the checkpoint (checksummed; corruption is an error,
+    ///    never a panic — the operator decides whether to discard it);
+    /// 3. open the WAL, quarantining and stripping a torn tail;
+    /// 4. replay records past the checkpoint's `applied_seq` (a
+    ///    sequence gap is unrecoverable corruption);
+    /// 5. drop index entries whose image file is missing or truncated,
+    ///    quarantine unindexed image files, sweep leftover object temp
+    ///    files, and re-bump the id/clock counters;
+    /// 6. if anything needed repair, checkpoint the repaired state.
+    pub fn open_with(dir: &Path, options: PersistOptions) -> io::Result<Self> {
+        let PersistOptions {
+            alpha,
+            limit_logical_bytes,
+            tree_config,
+            checkpoint_every,
+            fault_mode,
+            kill,
+        } = options;
         assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+        assert!(checkpoint_every >= 1, "checkpoint cadence must be >= 1");
         std::fs::create_dir_all(dir.join("images"))?;
-        let store = DiskStore::open(&dir.join("objects"))?;
+        let store = FaultyStore::new(DiskStore::open(&dir.join("objects"))?, fault_mode);
         let mut recovery = RecoveryReport::default();
 
-        // A leftover temp state means a crash mid-save; the durable
-        // state.json still holds the previous consistent save.
+        // A leftover temp state means a crash mid-checkpoint; the
+        // durable state.json still holds the previous consistent save.
         let tmp_state = dir.join("state.json.tmp");
         if tmp_state.exists() {
             quarantine(dir, &tmp_state)?;
@@ -266,11 +512,57 @@ impl PersistentCache {
         }
 
         let state_path = dir.join("state.json");
-        let mut state = if state_path.exists() {
+        let had_state = state_path.exists();
+        let mut state = if had_state {
             parse_state(&std::fs::read(&state_path)?)?
         } else {
             State::default()
         };
+
+        // Open the log, stripping (and preserving) whatever a crash
+        // tore off the end.
+        let opened = Wal::open(&dir.join("wal.log"), Arc::clone(&kill))?;
+        let mut wal = opened.wal;
+        if !opened.torn_tail.is_empty() {
+            quarantine_bytes(dir, "wal.tail", &opened.torn_tail)?;
+            recovery.quarantined_wal_tail = true;
+        }
+
+        // Replay the suffix past the checkpoint. Records the checkpoint
+        // already folded are skipped; a log that *starts* past the
+        // watermark is missing acknowledged operations — unrecoverable.
+        if let Some(first) = opened.records.first() {
+            if first.seq > state.applied_seq {
+                return Err(invalid_state(format!(
+                    "WAL starts at sequence {} but the checkpoint covers only up to {}: \
+                     acknowledged records are missing",
+                    first.seq, state.applied_seq
+                )));
+            }
+        }
+        for record in &opened.records {
+            if record.seq < state.applied_seq {
+                continue;
+            }
+            let entry: WalEntry = serde_json::from_slice(&record.payload)
+                .map_err(|e| invalid_state(format!("WAL record {} is corrupt: {e}", record.seq)))?;
+            // Files the original submit deleted after the ack: finish
+            // the deletion if the crash landed in between. Silent —
+            // this is replay, not damage.
+            for id in replay_entry(&mut state, &entry)? {
+                let path = dir.join("images").join(format!("{id}.llimg"));
+                if path.exists() {
+                    std::fs::remove_file(&path)?;
+                }
+            }
+        }
+        // A fully stale log (checkpoint newer than every record —
+        // a crash between checkpoint rename and log truncation) is
+        // compacted now, so new appends continue past the watermark.
+        if state.applied_seq > wal.next_seq() {
+            wal.truncate_for_compaction()?;
+            wal.set_next_seq(state.applied_seq)?;
+        }
 
         // Drop entries whose image file a crash lost or truncated.
         // Truncation is detectable because the index records the exact
@@ -291,9 +583,8 @@ impl PersistentCache {
         state.images = kept;
 
         // Image files the index does not know about: a crash between an
-        // image write and the state save that would have indexed it.
-        let indexed: std::collections::HashSet<u64> =
-            state.images.iter().map(|img| img.id).collect();
+        // image write and the WAL record that would have indexed it.
+        let indexed: HashSet<u64> = state.images.iter().map(|img| img.id).collect();
         for entry in std::fs::read_dir(dir.join("images"))? {
             let path = entry?.path();
             let known = path
@@ -344,18 +635,27 @@ impl PersistentCache {
             }
         }
 
-        let cache = PersistentCache {
+        let filter = build_filter(&state);
+        let mut cache = PersistentCache {
             dir: dir.to_path_buf(),
             alpha,
             limit_logical_bytes,
             tree_config,
+            checkpoint_every,
+            kill,
             store,
             state,
+            wal,
+            filter,
+            fresh_packages: HashSet::new(),
             recovery,
             obs: None,
         };
-        if !cache.recovery.clean() {
-            cache.save_state()?;
+        // A brand-new directory gets its initial (empty) checkpoint so
+        // `state.json` always exists; a repaired directory gets its
+        // repairs folded and the stale log compacted away.
+        if !had_state || !cache.recovery.clean() {
+            cache.checkpoint()?;
         }
         Ok(cache)
     }
@@ -365,18 +665,19 @@ impl PersistentCache {
         self.recovery
     }
 
-    /// Register `persist.*` counters (decisions, image builds, state
-    /// saves, evictions) and the backing store's `store.obj_*` I/O
-    /// counters in `registry`. Subsequent operations record into it.
+    /// Register `persist.*` counters (decisions, image builds, WAL
+    /// appends, checkpoints, evictions) and the backing store's
+    /// `store.obj_*` I/O counters in `registry`. Subsequent operations
+    /// record into it.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         self.obs = Some(PcObs::new(registry));
-        self.store.attach_metrics(registry);
+        self.store.inner_mut().attach_metrics(registry);
     }
 
     /// Check the durable-state invariants; an `Err` means the directory
     /// is corrupted in a way recovery should have fixed.
     pub fn check_invariants(&self) -> io::Result<()> {
-        let mut ids = std::collections::HashSet::new();
+        let mut ids = HashSet::new();
         for img in &self.state.images {
             if !ids.insert(img.id) {
                 return Err(invalid_state(format!("duplicate image id {}", img.id)));
@@ -402,6 +703,16 @@ impl PersistentCache {
                     "image {} is {} bytes on disk, index says {}",
                     img.id, len, img.physical_bytes
                 )));
+            }
+            // The membership filter must never produce a false miss.
+            for p in img.spec.iter() {
+                let key = u64::from(p.0);
+                if !self.filter.contains(key) && !self.fresh_packages.contains(&key) {
+                    return Err(invalid_state(format!(
+                        "membership filter misses live package {key} of image {}",
+                        img.id
+                    )));
+                }
             }
         }
         Ok(())
@@ -434,7 +745,7 @@ impl PersistentCache {
             report.pruned_bytes = bytes;
         }
         if report.quarantined_images > 0 {
-            self.save_state()?;
+            self.checkpoint()?;
         }
         Ok(report)
     }
@@ -451,34 +762,117 @@ impl PersistentCache {
 
     /// The content-addressed object store backing the images.
     pub fn store(&self) -> &DiskStore {
-        &self.store
+        self.store.inner()
+    }
+
+    /// A deterministic JSON report of the logical cache state (images
+    /// sorted by id). Two caches that applied the same operations —
+    /// one crash-free, one recovered — render byte-identical reports.
+    pub fn state_report_json(&self) -> String {
+        // Owned, non-generic: the vendored serde derive shim does not
+        // handle lifetime parameters.
+        #[derive(Serialize)]
+        struct Report {
+            next_id: u64,
+            clock: u64,
+            images: Vec<StoredImage>,
+        }
+        let mut images: Vec<StoredImage> = self.state.images.to_vec();
+        images.sort_by_key(|img| img.id);
+        let report = Report {
+            next_id: self.state.next_id,
+            clock: self.state.clock,
+            images,
+        };
+        serde_json::to_string_pretty(&report).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
     }
 
     fn image_path(&self, id: u64) -> PathBuf {
         self.dir.join("images").join(format!("{id}.llimg"))
     }
 
-    /// Durably replace `state.json`: checksummed payload, fsynced temp
-    /// file, atomic rename, fsynced parent directory. A crash at any
-    /// point leaves either the previous state or this one intact.
-    fn save_state(&self) -> io::Result<()> {
-        let json = serde_json::to_vec_pretty(&self.state)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let mut bytes = Vec::with_capacity(STATE_MAGIC.len() + 33 + json.len());
-        bytes.extend_from_slice(STATE_MAGIC);
-        bytes.extend_from_slice(ContentHash::of(&json).to_hex().as_bytes());
-        bytes.push(b'\n');
-        bytes.extend_from_slice(&json);
-        let tmp = self.dir.join("state.json.tmp");
-        {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-        }
-        std::fs::rename(tmp, self.dir.join("state.json"))?;
-        fsync_dir(&self.dir)?;
+    /// Could any cached image possibly satisfy `spec`? `false` is a
+    /// proof of a miss (the filter has no false negatives over live
+    /// packages); `true` means the subset scan must run.
+    fn superset_possible(&self, spec: &Spec) -> bool {
+        spec.iter().all(|p| {
+            let key = u64::from(p.0);
+            self.filter.contains(key) || self.fresh_packages.contains(&key)
+        })
+    }
+
+    /// Append one entry to the WAL and fsync it — the durability
+    /// acknowledgement for the operation it describes.
+    fn append_entry(&mut self, entry: &WalEntry) -> io::Result<u64> {
+        let payload =
+            serde_json::to_vec(entry).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let seq = self.wal.append(&payload)?;
         if let Some(obs) = &self.obs {
-            obs.state_saves.inc();
+            obs.wal_appends.inc();
+        }
+        Ok(seq)
+    }
+
+    /// Fold the current state into `state.json` and truncate the log.
+    /// Also rebuilds the membership filter (the overlay set resets).
+    fn checkpoint(&mut self) -> io::Result<()> {
+        self.state.applied_seq = self.wal.next_seq();
+        write_state_file(&self.dir, &self.state, &self.kill)?;
+        self.wal.truncate_for_compaction()?;
+        self.filter = build_filter(&self.state);
+        self.fresh_packages.clear();
+        if let Some(obs) = &self.obs {
+            obs.checkpoints.inc();
+        }
+        Ok(())
+    }
+
+    fn maybe_checkpoint(&mut self) -> io::Result<()> {
+        if self.wal.next_seq() - self.state.applied_seq >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// The LRU victims that restoring the byte limit would evict once
+    /// `incoming` lands (and `absorbed`, if any, is gone). Pure — the
+    /// decision is logged so replay reproduces it without re-deriving.
+    fn plan_evictions(&self, incoming: &StoredImage, absorbed: Option<u64>) -> Vec<u64> {
+        let mut entries: Vec<(u64, u64, u64)> = self
+            .state
+            .images
+            .iter()
+            .filter(|img| Some(img.id) != absorbed)
+            .map(|img| (img.id, img.logical_bytes, img.last_used))
+            .collect();
+        entries.push((incoming.id, incoming.logical_bytes, incoming.last_used));
+        let mut total: u64 = entries.iter().map(|e| e.1).sum();
+        let mut evict = Vec::new();
+        while total > self.limit_logical_bytes {
+            let victim = entries
+                .iter()
+                .filter(|e| e.0 != incoming.id)
+                .min_by_key(|e| (e.2, e.0))
+                .map(|e| (e.0, e.1));
+            let Some((id, bytes)) = victim else { break };
+            entries.retain(|e| e.0 != id);
+            total -= bytes;
+            evict.push(id);
+        }
+        evict
+    }
+
+    /// Remove evicted image files (after the record evicting them is
+    /// durable).
+    fn delete_image_files(&self, ids: &[u64]) -> io::Result<()> {
+        for &id in ids {
+            let path = self.image_path(id);
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            if let Some(obs) = &self.obs {
+                obs.evicted_images.inc();
+            }
         }
         Ok(())
     }
@@ -487,8 +881,8 @@ impl PersistentCache {
         let sw = Shrinkwrap::new(repo, &self.store, self.tree_config);
         let path = self.image_path(id);
         let report = sw.build_to_path(spec, &path)?;
-        // The image must be durable before any state that references it
-        // is; recovery treats a size mismatch as a torn write.
+        // The image must be durable before any record that references
+        // it is; recovery treats a size mismatch as a torn write.
         let f = std::fs::File::open(&path)?;
         f.sync_all()?;
         let physical_bytes = f.metadata()?.len();
@@ -505,22 +899,43 @@ impl PersistentCache {
         })
     }
 
+    /// Note a spec's packages as live for the membership filter.
+    fn note_packages(&mut self, spec: &Spec) {
+        for p in spec.iter() {
+            let key = u64::from(p.0);
+            if !self.filter.contains(key) {
+                self.fresh_packages.insert(key);
+            }
+        }
+    }
+
     /// Process one job specification (Algorithm 1), materializing
     /// images on disk as needed. The spec must already include its
     /// dependency closure.
     ///
     /// The hit / merge / insert decision comes from the same planner
-    /// the in-memory engine uses ([`plan_over`], the paper's
+    /// the in-memory engine uses ([`plan_over_with_peek`], the paper's
     /// configuration: nearest-first candidates, package-count Jaccard,
     /// CVMFS semantics so nothing conflicts); this store only executes
-    /// it against disk.
+    /// it against disk. The membership filter gates the hit scan.
+    ///
+    /// Durability order, per decision: image file first (fsynced), WAL
+    /// record second (the fsynced append is the acknowledgement),
+    /// evicted files deleted last. A crash anywhere leaves a state
+    /// [`PersistentCache::open`] restores to a prefix of acknowledged
+    /// submits.
     pub fn submit(&mut self, repo: &Repository, spec: &Spec) -> io::Result<Decision> {
         if let Some(obs) = &self.obs {
             obs.submits.inc();
         }
-        self.state.clock += 1;
-        let now = self.state.clock;
+        let now = self.state.clock + 1;
 
+        let superset_possible = self.superset_possible(spec);
+        if let Some(obs) = &self.obs {
+            if !superset_possible {
+                obs.filter_skips.inc();
+            }
+        }
         let entries: Vec<(u64, &Spec, u64)> = self
             .state
             .images
@@ -528,7 +943,7 @@ impl PersistentCache {
             .map(|img| (img.id, &img.spec, img.logical_bytes))
             .collect();
         let sizes = repo.size_table();
-        let op = plan_over(
+        let op = plan_over_with_peek(
             &entries,
             spec,
             self.alpha,
@@ -536,11 +951,19 @@ impl PersistentCache {
             DistanceMetric::PackageCount,
             &sizes,
             &NoConflicts,
+            superset_possible,
         );
         drop(entries);
 
         match op {
             PlannedOp::Hit { image } => {
+                let entry = WalEntry {
+                    clock: now,
+                    next_id: self.state.next_id,
+                    op: WalOp::Touch { id: image.0 },
+                };
+                self.append_entry(&entry)?; // ← acknowledgement
+                self.state.clock = now;
                 let img = self
                     .state
                     .images
@@ -548,42 +971,78 @@ impl PersistentCache {
                     .find(|img| img.id == image.0)
                     .expect("planned hit image is indexed");
                 img.last_used = now;
-                let path = self.image_path(image.0);
-                self.save_state()?;
+                self.note_packages(spec);
+                self.maybe_checkpoint()?;
                 if let Some(obs) = &self.obs {
                     obs.hits.inc();
                 }
-                Ok(Decision::Hit { image: path })
+                Ok(Decision::Hit {
+                    image: self.image_path(image.0),
+                })
             }
             PlannedOp::Merge { image, .. } => {
-                let idx = self
+                let old = self
                     .state
                     .images
                     .iter()
-                    .position(|img| img.id == image.0)
-                    .expect("planned merge image is indexed");
-                let old = self.state.images[idx].clone();
+                    .find(|img| img.id == image.0)
+                    .expect("planned merge image is indexed")
+                    .clone();
                 let merged_spec = old.spec.union(spec);
-                let mut rebuilt = self.build_image(repo, old.id, &merged_spec)?;
-                rebuilt.last_used = now;
-                self.state.images[idx] = rebuilt;
-                self.evict_to_limit(old.id)?;
-                self.save_state()?;
+                // The union is built under a *fresh* id: the pre-merge
+                // image stays intact on disk until the merge record is
+                // acknowledged, so an unacknowledged merge loses
+                // nothing (the orphaned build is quarantined on open).
+                let new_id = self.state.next_id;
+                let mut built = self.build_image(repo, new_id, &merged_spec)?;
+                built.last_used = now;
+                let mut evict = vec![old.id];
+                evict.extend(self.plan_evictions(&built, Some(old.id)));
+                let entry = WalEntry {
+                    clock: now,
+                    next_id: new_id + 1,
+                    op: WalOp::Merge {
+                        image: built.clone(),
+                        absorbed: old.id,
+                        evict: evict[1..].to_vec(),
+                    },
+                };
+                self.append_entry(&entry)?; // ← acknowledgement
+                self.state.clock = now;
+                self.state.next_id = new_id + 1;
+                self.state.images.retain(|img| !evict.contains(&img.id));
+                self.state.images.push(built);
+                self.delete_image_files(&evict)?;
+                self.note_packages(spec);
+                self.maybe_checkpoint()?;
                 if let Some(obs) = &self.obs {
                     obs.merges.inc();
                 }
                 Ok(Decision::Merged {
-                    image: self.image_path(old.id),
+                    image: self.image_path(new_id),
                 })
             }
             PlannedOp::Insert => {
                 let id = self.state.next_id;
-                self.state.next_id += 1;
-                let mut img = self.build_image(repo, id, spec)?;
-                img.last_used = now;
-                self.state.images.push(img);
-                self.evict_to_limit(id)?;
-                self.save_state()?;
+                let mut built = self.build_image(repo, id, spec)?;
+                built.last_used = now;
+                let evict = self.plan_evictions(&built, None);
+                let entry = WalEntry {
+                    clock: now,
+                    next_id: id + 1,
+                    op: WalOp::Insert {
+                        image: built.clone(),
+                        evict: evict.clone(),
+                    },
+                };
+                self.append_entry(&entry)?; // ← acknowledgement
+                self.state.clock = now;
+                self.state.next_id = id + 1;
+                self.state.images.retain(|img| !evict.contains(&img.id));
+                self.state.images.push(built);
+                self.delete_image_files(&evict)?;
+                self.note_packages(spec);
+                self.maybe_checkpoint()?;
                 if let Some(obs) = &self.obs {
                     obs.inserts.inc();
                 }
@@ -593,27 +1052,190 @@ impl PersistentCache {
             }
         }
     }
+}
 
-    fn evict_to_limit(&mut self, protect: u64) -> io::Result<()> {
-        while self.total_logical_bytes() > self.limit_logical_bytes {
-            let victim = self
-                .state
-                .images
-                .iter()
-                .filter(|img| img.id != protect)
-                .min_by_key(|img| (img.last_used, img.id))
-                .map(|img| img.id);
-            let Some(victim) = victim else { break };
-            self.state.images.retain(|img| img.id != victim);
-            if let Some(obs) = &self.obs {
-                obs.evicted_images.inc();
-            }
-            let path = self.image_path(victim);
-            if path.exists() {
-                std::fs::remove_file(path)?;
+/// Build the membership filter over every package id live in `state`.
+fn build_filter(state: &State) -> XorFilter {
+    let mut keys: Vec<u64> = Vec::new();
+    for img in &state.images {
+        keys.extend(img.spec.iter().map(|p| u64::from(p.0)));
+    }
+    XorFilter::build(&keys)
+}
+
+/// Garbage collection over a cache directory's object store.
+///
+/// Image evictions delete the `.llimg` files but leave their source
+/// objects behind (another live image may share them). These methods
+/// find — and optionally delete — objects no live image references.
+impl PersistentCache {
+    /// Hashes of every object referenced by the live images, recomputed
+    /// deterministically from their specs and the tree config.
+    fn live_hashes(
+        &self,
+        repo: &Repository,
+    ) -> std::collections::HashSet<landlord_store::ContentHash> {
+        use landlord_shrinkwrap::filetree;
+        let mut live = std::collections::HashSet::new();
+        for img in &self.state.images {
+            for pkg in img.spec.iter() {
+                for file in filetree::package_tree(repo.meta(pkg), &self.tree_config) {
+                    live.insert(landlord_store::ContentHash::of(&filetree::file_contents(
+                        &file,
+                    )));
+                }
             }
         }
-        Ok(())
+        live
+    }
+
+    /// Objects in the store that no live image references.
+    pub fn orphaned_objects(&self, repo: &Repository) -> Vec<landlord_store::ContentHash> {
+        use landlord_store::ObjectStore;
+        let live = self.live_hashes(repo);
+        self.store()
+            .hashes()
+            .into_iter()
+            .filter(|h| !live.contains(h))
+            .collect()
+    }
+
+    /// Delete every orphaned object; returns `(objects, bytes)` freed.
+    pub fn prune(&self, repo: &Repository) -> io::Result<(usize, u64)> {
+        let orphans = self.orphaned_objects(repo);
+        let mut freed = 0u64;
+        for &hash in &orphans {
+            freed += self.store().remove(hash)?;
+        }
+        Ok((orphans.len(), freed))
+    }
+}
+
+/// Synthetic-state measurement support for `landlord bench-persist`.
+/// Not part of the public API.
+#[doc(hidden)]
+pub mod bench {
+    use super::*;
+    use landlord_core::spec::PackageId;
+    use std::time::Instant;
+
+    /// One measured comparison at a given cache population.
+    #[derive(Debug, Clone, Copy)]
+    pub struct PersistSample {
+        /// Images in the synthetic index.
+        pub images: u64,
+        /// Full-rewrite (pre-WAL) persistence cost per operation.
+        pub rewrite_ns_per_op: u64,
+        /// WAL append persistence cost per operation.
+        pub wal_append_ns_per_op: u64,
+        /// rewrite ÷ append.
+        pub speedup: f64,
+        /// Checkpoint-load plus log-suffix-replay time on open.
+        pub open_replay_ns: u64,
+        /// Records replayed during the measured open.
+        pub replayed_records: u64,
+    }
+
+    fn synthetic_state(images: u64) -> State {
+        let mut state = State {
+            next_id: images,
+            clock: images,
+            ..State::default()
+        };
+        for id in 0..images {
+            let base = (id as u32).wrapping_mul(4);
+            state.images.push(StoredImage {
+                id,
+                spec: Spec::from_ids([base, base + 1, base + 2, base + 3].map(PackageId)),
+                logical_bytes: 4096,
+                physical_bytes: 4096,
+                last_used: id,
+            });
+        }
+        state
+    }
+
+    /// Measure, in `dir` (created, left populated for inspection):
+    /// the old rewrite-the-world save, the WAL append, and the
+    /// checkpoint-plus-replay open path, on a synthetic index of
+    /// `images` images with `replay_records` log records pending.
+    pub fn measure(
+        dir: &Path,
+        images: u64,
+        rewrite_ops: u64,
+        append_ops: u64,
+        replay_records: u64,
+    ) -> io::Result<PersistSample> {
+        std::fs::create_dir_all(dir)?;
+        let kill = KillSwitch::never();
+        let mut state = synthetic_state(images);
+
+        // Old persistence model: every operation rewrites the index.
+        let start = Instant::now();
+        for i in 0..rewrite_ops {
+            // Touch something so the serializer cannot be elided.
+            state.clock = images + i;
+            write_state_file(dir, &state, &kill)?;
+        }
+        let rewrite_ns_per_op =
+            (start.elapsed().as_nanos() / u128::from(rewrite_ops.max(1))) as u64;
+
+        // New persistence model: every operation appends one record.
+        let wal_path = dir.join("bench-wal.log");
+        let mut wal = Wal::open(&wal_path, Arc::new(KillSwitch::never()))?.wal;
+        let start = Instant::now();
+        for i in 0..append_ops {
+            let entry = WalEntry {
+                clock: images + i,
+                next_id: images,
+                op: WalOp::Touch {
+                    id: i % images.max(1),
+                },
+            };
+            let payload = serde_json::to_vec(&entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            wal.append(&payload)?;
+        }
+        let wal_append_ns_per_op =
+            (start.elapsed().as_nanos() / u128::from(append_ops.max(1))) as u64;
+
+        // Open path: parse the checkpoint, scan the log, replay the
+        // suffix. Measured on a log trimmed to `replay_records`.
+        wal.truncate_for_compaction()?;
+        for i in 0..replay_records {
+            let entry = WalEntry {
+                clock: images + i,
+                next_id: images,
+                op: WalOp::Touch {
+                    id: i % images.max(1),
+                },
+            };
+            let payload = serde_json::to_vec(&entry)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            wal.append(&payload)?;
+        }
+        drop(wal);
+        let start = Instant::now();
+        let mut loaded = parse_state(&std::fs::read(dir.join("state.json"))?)?;
+        let opened = Wal::open(&wal_path, Arc::new(KillSwitch::never()))?;
+        let mut replayed = 0u64;
+        for record in &opened.records {
+            let entry: WalEntry = serde_json::from_slice(&record.payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            replay_entry(&mut loaded, &entry)?;
+            replayed += 1;
+        }
+        let open_replay_ns = start.elapsed().as_nanos() as u64;
+        assert_eq!(loaded.images.len() as u64, images);
+
+        Ok(PersistSample {
+            images,
+            rewrite_ns_per_op,
+            wal_append_ns_per_op,
+            speedup: rewrite_ns_per_op as f64 / wal_append_ns_per_op.max(1) as f64,
+            open_replay_ns,
+            replayed_records: replayed,
+        })
     }
 }
 
@@ -661,6 +1283,10 @@ mod tests {
         let d3 = cache.submit(&r, &b).unwrap();
         assert!(matches!(d3, Decision::Merged { .. }), "got {d3:?}");
         assert_eq!(cache.images().len(), 1);
+        assert!(
+            !d1.image_path().exists(),
+            "absorbed image file is deleted after the merge is durable"
+        );
 
         // The merged image file is a valid LLIMG covering the union.
         let img = ImageReader::parse(std::fs::File::open(d3.image_path()).unwrap()).unwrap();
@@ -705,7 +1331,13 @@ mod tests {
         assert_eq!(snap.counters.get("persist.merges"), Some(&1));
         assert_eq!(snap.counters.get("persist.inserts"), Some(&1));
         assert_eq!(snap.counters.get("persist.images_built"), Some(&2));
-        assert_eq!(snap.counters.get("persist.state_saves"), Some(&3));
+        // Every submit appends exactly one record; below the cadence,
+        // nothing checkpoints.
+        assert_eq!(snap.counters.get("persist.wal_appends"), Some(&3));
+        assert_eq!(snap.counters.get("persist.state_saves"), Some(&0));
+        // The very first submit finds an empty cache: the filter
+        // proves the miss and the hit scan is skipped.
+        assert!(snap.counters.get("persist.filter_skips").copied() >= Some(1));
         assert!(snap.counters.get("persist.image_bytes_written").copied() > Some(0));
         // The backing store's I/O counters ride along.
         assert!(snap.counters.get("store.obj_puts").copied() > Some(0));
@@ -725,12 +1357,69 @@ mod tests {
         }
         let mut cache =
             PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
+        assert!(cache.last_recovery().clean(), "normal replay is not damage");
         assert_eq!(cache.images().len(), 1);
         let d = cache.submit(&r, &spec).unwrap();
         assert!(
             matches!(d, Decision::Hit { .. }),
             "persisted image must hit"
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hits_append_to_wal_without_rewriting_state() {
+        let dir = temp_dir("walhit");
+        let r = repo();
+        let spec = r.closure_spec(&[PackageId(0)]);
+        let mut cache =
+            PersistentCache::open(&dir, 0.8, u64::MAX, FileTreeConfig::miniature()).unwrap();
+        cache.submit(&r, &spec).unwrap();
+        let state_before = std::fs::read(dir.join("state.json")).unwrap();
+        let wal_before = std::fs::metadata(dir.join("wal.log")).unwrap().len();
+        for _ in 0..5 {
+            assert!(matches!(
+                cache.submit(&r, &spec).unwrap(),
+                Decision::Hit { .. }
+            ));
+        }
+        assert_eq!(
+            std::fs::read(dir.join("state.json")).unwrap(),
+            state_before,
+            "hits must not rewrite the checkpoint"
+        );
+        assert!(
+            std::fs::metadata(dir.join("wal.log")).unwrap().len() > wal_before,
+            "hits append to the log"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_cadence_compacts_the_log() {
+        let dir = temp_dir("walckpt");
+        let r = repo();
+        let mut options = PersistOptions::new(0.0, u64::MAX, FileTreeConfig::miniature());
+        options.checkpoint_every = 3;
+        let mut cache = PersistentCache::open_with(&dir, options).unwrap();
+        let n = r.package_count() as u32;
+        for i in 0..3 {
+            cache
+                .submit(&r, &r.closure_spec(&[PackageId(n - 1 - i)]))
+                .unwrap();
+        }
+        // The third submit crossed the cadence: log truncated to magic.
+        assert_eq!(
+            std::fs::metadata(dir.join("wal.log")).unwrap().len(),
+            landlord_wal::MAGIC.len() as u64,
+            "checkpoint must truncate the log"
+        );
+        // And the checkpoint alone reproduces the cache.
+        drop(cache);
+        let cache =
+            PersistentCache::open(&dir, 0.0, u64::MAX, FileTreeConfig::miniature()).unwrap();
+        assert_eq!(cache.images().len(), 3);
+        cache.check_invariants().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -841,6 +1530,63 @@ mod tests {
     }
 
     #[test]
+    fn torn_wal_tail_is_quarantined_and_stripped() {
+        let (dir, _r) = populated("cktail");
+        // Tear the log mid-frame, as a crash mid-append would.
+        let wal_path = dir.join("wal.log");
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes.extend_from_slice(&[0x7f; 9]); // half a frame header
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let cache = open_default(&dir).unwrap();
+        assert!(cache.last_recovery().quarantined_wal_tail);
+        assert!(dir.join("quarantine").join("wal.tail").exists());
+        assert_eq!(cache.images().len(), 2, "intact records still replay");
+        cache.check_invariants().unwrap();
+        drop(cache);
+        // Recovery checkpointed: a second open is clean.
+        let cache = open_default(&dir).unwrap();
+        assert!(cache.last_recovery().clean());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn repeated_crashes_never_overwrite_quarantined_artifacts() {
+        let (dir, _r) = populated("ckquniq");
+        for round in 0..3 {
+            std::fs::write(
+                dir.join("state.json.tmp"),
+                format!("torn state from crash {round}"),
+            )
+            .unwrap();
+            let cache = open_default(&dir).unwrap();
+            assert!(cache.last_recovery().quarantined_tmp_state);
+        }
+        let qdir = dir.join("quarantine");
+        let mut names: Vec<String> = std::fs::read_dir(&qdir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("state.json.tmp"))
+            .collect();
+        names.sort();
+        assert_eq!(
+            names,
+            vec![
+                "state.json.tmp".to_string(),
+                "state.json.tmp.1".to_string(),
+                "state.json.tmp.2".to_string()
+            ],
+            "each crash artifact keeps its own quarantine entry"
+        );
+        // And the contents are the three distinct artifacts.
+        for (i, name) in names.iter().enumerate() {
+            let content = std::fs::read_to_string(qdir.join(name)).unwrap();
+            assert_eq!(content, format!("torn state from crash {i}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn truncated_image_is_quarantined_and_dropped() {
         let (dir, r) = populated("cktorn");
         let victim = {
@@ -884,6 +1630,26 @@ mod tests {
     }
 
     #[test]
+    fn wal_sequence_gap_is_unrecoverable() {
+        let (dir, _r) = populated("ckgap");
+        // Rewrite the log with records that start past the checkpoint's
+        // watermark: acknowledged history is missing.
+        let entry = WalEntry {
+            clock: 99,
+            next_id: 99,
+            op: WalOp::Touch { id: 0 },
+        };
+        let payload = serde_json::to_vec(&entry).unwrap();
+        let mut bytes = landlord_wal::MAGIC.to_vec();
+        bytes.extend_from_slice(&landlord_wal::encode_frame(40, &payload).unwrap());
+        std::fs::write(dir.join("wal.log"), &bytes).unwrap();
+        let err = open_default(&dir).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("acknowledged records are missing"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn repair_quarantines_deep_corruption_and_prunes() {
         let (dir, r) = populated("ckrepair");
         let victim_id = {
@@ -908,53 +1674,36 @@ mod tests {
         cache.check_invariants().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
-}
 
-/// Garbage collection over a cache directory's object store.
-///
-/// Image evictions delete the `.llimg` files but leave their source
-/// objects behind (another live image may share them). These methods
-/// find — and optionally delete — objects no live image references.
-impl PersistentCache {
-    /// Hashes of every object referenced by the live images, recomputed
-    /// deterministically from their specs and the tree config.
-    fn live_hashes(
-        &self,
-        repo: &Repository,
-    ) -> std::collections::HashSet<landlord_store::ContentHash> {
-        use landlord_shrinkwrap::filetree;
-        let mut live = std::collections::HashSet::new();
-        for img in &self.state.images {
-            for pkg in img.spec.iter() {
-                for file in filetree::package_tree(repo.meta(pkg), &self.tree_config) {
-                    live.insert(landlord_store::ContentHash::of(&filetree::file_contents(
-                        &file,
-                    )));
-                }
-            }
-        }
-        live
-    }
-
-    /// Objects in the store that no live image references.
-    pub fn orphaned_objects(&self, repo: &Repository) -> Vec<landlord_store::ContentHash> {
-        use landlord_store::ObjectStore;
-        let live = self.live_hashes(repo);
-        self.store
-            .hashes()
-            .into_iter()
-            .filter(|h| !live.contains(h))
-            .collect()
-    }
-
-    /// Delete every orphaned object; returns `(objects, bytes)` freed.
-    pub fn prune(&self, repo: &Repository) -> io::Result<(usize, u64)> {
-        let orphans = self.orphaned_objects(repo);
-        let mut freed = 0u64;
-        for &hash in &orphans {
-            freed += self.store.remove(hash)?;
-        }
-        Ok((orphans.len(), freed))
+    #[test]
+    fn recovered_report_matches_uncrashed_replay() {
+        // The golden determinism property in miniature: a cache that
+        // reopened (checkpoint + replay) renders the same report as the
+        // handle that never closed.
+        let dir = temp_dir("ckgolden");
+        let r = repo();
+        let n = r.package_count() as u32;
+        let live_report = {
+            let mut cache = open_default(&dir).unwrap();
+            cache
+                .submit(&r, &r.closure_spec(&[PackageId(n - 1)]))
+                .unwrap();
+            cache
+                .submit(&r, &r.closure_spec(&[PackageId(n - 7)]))
+                .unwrap();
+            cache
+                .submit(&r, &r.closure_spec(&[PackageId(n - 1)]))
+                .unwrap();
+            cache.state_report_json()
+        };
+        let reopened = open_default(&dir).unwrap();
+        assert!(reopened.last_recovery().clean());
+        assert_eq!(
+            reopened.state_report_json(),
+            live_report,
+            "replay must reproduce the live state byte-for-byte"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

@@ -62,7 +62,7 @@ pub use candidates::CandidateIndex;
 pub use config::{CacheConfig, CacheStats};
 pub use evictor::Evictor;
 pub use ledger::{Ledger, PackageRefs};
-pub use plan::{plan_over, Plan, PlannedOp};
+pub use plan::{plan_over, plan_over_with_peek, Plan, PlannedOp};
 pub use sharded::{shard_limit_bytes, ShardedImageCache};
 
 use crate::conflict::{ConflictPolicy, NoConflicts};

@@ -189,11 +189,51 @@ pub fn plan_over(
     sizes: &dyn SizeModel,
     conflicts: &dyn ConflictPolicy,
 ) -> PlannedOp {
-    if let Some(&(id, _, _)) = entries
-        .iter()
-        .filter(|(_, s, _)| spec.len() <= s.len() && spec.is_subset(s))
-        .min_by_key(|&&(id, _, bytes)| (bytes, id))
-    {
+    plan_over_with_peek(
+        entries,
+        spec,
+        alpha,
+        merge_order,
+        metric,
+        sizes,
+        conflicts,
+        true,
+    )
+}
+
+/// [`plan_over`] with an externally supplied superset hint, mirroring
+/// [`ImageCache::plan_with_peek`]: `superset_possible = false` asserts
+/// the caller has proven (e.g. via a membership filter over every
+/// cached package) that no entry can satisfy `spec`, so the hit scan
+/// is skipped. The hint must be conservative — `false` despite an
+/// existing superset turns a hit into a merge/insert, a correctness
+/// bug. `true` always recovers exact [`plan_over`] behaviour.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_over_with_peek(
+    entries: &[(u64, &Spec, u64)],
+    spec: &Spec,
+    alpha: f64,
+    merge_order: MergeOrder,
+    metric: DistanceMetric,
+    sizes: &dyn SizeModel,
+    conflicts: &dyn ConflictPolicy,
+    superset_possible: bool,
+) -> PlannedOp {
+    let hit = if superset_possible {
+        entries
+            .iter()
+            .filter(|(_, s, _)| spec.len() <= s.len() && spec.is_subset(s))
+            .min_by_key(|&&(id, _, bytes)| (bytes, id))
+    } else {
+        debug_assert!(
+            !entries
+                .iter()
+                .any(|(_, s, _)| spec.len() <= s.len() && spec.is_subset(s)),
+            "peek claimed no superset but a satisfying entry exists"
+        );
+        None
+    };
+    if let Some(&(id, _, _)) = hit {
         return PlannedOp::Hit { image: ImageId(id) };
     }
     if alpha > 0.0 {

@@ -25,7 +25,11 @@
 //!   member proves it cannot. The owning shard re-reads its own summary
 //!   under its lock (where it is authoritative, not advisory) and feeds
 //!   the answer to [`ImageCache::plan_with_peek`], skipping the O(n)
-//!   hit scan for specs that introduce any new package.
+//!   hit scan for specs that introduce any new package. Because 256
+//!   bits saturate at a few hundred distinct packages, the under-lock
+//!   path layers an [`XorFilter`] (rebuilt from the live images at each
+//!   summary rebuild, with an exact overlay for ids noted since) that
+//!   keeps a fixed ≈0.39% false-positive rate at millions of packages.
 //! * **Batching** — [`ShardedImageCache::request_many`] groups a batch
 //!   by owning shard and takes each shard lock once per batch instead
 //!   of once per request, preserving per-shard arrival order.
@@ -46,12 +50,14 @@
 use super::observe::names;
 use super::{CacheConfig, CacheStats, ImageCache, Outcome};
 use crate::conflict::{ConflictPolicy, NoConflicts};
+use crate::filter::XorFilter;
 use crate::metrics::ContainerEfficiency;
 use crate::sizes::SizeModel;
 use crate::spec::{PackageId, Spec};
 use crate::util::{mix2, mix64};
 use landlord_obs::{Clock, Counter, Histogram, MetricsRegistry};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -68,16 +74,38 @@ const SUMMARY_REBUILD_EVERY: u64 = 128;
 /// families derived from the same configured seed.
 const ROUTE_SALT: u64 = 0x51a2_d3e4_0000_0005;
 
+/// The precise complement to the 256-bit bloom: an [`XorFilter`] over
+/// the package ids live at the last rebuild, plus the exact set of ids
+/// noted since. At millions of distinct packages the 256-bit bloom
+/// saturates (every bit set, every peek "possible"); the xor layer
+/// keeps a fixed ≈0.39% false-positive rate at ~10 bits per key, so
+/// the peek keeps pruning hit scans at any scale.
+///
+/// Consulted only under the shard lock (the lock-free cross-shard peek
+/// stays bloom-only), so an `RwLock` here costs nothing extra.
+struct PreciseLayer {
+    /// Static filter over the ids live at the last summary rebuild.
+    filter: XorFilter,
+    /// Ids noted since the rebuild that the static filter may not
+    /// cover; bounded by `SUMMARY_REBUILD_EVERY` noted specs.
+    fresh: HashSet<u64>,
+}
+
 /// A lock-free 256-bit summary of the package ids live in one shard.
 ///
 /// Writers (inserts, merges, rebuilds) only run under the shard lock;
 /// readers may run anywhere. A clear bit proves the package is absent
 /// from every live image of the shard; a set bit proves nothing (hash
-/// collisions and evicted packages leave false positives).
+/// collisions and evicted packages leave false positives). The
+/// under-lock path additionally consults a [`PreciseLayer`] that keeps
+/// pruning after the tiny bloom saturates.
 struct PackageSummary {
     bits: [AtomicU64; SUMMARY_WORDS],
     /// Requests noted since the last rebuild.
     notes: AtomicU64,
+    /// Built at the first rebuild; `None` until then (peeks fall back
+    /// to bloom-only, which is exact for young shards anyway).
+    precise: RwLock<Option<PreciseLayer>>,
 }
 
 impl PackageSummary {
@@ -85,6 +113,7 @@ impl PackageSummary {
         PackageSummary {
             bits: std::array::from_fn(|_| AtomicU64::new(0)),
             notes: AtomicU64::new(0),
+            precise: RwLock::new(None),
         }
     }
 
@@ -104,6 +133,24 @@ impl PackageSummary {
         })
     }
 
+    /// The authoritative peek used under the shard lock: the bloom
+    /// first (free), then the precise layer for specs the saturated
+    /// bloom can no longer rule out. `false` is still a proof of
+    /// absence — the xor filter has no false negatives over its build
+    /// set, and everything noted since the build is in `fresh`.
+    fn may_contain_superset_precise(&self, spec: &Spec) -> bool {
+        if !self.may_contain_superset(spec) {
+            return false;
+        }
+        match self.precise.read().as_ref() {
+            None => true,
+            Some(layer) => spec.iter().all(|p| {
+                let key = u64::from(p.0);
+                layer.filter.contains(key) || layer.fresh.contains(&key)
+            }),
+        }
+    }
+
     /// Record that `spec`'s packages are (now) live in this shard.
     /// Called under the shard lock after every served request; hits are
     /// redundant but harmless.
@@ -115,6 +162,16 @@ impl PackageSummary {
                 self.bits[word].fetch_or(mask, Ordering::Relaxed); // sync: idempotent bit-set; readers tolerate stale views by design
             }
         }
+        if let Some(layer) = self.precise.write().as_mut() {
+            for p in spec.iter() {
+                let key = u64::from(p.0);
+                // Only ids the static filter cannot vouch for need the
+                // exact overlay; keeps `fresh` small between rebuilds.
+                if !layer.filter.contains(key) {
+                    layer.fresh.insert(key);
+                }
+            }
+        }
         self.notes.fetch_add(1, Ordering::Relaxed); // sync: rebuild heuristic counter; publishes no data
     }
 
@@ -122,15 +179,21 @@ impl PackageSummary {
     /// packages were evicted. Must run under the shard lock.
     fn rebuild_from(&self, cache: &ImageCache) {
         let mut fresh = [0u64; SUMMARY_WORDS];
+        let mut live: Vec<u64> = Vec::new();
         for img in cache.images() {
             for p in img.spec.iter() {
                 let (word, mask) = Self::slot(p);
                 fresh[word] |= mask;
+                live.push(u64::from(p.0));
             }
         }
         for (word, value) in fresh.iter().enumerate() {
             self.bits[word].store(*value, Ordering::Relaxed); // sync: runs under the shard lock, whose release publishes the bits
         }
+        *self.precise.write() = Some(PreciseLayer {
+            filter: XorFilter::build(&live),
+            fresh: HashSet::new(),
+        });
         self.notes.store(0, Ordering::Relaxed); // sync: runs under the shard lock, which orders the reset
     }
 
@@ -302,7 +365,7 @@ impl ShardedImageCache {
         obs: Option<&ShardObs>,
     ) -> Outcome {
         cache.settle();
-        let superset_possible = shard.summary.may_contain_superset(spec);
+        let superset_possible = shard.summary.may_contain_superset_precise(spec);
         if let Some(o) = obs {
             if superset_possible {
                 o.peek_possible.inc();
@@ -470,6 +533,11 @@ impl ShardedImageCache {
                 assert!(
                     shard.summary.may_contain_superset(&img.spec),
                     "summary of shard {i} misses live packages of image {}",
+                    img.id
+                );
+                assert!(
+                    shard.summary.may_contain_superset_precise(&img.spec),
+                    "precise layer of shard {i} misses live packages of image {}",
                     img.id
                 );
             }
@@ -665,6 +733,41 @@ mod tests {
         assert_eq!(s.requests, s.hits + s.merges + s.inserts);
         assert_eq!(cache.container_eff().samples(), s.requests);
         cache.check_invariants();
+    }
+
+    #[test]
+    fn precise_layer_keeps_pruning_after_bloom_saturates() {
+        // One shard, unbounded budget, disjoint specs: a few thousand
+        // distinct packages set every bloom bit, so only the xor layer
+        // can still prove absence.
+        let cache = sharded(1, 0.0, u64::MAX);
+        for i in 0..2000u32 {
+            cache.request(&spec(&[i * 3, i * 3 + 1, i * 3 + 2]));
+        }
+        cache.check_invariants();
+        let summary = &cache.inner.shards[0].summary;
+        assert!(
+            summary
+                .bits
+                .iter()
+                .all(|w| w.load(Ordering::Relaxed) == u64::MAX),
+            "test premise: the 256-bit bloom should be saturated"
+        );
+        // Served specs must still peek as possible (no false miss)...
+        for i in (0..2000u32).step_by(97) {
+            let s = spec(&[i * 3, i * 3 + 1, i * 3 + 2]);
+            assert!(summary.may_contain_superset_precise(&s));
+        }
+        // ...while probes of absent packages are overwhelmingly pruned
+        // despite the saturated bloom claiming "possible" for all.
+        let probes = 1000u32;
+        let pruned = (0..probes)
+            .filter(|&i| !summary.may_contain_superset_precise(&spec(&[1_000_000 + i])))
+            .count();
+        assert!(
+            pruned as f64 / f64::from(probes) > 0.95,
+            "xor layer pruned only {pruned}/{probes} absent probes"
+        );
     }
 
     #[test]

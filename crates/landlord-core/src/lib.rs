@@ -70,6 +70,7 @@
 pub mod cache;
 pub mod conflict;
 pub mod events;
+pub mod filter;
 pub mod image;
 pub mod jaccard;
 pub mod metrics;
@@ -82,5 +83,6 @@ pub mod spec;
 pub mod util;
 
 pub use cache::{CacheConfig, CacheStats, ImageCache, Outcome, ShardedImageCache};
+pub use filter::XorFilter;
 pub use image::{Image, ImageId};
 pub use spec::{PackageId, Spec};

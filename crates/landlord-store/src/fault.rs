@@ -98,6 +98,12 @@ impl<S: ObjectStore> FaultyStore<S> {
         &self.inner
     }
 
+    /// Mutable access to the wrapped store (metric attachment and
+    /// other configuration that must reach through the fault layer).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+
     /// Number of successful `put` calls so far.
     pub fn successful_puts(&self) -> u64 {
         self.puts.load(Ordering::Relaxed) // sync: fixture counter; read exactly only after threads join

@@ -44,10 +44,12 @@ pub mod dedup;
 pub mod fault;
 pub mod gc;
 pub mod hash;
+pub mod kill;
 pub mod object;
 pub mod revision;
 
 pub use catalog::{Catalog, CatalogEntry};
 pub use hash::ContentHash;
+pub use kill::{KillPoint, KillSwitch};
 pub use object::{DiskStore, MemStore, ObjectStore};
 pub use revision::{RepositoryFs, RevisionId};

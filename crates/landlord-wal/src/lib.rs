@@ -1,0 +1,27 @@
+//! # landlord-wal
+//!
+//! Append-only write-ahead logging for the persistent cache: the
+//! log-structured half of the "WAL + checkpoint" durability design
+//! that replaces rewrite-the-world state persistence.
+//!
+//! * [`record`] — the on-disk format: `LLWAL1\n` magic, then
+//!   length-prefixed frames of `len:u32 seq:u64 crc:u32 payload`,
+//!   CRC-32 over `seq ++ payload`. Torn tails are detectable by
+//!   construction; sequence breaks inside valid frames are
+//!   unrecoverable corruption.
+//! * [`log`] — the live [`Wal`] handle: open-with-recovery (strip and
+//!   return the torn tail for quarantine), fsync-acknowledged appends,
+//!   and compaction truncation that preserves sequence numbering.
+//!
+//! Every durability step checks a [`KillSwitch`]
+//! (from `landlord-store::kill`), so crash tests can deterministically
+//! kill the process model at each point a real crash could land and
+//! assert recovery restores a prefix of acknowledged operations.
+
+pub mod log;
+pub mod record;
+
+pub use crate::log::{fsync_dir, Wal, WalOpen};
+pub use crate::record::{crc32_parts, encode_frame, scan, Record, Scan, FRAME_HEADER, MAGIC};
+pub use landlord_store::kill::is_kill_error;
+pub use landlord_store::{KillPoint, KillSwitch};

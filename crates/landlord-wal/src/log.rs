@@ -1,0 +1,325 @@
+//! The live log handle: open-with-recovery, fsync-acknowledged
+//! appends, and compaction truncation, with a [`KillSwitch`] check at
+//! every durability step so crash tests can kill the process model at
+//! each point a real crash could land.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use landlord_store::{KillPoint, KillSwitch};
+
+use crate::record::{self, MAGIC};
+
+/// Flush a directory's entry table so a freshly created or renamed
+/// file inside it survives a crash. No-op off unix, where directory
+/// handles cannot be fsynced portably.
+pub fn fsync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = dir;
+    }
+    Ok(())
+}
+
+/// An open write-ahead log.
+///
+/// The durability contract: [`Wal::append`] returning `Ok(seq)` is the
+/// acknowledgement — the record has been fsynced and will survive any
+/// crash. A crash *during* append leaves either nothing, a torn tail
+/// (detected and stripped on reopen), or — when the bytes were fully
+/// written but not yet fsynced — a record the OS may or may not
+/// persist. Recovery therefore promises the reopened log is some
+/// prefix of submitted records that is **at least** every acknowledged
+/// one.
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    /// Valid byte length: magic plus every accepted frame. Kept in
+    /// step with what [`record::scan`] would accept, so compaction and
+    /// tail-stripping can truncate without rescanning.
+    valid_len: u64,
+    next_seq: u64,
+    kill: Arc<KillSwitch>,
+}
+
+/// Result of [`Wal::open`]: the handle plus everything recovery needs
+/// to report.
+pub struct WalOpen {
+    pub wal: Wal,
+    /// Valid records found on disk, in order (empty for a new log).
+    pub records: Vec<record::Record>,
+    /// Bytes of torn tail that were stripped from the file, for the
+    /// caller to quarantine. Empty when the log was whole.
+    pub torn_tail: Vec<u8>,
+}
+
+impl Wal {
+    /// Open (or create) the log at `path`, validating every frame and
+    /// stripping any torn tail left by a crash. The stripped bytes are
+    /// returned for quarantine; the on-disk file is truncated back to
+    /// its valid prefix and fsynced before this returns.
+    pub fn open(path: &Path, kill: Arc<KillSwitch>) -> io::Result<WalOpen> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        let created = bytes.is_empty();
+        let scan = record::scan(&bytes)?;
+        if created {
+            // Brand-new log: lay down the magic and make both the file
+            // and its directory entry durable before anyone appends.
+            file.write_all(MAGIC)?;
+            file.sync_all()?;
+            if let Some(dir) = path.parent() {
+                fsync_dir(dir)?;
+            }
+        } else if !scan.torn_tail.is_empty() {
+            file.set_len(scan.valid_len)?;
+            file.sync_all()?;
+        }
+        let valid_len = if created {
+            MAGIC.len() as u64
+        } else {
+            scan.valid_len
+        };
+        // read_to_end left the cursor at the *old* EOF; park it at the
+        // valid prefix so the next append cannot leave a zero-hole.
+        file.seek(SeekFrom::Start(valid_len))?;
+        let next_seq = scan.next_seq().unwrap_or(0);
+        Ok(WalOpen {
+            wal: Wal {
+                path: path.to_path_buf(),
+                file,
+                valid_len,
+                next_seq,
+                kill,
+            },
+            records: scan.records,
+            torn_tail: scan.torn_tail,
+        })
+    }
+
+    /// Path this log lives at.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Sequence number the next append will receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Valid byte length of the log (magic plus accepted frames).
+    pub fn valid_len(&self) -> u64 {
+        self.valid_len
+    }
+
+    /// Continue an earlier epoch: after compaction folded records
+    /// `..=seq-1` into a checkpoint, a freshly truncated (record-free)
+    /// log must keep numbering from `seq` so replay can tell stale
+    /// records from new ones. Refused when records are still present —
+    /// renumbering live records would corrupt contiguity.
+    pub fn set_next_seq(&mut self, seq: u64) -> io::Result<()> {
+        if self.valid_len > MAGIC.len() as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "refusing to renumber a WAL that still holds records",
+            ));
+        }
+        self.next_seq = seq;
+        Ok(())
+    }
+
+    /// Append one record and fsync it. `Ok(seq)` is the durability
+    /// acknowledgement. Kill-points model the two distinct crash
+    /// shapes: a torn half-written frame ([`KillPoint::MidAppend`])
+    /// and a complete but not-yet-fsynced frame
+    /// ([`KillPoint::PostAppendPreFsync`]).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<u64> {
+        let seq = self.next_seq;
+        let frame = record::encode_frame(seq, payload)?;
+        // Split inside the frame so a mid-append kill leaves a
+        // genuinely torn record, not a clean boundary.
+        let split = frame.len() / 2;
+        self.file.write_all(&frame[..split])?;
+        self.kill.check(KillPoint::MidAppend)?;
+        self.file.write_all(&frame[split..])?;
+        self.kill.check(KillPoint::PostAppendPreFsync)?;
+        self.file.sync_data()?;
+        self.valid_len += frame.len() as u64;
+        self.next_seq = seq + 1;
+        Ok(seq)
+    }
+
+    /// Discard every record after a checkpoint has made them
+    /// redundant, keeping the file, its magic, and the sequence
+    /// numbering. A kill mid-truncate leaves a half-cut file — a torn
+    /// tail the next open strips like any other crash artifact.
+    pub fn truncate_for_compaction(&mut self) -> io::Result<()> {
+        let next = self.next_seq;
+        if let Err(e) = self.kill.check(KillPoint::MidCompactionTruncate) {
+            // Model the crash landing mid-ftruncate: the file is cut
+            // at an arbitrary byte, tearing whatever frame straddles it.
+            self.file.set_len(self.valid_len / 2 + 1)?;
+            return Err(e);
+        }
+        self.file.set_len(MAGIC.len() as u64)?;
+        // set_len does not move the cursor; reposition it or the next
+        // append would punch a zero-hole after the magic.
+        self.file.seek(SeekFrom::Start(MAGIC.len() as u64))?;
+        self.file.sync_all()?;
+        self.valid_len = MAGIC.len() as u64;
+        self.next_seq = next;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn test_dir(tag: &str) -> PathBuf {
+        let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("landlord-wal-{tag}-{}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn reopen_clean(path: &Path) -> WalOpen {
+        Wal::open(path, Arc::new(KillSwitch::never())).unwrap()
+    }
+
+    #[test]
+    fn append_reopen_round_trip() {
+        let dir = test_dir("round-trip");
+        let path = dir.join("wal.log");
+        let mut open = reopen_clean(&path);
+        assert!(open.records.is_empty() && open.torn_tail.is_empty());
+        assert_eq!(open.wal.append(b"one").unwrap(), 0);
+        assert_eq!(open.wal.append(b"two").unwrap(), 1);
+        drop(open);
+
+        let again = reopen_clean(&path);
+        assert_eq!(again.records.len(), 2);
+        assert_eq!(again.records[0].payload, b"one");
+        assert_eq!(again.records[1].seq, 1);
+        assert!(again.torn_tail.is_empty());
+        assert_eq!(again.wal.next_seq(), 2);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn kill_mid_append_leaves_torn_tail_and_only_acked_records() {
+        let dir = test_dir("mid-append");
+        let path = dir.join("wal.log");
+        let kill = Arc::new(KillSwitch::at_point(KillPoint::MidAppend, 1));
+        let mut open = Wal::open(&path, kill.clone()).unwrap();
+        assert_eq!(open.wal.append(b"acked-record").unwrap(), 0);
+        let err = open.wal.append(b"torn-record-payload").unwrap_err();
+        assert!(landlord_store::kill::is_kill_error(&err));
+        assert!(kill.is_dead());
+        // Once dead, every further durability step fails too.
+        assert!(open.wal.append(b"after-death").is_err());
+        drop(open);
+
+        let again = reopen_clean(&path);
+        assert_eq!(again.records.len(), 1, "only the acked record survives");
+        assert_eq!(again.records[0].payload, b"acked-record");
+        assert!(
+            !again.torn_tail.is_empty(),
+            "half-written frame is the tail"
+        );
+        assert_eq!(again.wal.next_seq(), 1);
+        // The tail was stripped: a third open sees a whole log.
+        drop(again);
+        assert!(reopen_clean(&path).torn_tail.is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn kill_pre_fsync_may_keep_the_unacked_record() {
+        // The frame was fully written before the kill; in the
+        // same-process model the page cache survives, so reopen sees a
+        // valid unacked record — the `k = acked + 1` recovery case.
+        let dir = test_dir("pre-fsync");
+        let path = dir.join("wal.log");
+        let kill = Arc::new(KillSwitch::at_point(KillPoint::PostAppendPreFsync, 0));
+        let mut open = Wal::open(&path, kill).unwrap();
+        let err = open.wal.append(b"written-not-acked").unwrap_err();
+        assert!(landlord_store::kill::is_kill_error(&err));
+        drop(open);
+
+        let again = reopen_clean(&path);
+        assert_eq!(again.records.len(), 1);
+        assert_eq!(again.records[0].payload, b"written-not-acked");
+        assert!(again.torn_tail.is_empty());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_sequence_numbering() {
+        let dir = test_dir("compact");
+        let path = dir.join("wal.log");
+        let mut open = reopen_clean(&path);
+        for p in [b"a".as_slice(), b"b", b"c"] {
+            open.wal.append(p).unwrap();
+        }
+        open.wal.truncate_for_compaction().unwrap();
+        assert_eq!(open.wal.valid_len(), MAGIC.len() as u64);
+        assert_eq!(open.wal.append(b"post-compaction").unwrap(), 3);
+        drop(open);
+
+        let again = reopen_clean(&path);
+        assert_eq!(again.records.len(), 1);
+        assert_eq!(again.records[0].seq, 3);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn kill_mid_compaction_truncate_tears_the_file_recoverably() {
+        let dir = test_dir("mid-truncate");
+        let path = dir.join("wal.log");
+        let kill = Arc::new(KillSwitch::at_point(KillPoint::MidCompactionTruncate, 0));
+        let mut open = Wal::open(&path, kill).unwrap();
+        for p in [b"one-record".as_slice(), b"two-record", b"three-record"] {
+            open.wal.append(p).unwrap();
+        }
+        let err = open.wal.truncate_for_compaction().unwrap_err();
+        assert!(landlord_store::kill::is_kill_error(&err));
+        drop(open);
+
+        // Recovery sees some prefix of the records plus a torn tail —
+        // never an error, never a record that was not appended.
+        let again = reopen_clean(&path);
+        assert!(again.records.len() <= 3);
+        for (i, r) in again.records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn set_next_seq_requires_an_empty_log() {
+        let dir = test_dir("set-seq");
+        let path = dir.join("wal.log");
+        let mut open = reopen_clean(&path);
+        open.wal.set_next_seq(41).unwrap();
+        assert_eq!(open.wal.append(b"x").unwrap(), 41);
+        assert!(open.wal.set_next_seq(99).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

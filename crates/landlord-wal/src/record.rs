@@ -1,0 +1,309 @@
+//! The on-disk WAL format: file magic plus checksummed,
+//! length-prefixed, sequence-numbered record frames.
+//!
+//! ```text
+//! file   := magic frame*
+//! magic  := "LLWAL1\n"                       (7 bytes)
+//! frame  := len:u32le seq:u64le crc:u32le payload[len]
+//! crc    := CRC-32 (IEEE) over seq:u64le ++ payload
+//! ```
+//!
+//! Everything a reader needs to validate a frame sits *before* the
+//! payload, so a crash mid-append can only ever produce an invalid
+//! suffix — a **torn tail** — never an ambiguous middle: [`scan`]
+//! accepts frames until the first one that is short, oversized, or
+//! checksum-broken, and reports every byte from there to EOF as the
+//! tail. Sequence numbers are assigned contiguously by the appender
+//! and survive compaction (a truncated log continues the old
+//! numbering), so a valid frame whose `seq` breaks contiguity is not a
+//! crash artifact but evidence of logic or media corruption, and scan
+//! refuses the whole log rather than guessing.
+
+use std::io;
+
+/// Leading file magic, version 1.
+pub const MAGIC: &[u8] = b"LLWAL1\n";
+
+/// Bytes of frame metadata before the payload.
+pub const FRAME_HEADER: usize = 4 + 8 + 4;
+
+/// Upper bound on a single payload. Anything larger on disk is treated
+/// as a torn/garbage length, not an allocation request.
+pub const MAX_PAYLOAD: usize = 1 << 28;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xedb8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+};
+
+/// CRC-32 over `parts` in order (equivalent to one pass over their
+/// concatenation, without concatenating).
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let mut c = 0xffff_ffffu32;
+    for part in parts {
+        for &b in *part {
+            c = CRC_TABLE[((c ^ u32::from(b)) & 0xff) as usize] ^ (c >> 8);
+        }
+    }
+    c ^ 0xffff_ffff
+}
+
+/// One validated record read back from a log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Contiguous sequence number assigned at append time.
+    pub seq: u64,
+    /// The caller's serialized payload, verbatim.
+    pub payload: Vec<u8>,
+}
+
+/// Encode one frame (`len seq crc payload`) for appending.
+pub fn encode_frame(seq: u64, payload: &[u8]) -> io::Result<Vec<u8>> {
+    if payload.len() > MAX_PAYLOAD {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "WAL payload of {} bytes exceeds the format maximum",
+                payload.len()
+            ),
+        ));
+    }
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "WAL payload exceeds u32"))?;
+    let seq_bytes = seq.to_le_bytes();
+    let crc = crc32_parts(&[&seq_bytes, payload]);
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&seq_bytes);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    frame.extend_from_slice(payload);
+    Ok(frame)
+}
+
+/// Everything [`scan`] learned about a log's bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scan {
+    /// Records accepted, in order.
+    pub records: Vec<Record>,
+    /// Byte length of the valid prefix (magic plus whole frames). The
+    /// file should be truncated here if a tail follows.
+    pub valid_len: u64,
+    /// Bytes past the valid prefix — a torn append or truncate left
+    /// them; empty when the log is whole.
+    pub torn_tail: Vec<u8>,
+}
+
+impl Scan {
+    /// Sequence number the next append should use (last + 1), or
+    /// `None` for an empty log (the caller decides the epoch).
+    pub fn next_seq(&self) -> Option<u64> {
+        self.records.last().map(|r| r.seq + 1)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Validate a log image: accept whole, checksummed, contiguous frames;
+/// classify any invalid suffix as the torn tail. A contiguity break
+/// *inside* otherwise-valid frames is unrecoverable corruption (`Err`),
+/// not a crash shape — crashes only ever tear the end.
+pub fn scan(bytes: &[u8]) -> io::Result<Scan> {
+    if bytes.is_empty() {
+        return Ok(Scan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_tail: Vec::new(),
+        });
+    }
+    // A short or wrong magic means the file never finished being
+    // created (or is not a WAL at all): everything is tail.
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Ok(Scan {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_tail: bytes.to_vec(),
+        });
+    }
+    let mut records = Vec::new();
+    let mut offset = MAGIC.len();
+    let mut expected_seq: Option<u64> = None;
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            break;
+        }
+        if rest.len() < FRAME_HEADER {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        if len > MAX_PAYLOAD || rest.len() < FRAME_HEADER + len {
+            break; // garbage length or torn payload
+        }
+        let seq = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        let crc = u32::from_le_bytes([rest[12], rest[13], rest[14], rest[15]]);
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        if crc32_parts(&[&seq.to_le_bytes(), payload]) != crc {
+            break; // torn or bit-flipped frame
+        }
+        if let Some(want) = expected_seq {
+            if seq != want {
+                return Err(corrupt(format!(
+                    "WAL sequence break: record {seq} follows {}; the log is corrupt beyond \
+                     crash recovery",
+                    want - 1
+                )));
+            }
+        }
+        expected_seq = Some(seq + 1);
+        records.push(Record {
+            seq,
+            payload: payload.to_vec(),
+        });
+        offset += FRAME_HEADER + len;
+    }
+    Ok(Scan {
+        records,
+        valid_len: offset as u64,
+        torn_tail: bytes[offset..].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_of(payloads: &[&[u8]], first_seq: u64) -> Vec<u8> {
+        let mut bytes = MAGIC.to_vec();
+        for (i, p) in payloads.iter().enumerate() {
+            bytes.extend_from_slice(&encode_frame(first_seq + i as u64, p).unwrap());
+        }
+        bytes
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32_parts(&[b"123456789"]), 0xcbf4_3926);
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), 0xcbf4_3926);
+        assert_eq!(crc32_parts(&[b""]), 0);
+    }
+
+    #[test]
+    fn round_trip_and_next_seq() {
+        let bytes = log_of(&[b"alpha", b"", b"gamma-record"], 7);
+        let scan = scan(&bytes).unwrap();
+        assert_eq!(scan.torn_tail, b"");
+        assert_eq!(scan.valid_len, bytes.len() as u64);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.records[0].payload, b"alpha");
+        assert_eq!(scan.records[1].payload, b"");
+        assert_eq!(scan.records[2].seq, 9);
+        assert_eq!(scan.next_seq(), Some(10));
+    }
+
+    #[test]
+    fn empty_and_magic_only_logs_are_whole() {
+        assert_eq!(scan(b"").unwrap().next_seq(), None);
+        let s = scan(MAGIC).unwrap();
+        assert!(s.records.is_empty() && s.torn_tail.is_empty());
+        assert_eq!(s.valid_len, MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn every_truncation_point_is_a_clean_torn_tail() {
+        // Cut the log at every possible byte: the scan must always
+        // accept exactly the whole frames before the cut and classify
+        // the rest as tail — never error, never accept a partial frame.
+        let bytes = log_of(&[b"first", b"second!", b"x"], 0);
+        let frame_ends: Vec<usize> = {
+            let mut ends = vec![MAGIC.len()];
+            for p in [b"first".as_slice(), b"second!", b"x"] {
+                ends.push(ends.last().unwrap() + FRAME_HEADER + p.len());
+            }
+            ends
+        };
+        for cut in 0..bytes.len() {
+            let s = scan(&bytes[..cut]).unwrap();
+            // A cut inside the magic yields zero records and (for a
+            // non-empty prefix) an all-tail scan.
+            if cut < MAGIC.len() {
+                assert_eq!(s.records.len(), 0, "cut at {cut}");
+                assert_eq!(s.torn_tail.len(), cut);
+                continue;
+            }
+            let whole_before = frame_ends.iter().filter(|&&e| e <= cut).count() - 1;
+            assert_eq!(s.records.len(), whole_before, "cut at {cut}");
+            assert_eq!(s.valid_len as usize + s.torn_tail.len(), cut);
+        }
+    }
+
+    #[test]
+    fn bit_flips_surface_as_tail_not_bad_data() {
+        let bytes = log_of(&[b"only-record"], 0);
+        for bit_byte in MAGIC.len()..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[bit_byte] ^= 0x10;
+            let s = scan(&flipped).unwrap();
+            // Whatever was flipped (length, seq, crc, payload), the
+            // record must not survive with wrong content.
+            if let Some(r) = s.records.first() {
+                panic!("flipped byte {bit_byte} still yielded record {r:?}");
+            }
+            assert!(!s.torn_tail.is_empty());
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_all_tail() {
+        let s = scan(b"NOTAWAL\nstuff").unwrap();
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, 0);
+        assert_eq!(s.torn_tail.len(), 13);
+    }
+
+    #[test]
+    fn sequence_break_is_unrecoverable_corruption() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&encode_frame(3, b"a").unwrap());
+        bytes.extend_from_slice(&encode_frame(5, b"b").unwrap());
+        let err = scan(&bytes).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("sequence break"));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_tail() {
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 64]);
+        let s = scan(&bytes).unwrap();
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, MAGIC.len() as u64);
+    }
+
+    #[test]
+    fn encode_rejects_oversized_payloads() {
+        let big = vec![0u8; MAX_PAYLOAD + 1];
+        assert!(encode_frame(0, &big).is_err());
+    }
+}

@@ -46,15 +46,11 @@ fn full_lifecycle_on_disk() {
     .map(|seeds| repo.closure_spec(&seeds))
     .collect();
 
-    let d0 = cache.submit(&repo, &jobs[0]).unwrap();
-    assert!(matches!(d0, Decision::Inserted { .. }));
-    let d1 = cache.submit(&repo, &jobs[1]).unwrap();
-    assert!(matches!(d1, Decision::Hit { .. }));
-    let d2 = cache.submit(&repo, &jobs[2]).unwrap();
-    assert!(matches!(d2, Decision::Merged { .. }));
-
     // Every decision points at a parseable image satisfying the job.
-    for (job, decision) in jobs.iter().zip([&d0, &d1, &d2]) {
+    // Checked right after each submit: a later merge absorbs its source
+    // image under a fresh id, so earlier decision paths need not stay
+    // valid once the cache moves on.
+    let check = |decision: &Decision, job: &landlord_core::spec::Spec| {
         let img = ImageReader::parse(std::fs::File::open(decision.image_path()).unwrap()).unwrap();
         for pkg in job.iter() {
             let meta = repo.meta(pkg);
@@ -66,7 +62,16 @@ fn full_lifecycle_on_disk() {
                 decision.image_path().display()
             );
         }
-    }
+    };
+    let d0 = cache.submit(&repo, &jobs[0]).unwrap();
+    assert!(matches!(d0, Decision::Inserted { .. }));
+    check(&d0, &jobs[0]);
+    let d1 = cache.submit(&repo, &jobs[1]).unwrap();
+    assert!(matches!(d1, Decision::Hit { .. }));
+    check(&d1, &jobs[1]);
+    let d2 = cache.submit(&repo, &jobs[2]).unwrap();
+    assert!(matches!(d2, Decision::Merged { .. }));
+    check(&d2, &jobs[2]);
 
     // File contents round-trip bit-exact through store + image.
     let d3 = cache.submit(&repo, &jobs[3]).unwrap();
