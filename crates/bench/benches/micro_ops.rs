@@ -130,6 +130,51 @@ fn victim_selection(c: &mut Criterion) {
     group.finish();
 }
 
+/// The hit/touch path at 10k cached images, per eviction policy. Plans
+/// are precomputed outside the timed loop so the measurement isolates
+/// `apply` — i.e. the evictor's re-rank on a hit. Ordered-index
+/// policies pay an O(log n) BTreeSet remove + re-insert per touch;
+/// S3-FIFO and sampled LHD update per-image metadata in O(1).
+fn touch_path(c: &mut Criterion) {
+    use landlord_core::policy::EvictionPolicy;
+    use landlord_core::sizes::UniformSizes;
+    let mut group = c.benchmark_group("touch_path_10k");
+    for policy in EvictionPolicy::ALL {
+        let cfg = CacheConfig {
+            alpha: 0.0,
+            limit_bytes: u64::MAX,
+            eviction: policy,
+            ..CacheConfig::default()
+        };
+        let mut cache = ImageCache::new(cfg, Arc::new(UniformSizes::new(1_000_000)));
+        let specs: Vec<landlord_core::spec::Spec> = (0..10_000u32)
+            .map(|i| landlord_core::spec::Spec::from_ids((i * 4..i * 4 + 4).map(PackageId)))
+            .collect();
+        for spec in &specs {
+            cache.request(spec);
+        }
+        assert_eq!(cache.len(), 10_000);
+        cache.settle();
+        // 64 strided hit plans; a hit never changes membership, so the
+        // plans stay valid across repeated applies.
+        let hits: Vec<(usize, landlord_core::cache::Plan)> = (0..64usize)
+            .map(|k| {
+                let idx = k * 151;
+                (idx, cache.plan(&specs[idx]))
+            })
+            .collect();
+        let mut next = 0usize;
+        group.bench_function(policy.token(), |bench| {
+            bench.iter(|| {
+                next = (next + 1) % hits.len();
+                let (idx, plan) = &hits[next];
+                black_box(cache.apply(&specs[*idx], plan))
+            })
+        });
+    }
+    group.finish();
+}
+
 fn spec_inference(c: &mut Criterion) {
     let python_src = r#"
 import numpy as np, uproot
@@ -177,6 +222,6 @@ fn image_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = set_ops, minhash_ops, closures, cache_requests, victim_selection, spec_inference, image_build
+    targets = set_ops, minhash_ops, closures, cache_requests, victim_selection, touch_path, spec_inference, image_build
 }
 criterion_main!(benches);

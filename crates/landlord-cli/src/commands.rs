@@ -73,10 +73,12 @@ USAGE:
   landlord stats      --repo FILE
   landlord submit     --cache-dir DIR (--repo FILE | --seed S) [--select N]
                       [--alpha A] [--limit-gb G] [--job-seed S]
+                      [--eviction E] [--eviction-seed S]
                       [--checkpoint-every N]
   landlord simulate   [--scale full|smoke] [--alpha A] [--cache-x M]
                       [--jobs N] [--repeats R] [--seed S] [--trace FILE]
-                      [--policy P] [--eviction E] [--merge-order O]
+                      [--policy P] [--eviction E] [--eviction-seed S]
+                      [--merge-order O]
                       [--metric D] [--candidates C] [--report-json FILE]
                       [--metrics-json FILE] [--events-jsonl FILE]
                       [--fault-rate F] [--fault-seed S] [--retries N]
@@ -84,6 +86,7 @@ USAGE:
                       [--shards N] [--threads M]
   landlord bench-report [--out FILE] [--seed S] [--jobs N] [--repeats R]
                       [--shards N] [--threads M]
+                      [--touch-images N] [--touch-ops N]
   landlord bench-persist [--out FILE] [--images N,N,...] [--rewrite-ops N]
                       [--append-ops N] [--replay-records N]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
@@ -98,13 +101,14 @@ USAGE:
 Experiment ids: fig1 fig2 fig3 fig4 fig4a fig4b fig4c fig5 fig6a fig6b
 fig6c fig6d fig7 fig8 ablation-evict ablation-merge-order
 ablation-candidates ablation-split ablation-metric ext-cluster
-ext-usermix ext-update ext-faults
+ext-evict-sweep ext-usermix ext-update ext-faults
 
 Simulate policies (--policy): landlord per-job full-repo layered
 block-dedup. LANDLORD knobs: --eviction lru|lfu|largest-first|
-cost-density|gdsf, --merge-order nearest-first|arrival-order|
-largest-first|smallest-first, --metric package-count|bytes,
---candidates exact-scan|minhash-lsh:<bands>x<rows>.
+cost-density|gdsf|s3-fifo|lhd-sample (--eviction-seed seeds
+lhd-sample's victim sampling), --merge-order nearest-first|
+arrival-order|largest-first|smallest-first, --metric
+package-count|bytes, --candidates exact-scan|minhash-lsh:<bands>x<rows>.
 --report-json FILE (or -) writes the machine-readable PolicyReport.
 --metrics-json FILE (or -) exports a deterministic metrics snapshot
 (landlord-obs-metrics/v1): counters, gauges, and logical-tick span
@@ -117,8 +121,11 @@ replays the trace with M deterministic shard-affine workers (landlord
 policy only, incompatible with --fault-rate).
 bench-report runs a pinned smoke workload under a wall-clock registry
 and writes BENCH_core.json (landlord-bench/v1): ops/sec, plan/apply
-p50/p99 nanoseconds, and a fold-exactness check that a concurrent
-sharded replay folds to byte-identical deterministic metrics.
+p50/p99 nanoseconds, a fold-exactness check that a concurrent
+sharded replay folds to byte-identical deterministic metrics, and a
+per-policy touch-path comparison (--touch-images, --touch-ops) of
+the evictors' hit cost — O(log n) ordered indexes vs O(1) queues
+and sampling.
 bench-persist writes BENCH_persist.json (landlord-persist-bench/v1):
 per-operation persistence cost of the pre-WAL full-state rewrite vs
 the WAL append, and checkpoint-load + log-replay open time, at each
@@ -261,6 +268,17 @@ pub fn submit(args: &Args) -> CmdResult {
         FileTreeConfig::miniature(),
     );
     options.checkpoint_every = checkpoint_every;
+    {
+        use landlord_core::policy::EvictionPolicy;
+        options.eviction = token_flag(
+            args,
+            "eviction",
+            EvictionPolicy::parse,
+            EvictionPolicy::default(),
+            EvictionPolicy::TOKENS,
+        )?;
+        options.eviction_seed = args.get_parsed("eviction-seed", 0u64, "an integer seed")?;
+    }
     let mut cache = PersistentCache::open_with(Path::new(cache_dir), options)?;
     let decision = cache.submit(&repo, &spec)?;
     let verb = match &decision {
@@ -330,6 +348,7 @@ pub fn simulate(args: &Args) -> CmdResult {
             CandidateStrategy::default(),
             CandidateStrategy::TOKENS,
         )?,
+        eviction_seed: args.get_parsed("eviction-seed", 0u64, "an integer seed")?,
         ..Default::default()
     };
 
@@ -557,6 +576,19 @@ impl BenchPhase {
     }
 }
 
+/// Touch-path microbenchmark row inside `BENCH_core.json`: the cost
+/// of a cache hit's `Evictor::on_touch` on a pre-built index, per
+/// eviction policy. The ordered-index policies pay an O(log n)
+/// BTreeSet re-insert per touch; the queue-rotating (S3-FIFO) and
+/// sampled (LHD) policies pay O(1).
+#[derive(Debug, serde::Serialize)]
+struct BenchTouch {
+    policy: String,
+    images: u64,
+    touches: u64,
+    ns_per_touch: u64,
+}
+
 /// The perf-trajectory record `landlord bench-report` writes. Wall
 /// time lives only here — the `--metrics-json` snapshot stays a pure
 /// function of the request stream.
@@ -575,6 +607,61 @@ struct BenchReport {
     evictions: u64,
     container_eff_milli_pct: u64,
     fold_exact: bool,
+    touch: Vec<BenchTouch>,
+}
+
+/// Time `touches` evictor touch events against a population of
+/// `images` images, for every eviction policy.
+fn bench_touch_paths(images: u64, touches: u64) -> Vec<BenchTouch> {
+    use landlord_core::cache::{make_evictor, CacheConfig};
+    use landlord_core::image::{Image, ImageId};
+    use landlord_core::policy::EvictionPolicy;
+    use landlord_core::spec::{PackageId, Spec};
+
+    EvictionPolicy::ALL
+        .iter()
+        .map(|&policy| {
+            let config = CacheConfig {
+                eviction: policy,
+                limit_bytes: images.saturating_mul(8192),
+                eviction_seed: 1,
+                ..Default::default()
+            };
+            let mut evictor = make_evictor(&config);
+            let mut pop: Vec<Image> = (0..images)
+                .map(|id| {
+                    Image::new(
+                        ImageId(id),
+                        Spec::from_ids([PackageId((id % 9660) as u32)]),
+                        1024 + id % 4096,
+                        id,
+                    )
+                })
+                .collect();
+            for img in &pop {
+                evictor.on_insert(img);
+            }
+            let mut clock = images;
+            let start = std::time::Instant::now();
+            for i in 0..touches {
+                // A fixed-stride walk touches the whole population
+                // without an RNG in the timed loop.
+                let pick = (i.wrapping_mul(0x9e37_79b9_7f4a_7c15) % images.max(1)) as usize;
+                let img = &mut pop[pick];
+                clock += 1;
+                img.last_used = clock;
+                img.use_count += 1;
+                evictor.on_touch(img);
+            }
+            let ns = start.elapsed().as_nanos();
+            BenchTouch {
+                policy: policy.token().to_string(),
+                images,
+                touches,
+                ns_per_touch: (ns / u128::from(touches.max(1))) as u64,
+            }
+        })
+        .collect()
 }
 
 /// `landlord bench-report`: time a pinned smoke workload through the
@@ -632,6 +719,12 @@ pub fn bench_report(args: &Args) -> CmdResult {
     };
     let fold_exact = fold_snapshot(threads) == fold_snapshot(1);
 
+    // Touch-path comparison across every eviction policy, at a
+    // population where O(log n) and O(1) visibly separate.
+    let touch_images = args.get_parsed("touch-images", 10_000u64, "an image count")?;
+    let touch_ops = args.get_parsed("touch-ops", 200_000u64, "a touch count")?;
+    let touch = bench_touch_paths(touch_images, touch_ops);
+
     let empty = landlord_obs::HistogramSnapshot::empty();
     let s = result.final_stats;
     let report = BenchReport {
@@ -648,6 +741,7 @@ pub fn bench_report(args: &Args) -> CmdResult {
         evictions: s.deletes,
         container_eff_milli_pct: simulator::milli_pct(result.container_eff_pct),
         fold_exact,
+        touch,
     };
     let json = format!("{}\n", serde_json::to_string_pretty(&report)?);
     if out == "-" {
@@ -1265,6 +1359,10 @@ mod tests {
             "20",
             "--repeats",
             "2",
+            "--touch-images",
+            "200",
+            "--touch-ops",
+            "2000",
         ]))
         .unwrap();
         let text = std::fs::read_to_string(&out).unwrap();
@@ -1273,6 +1371,16 @@ mod tests {
         assert!(text.contains("ops_per_sec"));
         let parsed: serde::Value = serde_json::from_str(&text).unwrap();
         assert!(parsed.get("plan").is_some() && parsed.get("apply").is_some());
+        // One touch-path row per eviction policy, including the
+        // stateful ones.
+        let serde::Value::Seq(touch) = parsed.get("touch").unwrap() else {
+            panic!("touch section must be an array");
+        };
+        assert_eq!(
+            touch.len(),
+            landlord_core::policy::EvictionPolicy::ALL.len()
+        );
+        assert!(text.contains("s3-fifo") && text.contains("lhd-sample"));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -1608,6 +1716,95 @@ mod tests {
             "minhash-lsh:16x4",
         ]))
         .unwrap();
+    }
+
+    /// Snapshot of the `--eviction` rejection message: an unknown
+    /// token must list every valid policy, including the stateful
+    /// ones, by exact token.
+    #[test]
+    fn simulate_unknown_eviction_error_names_every_policy_token() {
+        let err = simulate(&args(&["--scale", "smoke", "--eviction", "clock"])).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("--eviction"), "{msg:?} must name the flag");
+        for token in [
+            "lru",
+            "lfu",
+            "largest-first",
+            "cost-density",
+            "gdsf",
+            "s3-fifo",
+            "lhd-sample",
+        ] {
+            assert!(msg.contains(token), "{msg:?} must list {token}");
+        }
+    }
+
+    #[test]
+    fn simulate_stateful_eviction_policies_run_plain_and_sharded() {
+        for token in ["s3-fifo", "lhd-sample"] {
+            simulate(&args(&[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "8",
+                "--repeats",
+                "2",
+                "--cache-x",
+                "0.5",
+                "--eviction",
+                token,
+                "--eviction-seed",
+                "11",
+            ]))
+            .unwrap_or_else(|e| panic!("--eviction {token} failed: {e}"));
+            simulate(&args(&[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "8",
+                "--repeats",
+                "2",
+                "--cache-x",
+                "0.5",
+                "--eviction",
+                token,
+                "--shards",
+                "2",
+                "--threads",
+                "2",
+            ]))
+            .unwrap_or_else(|e| panic!("--eviction {token} sharded failed: {e}"));
+        }
+    }
+
+    /// `submit --eviction s3-fifo` drives the persistent cache under
+    /// the stateful policy end to end, and the directory still
+    /// verifies clean afterwards.
+    #[test]
+    fn submit_with_stateful_eviction_verifies_clean() {
+        for token in ["s3-fifo", "lhd-sample"] {
+            let dir = std::env::temp_dir()
+                .join(format!("landlord-cli-cache-{token}-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            for job_seed in ["7", "8", "7"] {
+                submit(&args(&[
+                    "--cache-dir",
+                    dir.to_str().unwrap(),
+                    "--seed",
+                    "5",
+                    "--job-seed",
+                    job_seed,
+                    "--limit-gb",
+                    "0.02",
+                    "--eviction",
+                    token,
+                ]))
+                .unwrap_or_else(|e| panic!("submit --eviction {token} failed: {e}"));
+            }
+            let clean = verify(&args(&["--cache-dir", dir.to_str().unwrap()]));
+            assert_eq!(exit_code(&clean), 0, "{token}: {clean:?}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

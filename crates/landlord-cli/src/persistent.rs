@@ -62,10 +62,11 @@
 //! exact overlay for ids added since. A filter miss proves no cached
 //! image can satisfy the spec, skipping the O(images) subset scan.
 
-use landlord_core::cache::{plan_over_with_peek, PlannedOp};
+use landlord_core::cache::{make_evictor, plan_over_with_peek, CacheConfig, Evictor, PlannedOp};
 use landlord_core::conflict::NoConflicts;
 use landlord_core::filter::XorFilter;
-use landlord_core::policy::{DistanceMetric, MergeOrder};
+use landlord_core::image::{Image, ImageId};
+use landlord_core::policy::{DistanceMetric, EvictionPolicy, MergeOrder};
 use landlord_core::spec::Spec;
 use landlord_obs::{Counter, MetricsRegistry};
 use landlord_repo::Repository;
@@ -94,6 +95,13 @@ pub struct StoredImage {
     pub physical_bytes: u64,
     /// LRU clock of last use.
     pub last_used: u64,
+    /// Submits this image has served (1 at build; merges carry the
+    /// absorbed image's count forward). Feeds the frequency-aware
+    /// eviction policies. Absent in states written before the
+    /// eviction-policy upgrade — those deserialize to 0 and are
+    /// treated as once-used.
+    #[serde(default)]
+    pub use_count: u64,
 }
 
 /// The checkpointed cache state.
@@ -346,6 +354,7 @@ fn replay_entry(state: &mut State, entry: &WalEntry) -> io::Result<Vec<u64>> {
                 .find(|img| img.id == *id)
                 .ok_or_else(|| invalid_state(format!("WAL touch references unknown image {id}")))?;
             img.last_used = entry.clock;
+            img.use_count = img.use_count.saturating_add(1);
         }
         WalOp::Merge {
             image,
@@ -414,8 +423,17 @@ impl PcObs {
 pub struct PersistOptions {
     /// Merge threshold (Jaccard distance), in `[0, 1]`.
     pub alpha: f64,
-    /// Logical byte budget driving LRU eviction.
+    /// Logical byte budget driving eviction.
     pub limit_logical_bytes: u64,
+    /// Which image to evict when over the byte budget. Any
+    /// [`EvictionPolicy`] works: decisions are committed to the WAL,
+    /// so replay reproduces them without re-deriving — stateful
+    /// policies (S3-FIFO, sampled LHD) keep the recovery contract.
+    pub eviction: EvictionPolicy,
+    /// Seed for randomized victim selection (sampled LHD); decisions
+    /// are a deterministic function of the submit stream and this
+    /// seed.
+    pub eviction_seed: u64,
     /// Package → file-tree scaling for image materialization.
     pub tree_config: FileTreeConfig,
     /// WAL records accumulated before a checkpoint folds them.
@@ -433,6 +451,8 @@ impl PersistOptions {
         PersistOptions {
             alpha,
             limit_logical_bytes,
+            eviction: EvictionPolicy::Lru,
+            eviction_seed: 0,
             tree_config,
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             fault_mode: FaultMode::None,
@@ -446,12 +466,20 @@ pub struct PersistentCache {
     dir: PathBuf,
     alpha: f64,
     limit_logical_bytes: u64,
+    eviction: EvictionPolicy,
+    eviction_seed: u64,
     tree_config: FileTreeConfig,
     checkpoint_every: u64,
     kill: Arc<KillSwitch>,
     store: FaultyStore<DiskStore>,
     state: State,
     wal: Wal,
+    /// Live eviction state over the indexed images, rebuilt
+    /// deterministically at open (images fed in id order) and advanced
+    /// only by acknowledged operations. Victim decisions made from it
+    /// are logged in the WAL's evict lists, so replay never consults
+    /// it — byte-identical recovery holds for stateful policies too.
+    evictor: Box<dyn Evictor>,
     /// Static membership filter over every package id live at the last
     /// checkpoint, plus the exact overlay of ids added since.
     filter: XorFilter,
@@ -492,6 +520,8 @@ impl PersistentCache {
         let PersistOptions {
             alpha,
             limit_logical_bytes,
+            eviction,
+            eviction_seed,
             tree_config,
             checkpoint_every,
             fault_mode,
@@ -636,16 +666,20 @@ impl PersistentCache {
         }
 
         let filter = build_filter(&state);
+        let evictor = rebuild_evictor(eviction, eviction_seed, limit_logical_bytes, &state);
         let mut cache = PersistentCache {
             dir: dir.to_path_buf(),
             alpha,
             limit_logical_bytes,
+            eviction,
+            eviction_seed,
             tree_config,
             checkpoint_every,
             kill,
             store,
             state,
             wal,
+            evictor,
             filter,
             fresh_packages: HashSet::new(),
             recovery,
@@ -715,6 +749,16 @@ impl PersistentCache {
                 }
             }
         }
+        // The live eviction state must track exactly the indexed
+        // images — a drifted evictor would eventually select victims
+        // the index does not know.
+        if self.evictor.len() != self.state.images.len() {
+            return Err(invalid_state(format!(
+                "evictor tracks {} images, index holds {}",
+                self.evictor.len(),
+                self.state.images.len()
+            )));
+        }
         Ok(())
     }
 
@@ -739,6 +783,16 @@ impl PersistentCache {
             }
         }
         self.state.images = kept;
+        if report.quarantined_images > 0 {
+            // The eviction state tracked the quarantined images; rebuild
+            // it from the surviving index, exactly as a fresh open would.
+            self.evictor = rebuild_evictor(
+                self.eviction,
+                self.eviction_seed,
+                self.limit_logical_bytes,
+                &self.state,
+            );
+        }
         if let Some(repo) = repo {
             let (count, bytes) = self.prune(repo)?;
             report.pruned_objects = count;
@@ -834,32 +888,48 @@ impl PersistentCache {
         Ok(())
     }
 
-    /// The LRU victims that restoring the byte limit would evict once
-    /// `incoming` lands (and `absorbed`, if any, is gone). Pure — the
-    /// decision is logged so replay reproduces it without re-deriving.
-    fn plan_evictions(&self, incoming: &StoredImage, absorbed: Option<u64>) -> Vec<u64> {
-        let mut entries: Vec<(u64, u64, u64)> = self
-            .state
-            .images
-            .iter()
-            .filter(|img| Some(img.id) != absorbed)
-            .map(|img| (img.id, img.logical_bytes, img.last_used))
-            .collect();
-        entries.push((incoming.id, incoming.logical_bytes, incoming.last_used));
-        let mut total: u64 = entries.iter().map(|e| e.1).sum();
-        let mut evict = Vec::new();
-        while total > self.limit_logical_bytes {
-            let victim = entries
-                .iter()
-                .filter(|e| e.0 != incoming.id)
-                .min_by_key(|e| (e.2, e.0))
-                .map(|e| (e.0, e.1));
-            let Some((id, bytes)) = victim else { break };
-            entries.retain(|e| e.0 != id);
-            total -= bytes;
-            evict.push(id);
+    /// The victims that restoring the byte limit would evict once
+    /// `incoming` lands (and `absorbed`, if any, is gone), decided by
+    /// the configured [`EvictionPolicy`]. Selection runs on a *clone*
+    /// of the live eviction state ([`Evictor::clone_box`]) that the
+    /// caller installs only after the WAL acknowledges the operation —
+    /// a failed or killed submit never disturbs the live state. The
+    /// victim list is logged, so replay reproduces the decision without
+    /// re-deriving it.
+    fn plan_evictions(
+        &self,
+        incoming: &StoredImage,
+        absorbed: Option<u64>,
+    ) -> (Vec<u64>, Box<dyn Evictor>) {
+        let mut evictor = self.evictor.clone_box();
+        let mut live: std::collections::HashMap<u64, &StoredImage> =
+            self.state.images.iter().map(|img| (img.id, img)).collect();
+        let mut total: u64 = self.state.images.iter().map(|img| img.logical_bytes).sum();
+        if let Some(absorbed) = absorbed {
+            if let Some(img) = live.remove(&absorbed) {
+                evictor.on_remove(&transient_image(img));
+                total -= img.logical_bytes;
+            }
         }
-        evict
+        evictor.on_insert(&transient_image(incoming));
+        total += incoming.logical_bytes;
+
+        let mut evict = Vec::new();
+        let protect = ImageId(incoming.id);
+        while total > self.limit_logical_bytes {
+            let Some(victim) = evictor.select_victim(Some(protect)) else {
+                break;
+            };
+            let Some(img) = live.remove(&victim.0) else {
+                break;
+            };
+            let gone = transient_image(img);
+            evictor.note_eviction(&gone);
+            evictor.on_remove(&gone);
+            total -= img.logical_bytes;
+            evict.push(victim.0);
+        }
+        (evict, evictor)
     }
 
     /// Remove evicted image files (after the record evicting them is
@@ -896,6 +966,7 @@ impl PersistentCache {
             logical_bytes: report.logical_bytes,
             physical_bytes,
             last_used: 0,
+            use_count: 1,
         })
     }
 
@@ -971,6 +1042,9 @@ impl PersistentCache {
                     .find(|img| img.id == image.0)
                     .expect("planned hit image is indexed");
                 img.last_used = now;
+                img.use_count = img.use_count.saturating_add(1);
+                let touched = transient_image(img);
+                self.evictor.on_touch(&touched);
                 self.note_packages(spec);
                 self.maybe_checkpoint()?;
                 if let Some(obs) = &self.obs {
@@ -996,18 +1070,23 @@ impl PersistentCache {
                 let new_id = self.state.next_id;
                 let mut built = self.build_image(repo, new_id, &merged_spec)?;
                 built.last_used = now;
+                // Engine merge semantics: the union inherits the
+                // absorbed image's use count, plus this request.
+                built.use_count = old.use_count.saturating_add(1);
+                let (victims, evictor) = self.plan_evictions(&built, Some(old.id));
                 let mut evict = vec![old.id];
-                evict.extend(self.plan_evictions(&built, Some(old.id)));
+                evict.extend(victims.iter().copied());
                 let entry = WalEntry {
                     clock: now,
                     next_id: new_id + 1,
                     op: WalOp::Merge {
                         image: built.clone(),
                         absorbed: old.id,
-                        evict: evict[1..].to_vec(),
+                        evict: victims,
                     },
                 };
                 self.append_entry(&entry)?; // ← acknowledgement
+                self.evictor = evictor;
                 self.state.clock = now;
                 self.state.next_id = new_id + 1;
                 self.state.images.retain(|img| !evict.contains(&img.id));
@@ -1026,7 +1105,7 @@ impl PersistentCache {
                 let id = self.state.next_id;
                 let mut built = self.build_image(repo, id, spec)?;
                 built.last_used = now;
-                let evict = self.plan_evictions(&built, None);
+                let (evict, evictor) = self.plan_evictions(&built, None);
                 let entry = WalEntry {
                     clock: now,
                     next_id: id + 1,
@@ -1036,6 +1115,7 @@ impl PersistentCache {
                     },
                 };
                 self.append_entry(&entry)?; // ← acknowledgement
+                self.evictor = evictor;
                 self.state.clock = now;
                 self.state.next_id = id + 1;
                 self.state.images.retain(|img| !evict.contains(&img.id));
@@ -1052,6 +1132,46 @@ impl PersistentCache {
             }
         }
     }
+}
+
+/// The engine-side view of a stored image, for feeding evictor
+/// lifecycle events. Logical bytes play the role of the engine's image
+/// bytes; a legacy index without use counts reads as once-used.
+fn transient_image(img: &StoredImage) -> Image {
+    let mut t = Image::new(
+        ImageId(img.id),
+        img.spec.clone(),
+        img.logical_bytes,
+        img.last_used,
+    );
+    t.use_count = img.use_count.max(1);
+    t
+}
+
+/// Rebuild the in-memory eviction state from a recovered index: every
+/// surviving image is replayed into a fresh evictor in id order.
+/// Deterministic, so two opens of the same directory agree on future
+/// victims; past decisions never depend on it (replay reads the evict
+/// lists the WAL recorded).
+fn rebuild_evictor(
+    eviction: EvictionPolicy,
+    eviction_seed: u64,
+    limit_logical_bytes: u64,
+    state: &State,
+) -> Box<dyn Evictor> {
+    let config = CacheConfig {
+        eviction,
+        eviction_seed,
+        limit_bytes: limit_logical_bytes,
+        ..CacheConfig::default()
+    };
+    let mut evictor = make_evictor(&config);
+    let mut images: Vec<&StoredImage> = state.images.iter().collect();
+    images.sort_by_key(|img| img.id);
+    for img in images {
+        evictor.on_insert(&transient_image(img));
+    }
+    evictor
 }
 
 /// Build the membership filter over every package id live in `state`.
@@ -1150,6 +1270,7 @@ pub mod bench {
                 logical_bytes: 4096,
                 physical_bytes: 4096,
                 last_used: id,
+                use_count: 1,
             });
         }
         state

@@ -86,6 +86,19 @@ impl ImageCache {
         if let Some(obs) = &self.obs {
             obs.resident_images
                 .raise(u64::try_from(self.images.len()).unwrap_or(u64::MAX));
+            // Flush evictor-internal counters (ghost hits, sample
+            // draws) as deltas; counters fold by sum, so shards
+            // sharing a registry stay exact.
+            let counters = self.evictor.counters();
+            let ghost = counters.ghost_hits - self.evictor_reported.ghost_hits;
+            let draws = counters.sample_draws - self.evictor_reported.sample_draws;
+            if ghost > 0 {
+                obs.evict_ghost_hits.add(ghost);
+            }
+            if draws > 0 {
+                obs.evict_sample_draws.add(draws);
+            }
+            self.evictor_reported = counters;
         }
         #[cfg(all(feature = "paranoid", debug_assertions))]
         self.check_invariants();
@@ -218,10 +231,15 @@ impl ImageCache {
     /// Evict until within the byte limit. The image serving the current
     /// request (`protect`) is never evicted — a job's image must
     /// survive at least until the job launches.
+    ///
+    /// Victims come from [`super::Evictor::select_victim`]: selection
+    /// commits here, inside the apply transaction, which is what keeps
+    /// `plan()` pure even for stateful (queue-rotating, sampling)
+    /// policies.
     pub(super) fn evict_to_limit(&mut self, protect: ImageId) {
         let mut chain: u64 = 0;
         while self.ledger.stats().total_bytes > self.config.limit_bytes {
-            let Some(victim) = self.evictor.peek_victim(Some(protect)) else {
+            let Some(victim) = self.evictor.select_victim(Some(protect)) else {
                 break;
             };
             self.evict(victim);

@@ -28,6 +28,13 @@ pub struct CacheConfig {
     /// paper) or on-disk bytes.
     #[serde(default)]
     pub metric: DistanceMetric,
+    /// Seed for randomized victim selection (only used by
+    /// [`EvictionPolicy::LhdSample`]'s K-sample draws). Threaded from
+    /// here — never ambient randomness — so eviction decisions are a
+    /// deterministic function of the request stream and the config.
+    /// Seed 0 (the default) is a perfectly good SplitMix64 seed.
+    #[serde(default)]
+    pub eviction_seed: u64,
     /// Automatic bloat control: when set, an image that has absorbed
     /// this many merges is split back into its constituent request
     /// specs before the next request is served. `None` (the paper's
@@ -46,6 +53,7 @@ impl Default for CacheConfig {
             merge_order: MergeOrder::NearestFirst,
             candidates: CandidateStrategy::ExactScan,
             minhash_seed: 0x1a4d_10bd_2020_0048,
+            eviction_seed: 0,
             metric: DistanceMetric::default(),
             split_threshold: None,
         }

@@ -30,7 +30,7 @@
 //! | `config` | [`CacheConfig`], [`CacheStats`] |
 //! | `plan` | pure decision side: [`ImageCache::plan`] → [`Plan`] |
 //! | `apply` | sole mutator: [`ImageCache::apply`] executes a [`Plan`] |
-//! | `evictor` | [`Evictor`] seam: ordered O(log n) victim indexes |
+//! | `evictor` | [`Evictor`] seam: ordered indexes, S3-FIFO queues, sampled LHD |
 //! | `candidates` | [`CandidateIndex`] seam: exact scan vs MinHash/LSH |
 //! | `ledger` | [`Ledger`]: accounting shared with every baseline |
 //!
@@ -60,7 +60,7 @@ mod tests;
 pub use apply::Outcome;
 pub use candidates::CandidateIndex;
 pub use config::{CacheConfig, CacheStats};
-pub use evictor::Evictor;
+pub use evictor::{make_evictor, Evictor, EvictorCounters};
 pub use ledger::{Ledger, PackageRefs};
 pub use plan::{plan_over, plan_over_with_peek, Plan, PlannedOp};
 pub use sharded::{shard_limit_bytes, ShardedImageCache};
@@ -88,6 +88,10 @@ pub struct ImageCache {
     ledger: Ledger,
     refcounts: PackageRefs,
     evictor: Box<dyn Evictor>,
+    /// Evictor counter values already flushed to the metrics registry;
+    /// [`ImageCache::apply`] records only the delta since this
+    /// snapshot, so counters stay exact across stateful selections.
+    evictor_reported: evictor::EvictorCounters,
     candidate_index: Box<dyn CandidateIndex>,
     sink: Option<Box<dyn EventSink + Send>>,
     /// Pre-resolved metric handles; `None` until
@@ -131,7 +135,8 @@ impl ImageCache {
             next_id: 0,
             ledger: Ledger::new(),
             refcounts: PackageRefs::new(),
-            evictor: evictor::make_evictor(config.eviction),
+            evictor: evictor::make_evictor(&config),
+            evictor_reported: evictor::EvictorCounters::default(),
             candidate_index: candidates::make_candidate_index(
                 config.candidates,
                 config.minhash_seed,
@@ -274,8 +279,11 @@ impl ImageCache {
     }
 
     /// The next eviction victim under the configured policy (with no
-    /// image protected), answered from the ordered index without
-    /// scanning. `None` on an empty cache.
+    /// image protected), without committing any selection state. For
+    /// the ordered-index policies this is an O(log n) lookup; stateful
+    /// policies (S3-FIFO, sampled LHD) preview on a clone of their
+    /// state so the answer always matches the next real selection.
+    /// `None` on an empty cache.
     pub fn peek_victim(&self) -> Option<ImageId> {
         self.evictor.peek_victim(None)
     }

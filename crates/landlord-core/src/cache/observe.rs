@@ -34,6 +34,12 @@ pub mod names {
     /// max, so the peak is deterministic under any shard
     /// interleaving).
     pub const RESIDENT_IMAGES: &str = "core.resident_images_peak";
+    /// Counter: S3-FIFO inserts re-admitted straight to the main queue
+    /// because their identity was found in the ghost queue.
+    pub const EVICT_GHOST_HITS: &str = "core.evict_ghost_hits";
+    /// Counter: individual candidate draws performed by sampled victim
+    /// selection (LHD).
+    pub const EVICT_SAMPLE_DRAWS: &str = "core.evict_sample_draws";
     /// Histogram: ticks a sharded request waited to acquire its
     /// shard's lock.
     pub const SHARD_LOCK_WAIT: &str = "sharded.lock_wait_ticks";
@@ -55,6 +61,8 @@ pub(super) struct CoreObs {
     pub(super) evict_chain: Arc<Histogram>,
     pub(super) evictions: Arc<Counter>,
     pub(super) resident_images: Arc<Gauge>,
+    pub(super) evict_ghost_hits: Arc<Counter>,
+    pub(super) evict_sample_draws: Arc<Counter>,
 }
 
 impl CoreObs {
@@ -67,6 +75,8 @@ impl CoreObs {
             evict_chain: registry.histogram(names::EVICT_CHAIN),
             evictions: registry.counter(names::EVICTIONS),
             resident_images: registry.gauge(names::RESIDENT_IMAGES),
+            evict_ghost_hits: registry.counter(names::EVICT_GHOST_HITS),
+            evict_sample_draws: registry.counter(names::EVICT_SAMPLE_DRAWS),
         }
     }
 

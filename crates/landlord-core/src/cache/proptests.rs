@@ -24,6 +24,8 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
             Just(EvictionPolicy::LargestFirst),
             Just(EvictionPolicy::CostDensity),
             Just(EvictionPolicy::Gdsf),
+            Just(EvictionPolicy::S3Fifo),
+            Just(EvictionPolicy::LhdSample),
         ],
         prop_oneof![
             Just(MergeOrder::NearestFirst),
@@ -44,6 +46,8 @@ fn arb_config() -> impl Strategy<Value = CacheConfig> {
                 merge_order,
                 candidates,
                 minhash_seed: 42,
+                eviction_seed: limit, // arbitrary but shrinkable
+
                 // Exercise the byte-weighted metric in half the cases
                 // and auto-splitting in a third.
                 metric: if limit % 2 == 0 {
@@ -163,6 +167,145 @@ proptest! {
         // when a request hits a strict-superset image.
         if !any_subset_hit {
             prop_assert!((cache.container_efficiency_pct() - 100.0).abs() < 1e-9);
+        }
+    }
+
+    /// Differential evictor test: drive every evictor (ordered-index,
+    /// queue-rotating, sampled) through random insert/touch/remove/
+    /// evict sequences. All seven must keep `check()` consistency at
+    /// every step; the five legacy policies must additionally agree,
+    /// victim for victim, with a naive O(n) `min_by_key` reference
+    /// scan over stored keys — the pre-seam selection semantics.
+    #[test]
+    fn evictors_agree_with_naive_reference_scan(
+        ops in proptest::collection::vec((0u8..4, 0u64..50, 1u64..60), 1..120),
+    ) {
+        for policy in EvictionPolicy::ALL {
+            let cfg = CacheConfig {
+                eviction: policy,
+                limit_bytes: 500,
+                eviction_seed: 9,
+                ..CacheConfig::default()
+            };
+            let mut e = evictor::make_evictor(&cfg);
+            let mut images: FxHashMap<u64, Image> = FxHashMap::default();
+            // Reference model: stored (priority, last_used) per image
+            // plus the GDSF inflation value, mirroring the stored-key
+            // semantics of the pre-seam O(n) scans.
+            let mut stored: FxHashMap<u64, (f64, u64)> = FxHashMap::default();
+            let mut inflation = 0.0f64;
+            let legacy = !matches!(
+                policy,
+                EvictionPolicy::S3Fifo | EvictionPolicy::LhdSample
+            );
+            let mut clock = 0u64;
+            let mut next_id = 0u64;
+
+            let key_of = |img: &Image, inflation: f64| -> (f64, u64) {
+                match policy {
+                    EvictionPolicy::Lru => (0.0, img.last_used),
+                    EvictionPolicy::Lfu => (img.use_count as f64, img.last_used),
+                    EvictionPolicy::LargestFirst => (-(img.bytes as f64), 0),
+                    EvictionPolicy::CostDensity => (
+                        img.use_count as f64 / img.bytes.max(1) as f64,
+                        img.last_used,
+                    ),
+                    EvictionPolicy::Gdsf => (
+                        inflation + img.use_count as f64 / img.bytes.max(1) as f64,
+                        img.last_used,
+                    ),
+                    _ => (0.0, 0),
+                }
+            };
+
+            for &(kind, pick, bytes) in &ops {
+                clock += 1;
+                match kind {
+                    0 => {
+                        // Insert a fresh image.
+                        let id = next_id;
+                        next_id += 1;
+                        let img = Image::new(
+                            ImageId(id),
+                            Spec::from_ids([PackageId((id % 60) as u32)]),
+                            bytes,
+                            clock,
+                        );
+                        stored.insert(id, key_of(&img, inflation));
+                        e.on_insert(&img);
+                        images.insert(id, img);
+                    }
+                    1 if !images.is_empty() => {
+                        // Touch a live image (hit semantics).
+                        let ids: Vec<u64> = {
+                            let mut v: Vec<u64> = images.keys().copied().collect();
+                            v.sort_unstable();
+                            v
+                        };
+                        let id = ids[(pick as usize) % ids.len()];
+                        let img = images.get_mut(&id).expect("picked live id");
+                        img.last_used = clock;
+                        img.use_count += 1;
+                        if pick % 4 == 0 {
+                            img.bytes += 1; // merge grew the image
+                        }
+                        let snapshot = img.clone();
+                        stored.insert(id, key_of(&snapshot, inflation));
+                        e.on_touch(&snapshot);
+                    }
+                    2 if !images.is_empty() => {
+                        // Administrative removal (split path): no
+                        // note_eviction, straight detach.
+                        let ids: Vec<u64> = {
+                            let mut v: Vec<u64> = images.keys().copied().collect();
+                            v.sort_unstable();
+                            v
+                        };
+                        let id = ids[(pick as usize) % ids.len()];
+                        let img = images.remove(&id).expect("picked live id");
+                        stored.remove(&id);
+                        e.on_remove(&img);
+                    }
+                    3 if !images.is_empty() => {
+                        // Byte-limit eviction through the seam.
+                        let peeked = e.peek_victim(None);
+                        let victim = e.select_victim(None);
+                        prop_assert_eq!(victim, peeked, "{:?}: peek must preview select", policy);
+                        let victim = victim.expect("nonempty cache yields a victim");
+                        if legacy {
+                            let reference = images
+                                .values()
+                                .map(|img| {
+                                    let &(pri, lu) = stored.get(&img.id.0).expect("stored key");
+                                    ((evictor::OrdF64(pri), lu, img.id.0), img.id)
+                                })
+                                .min()
+                                .map(|(_, id)| id);
+                            prop_assert_eq!(
+                                Some(victim), reference,
+                                "{:?}: victim disagrees with naive scan", policy
+                            );
+                        }
+                        prop_assert!(
+                            images.contains_key(&victim.0),
+                            "{:?}: selected victim {} is not live", policy, victim
+                        );
+                        if policy == EvictionPolicy::Gdsf {
+                            let &(pri, _) = stored.get(&victim.0).expect("victim stored");
+                            if pri > inflation {
+                                inflation = pri;
+                            }
+                        }
+                        let img = images.remove(&victim.0).expect("victim is live");
+                        stored.remove(&victim.0);
+                        e.note_eviction(&img);
+                        e.on_remove(&img);
+                    }
+                    _ => {}
+                }
+                e.check(&images);
+                prop_assert_eq!(e.len(), images.len());
+            }
         }
     }
 

@@ -67,6 +67,7 @@
 //! assert!(matches!(cache.request(&a), Outcome::Hit { .. }));
 //! ```
 
+pub mod bitset;
 pub mod cache;
 pub mod conflict;
 pub mod events;

@@ -37,20 +37,36 @@ pub enum EvictionPolicy {
     /// images out the way LRU does, so a once-hot giant image cannot
     /// squat in the cache forever.
     Gdsf,
+    /// S3-FIFO (SOSP'23): three static FIFO queues — a small probationary
+    /// queue (~10% of the byte budget), a main queue, and a ghost queue
+    /// of recently evicted identities. One-hit wonders die cheaply out
+    /// of the small queue; images re-requested after eviction (ghost
+    /// hits) are admitted straight to main. Touches are O(1) counter
+    /// bumps — no ordered index is maintained.
+    S3Fifo,
+    /// Sampled LHD (hit density): learns age-class hit/eviction
+    /// histograms online and evicts the image with the lowest predicted
+    /// hits-per-byte-per-tick among K randomly sampled images (seeded
+    /// from [`crate::cache::CacheConfig::eviction_seed`]). Touches are
+    /// O(1) histogram bumps — no ordered index is maintained.
+    LhdSample,
 }
 
 impl EvictionPolicy {
     /// Every variant, for exhaustive tests and CLI help strings.
-    pub const ALL: [EvictionPolicy; 5] = [
+    pub const ALL: [EvictionPolicy; 7] = [
         EvictionPolicy::Lru,
         EvictionPolicy::Lfu,
         EvictionPolicy::LargestFirst,
         EvictionPolicy::CostDensity,
         EvictionPolicy::Gdsf,
+        EvictionPolicy::S3Fifo,
+        EvictionPolicy::LhdSample,
     ];
 
     /// The valid CLI tokens, for error messages.
-    pub const TOKENS: &'static str = "lru, lfu, largest-first, cost-density, gdsf";
+    pub const TOKENS: &'static str =
+        "lru, lfu, largest-first, cost-density, gdsf, s3-fifo, lhd-sample";
 
     /// Stable lowercase token for CLI parsing and report labels.
     pub fn token(self) -> &'static str {
@@ -60,6 +76,8 @@ impl EvictionPolicy {
             EvictionPolicy::LargestFirst => "largest-first",
             EvictionPolicy::CostDensity => "cost-density",
             EvictionPolicy::Gdsf => "gdsf",
+            EvictionPolicy::S3Fifo => "s3-fifo",
+            EvictionPolicy::LhdSample => "lhd-sample",
         }
     }
 
@@ -71,6 +89,8 @@ impl EvictionPolicy {
             "largest-first" => EvictionPolicy::LargestFirst,
             "cost-density" => EvictionPolicy::CostDensity,
             "gdsf" => EvictionPolicy::Gdsf,
+            "s3-fifo" => EvictionPolicy::S3Fifo,
+            "lhd-sample" => EvictionPolicy::LhdSample,
             _ => return None,
         })
     }

@@ -1,0 +1,118 @@
+//! Extension — the eviction-policy frontier across the paper's
+//! workload regimes.
+//!
+//! The paper fixes LRU eviction throughout; `ablation-evict` already
+//! varies the policy at one fixed α. This extension sweeps **all seven
+//! eviction policies over the full α grid** in two cache regimes —
+//! the fig. 4 standard cache (2× repo at full scale) and a tight
+//! quarter-repo cache in the spirit of fig. 6's cache-size sensitivity
+//! panel, where victim selection dominates the outcome — and reports
+//! each policy at its best α plus the per-regime winner. The winners
+//! land in EXPERIMENTS.md.
+
+use super::{ExperimentContext, Scale};
+use crate::report::{fmt_tb, Table};
+use crate::sweep::{self, SweepPoint};
+use landlord_core::cache::CacheConfig;
+use landlord_core::policy::EvictionPolicy;
+
+/// Seed for the stateful evictors' RNG (sampled LHD's victim draws);
+/// fixed so the tables are reproducible run to run.
+const EVICTION_SEED: u64 = 42;
+
+/// This sweep multiplies the simulation count 14× (7 policies × 2
+/// regimes); use half the standard runs at full scale, like the fig. 6
+/// sensitivity panels (documented in EXPERIMENTS.md).
+fn frontier_runs(ctx: &ExperimentContext) -> usize {
+    match ctx.scale {
+        Scale::Full => (ctx.runs() / 2).max(1),
+        Scale::Smoke => ctx.runs(),
+    }
+}
+
+/// Ranking key: container efficiency first (the paper's headline
+/// metric), then *least* I/O written — container efficiency saturates
+/// near 100% over much of the α range, so write amplification is what
+/// actually separates policies there.
+fn score(p: &SweepPoint) -> (f64, f64) {
+    (p.median.container_eff_pct, -p.median.bytes_written)
+}
+
+/// The α point where a policy performed best under [`score`].
+fn best_point(sweep: &[SweepPoint]) -> SweepPoint {
+    *sweep
+        .iter()
+        .max_by(|a, b| {
+            score(a)
+                .partial_cmp(&score(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .unwrap_or(&SweepPoint {
+            alpha: 0.0,
+            median: Default::default(),
+        })
+}
+
+/// The eviction-frontier table: seven policies × two cache regimes,
+/// each at its best α, winners marked.
+pub fn run(ctx: &ExperimentContext) -> Table {
+    let repo = ctx.repo();
+    let workload = ctx.standard_workload();
+    let alphas = ctx.alphas();
+    let runs = frontier_runs(ctx);
+
+    let mut t = Table::new(
+        "Extension — eviction-policy frontier (each policy at its best alpha)",
+        &[
+            "regime",
+            "eviction",
+            "best_alpha",
+            "container_eff",
+            "cache_eff",
+            "written_TB",
+            "winner",
+        ],
+    );
+
+    let regimes: [(&str, u64); 2] = [
+        ("fig4-standard-cache", ctx.standard_cache_bytes(&repo)),
+        ("fig6-tight-cache", repo.total_bytes() / 4),
+    ];
+    for (regime, limit_bytes) in regimes {
+        let per_policy: Vec<(EvictionPolicy, SweepPoint)> = EvictionPolicy::ALL
+            .into_iter()
+            .map(|eviction| {
+                let cache = CacheConfig {
+                    limit_bytes,
+                    eviction,
+                    eviction_seed: EVICTION_SEED,
+                    ..CacheConfig::default()
+                };
+                let sweep =
+                    sweep::sweep_alpha(&repo, &workload, &cache, &alphas, runs, ctx.threads);
+                (eviction, best_point(&sweep))
+            })
+            .collect();
+        let winner = per_policy
+            .iter()
+            .map(|(_, p)| score(p))
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+            .unwrap_or((f64::MIN, f64::MIN));
+        for (eviction, p) in per_policy {
+            t.push_row(vec![
+                regime.to_string(),
+                eviction.token().to_string(),
+                format!("{:.2}", p.alpha),
+                format!("{:.1}", p.median.container_eff_pct),
+                format!("{:.1}", p.median.cache_eff_pct),
+                fmt_tb(p.median.bytes_written),
+                if score(&p) >= winner {
+                    "*".to_string()
+                } else {
+                    String::new()
+                },
+            ]);
+        }
+    }
+    t
+}

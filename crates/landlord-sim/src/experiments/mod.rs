@@ -15,6 +15,7 @@
 
 pub mod ablations;
 pub mod ext_cluster;
+pub mod ext_evict;
 pub mod ext_faults;
 pub mod ext_update;
 pub mod ext_usermix;
@@ -173,6 +174,7 @@ pub fn all_ids() -> &'static [&'static str] {
         "ablation-split",
         "ablation-metric",
         "ext-cluster",
+        "ext-evict-sweep",
         "ext-usermix",
         "ext-update",
         "ext-faults",
@@ -203,6 +205,7 @@ pub fn run(id: &str, ctx: &ExperimentContext) -> Option<Vec<Table>> {
         "ablation-split" => vec![ablations::split(ctx)],
         "ablation-metric" => vec![ablations::metric(ctx)],
         "ext-cluster" => vec![ext_cluster::run(ctx)],
+        "ext-evict-sweep" => vec![ext_evict::run(ctx)],
         "ext-faults" => vec![ext_faults::run(ctx)],
         "ext-usermix" => vec![ext_usermix::run(ctx)],
         "ext-update" => vec![ext_update::run(ctx)],

@@ -246,6 +246,68 @@ mod tests {
         }
     }
 
+    /// The stateful eviction policies (S3-FIFO's queue rotation,
+    /// sampled LHD's seeded draws) through the sharded frontend:
+    /// thread-count independence AND exact equality with per-shard
+    /// plain-cache replays. Each shard owns an independent evictor
+    /// built from the same config (including `eviction_seed`), so the
+    /// fold must be exact — an α=0 eviction-heavy config makes victim
+    /// selection constant, not incidental.
+    #[test]
+    fn stateful_eviction_policies_fold_exactly_and_ignore_thread_count() {
+        use landlord_core::policy::EvictionPolicy;
+
+        let r = repo();
+        let jobs = stream();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let shards = 4usize;
+        for eviction in [EvictionPolicy::S3Fifo, EvictionPolicy::LhdSample] {
+            let config = CacheConfig {
+                alpha: 0.0,
+                limit_bytes: r.total_bytes() / 3,
+                eviction,
+                eviction_seed: 42,
+                ..CacheConfig::default()
+            };
+
+            let baseline = simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), shards, 1);
+            for threads in [2, 4] {
+                let run =
+                    simulate_stream_sharded(&jobs, config, Arc::clone(&sizes), shards, threads);
+                assert_eq!(
+                    run.final_stats, baseline.final_stats,
+                    "{eviction:?}: {threads} threads diverged from single-threaded replay"
+                );
+            }
+
+            let sharded = ShardedImageCache::new(shards, config, Arc::clone(&sizes));
+            replay_sharded(&sharded, &jobs, 4);
+            sharded.check_invariants();
+            let mut folded = CacheStats::default();
+            for shard in 0..shards {
+                let shard_config = CacheConfig {
+                    limit_bytes: shard_limit_bytes(config.limit_bytes, shards as u64, shard as u64),
+                    ..config
+                };
+                let mut reference = ImageCache::new(shard_config, Arc::clone(&sizes));
+                for spec in jobs.iter().filter(|s| sharded.route(s) == shard) {
+                    reference.request(spec);
+                }
+                reference.check_invariants();
+                folded.merge(&reference.stats());
+            }
+            assert_eq!(
+                sharded.stats(),
+                folded,
+                "{eviction:?}: sharded fold diverged from partitioned plain caches"
+            );
+            assert!(
+                folded.deletes > 0,
+                "{eviction:?}: scenario exercised no evictions; tighten the limit"
+            );
+        }
+    }
+
     #[test]
     fn more_threads_than_shards_is_clamped_not_wrong() {
         let r = repo();

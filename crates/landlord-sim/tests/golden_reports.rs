@@ -99,6 +99,68 @@ fn golden_reports_are_byte_identical() {
     }
 }
 
+/// Seeded goldens for the LANDLORD policy under every eviction policy,
+/// including the stateful ones (S3-FIFO's queue rotation, sampled
+/// LHD's seeded victim draws). Byte-identical files pin both the
+/// eviction decisions and the RNG stream: a reordered queue op or an
+/// extra `rng.next()` call shifts a victim and fails here first.
+#[test]
+fn eviction_golden_reports_are_byte_identical() {
+    use landlord_core::policy::EvictionPolicy;
+    let bless = std::env::var_os("BLESS_GOLDENS").is_some();
+    for eviction in EvictionPolicy::ALL {
+        // Eviction-heavy variant of the shared scenario: α=0 disables
+        // merging, so many distinct images stay resident and victim
+        // selection is exercised constantly with partial evictions.
+        // (The α=0.75 scenario merges down to one image, making every
+        // eviction forced and all seven policies byte-identical.)
+        let (repo, stream, mut cfg) = scenario();
+        cfg.alpha = 0.0;
+        cfg.limit_bytes = repo.total_bytes() / 3;
+        cfg.eviction = eviction;
+        cfg.eviction_seed = 42;
+        let sizes: Arc<dyn SizeModel> = Arc::new(repo.size_table());
+        let mut policy =
+            make_policy("landlord", cfg, sizes, repo.total_bytes()).expect("known token");
+        let run = simulate_policy(policy.as_mut(), &stream, 0);
+        let report = PolicyReport::from_run("landlord", &run, None);
+        let name = format!("eviction-{}", eviction.token());
+        let rendered = format!("{}\n", serde_json::to_string_pretty(&report).unwrap());
+        let path = golden_path(&name);
+        if bless {
+            std::fs::write(&path, &rendered).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("missing golden {path:?} ({e}); regenerate with BLESS_GOLDENS=1")
+        });
+        assert_eq!(
+            rendered, expected,
+            "report for `{name}` drifted from {path:?}; if the change \
+             is intentional, regenerate with BLESS_GOLDENS=1"
+        );
+    }
+}
+
+/// The eviction goldens must actually discriminate between policies —
+/// if a scenario tweak ever collapses them back to one shared outcome,
+/// the per-policy pins stop guarding anything interesting.
+#[test]
+fn eviction_goldens_diverge_across_policies() {
+    use landlord_core::policy::EvictionPolicy;
+    use std::collections::BTreeSet;
+    let distinct: BTreeSet<String> = EvictionPolicy::ALL
+        .iter()
+        .map(|p| std::fs::read_to_string(golden_path(&format!("eviction-{}", p.token()))).unwrap())
+        .collect();
+    assert!(
+        distinct.len() >= 4,
+        "only {} distinct eviction goldens across 7 policies; the \
+         scenario no longer exercises victim selection",
+        distinct.len()
+    );
+}
+
 /// The LANDLORD numbers in the goldens were captured from the
 /// pre-refactor monolithic `ImageCache::request` path. Pinning them
 /// here too means even a blessed regeneration cannot silently change

@@ -373,6 +373,7 @@ mod kill_point_sweep {
     use landlord_cli::args::Args;
     use landlord_cli::commands;
     use landlord_cli::persistent::{PersistOptions, PersistentCache};
+    use landlord_core::policy::EvictionPolicy;
     use landlord_core::spec::Spec;
     use landlord_store::kill::is_kill_error;
     use landlord_store::{KillPoint, KillSwitch};
@@ -533,6 +534,145 @@ mod kill_point_sweep {
             points_hit, all,
             "the sweep must crash at every kill point at least once"
         );
+    }
+
+    /// Options for the eviction-policy sweep: a byte budget tight
+    /// enough that the script must evict, under the given policy.
+    fn policy_options(
+        kill: Arc<KillSwitch>,
+        eviction: EvictionPolicy,
+        limit: u64,
+    ) -> PersistOptions {
+        let mut o = PersistOptions::new(ALPHA, limit, FileTreeConfig::miniature());
+        o.checkpoint_every = CHECKPOINT_EVERY;
+        o.eviction = eviction;
+        o.eviction_seed = 7;
+        o.kill = kill;
+        o
+    }
+
+    /// A byte budget one past the largest image a clean unlimited run
+    /// builds: no two script images can ever be co-resident, so every
+    /// submit that lands a second image must evict.
+    fn eviction_limit(r: &Repository, ops: &[Spec]) -> u64 {
+        let dir = sweep_dir("limitprobe");
+        let mut cache =
+            PersistentCache::open_with(&dir, options(Arc::new(KillSwitch::never()))).unwrap();
+        for spec in ops {
+            cache.submit(r, spec).unwrap();
+        }
+        let max = cache
+            .images()
+            .iter()
+            .map(|img| img.logical_bytes)
+            .max()
+            .unwrap_or(1);
+        drop(cache);
+        let _removed = std::fs::remove_dir_all(&dir);
+        max + 1
+    }
+
+    /// The kill sweep again, but with a byte budget that forces
+    /// evictions and the stateful eviction policies driving victim
+    /// selection. Victim decisions are committed to the WAL, so the
+    /// recovery contract — byte-identical to an uncrashed run over an
+    /// acked prefix — must hold for queue-rotating and sampled
+    /// policies exactly as it does for LRU.
+    #[test]
+    fn stateful_eviction_policies_recover_to_an_acked_prefix() {
+        let r = repo();
+        let ops = script(&r);
+        let limit = eviction_limit(&r, &ops);
+
+        for eviction in [
+            EvictionPolicy::Lru,
+            EvictionPolicy::S3Fifo,
+            EvictionPolicy::LhdSample,
+        ] {
+            let token = eviction.token();
+            let prefix = |k: usize, tag: &str| -> String {
+                let dir = sweep_dir(tag);
+                let mut cache = PersistentCache::open_with(
+                    &dir,
+                    policy_options(Arc::new(KillSwitch::never()), eviction, limit),
+                )
+                .unwrap();
+                for spec in &ops[..k] {
+                    cache.submit(&r, spec).unwrap();
+                }
+                let report = cache.state_report_json();
+                drop(cache);
+                let _removed = std::fs::remove_dir_all(&dir);
+                report
+            };
+            let refs: Vec<String> = (0..=ops.len())
+                .map(|k| prefix(k, &format!("ev-{token}-ref{k}")))
+                .collect();
+
+            // The tight budget really bites: a clean run ends with a
+            // single resident image (any two would exceed the limit).
+            let counter = Arc::new(KillSwitch::never());
+            let dir = sweep_dir(&format!("ev-{token}-count"));
+            {
+                let mut cache = PersistentCache::open_with(
+                    &dir,
+                    policy_options(Arc::clone(&counter), eviction, limit),
+                )
+                .unwrap();
+                for spec in &ops {
+                    cache.submit(&r, spec).unwrap();
+                }
+                assert_eq!(
+                    cache.images().len(),
+                    1,
+                    "{token}: the budget must force evictions"
+                );
+            }
+            let total_steps = counter.steps_taken();
+            let _removed = std::fs::remove_dir_all(&dir);
+
+            for step in 0..total_steps {
+                let dir = sweep_dir(&format!("ev-{token}-s{step}"));
+                let kill = Arc::new(KillSwitch::at_step(step));
+                let mut acked = 0usize;
+                let crashed = (|| -> std::io::Result<()> {
+                    let mut cache = PersistentCache::open_with(
+                        &dir,
+                        policy_options(Arc::clone(&kill), eviction, limit),
+                    )?;
+                    for spec in &ops {
+                        match cache.submit(&r, spec) {
+                            Ok(_) => acked += 1,
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    Ok(())
+                })();
+                if let Err(e) = crashed {
+                    assert!(is_kill_error(&e), "{token} step {step}: {e}");
+                }
+
+                let cache = PersistentCache::open_with(
+                    &dir,
+                    policy_options(Arc::new(KillSwitch::never()), eviction, limit),
+                )
+                .unwrap();
+                cache.check_invariants().unwrap();
+                let recovered = cache.state_report_json();
+                let next = (acked + 1).min(ops.len());
+                assert!(
+                    recovered == refs[acked] || recovered == refs[next],
+                    "{token} step {step}: recovered state matches neither prefix {acked} nor {next}"
+                );
+
+                // The recovered cache still serves under the policy.
+                let mut cache = cache;
+                let d = cache.submit(&r, &ops[0]).unwrap();
+                assert!(d.image_path().exists());
+                drop(cache);
+                let _removed = std::fs::remove_dir_all(&dir);
+            }
+        }
     }
 
     // Seeded kills interleaved with store fault modes: whatever
