@@ -20,11 +20,19 @@
 //! (matching Rust temporary-lifetime rules); a bare temporary lives to
 //! the end of its statement.
 //!
+//! Condvar waits get their own treatment: `.wait(guard)` (and the
+//! timeout/predicate variants) atomically releases exactly the guard
+//! it is passed while parked, so it is neither an acquisition nor an
+//! ordinary call. Waiting on your own guard is the legitimate
+//! single-flight shape; parking while any *other* guard is held pins
+//! that lock for an unbounded sleep and is reported, as is any call
+//! that transitively reaches a wait while a guard is held.
+//!
 //! Propagation: calls that resolve to exactly one workspace function
 //! (by name, preferring the caller's own impl for `self.` calls)
-//! contribute that callee's transitive lock set and I/O behaviour.
-//! Ambiguous or foreign calls contribute nothing — the analysis
-//! under-approximates rather than invent false cycles.
+//! contribute that callee's transitive lock set, I/O, and condvar-wait
+//! behaviour. Ambiguous or foreign calls contribute nothing — the
+//! analysis under-approximates rather than invent false cycles.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -42,6 +50,16 @@ const ACQUIRE_METHODS: &[&str] = &[
     "write",
     "try_write",
     "upgradable_read",
+];
+
+/// Condvar-style blocking methods: the call atomically releases (and
+/// on wake re-acquires) exactly the guard passed as its first argument.
+const WAIT_METHODS: &[&str] = &[
+    "wait",
+    "wait_for",
+    "wait_until",
+    "wait_while",
+    "wait_timeout",
 ];
 
 /// Method names that perform store/file I/O when called on anything.
@@ -91,6 +109,10 @@ struct Acquisition {
     end: usize,
     /// 0-based line of the acquisition.
     line: usize,
+    /// Name the guard is `let`-bound to, when it is. A condvar wait on
+    /// this exact name releases the guard while parked; a wait on any
+    /// other name sleeps with this guard still locked.
+    bound: Option<String>,
 }
 
 /// Index of one function in the modelled file set.
@@ -122,9 +144,13 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
     }
     let info = |r: FnRef| -> &FnInfo { &files[r.file].structure.fns[r.func] };
 
-    // Per-function direct facts: acquisitions, resolved callees, and
-    // direct I/O call sites.
+    // Per-function direct facts: acquisitions, condvar waits, resolved
+    // callees, and direct I/O call sites. Wait sites are claimed before
+    // name resolution — `self.done.wait(state)` is a blocking primitive
+    // on a condvar field, not a call into some workspace `wait` method
+    // that happens to share the name.
     let mut acqs: BTreeMap<FnRef, Vec<Acquisition>> = BTreeMap::new();
+    let mut waits: BTreeMap<FnRef, Vec<(String, String, usize, usize)>> = BTreeMap::new();
     let mut callees: BTreeMap<FnRef, Vec<(FnRef, usize, usize)>> = BTreeMap::new();
     let mut direct_io: BTreeMap<FnRef, Vec<(String, usize, usize)>> = BTreeMap::new();
     for &r in &fns {
@@ -132,18 +158,24 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
         let f = info(r);
         let toks = &file.structure.tokens;
         let mut my_acqs = Vec::new();
+        let mut my_waits = Vec::new();
         let mut my_callees = Vec::new();
         let mut my_io = Vec::new();
         for site in &f.calls {
             if is_acquisition(site, toks) {
                 let id = lock_id(f, site);
-                let end = hold_end(toks, f, site.token);
+                let (end, bound) = hold_span(toks, f, site.token);
                 my_acqs.push(Acquisition {
                     id,
                     token: site.token,
                     end,
                     line: site.line,
+                    bound,
                 });
+                continue;
+            }
+            if let Some(arg) = condvar_wait_arg(site, toks) {
+                my_waits.push((arg, wait_label(site), site.token, site.line));
                 continue;
             }
             if is_io_call(site) {
@@ -155,18 +187,23 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
             }
         }
         acqs.insert(r, my_acqs);
+        waits.insert(r, my_waits);
         callees.insert(r, my_callees);
         direct_io.insert(r, my_io);
     }
 
-    // Fixpoint: transitive lock set and transitive I/O per function.
+    // Fixpoint: transitive lock set, transitive I/O, and transitive
+    // condvar-wait behaviour per function.
     let mut lockset: BTreeMap<FnRef, BTreeSet<String>> = BTreeMap::new();
     let mut does_io: BTreeMap<FnRef, Option<String>> = BTreeMap::new();
+    let mut does_wait: BTreeMap<FnRef, Option<String>> = BTreeMap::new();
     for &r in &fns {
         let locks: BTreeSet<String> = acqs[&r].iter().map(|a| a.id.clone()).collect();
         lockset.insert(r, locks);
         let io = direct_io[&r].first().map(|(label, _, _)| label.clone());
         does_io.insert(r, io);
+        let wait = waits[&r].first().map(|(_, label, _, _)| label.clone());
+        does_wait.insert(r, wait);
     }
     loop {
         let mut changed = false;
@@ -190,6 +227,17 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
                 });
                 if via.is_some() {
                     does_io.insert(r, via);
+                    changed = true;
+                }
+            }
+            if does_wait[&r].is_none() {
+                let via = callees[&r].iter().find_map(|&(c, _, _)| {
+                    does_wait[&c]
+                        .as_ref()
+                        .map(|w| format!("{} (via {})", w, info(c).qualified))
+                });
+                if via.is_some() {
+                    does_wait.insert(r, via);
                     changed = true;
                 }
             }
@@ -270,6 +318,39 @@ pub fn run(files: &[FileModel]) -> Vec<Finding> {
                         ),
                     );
                 }
+                if let Some(w) = &does_wait[&callee] {
+                    emit(
+                        &mut findings,
+                        file,
+                        line,
+                        "lock-order",
+                        format!(
+                            "guard on `{}` held across a condvar wait in `{}`: `{}` reaches {}",
+                            a.id,
+                            f.qualified,
+                            info(callee).qualified,
+                            w
+                        ),
+                    );
+                }
+            }
+            // Condvar waits while `a` is held. The wait atomically
+            // releases exactly the guard it is passed; parking with any
+            // other guard locked pins that lock for the whole sleep.
+            for (arg, label, tok, line) in &waits[&r] {
+                if *tok > a.token && *tok <= a.end && a.bound.as_deref() != Some(arg.as_str()) {
+                    emit(
+                        &mut findings,
+                        file,
+                        *line,
+                        "lock-order",
+                        format!(
+                            "condvar wait `{}({})` in `{}` parks while a guard on `{}` is \
+                             still held: a wait releases only its own guard",
+                            label, arg, f.qualified, a.id
+                        ),
+                    );
+                }
             }
             // Direct I/O while `a` is held.
             for (label, tok, line) in &direct_io[&r] {
@@ -331,6 +412,39 @@ fn lock_id(f: &FnInfo, site: &CallSite) -> String {
         }
     }
     format!("{}::{}", f.qualified, chain.join("."))
+}
+
+/// Is this a condvar wait? Returns the name of the guard the wait
+/// releases while parked — its first argument, through an optional
+/// `&`/`&mut` borrow (parking_lot's `Condvar::wait` takes the guard by
+/// `&mut`; the std-style shim consumes it by value).
+fn condvar_wait_arg(site: &CallSite, toks: &[Token]) -> Option<String> {
+    if !site.is_method
+        || site.receiver.is_empty()
+        || !WAIT_METHODS.contains(&site.callee.as_str())
+        || !toks.get(site.token + 1).is_some_and(|t| t.is_punct("("))
+    {
+        return None;
+    }
+    let mut j = site.token + 2;
+    if toks.get(j).is_some_and(|t| t.is_punct("&")) {
+        j += 1;
+    }
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let name = toks.get(j).filter(|t| t.kind == TokenKind::Ident)?;
+    let next = toks.get(j + 1)?;
+    if next.is_punct(")") || next.is_punct(",") {
+        Some(name.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Human label for a condvar wait site (`self.done.wait`).
+fn wait_label(site: &CallSite) -> String {
+    format!("{}.{}", site.receiver.join("."), site.callee)
 }
 
 /// Human label for a call site.
@@ -405,9 +519,9 @@ fn resolve<'a>(
 }
 
 /// Last token index at which the guard acquired at `acq` (the method
-/// ident of `.lock()` etc.) is still held. See module docs for the
-/// scoping rules.
-fn hold_end(toks: &[Token], f: &FnInfo, acq: usize) -> usize {
+/// ident of `.lock()` etc.) is still held, plus the name the guard is
+/// `let`-bound to when it is. See module docs for the scoping rules.
+fn hold_span(toks: &[Token], f: &FnInfo, acq: usize) -> (usize, Option<String>) {
     let (body_open, body_close) = f.body;
     // The acquisition is a zero-arg call (`.lock ( )` at acq..acq+2).
     // A `.` right after means the guard is consumed as a temporary
@@ -465,6 +579,14 @@ fn hold_end(toks: &[Token], f: &FnInfo, acq: usize) -> usize {
                 break;
             }
             if t.is_punct("{") {
+                if bound.is_some() {
+                    // `let g = match m.lock() { .. };`: the brace is an
+                    // expression block inside the binding statement,
+                    // not a header — skip it and keep looking for the
+                    // terminating `;`.
+                    k = matching_close(toks, k, body_close) + 1;
+                    continue;
+                }
                 // `for x in m.lock().iter() {` / `if let Some(v) =
                 // m.lock().get(k) {`-style header: the temporary lives
                 // for the whole block — and for the `else` chain too
@@ -487,6 +609,7 @@ fn hold_end(toks: &[Token], f: &FnInfo, acq: usize) -> usize {
         k += 1;
     }
 
+    let bound_name = bound.map(str::to_string);
     if let Some(name) = bound {
         // Held to the end of the enclosing block, or an earlier drop.
         let block_end = enclosing_block_end(toks, body_open, body_close, acq);
@@ -497,15 +620,15 @@ fn hold_end(toks: &[Token], f: &FnInfo, acq: usize) -> usize {
                 && toks.get(k + 2).is_some_and(|t| t.is_ident(name))
                 && toks.get(k + 3).is_some_and(|t| t.is_punct(")"))
             {
-                return k;
+                return (k, bound_name);
             }
             k += 1;
         }
-        block_end
+        (block_end, bound_name)
     } else if let Some(close) = header_block {
-        close
+        (close, None)
     } else {
-        stmt_end
+        (stmt_end, None)
     }
 }
 

@@ -5,7 +5,8 @@
 //! workspace file at once:
 //!
 //! - [`lock_order`]: the workspace lock-acquisition graph must be
-//!   acyclic, and no parking_lot guard may be held across store I/O;
+//!   acyclic, and no parking_lot guard may be held across store I/O or
+//!   across a condvar park (other than the guard the wait releases);
 //! - [`atomic_ordering`]: every `Ordering::Relaxed` in non-test code
 //!   must carry a `// sync: <why relaxed is sound>` annotation;
 //! - [`counter_overflow`]: merge/fold paths must not use unchecked
@@ -28,7 +29,7 @@ use crate::structure::StructureModel;
 pub const ANALYSES: &[(&str, &str)] = &[
     (
         "lock-order",
-        "workspace lock-acquisition graph must be cycle-free and no guard may be held across store I/O",
+        "workspace lock-acquisition graph must be cycle-free and no guard may be held across store I/O or a condvar park",
     ),
     (
         "atomic-ordering",

@@ -28,19 +28,34 @@ fn fixture_workspace_two_lock_inversion_detected() {
     assert_eq!(
         pinned,
         vec![
+            ("crates/condwait/src/lib.rs", 32, "lock-order"),
+            ("crates/condwait/src/lib.rs", 39, "lock-order"),
             ("crates/inversion/src/lib.rs", 14, "lock-order"),
             ("crates/iohold/src/lib.rs", 15, "lock-order"),
         ],
-        "exactly the inversion cycle and the guard-across-I/O: {:#?}",
+        "exactly the condvar parks, the inversion cycle, and the \
+         guard-across-I/O: {:#?}",
         report.findings
     );
-    let cycle = &report.findings[0];
+    let direct_wait = &report.findings[0];
+    assert_eq!(
+        direct_wait.message,
+        "condvar wait `self.cell.ready.wait(state)` in `Registry::blocked_wait` parks \
+         while a guard on `Registry.index` is still held: a wait releases only its own guard"
+    );
+    let wait_via_call = &report.findings[1];
+    assert_eq!(
+        wait_via_call.message,
+        "guard on `Registry.index` held across a condvar wait in `Registry::blocked_call`: \
+         `Cell::wait_ready` reaches self.ready.wait"
+    );
+    let cycle = &report.findings[2];
     assert_eq!(
         cycle.message,
         "lock-order cycle: `Pair.a` -> `Pair.b` (crates/inversion/src/lib.rs:14), \
          `Pair.b` -> `Pair.a` (crates/inversion/src/lib.rs:20)"
     );
-    let held = &report.findings[1];
+    let held = &report.findings[3];
     assert!(
         held.message
             .contains("`Logger.entries` held across store I/O (`std::fs::write`)"),
@@ -143,6 +158,45 @@ fn let_else_guard_temporary_is_clean() {
 }
 
 #[test]
+fn let_bound_match_guard_dropped_before_io_is_clean() {
+    // The poison-tolerant lock shape: the guard is bound through a
+    // `match` expression and explicitly dropped before the file I/O.
+    // The match braces are part of the binding statement, not a
+    // header block — the drop must still be honoured.
+    let src = "impl E {\n\
+        \x20   pub fn export(&self) -> std::io::Result<()> {\n\
+        \x20       let events = match self.buf.lock() {\n\
+        \x20           Ok(events) => events,\n\
+        \x20           Err(poisoned) => poisoned.into_inner(),\n\
+        \x20       };\n\
+        \x20       let body = events.join(\"n\");\n\
+        \x20       drop(events);\n\
+        \x20       std::fs::write(\"x\", body)\n\
+        \x20   }\n\
+        }\n";
+    assert!(
+        analyze(&lib(src), &["lock-order"]).is_empty(),
+        "drop(events) releases the match-bound guard before the I/O"
+    );
+}
+
+#[test]
+fn let_bound_match_guard_held_across_io_is_flagged() {
+    let src = "impl E {\n\
+        \x20   pub fn export(&self) -> std::io::Result<()> {\n\
+        \x20       let events = match self.buf.lock() {\n\
+        \x20           Ok(events) => events,\n\
+        \x20           Err(poisoned) => poisoned.into_inner(),\n\
+        \x20       };\n\
+        \x20       std::fs::write(\"x\", events.join(\"n\"))\n\
+        \x20   }\n\
+        }\n";
+    let findings = analyze(&lib(src), &["lock-order"]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].message.contains("held across store I/O"));
+}
+
+#[test]
 fn io_read_write_with_arguments_are_not_acquisitions() {
     let src = "impl F {\n\
         \x20   pub fn copy(&mut self, buf: &mut [u8]) -> std::io::Result<()> {\n\
@@ -155,6 +209,109 @@ fn io_read_write_with_arguments_are_not_acquisitions() {
         analyze(&lib(src), &["lock-order"]).is_empty(),
         "io::Read/Write calls take arguments, RwLock acquisitions do not"
     );
+}
+
+#[test]
+fn condvar_wait_on_its_own_guard_is_clean() {
+    // The Flight::wait shape: a method named `wait` that locks its own
+    // state and parks on its own condvar, releasing exactly that guard.
+    // Regression test: `self.done.wait(state)` used to resolve to the
+    // enclosing workspace `wait` method itself and report a bogus
+    // self-re-acquire.
+    let src = "impl Flight {\n\
+        \x20   pub fn wait(&self) -> u64 {\n\
+        \x20       let mut state = self.state.lock();\n\
+        \x20       while *state == 0 {\n\
+        \x20           state = self.done.wait(state);\n\
+        \x20       }\n\
+        \x20       *state\n\
+        \x20   }\n\
+        }\n";
+    assert!(
+        analyze(&lib(src), &["lock-order"]).is_empty(),
+        "waiting with only your own guard is the legitimate single-flight shape"
+    );
+}
+
+#[test]
+fn condvar_wait_while_second_guard_held_is_flagged() {
+    let src = "impl Hub {\n\
+        \x20   pub fn drain(&self) -> u64 {\n\
+        \x20       let map = self.map.lock();\n\
+        \x20       let mut state = self.state.lock();\n\
+        \x20       while *state == 0 {\n\
+        \x20           state = self.done.wait(state);\n\
+        \x20       }\n\
+        \x20       *state + *map\n\
+        \x20   }\n\
+        }\n";
+    let findings = analyze(&lib(src), &["lock-order"]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].line, 6);
+    assert!(findings[0]
+        .message
+        .contains("parks while a guard on `Hub.map`"));
+    assert!(findings[0].message.contains("self.done.wait(state)"));
+}
+
+#[test]
+fn by_ref_condvar_wait_is_recognised() {
+    // parking_lot's real Condvar takes the guard by `&mut`.
+    let src = "impl Hub {\n\
+        \x20   pub fn drain(&self) -> u64 {\n\
+        \x20       let map = self.map.lock();\n\
+        \x20       let mut state = self.state.lock();\n\
+        \x20       self.done.wait(&mut state);\n\
+        \x20       *state + *map\n\
+        \x20   }\n\
+        }\n";
+    let findings = analyze(&lib(src), &["lock-order"]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0]
+        .message
+        .contains("parks while a guard on `Hub.map`"));
+}
+
+#[test]
+fn call_reaching_a_condvar_wait_while_guard_held_is_flagged() {
+    let src = "impl Hub {\n\
+        \x20   fn park(&self) -> u64 {\n\
+        \x20       let mut state = self.state.lock();\n\
+        \x20       state = self.done.wait(state);\n\
+        \x20       *state\n\
+        \x20   }\n\
+        \x20   pub fn blocked(&self) -> u64 {\n\
+        \x20       let map = self.map.lock();\n\
+        \x20       self.park() + *map\n\
+        \x20   }\n\
+        }\n";
+    let findings = analyze(&lib(src), &["lock-order"]);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert_eq!(findings[0].line, 9);
+    assert!(
+        findings[0]
+            .message
+            .contains("guard on `Hub.map` held across a condvar wait"),
+        "{}",
+        findings[0].message
+    );
+    assert!(findings[0]
+        .message
+        .contains("`Hub::park` reaches self.done.wait"));
+}
+
+#[test]
+fn condvar_findings_respect_allows() {
+    let src = "impl Hub {\n\
+        \x20   pub fn drain(&self) -> u64 {\n\
+        \x20       let map = self.map.lock();\n\
+        \x20       let mut state = self.state.lock();\n\
+        \x20       // audit: allow(lock-order) -- fixture exercising the escape hatch\n\
+        \x20       state = self.done.wait(state);\n\
+        \x20       *state + *map\n\
+        \x20   }\n\
+        }\n";
+    assert!(analyze(&lib(src), &["lock-order"]).is_empty());
 }
 
 #[test]

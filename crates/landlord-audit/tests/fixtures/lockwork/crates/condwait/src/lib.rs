@@ -1,0 +1,41 @@
+//! Known-bad: condvar waits that park while an unrelated guard is
+//! still held — directly and through a call — plus the known-good
+//! single-flight shape that waits with only its own guard.
+
+use parking_lot::{Condvar, Mutex};
+
+pub struct Cell {
+    state: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl Cell {
+    pub fn wait_ready(&self) -> u64 {
+        let mut state = self.state.lock();
+        while *state == 0 {
+            state = self.ready.wait(state);
+        }
+        *state
+    }
+}
+
+pub struct Registry {
+    index: Mutex<u64>,
+    cell: Cell,
+}
+
+impl Registry {
+    pub fn blocked_wait(&self) -> u64 {
+        let index = self.index.lock();
+        let mut state = self.cell.state.lock();
+        while *state == 0 {
+            state = self.cell.ready.wait(state);
+        }
+        *state + *index
+    }
+
+    pub fn blocked_call(&self) -> u64 {
+        let index = self.index.lock();
+        self.cell.wait_ready() + *index
+    }
+}

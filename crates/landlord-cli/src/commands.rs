@@ -89,6 +89,14 @@ USAGE:
                       [--touch-images N] [--touch-ops N]
   landlord bench-persist [--out FILE] [--images N,N,...] [--rewrite-ops N]
                       [--append-ops N] [--replay-records N]
+  landlord serve      [--scale full|smoke] [--seed S] [--jobs N] [--repeats R]
+                      [--zipf E] [--arrival A] [--mean-ticks T]
+                      [--alpha A] [--cache-x M] [--shards N] [--threads M]
+                      [--coalesce on|off] [--backpressure B] [--queue-cap N]
+                      [--bytes-per-tick B] [--report-json FILE]
+                      [--metrics-json FILE]
+  landlord bench-serve [--out FILE] [--seed S] [--jobs N] [--repeats R]
+                      [--zipf E] [--shards N] [--wall-threads N,N,...]
   landlord trace      --out FILE [--scale full|smoke] [--seed S]
   landlord experiment <id|all> [--scale full|smoke] [--seed S]
                       [--threads T] [--csv-dir DIR] [--plot-dir DIR]
@@ -130,6 +138,19 @@ bench-persist writes BENCH_persist.json (landlord-persist-bench/v1):
 per-operation persistence cost of the pre-WAL full-state rewrite vs
 the WAL append, and checkpoint-load + log-replay open time, at each
 synthetic cache population in --images.
+serve runs the long-running server mode in deterministic virtual time:
+an open-loop seeded load generator (--arrival poisson|uniform,
+--mean-ticks gap) fires Zipf-skewed specs (--zipf exponent) at the
+sharded cache; in-flight identical or subset-satisfiable specs
+coalesce onto one build (--coalesce on|off), and a bounded admission
+queue (--queue-cap) applies backpressure (--backpressure
+block|reject). At a fixed seed the folded counters and the coalesce
+ledger are byte-identical across runs and thread counts.
+bench-serve writes BENCH_serve.json (landlord-serve-bench/v1): the
+virtual-time determinism self-check (two same-seed runs byte-compared,
+thread invariance), the coalesce rate under Zipf load, and wall-clock
+single-flight throughput at each --wall-threads count: requests/sec
+and latency p50/p99 nanoseconds through the real SingleFlight path.
 verify exits 0 when the cache directory was already clean, 1 when
 crash damage was found and repaired, and 2 when the directory is
 unrecoverable (or problems remain without --repair).
@@ -414,7 +435,13 @@ pub fn simulate(args: &Args) -> CmdResult {
             let mut tapped =
                 landlord_core::cache::ImageCache::new(cache, std::sync::Arc::clone(&sizes));
             tapped.set_sink(Box::new(SequencingSink::new(move |se: SequencedEvent| {
-                sink_buf.lock().expect("event buffer poisoned").push(se);
+                // Single-threaded sink; tolerate a poisoned lock rather
+                // than cascading a panic out of the cache's event path.
+                let mut events = match sink_buf.lock() {
+                    Ok(events) => events,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                events.push(se);
             })));
             policy = Box::new(tapped);
             Some(buf)
@@ -491,17 +518,23 @@ pub fn simulate(args: &Args) -> CmdResult {
         }
     }
     if let (Some(out), Some(buf)) = (events_out, &event_buf) {
-        let events = buf.lock().expect("event buffer poisoned");
-        let mut body = String::with_capacity(events.len() * 64);
+        let events = match buf.lock() {
+            Ok(events) => events,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let count = events.len();
+        let mut body = String::with_capacity(count * 64);
         for se in events.iter() {
             body.push_str(&serde_json::to_string(se)?);
             body.push('\n');
         }
+        // Release the event buffer before touching the filesystem.
+        drop(events);
         if out == "-" {
             eprint!("{body}");
         } else {
             std::fs::write(out, body)?;
-            eprintln!("[events] {out} ({} events)", events.len());
+            eprintln!("[events] {out} ({count} events)");
         }
     }
     let s = result.final_stats;
@@ -852,6 +885,359 @@ pub fn bench_persist(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Everything `serve` and `bench-serve` need to drive a run: the
+/// generated request schedule, the cache configuration, and the size
+/// model the shards consult.
+type ServeSetup = (
+    Vec<landlord_sim::ServeRequest>,
+    landlord_core::cache::CacheConfig,
+    std::sync::Arc<dyn landlord_core::sizes::SizeModel>,
+);
+
+/// Build the serve-mode workload shared by `serve` and `bench-serve`.
+fn serve_setup(args: &Args, ctx: &ExperimentContext) -> Result<ServeSetup, Box<dyn Error>> {
+    use landlord_sim::serve::{generate_requests, ArrivalModel, ServeConfig};
+
+    let repo = ctx.repo();
+    let mut w = ctx.standard_workload();
+    w.unique_jobs = args.get_parsed("jobs", w.unique_jobs, "a job count")?;
+    w.repeats = args.get_parsed("repeats", w.repeats, "a repeat count")?;
+    let zipf = args.get_parsed("zipf", 1.2f64, "a non-negative exponent")?;
+    if zipf < 0.0 {
+        return Err(format!("--zipf {zipf} must be non-negative").into());
+    }
+    let serve_config = ServeConfig {
+        workload: w,
+        zipf_exponent: zipf,
+        arrival: token_flag(
+            args,
+            "arrival",
+            ArrivalModel::parse,
+            ArrivalModel::default(),
+            ArrivalModel::TOKENS,
+        )?,
+        mean_interarrival_ticks: args.get_parsed("mean-ticks", 4u64, "a tick count")?,
+    };
+    let alpha = args.get_parsed("alpha", 0.75f64, "a float in [0,1]")?;
+    let cache_x = args.get_parsed("cache-x", 2.0f64, "a repo-size multiple")?;
+    let cache = landlord_core::cache::CacheConfig {
+        alpha,
+        limit_bytes: (repo.total_bytes() as f64 * cache_x) as u64,
+        ..Default::default()
+    };
+    let sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel> =
+        std::sync::Arc::new(repo.size_table());
+    Ok((generate_requests(&repo, &serve_config), cache, sizes))
+}
+
+/// Parse the serve-loop options shared by `serve` and `bench-serve`.
+fn serve_options(args: &Args) -> Result<landlord_sim::ServeOptions, Box<dyn Error>> {
+    use landlord_sim::serve::Backpressure;
+
+    let defaults = landlord_sim::ServeOptions::default();
+    Ok(landlord_sim::ServeOptions {
+        coalesce: token_flag(
+            args,
+            "coalesce",
+            |s| match s {
+                "on" => Some(true),
+                "off" => Some(false),
+                _ => None,
+            },
+            true,
+            "on|off",
+        )?,
+        backpressure: token_flag(
+            args,
+            "backpressure",
+            Backpressure::parse,
+            Backpressure::default(),
+            Backpressure::TOKENS,
+        )?,
+        queue_cap: args.get_parsed("queue-cap", defaults.queue_cap, "a queue capacity")?,
+        bytes_per_tick: args.get_parsed(
+            "bytes-per-tick",
+            defaults.bytes_per_tick,
+            "a byte count",
+        )?,
+    })
+}
+
+/// `landlord serve`: run the open-loop server mode in virtual time and
+/// report throughput, coalescing, backpressure, and latency quantiles.
+pub fn serve(args: &Args) -> CmdResult {
+    let scale = parse_scale(args)?;
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let ctx = ExperimentContext {
+        scale,
+        seed,
+        threads: 1,
+    };
+    let (requests, cache, sizes) = serve_setup(args, &ctx)?;
+    let options = serve_options(args)?;
+    let shards = args.get_parsed("shards", 4usize, "a shard count")?;
+    let threads = args.get_parsed("threads", 2usize, "a worker thread count")?;
+    if shards == 0 || threads == 0 {
+        return Err("--shards and --threads must be at least 1".into());
+    }
+
+    let metrics_out = args.get("metrics-json");
+    let obs = metrics_out.map(|_| simulator::SimObs::deterministic());
+    let result = landlord_sim::serve_stream(
+        &requests,
+        cache,
+        sizes,
+        shards,
+        threads,
+        options,
+        obs.as_ref().map(|o| &*o.registry),
+    );
+    let rep = &result.report;
+
+    if let Some(out) = args.get("report-json") {
+        let json = format!("{}\n", serde_json::to_string_pretty(rep)?);
+        if out == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(out, json)?;
+            eprintln!("[report] {out}");
+        }
+    }
+    if let (Some(out), Some(o)) = (metrics_out, &obs) {
+        let json = o.registry.snapshot().to_json_pretty();
+        if out == "-" {
+            print!("{json}");
+        } else {
+            std::fs::write(out, json)?;
+            eprintln!("[metrics] {out}");
+        }
+    }
+
+    let s = rep.final_stats;
+    let mut t = Table::new(
+        format!(
+            "Serve ({} arrivals, {} shards, {} threads, coalesce {})",
+            rep.arrivals,
+            shards,
+            threads,
+            if options.coalesce { "on" } else { "off" }
+        ),
+        &["metric", "value"],
+    );
+    t.push_row(vec!["served".into(), rep.served.to_string()]);
+    t.push_row(vec!["coalesced".into(), rep.coalesce_hits.to_string()]);
+    t.push_row(vec![
+        "coalesce rate %".into(),
+        fmt_pct(100.0 * rep.coalesce_hits as f64 / (rep.arrivals.max(1)) as f64),
+    ]);
+    t.push_row(vec!["rejected".into(), rep.rejected.to_string()]);
+    t.push_row(vec!["block events".into(), rep.block_events.to_string()]);
+    t.push_row(vec!["queue peak".into(), rep.queue_peak.to_string()]);
+    t.push_row(vec![
+        "latency p50 ticks".into(),
+        rep.latency_ticks.p50.to_string(),
+    ]);
+    t.push_row(vec![
+        "latency p99 ticks".into(),
+        rep.latency_ticks.p99.to_string(),
+    ]);
+    t.push_row(vec!["hits".into(), s.hits.to_string()]);
+    t.push_row(vec!["merges".into(), s.merges.to_string()]);
+    t.push_row(vec!["inserts".into(), s.inserts.to_string()]);
+    t.push_row(vec!["deletes".into(), s.deletes.to_string()]);
+    t.push_row(vec![
+        "cache eff %".into(),
+        fmt_pct(rep.cache_eff_milli_pct as f64 / 1000.0),
+    ]);
+    t.push_row(vec![
+        "container eff %".into(),
+        fmt_pct(rep.container_eff_milli_pct as f64 / 1000.0),
+    ]);
+    print!("{}", t.render());
+    Ok(())
+}
+
+/// Schema tag of `BENCH_serve.json`; bump when fields change meaning.
+pub const SERVE_BENCH_SCHEMA: &str = "landlord-serve-bench/v1";
+
+/// One wall-clock throughput row inside `BENCH_serve.json`: `threads`
+/// OS threads hammering [`landlord_core::cache::ShardedImageCache::
+/// request_single_flight`] with the full request stream.
+#[derive(Debug, serde::Serialize)]
+struct ServeBenchWall {
+    threads: usize,
+    requests: u64,
+    elapsed_ns: u64,
+    requests_per_sec: f64,
+    p50_ns_upper: u64,
+    p99_ns_upper: u64,
+    coalesce_hits: u64,
+}
+
+/// The record `landlord bench-serve` writes. The deterministic section
+/// is a pure function of the seed; only the `wall` rows carry time.
+#[derive(Debug, serde::Serialize)]
+struct ServeBenchReport {
+    schema: String,
+    seed: u64,
+    arrivals: u64,
+    /// Two same-seed virtual-time runs produced byte-identical reports.
+    deterministic: bool,
+    /// 1/2/4/8 virtual worker threads produced byte-identical reports.
+    thread_invariant: bool,
+    coalesce_rate_milli_pct: u64,
+    coalesce_ledger_digest: u64,
+    latency_p50_ticks: u64,
+    latency_p99_ticks: u64,
+    rejected: u64,
+    wall: Vec<ServeBenchWall>,
+}
+
+/// Time one wall-clock single-flight pass: `threads` workers pull
+/// stream indices from a shared counter and call
+/// `request_single_flight` on one shared cache.
+fn bench_serve_wall_pass(
+    requests: &[landlord_sim::ServeRequest],
+    cache_config: landlord_core::cache::CacheConfig,
+    sizes: std::sync::Arc<dyn landlord_core::sizes::SizeModel>,
+    shards: usize,
+    threads: usize,
+) -> ServeBenchWall {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let cache = landlord_core::cache::ShardedImageCache::new(shards, cache_config, sizes);
+    let hist = landlord_obs::Histogram::new();
+    let next = AtomicUsize::new(0);
+    let start = std::time::Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            let cache = cache.clone();
+            let next = &next;
+            let hist = &hist;
+            scope.spawn(move || loop {
+                // sync: work-stealing index; any interleaving is fine,
+                // each index is claimed exactly once.
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= requests.len() {
+                    break;
+                }
+                let t0 = std::time::Instant::now();
+                let _ = cache.request_single_flight(&requests[i].spec);
+                hist.record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+            });
+        }
+    });
+    let elapsed_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let snap = hist.snapshot();
+    ServeBenchWall {
+        threads: threads.max(1),
+        requests: requests.len() as u64,
+        elapsed_ns,
+        requests_per_sec: requests.len() as f64 / (elapsed_ns.max(1) as f64 / 1e9),
+        p50_ns_upper: snap.p50,
+        p99_ns_upper: snap.p99,
+        coalesce_hits: cache.coalesce_hits(),
+    }
+}
+
+/// `landlord bench-serve`: self-check the serve determinism contract
+/// (byte-identical same-seed runs, thread invariance), measure the
+/// coalesce rate under Zipf load, time wall-clock single-flight
+/// throughput at each `--wall-threads` count, and write
+/// `BENCH_serve.json` ([`SERVE_BENCH_SCHEMA`]).
+pub fn bench_serve(args: &Args) -> CmdResult {
+    use std::sync::Arc;
+
+    let out = args.get_or("out", "BENCH_serve.json");
+    let seed = args.get_parsed("seed", 1u64, "an integer seed")?;
+    let ctx = ExperimentContext {
+        scale: Scale::Smoke,
+        seed,
+        threads: 1,
+    };
+    let (requests, cache, sizes) = serve_setup(args, &ctx)?;
+    let options = serve_options(args)?;
+    let shards = args.get_parsed("shards", 8usize, "a shard count")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+
+    // Determinism self-check: two same-seed runs must serialize to the
+    // same bytes, and the virtual thread count must not matter.
+    let run = |threads: usize| {
+        landlord_sim::serve_stream(
+            &requests,
+            cache,
+            Arc::clone(&sizes),
+            shards,
+            threads,
+            options,
+            None,
+        )
+    };
+    let baseline = run(4);
+    let baseline_json = serde_json::to_string(&baseline.report)?;
+    let deterministic = serde_json::to_string(&run(4).report)? == baseline_json;
+    let thread_invariant = [1usize, 2, 8]
+        .iter()
+        .all(|&threads| run(threads).report == baseline.report);
+
+    let rep = &baseline.report;
+    let coalesce_rate_milli_pct =
+        simulator::milli_pct(100.0 * rep.coalesce_hits as f64 / rep.arrivals.max(1) as f64);
+
+    // Wall-clock throughput through the real SingleFlight path.
+    let wall_threads = args.get_or("wall-threads", "1,4,8,16");
+    let mut wall = Vec::new();
+    for tok in wall_threads.split(',') {
+        let threads: usize = tok
+            .trim()
+            .parse()
+            .map_err(|_| format!("--wall-threads entry {tok:?}: expected a thread count"))?;
+        if threads == 0 {
+            return Err("--wall-threads entries must be at least 1".into());
+        }
+        let row = bench_serve_wall_pass(&requests, cache, Arc::clone(&sizes), shards, threads);
+        eprintln!(
+            "[bench-serve] {threads} threads: {:.0} req/s, p99 {} ns, {} coalesced",
+            row.requests_per_sec, row.p99_ns_upper, row.coalesce_hits
+        );
+        wall.push(row);
+    }
+
+    let report = ServeBenchReport {
+        schema: SERVE_BENCH_SCHEMA.to_string(),
+        seed,
+        arrivals: rep.arrivals,
+        deterministic,
+        thread_invariant,
+        coalesce_rate_milli_pct,
+        coalesce_ledger_digest: rep.coalesce_ledger_digest,
+        latency_p50_ticks: rep.latency_ticks.p50,
+        latency_p99_ticks: rep.latency_ticks.p99,
+        rejected: rep.rejected,
+        wall,
+    };
+    let json = format!("{}\n", serde_json::to_string_pretty(&report)?);
+    if out == "-" {
+        print!("{json}");
+    } else {
+        std::fs::write(out, &json)?;
+        eprintln!("[bench-serve] {out}");
+    }
+    if !deterministic || !thread_invariant {
+        return Err(format!(
+            "serve determinism self-check failed: deterministic={deterministic} \
+             thread_invariant={thread_invariant}"
+        )
+        .into());
+    }
+    if options.coalesce && coalesce_rate_milli_pct == 0 {
+        return Err("serve bench measured a zero coalesce rate under Zipf load".into());
+    }
+    Ok(())
+}
+
 /// `landlord experiment`
 pub fn experiment(args: &Args) -> CmdResult {
     let id = args
@@ -1142,6 +1528,8 @@ pub fn dispatch(cmd: &str, args: &Args) -> CmdResult {
         "simulate" => simulate(args),
         "bench-report" => bench_report(args),
         "bench-persist" => bench_persist(args),
+        "serve" => serve(args),
+        "bench-serve" => bench_serve(args),
         "experiment" => experiment(args),
         "trace" => trace(args),
         "spec-from" => spec_from(args),
@@ -1841,6 +2229,145 @@ mod tests {
             "every request is either served or recorded as failed"
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_smoke_runs_and_report_json_is_byte_deterministic() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-serve-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let run = |tag: &str, threads: &str| {
+            let out = dir.join(format!("serve-{tag}.json"));
+            serve(&args(&[
+                "--scale",
+                "smoke",
+                "--jobs",
+                "20",
+                "--repeats",
+                "2",
+                "--threads",
+                threads,
+                "--report-json",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            std::fs::read(&out).unwrap()
+        };
+        let first = run("a", "2");
+        let second = run("b", "2");
+        assert!(!first.is_empty());
+        assert_eq!(first, second, "serve report must be byte-identical");
+        // The report survives a different virtual thread count too.
+        let other_threads = run("c", "4");
+        assert_eq!(first, other_threads, "thread count leaked into the report");
+        let report: landlord_sim::ServeReport = serde_json::from_slice(&first).unwrap();
+        assert!(report.arrivals > 0);
+        assert_eq!(
+            report.served + report.coalesce_hits + report.rejected,
+            report.arrivals
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Snapshot of the serve-flag rejection messages: unknown tokens
+    /// must name the flag and list every valid token.
+    #[test]
+    fn serve_rejects_unknown_tokens_listing_valid_ones() {
+        use landlord_sim::serve::{ArrivalModel, Backpressure};
+        for (flag, bad, tokens) in [
+            ("arrival", "exponential", ArrivalModel::TOKENS),
+            ("backpressure", "drop", Backpressure::TOKENS),
+            ("coalesce", "maybe", "on|off"),
+        ] {
+            let flag_arg = format!("--{flag}");
+            let err = serve(&args(&["--scale", "smoke", flag_arg.as_str(), bad])).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains(flag), "{msg:?} must name --{flag}");
+            assert!(msg.contains(tokens), "{msg:?} must list {tokens:?}");
+            assert!(msg.contains(bad), "{msg:?} must echo the bad token");
+        }
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_counts() {
+        let err = serve(&args(&["--scale", "smoke", "--shards", "0"])).unwrap_err();
+        assert!(err.to_string().contains("at least 1"), "{err}");
+        let err = serve(&args(&["--scale", "smoke", "--zipf", "-2"])).unwrap_err();
+        assert!(err.to_string().contains("non-negative"), "{err}");
+    }
+
+    #[test]
+    fn serve_backpressure_reject_reports_rejections() {
+        let out = std::env::temp_dir().join(format!(
+            "landlord-cli-serve-rej-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        serve(&args(&[
+            "--scale",
+            "smoke",
+            "--jobs",
+            "20",
+            "--repeats",
+            "2",
+            "--backpressure",
+            "reject",
+            "--queue-cap",
+            "0",
+            "--bytes-per-tick",
+            "8",
+            "--report-json",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let report: landlord_sim::ServeReport =
+            serde_json::from_slice(&std::fs::read(&out).unwrap()).unwrap();
+        assert!(report.rejected > 0, "queue-cap 0 under load must reject");
+        assert_eq!(report.retry_after_ticks.count, report.rejected);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn bench_serve_writes_schema_tagged_json_with_coalescing() {
+        let dir = std::env::temp_dir().join(format!(
+            "landlord-cli-benchs-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_serve.json");
+        bench_serve(&args(&[
+            "--out",
+            out.to_str().unwrap(),
+            "--jobs",
+            "20",
+            "--repeats",
+            "2",
+            "--wall-threads",
+            "1,2",
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(text.contains(SERVE_BENCH_SCHEMA));
+        assert!(text.contains("\"deterministic\": true"));
+        assert!(text.contains("\"thread_invariant\": true"));
+        let parsed: serde::Value = serde_json::from_str(&text).unwrap();
+        let rate = match parsed.get("coalesce_rate_milli_pct") {
+            Some(serde::Value::U64(n)) => *n,
+            other => panic!("coalesce_rate_milli_pct must be a u64, got {other:?}"),
+        };
+        assert!(rate > 0, "Zipf load must coalesce");
+        let serde::Value::Seq(wall) = parsed.get("wall").unwrap() else {
+            panic!("wall section must be an array");
+        };
+        assert_eq!(wall.len(), 2);
+        for row in wall {
+            assert!(row.get("requests_per_sec").is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -155,4 +155,38 @@ mod tests {
             assert_eq!(*field(&mut folded), 101 + 2 * i);
         }
     }
+
+    /// The serve mode's per-thread folds routinely cross shards that
+    /// served no traffic: zero-request snapshots must act as the merge
+    /// identity and their efficiency must stay the defined 100%, never
+    /// a 0/0 NaN.
+    #[test]
+    fn empty_snapshots_fold_as_identity_with_defined_efficiency() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.cache_efficiency_pct(), 100.0);
+        assert!(empty.cache_efficiency_pct().is_finite());
+
+        let mut folded = CacheStats::default();
+        for _ in 0..8 {
+            folded.merge(&CacheStats::default());
+        }
+        assert_eq!(folded, CacheStats::default());
+        assert_eq!(folded.cache_efficiency_pct(), 100.0);
+
+        let mut busy = CacheStats {
+            requests: 3,
+            hits: 1,
+            inserts: 2,
+            total_bytes: 40,
+            unique_bytes: 30,
+            image_count: 2,
+            ..CacheStats::default()
+        };
+        let before = busy;
+        for _ in 0..8 {
+            busy.merge(&CacheStats::default());
+        }
+        assert_eq!(busy, before, "idle shards must not perturb the fold");
+        assert_eq!(busy.cache_efficiency_pct(), 75.0);
+    }
 }

@@ -1,0 +1,288 @@
+//! Single-flight coalescing for concurrent identical (and
+//! superset-satisfiable) requests.
+//!
+//! When many submitters ask for the same spec at once, planning each
+//! request independently wastes work: the first apply would turn every
+//! follower into a plain hit anyway, and under merging the followers
+//! could even pick *different* merge targets than the leader is about
+//! to create. [`SingleFlight`] deduplicates at the frontend: the first
+//! requester of a spec becomes the **leader** and actually plans and
+//! applies; any request arriving while that flight is open whose spec
+//! is a *subset* of the leader's spec (identical specs included —
+//! the leader's resulting image satisfies every subset) becomes a
+//! **waiter** and blocks until the leader publishes its [`Outcome`].
+//!
+//! Lock protocol (covered by the `lock-order` audit analysis):
+//!
+//! * `SingleFlight.inflight` (the map) and `Flight.state` (one flight's
+//!   result cell) are never held at the same time. `begin` touches only
+//!   the map; publishing first removes the map entry, then locks the
+//!   flight to store the result and notify.
+//! * Waiters hold only their flight's `state` lock, released atomically
+//!   while parked on the condvar — a waiter never blocks the map.
+//!
+//! Panic safety: [`LeaderGuard`] publishes [`FlightState::Abandoned`]
+//! on drop if the leader never completed, so waiters of a panicking
+//! leader wake with `None` and can retry as their own leaders instead
+//! of parking forever.
+
+use super::Outcome;
+use crate::spec::Spec;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+/// The lifecycle of one in-flight build.
+enum FlightState {
+    /// The leader is still planning/applying.
+    Pending,
+    /// The leader published its outcome; waiters read it and return.
+    Done(Outcome),
+    /// The leader dropped without completing (panic or early return);
+    /// waiters must retry for themselves.
+    Abandoned,
+}
+
+/// One open flight: the result cell waiters park on.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Block until the leader publishes. `Some(outcome)` on a completed
+    /// flight; `None` if the leader abandoned it (the caller should
+    /// retry — it will usually become the new leader).
+    pub fn wait(&self) -> Option<Outcome> {
+        let mut state = self.state.lock();
+        loop {
+            match *state {
+                FlightState::Done(outcome) => return Some(outcome),
+                FlightState::Abandoned => return None,
+                FlightState::Pending => state = self.done.wait(state),
+            }
+        }
+    }
+
+    /// Store a terminal state and wake every waiter.
+    fn publish(&self, terminal: FlightState) {
+        *self.state.lock() = terminal;
+        self.done.notify_all();
+    }
+}
+
+struct FlightEntry {
+    spec: Spec,
+    flight: Arc<Flight>,
+}
+
+/// The in-flight map: open flights keyed by the leader's spec. One per
+/// shard — routing already partitions specs, so a global map would only
+/// add contention.
+pub struct SingleFlight {
+    inflight: Mutex<Vec<FlightEntry>>,
+}
+
+/// What [`SingleFlight::begin`] hands back: lead the build or wait on
+/// someone else's.
+pub enum Ticket<'a> {
+    /// No open flight satisfies the spec: the caller must serve the
+    /// request and then [`LeaderGuard::complete`] it.
+    Leader(LeaderGuard<'a>),
+    /// An open flight's spec is a superset of the caller's: park on it
+    /// via [`Flight::wait`] instead of touching the cache.
+    Waiter(Arc<Flight>),
+}
+
+/// Obligation held by a flight's leader. Completing publishes the
+/// outcome; dropping without completing publishes `Abandoned` so
+/// waiters are never stranded.
+pub struct LeaderGuard<'a> {
+    owner: &'a SingleFlight,
+    flight: Arc<Flight>,
+    completed: bool,
+}
+
+impl SingleFlight {
+    /// An empty map with no open flights.
+    pub fn new() -> Self {
+        SingleFlight {
+            inflight: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Join the first open flight whose spec is a superset of `spec`,
+    /// or open a new flight led by the caller. The linear scan is fine:
+    /// the map holds at most one entry per concurrently-planning
+    /// leader, and subset matching needs the scan anyway.
+    pub fn begin(&self, spec: &Spec) -> Ticket<'_> {
+        let mut inflight = self.inflight.lock();
+        for entry in inflight.iter() {
+            if spec.is_subset(&entry.spec) {
+                return Ticket::Waiter(Arc::clone(&entry.flight));
+            }
+        }
+        let flight = Flight::new();
+        inflight.push(FlightEntry {
+            spec: spec.clone(),
+            flight: Arc::clone(&flight),
+        });
+        Ticket::Leader(LeaderGuard {
+            owner: self,
+            flight,
+            completed: false,
+        })
+    }
+
+    /// Open flights right now (tests and introspection).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.lock().len()
+    }
+
+    fn remove(&self, flight: &Arc<Flight>) {
+        let mut inflight = self.inflight.lock();
+        inflight.retain(|e| !Arc::ptr_eq(&e.flight, flight));
+    }
+}
+
+impl Default for SingleFlight {
+    fn default() -> Self {
+        SingleFlight::new()
+    }
+}
+
+impl LeaderGuard<'_> {
+    /// Publish `outcome` and wake every waiter. The map entry is
+    /// removed *first* so requests arriving after the outcome exists in
+    /// the cache plan against the cache, not a closed flight.
+    pub fn complete(mut self, outcome: Outcome) {
+        self.completed = true;
+        self.owner.remove(&self.flight);
+        self.flight.publish(FlightState::Done(outcome));
+    }
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        if !self.completed {
+            self.owner.remove(&self.flight);
+            self.flight.publish(FlightState::Abandoned);
+        }
+    }
+}
+
+impl std::fmt::Debug for SingleFlight {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleFlight")
+            .field("inflight", &self.inflight_len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::ImageId;
+    use crate::spec::PackageId;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn spec(ids: &[u32]) -> Spec {
+        Spec::from_ids(ids.iter().map(|&i| PackageId(i)))
+    }
+
+    fn outcome(bytes: u64) -> Outcome {
+        Outcome::Hit {
+            image: ImageId(7),
+            image_bytes: bytes,
+        }
+    }
+
+    #[test]
+    fn identical_specs_coalesce_onto_the_leader() {
+        let sf = Arc::new(SingleFlight::new());
+        let s = spec(&[1, 2, 3]);
+        let leader = match sf.begin(&s) {
+            Ticket::Leader(g) => g,
+            Ticket::Waiter(_) => panic!("first request must lead"),
+        };
+        let waited = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let sf = Arc::clone(&sf);
+            let s = s.clone();
+            let waited = Arc::clone(&waited);
+            handles.push(std::thread::spawn(move || match sf.begin(&s) {
+                Ticket::Leader(_) => panic!("duplicate leader for an open flight"),
+                Ticket::Waiter(flight) => {
+                    waited.fetch_add(1, Ordering::SeqCst);
+                    flight.wait()
+                }
+            }));
+        }
+        // Give the waiters time to actually park before publishing.
+        while waited.load(Ordering::SeqCst) < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        leader.complete(outcome(42));
+        for h in handles {
+            let got = h.join().expect("waiter panicked");
+            assert_eq!(got, Some(outcome(42)));
+        }
+        assert_eq!(sf.inflight_len(), 0, "completed flight must leave the map");
+    }
+
+    #[test]
+    fn subset_specs_attach_to_a_superset_flight() {
+        let sf = SingleFlight::new();
+        let big = spec(&[1, 2, 3, 4]);
+        let guard = match sf.begin(&big) {
+            Ticket::Leader(g) => g,
+            Ticket::Waiter(_) => panic!("first request must lead"),
+        };
+        match sf.begin(&spec(&[2, 4])) {
+            Ticket::Waiter(_) => {}
+            Ticket::Leader(_) => panic!("subset spec must wait on the superset flight"),
+        }
+        match sf.begin(&spec(&[2, 5])) {
+            Ticket::Leader(g) => drop(g),
+            Ticket::Waiter(_) => panic!("non-subset spec must lead its own flight"),
+        }
+        guard.complete(outcome(1));
+    }
+
+    #[test]
+    fn abandoned_leader_wakes_waiters_with_none() {
+        let sf = Arc::new(SingleFlight::new());
+        let s = spec(&[9, 10]);
+        let guard = match sf.begin(&s) {
+            Ticket::Leader(g) => g,
+            Ticket::Waiter(_) => panic!("first request must lead"),
+        };
+        let waiter = {
+            let sf = Arc::clone(&sf);
+            let s = s.clone();
+            std::thread::spawn(move || match sf.begin(&s) {
+                Ticket::Waiter(flight) => flight.wait(),
+                Ticket::Leader(_) => panic!("flight should still be open"),
+            })
+        };
+        while sf.inflight_len() != 1 || Arc::strong_count(&guard.flight) < 3 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        drop(guard); // leader bails out without completing
+        assert_eq!(waiter.join().expect("waiter panicked"), None);
+        assert_eq!(sf.inflight_len(), 0, "abandoned flight must leave the map");
+        // The next request for the same spec leads a fresh flight.
+        assert!(
+            matches!(sf.begin(&s), Ticket::Leader(_)),
+            "abandoned flight must not capture new requests"
+        );
+    }
+}

@@ -48,6 +48,7 @@ mod apply;
 mod candidates;
 mod config;
 mod evictor;
+mod flight;
 mod ledger;
 pub mod observe;
 mod plan;
@@ -61,6 +62,7 @@ pub use apply::Outcome;
 pub use candidates::CandidateIndex;
 pub use config::{CacheConfig, CacheStats};
 pub use evictor::{make_evictor, Evictor, EvictorCounters};
+pub use flight::{Flight, LeaderGuard, SingleFlight, Ticket};
 pub use ledger::{Ledger, PackageRefs};
 pub use plan::{plan_over, plan_over_with_peek, Plan, PlannedOp};
 pub use sharded::{shard_limit_bytes, ShardedImageCache};

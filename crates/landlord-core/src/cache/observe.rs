@@ -50,6 +50,13 @@ pub mod names {
     pub const SHARD_PEEK_SKIP: &str = "sharded.peek_skip";
     /// Counter: sharded requests whose peek could not rule out a hit.
     pub const SHARD_PEEK_POSSIBLE: &str = "sharded.peek_possible";
+    /// Counter: package-summary rebuilds forced by an eviction (stale
+    /// bits cleared eagerly rather than waiting for the periodic
+    /// rebuild).
+    pub const SHARD_BLOOM_STALE_REBUILDS: &str = "sharded.bloom_stale_rebuilds";
+    /// Counter: requests served from another request's in-flight build
+    /// via single-flight coalescing instead of planning independently.
+    pub const SHARD_FLIGHT_COALESCED: &str = "sharded.flight_coalesced";
 }
 
 /// Pre-resolved handles for everything [`super::ImageCache`] records.

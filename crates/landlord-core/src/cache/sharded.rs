@@ -47,6 +47,7 @@
 //! folded counters equal a single-threaded replay partitioned by shard
 //! ownership. The `sharded_stress` proptest pins this down.
 
+use super::flight::{SingleFlight, Ticket};
 use super::observe::names;
 use super::{CacheConfig, CacheStats, ImageCache, Outcome};
 use crate::conflict::{ConflictPolicy, NoConflicts};
@@ -64,10 +65,12 @@ use std::sync::{Arc, OnceLock};
 /// Words in a shard's package-set summary (256 bits total).
 const SUMMARY_WORDS: usize = 4;
 
-/// Requests between summary rebuilds. Evictions only *clear* liveness,
-/// which the summary cannot express incrementally (bits are shared), so
-/// stale set bits accumulate as false "possible" answers until the next
-/// rebuild re-derives the summary from the live images.
+/// Requests between periodic summary rebuilds. The summary cannot
+/// *clear* liveness incrementally (bits are shared), so any request
+/// that evicts forces an immediate rebuild (see
+/// [`PackageSummary::rebuild_after_evictions`]); this periodic rebuild
+/// remains as a backstop that also refreshes the precise layer's
+/// static filter before its `fresh` overlay grows.
 const SUMMARY_REBUILD_EVERY: u64 = 128;
 
 /// Salt distinguishing the routing hash family from the MinHash/LSH
@@ -103,6 +106,8 @@ struct PackageSummary {
     bits: [AtomicU64; SUMMARY_WORDS],
     /// Requests noted since the last rebuild.
     notes: AtomicU64,
+    /// Rebuilds forced by evictions (stale bits cleared eagerly).
+    stale_rebuilds: AtomicU64,
     /// Built at the first rebuild; `None` until then (peeks fall back
     /// to bloom-only, which is exact for young shards anyway).
     precise: RwLock<Option<PreciseLayer>>,
@@ -113,6 +118,7 @@ impl PackageSummary {
         PackageSummary {
             bits: std::array::from_fn(|_| AtomicU64::new(0)),
             notes: AtomicU64::new(0),
+            stale_rebuilds: AtomicU64::new(0),
             precise: RwLock::new(None),
         }
     }
@@ -204,11 +210,26 @@ impl PackageSummary {
             self.rebuild_from(cache);
         }
     }
+
+    /// Rebuild immediately because the request just served evicted
+    /// images: their packages' bits (and precise-layer entries) would
+    /// otherwise linger as false "possible" answers until the periodic
+    /// rebuild — long-running shards accumulated stale bits until the
+    /// peek stopped pruning at all. Must run under the shard lock.
+    fn rebuild_after_evictions(&self, cache: &ImageCache) {
+        self.stale_rebuilds.fetch_add(1, Ordering::Relaxed); // sync: monotonic stat counter, folded on read
+        self.rebuild_from(cache);
+    }
 }
 
 struct Shard {
     cache: Mutex<ImageCache>,
     summary: PackageSummary,
+    /// Open single-flight builds on this shard (see
+    /// [`ShardedImageCache::request_single_flight`]).
+    flights: SingleFlight,
+    /// Requests served from another request's in-flight build.
+    coalesce_hits: AtomicU64,
 }
 
 /// Pre-resolved handles for the frontend's own metrics (lock
@@ -221,6 +242,8 @@ struct ShardObs {
     lock_hold: Arc<Histogram>,
     peek_skip: Arc<Counter>,
     peek_possible: Arc<Counter>,
+    stale_rebuilds: Arc<Counter>,
+    flight_coalesced: Arc<Counter>,
 }
 
 impl ShardObs {
@@ -231,6 +254,8 @@ impl ShardObs {
             lock_hold: registry.histogram(names::SHARD_LOCK_HOLD),
             peek_skip: registry.counter(names::SHARD_PEEK_SKIP),
             peek_possible: registry.counter(names::SHARD_PEEK_POSSIBLE),
+            stale_rebuilds: registry.counter(names::SHARD_BLOOM_STALE_REBUILDS),
+            flight_coalesced: registry.counter(names::SHARD_FLIGHT_COALESCED),
         }
     }
 }
@@ -287,6 +312,8 @@ impl ShardedImageCache {
                         Arc::clone(&conflicts),
                     )),
                     summary: PackageSummary::new(),
+                    flights: SingleFlight::new(),
+                    coalesce_hits: AtomicU64::new(0),
                 }
             })
             .collect();
@@ -357,13 +384,16 @@ impl ShardedImageCache {
 
     /// Serve one request under the owning shard's lock: settle, consult
     /// the (now authoritative) summary, plan with the peek, apply, and
-    /// note the spec's packages as live.
+    /// note the spec's packages as live. If the apply evicted anything,
+    /// the summary is rebuilt on the spot so the evicted packages' bits
+    /// go cold immediately instead of lingering as false positives.
     fn serve_locked(
         shard: &Shard,
         cache: &mut ImageCache,
         spec: &Spec,
         obs: Option<&ShardObs>,
     ) -> Outcome {
+        let deletes_before = cache.stats().deletes;
         cache.settle();
         let superset_possible = shard.summary.may_contain_superset_precise(spec);
         if let Some(o) = obs {
@@ -376,12 +406,20 @@ impl ShardedImageCache {
         let plan = cache.plan_with_peek(spec, superset_possible);
         let outcome = cache.apply(spec, &plan);
         shard.summary.note_spec(spec);
+        if cache.stats().deletes > deletes_before {
+            shard.summary.rebuild_after_evictions(cache);
+            if let Some(o) = obs {
+                o.stale_rebuilds.inc();
+            }
+        }
         outcome
     }
 
-    /// Process one job request (Algorithm 1) on the owning shard.
-    pub fn request(&self, spec: &Spec) -> Outcome {
-        let shard = &self.inner.shards[self.route(spec)];
+    /// Lock `shard` (recording wait/hold times when metrics are
+    /// attached), serve one request, and run the periodic summary
+    /// rebuild. Shared by [`ShardedImageCache::request`] and the leader
+    /// path of [`ShardedImageCache::request_single_flight`].
+    fn serve_on_shard(&self, shard: &Shard, spec: &Spec) -> Outcome {
         let obs = self.inner.obs.get();
         let wait_start = obs.map(|o| o.clock.now_ticks());
         let mut cache = shard.cache.lock();
@@ -399,6 +437,72 @@ impl ShardedImageCache {
                 .record(o.clock.now_ticks().saturating_sub(start));
         }
         outcome
+    }
+
+    /// Process one job request (Algorithm 1) on the owning shard.
+    pub fn request(&self, spec: &Spec) -> Outcome {
+        let shard = &self.inner.shards[self.route(spec)];
+        self.serve_on_shard(shard, spec)
+    }
+
+    /// Process one request with single-flight coalescing: if another
+    /// thread is already planning an identical or superset spec on the
+    /// owning shard, park until that leader publishes its [`Outcome`]
+    /// and return it instead of planning independently. Returns the
+    /// outcome plus whether this request coalesced onto another
+    /// request's flight.
+    ///
+    /// Coalesced requests never touch the shard cache, so `stats()`
+    /// counts only leaders; coalesces are reported by
+    /// [`ShardedImageCache::coalesce_hits`] and the
+    /// `sharded.flight_coalesced` metric. Coalescing is inherently
+    /// schedule-dependent — deterministic replays use
+    /// [`ShardedImageCache::request`], which never coalesces.
+    pub fn request_single_flight(&self, spec: &Spec) -> (Outcome, bool) {
+        let shard = &self.inner.shards[self.route(spec)];
+        loop {
+            match shard.flights.begin(spec) {
+                Ticket::Waiter(flight) => {
+                    if let Some(outcome) = flight.wait() {
+                        shard.coalesce_hits.fetch_add(1, Ordering::Relaxed); // sync: monotonic stat counter, folded on read
+                        if let Some(o) = self.inner.obs.get() {
+                            o.flight_coalesced.inc();
+                        }
+                        return (outcome, true);
+                    }
+                    // The leader abandoned its flight (panicked or
+                    // bailed); retry — usually as the new leader.
+                }
+                Ticket::Leader(guard) => {
+                    let outcome = self.serve_on_shard(shard, spec);
+                    guard.complete(outcome);
+                    return (outcome, false);
+                }
+            }
+        }
+    }
+
+    /// Total requests served from another request's in-flight build by
+    /// [`ShardedImageCache::request_single_flight`], folded across
+    /// shards.
+    pub fn coalesce_hits(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            // sync: monotonic stat counters; a racing fold may lag, never overcount
+            .map(|s| s.coalesce_hits.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Total summary rebuilds forced by evictions, folded across
+    /// shards.
+    pub fn bloom_stale_rebuilds(&self) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            // sync: monotonic stat counters; a racing fold may lag, never overcount
+            .map(|s| s.summary.stale_rebuilds.load(Ordering::Relaxed))
+            .fold(0u64, u64::saturating_add)
     }
 
     /// Process a batch of requests, taking each shard lock once.
@@ -781,6 +885,118 @@ mod tests {
         }
         cache.check_invariants();
         assert!(cache.stats().deletes > 0, "tiny budget must evict");
+        assert!(
+            cache.bloom_stale_rebuilds() > 0,
+            "evictions must force eager summary rebuilds"
+        );
+    }
+
+    /// Regression (PR 10): the bloom was add-only — evicting a shard's
+    /// only superset image left its bits set, so the peek kept
+    /// answering "possible" for specs the shard provably could not
+    /// satisfy. Evictions must now rebuild the summary on the spot and
+    /// the peek must go cold.
+    #[test]
+    fn evicting_the_only_superset_image_cools_the_peek() {
+        // One shard, a budget holding exactly one 3-package image,
+        // alpha 0 so disjoint specs never merge.
+        let cache = sharded(1, 0.0, 3);
+        let first = spec(&[1, 2, 3]);
+        let second = spec(&[50, 51, 52]); // disjoint: inserting it evicts `first`
+        cache.request(&first);
+        assert!(
+            cache.peek_any_superset(&first),
+            "freshly inserted spec must peek as possible"
+        );
+        cache.request(&second);
+        cache.check_invariants();
+        assert_eq!(
+            cache.stats().deletes,
+            1,
+            "test premise: the second insert must evict the first image"
+        );
+        assert_eq!(
+            cache.with_shard(0, |c| c.find_satisfying(&first).map(|h| h.id)),
+            None
+        );
+        assert!(
+            !cache.peek_any_superset(&first),
+            "evicted spec still peeks as possible: stale bloom bits were never cleared"
+        );
+        let summary = &cache.inner.shards[0].summary;
+        assert!(!summary.may_contain_superset(&first));
+        assert!(!summary.may_contain_superset_precise(&first));
+        assert!(
+            summary.may_contain_superset_precise(&second),
+            "the live image must stay visible after the rebuild"
+        );
+        assert_eq!(cache.bloom_stale_rebuilds(), 1);
+    }
+
+    #[test]
+    fn single_flight_leader_serves_and_solo_requests_never_coalesce() {
+        let cache = sharded(4, 0.7, 600);
+        let plain = sharded(4, 0.7, 600);
+        for s in stream(300) {
+            let (outcome, coalesced) = cache.request_single_flight(&s);
+            assert!(!coalesced, "a lone thread can never coalesce");
+            assert_eq!(outcome, plain.request(&s));
+        }
+        assert_eq!(cache.stats(), plain.stats());
+        assert_eq!(cache.coalesce_hits(), 0);
+        for shard in cache.inner.shards.iter() {
+            assert_eq!(shard.flights.inflight_len(), 0, "flights must drain");
+        }
+        cache.check_invariants();
+    }
+
+    #[test]
+    fn concurrent_identical_specs_coalesce_under_single_flight() {
+        use landlord_obs::LogicalClock;
+
+        const THREADS: u32 = 8;
+        const ROUNDS: u32 = 200;
+        let cache = sharded(4, 0.7, 10_000);
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        cache.attach_metrics(&registry);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS as usize));
+        let mut handles = Vec::new();
+        for _ in 0..THREADS {
+            let cache = cache.clone();
+            let barrier = Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..ROUNDS {
+                    // Every thread asks for the same hot spec at the
+                    // same moment: at most one leader per round per
+                    // shard, everyone else coalesces or hits.
+                    barrier.wait();
+                    let base = (i % 10) * 4;
+                    let s = Spec::from_ids([base, base + 1, base + 2].map(PackageId));
+                    cache.request_single_flight(&s);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("submitter panicked");
+        }
+        let stats = cache.stats();
+        let coalesced = cache.coalesce_hits();
+        assert_eq!(
+            stats.requests + coalesced,
+            u64::from(THREADS * ROUNDS),
+            "every request is either served by the cache or coalesced"
+        );
+        assert_eq!(
+            registry
+                .snapshot()
+                .counters
+                .get(names::SHARD_FLIGHT_COALESCED)
+                .copied()
+                .unwrap_or(0),
+            coalesced,
+            "metric and internal counter must agree"
+        );
+        cache.check_invariants();
     }
 
     #[test]

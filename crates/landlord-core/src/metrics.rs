@@ -191,6 +191,40 @@ mod tests {
         }
     }
 
+    /// The serve mode folds per-thread accumulators where most shards
+    /// served nothing: chains of empty merges must stay the identity
+    /// and never manufacture a NaN (0-sample means divide by zero if
+    /// unguarded).
+    #[test]
+    fn empty_shard_folds_are_nan_free_identities() {
+        let mut acc = ContainerEfficiency::new();
+        for _ in 0..16 {
+            acc.merge(&ContainerEfficiency::new());
+        }
+        assert_eq!(acc.samples(), 0);
+        assert_eq!(acc.mean_pct(), 100.0);
+        assert!(acc.mean_pct().is_finite());
+
+        // One busy shard folded with many idle ones: the idle shards
+        // must not perturb the mean at all (identity, bit-exact).
+        let mut busy = ContainerEfficiency::new();
+        busy.record(50, 100);
+        busy.record(100, 100);
+        let before = busy.mean_pct().to_bits();
+        for _ in 0..16 {
+            busy.merge(&ContainerEfficiency::new());
+        }
+        assert_eq!(busy.samples(), 2);
+        assert_eq!(busy.mean_pct().to_bits(), before);
+
+        // Folding the busy accumulator *into* an empty one is the same
+        // as the other direction.
+        let mut other_way = ContainerEfficiency::new();
+        other_way.merge(&busy);
+        assert_eq!(other_way.mean_pct().to_bits(), before);
+        assert_eq!(other_way.clamped_samples(), busy.clamped_samples());
+    }
+
     #[test]
     fn no_merging_means_perfect_container_efficiency() {
         // Paper: "In the absence of merging, these two are equal so the

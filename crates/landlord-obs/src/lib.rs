@@ -33,6 +33,9 @@ pub mod span;
 
 pub use clock::{Clock, LogicalClock, MonotonicClock};
 pub use journal::{Journal, JournalEntry};
-pub use registry::{bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, MetricsRegistry};
+pub use registry::{
+    bucket_index, bucket_upper_bound, quantile_upper_bound, Counter, Gauge, Histogram,
+    MetricsRegistry,
+};
 pub use snapshot::{HistogramSnapshot, MetricsSnapshot, METRICS_SCHEMA};
 pub use span::SpanGuard;

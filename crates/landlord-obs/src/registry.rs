@@ -57,8 +57,11 @@ pub fn bucket_upper_bound(index: usize) -> u64 {
 
 /// Upper bound of the bucket containing the `numer/denom` quantile
 /// (rank = ceil(count · numer / denom)), or 0 for an empty
-/// distribution. Shared by live histograms and snapshots so both agree.
-pub(crate) fn quantile_upper_bound(buckets: &[u64], count: u64, numer: u64, denom: u64) -> u64 {
+/// distribution. Shared by live histograms and snapshots so both
+/// agree; public so downstream consumers (the serve bench's latency
+/// export) can derive the same deterministic quantiles from raw
+/// buckets.
+pub fn quantile_upper_bound(buckets: &[u64], count: u64, numer: u64, denom: u64) -> u64 {
     if count == 0 {
         return 0;
     }

@@ -76,6 +76,14 @@ impl HistogramSnapshot {
         self.p50 = quantile_upper_bound(&self.buckets, self.count, 50, 100);
         self.p99 = quantile_upper_bound(&self.buckets, self.count, 99, 100);
     }
+
+    /// Upper bound of the bucket holding the `numer/denom` quantile of
+    /// this snapshot (0 when empty) — the same deterministic estimator
+    /// behind the stored `p50`/`p99`, for consumers that need other
+    /// points of the distribution (e.g. a serve bench exporting p90).
+    pub fn quantile(&self, numer: u64, denom: u64) -> u64 {
+        quantile_upper_bound(&self.buckets, self.count, numer, denom)
+    }
 }
 
 /// A schema-versioned, deterministically ordered freeze of a
@@ -187,6 +195,20 @@ mod tests {
         let mut right = snap.clone();
         right.merge(&MetricsSnapshot::empty());
         assert_eq!(right, snap);
+    }
+
+    #[test]
+    fn quantile_accessor_agrees_with_stored_points() {
+        let reg = registry();
+        for v in [1u64, 2, 4, 100, 10_000, 1_000_000] {
+            reg.histogram("h").record(v);
+        }
+        let snap = reg.snapshot();
+        let h = &snap.histograms["h"];
+        assert_eq!(h.quantile(50, 100), h.p50);
+        assert_eq!(h.quantile(99, 100), h.p99);
+        assert_eq!(h.quantile(100, 100), h.max.next_power_of_two() - 1);
+        assert_eq!(HistogramSnapshot::empty().quantile(50, 100), 0);
     }
 
     #[test]

@@ -31,6 +31,10 @@
 //! * [`sharded`] — multi-threaded replay against the sharded cache
 //!   frontend: shard-affine workers, per-shard stream order, folded
 //!   counters identical to a single-threaded partitioned replay.
+//! * [`serve`] — open-loop server mode: seeded Poisson/uniform arrivals
+//!   over Zipf-skewed specs, single-flight coalescing onto in-flight
+//!   builds, bounded-queue backpressure, per-request latency — all in
+//!   deterministic virtual time.
 //! * [`experiments`] — one module per paper table/figure; the CLI and
 //!   benches call these.
 
@@ -61,6 +65,7 @@ pub mod cluster;
 pub mod experiments;
 pub mod faults;
 pub mod report;
+pub mod serve;
 pub mod sharded;
 pub mod simulator;
 pub mod sweep;
@@ -68,6 +73,10 @@ pub mod trace;
 pub mod workload;
 
 pub use report::Table;
+pub use serve::{
+    generate_requests, serve_stream, ArrivalModel, Backpressure, ServeConfig, ServeOptions,
+    ServeReport, ServeRequest, ServeResult,
+};
 pub use simulator::{simulate, RunResult, SeriesPoint};
 pub use sweep::{sweep_alpha, AggregatedRun, SweepPoint};
 pub use workload::{WorkloadConfig, WorkloadScheme};

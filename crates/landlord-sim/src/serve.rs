@@ -1,0 +1,961 @@
+//! Open-loop serve-mode driver: seeded arrivals against the sharded
+//! cache, with single-flight coalescing and bounded-queue backpressure
+//! modeled in **virtual time**.
+//!
+//! The paper's deployment (§V) is a long-running service: submitters
+//! fire job specs at the cache continuously, they do not wait for the
+//! previous job to finish before submitting the next (an *open-loop*
+//! load model). This module simulates that regime deterministically:
+//!
+//! * [`generate_requests`] stamps a Zipf-skewed spec stream with seeded
+//!   Poisson (or uniform) interarrival ticks — integer virtual time,
+//!   no wall clock anywhere.
+//! * [`serve_stream`] replays the timed stream shard-affine (the same
+//!   `shard % threads` ownership as [`crate::sharded::replay_sharded`]),
+//!   so every per-shard decision depends only on that shard's arrival
+//!   subsequence and the folded results are **independent of the thread
+//!   count** — the serve determinism contract.
+//!
+//! Each shard runs a one-server queueing machine: one build in flight,
+//! a bounded FIFO admission queue behind it. An arrival whose spec is a
+//! subset of the in-flight build's spec *coalesces*: it rides the
+//! existing build and wakes when it completes (the virtual-time mirror
+//! of [`landlord_core::cache::SingleFlight`], which the CLI's
+//! wall-clock bench exercises for real). A full queue applies
+//! backpressure: [`Backpressure::Reject`] drops the request with a
+//! retry-after hint, [`Backpressure::Block`] admits it anyway and
+//! counts the overflow.
+
+use crate::simulator::milli_pct;
+use crate::workload::{self, WorkloadConfig};
+use landlord_core::cache::{CacheConfig, CacheStats, Outcome, ShardedImageCache};
+use landlord_core::sizes::SizeModel;
+use landlord_core::spec::Spec;
+use landlord_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
+use landlord_repo::Repository;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Metric names the serve driver records (when given a registry).
+pub mod names {
+    /// Histogram: request latency in virtual ticks, arrival → build
+    /// completion (coalesced waiters record their residual wait).
+    pub const SERVE_LATENCY_TICKS: &str = "serve.latency_ticks";
+    /// Histogram: suggested retry-after ticks handed to rejected
+    /// requests (residual service time of the in-flight build).
+    pub const SERVE_RETRY_AFTER_TICKS: &str = "serve.retry_after_ticks";
+    /// Counter: requests that coalesced onto an in-flight build.
+    pub const SERVE_COALESCE_HITS: &str = "serve.coalesce_hits";
+    /// Counter: requests rejected by backpressure.
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Counter: admissions past the cap under [`super::Backpressure::Block`].
+    pub const SERVE_BLOCK_EVENTS: &str = "serve.block_events";
+    /// Gauge (high-water): deepest admission queue observed on any shard.
+    pub const SERVE_QUEUE_PEAK_DEPTH: &str = "serve.queue_peak_depth";
+}
+
+/// Interarrival model for the open-loop generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ArrivalModel {
+    /// Exponential gaps (Poisson process), the classic open-loop model.
+    #[default]
+    Poisson,
+    /// Uniform gaps in `1..=2·mean−1` (same mean, bounded burstiness).
+    Uniform,
+}
+
+impl ArrivalModel {
+    /// Valid CLI tokens, for error messages.
+    pub const TOKENS: &'static str = "poisson|uniform";
+
+    /// Stable token for CLI parsing.
+    pub fn token(self) -> &'static str {
+        match self {
+            ArrivalModel::Poisson => "poisson",
+            ArrivalModel::Uniform => "uniform",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "poisson" => ArrivalModel::Poisson,
+            "uniform" => ArrivalModel::Uniform,
+            _ => return None,
+        })
+    }
+}
+
+/// What happens to an arrival that finds the admission queue full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Backpressure {
+    /// Admit past the cap anyway, counting the overflow — models a
+    /// submitter that waits however long it takes.
+    #[default]
+    Block,
+    /// Drop the request and hand back a retry-after hint (the residual
+    /// service ticks of the build in flight).
+    Reject,
+}
+
+impl Backpressure {
+    /// Valid CLI tokens, for error messages.
+    pub const TOKENS: &'static str = "block|reject";
+
+    /// Stable token for CLI parsing.
+    pub fn token(self) -> &'static str {
+        match self {
+            Backpressure::Block => "block",
+            Backpressure::Reject => "reject",
+        }
+    }
+
+    /// Parse a CLI token.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "block" => Backpressure::Block,
+            "reject" => Backpressure::Reject,
+            _ => return None,
+        })
+    }
+}
+
+/// Parameters of a timed serve workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Spec population (unique jobs, repeats, seed, …).
+    pub workload: WorkloadConfig,
+    /// Popularity skew of the spec stream (0 = uniform); see
+    /// [`workload::generate_zipf_stream`].
+    pub zipf_exponent: f64,
+    /// Interarrival model.
+    pub arrival: ArrivalModel,
+    /// Mean interarrival gap in virtual ticks (min 1).
+    pub mean_interarrival_ticks: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workload: WorkloadConfig::default(),
+            zipf_exponent: 1.2,
+            arrival: ArrivalModel::Poisson,
+            mean_interarrival_ticks: 4,
+        }
+    }
+}
+
+/// One timed request: a spec and its arrival tick.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Requested package set.
+    pub spec: Spec,
+    /// Virtual arrival time (strictly increasing across the stream).
+    pub arrival: u64,
+}
+
+/// Salt for the arrival-gap RNG stream, kept independent of the spec
+/// RNG streams so the same seed yields the same spec *population* under
+/// every arrival model.
+const ARRIVAL_SALT: u64 = 0x7a11_ae5c;
+
+/// Generate the timed request stream: Zipf-skewed specs (via
+/// [`workload::generate_zipf_stream`]) stamped with seeded arrival
+/// ticks. Gaps are at least 1 tick, so arrivals are strictly
+/// increasing. Deterministic in the config.
+pub fn generate_requests(repo: &Repository, config: &ServeConfig) -> Vec<ServeRequest> {
+    let specs = workload::generate_zipf_stream(repo, &config.workload, config.zipf_exponent);
+    let mean = config.mean_interarrival_ticks.max(1);
+    let mut rng = StdRng::seed_from_u64(config.workload.seed ^ ARRIVAL_SALT);
+    let mut now = 0u64;
+    specs
+        .into_iter()
+        .map(|spec| {
+            let gap = match config.arrival {
+                ArrivalModel::Poisson => {
+                    // Inverse-CDF exponential draw on integer ticks;
+                    // u < 1 strictly, so ln(1-u) is finite.
+                    let u: f64 = rng.gen_range(0.0..1.0);
+                    let ticks = (-(1.0 - u).ln() * mean as f64).round();
+                    (ticks as u64).max(1)
+                }
+                ArrivalModel::Uniform => {
+                    if mean <= 1 {
+                        1
+                    } else {
+                        rng.gen_range(1..=2 * mean - 1)
+                    }
+                }
+            };
+            now = now.saturating_add(gap);
+            ServeRequest { spec, arrival: now }
+        })
+        .collect()
+}
+
+/// Knobs of the serve loop itself (the workload is [`ServeConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Coalesce arrivals whose spec is a subset of the in-flight
+    /// build's spec. Off = every arrival queues individually.
+    pub coalesce: bool,
+    /// Full-queue policy.
+    pub backpressure: Backpressure,
+    /// Admission queue capacity per shard.
+    pub queue_cap: usize,
+    /// Build throughput: a miss serving `b` bytes occupies the shard
+    /// for `1 + b / bytes_per_tick` ticks (hits take 1 tick). 0 makes
+    /// every request a 1-tick operation.
+    pub bytes_per_tick: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            coalesce: true,
+            backpressure: Backpressure::Block,
+            queue_cap: 32,
+            bytes_per_tick: 64,
+        }
+    }
+}
+
+/// One coalescing event: request `request` (stream index) attached to a
+/// build in flight on `shard` and woke at `wake`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoalesceRecord {
+    /// Owning shard.
+    pub shard: u32,
+    /// Stream index of the coalesced request.
+    pub request: u64,
+    /// Arrival tick.
+    pub arrival: u64,
+    /// Completion tick of the build it rode.
+    pub wake: u64,
+}
+
+/// FNV-1a over the ledger's fields — a compact fingerprint for the
+/// byte-determinism contract (equal ledgers ⇔ equal digests, up to
+/// collisions; the tests compare full ledgers, benches the digest).
+pub fn coalesce_ledger_digest(ledger: &[CoalesceRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for rec in ledger {
+        for field in [u64::from(rec.shard), rec.request, rec.arrival, rec.wake] {
+            for b in field.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        }
+    }
+    h
+}
+
+/// Folded outcome of one serve run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Requests in the input stream.
+    pub arrivals: u64,
+    /// Requests that went through the cache (leaders + queued).
+    pub served: u64,
+    /// Requests that rode an in-flight build instead.
+    pub coalesce_hits: u64,
+    /// Requests dropped by backpressure.
+    pub rejected: u64,
+    /// Over-cap admissions under [`Backpressure::Block`].
+    pub block_events: u64,
+    /// Deepest admission queue observed on any shard.
+    pub queue_peak: u64,
+    /// Latency (ticks, arrival → completion) of served + coalesced
+    /// requests.
+    pub latency_ticks: HistogramSnapshot,
+    /// Retry-after hints (ticks) handed to rejected requests.
+    pub retry_after_ticks: HistogramSnapshot,
+    /// Folded cache counters (rejected requests never reach the cache,
+    /// so `final_stats.requests == served`).
+    pub final_stats: CacheStats,
+    /// Mean container efficiency, milli-percent.
+    pub container_eff_milli_pct: u64,
+    /// Final cache efficiency, milli-percent.
+    pub cache_eff_milli_pct: u64,
+    /// [`coalesce_ledger_digest`] of the run's ledger.
+    pub coalesce_ledger_digest: u64,
+}
+
+/// A [`ServeReport`] plus the full coalesce ledger it digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeResult {
+    /// Folded counters and distributions.
+    pub report: ServeReport,
+    /// Every coalescing event, in shard order then arrival order.
+    pub ledger: Vec<CoalesceRecord>,
+}
+
+/// Build service time in virtual ticks.
+fn service_ticks(outcome: Outcome, bytes_per_tick: u64) -> u64 {
+    match outcome {
+        Outcome::Hit { .. } => 1,
+        Outcome::Merged { image_bytes, .. } | Outcome::Inserted { image_bytes, .. } => {
+            1 + image_bytes.checked_div(bytes_per_tick).unwrap_or(0)
+        }
+    }
+}
+
+/// A build occupying a shard: what it's building and when it finishes.
+struct InFlight {
+    spec: Spec,
+    done_at: u64,
+}
+
+/// Per-shard tallies carried back to the fold.
+struct ShardOutcome {
+    served: u64,
+    coalesce_hits: u64,
+    rejected: u64,
+    block_events: u64,
+    queue_peak: u64,
+    latency: Histogram,
+    retry_after: Histogram,
+    ledger: Vec<CoalesceRecord>,
+}
+
+impl ShardOutcome {
+    fn new() -> Self {
+        ShardOutcome {
+            served: 0,
+            coalesce_hits: 0,
+            rejected: 0,
+            block_events: 0,
+            queue_peak: 0,
+            latency: Histogram::new(),
+            retry_after: Histogram::new(),
+            ledger: Vec::new(),
+        }
+    }
+}
+
+/// One shard's single-server queueing machine, advanced in virtual
+/// time by its arrival subsequence.
+struct Machine<'a> {
+    cache: &'a ShardedImageCache,
+    requests: &'a [ServeRequest],
+    opts: &'a ServeOptions,
+    shard: u32,
+    inflight: Option<InFlight>,
+    queue: VecDeque<usize>,
+    out: ShardOutcome,
+}
+
+impl Machine<'_> {
+    /// Start building request `i` at tick `at` (the shard is idle).
+    fn start(&mut self, i: usize, at: u64) {
+        let req = &self.requests[i];
+        let outcome = self.cache.request(&req.spec);
+        let done_at = at.saturating_add(service_ticks(outcome, self.opts.bytes_per_tick));
+        self.out.served += 1;
+        self.out.latency.record(done_at - req.arrival);
+        self.inflight = Some(InFlight {
+            spec: req.spec.clone(),
+            done_at,
+        });
+    }
+
+    /// Retire every build that completes by tick `t`, immediately
+    /// starting the next queued request at the tick the shard freed.
+    fn advance_to(&mut self, t: u64) {
+        loop {
+            let done_at = match &self.inflight {
+                Some(inf) if inf.done_at <= t => inf.done_at,
+                _ => break,
+            };
+            self.inflight = None;
+            match self.queue.pop_front() {
+                Some(next) => self.start(next, done_at),
+                None => break,
+            }
+        }
+    }
+
+    /// Process the arrival of request `i`.
+    fn admit(&mut self, i: usize) {
+        let arrival = self.requests[i].arrival;
+        self.advance_to(arrival);
+        let inf = match &self.inflight {
+            None => {
+                self.start(i, arrival);
+                return;
+            }
+            Some(inf) => inf,
+        };
+        // advance_to retired everything with done_at <= arrival, so the
+        // residual wait below is always >= 1 tick.
+        if self.opts.coalesce && self.requests[i].spec.is_subset(&inf.spec) {
+            self.out.coalesce_hits += 1;
+            self.out.latency.record(inf.done_at - arrival);
+            self.out.ledger.push(CoalesceRecord {
+                shard: self.shard,
+                request: i as u64,
+                arrival,
+                wake: inf.done_at,
+            });
+        } else if self.queue.len() < self.opts.queue_cap {
+            self.queue.push_back(i);
+            self.out.queue_peak = self.out.queue_peak.max(self.queue.len() as u64);
+        } else {
+            match self.opts.backpressure {
+                Backpressure::Reject => {
+                    self.out.rejected += 1;
+                    self.out.retry_after.record(inf.done_at - arrival);
+                }
+                Backpressure::Block => {
+                    self.out.block_events += 1;
+                    self.queue.push_back(i);
+                    self.out.queue_peak = self.out.queue_peak.max(self.queue.len() as u64);
+                }
+            }
+        }
+    }
+
+    /// Finish everything still in flight or queued.
+    fn drain(mut self) -> ShardOutcome {
+        self.advance_to(u64::MAX);
+        self.out
+    }
+}
+
+/// Serve one shard's arrival subsequence to completion.
+fn serve_shard(
+    cache: &ShardedImageCache,
+    requests: &[ServeRequest],
+    shard: usize,
+    owned: &[usize],
+    opts: &ServeOptions,
+) -> ShardOutcome {
+    let mut machine = Machine {
+        cache,
+        requests,
+        opts,
+        shard: shard as u32,
+        inflight: None,
+        queue: VecDeque::new(),
+        out: ShardOutcome::new(),
+    };
+    for &i in owned {
+        machine.admit(i);
+    }
+    machine.drain()
+}
+
+/// Serve a timed request stream against a fresh [`ShardedImageCache`]
+/// with `threads` workers. Deterministic in the stream, config, and
+/// options regardless of `threads` (see the module docs); with
+/// coalescing off, a single-threaded [`Backpressure::Block`] run feeds
+/// the cache exactly the per-shard subsequences of
+/// [`crate::sharded::replay_sharded`], which the differential test
+/// pins down.
+pub fn serve_stream(
+    requests: &[ServeRequest],
+    cache_config: CacheConfig,
+    sizes: Arc<dyn SizeModel>,
+    shards: usize,
+    threads: usize,
+    options: ServeOptions,
+    registry: Option<&MetricsRegistry>,
+) -> ServeResult {
+    let cache = ShardedImageCache::new(shards.max(1), cache_config, sizes);
+    if let Some(registry) = registry {
+        cache.attach_metrics(registry);
+    }
+    let shard_count = cache.shard_count();
+    let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (i, req) in requests.iter().enumerate() {
+        by_shard[cache.route(&req.spec)].push(i);
+    }
+    let threads = threads.max(1).min(shard_count);
+
+    let collected: Mutex<Vec<(usize, ShardOutcome)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for worker in 0..threads {
+            let by_shard = &by_shard;
+            let cache = cache.clone();
+            let collected = &collected;
+            let options = &options;
+            scope.spawn(move || {
+                for (shard, owned) in by_shard.iter().enumerate() {
+                    if shard % threads != worker {
+                        continue;
+                    }
+                    let out = serve_shard(&cache, requests, shard, owned, options);
+                    collected.lock().push((shard, out));
+                }
+            });
+        }
+    });
+    let mut outcomes = collected.into_inner();
+    // Fold in shard order: every sum below is associative and the
+    // per-shard values are thread-count independent, so the fold is too.
+    outcomes.sort_by_key(|(shard, _)| *shard);
+
+    let latency = Histogram::new();
+    let retry_after = Histogram::new();
+    let mut ledger = Vec::new();
+    let mut served = 0u64;
+    let mut coalesce_hits = 0u64;
+    let mut rejected = 0u64;
+    let mut block_events = 0u64;
+    let mut queue_peak = 0u64;
+    for (_, out) in &outcomes {
+        served = served.saturating_add(out.served);
+        coalesce_hits = coalesce_hits.saturating_add(out.coalesce_hits);
+        rejected = rejected.saturating_add(out.rejected);
+        block_events = block_events.saturating_add(out.block_events);
+        queue_peak = queue_peak.max(out.queue_peak);
+        latency.merge(&out.latency);
+        retry_after.merge(&out.retry_after);
+    }
+    for (_, out) in outcomes {
+        ledger.extend(out.ledger);
+    }
+
+    if let Some(registry) = registry {
+        registry
+            .counter(names::SERVE_COALESCE_HITS)
+            .add(coalesce_hits);
+        registry.counter(names::SERVE_REJECTED).add(rejected);
+        registry
+            .counter(names::SERVE_BLOCK_EVENTS)
+            .add(block_events);
+        registry
+            .gauge(names::SERVE_QUEUE_PEAK_DEPTH)
+            .raise(queue_peak);
+        registry
+            .histogram(names::SERVE_LATENCY_TICKS)
+            .merge(&latency);
+        registry
+            .histogram(names::SERVE_RETRY_AFTER_TICKS)
+            .merge(&retry_after);
+    }
+
+    let report = ServeReport {
+        arrivals: requests.len() as u64,
+        served,
+        coalesce_hits,
+        rejected,
+        block_events,
+        queue_peak,
+        latency_ticks: latency.snapshot(),
+        retry_after_ticks: retry_after.snapshot(),
+        final_stats: cache.stats(),
+        container_eff_milli_pct: milli_pct(cache.container_efficiency_pct()),
+        cache_eff_milli_pct: milli_pct(cache.cache_efficiency_pct()),
+        coalesce_ledger_digest: coalesce_ledger_digest(&ledger),
+    };
+    ServeResult { report, ledger }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sharded::simulate_stream_sharded_observed;
+    use landlord_obs::LogicalClock;
+    use landlord_repo::{RepoConfig, Repository};
+
+    fn repo() -> Repository {
+        Repository::generate(&RepoConfig::small_for_tests(31))
+    }
+
+    fn serve_config(seed: u64) -> ServeConfig {
+        ServeConfig {
+            workload: WorkloadConfig {
+                unique_jobs: 40,
+                repeats: 4,
+                max_initial_selection: 8,
+                scheme: workload::WorkloadScheme::DependencyClosure,
+                seed,
+            },
+            zipf_exponent: 1.3,
+            arrival: ArrivalModel::Poisson,
+            mean_interarrival_ticks: 2,
+        }
+    }
+
+    /// Slow builds + fast arrivals: shards stay busy, so the Zipf-hot
+    /// specs coalesce.
+    fn busy_options() -> ServeOptions {
+        ServeOptions {
+            coalesce: true,
+            backpressure: Backpressure::Block,
+            queue_cap: 32,
+            bytes_per_tick: 8,
+        }
+    }
+
+    fn cfg(limit: u64) -> CacheConfig {
+        CacheConfig {
+            alpha: 0.7,
+            limit_bytes: limit,
+            ..CacheConfig::default()
+        }
+    }
+
+    #[test]
+    fn arrival_ticks_are_strictly_increasing_and_deterministic() {
+        let r = repo();
+        for arrival in [ArrivalModel::Poisson, ArrivalModel::Uniform] {
+            let config = ServeConfig {
+                arrival,
+                ..serve_config(9)
+            };
+            let a = generate_requests(&r, &config);
+            let b = generate_requests(&r, &config);
+            assert_eq!(a, b, "{arrival:?}: same seed must stamp same ticks");
+            assert!(!a.is_empty());
+            assert!(a[0].arrival >= 1);
+            for w in a.windows(2) {
+                assert!(
+                    w[1].arrival > w[0].arrival,
+                    "{arrival:?}: arrivals must be strictly increasing"
+                );
+            }
+        }
+        // Uniform gaps stay within 1..=2·mean−1.
+        let config = ServeConfig {
+            arrival: ArrivalModel::Uniform,
+            mean_interarrival_ticks: 5,
+            ..serve_config(9)
+        };
+        let reqs = generate_requests(&r, &config);
+        for w in reqs.windows(2) {
+            let gap = w[1].arrival - w[0].arrival;
+            assert!((1..=9).contains(&gap), "uniform gap {gap} out of range");
+        }
+    }
+
+    #[test]
+    fn cli_tokens_round_trip() {
+        for m in [ArrivalModel::Poisson, ArrivalModel::Uniform] {
+            assert_eq!(ArrivalModel::parse(m.token()), Some(m));
+            assert!(ArrivalModel::TOKENS.contains(m.token()));
+        }
+        for b in [Backpressure::Block, Backpressure::Reject] {
+            assert_eq!(Backpressure::parse(b.token()), Some(b));
+            assert!(Backpressure::TOKENS.contains(b.token()));
+        }
+        assert_eq!(ArrivalModel::parse("exponential"), None);
+        assert_eq!(Backpressure::parse("drop"), None);
+    }
+
+    #[test]
+    fn empty_stream_is_a_defined_no_op() {
+        let r = repo();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let result = serve_stream(
+            &[],
+            cfg(u64::MAX),
+            sizes,
+            4,
+            2,
+            ServeOptions::default(),
+            None,
+        );
+        assert_eq!(result.report.arrivals, 0);
+        assert_eq!(result.report.served, 0);
+        assert_eq!(result.report.final_stats, CacheStats::default());
+        assert_eq!(result.report.latency_ticks, HistogramSnapshot::empty());
+        assert!(result.ledger.is_empty());
+        // 100% efficiencies, not NaN artifacts (satellite: degenerate folds).
+        assert_eq!(result.report.container_eff_milli_pct, 100_000);
+        assert_eq!(result.report.cache_eff_milli_pct, 100_000);
+    }
+
+    /// The serve determinism contract: at a fixed seed, the folded
+    /// report — counters, histograms, ledger — is byte-identical across
+    /// runs and independent of the thread count.
+    #[test]
+    fn report_is_thread_count_invariant_and_byte_stable() {
+        let r = repo();
+        let requests = generate_requests(&r, &serve_config(7));
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let config = cfg(r.total_bytes() / 2);
+
+        let run = |threads: usize| {
+            serve_stream(
+                &requests,
+                config,
+                Arc::clone(&sizes),
+                8,
+                threads,
+                busy_options(),
+                None,
+            )
+        };
+        let baseline = run(1);
+        let baseline_json = serde_json::to_string(&baseline.report).unwrap_or_default();
+        assert!(!baseline_json.is_empty());
+        for threads in [1, 2, 4, 8] {
+            let again = run(threads);
+            assert_eq!(
+                again.report, baseline.report,
+                "{threads} threads diverged from the single-threaded run"
+            );
+            assert_eq!(again.ledger, baseline.ledger);
+            assert_eq!(
+                serde_json::to_string(&again.report).unwrap_or_default(),
+                baseline_json,
+                "{threads} threads: report JSON must be byte-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_load_coalesces_and_disabling_coalescing_stops_it() {
+        let r = repo();
+        let requests = generate_requests(&r, &serve_config(7));
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let config = cfg(r.total_bytes() / 2);
+
+        let on = serve_stream(
+            &requests,
+            config,
+            Arc::clone(&sizes),
+            4,
+            4,
+            busy_options(),
+            None,
+        );
+        assert!(
+            on.report.coalesce_hits > 0,
+            "hot Zipf specs should coalesce under load"
+        );
+        assert_eq!(on.report.coalesce_hits as usize, on.ledger.len());
+        assert_eq!(
+            on.report.coalesce_ledger_digest,
+            coalesce_ledger_digest(&on.ledger)
+        );
+        for rec in &on.ledger {
+            assert!(rec.wake > rec.arrival, "coalesced wait must be >= 1 tick");
+        }
+        // Coalesced requests never touch the cache; everything else does.
+        assert_eq!(
+            on.report.served + on.report.coalesce_hits,
+            on.report.arrivals
+        );
+        assert_eq!(on.report.final_stats.requests, on.report.served);
+
+        let off = serve_stream(
+            &requests,
+            config,
+            Arc::clone(&sizes),
+            4,
+            4,
+            ServeOptions {
+                coalesce: false,
+                ..busy_options()
+            },
+            None,
+        );
+        assert_eq!(off.report.coalesce_hits, 0);
+        assert!(off.ledger.is_empty());
+        assert_eq!(off.report.served, off.report.arrivals);
+    }
+
+    #[test]
+    fn backpressure_accounting_is_conserved() {
+        let r = repo();
+        let requests = generate_requests(&r, &serve_config(3));
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let config = cfg(r.total_bytes() / 2);
+
+        // Zero queue capacity + Reject: every busy non-coalescible
+        // arrival is dropped with a retry-after hint.
+        let reject = serve_stream(
+            &requests,
+            config,
+            Arc::clone(&sizes),
+            4,
+            2,
+            ServeOptions {
+                queue_cap: 0,
+                backpressure: Backpressure::Reject,
+                ..busy_options()
+            },
+            None,
+        );
+        let rep = &reject.report;
+        assert!(rep.rejected > 0, "queue_cap 0 under load must reject");
+        assert_eq!(rep.block_events, 0);
+        assert_eq!(rep.queue_peak, 0);
+        assert_eq!(rep.served + rep.coalesce_hits + rep.rejected, rep.arrivals);
+        assert_eq!(rep.final_stats.requests, rep.served);
+        assert_eq!(rep.retry_after_ticks.count, rep.rejected);
+        assert!(rep.retry_after_ticks.min >= 1, "retry-after hints are >= 1");
+
+        // Same load under Block: nothing is dropped, overflow is counted.
+        let block = serve_stream(
+            &requests,
+            config,
+            Arc::clone(&sizes),
+            4,
+            2,
+            ServeOptions {
+                queue_cap: 0,
+                backpressure: Backpressure::Block,
+                ..busy_options()
+            },
+            None,
+        );
+        let rep = &block.report;
+        assert_eq!(rep.rejected, 0);
+        assert!(rep.block_events > 0, "queue_cap 0 under load must overflow");
+        assert_eq!(rep.served + rep.coalesce_hits, rep.arrivals);
+        assert_eq!(rep.retry_after_ticks, HistogramSnapshot::empty());
+    }
+
+    /// Satellite: the differential contract. With coalescing off and
+    /// blocking admission, serve feeds every shard exactly the
+    /// subsequence — in exactly the order — that `replay_sharded`
+    /// feeds it, so the cache-side results replay byte-for-byte,
+    /// including the deterministic `core.*` metrics.
+    #[test]
+    fn no_coalesce_serve_replays_simulate_byte_for_byte() {
+        let r = repo();
+        let config = serve_config(5);
+        let requests = generate_requests(&r, &config);
+        let specs: Vec<Spec> = requests.iter().map(|req| req.spec.clone()).collect();
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let cache_config = cfg(r.total_bytes() / 3);
+
+        let serve_reg = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        let served = serve_stream(
+            &requests,
+            cache_config,
+            Arc::clone(&sizes),
+            8,
+            1,
+            ServeOptions {
+                coalesce: false,
+                backpressure: Backpressure::Block,
+                ..ServeOptions::default()
+            },
+            Some(&serve_reg),
+        );
+
+        let sim_reg = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        let simulated = simulate_stream_sharded_observed(
+            &specs,
+            cache_config,
+            Arc::clone(&sizes),
+            8,
+            1,
+            Some(&sim_reg),
+        );
+
+        assert_eq!(served.report.final_stats, simulated.final_stats);
+        assert_eq!(
+            served.report.container_eff_milli_pct,
+            milli_pct(simulated.container_eff_pct)
+        );
+        assert_eq!(
+            served.report.cache_eff_milli_pct,
+            milli_pct(simulated.cache_eff_pct)
+        );
+
+        // The deterministic core.* metrics must agree exactly. (The
+        // sharded.* lock histograms legitimately differ: replay batches
+        // requests per lock acquisition, serve locks per request.)
+        let serve_snap = serve_reg.snapshot();
+        let sim_snap = sim_reg.snapshot();
+        let core_counters = |snap: &landlord_obs::MetricsSnapshot| {
+            snap.counters
+                .iter()
+                .filter(|(name, _)| name.starts_with("core."))
+                .map(|(name, v)| (name.clone(), *v))
+                .collect::<Vec<_>>()
+        };
+        let core_histograms = |snap: &landlord_obs::MetricsSnapshot| {
+            snap.histograms
+                .iter()
+                .filter(|(name, _)| name.starts_with("core."))
+                .map(|(name, h)| (name.clone(), h.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(core_counters(&serve_snap), core_counters(&sim_snap));
+        assert_eq!(core_histograms(&serve_snap), core_histograms(&sim_snap));
+        assert!(
+            !core_counters(&serve_snap).is_empty(),
+            "differential test compared nothing"
+        );
+    }
+
+    /// The serve.* metrics recorded into a shared registry agree with
+    /// the report's own folds.
+    #[test]
+    fn registry_records_match_the_report() {
+        let r = repo();
+        let requests = generate_requests(&r, &serve_config(7));
+        let sizes: Arc<dyn SizeModel> = Arc::new(r.size_table());
+        let registry = MetricsRegistry::new(Arc::new(LogicalClock::new()));
+        let result = serve_stream(
+            &requests,
+            cfg(r.total_bytes() / 2),
+            sizes,
+            4,
+            4,
+            ServeOptions {
+                queue_cap: 1,
+                backpressure: Backpressure::Reject,
+                ..busy_options()
+            },
+            Some(&registry),
+        );
+        let snap = registry.snapshot();
+        let rep = &result.report;
+        assert_eq!(
+            snap.counters.get(names::SERVE_COALESCE_HITS),
+            Some(&rep.coalesce_hits)
+        );
+        assert_eq!(
+            snap.counters.get(names::SERVE_REJECTED),
+            Some(&rep.rejected)
+        );
+        assert_eq!(
+            snap.counters.get(names::SERVE_BLOCK_EVENTS),
+            Some(&rep.block_events)
+        );
+        assert_eq!(
+            snap.gauges.get(names::SERVE_QUEUE_PEAK_DEPTH),
+            Some(&rep.queue_peak)
+        );
+        assert_eq!(
+            snap.histograms.get(names::SERVE_LATENCY_TICKS),
+            Some(&rep.latency_ticks)
+        );
+        assert_eq!(
+            snap.histograms.get(names::SERVE_RETRY_AFTER_TICKS),
+            Some(&rep.retry_after_ticks)
+        );
+    }
+
+    #[test]
+    fn ledger_digest_is_order_and_field_sensitive() {
+        let a = CoalesceRecord {
+            shard: 1,
+            request: 2,
+            arrival: 3,
+            wake: 4,
+        };
+        let b = CoalesceRecord { shard: 2, ..a };
+        assert_eq!(coalesce_ledger_digest(&[]), coalesce_ledger_digest(&[]));
+        assert_ne!(coalesce_ledger_digest(&[a]), coalesce_ledger_digest(&[]));
+        assert_ne!(coalesce_ledger_digest(&[a]), coalesce_ledger_digest(&[b]));
+        assert_ne!(
+            coalesce_ledger_digest(&[a, b]),
+            coalesce_ledger_digest(&[b, a])
+        );
+    }
+}

@@ -170,8 +170,15 @@ pub fn make_policy(
 /// serialized metric must pass through this helper rather than ad-hoc
 /// float formatting that could drift across platforms or formatting
 /// changes. Round-half-up via `f64::round`; inputs are percentages in
-/// `[0, 100]` by construction.
+/// `[0, 100]` by construction, but a NaN reaching a report (a
+/// division-by-zero upstream) pins to 0 explicitly rather than relying
+/// on `as`-cast semantics — a byte-stable artifact must not encode
+/// "whatever the cast does" as its contract. Negative and infinite
+/// inputs saturate the same way the cast always did (0 and `u64::MAX`).
 pub fn milli_pct(pct: f64) -> u64 {
+    if pct.is_nan() {
+        return 0;
+    }
     (pct * 1000.0).round() as u64
 }
 
@@ -398,6 +405,19 @@ mod tests {
         assert_eq!(milli_pct(12.3456), 12_346);
         assert_eq!(milli_pct(0.0004), 0);
         assert_eq!(milli_pct(33.0 + 1.0 / 3.0), 33_333);
+    }
+
+    #[test]
+    fn milli_pct_pins_degenerate_inputs() {
+        // Serve-mode folds routinely cross empty shards; a NaN-shaped
+        // percentage (0/0 upstream) must pin to 0, not to whatever an
+        // `as` cast happens to do on the platform. Out-of-range inputs
+        // keep the historical saturating behavior.
+        assert_eq!(milli_pct(f64::NAN), 0);
+        assert_eq!(milli_pct(-f64::NAN), 0);
+        assert_eq!(milli_pct(-1.0), 0);
+        assert_eq!(milli_pct(f64::NEG_INFINITY), 0);
+        assert_eq!(milli_pct(f64::INFINITY), u64::MAX);
     }
 
     #[test]

@@ -120,6 +120,52 @@ impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// API note: unlike real `parking_lot` (which takes `&mut MutexGuard`),
+/// this shim uses `std`'s consuming signature — `wait` takes the guard
+/// by value and returns it reacquired. [`MutexGuard`] is already an
+/// alias for the `std` guard, so the `std` condvar backs it directly;
+/// poisoning from a panicking peer is stripped like everywhere else in
+/// this shim.
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically release `guard` and block until notified, then
+    /// reacquire the lock and return the guard. Spurious wakeups are
+    /// possible; callers must re-check their predicate in a loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        unpoison(self.0.wait(guard))
+    }
+
+    /// Wake one blocked waiter, if any.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every blocked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
 fn unpoison<G>(r: Result<G, sync::PoisonError<G>>) -> G {
     r.unwrap_or_else(sync::PoisonError::into_inner)
 }
@@ -148,6 +194,27 @@ mod tests {
         // parking_lot semantics: the lock is usable after a panic.
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter_and_returns_reacquired_guard() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().expect("waiter thread panicked"));
     }
 
     #[test]
